@@ -1,0 +1,84 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dne::bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_.emplace_back(arg, "true");
+    } else {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+int Flags::GetInt(const std::string& key, int def) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return std::atoi(v.c_str());
+  }
+  return def;
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return std::atof(v.c_str());
+  }
+  return def;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& def) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v;
+  }
+  return def;
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+void PrintBanner(const std::string& experiment, const std::string& what,
+                 const std::string& flags_help) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("(Hanai et al., \"Distributed Edge Partitioning for "
+              "Trillion-edge Graphs\", VLDB'19)\n");
+  if (!flags_help.empty()) std::printf("flags: %s\n", flags_help.c_str());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[u]);
+  return buf;
+}
+
+}  // namespace dne::bench

@@ -1,0 +1,40 @@
+// Shared helpers for the paper-reproduction bench binaries: a tiny
+// --key=value flag parser, aligned table printing, and median helpers.
+#ifndef DNE_BENCH_BENCH_UTIL_H_
+#define DNE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dne::bench {
+
+/// Parses --key=value / --flag style arguments.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  int GetInt(const std::string& key, int def) const;
+  double GetDouble(const std::string& key, double def) const;
+  std::string GetString(const std::string& key,
+                        const std::string& def) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Median of a (copied) sample vector; 0 for empty input.
+double Median(std::vector<double> values);
+
+/// Prints the standard bench banner: which experiment of the paper this
+/// binary regenerates and under which substitutions.
+void PrintBanner(const std::string& experiment, const std::string& what,
+                 const std::string& flags_help);
+
+/// Formats a byte count as a human-readable string (e.g. "12.3 MB").
+std::string HumanBytes(double bytes);
+
+}  // namespace dne::bench
+
+#endif  // DNE_BENCH_BENCH_UTIL_H_

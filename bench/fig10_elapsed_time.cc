@@ -1,0 +1,74 @@
+// Regenerates Figure 10(a)-(g): partitioning time on the real-world
+// stand-ins as the machine count grows.
+//
+// Substitution note: the paper measures wall-clock on a real cluster. On
+// one box we report (i) the wall-clock of each algorithm run and (ii) for
+// Distributed NE the *simulated* distributed time from the counted
+// critical-path work and bytes (see DESIGN.md §1) — the latter is the
+// series whose shape tracks the paper's Fig. 10.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/factory.h"
+#include "gen/dataset.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_partitioner.h"
+
+int main(int argc, char** argv) {
+  dne::bench::Flags flags(argc, argv);
+  const int shift = flags.GetInt("shift", 2);
+  const bool full = flags.Has("full");
+  dne::bench::PrintBanner(
+      "Figure 10(a-g)", "partitioning time vs #machines (= #partitions)",
+      "--shift=N (default 2) --full (more machine counts)");
+
+  const std::vector<std::uint32_t> machine_counts =
+      full ? std::vector<std::uint32_t>{4, 8, 16, 32, 64}
+           : std::vector<std::uint32_t>{4, 16, 64};
+  const std::vector<std::string> methods = {"multilevel", "sheep",
+                                            "xtrapulp", "dne"};
+
+  for (const auto& info : dne::SkewedDatasets()) {
+    dne::Graph g = dne::MustBuildDataset(info.name, shift);
+    std::printf("\n%s  |V|=%llu |E|=%llu   [wall ms per run; dne also "
+                "sim-seconds]\n",
+                info.name.c_str(),
+                static_cast<unsigned long long>(g.NumVertices()),
+                static_cast<unsigned long long>(g.NumEdges()));
+    std::printf("  %-12s", "method");
+    for (std::uint32_t mc : machine_counts) std::printf(" %8sP=%-3u", "", mc);
+    std::printf("\n");
+    for (const std::string& method : methods) {
+      std::printf("  %-12s", method.c_str());
+      for (std::uint32_t mc : machine_counts) {
+        auto partitioner = dne::MustCreatePartitioner(method);
+        dne::EdgePartition ep;
+        dne::Status st = partitioner->Partition(g, mc, &ep);
+        if (!st.ok()) {
+          std::printf(" %12s", "err");
+          continue;
+        }
+        std::printf(" %12.1f", partitioner->run_stats().wall_seconds * 1e3);
+      }
+      std::printf("\n");
+    }
+    // Distributed NE's simulated cluster time (the Fig. 10 series).
+    std::printf("  %-12s", "dne[sim-s]");
+    for (std::uint32_t mc : machine_counts) {
+      dne::DnePartitioner dne_part;
+      dne::EdgePartition ep;
+      dne::Status st = dne_part.Partition(g, mc, &ep);
+      if (!st.ok()) {
+        std::printf(" %12s", "err");
+        continue;
+      }
+      std::printf(" %12.4f", dne_part.dne_stats().sim_seconds);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: dne faster than multilevel (ParMETIS, up to "
+              "9.1x) and sheep (up to 19.8x); comparable to xtrapulp.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Regenerates Figure 10(h)-(i): partitioning time of RMAT graphs as the
+// edge factor grows (h: Scale22, 64 partitions) and as the scale grows
+// (i: fixed edge factor, 64 machines).
+//
+// Expected shape (paper): time rises with EF for every method, with
+// Distributed NE's growth rate the lowest (it overtakes XtraPuLP at high
+// EF); time rises with scale at similar rates for all methods.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/factory.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_partitioner.h"
+
+namespace {
+
+dne::Graph MakeRmat(int scale, int ef) {
+  dne::RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = ef;
+  opt.seed = 17;
+  return dne::Graph::Build(dne::GenerateRmat(opt));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dne::bench::Flags flags(argc, argv);
+  const int scale = flags.GetInt("scale", 11);
+  const int partitions = flags.GetInt("partitions", 64);
+  const bool full = flags.Has("full");
+  dne::bench::PrintBanner(
+      "Figure 10(h-i)", "partitioning time vs RMAT edge factor and scale",
+      "--scale=N (default 11; paper 22) --partitions=N --full");
+
+  const std::vector<std::string> methods = {"multilevel", "sheep",
+                                            "xtrapulp", "dne"};
+
+  // ---- (h): EF sweep at fixed scale --------------------------------------
+  const std::vector<int> efs =
+      full ? std::vector<int>{16, 64, 256} : std::vector<int>{16, 64};
+  std::printf("\n(h) Scale%d, P=%d: wall ms vs edge factor\n", scale,
+              partitions);
+  std::printf("  %-12s", "method");
+  for (int ef : efs) std::printf(" %7s%-4d", "EF=", ef);
+  std::printf("\n");
+  std::vector<dne::Graph> graphs;
+  for (int ef : efs) graphs.push_back(MakeRmat(scale, ef));
+  for (const std::string& method : methods) {
+    std::printf("  %-12s", method.c_str());
+    for (const dne::Graph& g : graphs) {
+      auto partitioner = dne::MustCreatePartitioner(method);
+      dne::EdgePartition ep;
+      dne::Status st = partitioner->Partition(
+          g, static_cast<std::uint32_t>(partitions), &ep);
+      std::printf(" %11.1f",
+                  st.ok() ? partitioner->run_stats().wall_seconds * 1e3 : -1.0);
+    }
+    std::printf("\n");
+  }
+
+  // ---- (i): scale sweep at fixed EF ---------------------------------------
+  const int ef_fixed = full ? 256 : 64;
+  std::printf("\n(i) EF=%d, P=%d: wall ms vs scale\n", ef_fixed, partitions);
+  std::printf("  %-12s", "method");
+  for (int s = scale - 1; s <= scale + 1; ++s) {
+    std::printf(" %6sS%-4d", "", s);
+  }
+  std::printf("\n");
+  std::vector<dne::Graph> sgraphs;
+  for (int s = scale - 1; s <= scale + 1; ++s) {
+    sgraphs.push_back(MakeRmat(s, ef_fixed));
+  }
+  for (const std::string& method : methods) {
+    std::printf("  %-12s", method.c_str());
+    for (const dne::Graph& g : sgraphs) {
+      auto partitioner = dne::MustCreatePartitioner(method);
+      dne::EdgePartition ep;
+      dne::Status st = partitioner->Partition(
+          g, static_cast<std::uint32_t>(partitions), &ep);
+      std::printf(" %11.1f",
+                  st.ok() ? partitioner->run_stats().wall_seconds * 1e3 : -1.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: all methods grow with EF and scale; dne's EF "
+              "growth rate is the lowest.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Regenerates Figure 10(j): weak scaling of Distributed NE toward the
+// trillion-edge configuration — fixed vertices per machine, growing machine
+// count, several edge factors.
+//
+// Substitution note: the paper fixes 2^22 vertices/machine and scales to
+// 256 machines (Scale30 / EF 1024 = 1.1 trillion edges, 69.7 minutes).
+// Here the per-machine quota defaults to 2^10 vertices, and the simulated
+// cluster's cost model produces the elapsed-time series; the weak-scaling
+// *shape* (linear-ish growth, driven by vertex-selection imbalance whose
+// work share climbs with the machine count) is the reproduction target.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_partitioner.h"
+
+int main(int argc, char** argv) {
+  dne::bench::Flags flags(argc, argv);
+  const int quota_log2 = flags.GetInt("quota", 10);  // vertices/machine
+  const bool full = flags.Has("full");
+  dne::bench::PrintBanner(
+      "Figure 10(j)", "weak scaling toward the trillion-edge graph",
+      "--quota=N (log2 vertices per machine, default 10; paper 22) --full");
+
+  const std::vector<int> machine_counts =
+      full ? std::vector<int>{4, 16, 64, 256} : std::vector<int>{4, 16, 64};
+  const std::vector<int> edge_factors =
+      full ? std::vector<int>{16, 64, 256} : std::vector<int>{16, 64};
+
+  std::printf("\n%8s %6s %6s %12s %12s %10s %12s %10s %10s\n", "machines",
+              "scale", "EF", "|E|", "sim-sec", "wall-ms", "comm",
+              "sel-share", "B-imbal");
+  for (int ef : edge_factors) {
+    for (int machines : machine_counts) {
+      int scale = quota_log2;
+      int m = machines;
+      while (m > 1) {
+        m /= 2;
+        ++scale;
+      }
+      dne::RmatOptions opt;
+      opt.scale = scale;
+      opt.edge_factor = ef;
+      opt.seed = 23;
+      dne::Graph g = dne::Graph::Build(dne::GenerateRmat(opt));
+      dne::DnePartitioner dne_part;
+      dne::EdgePartition ep;
+      dne::Status st =
+          dne_part.Partition(g, static_cast<std::uint32_t>(machines), &ep);
+      if (!st.ok()) {
+        std::printf("%8d %6d %6d %12s (%s)\n", machines, scale, ef, "-",
+                    st.ToString().c_str());
+        continue;
+      }
+      const dne::DneStats& s = dne_part.dne_stats();
+      std::printf("%8d %6d %6d %12llu %12.4f %10.1f %12s %9.1f%% %10.2f\n",
+                  machines, scale, ef,
+                  static_cast<unsigned long long>(g.NumEdges()),
+                  s.sim_seconds, dne_part.run_stats().wall_seconds * 1e3,
+                  dne::bench::HumanBytes(
+                      static_cast<double>(s.comm_bytes)).c_str(),
+                  100.0 * s.selection_work_fraction,
+                  s.boundary_imbalance);
+    }
+    std::printf("\n");
+  }
+  std::printf("paper shape: sim time grows ~linearly with machines at fixed "
+              "vertices/machine, driven by vertex-selection imbalance: the "
+              "max/mean boundary size (B-imbal) climbs with the machine "
+              "count (the paper reports the selection share of elapsed time "
+              "growing from <1%% at 4 machines to 30.3%% at 256).\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// google-benchmark microbenchmarks for the hot kernels: hashing, CSR
+// construction, RMAT generation, normalization, the boundary heap, the
+// replica table, and the 2-D distribution algebra.
+#include <benchmark/benchmark.h>
+
+#include <queue>
+#include <vector>
+
+#include "common/hash.h"
+#include "gen/rmat.h"
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+#include "partition/dne/two_d_distribution.h"
+#include "partition/replica_table.h"
+
+namespace dne {
+namespace {
+
+void BM_Mix64(benchmark::State& state) {
+  std::uint64_t x = 12345;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_HashEdge(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashEdge(i, i + 7));
+    ++i;
+  }
+}
+BENCHMARK(BM_HashEdge);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  RmatOptions opt;
+  opt.scale = static_cast<int>(state.range(0));
+  opt.edge_factor = 8;
+  for (auto _ : state) {
+    EdgeList list = GenerateRmat(opt);
+    benchmark::DoNotOptimize(list.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (1LL << opt.scale) * opt.edge_factor);
+}
+BENCHMARK(BM_RmatGenerate)->Arg(10)->Arg(14);
+
+void BM_EdgeListNormalize(benchmark::State& state) {
+  RmatOptions opt;
+  opt.scale = static_cast<int>(state.range(0));
+  opt.edge_factor = 8;
+  EdgeList reference = GenerateRmat(opt);
+  for (auto _ : state) {
+    state.PauseTiming();
+    EdgeList copy = reference;
+    state.ResumeTiming();
+    copy.Normalize();
+    benchmark::DoNotOptimize(copy.NumEdges());
+  }
+}
+BENCHMARK(BM_EdgeListNormalize)->Arg(10)->Arg(14);
+
+void BM_CsrBuild(benchmark::State& state) {
+  RmatOptions opt;
+  opt.scale = static_cast<int>(state.range(0));
+  opt.edge_factor = 8;
+  EdgeList list = GenerateRmat(opt);
+  list.Normalize();
+  for (auto _ : state) {
+    Csr csr = Csr::Build(list);
+    benchmark::DoNotOptimize(csr.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * list.NumEdges());
+}
+BENCHMARK(BM_CsrBuild)->Arg(10)->Arg(14);
+
+void BM_BoundaryHeap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::priority_queue<std::pair<std::uint64_t, VertexId>,
+                        std::vector<std::pair<std::uint64_t, VertexId>>,
+                        std::greater<>>
+        heap;
+    for (int i = 0; i < n; ++i) {
+      heap.push({Mix64(i) % 64, static_cast<VertexId>(i)});
+    }
+    std::uint64_t sum = 0;
+    while (!heap.empty()) {
+      sum += heap.top().second;
+      heap.pop();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BoundaryHeap)->Arg(1024)->Arg(65536);
+
+void BM_ReplicaTableAdd(benchmark::State& state) {
+  const int n = 100000;
+  for (auto _ : state) {
+    ReplicaTable table(n);
+    for (int i = 0; i < n; ++i) {
+      table.Add(static_cast<VertexId>(i), Mix64(i) % 16);
+      table.Add(static_cast<VertexId>(i), Mix64(i + 1) % 16);
+    }
+    benchmark::DoNotOptimize(table.TotalReplicas());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_ReplicaTableAdd);
+
+void BM_TwoDReplicaRanks(benchmark::State& state) {
+  TwoDDistribution dist(static_cast<std::uint32_t>(state.range(0)), 1);
+  std::vector<int> reps;
+  VertexId v = 0;
+  for (auto _ : state) {
+    dist.ReplicaRanks(v++, &reps);
+    benchmark::DoNotOptimize(reps.size());
+  }
+}
+BENCHMARK(BM_TwoDReplicaRanks)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GraphBuild(benchmark::State& state) {
+  RmatOptions opt;
+  opt.scale = 12;
+  opt.edge_factor = 8;
+  EdgeList reference = GenerateRmat(opt);
+  for (auto _ : state) {
+    EdgeList copy = reference;
+    Graph g = Graph::Build(std::move(copy));
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+}
+BENCHMARK(BM_GraphBuild);
+
+}  // namespace
+}  // namespace dne

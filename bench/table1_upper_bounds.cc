@@ -1,0 +1,62 @@
+// Regenerates Table 1: theoretical upper bounds of the replication factor
+// on power-law graphs with 256 partitions.
+//
+// The Distributed NE row uses the paper's own closed form (discrete zeta
+// model) and matches Table 1 exactly. For Random/Grid/DBH the paper
+// reprints the upper-bound *theorems* of Xie et al. [49]; this binary
+// computes the exact occupancy expectations under the same continuous
+// power-law model, which are tighter (see EXPERIMENTS.md), and prints the
+// paper's values alongside for reference.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "metrics/theory.h"
+
+int main(int argc, char** argv) {
+  dne::bench::Flags flags(argc, argv);
+  const int partitions = flags.GetInt("partitions", 256);
+  dne::bench::PrintBanner(
+      "Table 1", "Theoretical upper bound of RF in power-law graphs",
+      "--partitions=N (default 256)");
+
+  const double alphas[] = {2.2, 2.4, 2.6, 2.8};
+  // Paper Table 1 reference values (|P| = 256).
+  const double paper_random[] = {5.88, 3.46, 2.64, 2.23};
+  const double paper_grid[] = {4.82, 3.13, 2.47, 2.13};
+  const double paper_dbh[] = {5.54, 3.19, 2.42, 2.05};
+  const double paper_dne[] = {2.88, 2.12, 1.88, 1.75};
+
+  std::printf("%-22s %10s %10s %10s %10s\n", "Partitioner", "a=2.2", "a=2.4",
+              "a=2.6", "a=2.8");
+  std::printf("%-22s", "Random (1D-hash)");
+  for (double a : alphas) {
+    std::printf(" %10.2f", dne::RandomExpectedRf(a, partitions));
+  }
+  std::printf("\n%-22s", "  [paper bound]");
+  for (double v : paper_random) std::printf(" %10.2f", v);
+
+  std::printf("\n%-22s", "Grid (2D-hash)");
+  for (double a : alphas) {
+    std::printf(" %10.2f", dne::GridExpectedRf(a, partitions));
+  }
+  std::printf("\n%-22s", "  [paper bound]");
+  for (double v : paper_grid) std::printf(" %10.2f", v);
+
+  std::printf("\n%-22s", "DBH");
+  for (double a : alphas) {
+    std::printf(" %10.2f", dne::DbhExpectedRf(a, partitions));
+  }
+  std::printf("\n%-22s", "  [paper bound]");
+  for (double v : paper_dbh) std::printf(" %10.2f", v);
+
+  std::printf("\n%-22s", "Distributed NE");
+  for (double a : alphas) {
+    std::printf(" %10.2f", dne::DneExpectedUpperBound(a));
+  }
+  std::printf("\n%-22s", "  [paper bound]");
+  for (double v : paper_dne) std::printf(" %10.2f", v);
+  std::printf("\n\nDistributed NE's bound is below the Random/Grid hash "
+              "bounds at every alpha,\nwith the largest gap at small alpha — "
+              "the paper's Table-1 claim.\n");
+  return 0;
+}

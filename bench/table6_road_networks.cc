@@ -1,0 +1,57 @@
+// Regenerates Table 6: replication factor on (non-skewed) road networks.
+//
+// Expected shape (paper): the structure-aware methods (ParMETIS-like
+// multilevel ~1.002, Sheep ~1.03, XtraPuLP ~1.12, Distributed NE ~1.02)
+// all land near the ideal 1.0; the hash family stays at 2.1-3.7.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/factory.h"
+#include "gen/dataset.h"
+#include "graph/graph.h"
+#include "metrics/partition_metrics.h"
+
+int main(int argc, char** argv) {
+  dne::bench::Flags flags(argc, argv);
+  const int partitions = flags.GetInt("partitions", 64);
+  dne::bench::PrintBanner("Table 6",
+                          "RF of road networks (non-skewed graphs)",
+                          "--partitions=N (default 64)");
+
+  const std::vector<std::string> methods = {"random",     "grid",  "oblivious",
+                                            "ginger",     "fennel",
+                                            "multilevel", "sheep",
+                                            "xtrapulp",   "dne"};
+  // Paper Table 6 reference rows (California):
+  // (fennel has no paper row; -1 marks "not reported".)
+  const std::vector<double> paper_calif = {3.72, 3.54, 2.13, 2.32, -1,
+                                           1.002, 1.03, 1.12, 1.02};
+
+  std::printf("\n%-18s", "dataset");
+  for (const auto& m : methods) std::printf(" %10s", m.c_str());
+  std::printf("\n");
+  for (const auto& info : dne::RoadDatasets()) {
+    dne::Graph g = dne::MustBuildDataset(info.name, 0);
+    std::printf("%-18s", info.name.c_str());
+    for (const std::string& method : methods) {
+      auto partitioner = dne::MustCreatePartitioner(method);
+      dne::EdgePartition ep;
+      dne::Status st = partitioner->Partition(
+          g, static_cast<std::uint32_t>(partitions), &ep);
+      if (!st.ok()) {
+        std::printf(" %10s", "err");
+        continue;
+      }
+      const auto m = dne::ComputePartitionMetrics(g, ep);
+      std::printf(" %10.3f", m.replication_factor);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-18s", "[paper Calif.]");
+  for (double v : paper_calif) std::printf(" %10.3f", v);
+  std::printf("\n\npaper shape: structure-aware methods near 1.0; hashes "
+              "2.1-3.7; dne ~1.02.\n");
+  return 0;
+}

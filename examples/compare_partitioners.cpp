@@ -1,0 +1,48 @@
+// Compares every partitioner in the library on one graph: quality, balance,
+// time and memory — a miniature of the paper's evaluation section.
+//
+//   $ ./compare_partitioners [scale] [edge_factor] [partitions]
+//
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dne.h"
+#include "metrics/partition_metrics.h"
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int edge_factor = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::uint32_t partitions =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 32;
+
+  dne::RmatOptions gen;
+  gen.scale = scale;
+  gen.edge_factor = edge_factor;
+  dne::Graph graph = dne::Graph::Build(dne::GenerateRmat(gen));
+  std::printf("RMAT scale=%d EF=%d: %llu vertices, %llu edges, P=%u\n\n",
+              scale, edge_factor,
+              static_cast<unsigned long long>(graph.NumVertices()),
+              static_cast<unsigned long long>(graph.NumEdges()), partitions);
+
+  std::printf("%-12s %8s %8s %8s %10s %12s\n", "method", "RF", "EB", "VB",
+              "wall-ms", "peak-mem");
+  for (const std::string& name : dne::KnownPartitioners()) {
+    auto partitioner = dne::MustCreatePartitioner(name);
+    dne::EdgePartition partition;
+    dne::Status status = partitioner->Partition(graph, partitions, &partition);
+    if (!status.ok()) {
+      std::printf("%-12s (failed: %s)\n", name.c_str(),
+                  status.ToString().c_str());
+      continue;
+    }
+    const auto metrics = dne::ComputePartitionMetrics(graph, partition);
+    const auto stats = partitioner->run_stats();
+    std::printf("%-12s %8.3f %8.3f %8.3f %10.1f %12llu\n", name.c_str(),
+                metrics.replication_factor, metrics.edge_balance,
+                metrics.vertex_balance, stats.wall_seconds * 1e3,
+                static_cast<unsigned long long>(stats.peak_memory_bytes));
+  }
+  std::printf("\nRF = replication factor (lower is better); EB/VB = edge / "
+              "vertex balance.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Road-network partitioning (the paper's Sec. 7.7): on non-skewed,
+// high-diameter graphs, structure-aware methods reach RF ~ 1 and the
+// traditional vertex partitioning is perfectly viable. This example also
+// shows the library's graph IO: the road network is written to disk and
+// re-loaded, as a real pipeline would.
+//
+//   $ ./road_network_partitioning
+//
+#include <cstdio>
+#include <string>
+
+#include "core/dne.h"
+#include "metrics/partition_metrics.h"
+
+int main() {
+  // Build a road-like lattice and round-trip it through the binary format.
+  dne::Graph road = dne::MustBuildDataset("calif-road-sim");
+  const std::string path = "/tmp/dne_road_example.bin";
+  if (dne::Status st = dne::SaveEdgeListBinary(path, road.edges());
+      !st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  dne::EdgeList loaded;
+  if (dne::Status st = dne::LoadEdgeListBinary(path, &loaded); !st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  dne::Graph graph = dne::Graph::FromNormalized(std::move(loaded));
+  std::printf("road network: %llu vertices, %llu edges (saved+reloaded via "
+              "%s)\n\n",
+              static_cast<unsigned long long>(graph.NumVertices()),
+              static_cast<unsigned long long>(graph.NumEdges()),
+              path.c_str());
+
+  std::printf("%-12s %10s %10s\n", "method", "RF", "cut-verts");
+  for (const std::string method :
+       {"random", "grid", "oblivious", "multilevel", "sheep", "xtrapulp",
+        "dne"}) {
+    auto partitioner = dne::MustCreatePartitioner(method);
+    dne::EdgePartition partition;
+    if (!partitioner->Partition(graph, 16, &partition).ok()) continue;
+    const auto metrics = dne::ComputePartitionMetrics(graph, partition);
+    std::printf("%-12s %10.3f %10llu\n", method.c_str(),
+                metrics.replication_factor,
+                static_cast<unsigned long long>(metrics.cut_vertices));
+  }
+  std::printf("\npaper Sec. 7.7: on road networks every structure-aware "
+              "method nears the ideal RF = 1; Distributed NE reaches ~1.02 "
+              "but classic vertex partitioning is equally fine here.\n");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// End-to-end social-network analytics pipeline (the workload that motivates
+// the paper's introduction): partition a social graph, then run PageRank,
+// connected components, and shortest paths on the vertex-cut engine, and
+// see how partitioning quality turns into communication savings.
+//
+//   $ ./social_network_analytics [dataset]   (default: pokec-sim)
+//
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/engine.h"
+#include "apps/wcc.h"
+#include "core/dne.h"
+#include "metrics/partition_metrics.h"
+
+namespace {
+
+void RunSuite(const dne::Graph& graph, const std::string& method,
+              std::uint32_t partitions) {
+  auto partitioner = dne::MustCreatePartitioner(method);
+  dne::EdgePartition partition;
+  dne::Status status = partitioner->Partition(graph, partitions, &partition);
+  if (!status.ok()) {
+    std::printf("%-10s failed: %s\n", method.c_str(),
+                status.ToString().c_str());
+    return;
+  }
+  const auto metrics = dne::ComputePartitionMetrics(graph, partition);
+  dne::VertexCutEngine engine(graph, partition);
+
+  std::vector<double> ranks;
+  dne::AppStats pr = engine.RunPageRank(20, &ranks);
+  std::vector<dne::VertexId> labels;
+  dne::AppStats wcc = engine.RunWcc(&labels);
+  std::vector<std::uint32_t> dist;
+  dne::AppStats sssp = engine.RunSssp(0, &dist);
+
+  std::printf("%-10s RF=%.2f | PageRank %6.2f MB, WCC %6.2f MB, SSSP %6.2f "
+              "MB of mirror sync\n",
+              method.c_str(), metrics.replication_factor,
+              static_cast<double>(pr.comm_bytes) / (1 << 20),
+              static_cast<double>(wcc.comm_bytes) / (1 << 20),
+              static_cast<double>(sssp.comm_bytes) / (1 << 20));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "pokec-sim";
+  dne::Graph graph = dne::MustBuildDataset(dataset, 2);
+  const std::uint32_t partitions = 32;
+  std::printf("dataset %s: %llu vertices, %llu edges, %u partitions\n\n",
+              dataset.c_str(),
+              static_cast<unsigned long long>(graph.NumVertices()),
+              static_cast<unsigned long long>(graph.NumEdges()), partitions);
+
+  for (const std::string method : {"random", "grid", "hdrf", "dne"}) {
+    RunSuite(graph, method, partitions);
+  }
+
+  // Analytics sanity: top PageRank vertices and the component structure.
+  dne::EdgePartition partition;
+  dne::MustCreatePartitioner("dne")->Partition(graph, partitions, &partition);
+  dne::VertexCutEngine engine(graph, partition);
+  std::vector<double> ranks;
+  engine.RunPageRank(20, &ranks);
+  std::vector<dne::VertexId> best(ranks.size());
+  for (dne::VertexId v = 0; v < best.size(); ++v) best[v] = v;
+  std::partial_sort(best.begin(), best.begin() + 5, best.end(),
+                    [&](dne::VertexId a, dne::VertexId b) {
+                      return ranks[a] > ranks[b];
+                    });
+  std::printf("\ntop-5 PageRank hubs:");
+  for (int i = 0; i < 5; ++i) {
+    std::printf(" v%llu(%.2e)", static_cast<unsigned long long>(best[i]),
+                ranks[best[i]]);
+  }
+  auto ref_labels = dne::WccReference(graph);
+  std::printf("\nconnected components: %zu\n",
+              dne::CountComponents(ref_labels));
+  std::printf("\nlesson: lower RF -> proportionally less mirror traffic on "
+              "every workload.\n");
+  return 0;
+}

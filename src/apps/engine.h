@@ -1,0 +1,70 @@
+// VertexCutEngine: a PowerLyra/PowerGraph-style substrate for running graph
+// applications over an *edge partition* (Sec. 7.6). Each partition owns its
+// edge set; vertices incident to several partitions are replicated with one
+// master and k-1 mirrors; per-superstep mirror synchronisation is the
+// communication the partition quality controls.
+#ifndef DNE_APPS_ENGINE_H_
+#define DNE_APPS_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/partition_metrics.h"
+#include "partition/edge_partition.h"
+#include "runtime/cost_model.h"
+#include "runtime/sim_cluster.h"
+
+namespace dne {
+
+/// Performance summary of one application run (Table 5's ET / COM / WB).
+struct AppStats {
+  double wall_seconds = 0.0;  ///< measured wall-clock of the simulation
+  double sim_seconds = 0.0;   ///< cost-model elapsed time (the paper's ET)
+  std::uint64_t comm_bytes = 0;   ///< mirror-sync traffic (the paper's COM)
+  std::uint64_t supersteps = 0;
+  double work_balance = 1.0;  ///< max/mean per-partition work (the paper's WB)
+};
+
+class VertexCutEngine {
+ public:
+  /// Builds the replica topology for `partition` over `g`. The partition
+  /// must satisfy EdgePartition::Validate.
+  VertexCutEngine(const Graph& g, const EdgePartition& partition,
+                  const CostModelOptions& cost = CostModelOptions{});
+
+  std::uint32_t num_partitions() const { return num_partitions_; }
+  const std::vector<std::vector<EdgeId>>& local_edges() const {
+    return local_edges_;
+  }
+
+  /// Synchronous PageRank, `iterations` rounds, damping 0.85. `ranks` gets
+  /// the final (degree-normalised, undirected) scores.
+  AppStats RunPageRank(int iterations, std::vector<double>* ranks);
+
+  /// Single-source shortest paths with unit weights (= BFS levels), Bellman-
+  /// Ford supersteps. Unreachable vertices get kUnreachable.
+  static constexpr std::uint32_t kUnreachable = UINT32_MAX;
+  AppStats RunSssp(VertexId source, std::vector<std::uint32_t>* dist);
+
+  /// Weakly connected components by min-label propagation; `labels` maps
+  /// every vertex to its component's minimum vertex id.
+  AppStats RunWcc(std::vector<VertexId>* labels);
+
+ private:
+  /// Charges gather+scatter mirror synchronisation for every vertex marked
+  /// in `changed` (payload bytes per value), clearing the marks.
+  void ChargeSync(SimCluster* cluster, std::vector<std::uint8_t>* changed,
+                  std::uint64_t payload_bytes);
+
+  const Graph& g_;
+  std::uint32_t num_partitions_;
+  std::vector<std::vector<EdgeId>> local_edges_;
+  VertexReplicaSets replicas_;
+  std::vector<PartitionId> master_;  // master partition per vertex
+  CostModelOptions cost_options_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_APPS_ENGINE_H_

@@ -1,0 +1,69 @@
+#include "apps/kcore.h"
+
+#include <algorithm>
+
+namespace dne {
+
+std::vector<std::uint32_t> CoreNumbers(const Graph& g) {
+  // Matula-Beck bucket peeling: repeatedly remove the minimum-degree
+  // vertex; its degree at removal is its core number (made monotone below).
+  const VertexId n = g.NumVertices();
+  std::vector<std::uint32_t> degree(n);
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.degree(v));
+    max_degree = std::max<std::size_t>(max_degree, degree[v]);
+  }
+
+  // Bucket sort by degree.
+  std::vector<std::uint32_t> bucket_start(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<VertexId> order(n);      // vertices sorted by current degree
+  std::vector<std::uint32_t> pos(n);   // position of each vertex in order
+  {
+    std::vector<std::uint32_t> cursor(bucket_start.begin(),
+                                      bucket_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]];
+      order[pos[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+
+  std::vector<std::uint32_t> core(n, 0);
+  std::vector<bool> removed(n, false);
+  std::uint32_t current = 0;
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    current = std::max(current, degree[v]);
+    core[v] = current;
+    removed[v] = true;
+    for (const Adjacency& a : g.neighbors(v)) {
+      const VertexId u = a.to;
+      if (removed[u] || degree[u] <= degree[v]) continue;
+      // Move u one bucket down: swap it with the first element of its
+      // bucket, then shrink the bucket boundary.
+      const std::uint32_t du = degree[u];
+      const std::uint32_t first_pos = bucket_start[du];
+      const VertexId first_v = order[first_pos];
+      if (first_v != u) {
+        std::swap(order[pos[u]], order[first_pos]);
+        std::swap(pos[u], pos[first_v]);
+      }
+      ++bucket_start[du];
+      --degree[u];
+    }
+  }
+  return core;
+}
+
+std::uint32_t Degeneracy(const Graph& g) {
+  std::uint32_t best = 0;
+  for (std::uint32_t c : CoreNumbers(g)) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace dne

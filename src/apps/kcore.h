@@ -1,0 +1,22 @@
+// k-core decomposition: per-vertex core numbers via bucket peeling — a
+// further analytics workload over the library's graph substrate.
+#ifndef DNE_APPS_KCORE_H_
+#define DNE_APPS_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dne {
+
+/// Core number of every vertex (the largest k such that the vertex belongs
+/// to a subgraph of minimum degree k). O(|E|) bucket peeling.
+std::vector<std::uint32_t> CoreNumbers(const Graph& g);
+
+/// The graph's degeneracy: max over vertices of the core number.
+std::uint32_t Degeneracy(const Graph& g);
+
+}  // namespace dne
+
+#endif  // DNE_APPS_KCORE_H_

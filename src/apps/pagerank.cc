@@ -1,0 +1,27 @@
+#include "apps/pagerank.h"
+
+namespace dne {
+
+std::vector<double> PageRankReference(const Graph& g, int iterations) {
+  const VertexId n = g.NumVertices();
+  std::vector<double> value(n, 1.0 / static_cast<double>(n));
+  std::vector<double> acc(n, 0.0);
+  constexpr double kDamping = 0.85;
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      const double share =
+          g.degree(v) == 0 ? 0.0
+                           : value[v] / static_cast<double>(g.degree(v));
+      for (const Adjacency& a : g.neighbors(v)) acc[a.to] += share;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) continue;
+      value[v] =
+          (1.0 - kDamping) / static_cast<double>(n) + kDamping * acc[v];
+    }
+  }
+  return value;
+}
+
+}  // namespace dne

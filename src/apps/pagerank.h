@@ -1,0 +1,18 @@
+// Single-machine PageRank reference (synchronous power iteration on the
+// undirected, degree-normalised walk).
+#ifndef DNE_APPS_PAGERANK_H_
+#define DNE_APPS_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dne {
+
+/// `iterations` synchronous rounds with damping 0.85, matching
+/// VertexCutEngine::RunPageRank bit-for-bit in exact arithmetic.
+std::vector<double> PageRankReference(const Graph& g, int iterations);
+
+}  // namespace dne
+
+#endif  // DNE_APPS_PAGERANK_H_

@@ -1,0 +1,26 @@
+#include "apps/sssp.h"
+
+#include <deque>
+
+namespace dne {
+
+std::vector<std::uint32_t> SsspReference(const Graph& g, VertexId source) {
+  std::vector<std::uint32_t> dist(g.NumVertices(), UINT32_MAX);
+  if (source >= g.NumVertices()) return dist;
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const Adjacency& a : g.neighbors(v)) {
+      if (dist[a.to] == UINT32_MAX) {
+        dist[a.to] = dist[v] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace dne

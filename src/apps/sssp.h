@@ -1,0 +1,18 @@
+// Single-machine SSSP reference (BFS levels on the unit-weight graph), the
+// ground truth the distributed engine is verified against.
+#ifndef DNE_APPS_SSSP_H_
+#define DNE_APPS_SSSP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dne {
+
+/// BFS distances from `source`; UINT32_MAX for unreachable vertices.
+std::vector<std::uint32_t> SsspReference(const Graph& g, VertexId source);
+
+}  // namespace dne
+
+#endif  // DNE_APPS_SSSP_H_

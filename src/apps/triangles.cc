@@ -1,0 +1,103 @@
+#include "apps/triangles.h"
+
+#include <algorithm>
+
+namespace dne {
+
+namespace {
+
+// Degree-ordered "forward" adjacency: arcs point from lower-rank to
+// higher-rank endpoints (rank = (degree, id)), so every triangle has
+// exactly one vertex with two out-arcs — each triangle is found once.
+struct ForwardAdjacency {
+  std::vector<std::uint64_t> offsets;
+  struct Arc {
+    VertexId to;
+    EdgeId edge;
+  };
+  std::vector<Arc> arcs;
+};
+
+bool RankLess(const Graph& g, VertexId a, VertexId b) {
+  const std::size_t da = g.degree(a), db = g.degree(b);
+  return da != db ? da < db : a < b;
+}
+
+ForwardAdjacency BuildForward(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  ForwardAdjacency fwd;
+  fwd.offsets.assign(n + 1, 0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const VertexId lo = RankLess(g, ed.src, ed.dst) ? ed.src : ed.dst;
+    ++fwd.offsets[lo + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) fwd.offsets[v + 1] += fwd.offsets[v];
+  fwd.arcs.resize(g.NumEdges());
+  std::vector<std::uint64_t> cursor(fwd.offsets.begin(),
+                                    fwd.offsets.end() - 1);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const bool src_lo = RankLess(g, ed.src, ed.dst);
+    const VertexId lo = src_lo ? ed.src : ed.dst;
+    const VertexId hi = src_lo ? ed.dst : ed.src;
+    fwd.arcs[cursor[lo]++] = ForwardAdjacency::Arc{hi, e};
+  }
+  // Sort each row by target for the merge-intersection below.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(fwd.arcs.begin() + static_cast<std::ptrdiff_t>(fwd.offsets[v]),
+              fwd.arcs.begin() +
+                  static_cast<std::ptrdiff_t>(fwd.offsets[v + 1]),
+              [](const ForwardAdjacency::Arc& a,
+                 const ForwardAdjacency::Arc& b) { return a.to < b.to; });
+  }
+  return fwd;
+}
+
+// Calls fn(closing_edge_id) once per triangle.
+template <typename Fn>
+void ForEachTriangle(const Graph& g, Fn fn) {
+  ForwardAdjacency fwd = BuildForward(g);
+  const VertexId n = g.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t begin = fwd.offsets[v], end = fwd.offsets[v + 1];
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const VertexId u = fwd.arcs[i].to;
+      // Merge-intersect the FULL forward(v) row with forward(u); rows are
+      // sorted by target id. u itself cannot appear in forward(u) (no self
+      // loops), so no exclusion is needed. The arc found in forward(u)'s
+      // row is the triangle's closing edge.
+      std::uint64_t a = begin;
+      std::uint64_t b = fwd.offsets[u];
+      const std::uint64_t b_end = fwd.offsets[u + 1];
+      while (a < end && b < b_end) {
+        if (fwd.arcs[a].to < fwd.arcs[b].to) {
+          ++a;
+        } else if (fwd.arcs[b].to < fwd.arcs[a].to) {
+          ++b;
+        } else {
+          fn(fwd.arcs[b].edge);
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t CountTriangles(const Graph& g) {
+  std::uint64_t count = 0;
+  ForEachTriangle(g, [&count](EdgeId) { ++count; });
+  return count;
+}
+
+std::vector<std::uint64_t> CountTrianglesPerPartition(
+    const Graph& g, const EdgePartition& partition) {
+  std::vector<std::uint64_t> counts(partition.num_partitions(), 0);
+  ForEachTriangle(g, [&](EdgeId closing) { ++counts[partition.Get(closing)]; });
+  return counts;
+}
+
+}  // namespace dne

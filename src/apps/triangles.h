@@ -1,0 +1,27 @@
+// Triangle counting: the forward (node-iterator) algorithm on the canonical
+// adjacency plus a per-partition decomposition that shows how the edge
+// partition splits analytic work.
+#ifndef DNE_APPS_TRIANGLES_H_
+#define DNE_APPS_TRIANGLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+/// Exact global triangle count (forward algorithm: each triangle counted
+/// once via its degree-ordered orientation).
+std::uint64_t CountTriangles(const Graph& g);
+
+/// Per-partition triangle ownership: triangle (u,v,w) is attributed to the
+/// partition of its closing edge under the degree-ordered orientation.
+/// Summing the vector reproduces CountTriangles (tested invariant).
+std::vector<std::uint64_t> CountTrianglesPerPartition(
+    const Graph& g, const EdgePartition& partition);
+
+}  // namespace dne
+
+#endif  // DNE_APPS_TRIANGLES_H_

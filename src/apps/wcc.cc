@@ -1,0 +1,39 @@
+#include "apps/wcc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dne {
+
+std::vector<VertexId> WccReference(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  // Union by min id with path halving.
+  auto find = [&](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : g.edges().edges()) {
+    VertexId a = find(e.src), b = find(e.dst);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    parent[b] = a;  // min-id root
+  }
+  std::vector<VertexId> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v] = find(v);
+  return labels;
+}
+
+std::size_t CountComponents(const std::vector<VertexId>& labels) {
+  std::size_t count = 0;
+  for (VertexId v = 0; v < labels.size(); ++v) {
+    if (labels[v] == v) ++count;
+  }
+  return count;
+}
+
+}  // namespace dne

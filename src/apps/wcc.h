@@ -1,0 +1,20 @@
+// Single-machine weakly-connected-components reference (union-find).
+#ifndef DNE_APPS_WCC_H_
+#define DNE_APPS_WCC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dne {
+
+/// Component labels: every vertex maps to the minimum vertex id in its
+/// component (matching the engine's min-label propagation output).
+std::vector<VertexId> WccReference(const Graph& g);
+
+/// Number of components among non-isolated vertices plus isolated singletons.
+std::size_t CountComponents(const std::vector<VertexId>& labels);
+
+}  // namespace dne
+
+#endif  // DNE_APPS_WCC_H_

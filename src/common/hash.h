@@ -1,0 +1,45 @@
+// Deterministic 64-bit hashing kernels used for all hash-based partitioners
+// and for the 2-D initial distribution of Distributed NE. The paper (Sec. 4)
+// computes replica metadata *functionally from vertex ids* instead of storing
+// maps; these kernels are that function.
+#ifndef DNE_COMMON_HASH_H_
+#define DNE_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dne {
+
+/// SplitMix64 finalizer: a high-quality, allocation-free 64-bit mixer.
+/// Deterministic across platforms and runs (no seed-by-address tricks), which
+/// keeps every partitioner reproducible.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash of a vertex id under a salt (salt lets independent experiments draw
+/// independent hash functions).
+inline std::uint64_t HashVertex(VertexId v, std::uint64_t salt = 0) {
+  return Mix64(v + 0x632be59bd9b4e019ULL * (salt + 1));
+}
+
+/// Hash of an (unordered) edge; canonical order is applied so (u,v) == (v,u).
+inline std::uint64_t HashEdge(VertexId u, VertexId v, std::uint64_t salt = 0) {
+  VertexId lo = u < v ? u : v;
+  VertexId hi = u < v ? v : u;
+  return Mix64(Mix64(lo + salt) ^ (hi * 0x9e3779b97f4a7c15ULL));
+}
+
+/// Boost-style hash combiner for composite keys.
+inline std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace dne
+
+#endif  // DNE_COMMON_HASH_H_

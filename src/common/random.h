@@ -1,0 +1,44 @@
+// SplitMix64 RNG: tiny, fast, deterministic, UniformRandomBitGenerator.
+#ifndef DNE_COMMON_RANDOM_H_
+#define DNE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace dne {
+
+/// Deterministic 64-bit RNG (SplitMix64). Used everywhere instead of
+/// std::mt19937_64 because its state is 8 bytes and its output sequence is
+/// stable across standard-library implementations, keeping experiments
+/// byte-reproducible.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed = 0x853c49e6748fea9bULL)
+      : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return (*this)() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_COMMON_RANDOM_H_

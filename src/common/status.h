@@ -1,0 +1,70 @@
+// Status: RocksDB-style error propagation without exceptions.
+#ifndef DNE_COMMON_STATUS_H_
+#define DNE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dne {
+
+/// Result of a fallible library operation. The library never throws across
+/// its public API; every fallible call returns a Status (or fills an output
+/// parameter and returns Status), following the RocksDB/Arrow idiom.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kIOError,
+    kInternal,
+    kNotSupported,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: num_partitions == 0".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Early-return helper: propagates a non-OK Status to the caller.
+#define DNE_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::dne::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace dne
+
+#endif  // DNE_COMMON_STATUS_H_

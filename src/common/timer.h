@@ -1,0 +1,30 @@
+// Wall-clock timer used by the benchmark harness.
+#ifndef DNE_COMMON_TIMER_H_
+#define DNE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dne {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_COMMON_TIMER_H_

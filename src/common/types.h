@@ -1,0 +1,47 @@
+// Core scalar types and the Edge record shared by every module.
+#ifndef DNE_COMMON_TYPES_H_
+#define DNE_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <tuple>
+
+namespace dne {
+
+/// Vertex identifier. 64-bit so that trillion-edge-scale graphs (2^30 vertices
+/// and beyond) are representable without remapping.
+using VertexId = std::uint64_t;
+
+/// Dense edge identifier; indexes into the canonical edge array of a Graph.
+using EdgeId = std::uint64_t;
+
+/// Partition identifier (the paper's `p` in `P`). 32 bits: the paper targets
+/// up to ~1K partitions; 2^32 leaves ample headroom.
+using PartitionId = std::uint32_t;
+
+/// Sentinel meaning "edge not yet allocated to any partition".
+inline constexpr PartitionId kNoPartition =
+    std::numeric_limits<PartitionId>::max();
+
+/// Sentinel for an invalid / absent vertex.
+inline constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+
+/// An undirected edge e_{u,v}. Canonical form (used by EdgeList::Normalize)
+/// stores src <= dst so each undirected edge has exactly one representation.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  friend bool operator!=(const Edge& a, const Edge& b) { return !(a == b); }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+  }
+};
+
+}  // namespace dne
+
+#endif  // DNE_COMMON_TYPES_H_

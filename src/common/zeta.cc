@@ -1,0 +1,30 @@
+#include "common/zeta.h"
+
+#include <cmath>
+
+namespace dne {
+
+double HurwitzZeta(double s, double a) {
+  // Sum the first N terms directly, then add the Euler-Maclaurin tail:
+  //   sum_{k>=N} (k+a)^-s ~= (N+a)^{1-s}/(s-1) + 0.5*(N+a)^-s
+  //                          + s/12*(N+a)^{-s-1} - ...
+  constexpr int kDirectTerms = 64;
+  double sum = 0.0;
+  for (int k = 0; k < kDirectTerms; ++k) {
+    sum += std::pow(k + a, -s);
+  }
+  const double x = kDirectTerms + a;
+  sum += std::pow(x, 1.0 - s) / (s - 1.0);
+  sum += 0.5 * std::pow(x, -s);
+  sum += s / 12.0 * std::pow(x, -s - 1.0);
+  sum -= s * (s + 1.0) * (s + 2.0) / 720.0 * std::pow(x, -s - 3.0);
+  return sum;
+}
+
+double RiemannZeta(double s) { return HurwitzZeta(s, 1.0); }
+
+double PowerLawMeanDegree(double alpha) {
+  return RiemannZeta(alpha - 1.0) / RiemannZeta(alpha);
+}
+
+}  // namespace dne

@@ -1,0 +1,22 @@
+// Riemann / Hurwitz zeta evaluation for the theoretical bounds of Section 6.
+#ifndef DNE_COMMON_ZETA_H_
+#define DNE_COMMON_ZETA_H_
+
+namespace dne {
+
+/// Hurwitz zeta zeta(s, a) = sum_{k>=0} (k + a)^{-s}, for s > 1, a > 0.
+/// Direct summation with an Euler-Maclaurin tail correction; accurate to
+/// ~1e-12 for the s in (1, 4] range used by the power-law bounds.
+double HurwitzZeta(double s, double a);
+
+/// Riemann zeta zeta(s) = HurwitzZeta(s, 1), s > 1.
+double RiemannZeta(double s);
+
+/// Mean degree of the power-law graph model of Eq. (6) with d_min = 1:
+/// E[d] = zeta(alpha - 1) / zeta(alpha). (Sec. 6, "Comparison with the Other
+/// Distributed Methods".)
+double PowerLawMeanDegree(double alpha);
+
+}  // namespace dne
+
+#endif  // DNE_COMMON_ZETA_H_

@@ -1,0 +1,30 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "core/dne.h"
+//
+//   dne::Graph g = dne::Graph::Build(dne::GenerateRmat({.scale = 16}));
+//   auto part = dne::MustCreatePartitioner("dne");
+//   dne::EdgePartition ep;
+//   dne::Status st = part->Partition(g, 64, &ep);
+//   auto metrics = dne::ComputePartitionMetrics(g, ep);
+#ifndef DNE_CORE_DNE_H_
+#define DNE_CORE_DNE_H_
+
+#include "common/status.h"    // IWYU pragma: export
+#include "common/types.h"     // IWYU pragma: export
+#include "core/factory.h"     // IWYU pragma: export
+#include "core/version.h"     // IWYU pragma: export
+#include "gen/chung_lu.h"     // IWYU pragma: export
+#include "gen/dataset.h"      // IWYU pragma: export
+#include "gen/erdos_renyi.h"  // IWYU pragma: export
+#include "gen/lattice.h"      // IWYU pragma: export
+#include "gen/rmat.h"         // IWYU pragma: export
+#include "gen/ring_complete.h"  // IWYU pragma: export
+#include "graph/graph.h"      // IWYU pragma: export
+#include "graph/graph_io.h"   // IWYU pragma: export
+#include "metrics/partition_metrics.h"  // IWYU pragma: export
+#include "metrics/theory.h"   // IWYU pragma: export
+#include "partition/dne/dne_partitioner.h"  // IWYU pragma: export
+#include "partition/partitioner.h"          // IWYU pragma: export
+
+#endif  // DNE_CORE_DNE_H_

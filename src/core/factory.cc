@@ -1,0 +1,103 @@
+#include "core/factory.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "partition/dbh_partitioner.h"
+#include "partition/dne/dne_partitioner.h"
+#include "partition/fennel_partitioner.h"
+#include "partition/ginger_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "partition/hdrf_partitioner.h"
+#include "partition/hybrid_hash_partitioner.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/ne_partitioner.h"
+#include "partition/oblivious_partitioner.h"
+#include "partition/random_partitioner.h"
+#include "partition/sheep_partitioner.h"
+#include "partition/sne_partitioner.h"
+#include "partition/spinner_partitioner.h"
+#include "partition/xtrapulp_partitioner.h"
+
+namespace dne {
+
+std::vector<std::string> KnownPartitioners() {
+  return {"random", "grid",    "dbh",      "hybrid", "oblivious",
+          "ginger", "hdrf",    "fennel",   "ne",     "sne",    "spinner",
+          "xtrapulp", "sheep", "multilevel", "dne"};
+}
+
+Status CreatePartitioner(const std::string& name,
+                         const FactoryOptions& options,
+                         std::unique_ptr<Partitioner>* out) {
+  if (name == "random") {
+    *out = std::make_unique<RandomPartitioner>(options.seed);
+  } else if (name == "grid") {
+    *out = std::make_unique<GridPartitioner>(options.seed);
+  } else if (name == "dbh") {
+    *out = std::make_unique<DbhPartitioner>(options.seed);
+  } else if (name == "hybrid") {
+    *out = std::make_unique<HybridHashPartitioner>(options.hybrid_threshold,
+                                                   options.seed);
+  } else if (name == "oblivious") {
+    *out = std::make_unique<ObliviousPartitioner>(options.seed);
+  } else if (name == "ginger") {
+    GingerOptions g;
+    g.degree_threshold = options.hybrid_threshold;
+    g.seed = options.seed;
+    *out = std::make_unique<GingerPartitioner>(g);
+  } else if (name == "hdrf") {
+    HdrfOptions h;
+    h.seed = options.seed;
+    *out = std::make_unique<HdrfPartitioner>(h);
+  } else if (name == "fennel") {
+    FennelOptions f;
+    f.seed = options.seed;
+    *out = std::make_unique<FennelPartitioner>(f);
+  } else if (name == "ne") {
+    NeOptions n;
+    n.alpha = options.alpha;
+    n.seed = options.seed;
+    *out = std::make_unique<NePartitioner>(n);
+  } else if (name == "sne") {
+    SneOptions s;
+    s.alpha = options.alpha;
+    s.seed = options.seed;
+    *out = std::make_unique<SnePartitioner>(s);
+  } else if (name == "spinner") {
+    *out = std::make_unique<SpinnerPartitioner>(options.lp_iterations,
+                                                options.seed);
+  } else if (name == "xtrapulp") {
+    *out = std::make_unique<XtraPulpPartitioner>(options.lp_iterations,
+                                                 options.seed);
+  } else if (name == "sheep") {
+    *out = std::make_unique<SheepPartitioner>(options.seed);
+  } else if (name == "multilevel") {
+    MultilevelOptions m;
+    m.seed = options.seed;
+    *out = std::make_unique<MultilevelPartitioner>(m);
+  } else if (name == "dne") {
+    DneOptions d;
+    d.alpha = options.alpha;
+    d.lambda = options.lambda;
+    d.seed = options.seed;
+    *out = std::make_unique<DnePartitioner>(d);
+  } else {
+    return Status::NotFound("unknown partitioner: " + name);
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Partitioner> MustCreatePartitioner(
+    const std::string& name, const FactoryOptions& options) {
+  std::unique_ptr<Partitioner> p;
+  Status st = CreatePartitioner(name, options, &p);
+  if (!st.ok()) {
+    std::fprintf(stderr, "MustCreatePartitioner(%s): %s\n", name.c_str(),
+                 st.ToString().c_str());
+    std::abort();
+  }
+  return p;
+}
+
+}  // namespace dne

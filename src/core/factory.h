@@ -1,0 +1,42 @@
+// Partitioner factory: string-keyed construction for benches, examples and
+// downstream users.
+#ifndef DNE_CORE_FACTORY_H_
+#define DNE_CORE_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partitioner.h"
+
+namespace dne {
+
+/// Knobs shared across partitioner families; each implementation picks the
+/// fields it understands.
+struct FactoryOptions {
+  std::uint64_t seed = 1;
+  double alpha = 1.1;     ///< balance slack (NE / SNE / DNE)
+  double lambda = 0.1;    ///< DNE expansion factor
+  int lp_iterations = 20; ///< label-propagation sweeps
+  std::size_t hybrid_threshold = 100;  ///< hybrid/ginger degree threshold
+};
+
+/// Known partitioner names, in the paper's presentation order:
+/// "random", "grid", "dbh", "hybrid", "oblivious", "ginger", "hdrf",
+/// "ne", "sne", "spinner", "xtrapulp", "sheep", "multilevel", "dne".
+std::vector<std::string> KnownPartitioners();
+
+/// Creates a partitioner by name. Returns NotFound for unknown names.
+Status CreatePartitioner(const std::string& name,
+                         const FactoryOptions& options,
+                         std::unique_ptr<Partitioner>* out);
+
+/// Convenience wrapper that aborts on error (benches/examples).
+std::unique_ptr<Partitioner> MustCreatePartitioner(
+    const std::string& name, const FactoryOptions& options = FactoryOptions{});
+
+}  // namespace dne
+
+#endif  // DNE_CORE_FACTORY_H_

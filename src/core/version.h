@@ -1,0 +1,14 @@
+// Library version.
+#ifndef DNE_CORE_VERSION_H_
+#define DNE_CORE_VERSION_H_
+
+namespace dne {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace dne
+
+#endif  // DNE_CORE_VERSION_H_

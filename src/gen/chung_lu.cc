@@ -1,0 +1,56 @@
+#include "gen/chung_lu.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dne {
+
+EdgeList GenerateChungLu(const ChungLuOptions& options) {
+  SplitMix64 rng(options.seed ^ 0xa02bdbf7bb3c0a7ULL);
+  const std::uint64_t n = options.num_vertices;
+  std::uint64_t dmax = options.max_degree;
+  if (dmax == 0) {
+    dmax = static_cast<std::uint64_t>(
+        std::sqrt(static_cast<double>(n)));
+  }
+
+  // Inverse-CDF sampling of the discrete power law truncated at dmax:
+  // P(d >= x) ~ x^{-(alpha-1)} for x >= dmin.
+  const double exponent = -1.0 / (options.alpha - 1.0);
+  std::vector<std::uint64_t> degree(n);
+  std::uint64_t total = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    double u = rng.NextDouble();
+    if (u <= 0.0) u = 1e-18;
+    double d = static_cast<double>(options.min_degree) * std::pow(u, exponent);
+    std::uint64_t di = static_cast<std::uint64_t>(d);
+    if (di < options.min_degree) di = options.min_degree;
+    if (di > dmax) di = dmax;
+    degree[v] = di;
+    total += di;
+  }
+
+  // Edge sampling: pick both endpoints degree-proportionally via a flat
+  // "stub" array (configuration-model style; collisions removed later).
+  std::vector<VertexId> stubs;
+  stubs.reserve(total);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint64_t k = 0; k < degree[v]; ++k) stubs.push_back(v);
+  }
+
+  EdgeList list;
+  list.SetNumVertices(n);
+  const std::uint64_t num_edges = total / 2;
+  list.Reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    VertexId u = stubs[rng.Below(stubs.size())];
+    VertexId v = stubs[rng.Below(stubs.size())];
+    list.Add(u, v);
+  }
+  return list;
+}
+
+}  // namespace dne

@@ -1,0 +1,28 @@
+// Chung-Lu power-law generator: draws an explicit power-law degree sequence
+// (Eq. (6) of the paper, d_min = 1) and samples edges proportional to degree
+// products. Used to validate the Table 1 theoretical bounds empirically.
+#ifndef DNE_GEN_CHUNG_LU_H_
+#define DNE_GEN_CHUNG_LU_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace dne {
+
+struct ChungLuOptions {
+  std::uint64_t num_vertices = 1 << 16;
+  /// Power-law exponent alpha (typically 2 < alpha < 3).
+  double alpha = 2.4;
+  std::uint64_t min_degree = 1;
+  /// Cap on sampled degrees; 0 means sqrt(num_vertices) (the standard
+  /// structural-cutoff that keeps Chung-Lu simple sampling unbiased).
+  std::uint64_t max_degree = 0;
+  std::uint64_t seed = 1;
+};
+
+EdgeList GenerateChungLu(const ChungLuOptions& options);
+
+}  // namespace dne
+
+#endif  // DNE_GEN_CHUNG_LU_H_

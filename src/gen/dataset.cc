@@ -1,0 +1,110 @@
+#include "gen/dataset.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/lattice.h"
+#include "gen/rmat.h"
+
+namespace dne {
+
+namespace {
+
+// Per-dataset RMAT recipe. Scale/edge-factor are chosen so that |V| and
+// |E|/|V| track the paper's Table 2 graphs at roughly 1/1000 the size:
+//   Pokec      1.63M/30.6M  (EF ~ 19)  -> scale 14, EF 19
+//   Flickr     2.30M/33.1M  (EF ~ 14)  -> scale 14, EF 14
+//   LiveJ.     4.84M/68.5M  (EF ~ 14)  -> scale 15, EF 14
+//   Orkut      3.07M/117.2M (EF ~ 38)  -> scale 14, EF 38
+//   Twitter    41.7M/1.46B  (EF ~ 35)  -> scale 15, EF 35
+//   Friendster 65.6M/1.80B  (EF ~ 27)  -> scale 16, EF 27
+//   WebUK      105.2M/3.72B (EF ~ 35)  -> scale 16, EF 35 (web: stronger
+//              community structure -> higher RMAT 'a')
+struct Recipe {
+  DatasetInfo info;
+  int scale;
+  int edge_factor;
+  double a;  // RMAT skew knob; b = c = (1 - a - d)/2, d fixed at 0.05.
+};
+
+const Recipe kSkewed[] = {
+    {{"pokec-sim", "Pokec", "social", 1.63, 30.62}, 14, 19, 0.57},
+    {{"flickr-sim", "Flickr", "social", 2.30, 33.14}, 14, 14, 0.57},
+    {{"livej-sim", "LiveJ.", "social", 4.84, 68.47}, 15, 14, 0.57},
+    {{"orkut-sim", "Orkut", "social", 3.07, 117.18}, 14, 38, 0.57},
+    {{"twitter-sim", "Twitter", "social", 41.65, 1460.0}, 15, 35, 0.57},
+    {{"friendster-sim", "Friendster", "social", 65.60, 1800.0}, 16, 27, 0.57},
+    {{"webuk-sim", "WebUK", "web", 105.15, 3720.0}, 16, 35, 0.65},
+};
+
+struct RoadRecipe {
+  DatasetInfo info;
+  std::uint64_t width;
+  std::uint64_t height;
+};
+
+// Paper road graphs: California 1.96M/2.76M, Pennsylvania 1.08M/1.54M,
+// Texas 1.37M/1.92M — mean degree ~2.8, reproduced at ~1/40 scale.
+const RoadRecipe kRoads[] = {
+    {{"calif-road-sim", "California", "road", 1.96, 2.76}, 256, 192},
+    {{"penn-road-sim", "Pennsylvania", "road", 1.08, 1.54}, 176, 152},
+    {{"texas-road-sim", "Texas", "road", 1.37, 1.92}, 208, 168},
+};
+
+}  // namespace
+
+std::vector<DatasetInfo> SkewedDatasets() {
+  std::vector<DatasetInfo> out;
+  for (const Recipe& r : kSkewed) out.push_back(r.info);
+  return out;
+}
+
+std::vector<DatasetInfo> RoadDatasets() {
+  std::vector<DatasetInfo> out;
+  for (const RoadRecipe& r : kRoads) out.push_back(r.info);
+  return out;
+}
+
+Status BuildDataset(const std::string& name, int scale_shift, Graph* out) {
+  for (const Recipe& r : kSkewed) {
+    if (r.info.name != name) continue;
+    RmatOptions opt;
+    opt.scale = r.scale - scale_shift;
+    if (opt.scale < 4) {
+      return Status::InvalidArgument("scale_shift too large for " + name);
+    }
+    opt.edge_factor = r.edge_factor;
+    opt.a = r.a;
+    opt.b = opt.c = (1.0 - r.a - 0.05) / 2.0;
+    opt.seed = 0x9a3f + static_cast<std::uint64_t>(r.scale);
+    *out = Graph::Build(GenerateRmat(opt));
+    return Status::OK();
+  }
+  for (const RoadRecipe& r : kRoads) {
+    if (r.info.name != name) continue;
+    LatticeOptions opt;
+    int shift = scale_shift / 2;
+    opt.width = shift >= 0 ? (r.width >> shift) : (r.width << -shift);
+    opt.height = shift >= 0 ? (r.height >> shift) : (r.height << -shift);
+    if (opt.width < 4 || opt.height < 4) {
+      return Status::InvalidArgument("scale_shift too large for " + name);
+    }
+    opt.seed = 0x60ad + r.width;
+    *out = Graph::Build(GenerateLattice(opt));
+    return Status::OK();
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Graph MustBuildDataset(const std::string& name, int scale_shift) {
+  Graph g;
+  Status st = BuildDataset(name, scale_shift, &g);
+  if (!st.ok()) {
+    std::fprintf(stderr, "MustBuildDataset(%s): %s\n", name.c_str(),
+                 st.ToString().c_str());
+    std::abort();
+  }
+  return g;
+}
+
+}  // namespace dne

@@ -1,0 +1,46 @@
+// Dataset registry: scaled-down synthetic stand-ins for the paper's
+// evaluation graphs (Table 2 real-world graphs and the Sec. 7.7 road
+// networks). See DESIGN.md §1 for the substitution rationale.
+#ifndef DNE_GEN_DATASET_H_
+#define DNE_GEN_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dne {
+
+/// Descriptor of a named benchmark dataset.
+struct DatasetInfo {
+  std::string name;        ///< e.g. "pokec-sim"
+  std::string paper_name;  ///< e.g. "Pokec" (Table 2)
+  /// Category: "social", "web", "road".
+  std::string kind;
+  /// Paper-scale sizes, for the record.
+  double paper_vertices_m = 0.0;  ///< millions
+  double paper_edges_m = 0.0;     ///< millions
+};
+
+/// Names of the 7 skewed-graph stand-ins, in Table 2 order:
+/// pokec-sim, flickr-sim, livej-sim, orkut-sim, twitter-sim,
+/// friendster-sim, webuk-sim.
+std::vector<DatasetInfo> SkewedDatasets();
+
+/// Names of the 3 road-network stand-ins (Sec. 7.7): calif-road-sim,
+/// penn-road-sim, texas-road-sim.
+std::vector<DatasetInfo> RoadDatasets();
+
+/// Materialises a dataset by name at a given scale shrink. `scale_shift`
+/// halves the vertex count per unit (0 = the default ~1/1000-of-paper scale
+/// used by the benches; negative values enlarge).
+Status BuildDataset(const std::string& name, int scale_shift, Graph* out);
+
+/// Convenience: BuildDataset with scale_shift 0; aborts on unknown name.
+Graph MustBuildDataset(const std::string& name, int scale_shift = 0);
+
+}  // namespace dne
+
+#endif  // DNE_GEN_DATASET_H_

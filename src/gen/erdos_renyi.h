@@ -1,0 +1,19 @@
+// Erdos-Renyi G(n, m) generator: the unskewed random baseline used by tests
+// and ablation benches.
+#ifndef DNE_GEN_ERDOS_RENYI_H_
+#define DNE_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace dne {
+
+/// Samples `num_edges` endpoints uniformly from [0, num_vertices)^2.
+/// Self-loops/duplicates may occur; Graph::Build removes them.
+EdgeList GenerateErdosRenyi(std::uint64_t num_vertices,
+                            std::uint64_t num_edges, std::uint64_t seed = 1);
+
+}  // namespace dne
+
+#endif  // DNE_GEN_ERDOS_RENYI_H_

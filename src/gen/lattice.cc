@@ -1,0 +1,32 @@
+#include "gen/lattice.h"
+
+#include "common/random.h"
+
+namespace dne {
+
+EdgeList GenerateLattice(const LatticeOptions& options) {
+  SplitMix64 rng(options.seed ^ 0x790e3f1fca2b1aebULL);
+  const std::uint64_t w = options.width;
+  const std::uint64_t h = options.height;
+  EdgeList list;
+  list.SetNumVertices(w * h);
+  list.Reserve(2 * w * h);
+  auto id = [w](std::uint64_t x, std::uint64_t y) { return y * w + x; };
+  for (std::uint64_t y = 0; y < h; ++y) {
+    for (std::uint64_t x = 0; x < w; ++x) {
+      if (x + 1 < w && rng.NextDouble() < options.keep_probability) {
+        list.Add(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < h && rng.NextDouble() < options.keep_probability) {
+        list.Add(id(x, y), id(x, y + 1));
+      }
+      if (x + 1 < w && y + 1 < h &&
+          rng.NextDouble() < options.diagonal_probability) {
+        list.Add(id(x, y), id(x + 1, y + 1));
+      }
+    }
+  }
+  return list;
+}
+
+}  // namespace dne

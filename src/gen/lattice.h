@@ -1,0 +1,28 @@
+// Road-network stand-in: a 2-D lattice with random edge deletions and a few
+// diagonal shortcuts. Matches the structural profile of the paper's Sec. 7.7
+// road graphs (California/Pennsylvania/Texas): mean degree ~2.5-2.8, tiny
+// maximum degree, huge diameter, no skew.
+#ifndef DNE_GEN_LATTICE_H_
+#define DNE_GEN_LATTICE_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace dne {
+
+struct LatticeOptions {
+  std::uint64_t width = 256;
+  std::uint64_t height = 256;
+  /// Probability of *keeping* each lattice edge (roads have dead ends).
+  double keep_probability = 0.9;
+  /// Probability of adding a diagonal shortcut at a cell (highway ramps).
+  double diagonal_probability = 0.05;
+  std::uint64_t seed = 1;
+};
+
+EdgeList GenerateLattice(const LatticeOptions& options);
+
+}  // namespace dne
+
+#endif  // DNE_GEN_LATTICE_H_

@@ -1,0 +1,26 @@
+#include "gen/ring_complete.h"
+
+namespace dne {
+
+EdgeList GenerateRingComplete(std::uint64_t n) {
+  EdgeList list;
+  const std::uint64_t ring_size = n * (n - 1) / 2;
+  list.Reserve(n * (n - 1));
+  // K_n on [0, n).
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::uint64_t v = u + 1; v < n; ++v) {
+      list.Add(u, v);
+    }
+  }
+  // Ring on [n, n + ring_size).
+  for (std::uint64_t i = 0; i < ring_size; ++i) {
+    list.Add(n + i, n + (i + 1) % ring_size);
+  }
+  return list;
+}
+
+std::uint64_t RingCompleteTightPartitions(std::uint64_t n) {
+  return n * (n - 1) / 2;
+}
+
+}  // namespace dne

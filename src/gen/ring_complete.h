@@ -1,0 +1,23 @@
+// The ring + complete-graph construction from the tightness proof of
+// Theorem 2: a complete graph K_n (n vertices, n(n-1)/2 edges) disjoint from
+// a ring of n(n-1)/2 vertices (and as many edges).
+#ifndef DNE_GEN_RING_COMPLETE_H_
+#define DNE_GEN_RING_COMPLETE_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace dne {
+
+/// Builds the Theorem-2 graph for parameter n (n >= 3).
+/// Vertices [0, n) form K_n; vertices [n, n + n(n-1)/2) form the ring.
+/// Total: |V| = n(n-1)/2 + n, |E| = n(n-1).
+EdgeList GenerateRingComplete(std::uint64_t n);
+
+/// The partition count |P| = n(n-1)/2 that drives RF toward the upper bound.
+std::uint64_t RingCompleteTightPartitions(std::uint64_t n);
+
+}  // namespace dne
+
+#endif  // DNE_GEN_RING_COMPLETE_H_

@@ -1,0 +1,35 @@
+// RMAT (recursive matrix) generator — the paper's synthetic workload
+// (Sec. 7.1): Graph500 parameters, ScaleN = 2^N vertices, edge factor EF.
+#ifndef DNE_GEN_RMAT_H_
+#define DNE_GEN_RMAT_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace dne {
+
+/// Parameters of the RMAT model [12]. Defaults follow the Graph500
+/// specification (a=0.57, b=0.19, c=0.19, d=0.05), the setting the paper uses.
+struct RmatOptions {
+  /// log2 of the number of vertices ("ScaleN is a graph with 2^N vertices").
+  int scale = 16;
+  /// Average edges per vertex; the paper sweeps EF in {2^4 .. 2^10}.
+  int edge_factor = 16;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c.
+  std::uint64_t seed = 1;
+  /// Graph500-style vertex-id scrambling, decorrelating id and degree.
+  bool scramble_ids = true;
+};
+
+/// Generates scale*edge_factor raw edge samples (duplicates and self-loops
+/// included, as in the real model — Graph::Build deduplicates; the paper
+/// notes DNE "compacts the duplicated edges" for high edge factors).
+EdgeList GenerateRmat(const RmatOptions& options);
+
+}  // namespace dne
+
+#endif  // DNE_GEN_RMAT_H_

@@ -1,0 +1,31 @@
+#include "graph/csr.h"
+
+#include "graph/edge_list.h"
+
+namespace dne {
+
+Csr Csr::Build(const EdgeList& list) {
+  Csr csr;
+  const VertexId n = list.NumVertices();
+  const auto& edges = list.edges();
+  csr.num_edges_ = edges.size();
+  csr.offsets_.assign(n + 1, 0);
+
+  for (const Edge& e : edges) {
+    ++csr.offsets_[e.src + 1];
+    ++csr.offsets_[e.dst + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+
+  csr.adj_.resize(2 * edges.size());
+  std::vector<std::uint64_t> cursor(csr.offsets_.begin(),
+                                    csr.offsets_.end() - 1);
+  for (EdgeId i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    csr.adj_[cursor[e.src]++] = Adjacency{e.dst, i};
+    csr.adj_[cursor[e.dst]++] = Adjacency{e.src, i};
+  }
+  return csr;
+}
+
+}  // namespace dne

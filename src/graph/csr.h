@@ -1,0 +1,66 @@
+// Compressed sparse row adjacency with edge-id payloads.
+#ifndef DNE_GRAPH_CSR_H_
+#define DNE_GRAPH_CSR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dne {
+
+class EdgeList;
+
+/// One adjacency entry: the neighbouring vertex and the id of the canonical
+/// (undirected) edge connecting to it. Edge ids let allocation state live in
+/// one flat array even though each undirected edge appears in two rows.
+struct Adjacency {
+  VertexId to;
+  EdgeId edge;
+};
+
+/// Compressed sparse row representation of an undirected graph.
+///
+/// Both directions of every canonical edge are materialised, so
+/// `neighbors(v).size() == degree(v)`. The structure is immutable after
+/// Build. This is the paper's storage choice (Sec. 4): "The core components
+/// of the graph are stored in CSR" — offsets + adjacency arrays only, no
+/// hash maps.
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from a *normalized* EdgeList (see EdgeList::Normalize). Edge i of
+  /// the list gets EdgeId i.
+  static Csr Build(const EdgeList& list);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeId num_edges() const { return num_edges_; }
+
+  std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const Adjacency> neighbors(VertexId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  /// Approximate resident bytes of the structure (for memory accounting).
+  std::size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(std::uint64_t) +
+           adj_.capacity() * sizeof(Adjacency);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size num_vertices + 1
+  std::vector<Adjacency> adj_;          // size 2 * num_edges
+  EdgeId num_edges_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_GRAPH_CSR_H_

@@ -1,0 +1,51 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dne {
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats s;
+  std::vector<std::size_t> degrees;
+  degrees.reserve(g.NumVertices());
+  double log_sum = 0.0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::size_t d = g.degree(v);
+    if (d == 0) continue;
+    degrees.push_back(d);
+    log_sum += std::log(static_cast<double>(d));
+    if (d > s.max_degree) s.max_degree = d;
+  }
+  if (degrees.empty()) return s;
+
+  const double n = static_cast<double>(degrees.size());
+  s.mean_degree = 2.0 * static_cast<double>(g.NumEdges()) / n;
+  s.mle_alpha = (log_sum > 0.0) ? 1.0 + n / log_sum : 0.0;
+
+  std::sort(degrees.begin(), degrees.end());
+  s.median_degree = static_cast<double>(degrees[degrees.size() / 2]);
+
+  std::size_t top = std::max<std::size_t>(1, degrees.size() / 100);
+  std::uint64_t top_sum = 0;
+  for (std::size_t i = degrees.size() - top; i < degrees.size(); ++i) {
+    top_sum += degrees[i];
+  }
+  s.top1pct_edge_share =
+      static_cast<double>(top_sum) / (2.0 * static_cast<double>(g.NumEdges()));
+  return s;
+}
+
+std::vector<std::uint64_t> DegreeHistogram(const Graph& g) {
+  std::size_t max_d = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    max_d = std::max(max_d, g.degree(v));
+  }
+  std::vector<std::uint64_t> hist(max_d + 1, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ++hist[g.degree(v)];
+  }
+  return hist;
+}
+
+}  // namespace dne

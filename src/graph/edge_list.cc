@@ -1,0 +1,46 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace dne {
+
+void EdgeList::SetNumVertices(VertexId n) {
+  if (n > num_vertices_) num_vertices_ = n;
+}
+
+std::size_t EdgeList::Normalize() {
+  const std::size_t before = edges_.size();
+  // Drop self-loops and orient canonically.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < edges_.size(); ++r) {
+    Edge e = edges_[r];
+    if (e.src == e.dst) continue;
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+    edges_[w++] = e;
+  }
+  edges_.resize(w);
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  RecomputeNumVertices();
+  return before - edges_.size();
+}
+
+bool EdgeList::IsNormalized() const {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (e.src >= e.dst) return false;  // self-loop or wrong orientation
+    if (i > 0 && !(edges_[i - 1] < e)) return false;
+  }
+  return true;
+}
+
+void EdgeList::RecomputeNumVertices() {
+  VertexId n = num_vertices_;
+  for (const Edge& e : edges_) {
+    VertexId hi = (e.src > e.dst ? e.src : e.dst) + 1;
+    if (hi > n) n = hi;
+  }
+  num_vertices_ = n;
+}
+
+}  // namespace dne

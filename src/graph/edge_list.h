@@ -1,0 +1,66 @@
+// EdgeList: the canonical mutable edge container fed to Graph::Build.
+#ifndef DNE_GRAPH_EDGE_LIST_H_
+#define DNE_GRAPH_EDGE_LIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dne {
+
+/// A list of undirected edges plus the (inclusive) vertex-id universe size.
+///
+/// Generators emit raw EdgeLists (possibly with self-loops, duplicates and
+/// both orientations); Graph::Build runs Normalize() to obtain the canonical
+/// form the partitioners operate on: self-loop free, deduplicated, src <= dst,
+/// sorted.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(std::vector<Edge> edges) : edges_(std::move(edges)) {
+    RecomputeNumVertices();
+  }
+
+  /// Appends one edge. Does not maintain canonical form.
+  void Add(VertexId u, VertexId v) {
+    edges_.push_back(Edge{u, v});
+    VertexId hi = (u > v ? u : v) + 1;
+    if (hi > num_vertices_) num_vertices_ = hi;
+  }
+
+  /// Reserves capacity for n edges.
+  void Reserve(std::size_t n) { edges_.reserve(n); }
+
+  std::size_t NumEdges() const { return edges_.size(); }
+
+  /// Vertex universe [0, NumVertices()). May exceed max id + 1 if explicitly
+  /// widened with SetNumVertices (isolated vertices are representable).
+  VertexId NumVertices() const { return num_vertices_; }
+
+  /// Widens (never shrinks below max id + 1) the vertex universe.
+  void SetNumVertices(VertexId n);
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& mutable_edges() { return edges_; }
+
+  const Edge& operator[](std::size_t i) const { return edges_[i]; }
+
+  /// Canonicalises in place: drops self-loops, orients src <= dst, sorts,
+  /// removes duplicates. Returns the number of edges removed.
+  std::size_t Normalize();
+
+  /// True if already canonical (sorted, unique, src <= dst, no self-loops).
+  bool IsNormalized() const;
+
+  /// Re-derives num_vertices_ from the maximum id present.
+  void RecomputeNumVertices();
+
+ private:
+  std::vector<Edge> edges_;
+  VertexId num_vertices_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,5 @@
+#include "graph/graph.h"
+
+// Graph is header-only today; this TU anchors the type for the library and
+// keeps a stable home for future out-of-line members.
+namespace dne {}  // namespace dne

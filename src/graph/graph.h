@@ -1,0 +1,62 @@
+// Graph: immutable canonical edge array + CSR adjacency, the input to every
+// partitioner.
+#ifndef DNE_GRAPH_GRAPH_H_
+#define DNE_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+
+namespace dne {
+
+/// An undirected, unweighted graph G(V, E) in the paper's notation.
+///
+/// Invariants after Build:
+///  * `edges()` is canonical: self-loop free, deduplicated, src <= dst,
+///    sorted; edge i has EdgeId i.
+///  * `csr()` materialises both directions of each edge with that EdgeId.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Canonicalises `list` (Normalize) and builds the CSR.
+  static Graph Build(EdgeList list) {
+    list.Normalize();
+    return FromNormalized(std::move(list));
+  }
+
+  /// Builds from an already-canonical EdgeList (checked in debug builds).
+  static Graph FromNormalized(EdgeList list) {
+    Graph g;
+    g.edges_ = std::move(list);
+    g.csr_ = Csr::Build(g.edges_);
+    return g;
+  }
+
+  VertexId NumVertices() const { return edges_.NumVertices(); }
+  EdgeId NumEdges() const { return edges_.NumEdges(); }
+
+  const EdgeList& edges() const { return edges_; }
+  const Csr& csr() const { return csr_; }
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  std::size_t degree(VertexId v) const { return csr_.degree(v); }
+  std::span<const Adjacency> neighbors(VertexId v) const {
+    return csr_.neighbors(v);
+  }
+
+  /// Approximate resident bytes (edge array + CSR), for memory accounting.
+  std::size_t MemoryBytes() const {
+    return edges_.NumEdges() * sizeof(Edge) + csr_.MemoryBytes();
+  }
+
+ private:
+  EdgeList edges_;
+  Csr csr_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_GRAPH_GRAPH_H_

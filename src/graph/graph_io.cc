@@ -1,0 +1,83 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dne {
+
+namespace {
+constexpr std::uint64_t kBinaryMagic = 0x444e455f47524148ULL;  // "DNE_GRAH"
+}  // namespace
+
+Status LoadEdgeListText(const std::string& path, EdgeList* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  EdgeList list;
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    std::uint64_t u, v;
+    if (!(ss >> u >> v)) {
+      return Status::IOError(path + ":" + std::to_string(lineno) +
+                             ": malformed edge line");
+    }
+    list.Add(u, v);
+  }
+  *out = std::move(list);
+  return Status::OK();
+}
+
+Status SaveEdgeListText(const std::string& path, const EdgeList& list) {
+  std::ofstream outf(path);
+  if (!outf) return Status::IOError("cannot open " + path);
+  outf << "# " << list.NumVertices() << " " << list.NumEdges() << "\n";
+  for (const Edge& e : list.edges()) {
+    outf << e.src << " " << e.dst << "\n";
+  }
+  if (!outf) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+Status LoadEdgeListBinary(const std::string& path, EdgeList* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::uint64_t magic = 0, nv = 0, ne = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&nv), sizeof(nv));
+  in.read(reinterpret_cast<char*>(&ne), sizeof(ne));
+  if (!in || magic != kBinaryMagic) {
+    return Status::IOError(path + ": bad magic (not a DNE binary edge list)");
+  }
+  std::vector<Edge> edges(ne);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(ne * sizeof(Edge)));
+  if (!in) return Status::IOError(path + ": truncated edge payload");
+  EdgeList list(std::move(edges));
+  list.SetNumVertices(nv);
+  *out = std::move(list);
+  return Status::OK();
+}
+
+Status SaveEdgeListBinary(const std::string& path, const EdgeList& list) {
+  std::ofstream outf(path, std::ios::binary);
+  if (!outf) return Status::IOError("cannot open " + path);
+  const std::uint64_t magic = kBinaryMagic;
+  const std::uint64_t nv = list.NumVertices();
+  const std::uint64_t ne = list.NumEdges();
+  outf.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  outf.write(reinterpret_cast<const char*>(&nv), sizeof(nv));
+  outf.write(reinterpret_cast<const char*>(&ne), sizeof(ne));
+  outf.write(reinterpret_cast<const char*>(list.edges().data()),
+             static_cast<std::streamsize>(ne * sizeof(Edge)));
+  if (!outf) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+}  // namespace dne

@@ -1,0 +1,28 @@
+// Text (SNAP-style) and binary edge-list persistence.
+#ifndef DNE_GRAPH_GRAPH_IO_H_
+#define DNE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+
+namespace dne {
+
+/// Loads a whitespace-separated "u v" edge list (SNAP format). Lines starting
+/// with '#' or '%' are comments. Vertex ids must be non-negative integers.
+Status LoadEdgeListText(const std::string& path, EdgeList* out);
+
+/// Writes "u v" lines, one edge per line, preceded by a "# vertices edges"
+/// comment header.
+Status SaveEdgeListText(const std::string& path, const EdgeList& list);
+
+/// Binary format: u64 magic, u64 num_vertices, u64 num_edges, then
+/// num_edges * {u64 src, u64 dst}. An order of magnitude faster to load than
+/// text for large graphs.
+Status LoadEdgeListBinary(const std::string& path, EdgeList* out);
+Status SaveEdgeListBinary(const std::string& path, const EdgeList& list);
+
+}  // namespace dne
+
+#endif  // DNE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,73 @@
+#include "graph/metis_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dne {
+
+Status LoadMetisGraph(const std::string& path, Graph* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  // Header (skipping comment lines that start with '%').
+  std::uint64_t n = 0, m = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream header(line);
+    if (!(header >> n >> m)) {
+      return Status::IOError(path + ": malformed METIS header");
+    }
+    std::string fmt;
+    if (header >> fmt && fmt != "0" && fmt != "00" && fmt != "000") {
+      return Status::NotSupported(path + ": weighted METIS format " + fmt);
+    }
+    break;
+  }
+  EdgeList list;
+  list.SetNumVertices(n);
+  list.Reserve(2 * m);
+  std::uint64_t vertex = 0;
+  while (vertex < n) {
+    if (!std::getline(in, line)) {
+      return Status::IOError(path + ": fewer adjacency lines than vertices");
+    }
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream row(line);
+    std::uint64_t neighbor;
+    while (row >> neighbor) {
+      if (neighbor < 1 || neighbor > n) {
+        return Status::IOError(path + ": neighbour id out of range");
+      }
+      // METIS is 1-based; add each edge once (from its lower endpoint).
+      if (neighbor - 1 > vertex) list.Add(vertex, neighbor - 1);
+    }
+    ++vertex;
+  }
+  Graph g = Graph::Build(std::move(list));
+  if (g.NumEdges() != m) {
+    return Status::IOError(path + ": header claims " + std::to_string(m) +
+                           " edges, found " + std::to_string(g.NumEdges()));
+  }
+  *out = std::move(g);
+  return Status::OK();
+}
+
+Status SaveMetisGraph(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << g.NumVertices() << " " << g.NumEdges() << "\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    bool first = true;
+    for (const Adjacency& a : g.neighbors(v)) {
+      if (!first) out << " ";
+      out << (a.to + 1);  // 1-based
+      first = false;
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+}  // namespace dne

@@ -1,0 +1,23 @@
+// METIS graph-format interop: the de-facto exchange format of the
+// partitioning community (and of the paper's ParMETIS baseline).
+#ifndef DNE_GRAPH_METIS_IO_H_
+#define DNE_GRAPH_METIS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dne {
+
+/// Reads an (unweighted) METIS .graph file: header "n m", then line i
+/// (1-based) lists the neighbours of vertex i. Each undirected edge appears
+/// in both endpoint lines; inconsistent files are rejected.
+Status LoadMetisGraph(const std::string& path, Graph* out);
+
+/// Writes the METIS representation of g.
+Status SaveMetisGraph(const std::string& path, const Graph& g);
+
+}  // namespace dne
+
+#endif  // DNE_GRAPH_METIS_IO_H_

@@ -1,0 +1,88 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+namespace dne {
+
+namespace {
+
+// Builds a Subgraph from a list of (global edge id, endpoints) triples.
+Subgraph FromEdges(const Graph& g, std::vector<EdgeId> edge_ids) {
+  Subgraph sub;
+  sub.global_edges = std::move(edge_ids);
+  sub.global_vertices.reserve(sub.global_edges.size() * 2);
+  for (EdgeId e : sub.global_edges) {
+    sub.global_vertices.push_back(g.edge(e).src);
+    sub.global_vertices.push_back(g.edge(e).dst);
+  }
+  std::sort(sub.global_vertices.begin(), sub.global_vertices.end());
+  sub.global_vertices.erase(
+      std::unique(sub.global_vertices.begin(), sub.global_vertices.end()),
+      sub.global_vertices.end());
+  auto local_of = [&](VertexId v) {
+    return static_cast<VertexId>(
+        std::lower_bound(sub.global_vertices.begin(),
+                         sub.global_vertices.end(), v) -
+        sub.global_vertices.begin());
+  };
+  EdgeList list;
+  list.Reserve(sub.global_edges.size());
+  list.SetNumVertices(sub.global_vertices.size());
+  for (EdgeId e : sub.global_edges) {
+    list.Add(local_of(g.edge(e).src), local_of(g.edge(e).dst));
+  }
+  // Canonical global edges stay canonical and sorted after the monotone
+  // renumbering, so FromNormalized applies.
+  sub.graph = Graph::FromNormalized(std::move(list));
+  return sub;
+}
+
+}  // namespace
+
+Subgraph InducedSubgraph(const Graph& g,
+                         const std::vector<VertexId>& vertices) {
+  std::vector<VertexId> sorted(vertices);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  auto inside = [&](VertexId v) {
+    return std::binary_search(sorted.begin(), sorted.end(), v);
+  };
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (inside(g.edge(e).src) && inside(g.edge(e).dst)) {
+      edges.push_back(e);
+    }
+  }
+  Subgraph sub = FromEdges(g, std::move(edges));
+  // Induced subgraphs keep isolated requested vertices too.
+  if (sub.global_vertices.size() < sorted.size()) {
+    sub.global_vertices = std::move(sorted);
+    // Rebuild with the wider vertex table.
+    Subgraph rebuilt = sub;
+    EdgeList list;
+    list.SetNumVertices(rebuilt.global_vertices.size());
+    auto local_of = [&](VertexId v) {
+      return static_cast<VertexId>(
+          std::lower_bound(rebuilt.global_vertices.begin(),
+                           rebuilt.global_vertices.end(), v) -
+          rebuilt.global_vertices.begin());
+    };
+    for (EdgeId e : rebuilt.global_edges) {
+      list.Add(local_of(g.edge(e).src), local_of(g.edge(e).dst));
+    }
+    rebuilt.graph = Graph::FromNormalized(std::move(list));
+    return rebuilt;
+  }
+  return sub;
+}
+
+Subgraph PartitionSubgraph(const Graph& g, const EdgePartition& partition,
+                           PartitionId p) {
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (partition.Get(e) == p) edges.push_back(e);
+  }
+  return FromEdges(g, std::move(edges));
+}
+
+}  // namespace dne

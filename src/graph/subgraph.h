@@ -1,0 +1,36 @@
+// Subgraph extraction: induced subgraphs and per-partition subgraphs (what
+// each machine of a distributed engine materialises from an EdgePartition).
+#ifndef DNE_GRAPH_SUBGRAPH_H_
+#define DNE_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+/// A subgraph with its vertices renumbered to [0, n'); `global_vertices`
+/// maps local ids back to the parent graph (sorted ascending), and
+/// `global_edges` maps local edge ids to parent edge ids.
+struct Subgraph {
+  Graph graph;
+  std::vector<VertexId> global_vertices;
+  std::vector<EdgeId> global_edges;
+
+  VertexId ToGlobal(VertexId local) const { return global_vertices[local]; }
+};
+
+/// Subgraph induced by `vertices` (edges with BOTH endpoints inside).
+Subgraph InducedSubgraph(const Graph& g,
+                         const std::vector<VertexId>& vertices);
+
+/// The subgraph of partition p: exactly its edges, plus the incident
+/// vertices (the replicas the engine hosts for p).
+Subgraph PartitionSubgraph(const Graph& g, const EdgePartition& partition,
+                           PartitionId p);
+
+}  // namespace dne
+
+#endif  // DNE_GRAPH_SUBGRAPH_H_

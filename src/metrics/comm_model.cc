@@ -1,0 +1,20 @@
+#include "metrics/comm_model.h"
+
+#include "metrics/partition_metrics.h"
+
+namespace dne {
+
+std::uint64_t PredictSyncBytesPerRound(const Graph& g,
+                                       const EdgePartition& partition,
+                                       std::uint64_t payload_bytes) {
+  VertexReplicaSets sets = ComputeVertexReplicaSets(g, partition);
+  const std::uint64_t record = payload_bytes + sizeof(VertexId);
+  std::uint64_t bytes = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const std::size_t k = sets.of(v).size();
+    if (k > 1) bytes += 2 * (k - 1) * record;
+  }
+  return bytes;
+}
+
+}  // namespace dne

@@ -1,0 +1,25 @@
+// Closed-form communication predictor: the per-superstep mirror-sync bytes
+// a vertex-cut engine will move for a given partition — the quantity the
+// replication factor controls (the paper's Table-5 mechanism), available
+// without running an application.
+#ifndef DNE_METRICS_COMM_MODEL_H_
+#define DNE_METRICS_COMM_MODEL_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+/// Predicted bytes of one full gather+scatter round when every replicated
+/// vertex synchronises (the PageRank regime): each of a vertex's k-1
+/// mirrors sends and receives one (vertex id, payload) record.
+///   bytes = sum_v 2 (k_v - 1) (payload + sizeof(VertexId)).
+std::uint64_t PredictSyncBytesPerRound(const Graph& g,
+                                       const EdgePartition& partition,
+                                       std::uint64_t payload_bytes);
+
+}  // namespace dne
+
+#endif  // DNE_METRICS_COMM_MODEL_H_

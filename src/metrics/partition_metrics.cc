@@ -1,0 +1,81 @@
+#include "metrics/partition_metrics.h"
+
+#include <algorithm>
+
+namespace dne {
+
+VertexReplicaSets ComputeVertexReplicaSets(const Graph& g,
+                                           const EdgePartition& partition) {
+  const VertexId n = g.NumVertices();
+  VertexReplicaSets out;
+  // Two-pass bucket build: count, prefix-sum, fill, then per-vertex
+  // sort+unique compaction.
+  std::vector<std::uint64_t> counts(n + 1, 0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    ++counts[ed.src + 1];
+    ++counts[ed.dst + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) counts[v + 1] += counts[v];
+  std::vector<PartitionId> flat(counts[n]);
+  std::vector<std::uint64_t> cursor(counts.begin(), counts.end() - 1);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const PartitionId p = partition.Get(e);
+    flat[cursor[ed.src]++] = p;
+    flat[cursor[ed.dst]++] = p;
+  }
+
+  out.offsets.assign(n + 1, 0);
+  out.partitions.reserve(counts[n] / 2);
+  for (VertexId v = 0; v < n; ++v) {
+    auto begin = flat.begin() + static_cast<std::ptrdiff_t>(counts[v]);
+    auto end = flat.begin() + static_cast<std::ptrdiff_t>(counts[v + 1]);
+    std::sort(begin, end);
+    auto last = std::unique(begin, end);
+    for (auto it = begin; it != last; ++it) out.partitions.push_back(*it);
+    out.offsets[v + 1] = out.partitions.size();
+  }
+  return out;
+}
+
+PartitionMetrics ComputePartitionMetrics(const Graph& g,
+                                         const EdgePartition& partition) {
+  PartitionMetrics m;
+  const std::uint32_t num_parts = partition.num_partitions();
+  m.edges_per_partition = partition.PartitionSizes();
+  m.vertices_per_partition.assign(num_parts, 0);
+
+  VertexReplicaSets sets = ComputeVertexReplicaSets(g, partition);
+  std::uint64_t non_isolated = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto parts = sets.of(v);
+    if (parts.empty()) continue;
+    ++non_isolated;
+    m.total_replicas += parts.size();
+    if (parts.size() >= 2) ++m.cut_vertices;
+    for (PartitionId p : parts) ++m.vertices_per_partition[p];
+  }
+
+  if (non_isolated > 0) {
+    m.replication_factor = static_cast<double>(m.total_replicas) /
+                           static_cast<double>(non_isolated);
+  }
+
+  auto balance = [](const std::vector<std::uint64_t>& xs) {
+    if (xs.empty()) return 0.0;
+    std::uint64_t mx = 0, sum = 0;
+    for (std::uint64_t x : xs) {
+      mx = std::max(mx, x);
+      sum += x;
+    }
+    if (sum == 0) return 0.0;
+    return static_cast<double>(mx) * static_cast<double>(xs.size()) /
+           static_cast<double>(sum);
+  };
+  m.edge_balance = balance(m.edges_per_partition);
+  m.vertex_balance = balance(m.vertices_per_partition);
+  return m;
+}
+
+}  // namespace dne

@@ -1,0 +1,52 @@
+// Quality metrics of an edge partition: replication factor (Eq. (1)),
+// edge/vertex balance (Sec. 7.6).
+#ifndef DNE_METRICS_PARTITION_METRICS_H_
+#define DNE_METRICS_PARTITION_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+/// Quality summary of an edge partition.
+struct PartitionMetrics {
+  /// RF = (1/|V|) * sum_p |V(E_p)| over non-isolated vertices (Eq. (1)).
+  double replication_factor = 0.0;
+  /// EB = max_p |E_p| / mean_p |E_p|.
+  double edge_balance = 0.0;
+  /// VB = max_p |V(E_p)| / mean_p |V(E_p)|.
+  double vertex_balance = 0.0;
+  /// Total vertex replicas sum_p |V(E_p)|.
+  std::uint64_t total_replicas = 0;
+  /// Number of vertices present in >= 2 partitions (cut vertices).
+  std::uint64_t cut_vertices = 0;
+  /// |E_p| per partition.
+  std::vector<std::uint64_t> edges_per_partition;
+  /// |V(E_p)| per partition.
+  std::vector<std::uint64_t> vertices_per_partition;
+};
+
+/// Computes all metrics in one pass over the edges.
+PartitionMetrics ComputePartitionMetrics(const Graph& g,
+                                         const EdgePartition& partition);
+
+/// For each vertex, the set of partitions its edges touch, as a flat
+/// adjacency (offsets + partition ids, sorted per vertex). Exposed for the
+/// app engine (master/mirror construction) and tests.
+struct VertexReplicaSets {
+  std::vector<std::uint64_t> offsets;   ///< size |V|+1
+  std::vector<PartitionId> partitions;  ///< concatenated sorted sets
+  std::span<const PartitionId> of(VertexId v) const {
+    return {partitions.data() + offsets[v], partitions.data() + offsets[v + 1]};
+  }
+};
+
+VertexReplicaSets ComputeVertexReplicaSets(const Graph& g,
+                                           const EdgePartition& partition);
+
+}  // namespace dne
+
+#endif  // DNE_METRICS_PARTITION_METRICS_H_

@@ -1,0 +1,39 @@
+// Theoretical partitioning-quality bounds from Section 6 of the paper:
+// Theorem 1 (Distributed NE upper bound) and the expected replication
+// factors of the hash-based methods on power-law graphs (Table 1, following
+// Xie et al. [49]).
+#ifndef DNE_METRICS_THEORY_H_
+#define DNE_METRICS_THEORY_H_
+
+#include <cstdint>
+
+namespace dne {
+
+/// Theorem 1: RF <= (|E| + |V| + |P|) / |V| for any graph partitioned by
+/// Distributed NE (single-vertex expansion).
+double Theorem1UpperBound(std::uint64_t num_edges, std::uint64_t num_vertices,
+                          std::uint64_t num_partitions);
+
+/// Expected Theorem-1 bound on the power-law graph model of Eq. (6) with
+/// d_min = 1 and |P|/|V| ~= 0:
+///   E[UB] ~= E[|E|/|V|] + 1 = zeta(alpha-1)/(2 zeta(alpha)) + 1.
+double DneExpectedUpperBound(double alpha);
+
+/// Expected replication factor of 1-D random hashing on the power-law model:
+///   E[RF] = E_d[ |P| (1 - (1 - 1/|P|)^d) ].
+double RandomExpectedRf(double alpha, std::uint64_t num_partitions);
+
+/// Expected replication factor of 2-D (grid) hashing: each vertex's edges
+/// fall in its row+column candidate set of size 2*sqrt(|P|) - 1.
+double GridExpectedRf(double alpha, std::uint64_t num_partitions);
+
+/// Expected replication factor of degree-based hashing (DBH [49]): each edge
+/// is hashed by its lower-degree endpoint. For a vertex of degree d, an
+/// incident edge is hashed *away* (by the neighbour) with probability q(d) =
+/// Pr[neighbour degree < d] + 0.5 Pr[equal] under the edge-biased degree
+/// distribution; occupancy over partitions then gives E[A(v)].
+double DbhExpectedRf(double alpha, std::uint64_t num_partitions);
+
+}  // namespace dne
+
+#endif  // DNE_METRICS_THEORY_H_

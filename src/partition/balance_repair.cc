@@ -1,0 +1,101 @@
+#include "partition/balance_repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/hash.h"
+#include "metrics/partition_metrics.h"
+#include "partition/replica_table.h"
+
+namespace dne {
+
+Status RepairBalance(const Graph& g, const BalanceRepairOptions& options,
+                     EdgePartition* partition, BalanceRepairStats* stats) {
+  if (options.alpha < 1.0) {
+    return Status::InvalidArgument("alpha must be >= 1.0");
+  }
+  DNE_RETURN_IF_ERROR(partition->Validate(g));
+  const std::uint32_t num_parts = partition->num_partitions();
+  const std::uint64_t limit = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(options.alpha * static_cast<double>(g.NumEdges()) /
+                       static_cast<double>(num_parts))));
+
+  if (stats != nullptr) {
+    PartitionMetrics before = ComputePartitionMetrics(g, *partition);
+    stats->rf_before = before.replication_factor;
+    stats->eb_before = before.edge_balance;
+    stats->moved_edges = 0;
+  }
+
+  // Replica sets let us price each candidate move: a destination containing
+  // both endpoints costs 0 new replicas, one endpoint costs 1, neither 2
+  // (minus replicas freed at the source, which we approximate as 0 — the
+  // conservative choice).
+  ReplicaTable replicas(g.NumVertices());
+  std::vector<std::uint64_t> load(num_parts, 0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const PartitionId p = partition->Get(e);
+    replicas.Add(ed.src, p);
+    replicas.Add(ed.dst, p);
+    ++load[p];
+  }
+
+  // Destination order: always the currently least-loaded partition below
+  // the limit; tie-break by id for determinism.
+  auto least_loaded = [&]() {
+    PartitionId best = 0;
+    for (PartitionId p = 1; p < num_parts; ++p) {
+      if (load[p] < load[best]) best = p;
+    }
+    return best;
+  };
+
+  std::uint64_t moved = 0;
+  for (PartitionId src = 0; src < num_parts; ++src) {
+    if (load[src] <= limit) continue;
+    // Gather this partition's edges and sort them so the cheapest moves go
+    // first: edges whose endpoints already replicate widely lose nothing.
+    std::vector<EdgeId> own;
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      if (partition->Get(e) == src) own.push_back(e);
+    }
+    auto move_cost = [&](EdgeId e, PartitionId dst) {
+      const Edge& ed = g.edge(e);
+      int cost = 0;
+      if (!replicas.Contains(ed.src, dst)) ++cost;
+      if (!replicas.Contains(ed.dst, dst)) ++cost;
+      return cost;
+    };
+    // Three passes of increasing cost; stop as soon as the load fits.
+    for (int max_cost = 0; max_cost <= 2 && load[src] > limit; ++max_cost) {
+      for (EdgeId e : own) {
+        if (load[src] <= limit) break;
+        if (partition->Get(e) != src) continue;  // already moved
+        const PartitionId dst = least_loaded();
+        if (dst == src || load[dst] >= limit) break;  // nowhere to go
+        if (move_cost(e, dst) > max_cost) continue;
+        partition->Set(e, dst);
+        const Edge& ed = g.edge(e);
+        replicas.Add(ed.src, dst);
+        replicas.Add(ed.dst, dst);
+        --load[src];
+        ++load[dst];
+        ++moved;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    PartitionMetrics after = ComputePartitionMetrics(g, *partition);
+    stats->rf_after = after.replication_factor;
+    stats->eb_after = after.edge_balance;
+    stats->moved_edges = moved;
+  }
+  return Status::OK();
+}
+
+}  // namespace dne

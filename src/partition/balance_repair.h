@@ -1,0 +1,41 @@
+// BalanceRepair: post-pass that restores the Eq. (2) balance constraint
+// (max_p |E_p| < alpha |E| / |P|) on ANY edge partition while increasing the
+// replication factor as little as possible. Useful after partitioner
+// families that trade balance for quality (Ginger, Spinner), and as the
+// library's general repair utility for downstream users.
+#ifndef DNE_PARTITION_BALANCE_REPAIR_H_
+#define DNE_PARTITION_BALANCE_REPAIR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+struct BalanceRepairOptions {
+  /// Target balance slack alpha (>= 1.0).
+  double alpha = 1.1;
+  std::uint64_t seed = 1;
+};
+
+/// Result counters of a repair run.
+struct BalanceRepairStats {
+  std::uint64_t moved_edges = 0;
+  double rf_before = 0.0;
+  double rf_after = 0.0;
+  double eb_before = 0.0;
+  double eb_after = 0.0;
+};
+
+/// Moves edges out of over-full partitions into under-full ones, preferring
+/// moves that do not create new vertex replicas (both endpoints already
+/// present in the destination), then moves with one shared endpoint, then
+/// arbitrary edges. Modifies `partition` in place.
+Status RepairBalance(const Graph& g, const BalanceRepairOptions& options,
+                     EdgePartition* partition, BalanceRepairStats* stats);
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_BALANCE_REPAIR_H_

@@ -1,0 +1,38 @@
+#include "partition/dbh_partitioner.h"
+
+#include "common/hash.h"
+#include "common/timer.h"
+
+namespace dne {
+
+Status DbhPartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
+                                 EdgePartition* out) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  WallTimer timer;
+  *out = EdgePartition(num_partitions, g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const std::size_t du = g.degree(ed.src);
+    const std::size_t dv = g.degree(ed.dst);
+    // Hash by the lower-degree endpoint; break degree ties by vertex hash so
+    // the choice stays symmetric and deterministic.
+    VertexId key;
+    if (du != dv) {
+      key = du < dv ? ed.src : ed.dst;
+    } else {
+      key = HashVertex(ed.src, seed_) < HashVertex(ed.dst, seed_) ? ed.src
+                                                                  : ed.dst;
+    }
+    out->Set(e,
+             static_cast<PartitionId>(HashVertex(key, seed_) % num_partitions));
+  }
+  stats_ = PartitionRunStats{};
+  stats_.wall_seconds = timer.Seconds();
+  stats_.peak_memory_bytes =
+      g.NumEdges() * sizeof(Edge) + g.NumVertices() * sizeof(std::uint32_t);
+  return Status::OK();
+}
+
+}  // namespace dne

@@ -1,0 +1,29 @@
+// DBH: degree-based hashing [49] — each edge is hashed by its lower-degree
+// endpoint so that high-degree vertices (cheap to replicate relative to
+// their edge count) absorb the cuts.
+#ifndef DNE_PARTITION_DBH_PARTITIONER_H_
+#define DNE_PARTITION_DBH_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+class DbhPartitioner : public Partitioner {
+ public:
+  explicit DbhPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  std::string name() const override { return "dbh"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  std::uint64_t seed_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DBH_PARTITIONER_H_

@@ -1,0 +1,237 @@
+#include "partition/dne/allocation_process.h"
+
+#include <algorithm>
+
+namespace dne {
+
+void AllocationProcess::AddEdge(EdgeId e, VertexId u, VertexId v) {
+  build_edges_.push_back(Edge{u, v});
+  build_gids_.push_back(e);
+}
+
+void AllocationProcess::Finalize() {
+  const std::size_t m = build_edges_.size();
+  vertices_.reserve(m * 2);
+  for (const Edge& e : build_edges_) {
+    vertices_.push_back(e.src);
+    vertices_.push_back(e.dst);
+  }
+  std::sort(vertices_.begin(), vertices_.end());
+  vertices_.erase(std::unique(vertices_.begin(), vertices_.end()),
+                  vertices_.end());
+  vertices_.shrink_to_fit();
+  const std::uint32_t nv = static_cast<std::uint32_t>(vertices_.size());
+
+  offsets_.assign(nv + 1, 0);
+  std::vector<std::uint32_t> lu(m), lv(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    lu[i] = LocalIndex(build_edges_[i].src);
+    lv[i] = LocalIndex(build_edges_[i].dst);
+    ++offsets_[lu[i] + 1];
+    ++offsets_[lv[i] + 1];
+  }
+  for (std::uint32_t v = 0; v < nv; ++v) offsets_[v + 1] += offsets_[v];
+  arcs_.resize(2 * m);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    arcs_[cursor[lu[i]]++] = Arc{lv[i], static_cast<std::uint32_t>(i)};
+    arcs_[cursor[lv[i]]++] = Arc{lu[i], static_cast<std::uint32_t>(i)};
+  }
+  edge_gid_ = std::move(build_gids_);
+  edge_done_.assign(m, 0);
+  rest_degree_.assign(nv, 0);
+  for (std::uint32_t v = 0; v < nv; ++v) {
+    rest_degree_[v] = offsets_[v + 1] - offsets_[v];
+  }
+  vertex_parts_.Init(nv,
+                     static_cast<std::uint32_t>(local_count_per_part_.size()));
+  seed_order_.resize(nv);
+  for (std::uint32_t v = 0; v < nv; ++v) seed_order_[v] = v;
+  if (seed_strategy_ != SeedStrategy::kRandom) {
+    const bool ascending = seed_strategy_ == SeedStrategy::kMinDegree;
+    std::sort(seed_order_.begin(), seed_order_.end(),
+              [this, ascending](std::uint32_t a, std::uint32_t b) {
+                const std::uint32_t da = offsets_[a + 1] - offsets_[a];
+                const std::uint32_t db = offsets_[b + 1] - offsets_[b];
+                if (da != db) return ascending ? da < db : da > db;
+                return a < b;
+              });
+  }
+  build_edges_.clear();
+  build_edges_.shrink_to_fit();
+}
+
+std::size_t AllocationProcess::StaticMemoryBytes() const {
+  // The per-machine footprint of the distributed deployment: local CSR,
+  // allocation flags, D_rest counters, inline allocation-id slots. The
+  // edge_gid_ array is NOT counted — a real rank addresses edges by local
+  // index and materialises its own partition; the global-id array exists
+  // only so this in-process simulation can write the shared result.
+  return vertices_.capacity() * sizeof(VertexId) +
+         offsets_.capacity() * sizeof(std::uint32_t) +
+         arcs_.capacity() * sizeof(Arc) +
+         edge_done_.capacity() * sizeof(std::uint8_t) +
+         rest_degree_.capacity() * sizeof(std::uint32_t) +
+         vertex_parts_.InlineBytes() +
+         local_count_per_part_.capacity() * sizeof(std::uint64_t);
+}
+
+std::size_t AllocationProcess::DynamicMemoryBytes() const {
+  return vertex_parts_.SpillBytes();
+}
+
+std::uint32_t AllocationProcess::LocalIndex(VertexId v) const {
+  auto it = std::lower_bound(vertices_.begin(), vertices_.end(), v);
+  if (it == vertices_.end() || *it != v) return UINT32_MAX;
+  return static_cast<std::uint32_t>(it - vertices_.begin());
+}
+
+VertexId AllocationProcess::PeekFreeVertex() {
+  while (free_cursor_ < seed_order_.size() &&
+         rest_degree_[seed_order_[free_cursor_]] == 0) {
+    ++free_cursor_;
+  }
+  return free_cursor_ < seed_order_.size()
+             ? vertices_[seed_order_[free_cursor_]]
+             : kNoVertex;
+}
+
+bool AllocationProcess::AddVertexPart(std::uint32_t local_v, PartitionId p) {
+  return vertex_parts_.Add(local_v, p);
+}
+
+void AllocationProcess::Allocate(std::uint32_t le, std::uint32_t a,
+                                 std::uint32_t b, PartitionId p,
+                                 std::vector<PartitionId>* assignment,
+                                 std::vector<VertexPartPair>* sync_out) {
+  edge_done_[le] = 1;
+  (*assignment)[edge_gid_[le]] = p;
+  --rest_degree_[a];
+  --rest_degree_[b];
+  ++local_count_per_part_[p];
+  // Both endpoints now belong to V(E_p); fresh pairs join the pending set
+  // (processed for two-hop + D_rest this superstep) and, when a sync_out is
+  // given, the replica-synchronisation outbox.
+  for (std::uint32_t x : {a, b}) {
+    if (AddVertexPart(x, p)) {
+      pending_.push_back(VertexPartPair{vertices_[x], p});
+      if (sync_out != nullptr) {
+        sync_out->push_back(VertexPartPair{vertices_[x], p});
+      }
+    }
+  }
+}
+
+void AllocationProcess::AllocateOneHop(
+    const std::vector<SelectRequest>& requests,
+    std::vector<PartitionId>* assignment,
+    std::vector<VertexPartPair>* sync_out,
+    std::vector<std::uint64_t>* allocated_per_part, std::uint64_t* ops) {
+  for (const SelectRequest& req : requests) {
+    const std::uint32_t lv = LocalIndex(req.v);
+    *ops += 1;
+    if (lv == UINT32_MAX) continue;  // replica rank without local edges of v
+    for (std::uint32_t i = offsets_[lv]; i < offsets_[lv + 1]; ++i) {
+      const Arc& a = arcs_[i];
+      *ops += 1;
+      if (edge_done_[a.edge]) continue;
+      if (!budget_.empty() && budget_[req.p] == 0) break;  // p is full here
+      if (!budget_.empty()) --budget_[req.p];
+      Allocate(a.edge, lv, a.to, req.p, assignment, sync_out);
+      ++(*allocated_per_part)[req.p];
+    }
+  }
+}
+
+void AllocationProcess::ApplySync(const std::vector<VertexPartPair>& pairs,
+                                  std::uint64_t* ops) {
+  for (const VertexPartPair& pair : pairs) {
+    *ops += 1;
+    const std::uint32_t lv = LocalIndex(pair.v);
+    if (lv == UINT32_MAX) continue;
+    if (AddVertexPart(lv, pair.p)) {
+      pending_.push_back(pair);
+    }
+  }
+}
+
+void AllocationProcess::AllocateTwoHop(
+    std::vector<PartitionId>* assignment,
+    std::vector<std::uint64_t>* allocated_per_part,
+    std::uint64_t* two_hop_count, std::uint64_t* ops) {
+  // Deterministic order; dedup by vertex — Alg. 3 line 12 iterates the
+  // boundary vertices, ignoring the pair's partition.
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+  VertexId last_v = kNoVertex;
+  // Indexed loop: Allocate() can in principle append to pending_, but
+  // two-hop allocations never create fresh (vertex, partition) pairs — both
+  // endpoints already carry the chosen partition — so the size is stable.
+  const std::size_t pending_size = pending_.size();
+  for (std::size_t pi = 0; pi < pending_size; ++pi) {
+    const VertexPartPair pair = pending_[pi];
+    if (pair.v == last_v) continue;
+    last_v = pair.v;
+    const std::uint32_t lu = LocalIndex(pair.v);
+    if (lu == UINT32_MAX) continue;
+    vertex_parts_.CopyTo(lu, &scratch_u_);
+    const auto& parts_u = scratch_u_;
+    for (std::uint32_t i = offsets_[lu]; i < offsets_[lu + 1]; ++i) {
+      const Arc& a = arcs_[i];
+      *ops += 1;
+      if (edge_done_[a.edge]) continue;
+      vertex_parts_.CopyTo(a.to, &scratch_w_);
+      const auto& parts_w = scratch_w_;
+      // P_new = Parti(u) n Parti(w); allocate to the locally smallest
+      // member with remaining budget (Alg. 3 lines 14-17).
+      PartitionId best = kNoPartition;
+      auto iu = parts_u.begin();
+      auto iw = parts_w.begin();
+      while (iu != parts_u.end() && iw != parts_w.end()) {
+        if (*iu < *iw) {
+          ++iu;
+        } else if (*iw < *iu) {
+          ++iw;
+        } else {
+          const bool has_budget = budget_.empty() || budget_[*iu] > 0;
+          if (has_budget &&
+              (best == kNoPartition ||
+               local_count_per_part_[*iu] < local_count_per_part_[best])) {
+            best = *iu;
+          }
+          ++iu;
+          ++iw;
+        }
+        *ops += 1;
+      }
+      if (best != kNoPartition) {
+        if (!budget_.empty()) --budget_[best];
+        Allocate(a.edge, lu, a.to, best, assignment, nullptr);
+        ++(*allocated_per_part)[best];
+        ++(*two_hop_count);
+      }
+    }
+  }
+  // Note: Allocate() may have appended fresh pairs while iterating? No —
+  // two-hop allocations only involve endpoints that already carry the
+  // partition, so AddVertexPart never fires here. (Checked by tests.)
+}
+
+void AllocationProcess::DrainBoundaryReports(std::vector<BoundaryReport>* out,
+                                             std::uint64_t* ops) {
+  // Idempotent dedup (AllocateTwoHop already sorts, but the two-hop phase
+  // may be disabled by the ablation options).
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+  for (const VertexPartPair& pair : pending_) {
+    const std::uint32_t lv = LocalIndex(pair.v);
+    if (lv == UINT32_MAX) continue;
+    *ops += 1;
+    out->push_back(BoundaryReport{pair.v, pair.p, rest_degree_[lv]});
+  }
+  pending_.clear();
+}
+
+}  // namespace dne

@@ -1,0 +1,161 @@
+// AllocationProcess: one per machine (Fig. 4). Owns a unique slice of the
+// edges (2-D hash), replicated vertex allocation-id sets, and performs the
+// one-hop / two-hop edge allocation of Algorithms 2-3.
+#ifndef DNE_PARTITION_DNE_ALLOCATION_PROCESS_H_
+#define DNE_PARTITION_DNE_ALLOCATION_PROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "partition/dne/compact_part_sets.h"
+#include "partition/dne/dne_options.h"
+
+namespace dne {
+
+/// Expansion request: partition p wants vertex v expanded (Alg. 1 line 8).
+struct SelectRequest {
+  VertexId v;
+  PartitionId p;
+};
+
+/// Replica-synchronisation record: vertex v is now allocated to partition p
+/// (Alg. 2 line 3, SyncVertexAllocations).
+struct VertexPartPair {
+  VertexId v;
+  PartitionId p;
+  friend bool operator<(const VertexPartPair& a, const VertexPartPair& b) {
+    return a.v != b.v ? a.v < b.v : a.p < b.p;
+  }
+  friend bool operator==(const VertexPartPair& a, const VertexPartPair& b) {
+    return a.v == b.v && a.p == b.p;
+  }
+};
+
+/// New-boundary report sent back to expansion process p: v joined B_p with
+/// this rank's local D_rest contribution (Alg. 2 lines 5-6).
+struct BoundaryReport {
+  VertexId v;
+  PartitionId p;
+  std::uint32_t local_drest;
+};
+
+class AllocationProcess {
+ public:
+  AllocationProcess(int rank, std::uint32_t num_partitions,
+                    SeedStrategy seed_strategy = SeedStrategy::kRandom)
+      : rank_(rank),
+        seed_strategy_(seed_strategy),
+        local_count_per_part_(num_partitions, 0) {}
+
+  /// Build stage: registers an owned edge (global id + endpoints).
+  void AddEdge(EdgeId e, VertexId u, VertexId v);
+
+  /// Freezes the local CSR. Must be called once before the superstep loop.
+  void Finalize();
+
+  /// Resident bytes of the frozen structures (CSR + state arrays).
+  std::size_t StaticMemoryBytes() const;
+  /// Bytes grown during the run (vertex allocation-id sets).
+  std::size_t DynamicMemoryBytes() const;
+
+  /// A local vertex that still has unallocated edges (random-restart source,
+  /// Alg. 1 line 7); kNoVertex if this rank is exhausted. Non-consuming.
+  VertexId PeekFreeVertex();
+
+  /// Sets this rank's per-partition allocation caps for the coming
+  /// superstep. Derived by the driver from the all-gathered |E_p| of
+  /// Alg. 1 line 14: remaining budget split across the replica ranks, so
+  /// the cluster-wide per-superstep allocation for p cannot exceed its
+  /// remaining budget and |E_p| stays below ~alpha |E| / |P|.
+  void SetSuperstepBudgets(std::vector<std::uint64_t> budgets) {
+    budget_ = std::move(budgets);
+  }
+
+  /// Phase B (Alg. 3 AllocteOneHopNeighbors): allocates the remaining local
+  /// edges of each requested vertex to the requesting partition, recording
+  /// the result in `assignment` (the edge is locally unique, so this write
+  /// is conflict-free across ranks; conflicts between partitions at this
+  /// rank resolve in request order). Newly created (vertex, partition)
+  /// pairs are appended to `sync_out` for replica synchronisation; per-
+  /// partition allocation counts for this phase are added to
+  /// `allocated_per_part`; `*ops` accrues local work units.
+  void AllocateOneHop(const std::vector<SelectRequest>& requests,
+                      std::vector<PartitionId>* assignment,
+                      std::vector<VertexPartPair>* sync_out,
+                      std::vector<std::uint64_t>* allocated_per_part,
+                      std::uint64_t* ops);
+
+  /// Phase C1 (SyncVertexAllocations, receive side): applies pairs from
+  /// other ranks; pairs new to this rank join the pending set.
+  void ApplySync(const std::vector<VertexPartPair>& pairs, std::uint64_t* ops);
+
+  /// Phase C2 (AllocateTwoHopNeighbors) over the pending pairs: allocates
+  /// edges whose two endpoints already share a partition (Condition (5)),
+  /// to the locally least-loaded shared partition (Alg. 3 line 16).
+  void AllocateTwoHop(std::vector<PartitionId>* assignment,
+                      std::vector<std::uint64_t>* allocated_per_part,
+                      std::uint64_t* two_hop_count, std::uint64_t* ops);
+
+  /// Phase C3 (ComputeLocalDrest): one report per pending pair, then clears
+  /// the pending set for the next superstep.
+  void DrainBoundaryReports(std::vector<BoundaryReport>* out,
+                            std::uint64_t* ops);
+
+  int rank() const { return rank_; }
+  std::uint64_t num_local_edges() const { return edge_gid_.size(); }
+
+ private:
+  std::uint32_t LocalIndex(VertexId v) const;
+  /// Allocates local edge `le` (endpoints `a`, `b`, local ids) to p;
+  /// registers fresh (vertex, partition) pairs in pending_/sync.
+  void Allocate(std::uint32_t le, std::uint32_t a, std::uint32_t b,
+                PartitionId p, std::vector<PartitionId>* assignment,
+                std::vector<VertexPartPair>* sync_out);
+  bool AddVertexPart(std::uint32_t local_v, PartitionId p);
+
+  struct Arc {
+    std::uint32_t to;    // local vertex index
+    std::uint32_t edge;  // local edge index
+  };
+
+  int rank_;
+  SeedStrategy seed_strategy_;
+  // Seed scan order (degree-sorted for the non-random strategies).
+  std::vector<std::uint32_t> seed_order_;
+  // Build buffers (cleared by Finalize).
+  std::vector<Edge> build_edges_;
+  std::vector<EdgeId> build_gids_;
+
+  // Frozen local CSR.
+  std::vector<VertexId> vertices_;       // sorted global ids
+  std::vector<std::uint32_t> offsets_;   // per local vertex
+  std::vector<Arc> arcs_;
+  std::vector<EdgeId> edge_gid_;         // local edge -> global edge id
+  std::vector<std::uint8_t> edge_done_;  // local allocation flag
+
+  // Mutable per-vertex state. Vertex allocation ids use the compact
+  // two-slot representation (8 bytes/vertex) — the paper's "no memory-
+  // consuming data structure" requirement.
+  std::vector<std::uint32_t> rest_degree_;
+  CompactPartSets vertex_parts_;
+  // Scratch buffers for the two-hop intersection (avoid per-edge allocs).
+  std::vector<PartitionId> scratch_u_;
+  std::vector<PartitionId> scratch_w_;
+
+  // Per-partition local allocation counts (Alg. 3 line 16 tie-break).
+  std::vector<std::uint64_t> local_count_per_part_;
+
+  // Pairs newly learned this superstep (locally created or synced in).
+  std::vector<VertexPartPair> pending_;
+
+  // Per-partition allocation caps for the current superstep (empty = no
+  // caps, used by unit tests that drive the process directly).
+  std::vector<std::uint64_t> budget_;
+
+  std::uint32_t free_cursor_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_ALLOCATION_PROCESS_H_

@@ -1,0 +1,206 @@
+// CompactPartSets: per-vertex partition-id sets without hash maps or
+// per-vertex heap containers (the paper's Sec. 4 memory requirement).
+//
+// Two storage modes, chosen at Init from the partition count:
+//  * bitmap mode (P <= kBitmapMaxPartitions): ceil(P/64) words per vertex —
+//    8 bytes/vertex at the paper's P = 64, constant-time Add/Contains,
+//    no growth at run time;
+//  * slot+arena mode (large P): two inline 32-bit slots per vertex and a
+//    flat [capacity, size, ids...] arena for the rare wide sets.
+#ifndef DNE_PARTITION_DNE_COMPACT_PART_SETS_H_
+#define DNE_PARTITION_DNE_COMPACT_PART_SETS_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dne {
+
+class CompactPartSets {
+ public:
+  /// Largest partition count served by the bitmap mode (64 bytes/vertex).
+  static constexpr std::uint32_t kBitmapMaxPartitions = 512;
+
+  CompactPartSets() = default;
+
+  void Init(std::uint32_t num_vertices, std::uint32_t num_partitions) {
+    num_partitions_ = num_partitions;
+    if (num_partitions <= kBitmapMaxPartitions) {
+      words_ = (num_partitions + 63) / 64;
+      bits_.assign(static_cast<std::size_t>(num_vertices) * words_, 0);
+      slots_.clear();
+      arena_.clear();
+    } else {
+      words_ = 0;
+      bits_.clear();
+      slots_.assign(2 * static_cast<std::size_t>(num_vertices),
+                    kNoPartition);
+      arena_.clear();
+    }
+  }
+
+  /// Inserts p into vertex v's set; returns true if newly added.
+  bool Add(std::uint32_t v, PartitionId p) {
+    if (words_ > 0) {
+      std::uint64_t& word = bits_[static_cast<std::size_t>(v) * words_ +
+                                  (p >> 6)];
+      const std::uint64_t mask = 1ULL << (p & 63);
+      if (word & mask) return false;
+      word |= mask;
+      return true;
+    }
+    return SlotAdd(v, p);
+  }
+
+  bool Contains(std::uint32_t v, PartitionId p) const {
+    if (words_ > 0) {
+      return (bits_[static_cast<std::size_t>(v) * words_ + (p >> 6)] >>
+              (p & 63)) &
+             1ULL;
+    }
+    return SlotContains(v, p);
+  }
+
+  /// Copies v's (sorted) set into *out (cleared first).
+  void CopyTo(std::uint32_t v, std::vector<PartitionId>* out) const {
+    out->clear();
+    if (words_ > 0) {
+      for (std::uint32_t w = 0; w < words_; ++w) {
+        std::uint64_t word = bits_[static_cast<std::size_t>(v) * words_ + w];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          out->push_back(64 * w + static_cast<PartitionId>(bit));
+          word &= word - 1;
+        }
+      }
+      return;
+    }
+    SlotCopyTo(v, out);
+  }
+
+  std::size_t size_of(std::uint32_t v) const {
+    if (words_ > 0) {
+      std::size_t n = 0;
+      for (std::uint32_t w = 0; w < words_; ++w) {
+        n += static_cast<std::size_t>(
+            std::popcount(bits_[static_cast<std::size_t>(v) * words_ + w]));
+      }
+      return n;
+    }
+    return SlotSizeOf(v);
+  }
+
+  /// Fixed footprint (bitmap words or inline slots).
+  std::size_t InlineBytes() const {
+    return bits_.capacity() * sizeof(std::uint64_t) +
+           slots_.capacity() * sizeof(PartitionId);
+  }
+
+  /// Bytes grown during the run (arena mode only; 0 in bitmap mode).
+  std::size_t SpillBytes() const {
+    return arena_.size() * sizeof(PartitionId);
+  }
+
+ private:
+  // kNoPartition - 1: an impossible partition id used to mark spilled rows.
+  static constexpr PartitionId kSpillTag = kNoPartition - 1;
+
+  bool SlotAdd(std::uint32_t v, PartitionId p) {
+    PartitionId& s0 = slots_[2 * v];
+    PartitionId& s1 = slots_[2 * v + 1];
+    if (s0 != kSpillTag) {
+      if (s0 == p || s1 == p) return false;
+      if (s0 == kNoPartition) {
+        s0 = p;
+        return true;
+      }
+      if (s1 == kNoPartition) {
+        if (p < s0) std::swap(s0, p);
+        s1 = p;
+        return true;
+      }
+      const std::uint32_t block = NewBlock(4);
+      PartitionId three[3] = {s0, s1, p};
+      std::sort(three, three + 3);
+      arena_[block + 1] = 3;
+      std::copy(three, three + 3, arena_.begin() + block + 2);
+      s0 = kSpillTag;
+      s1 = block;
+      return true;
+    }
+    // Spilled: sorted insert, growing the block when full. Offsets are
+    // re-derived after NewBlock, which may reallocate the arena.
+    std::uint32_t block = s1;
+    const std::uint32_t cap = arena_[block];
+    const std::uint32_t size = arena_[block + 1];
+    {
+      const PartitionId* data = &arena_[block + 2];
+      if (std::binary_search(data, data + size, p)) return false;
+    }
+    if (size == cap) {
+      const std::uint32_t grown = NewBlock(2 * cap);
+      std::copy(arena_.begin() + block + 2,
+                arena_.begin() + block + 2 + size,
+                arena_.begin() + grown + 2);
+      arena_[grown + 1] = size;
+      slots_[2 * v + 1] = grown;
+      block = grown;
+    }
+    PartitionId* data = &arena_[block + 2];
+    PartitionId* end = data + size;
+    PartitionId* it = std::lower_bound(data, end, p);
+    std::copy_backward(it, end, end + 1);
+    *it = p;
+    arena_[block + 1] = size + 1;
+    return true;
+  }
+
+  bool SlotContains(std::uint32_t v, PartitionId p) const {
+    const PartitionId s0 = slots_[2 * v];
+    const PartitionId s1 = slots_[2 * v + 1];
+    if (s0 != kSpillTag) return s0 == p || s1 == p;
+    const PartitionId* data = &arena_[s1 + 2];
+    return std::binary_search(data, data + arena_[s1 + 1], p);
+  }
+
+  void SlotCopyTo(std::uint32_t v, std::vector<PartitionId>* out) const {
+    const PartitionId s0 = slots_[2 * v];
+    const PartitionId s1 = slots_[2 * v + 1];
+    if (s0 == kSpillTag) {
+      const PartitionId* data = &arena_[s1 + 2];
+      out->assign(data, data + arena_[s1 + 1]);
+      return;
+    }
+    if (s0 != kNoPartition) out->push_back(s0);
+    if (s1 != kNoPartition) out->push_back(s1);
+  }
+
+  std::size_t SlotSizeOf(std::uint32_t v) const {
+    const PartitionId s0 = slots_[2 * v];
+    const PartitionId s1 = slots_[2 * v + 1];
+    if (s0 == kSpillTag) return arena_[s1 + 1];
+    return (s0 != kNoPartition ? 1u : 0u) + (s1 != kNoPartition ? 1u : 0u);
+  }
+
+  /// Appends an empty block [cap, 0, cap slots] and returns its offset.
+  std::uint32_t NewBlock(std::uint32_t cap) {
+    const std::uint32_t offset = static_cast<std::uint32_t>(arena_.size());
+    arena_.resize(arena_.size() + 2 + cap, kNoPartition);
+    arena_[offset] = cap;
+    arena_[offset + 1] = 0;
+    return offset;
+  }
+
+  std::uint32_t num_partitions_ = 0;
+  std::uint32_t words_ = 0;             // bitmap words/vertex; 0 = slot mode
+  std::vector<std::uint64_t> bits_;     // bitmap mode storage
+  std::vector<PartitionId> slots_;      // slot mode: 2 inline ids/vertex
+  std::vector<PartitionId> arena_;      // slot mode spill blocks
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_COMPACT_PART_SETS_H_

@@ -1,0 +1,60 @@
+// Options and run statistics of Distributed NE.
+#ifndef DNE_PARTITION_DNE_DNE_OPTIONS_H_
+#define DNE_PARTITION_DNE_DNE_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cost_model.h"
+
+namespace dne {
+
+/// How expansion processes pick a fresh vertex when their boundary is
+/// empty (Alg. 1 line 7). The paper uses random selection; the degree
+/// strategies are ablation knobs (low-degree seeds sit in the graph's
+/// periphery, high-degree seeds in its core).
+enum class SeedStrategy { kRandom, kMinDegree, kMaxDegree };
+
+struct DneOptions {
+  /// Balance slack alpha of Eq. (2); the paper sets 1.1.
+  double alpha = 1.1;
+  /// Expansion factor lambda of Sec. 5: k = max(1, lambda * |B_p|) boundary
+  /// vertices are expanded per iteration. The paper selects 0.1.
+  double lambda = 0.1;
+  std::uint64_t seed = 1;
+  /// Simulated-cluster machine constants (see CostModelOptions).
+  CostModelOptions cost;
+  /// Ablation: disable the two-hop "free edge" allocation (Condition (5)).
+  bool enable_two_hop = true;
+  /// Ablation: select boundary vertices at random instead of min-D_rest.
+  bool min_drest_selection = true;
+  /// Ablation: seed-vertex policy for empty boundaries.
+  SeedStrategy seed_strategy = SeedStrategy::kRandom;
+  /// Safety valve; 0 = automatic (10 * |V| + 1000).
+  std::uint64_t max_supersteps = 0;
+  /// Host threads executing the simulated ranks' allocation phases
+  /// (per-rank state is independent, so results are bit-identical for any
+  /// thread count). 1 = fully sequential.
+  int num_threads = 1;
+};
+
+/// Detailed observability of a Distributed NE run (feeds Figs. 6, 9, 10).
+struct DneStats {
+  std::uint64_t iterations = 0;       ///< BSP supersteps executed
+  std::uint64_t one_hop_edges = 0;    ///< edges placed by one-hop expansion
+  std::uint64_t two_hop_edges = 0;    ///< edges placed by Condition (5)
+  std::uint64_t random_restarts = 0;  ///< empty-boundary random selections
+  std::uint64_t comm_bytes = 0;       ///< cross-rank bytes
+  std::uint64_t comm_messages = 0;
+  double sim_seconds = 0.0;           ///< CostModel elapsed time
+  double selection_work_fraction = 0.0;  ///< share of work in vertex selection
+  /// max/mean of the partitions' peak boundary sizes — the vertex-selection
+  /// imbalance the paper names as the weak-scaling bottleneck (Sec. 7.4).
+  double boundary_imbalance = 1.0;
+  std::uint64_t peak_memory_bytes = 0;
+  std::vector<std::uint64_t> edges_per_partition;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_DNE_OPTIONS_H_

@@ -1,0 +1,326 @@
+#include "partition/dne/dne_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/timer.h"
+#include "partition/dne/allocation_process.h"
+#include "partition/dne/expansion_process.h"
+#include "partition/dne/two_d_distribution.h"
+#include "runtime/sim_cluster.h"
+#include "runtime/thread_pool.h"
+
+namespace dne {
+
+Status DnePartitioner::Partition(const Graph& g,
+                                 std::uint32_t num_partitions,
+                                 EdgePartition* out) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (options_.alpha < 1.0) {
+    return Status::InvalidArgument("alpha must be >= 1.0");
+  }
+  if (options_.lambda <= 0.0 || options_.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in (0, 1]");
+  }
+  WallTimer timer;
+  const int ranks = static_cast<int>(num_partitions);
+  const EdgeId total_edges = g.NumEdges();
+  const VertexId num_vertices = g.NumVertices();
+
+  SimCluster cluster(ranks, options_.cost);
+  TwoDDistribution dist(num_partitions, options_.seed);
+
+  // --- Initial 2-D hash distribution (Sec. 4) ----------------------------
+  std::vector<AllocationProcess> alloc;
+  alloc.reserve(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    alloc.emplace_back(r, num_partitions, options_.seed_strategy);
+  }
+  for (EdgeId e = 0; e < total_edges; ++e) {
+    const Edge& ed = g.edge(e);
+    alloc[dist.OwnerOf(ed.src, ed.dst)].AddEdge(e, ed.src, ed.dst);
+  }
+  for (int r = 0; r < ranks; ++r) {
+    alloc[r].Finalize();
+    cluster.mem().Allocate(r, alloc[r].StaticMemoryBytes());
+  }
+
+  // Ceiling division so that |P| * limit >= alpha |E| >= |E|: the caps can
+  // never leave edges stranded with every partition full.
+  const std::uint64_t limit = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(options_.alpha * static_cast<double>(total_edges) /
+                       static_cast<double>(num_partitions))));
+  std::vector<ExpansionProcess> expansion;
+  expansion.reserve(num_partitions);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    expansion.emplace_back(p, num_vertices, limit, options_.lambda,
+                           options_.min_drest_selection,
+                           options_.seed + 0x9e37 * (p + 1));
+  }
+
+  *out = EdgePartition(num_partitions, total_edges);
+  std::vector<PartitionId>& assignment = out->mutable_assignment();
+
+  dne_stats_ = DneStats{};
+  std::uint64_t total_allocated = 0;
+  // Per-phase critical-path accounting: the slowest rank gates each phase
+  // (the paper's vertex-selection bottleneck of Sec. 7.4 is the phase-A
+  // straggler share of this critical path).
+  std::uint64_t selection_critical_ops = 0;
+  std::uint64_t total_critical_ops = 0;
+  std::vector<std::uint64_t> phase_ops(ranks, 0);
+  const std::uint64_t cores = static_cast<std::uint64_t>(
+      std::max(1, options_.cost.cores_per_machine));
+  auto parallel_ops = [cores](std::uint64_t ops) {
+    return (ops + cores - 1) / cores;
+  };
+  auto close_phase = [&](bool is_selection) {
+    std::uint64_t mx = 0;
+    for (std::uint64_t& w : phase_ops) {
+      mx = std::max(mx, w);
+      w = 0;
+    }
+    if (is_selection) selection_critical_ops += mx;
+    total_critical_ops += mx;
+  };
+  const std::uint64_t max_supersteps =
+      options_.max_supersteps > 0 ? options_.max_supersteps
+                                  : 10 * num_vertices + 1000;
+
+  std::vector<int> replica_ranks;
+  std::vector<std::vector<std::uint64_t>> allocated_per_part(
+      ranks, std::vector<std::uint64_t>(num_partitions, 0));
+  // Host threads for the per-rank allocation phases. Each simulated rank's
+  // state is disjoint (edges are uniquely owned), so any thread count gives
+  // bit-identical results.
+  ThreadPool pool(std::max(1, options_.num_threads));
+  std::vector<std::uint64_t> rank_ops(ranks, 0);
+  std::vector<std::vector<VertexPartPair>> rank_sync(ranks);
+  std::vector<std::vector<BoundaryReport>> rank_reports(ranks);
+  std::vector<std::uint64_t> rank_two_hop(ranks, 0);
+
+  while (total_allocated < total_edges) {
+    if (dne_stats_.iterations >= max_supersteps) {
+      return Status::Internal("Distributed NE exceeded the superstep guard");
+    }
+
+    // ---- Phase A: vertex selection (expansion processes, Alg. 4) --------
+    AllToAll<SelectRequest> select_x(ranks);
+    std::vector<VertexId> selected;
+    for (PartitionId p = 0; p < num_partitions; ++p) {
+      std::uint64_t ops = 0;
+      expansion[p].SelectVertices(&selected, &ops);
+      if (selected.empty() && !expansion[p].terminated()) {
+        // Alg. 1 line 7: random vertex, local allocation process first,
+        // other machines only if necessary (one probe message each).
+        VertexId v = alloc[p].PeekFreeVertex();
+        if (v == kNoVertex) {
+          for (int off = 1; off < ranks; ++off) {
+            const int r = (static_cast<int>(p) + off) % ranks;
+            cluster.comm().AddMessage(sizeof(VertexId));
+            cluster.cost().AddBytes(static_cast<int>(p), sizeof(VertexId));
+            v = alloc[r].PeekFreeVertex();
+            if (v != kNoVertex) break;
+          }
+        }
+        if (v != kNoVertex) {
+          selected.push_back(v);
+          ++dne_stats_.random_restarts;
+        }
+      }
+      ops += selected.size();
+      cluster.cost().AddWork(static_cast<int>(p), ops);
+      phase_ops[p] += ops;
+      for (VertexId v : selected) {
+        dist.ReplicaRanks(v, &replica_ranks);
+        for (int r : replica_ranks) {
+          select_x.Out(static_cast<int>(p), r).push_back(
+              SelectRequest{v, p});
+        }
+      }
+      selected.clear();
+    }
+    std::vector<std::vector<SelectRequest>> requests =
+        select_x.Deliver(&cluster);
+    close_phase(/*is_selection=*/true);
+    cluster.cost().EndSuperstep();
+
+    // ---- Phase B: one-hop allocation (Alg. 3 lines 1-9) -----------------
+    // Per-rank allocation caps from the all-gathered |E_p| (Alg. 1 line
+    // 14): each partition's remaining budget is split across all ranks
+    // (any rank may own edges of the selected vertices), so one superstep
+    // cannot blow through the limit by more than ~|P| stragglers of 1.
+    std::vector<std::uint64_t> budgets(num_partitions, 0);
+    for (PartitionId p = 0; p < num_partitions; ++p) {
+      const std::uint64_t allocated = expansion[p].allocated();
+      const std::uint64_t remaining =
+          limit > allocated ? limit - allocated : 0;
+      budgets[p] =
+          remaining == 0
+              ? 0
+              : std::max<std::uint64_t>(
+                    1, remaining / static_cast<std::uint64_t>(ranks));
+    }
+    AllToAll<VertexPartPair> sync_x(ranks);
+    pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
+      rank_ops[r] = 0;
+      rank_sync[r].clear();
+      alloc[r].SetSuperstepBudgets(budgets);
+      alloc[r].AllocateOneHop(requests[r], &assignment, &rank_sync[r],
+                              &allocated_per_part[r], &rank_ops[r]);
+    });
+    for (int r = 0; r < ranks; ++r) {
+      cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
+      phase_ops[r] += parallel_ops(rank_ops[r]);
+      // Replica synchronisation (Alg. 2 line 3): fresh pairs go to every
+      // replica rank of the vertex except this one.
+      for (const VertexPartPair& pair : rank_sync[r]) {
+        dist.ReplicaRanks(pair.v, &replica_ranks);
+        for (int to : replica_ranks) {
+          if (to != r) sync_x.Out(r, to).push_back(pair);
+        }
+      }
+    }
+    std::vector<std::vector<VertexPartPair>> sync_in =
+        sync_x.Deliver(&cluster);
+    close_phase(/*is_selection=*/false);
+    cluster.cost().EndSuperstep();
+
+    // ---- Phase C: sync apply, two-hop allocation, local D_rest ----------
+    AllToAll<BoundaryReport> report_x(ranks);
+    pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
+      rank_ops[r] = 0;
+      rank_two_hop[r] = 0;
+      alloc[r].ApplySync(sync_in[r], &rank_ops[r]);
+      if (options_.enable_two_hop) {
+        alloc[r].AllocateTwoHop(&assignment, &allocated_per_part[r],
+                                &rank_two_hop[r], &rank_ops[r]);
+      }
+      rank_reports[r].clear();
+      alloc[r].DrainBoundaryReports(&rank_reports[r], &rank_ops[r]);
+    });
+    for (int r = 0; r < ranks; ++r) {
+      dne_stats_.two_hop_edges += rank_two_hop[r];
+      cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
+      phase_ops[r] += parallel_ops(rank_ops[r]);
+      for (const BoundaryReport& rep : rank_reports[r]) {
+        report_x.Out(r, static_cast<int>(rep.p)).push_back(rep);
+      }
+    }
+    std::vector<std::vector<BoundaryReport>> reports_in =
+        report_x.Deliver(&cluster);
+    close_phase(/*is_selection=*/false);
+    cluster.cost().EndSuperstep();
+
+    // ---- Edge hand-off accounting: allocated edges are copied from their
+    // allocation rank to the owning expansion rank (Fig. 4's data flow).
+    std::uint64_t newly_allocated = 0;
+    for (int r = 0; r < ranks; ++r) {
+      for (PartitionId p = 0; p < num_partitions; ++p) {
+        const std::uint64_t cnt = allocated_per_part[r][p];
+        if (cnt == 0) continue;
+        newly_allocated += cnt;
+        expansion[p].AddAllocated(cnt);
+        if (static_cast<int>(p) != r) {
+          const std::uint64_t bytes = cnt * sizeof(Edge);
+          cluster.comm().AddMessage(bytes);
+          cluster.cost().AddBytes(r, bytes);
+        }
+        allocated_per_part[r][p] = 0;
+      }
+    }
+    total_allocated += newly_allocated;
+    dne_stats_.one_hop_edges =
+        total_allocated - dne_stats_.two_hop_edges;
+
+    // ---- Phase D: boundary updates + termination (Alg. 1 lines 10-15) ---
+    for (PartitionId p = 0; p < num_partitions; ++p) {
+      auto& inbox = reports_in[p];
+      // Aggregate the per-rank local D_rest scores into global scores.
+      std::sort(inbox.begin(), inbox.end(),
+                [](const BoundaryReport& a, const BoundaryReport& b) {
+                  return a.v < b.v;
+                });
+      // Linear aggregation over the reports, plus one log|B_p| heap insert
+      // per unique boundary vertex.
+      std::uint64_t ops = inbox.size();
+      const std::uint64_t insert_cost =
+          1 + std::bit_width(expansion[p].boundary_size() + 1);
+      std::size_t i = 0;
+      while (i < inbox.size()) {
+        std::size_t j = i;
+        std::uint64_t drest = 0;
+        while (j < inbox.size() && inbox[j].v == inbox[i].v) {
+          drest += inbox[j].local_drest;
+          ++j;
+        }
+        expansion[p].InsertBoundary(inbox[i].v, drest);
+        ops += insert_cost;
+        i = j;
+      }
+      // Aggregation + heap inserts pipeline with message arrival on the
+      // expansion machine; charged as parallel background work. The serial
+      // bottleneck the paper measures (Sec. 7.4) is the selection step
+      // itself (phase A).
+      cluster.cost().AddWork(static_cast<int>(p), parallel_ops(ops));
+      phase_ops[p] += parallel_ops(ops);
+      // AllGather of |E_p| for the termination test (Alg. 1 line 14).
+      const std::uint64_t allgather_bytes =
+          (static_cast<std::uint64_t>(ranks) - 1) * sizeof(std::uint64_t);
+      cluster.cost().AddBytes(static_cast<int>(p), allgather_bytes);
+      expansion[p].CheckTermination(total_allocated, total_edges);
+    }
+
+    close_phase(/*is_selection=*/false);
+    cluster.Barrier();
+    ++dne_stats_.iterations;
+  }
+
+  // Final memory census: vertex allocation-id sets grown during the run plus
+  // the peak boundary queues.
+  for (int r = 0; r < ranks; ++r) {
+    cluster.mem().Allocate(r, alloc[r].DynamicMemoryBytes());
+    cluster.mem().Allocate(
+        r, expansion[r].peak_boundary_size() * (sizeof(std::uint64_t) * 2));
+  }
+
+  Status st = out->Validate(g);
+  if (!st.ok()) return st;
+
+  dne_stats_.comm_bytes = cluster.comm().bytes;
+  dne_stats_.comm_messages = cluster.comm().messages;
+  dne_stats_.sim_seconds = cluster.cost().SimSeconds();
+  dne_stats_.selection_work_fraction =
+      total_critical_ops == 0
+          ? 0.0
+          : static_cast<double>(selection_critical_ops) /
+                static_cast<double>(total_critical_ops);
+  dne_stats_.peak_memory_bytes = cluster.mem().peak_total();
+  dne_stats_.edges_per_partition = out->PartitionSizes();
+  {
+    std::uint64_t max_b = 0, sum_b = 0;
+    for (const ExpansionProcess& ep : expansion) {
+      max_b = std::max<std::uint64_t>(max_b, ep.peak_boundary_size());
+      sum_b += ep.peak_boundary_size();
+    }
+    dne_stats_.boundary_imbalance =
+        sum_b == 0 ? 1.0
+                   : static_cast<double>(max_b) * num_partitions /
+                         static_cast<double>(sum_b);
+  }
+
+  stats_ = PartitionRunStats{};
+  stats_.wall_seconds = timer.Seconds();
+  stats_.sim_seconds = dne_stats_.sim_seconds;
+  stats_.comm_bytes = dne_stats_.comm_bytes;
+  stats_.supersteps = dne_stats_.iterations;
+  stats_.peak_memory_bytes = dne_stats_.peak_memory_bytes;
+  return Status::OK();
+}
+
+}  // namespace dne

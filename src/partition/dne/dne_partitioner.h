@@ -1,0 +1,36 @@
+// DnePartitioner: Distributed Neighbor Expansion — the paper's contribution.
+// Orchestrates |P| expansion processes and |P| allocation processes over the
+// simulated cluster, one BSP superstep per Algorithm-1 iteration.
+#ifndef DNE_PARTITION_DNE_DNE_PARTITIONER_H_
+#define DNE_PARTITION_DNE_DNE_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/dne/dne_options.h"
+#include "partition/partitioner.h"
+
+namespace dne {
+
+class DnePartitioner : public Partitioner {
+ public:
+  explicit DnePartitioner(const DneOptions& options = DneOptions{})
+      : options_(options) {}
+
+  std::string name() const override { return "dne"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+  /// Detailed counters of the most recent run (iterations, one/two-hop
+  /// splits, simulated time, peak memory...).
+  const DneStats& dne_stats() const { return dne_stats_; }
+
+ private:
+  DneOptions options_;
+  PartitionRunStats stats_;
+  DneStats dne_stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_DNE_PARTITIONER_H_

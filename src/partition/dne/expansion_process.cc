@@ -1,0 +1,69 @@
+#include "partition/dne/expansion_process.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/hash.h"
+
+namespace dne {
+
+ExpansionProcess::ExpansionProcess(PartitionId p, VertexId num_vertices,
+                                   std::uint64_t edge_limit, double lambda,
+                                   bool min_drest, std::uint64_t seed)
+    : partition_(p),
+      edge_limit_(edge_limit),
+      lambda_(lambda),
+      min_drest_(min_drest),
+      seed_(seed),
+      expanded_(num_vertices, false) {}
+
+void ExpansionProcess::InsertBoundary(VertexId v, std::uint64_t global_drest) {
+  if (terminated_ || global_drest == 0 || expanded_[v]) return;
+  // Randomised score under the selection ablation: the heap degenerates to
+  // a uniform sampler over the boundary.
+  const std::uint64_t score =
+      min_drest_ ? global_drest : Mix64(v ^ seed_) >> 32;
+  heap_.push(Entry{score, v});
+  peak_boundary_ = std::max(peak_boundary_, heap_.size());
+}
+
+void ExpansionProcess::SelectVertices(std::vector<VertexId>* out,
+                                      std::uint64_t* ops) {
+  out->clear();
+  if (terminated_) return;
+  std::uint64_t k = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(lambda_ *
+                                    static_cast<double>(heap_.size())));
+  // Budget clamp: past experience says each expanded vertex brings
+  // allocated_/expanded_count_ edges; do not select far more vertices than
+  // the remaining budget can absorb (keeps |E_p| <= ~alpha |E|/|P|).
+  if (expanded_count_ > 0 && allocated_ > 0) {
+    const std::uint64_t remaining =
+        edge_limit_ > allocated_ ? edge_limit_ - allocated_ : 0;
+    const std::uint64_t per_vertex =
+        std::max<std::uint64_t>(1, allocated_ / expanded_count_);
+    const std::uint64_t max_k =
+        std::max<std::uint64_t>(1, remaining / per_vertex);
+    k = std::min(k, max_k);
+  }
+  while (k > 0 && !heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    // Heap pop costs log |B_p| on the serial expansion process.
+    *ops += 1 + std::bit_width(heap_.size());
+    if (expanded_[top.vertex]) continue;  // duplicate insert within a step
+    expanded_[top.vertex] = true;
+    out->push_back(top.vertex);
+    ++expanded_count_;
+    --k;
+  }
+}
+
+void ExpansionProcess::CheckTermination(std::uint64_t total_allocated,
+                                        std::uint64_t total_edges) {
+  if (allocated_ >= edge_limit_ || total_allocated == total_edges) {
+    terminated_ = true;
+  }
+}
+
+}  // namespace dne

@@ -1,0 +1,76 @@
+// ExpansionProcess: one per partition (Fig. 4). Manages the boundary
+// priority queue and implements the vertex-selection side of Algorithm 1
+// and the k-min multi-expansion of Algorithm 4.
+#ifndef DNE_PARTITION_DNE_EXPANSION_PROCESS_H_
+#define DNE_PARTITION_DNE_EXPANSION_PROCESS_H_
+
+#include <cstdint>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dne {
+
+class ExpansionProcess {
+ public:
+  /// `edge_limit` is alpha * |E| / |P| (Alg. 1 line 15). `lambda` is the
+  /// multi-expansion factor. When `min_drest` is false the process selects
+  /// random boundary vertices (ablation of the greedy heuristic).
+  ExpansionProcess(PartitionId p, VertexId num_vertices,
+                   std::uint64_t edge_limit, double lambda, bool min_drest,
+                   std::uint64_t seed);
+
+  PartitionId partition() const { return partition_; }
+  bool terminated() const { return terminated_; }
+  std::uint64_t allocated() const { return allocated_; }
+  std::size_t boundary_size() const { return heap_.size(); }
+  std::size_t peak_boundary_size() const { return peak_boundary_; }
+
+  /// Alg. 4 lines 3-6: pops k = max(1, lambda * |B_p|) minimum-D_rest
+  /// vertices (insert-time scores, as in the paper). k is additionally
+  /// clamped so the *expected* new edges stay within the remaining budget,
+  /// keeping the edge balance near alpha. Returns the selected vertices;
+  /// empty means the boundary is exhausted (caller falls back to a random
+  /// vertex, Alg. 1 line 7). No-op once terminated.
+  void SelectVertices(std::vector<VertexId>* out, std::uint64_t* ops);
+
+  /// Phase D: a new boundary vertex with its aggregated global D_rest.
+  /// Zero-D_rest vertices are skipped: allocation is monotone, so they can
+  /// never contribute edges.
+  void InsertBoundary(VertexId v, std::uint64_t global_drest);
+
+  /// Phase D: |E_p| grew by `count` edges this superstep.
+  void AddAllocated(std::uint64_t count) { allocated_ += count; }
+
+  /// Alg. 1 line 15: stop when past the limit or everything is allocated.
+  void CheckTermination(std::uint64_t total_allocated,
+                        std::uint64_t total_edges);
+
+ private:
+  struct Entry {
+    std::uint64_t score;
+    VertexId vertex;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      return std::tie(a.score, a.vertex) > std::tie(b.score, b.vertex);
+    }
+  };
+
+  PartitionId partition_;
+  std::uint64_t edge_limit_;
+  double lambda_;
+  bool min_drest_;
+  std::uint64_t seed_;
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<bool> expanded_;  // per-vertex: popped already
+  std::uint64_t allocated_ = 0;
+  std::uint64_t expanded_count_ = 0;
+  std::size_t peak_boundary_ = 0;
+  bool terminated_ = false;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_EXPANSION_PROCESS_H_

@@ -1,0 +1,34 @@
+#include "partition/dne/two_d_distribution.h"
+
+#include <algorithm>
+
+namespace dne {
+
+TwoDDistribution::TwoDDistribution(std::uint32_t num_ranks,
+                                   std::uint64_t seed)
+    : seed_(seed) {
+  std::uint32_t r = 1;
+  for (std::uint32_t d = 1;
+       static_cast<std::uint64_t>(d) * d <= num_ranks; ++d) {
+    if (num_ranks % d == 0) r = d;
+  }
+  rows_ = r;
+  cols_ = num_ranks / r;
+}
+
+void TwoDDistribution::ReplicaRanks(VertexId x, std::vector<int>* out) const {
+  out->clear();
+  const std::uint32_t row = RowOf(x);
+  const std::uint32_t col = ColOf(x);
+  out->reserve(rows_ + cols_ - 1);
+  for (std::uint32_t c = 0; c < cols_; ++c) {
+    out->push_back(static_cast<int>(row * cols_ + c));
+  }
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    if (r == row) continue;  // the (row, col) cell is already in the row span
+    out->push_back(static_cast<int>(r * cols_ + col));
+  }
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace dne

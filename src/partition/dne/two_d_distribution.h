@@ -1,0 +1,51 @@
+// 2-D hash initial distribution (Sec. 4 "Data Structure"): edges are
+// uniquely owned by one allocation process; vertices are replicated across
+// the owner grid row + column, and the replica set is *computed* from the
+// vertex id — no stored metadata, the paper's trillion-edge-scale trick.
+#ifndef DNE_PARTITION_DNE_TWO_D_DISTRIBUTION_H_
+#define DNE_PARTITION_DNE_TWO_D_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace dne {
+
+class TwoDDistribution {
+ public:
+  /// One allocation process per partition/machine; the grid is the largest
+  /// R x C factorisation of that count with R <= C.
+  TwoDDistribution(std::uint32_t num_ranks, std::uint64_t seed);
+
+  std::uint32_t num_ranks() const { return rows_ * cols_; }
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+
+  std::uint32_t RowOf(VertexId v) const {
+    return static_cast<std::uint32_t>(HashVertex(v, seed_) % rows_);
+  }
+  std::uint32_t ColOf(VertexId v) const {
+    return static_cast<std::uint32_t>(HashVertex(v, seed_ + 1) % cols_);
+  }
+
+  /// Owner rank of canonical edge (u, v): the cell at (row(u), col(v)).
+  /// Every edge incident to x lands inside x's replica set.
+  int OwnerOf(VertexId u, VertexId v) const {
+    return static_cast<int>(RowOf(u) * cols_ + ColOf(v));
+  }
+
+  /// Ranks holding a replica of vertex x: x's whole grid row plus grid
+  /// column (R + C - 1 ranks, deduplicated), in ascending order.
+  void ReplicaRanks(VertexId x, std::vector<int>* out) const;
+
+ private:
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_TWO_D_DISTRIBUTION_H_

@@ -1,0 +1,145 @@
+#include "partition/dynamic_partitioner.h"
+
+#include <algorithm>
+
+namespace dne {
+
+namespace {
+// The replica table needs a vertex universe; dynamic streams may exceed the
+// initial graph, so reserve generous headroom and grow by re-construction
+// only in EnsureVertex (rare).
+constexpr VertexId kInitialHeadroom = 1024;
+}  // namespace
+
+DynamicEdgePartitioner::DynamicEdgePartitioner(
+    const Graph& g, const EdgePartition& initial,
+    const DynamicPartitionerOptions& options)
+    : options_(options),
+      replicas_(g.NumVertices() + kInitialHeadroom),
+      load_(initial.num_partitions(), 0),
+      max_vertex_(g.NumVertices() + kInitialHeadroom) {
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const PartitionId p = initial.Get(e);
+    replicas_.Add(ed.src, p);
+    replicas_.Add(ed.dst, p);
+    ++load_[p];
+    ++total_edges_;
+  }
+}
+
+DynamicEdgePartitioner::DynamicEdgePartitioner(
+    std::uint32_t num_partitions, const DynamicPartitionerOptions& options)
+    : options_(options),
+      replicas_(kInitialHeadroom),
+      load_(num_partitions, 0),
+      max_vertex_(kInitialHeadroom) {}
+
+void DynamicEdgePartitioner::EnsureVertex(VertexId v) {
+  if (v < max_vertex_) return;
+  // Grow the replica table by rebuilding with doubled headroom. Amortised
+  // O(1) per insertion thanks to the doubling.
+  VertexId new_size = std::max<VertexId>(2 * max_vertex_, v + 1);
+  ReplicaTable grown(new_size);
+  for (VertexId x = 0; x < max_vertex_; ++x) {
+    for (PartitionId p : replicas_.of(x)) grown.Add(x, p);
+  }
+  replicas_ = std::move(grown);
+  max_vertex_ = new_size;
+}
+
+PartitionId DynamicEdgePartitioner::PlaceEdge(VertexId u, VertexId v) {
+  const std::uint64_t limit = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             options_.alpha * static_cast<double>(total_edges_ + 1) /
+             static_cast<double>(load_.size())));
+  const auto& au = replicas_.of(u);
+  const auto& av = replicas_.of(v);
+
+  PartitionId best = kNoPartition;
+  bool best_is_free = false;
+  auto consider = [&](PartitionId p, bool is_free) {
+    if (load_[p] >= limit) return;
+    if (best == kNoPartition || (is_free && !best_is_free) ||
+        (is_free == best_is_free && load_[p] < load_[best])) {
+      best = p;
+      best_is_free = is_free;
+    }
+  };
+  // Rule 1: intersection (free move — no new replica, Condition (5)).
+  {
+    auto iu = au.begin();
+    auto iv = av.begin();
+    while (iu != au.end() && iv != av.end()) {
+      if (*iu < *iv) {
+        ++iu;
+      } else if (*iv < *iu) {
+        ++iv;
+      } else {
+        consider(*iu, /*is_free=*/true);
+        ++iu;
+        ++iv;
+      }
+    }
+  }
+  // Rule 2: single-endpoint homes.
+  if (best == kNoPartition || !best_is_free) {
+    for (PartitionId p : au) consider(p, false);
+    for (PartitionId p : av) consider(p, false);
+  }
+  // Rule 3: global least-loaded (ignoring the limit as the final fallback —
+  // the limit itself grows with every insertion, so this stays bounded).
+  if (best == kNoPartition) {
+    best = 0;
+    for (PartitionId p = 1; p < load_.size(); ++p) {
+      if (load_[p] < load_[best]) best = p;
+    }
+    best_is_free = false;
+  }
+  if (best_is_free) ++free_insertions_;
+  return best;
+}
+
+PartitionId DynamicEdgePartitioner::AddEdge(VertexId u, VertexId v) {
+  EnsureVertex(std::max(u, v));
+  const PartitionId p = PlaceEdge(u, v);
+  replicas_.Add(u, p);
+  replicas_.Add(v, p);
+  ++load_[p];
+  ++total_edges_;
+  ++inserted_edges_;
+  return p;
+}
+
+double DynamicEdgePartitioner::CurrentReplicationFactor() const {
+  std::uint64_t replicas = 0, vertices = 0;
+  for (VertexId v = 0; v < max_vertex_; ++v) {
+    const std::size_t k = replicas_.of(v).size();
+    if (k == 0) continue;
+    replicas += k;
+    ++vertices;
+  }
+  return vertices == 0 ? 0.0
+                       : static_cast<double>(replicas) /
+                             static_cast<double>(vertices);
+}
+
+double DynamicEdgePartitioner::CurrentEdgeBalance() const {
+  std::uint64_t mx = 0, sum = 0;
+  for (std::uint64_t l : load_) {
+    mx = std::max(mx, l);
+    sum += l;
+  }
+  if (sum == 0) return 0.0;
+  return static_cast<double>(mx) * static_cast<double>(load_.size()) /
+         static_cast<double>(sum);
+}
+
+double DynamicEdgePartitioner::FreeInsertionShare() const {
+  return inserted_edges_ == 0
+             ? 0.0
+             : static_cast<double>(free_insertions_) /
+                   static_cast<double>(inserted_edges_);
+}
+
+}  // namespace dne

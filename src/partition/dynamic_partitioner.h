@@ -1,0 +1,84 @@
+// DynamicEdgePartitioner: the paper's future-work direction ("the extension
+// to more complicated graph structures, such as dynamic graphs [21]") —
+// maintains a high-quality edge partition under a stream of edge insertions
+// without re-running the offline algorithm.
+//
+// Design (Leopard-style [21], adapted to the NE family): the initial
+// partition comes from any offline method (Distributed NE by default); new
+// edges are placed greedily against the maintained vertex replica sets with
+// a capacity guard, which is exactly the expansion heuristic's edge-
+// allocation rule applied online. An optional repair pass re-establishes
+// the alpha balance bound after bursts.
+#ifndef DNE_PARTITION_DYNAMIC_PARTITIONER_H_
+#define DNE_PARTITION_DYNAMIC_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+#include "partition/replica_table.h"
+
+namespace dne {
+
+struct DynamicPartitionerOptions {
+  /// Balance slack for the online capacity guard.
+  double alpha = 1.1;
+  std::uint64_t seed = 1;
+};
+
+class DynamicEdgePartitioner {
+ public:
+  /// Adopts an existing partition of `g` as the starting state. The graph
+  /// is only read during construction; afterwards the partitioner is
+  /// self-contained and edges may reference brand-new vertex ids.
+  DynamicEdgePartitioner(const Graph& g, const EdgePartition& initial,
+                         const DynamicPartitionerOptions& options);
+
+  /// Starts empty with `num_partitions` partitions (pure online mode).
+  DynamicEdgePartitioner(std::uint32_t num_partitions,
+                         const DynamicPartitionerOptions& options);
+
+  /// Places a new edge and returns its partition. Placement rule (the
+  /// expansion allocation heuristic, online):
+  ///   1. partitions containing BOTH endpoints -> least-loaded (free move,
+  ///      Condition (5));
+  ///   2. else partitions containing one endpoint -> least-loaded;
+  ///   3. else the globally least-loaded partition.
+  /// A partition at its capacity limit is skipped at every step.
+  PartitionId AddEdge(VertexId u, VertexId v);
+
+  std::uint32_t num_partitions() const {
+    return static_cast<std::uint32_t>(load_.size());
+  }
+  std::uint64_t num_edges() const { return total_edges_; }
+  const std::vector<std::uint64_t>& load() const { return load_; }
+
+  /// Current replication factor over all vertices seen so far.
+  double CurrentReplicationFactor() const;
+
+  /// Current edge balance (max/mean load).
+  double CurrentEdgeBalance() const;
+
+  /// Share of inserted edges that were "free" (both endpoints already in
+  /// the chosen partition) — the online analogue of the two-hop ratio.
+  double FreeInsertionShare() const;
+
+ private:
+  PartitionId PlaceEdge(VertexId u, VertexId v);
+  void EnsureVertex(VertexId v);
+
+  DynamicPartitionerOptions options_;
+  ReplicaTable replicas_;
+  std::vector<std::uint64_t> load_;
+  std::uint64_t total_edges_ = 0;
+  std::uint64_t free_insertions_ = 0;
+  std::uint64_t inserted_edges_ = 0;
+  VertexId max_vertex_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DYNAMIC_PARTITIONER_H_

@@ -1,0 +1,35 @@
+#include "partition/edge_partition.h"
+
+#include <string>
+
+namespace dne {
+
+std::vector<std::uint64_t> EdgePartition::PartitionSizes() const {
+  std::vector<std::uint64_t> sizes(num_partitions_, 0);
+  for (PartitionId p : assignment_) {
+    if (p != kNoPartition) ++sizes[p];
+  }
+  return sizes;
+}
+
+Status EdgePartition::Validate(const Graph& g) const {
+  if (assignment_.size() != g.NumEdges()) {
+    return Status::Internal("assignment size " +
+                            std::to_string(assignment_.size()) +
+                            " != edge count " + std::to_string(g.NumEdges()));
+  }
+  for (EdgeId e = 0; e < assignment_.size(); ++e) {
+    const PartitionId p = assignment_[e];
+    if (p == kNoPartition) {
+      return Status::Internal("edge " + std::to_string(e) + " unassigned");
+    }
+    if (p >= num_partitions_) {
+      return Status::Internal("edge " + std::to_string(e) +
+                              " has out-of-range partition " +
+                              std::to_string(p));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dne

@@ -1,0 +1,46 @@
+// EdgePartition: the output of every edge partitioner — a disjoint cover of
+// E by |P| edge sets (Sec. 2.1).
+#ifndef DNE_PARTITION_EDGE_PARTITION_H_
+#define DNE_PARTITION_EDGE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace dne {
+
+/// Assignment of every canonical edge of a Graph to exactly one partition.
+class EdgePartition {
+ public:
+  EdgePartition() = default;
+  EdgePartition(std::uint32_t num_partitions, EdgeId num_edges)
+      : num_partitions_(num_partitions),
+        assignment_(num_edges, kNoPartition) {}
+
+  std::uint32_t num_partitions() const { return num_partitions_; }
+  EdgeId num_edges() const { return assignment_.size(); }
+
+  PartitionId Get(EdgeId e) const { return assignment_[e]; }
+  void Set(EdgeId e, PartitionId p) { assignment_[e] = p; }
+
+  const std::vector<PartitionId>& assignment() const { return assignment_; }
+  std::vector<PartitionId>& mutable_assignment() { return assignment_; }
+
+  /// Edge counts per partition (|E_p|).
+  std::vector<std::uint64_t> PartitionSizes() const;
+
+  /// Verifies the disjoint-cover invariant: every edge of g is assigned and
+  /// all ids are < num_partitions.
+  Status Validate(const Graph& g) const;
+
+ private:
+  std::uint32_t num_partitions_ = 0;
+  std::vector<PartitionId> assignment_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_EDGE_PARTITION_H_

@@ -1,0 +1,43 @@
+// FENNEL-based edge partitioning [45, 10]: single-pass streaming *vertex*
+// placement with the Fennel objective, converted to an edge partition — the
+// streaming family's vertex-partitioning representative in the paper's
+// related work (Sec. 2.2).
+#ifndef DNE_PARTITION_FENNEL_PARTITIONER_H_
+#define DNE_PARTITION_FENNEL_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+struct FennelOptions {
+  /// Fennel's gamma exponent in the load penalty (the paper value 1.5).
+  double gamma = 1.5;
+  /// Capacity slack: a partition may not exceed slack * |V| / |P| vertices.
+  double capacity_slack = 1.10;
+  std::uint64_t seed = 1;
+};
+
+/// Streams vertices in a deterministic shuffled order; each is placed at
+///   argmax_p |N(v) n V_p| - alpha_f * gamma * |V_p|^{gamma-1},
+/// with alpha_f = m * P^{gamma-1} / n^gamma (the Fennel paper's balanced
+/// scaling). Edges then follow their endpoints via the random-adjacent rule.
+class FennelPartitioner : public Partitioner {
+ public:
+  explicit FennelPartitioner(const FennelOptions& options = FennelOptions{})
+      : options_(options) {}
+
+  std::string name() const override { return "fennel"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  FennelOptions options_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_FENNEL_PARTITIONER_H_

@@ -1,0 +1,43 @@
+// Hybrid Ginger (PowerLyra [13]): hybrid hashing followed by Fennel-style
+// greedy refinement of the low-degree vertices' placement.
+#ifndef DNE_PARTITION_GINGER_PARTITIONER_H_
+#define DNE_PARTITION_GINGER_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+struct GingerOptions {
+  /// PowerLyra degree threshold theta: only vertices with degree <= theta
+  /// are re-placed (hub edges stay hashed).
+  std::size_t degree_threshold = 100;
+  /// Refinement sweeps over the low-degree vertices.
+  int rounds = 3;
+  /// Weight of the Fennel balance penalty.
+  double balance_weight = 1.0;
+  std::uint64_t seed = 0;
+};
+
+/// Refinement objective for moving low-degree vertex v to partition p
+/// (Fennel/Ginger): |N(v) in p| - balance_weight * load_penalty(p), where
+/// the penalty mixes vertex and edge loads as in the Ginger heuristic.
+class GingerPartitioner : public Partitioner {
+ public:
+  explicit GingerPartitioner(const GingerOptions& options = GingerOptions{})
+      : options_(options) {}
+
+  std::string name() const override { return "ginger"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  GingerOptions options_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_GINGER_PARTITIONER_H_

@@ -1,0 +1,41 @@
+#include "partition/grid_partitioner.h"
+
+#include "common/hash.h"
+#include "common/timer.h"
+
+namespace dne {
+
+void GridPartitioner::GridShape(std::uint32_t num_partitions,
+                                std::uint32_t* rows, std::uint32_t* cols) {
+  std::uint32_t r = 1;
+  for (std::uint32_t d = 1;
+       static_cast<std::uint64_t>(d) * d <= num_partitions; ++d) {
+    if (num_partitions % d == 0) r = d;
+  }
+  *rows = r;
+  *cols = num_partitions / r;
+}
+
+Status GridPartitioner::Partition(const Graph& g,
+                                  std::uint32_t num_partitions,
+                                  EdgePartition* out) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  WallTimer timer;
+  std::uint32_t rows, cols;
+  GridShape(num_partitions, &rows, &cols);
+  *out = EdgePartition(num_partitions, g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const std::uint32_t r = HashVertex(ed.src, seed_) % rows;
+    const std::uint32_t c = HashVertex(ed.dst, seed_ + 1) % cols;
+    out->Set(e, r * cols + c);
+  }
+  stats_ = PartitionRunStats{};
+  stats_.wall_seconds = timer.Seconds();
+  stats_.peak_memory_bytes = g.NumEdges() * sizeof(Edge);
+  return Status::OK();
+}
+
+}  // namespace dne

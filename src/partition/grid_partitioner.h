@@ -1,0 +1,36 @@
+// Grid (2-D hash) edge partitioning [53, 9, 4, 17]. Also provides the
+// row/column replica algebra reused by Distributed NE's initial distribution.
+#ifndef DNE_PARTITION_GRID_PARTITIONER_H_
+#define DNE_PARTITION_GRID_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+/// Arranges the |P| partitions in an R x C grid (R = the largest divisor of
+/// |P| that is <= sqrt(|P|)); edge (u, v) goes to the cell at the
+/// intersection of u's row and v's column, so a vertex's replicas are
+/// confined to its row + column (<= R + C - 1 partitions).
+class GridPartitioner : public Partitioner {
+ public:
+  explicit GridPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  std::string name() const override { return "grid"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+  /// Grid shape used for a given |P|: returns {rows, cols}, rows*cols == P.
+  static void GridShape(std::uint32_t num_partitions, std::uint32_t* rows,
+                        std::uint32_t* cols);
+
+ private:
+  std::uint64_t seed_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_GRID_PARTITIONER_H_

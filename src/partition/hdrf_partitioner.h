@@ -1,0 +1,40 @@
+// HDRF: High-Degree (are) Replicated First streaming partitioning [39].
+#ifndef DNE_PARTITION_HDRF_PARTITIONER_H_
+#define DNE_PARTITION_HDRF_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+struct HdrfOptions {
+  /// Balance weight lambda; > 1 tightens balance (HDRF paper notation).
+  double lambda = 1.1;
+  std::uint64_t seed = 0;
+};
+
+/// For each streamed edge (u, v), picks argmax_p C_rep(p) + C_bal(p) where
+///   C_rep(p) = g(u, p) + g(v, p),
+///   g(v, p)  = [p in A(v)] * (1 + (1 - theta_v)),  theta_v = d_v/(d_u+d_v),
+///   C_bal(p) = lambda * (maxload - load_p) / (eps + maxload - minload).
+/// Low-degree endpoints dominate the score, so hubs get replicated first —
+/// the right choice on skewed graphs.
+class HdrfPartitioner : public Partitioner {
+ public:
+  explicit HdrfPartitioner(const HdrfOptions& options = HdrfOptions{})
+      : options_(options) {}
+
+  std::string name() const override { return "hdrf"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  HdrfOptions options_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_HDRF_PARTITIONER_H_

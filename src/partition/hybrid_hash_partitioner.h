@@ -1,0 +1,34 @@
+// Hybrid hashing (PowerLyra [13] hybrid-cut): low-degree vertices keep all
+// their edges on one partition (edge-cut-like locality); edges incident to a
+// high-degree endpoint are spread by hashing the *other* endpoint.
+#ifndef DNE_PARTITION_HYBRID_HASH_PARTITIONER_H_
+#define DNE_PARTITION_HYBRID_HASH_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+class HybridHashPartitioner : public Partitioner {
+ public:
+  /// `degree_threshold` is PowerLyra's theta: vertices with degree above it
+  /// are treated as high-degree (default 100, the PowerLyra default).
+  explicit HybridHashPartitioner(std::size_t degree_threshold = 100,
+                                 std::uint64_t seed = 0)
+      : threshold_(degree_threshold), seed_(seed) {}
+
+  std::string name() const override { return "hybrid"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  std::size_t threshold_;
+  std::uint64_t seed_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_HYBRID_HASH_PARTITIONER_H_

@@ -1,0 +1,133 @@
+#include "partition/label_propagation.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace dne {
+
+namespace {
+
+// Multi-source BFS from `num_partitions` hash-chosen seeds; ties go to the
+// earlier frontier. Unreached vertices fall back to hashed labels.
+std::vector<PartitionId> BfsSeedInit(const Graph& g,
+                                     std::uint32_t num_partitions,
+                                     std::uint64_t seed) {
+  const VertexId n = g.NumVertices();
+  std::vector<PartitionId> label(n, kNoPartition);
+  std::deque<VertexId> frontier;
+  SplitMix64 rng(seed ^ 0xb5026f5aa96619e9ULL);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    // Rejection-sample a distinct seed vertex.
+    for (int probe = 0; probe < 64; ++probe) {
+      VertexId v = rng.Below(n);
+      if (label[v] == kNoPartition) {
+        label[v] = p;
+        frontier.push_back(v);
+        break;
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    for (const Adjacency& a : g.neighbors(v)) {
+      if (label[a.to] == kNoPartition) {
+        label[a.to] = label[v];
+        frontier.push_back(a.to);
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (label[v] == kNoPartition) {
+      label[v] = static_cast<PartitionId>(HashVertex(v, seed) %
+                                          num_partitions);
+    }
+  }
+  return label;
+}
+
+}  // namespace
+
+std::vector<PartitionId> RunLabelPropagation(
+    const Graph& g, std::uint32_t num_partitions,
+    const LabelPropagationOptions& options) {
+  const VertexId n = g.NumVertices();
+  if (n == 0) return {};
+  std::vector<PartitionId> label;
+  if (options.random_init) {
+    label.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+      label[v] = static_cast<PartitionId>(HashVertex(v, options.seed) %
+                                          num_partitions);
+    }
+  } else {
+    label = BfsSeedInit(g, num_partitions, options.seed);
+  }
+
+  // Resource loads: vertex count (Spinner) or incident-edge count (PuLP).
+  std::vector<double> load(num_partitions, 0.0);
+  double total_load = 0.0;
+  auto weight = [&](VertexId v) {
+    return options.balance_edges ? static_cast<double>(g.degree(v)) : 1.0;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    load[label[v]] += weight(v);
+    total_load += weight(v);
+  }
+  const double capacity = options.capacity_slack * total_load /
+                          static_cast<double>(num_partitions);
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  const std::uint64_t seed = options.seed;
+  std::sort(order.begin(), order.end(), [seed](VertexId a, VertexId b) {
+    return Mix64(a ^ seed) < Mix64(b ^ seed);
+  });
+
+  std::vector<double> neighbor_count(num_partitions, 0.0);
+  std::vector<PartitionId> touched;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    VertexId moved = 0;
+    for (VertexId v : order) {
+      if (g.degree(v) == 0) continue;
+      touched.clear();
+      for (const Adjacency& a : g.neighbors(v)) {
+        PartitionId lp = label[a.to];
+        if (neighbor_count[lp] == 0.0) touched.push_back(lp);
+        neighbor_count[lp] += 1.0;
+      }
+      const PartitionId cur = label[v];
+      PartitionId best = cur;
+      // Spinner score: neighbour affinity damped by remaining capacity.
+      double best_score = -1.0;
+      for (PartitionId p : touched) {
+        const double headroom =
+            std::max(0.0, 1.0 - load[p] / capacity);
+        double score = neighbor_count[p] * headroom;
+        if (p == cur) score *= 1.0 + 1e-9;  // stickiness breaks oscillation
+        if (score > best_score) {
+          best_score = score;
+          best = p;
+        }
+      }
+      for (PartitionId p : touched) neighbor_count[p] = 0.0;
+      if (best != cur && load[best] + weight(v) <= capacity) {
+        load[cur] -= weight(v);
+        load[best] += weight(v);
+        label[v] = best;
+        ++moved;
+      }
+    }
+    if (static_cast<double>(moved) <
+        options.convergence_fraction * static_cast<double>(n)) {
+      break;
+    }
+  }
+  return label;
+}
+
+}  // namespace dne

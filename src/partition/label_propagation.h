@@ -1,0 +1,37 @@
+// Shared label-propagation engine behind the Spinner [36] and XtraPuLP [42]
+// vertex partitioners.
+#ifndef DNE_PARTITION_LABEL_PROPAGATION_H_
+#define DNE_PARTITION_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace dne {
+
+struct LabelPropagationOptions {
+  /// Maximum refinement sweeps.
+  int max_iterations = 20;
+  /// Stop when fewer than this fraction of vertices changed label in a sweep.
+  double convergence_fraction = 0.001;
+  /// Per-partition capacity slack (on the balanced resource).
+  double capacity_slack = 1.05;
+  /// Balance vertices (Spinner) or edges-incident (PuLP-style) per partition.
+  bool balance_edges = false;
+  /// true: random initial labels (Spinner). false: labels grown from BFS
+  /// seeds, "without initial random allocation" (XtraPuLP).
+  bool random_init = true;
+  std::uint64_t seed = 1;
+};
+
+/// Runs capacity-aware label propagation and returns a per-vertex partition
+/// label in [0, num_partitions).
+std::vector<PartitionId> RunLabelPropagation(
+    const Graph& g, std::uint32_t num_partitions,
+    const LabelPropagationOptions& options);
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_LABEL_PROPAGATION_H_

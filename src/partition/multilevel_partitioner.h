@@ -1,0 +1,47 @@
+// Multilevel k-way vertex partitioning in the ParMETIS [23] mould:
+// heavy-edge-matching coarsening, greedy region-growing initial partition,
+// and boundary refinement on the way back up. The vertex partition is
+// converted to an edge partition for comparison (Sec. 7.1).
+#ifndef DNE_PARTITION_MULTILEVEL_PARTITIONER_H_
+#define DNE_PARTITION_MULTILEVEL_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+struct MultilevelOptions {
+  /// Vertex-weight balance slack during refinement.
+  double balance_slack = 1.05;
+  /// Boundary-refinement sweeps per level.
+  int refine_passes = 4;
+  /// Coarsening stops near num_partitions * this many vertices.
+  int coarsest_vertices_per_part = 30;
+  std::uint64_t seed = 1;
+};
+
+class MultilevelPartitioner : public Partitioner {
+ public:
+  explicit MultilevelPartitioner(
+      const MultilevelOptions& options = MultilevelOptions{})
+      : options_(options) {}
+
+  std::string name() const override { return "multilevel"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+  /// The underlying vertex labelling of the last run (for tests).
+  const std::vector<PartitionId>& vertex_labels() const { return labels_; }
+
+ private:
+  MultilevelOptions options_;
+  PartitionRunStats stats_;
+  std::vector<PartitionId> labels_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_MULTILEVEL_PARTITIONER_H_

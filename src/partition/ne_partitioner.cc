@@ -1,0 +1,156 @@
+#include "partition/ne_partitioner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace dne {
+
+namespace {
+
+/// Min-heap entry: (D_rest score at push time, vertex). Lazy decrease-key:
+/// stale entries are re-pushed with the current score when popped.
+struct HeapEntry {
+  std::uint64_t score;
+  VertexId vertex;
+  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+    return std::tie(a.score, a.vertex) > std::tie(b.score, b.vertex);
+  }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+Status NePartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
+                                EdgePartition* out) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (options_.alpha < 1.0) {
+    return Status::InvalidArgument("alpha must be >= 1.0");
+  }
+  WallTimer timer;
+  const EdgeId num_edges = g.NumEdges();
+  const VertexId n = g.NumVertices();
+  *out = EdgePartition(num_partitions, num_edges);
+  if (num_edges == 0) {
+    stats_ = PartitionRunStats{};
+    return Status::OK();
+  }
+
+  std::vector<std::uint32_t> rest_degree(n);
+  for (VertexId v = 0; v < n; ++v) {
+    rest_degree[v] = static_cast<std::uint32_t>(g.degree(v));
+  }
+  std::vector<bool> allocated(num_edges, false);
+  EdgeId total_allocated = 0;
+
+  // Epoch-stamped membership in V(E_p) of the partition under construction.
+  std::vector<std::uint32_t> vx_epoch(n, 0);
+  std::uint32_t epoch = 0;
+
+  // Deterministic random-vertex source: a hash-shuffled vertex order with a
+  // global cursor; a few random probes first keep the choice near-uniform.
+  std::vector<VertexId> shuffled(n);
+  std::iota(shuffled.begin(), shuffled.end(), VertexId{0});
+  const std::uint64_t seed = options_.seed;
+  std::sort(shuffled.begin(), shuffled.end(), [seed](VertexId a, VertexId b) {
+    return Mix64(a ^ seed) < Mix64(b ^ seed);
+  });
+  std::size_t cursor = 0;
+  SplitMix64 rng(options_.seed);
+  auto next_free_vertex = [&]() -> VertexId {
+    for (int probe = 0; probe < 16; ++probe) {
+      VertexId v = shuffled[rng.Below(n)];
+      if (rest_degree[v] > 0) return v;
+    }
+    while (cursor < n && rest_degree[shuffled[cursor]] == 0) ++cursor;
+    return cursor < n ? shuffled[cursor] : kNoVertex;
+  };
+
+  const std::uint64_t base_limit = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(options_.alpha *
+                                    static_cast<double>(num_edges) /
+                                    static_cast<double>(num_partitions)));
+
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    if (total_allocated == num_edges) break;
+    const bool last = (p + 1 == num_partitions);
+    const std::uint64_t limit =
+        last ? num_edges : base_limit;  // last partition absorbs the rest
+    ++epoch;
+    MinHeap boundary;
+    std::uint64_t size = 0;
+
+    // Allocates edge `eid` to p and maintains D_rest. Returns false if the
+    // partition is full.
+    auto allocate_edge = [&](EdgeId eid, VertexId a, VertexId b) {
+      allocated[eid] = true;
+      out->Set(eid, p);
+      --rest_degree[a];
+      --rest_degree[b];
+      ++total_allocated;
+      ++size;
+    };
+
+    while (size < limit && total_allocated < num_edges) {
+      VertexId v = kNoVertex;
+      while (!boundary.empty()) {
+        HeapEntry top = boundary.top();
+        boundary.pop();
+        if (rest_degree[top.vertex] == 0) continue;  // fully allocated
+        if (top.score != rest_degree[top.vertex]) {
+          boundary.push(HeapEntry{rest_degree[top.vertex], top.vertex});
+          continue;  // stale score: reinsert with the current D_rest
+        }
+        v = top.vertex;
+        break;
+      }
+      if (v == kNoVertex) {
+        v = next_free_vertex();
+        if (v == kNoVertex) break;  // no free edges anywhere
+      }
+      vx_epoch[v] = epoch;
+
+      // One-hop allocation: all of v's remaining edges join E_p.
+      for (const Adjacency& a : g.neighbors(v)) {
+        if (size >= limit) break;
+        if (allocated[a.edge]) continue;
+        allocate_edge(a.edge, v, a.to);
+        const VertexId u = a.to;
+        if (vx_epoch[u] != epoch) {
+          vx_epoch[u] = epoch;
+          // Two-hop allocation (Condition (5)): edges from the new boundary
+          // vertex u to any w already in V(E_p) are free of new replicas.
+          for (const Adjacency& b : g.neighbors(u)) {
+            if (size >= limit) break;
+            if (allocated[b.edge] || vx_epoch[b.to] != epoch) continue;
+            allocate_edge(b.edge, u, b.to);
+          }
+          if (rest_degree[u] > 0) {
+            boundary.push(HeapEntry{rest_degree[u], u});
+          }
+        }
+      }
+    }
+  }
+
+  stats_ = PartitionRunStats{};
+  stats_.wall_seconds = timer.Seconds();
+  stats_.peak_memory_bytes =
+      g.MemoryBytes() + n * (sizeof(std::uint32_t) * 2) + num_edges / 8 +
+      n * sizeof(VertexId);
+  Status st = out->Validate(g);
+  if (!st.ok()) return st;
+  return Status::OK();
+}
+
+}  // namespace dne

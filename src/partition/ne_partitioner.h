@@ -1,0 +1,42 @@
+// NE: sequential neighbour-expansion edge partitioning (Zhang et al. [54]),
+// the offline single-machine algorithm Distributed NE parallelises. Serves
+// as the quality gold standard in Table 4.
+#ifndef DNE_PARTITION_NE_PARTITIONER_H_
+#define DNE_PARTITION_NE_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+struct NeOptions {
+  /// Balance slack alpha of Eq. (2): |E_p| < alpha * |E| / |P|.
+  double alpha = 1.1;
+  std::uint64_t seed = 1;
+};
+
+/// Grows the partitions one at a time: each starts from a random vertex and
+/// repeatedly (i) moves the boundary vertex with minimal remaining degree
+/// D_rest into the core, (ii) allocates its one-hop remaining edges, and
+/// (iii) allocates two-hop edges whose endpoints are both inside V(E_p)
+/// (Condition (5) — these never increase replication). The last partition
+/// absorbs any remaining edges so the result always covers E.
+class NePartitioner : public Partitioner {
+ public:
+  explicit NePartitioner(const NeOptions& options = NeOptions{})
+      : options_(options) {}
+
+  std::string name() const override { return "ne"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  NeOptions options_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_NE_PARTITIONER_H_

@@ -1,0 +1,76 @@
+#include "partition/oblivious_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "partition/replica_table.h"
+
+namespace dne {
+
+Status ObliviousPartitioner::Partition(const Graph& g,
+                                       std::uint32_t num_partitions,
+                                       EdgePartition* out) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  WallTimer timer;
+  *out = EdgePartition(num_partitions, g.NumEdges());
+  ReplicaTable replicas(g.NumVertices());
+  std::vector<std::uint64_t> load(num_partitions, 0);
+
+  // Deterministic shuffled streaming order.
+  std::vector<EdgeId> order(g.NumEdges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [this](EdgeId a, EdgeId b) {
+    return Mix64(a ^ seed_) < Mix64(b ^ seed_);
+  });
+
+  auto least_loaded_in = [&](const std::vector<PartitionId>& cands) {
+    PartitionId best = cands[0];
+    for (PartitionId p : cands) {
+      if (load[p] < load[best]) best = p;
+    }
+    return best;
+  };
+
+  std::vector<PartitionId> candidates;
+  for (EdgeId e : order) {
+    const Edge& ed = g.edge(e);
+    const auto& au = replicas.of(ed.src);
+    const auto& av = replicas.of(ed.dst);
+
+    candidates.clear();
+    std::set_intersection(au.begin(), au.end(), av.begin(), av.end(),
+                          std::back_inserter(candidates));
+    if (candidates.empty()) {
+      if (!au.empty() && !av.empty()) {
+        std::set_union(au.begin(), au.end(), av.begin(), av.end(),
+                       std::back_inserter(candidates));
+      } else if (!au.empty()) {
+        candidates = au;
+      } else if (!av.empty()) {
+        candidates = av;
+      } else {
+        candidates.resize(num_partitions);
+        std::iota(candidates.begin(), candidates.end(), PartitionId{0});
+      }
+    }
+    const PartitionId p = least_loaded_in(candidates);
+    out->Set(e, p);
+    ++load[p];
+    replicas.Add(ed.src, p);
+    replicas.Add(ed.dst, p);
+  }
+
+  stats_ = PartitionRunStats{};
+  stats_.wall_seconds = timer.Seconds();
+  stats_.peak_memory_bytes = g.NumEdges() * sizeof(Edge) +
+                             replicas.MemoryBytes() +
+                             load.size() * sizeof(std::uint64_t);
+  return Status::OK();
+}
+
+}  // namespace dne

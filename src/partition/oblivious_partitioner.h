@@ -1,0 +1,34 @@
+// Oblivious: PowerGraph's coordination-free greedy edge placement [16] —
+// the paper's "hash-based with iterative refinement" representative.
+#ifndef DNE_PARTITION_OBLIVIOUS_PARTITIONER_H_
+#define DNE_PARTITION_OBLIVIOUS_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+/// Streams edges (in a deterministic shuffled order) applying the PowerGraph
+/// greedy rules:
+///   1. A(u) and A(v) intersect            -> least-loaded common partition
+///   2. both non-empty, no intersection    -> least-loaded in A(u) u A(v)
+///   3. exactly one non-empty              -> least-loaded in that set
+///   4. both empty                         -> least-loaded overall
+class ObliviousPartitioner : public Partitioner {
+ public:
+  explicit ObliviousPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  std::string name() const override { return "oblivious"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  std::uint64_t seed_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_OBLIVIOUS_PARTITIONER_H_

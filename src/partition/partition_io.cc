@@ -1,0 +1,117 @@
+#include "partition/partition_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace dne {
+
+namespace {
+constexpr std::uint64_t kPartitionMagic = 0x444e455f50415254ULL;  // DNE_PART
+}  // namespace
+
+Status SavePartitionText(const std::string& path,
+                         const EdgePartition& partition) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "# " << partition.num_partitions() << " " << partition.num_edges()
+      << "\n";
+  for (EdgeId e = 0; e < partition.num_edges(); ++e) {
+    out << partition.Get(e) << "\n";
+  }
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+Status LoadPartitionText(const std::string& path, EdgePartition* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.size() < 2 || line[0] != '#') {
+    return Status::IOError(path + ": missing header");
+  }
+  std::istringstream header(line.substr(1));
+  std::uint32_t num_partitions = 0;
+  std::uint64_t num_edges = 0;
+  if (!(header >> num_partitions >> num_edges) || num_partitions == 0) {
+    return Status::IOError(path + ": malformed header");
+  }
+  EdgePartition partition(num_partitions, num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    std::uint32_t p;
+    if (!(in >> p)) return Status::IOError(path + ": truncated assignment");
+    if (p >= num_partitions) {
+      return Status::IOError(path + ": partition id out of range");
+    }
+    partition.Set(e, p);
+  }
+  *out = std::move(partition);
+  return Status::OK();
+}
+
+Status SavePartitionBinary(const std::string& path,
+                           const EdgePartition& partition) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  const std::uint64_t magic = kPartitionMagic;
+  const std::uint32_t parts = partition.num_partitions();
+  const std::uint64_t edges = partition.num_edges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&parts), sizeof(parts));
+  out.write(reinterpret_cast<const char*>(&edges), sizeof(edges));
+  out.write(reinterpret_cast<const char*>(partition.assignment().data()),
+            static_cast<std::streamsize>(edges * sizeof(PartitionId)));
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+Status LoadPartitionBinary(const std::string& path, EdgePartition* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::uint64_t magic = 0, edges = 0;
+  std::uint32_t parts = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&parts), sizeof(parts));
+  in.read(reinterpret_cast<char*>(&edges), sizeof(edges));
+  if (!in || magic != kPartitionMagic || parts == 0) {
+    return Status::IOError(path + ": bad magic or header");
+  }
+  EdgePartition partition(parts, edges);
+  in.read(reinterpret_cast<char*>(partition.mutable_assignment().data()),
+          static_cast<std::streamsize>(edges * sizeof(PartitionId)));
+  if (!in) return Status::IOError(path + ": truncated assignment");
+  for (EdgeId e = 0; e < edges; ++e) {
+    if (partition.Get(e) >= parts) {
+      return Status::IOError(path + ": partition id out of range");
+    }
+  }
+  *out = std::move(partition);
+  return Status::OK();
+}
+
+Status WritePartitionShards(const std::string& directory, const Graph& g,
+                            const EdgePartition& partition) {
+  if (partition.num_edges() != g.NumEdges()) {
+    return Status::InvalidArgument("partition does not match graph");
+  }
+  std::vector<std::ofstream> shards;
+  shards.reserve(partition.num_partitions());
+  for (std::uint32_t p = 0; p < partition.num_partitions(); ++p) {
+    shards.emplace_back(directory + "/part-" + std::to_string(p) + ".txt");
+    if (!shards.back()) {
+      return Status::IOError("cannot open shard " + std::to_string(p) +
+                             " in " + directory);
+    }
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    shards[partition.Get(e)] << ed.src << " " << ed.dst << "\n";
+  }
+  for (auto& s : shards) {
+    if (!s) return Status::IOError("shard write failed in " + directory);
+  }
+  return Status::OK();
+}
+
+}  // namespace dne

@@ -1,0 +1,35 @@
+// Persistence for EdgePartition results: whole-assignment files (text and
+// binary) and per-partition edge shards — the hand-off format a distributed
+// graph engine ingests.
+#ifndef DNE_PARTITION_PARTITION_IO_H_
+#define DNE_PARTITION_PARTITION_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+/// Text format: "# num_partitions num_edges" header, then one partition id
+/// per line, in edge-id order.
+Status SavePartitionText(const std::string& path,
+                         const EdgePartition& partition);
+Status LoadPartitionText(const std::string& path, EdgePartition* out);
+
+/// Binary format: u64 magic, u32 num_partitions, u64 num_edges, then
+/// num_edges * u32 partition ids.
+Status SavePartitionBinary(const std::string& path,
+                           const EdgePartition& partition);
+Status LoadPartitionBinary(const std::string& path, EdgePartition* out);
+
+/// Writes one "part-<i>.txt" edge list per partition into `directory`
+/// (created by the caller). Each shard holds the canonical "u v" lines of
+/// its edges — exactly what each machine of a distributed engine loads.
+Status WritePartitionShards(const std::string& directory, const Graph& g,
+                            const EdgePartition& partition);
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_PARTITION_IO_H_

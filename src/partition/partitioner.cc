@@ -1,0 +1,4 @@
+#include "partition/partitioner.h"
+
+// Interface-only TU; anchors the vtable.
+namespace dne {}  // namespace dne

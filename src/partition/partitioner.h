@@ -1,0 +1,51 @@
+// Partitioner: the public interface every edge-partitioning algorithm
+// implements (the paper's f : E -> {E_p}, Eq. (2)).
+#ifndef DNE_PARTITION_PARTITIONER_H_
+#define DNE_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+/// Performance/footprint numbers a partitioner reports after a run. Hash
+/// partitioners fill only the trivially-known fields; the distributed
+/// algorithms (DNE, multilevel, LP, Sheep) fill all of them.
+struct PartitionRunStats {
+  double wall_seconds = 0.0;      ///< measured wall-clock partitioning time
+  double sim_seconds = 0.0;       ///< CostModel time on the simulated cluster
+  std::uint64_t comm_bytes = 0;   ///< cross-rank traffic during partitioning
+  std::uint64_t supersteps = 0;   ///< BSP iterations executed
+  std::uint64_t peak_memory_bytes = 0;  ///< cluster-wide high-water mark
+  /// Mem score as defined in Sec. 7.3: peak bytes / |E|.
+  double MemScore(std::uint64_t num_edges) const {
+    return num_edges == 0 ? 0.0
+                          : static_cast<double>(peak_memory_bytes) /
+                                static_cast<double>(num_edges);
+  }
+};
+
+/// Abstract |P|-way edge partitioner.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Short identifier, e.g. "dne", "hdrf", "grid".
+  virtual std::string name() const = 0;
+
+  /// Partitions g into num_partitions edge sets. Implementations must leave
+  /// *out in a Validate()-clean state on OK.
+  virtual Status Partition(const Graph& g, std::uint32_t num_partitions,
+                           EdgePartition* out) = 0;
+
+  /// Stats of the most recent Partition() call.
+  virtual PartitionRunStats run_stats() const { return PartitionRunStats{}; }
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_PARTITIONER_H_

@@ -1,0 +1,27 @@
+#include "partition/random_partitioner.h"
+
+#include "common/hash.h"
+#include "common/timer.h"
+
+namespace dne {
+
+Status RandomPartitioner::Partition(const Graph& g,
+                                    std::uint32_t num_partitions,
+                                    EdgePartition* out) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  WallTimer timer;
+  *out = EdgePartition(num_partitions, g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    out->Set(e, static_cast<PartitionId>(HashEdge(ed.src, ed.dst, seed_) %
+                                         num_partitions));
+  }
+  stats_ = PartitionRunStats{};
+  stats_.wall_seconds = timer.Seconds();
+  stats_.peak_memory_bytes = g.NumEdges() * sizeof(Edge);
+  return Status::OK();
+}
+
+}  // namespace dne

@@ -1,0 +1,28 @@
+// Random (1-D hash) edge partitioning: the simplest scalable baseline.
+#ifndef DNE_PARTITION_RANDOM_PARTITIONER_H_
+#define DNE_PARTITION_RANDOM_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+/// Assigns each edge to hash(edge) mod |P| — the paper's "Random" baseline.
+class RandomPartitioner : public Partitioner {
+ public:
+  explicit RandomPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  std::string name() const override { return "random"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  std::uint64_t seed_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_RANDOM_PARTITIONER_H_

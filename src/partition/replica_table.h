@@ -1,0 +1,57 @@
+// ReplicaTable: per-vertex partition sets A(v) maintained by the greedy and
+// streaming partitioners (Oblivious, HDRF, Ginger, SNE).
+#ifndef DNE_PARTITION_REPLICA_TABLE_H_
+#define DNE_PARTITION_REPLICA_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dne {
+
+/// Sorted small-vector set of partitions per vertex. Partition counts in the
+/// paper's experiments are <= 1024, and per-vertex replica sets are tiny (the
+/// replication factor itself!), so sorted vectors beat hash sets by a wide
+/// margin in both space and time.
+class ReplicaTable {
+ public:
+  explicit ReplicaTable(VertexId num_vertices) : sets_(num_vertices) {}
+
+  bool Contains(VertexId v, PartitionId p) const {
+    const auto& s = sets_[v];
+    return std::binary_search(s.begin(), s.end(), p);
+  }
+
+  /// Inserts p into A(v); returns true if newly added.
+  bool Add(VertexId v, PartitionId p) {
+    auto& s = sets_[v];
+    auto it = std::lower_bound(s.begin(), s.end(), p);
+    if (it != s.end() && *it == p) return false;
+    s.insert(it, p);
+    return true;
+  }
+
+  const std::vector<PartitionId>& of(VertexId v) const { return sets_[v]; }
+
+  std::size_t TotalReplicas() const {
+    std::size_t n = 0;
+    for (const auto& s : sets_) n += s.size();
+    return n;
+  }
+
+  /// Approximate resident bytes (for mem-score accounting).
+  std::size_t MemoryBytes() const {
+    std::size_t bytes = sets_.capacity() * sizeof(sets_[0]);
+    for (const auto& s : sets_) bytes += s.capacity() * sizeof(PartitionId);
+    return bytes;
+  }
+
+ private:
+  std::vector<std::vector<PartitionId>> sets_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_REPLICA_TABLE_H_

@@ -1,0 +1,147 @@
+#include "partition/sheep_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace dne {
+
+namespace {
+
+// Union-find with path halving, used for elimination-tree construction.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+  VertexId Find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Link(VertexId child_root, VertexId new_root) {
+    parent_[child_root] = new_root;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+std::vector<VertexId> SheepPartitioner::BuildEliminationTree(
+    const Graph& g, const std::vector<std::uint32_t>& rank) {
+  // Liu's elimination-tree algorithm: process vertices in rank order; each
+  // lower-ranked neighbour's current tree root becomes a child of v.
+  const VertexId n = g.NumVertices();
+  std::vector<VertexId> by_rank(n);
+  for (VertexId v = 0; v < n; ++v) by_rank[rank[v]] = v;
+
+  std::vector<VertexId> parent(n, kNoVertex);
+  DisjointSet ds(n);
+  for (VertexId r = 0; r < n; ++r) {
+    const VertexId v = by_rank[r];
+    for (const Adjacency& a : g.neighbors(v)) {
+      if (rank[a.to] >= rank[v]) continue;
+      VertexId root = ds.Find(a.to);
+      if (root != v) {
+        parent[root] = v;
+        ds.Link(root, v);
+      }
+    }
+  }
+  return parent;
+}
+
+Status SheepPartitioner::Partition(const Graph& g,
+                                   std::uint32_t num_partitions,
+                                   EdgePartition* out) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  WallTimer timer;
+  const VertexId n = g.NumVertices();
+  const EdgeId m = g.NumEdges();
+
+  // 1. Degree ordering (Sheep's parallel sort stage): ascending degree, ties
+  //    by id. The low-degree fringe is eliminated first; hubs end near roots.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    const std::size_t da = g.degree(a), db = g.degree(b);
+    return da != db ? da < db : a < b;
+  });
+  std::vector<std::uint32_t> rank(n);
+  for (VertexId i = 0; i < n; ++i) {
+    rank[order[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  // 2. Elimination tree.
+  std::vector<VertexId> parent = BuildEliminationTree(g, rank);
+
+  // 3. Map each edge onto the tree node of its lower-ranked endpoint (the
+  //    vertex whose elimination consumes the edge); accumulate node weights.
+  std::vector<std::uint64_t> weight(n, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& ed = g.edge(e);
+    const VertexId node = rank[ed.src] < rank[ed.dst] ? ed.src : ed.dst;
+    ++weight[node];
+  }
+
+  // 4. Tree partitioning by subtree accumulation: walk in rank order
+  //    (children strictly precede parents); whenever the weight pending
+  //    under v reaches |E|/|P|, cut v's pending subtree into a new part and
+  //    stop propagating its weight upward.
+  const std::uint64_t target = std::max<std::uint64_t>(1, m / num_partitions);
+  std::vector<std::uint64_t> acc(n, 0);
+  std::vector<PartitionId> cut_part(n, kNoPartition);
+  PartitionId next_part = 0;
+  for (VertexId r = 0; r < n; ++r) {
+    const VertexId v = order[r];
+    acc[v] += weight[v];
+    if (acc[v] >= target && next_part + 1 < num_partitions) {
+      cut_part[v] = next_part++;
+      continue;
+    }
+    if (parent[v] != kNoVertex) acc[parent[v]] += acc[v];
+  }
+
+  // 5. Resolve per-vertex parts top-down: parents have higher rank, so a
+  //    reverse-rank sweep sees every parent before its children. A vertex
+  //    takes its own cut if present, else inherits; uncut roots take the
+  //    last part.
+  std::vector<PartitionId> vertex_part(n, kNoPartition);
+  for (VertexId i = n; i-- > 0;) {
+    const VertexId v = order[i];
+    if (cut_part[v] != kNoPartition) {
+      vertex_part[v] = cut_part[v];
+    } else if (parent[v] != kNoVertex) {
+      vertex_part[v] = vertex_part[parent[v]];
+    } else {
+      vertex_part[v] = num_partitions - 1;
+    }
+  }
+
+  // 6. Edge partition: each edge follows its tree node.
+  *out = EdgePartition(num_partitions, m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& ed = g.edge(e);
+    const VertexId node = rank[ed.src] < rank[ed.dst] ? ed.src : ed.dst;
+    out->Set(e, vertex_part[node]);
+  }
+
+  stats_ = PartitionRunStats{};
+  stats_.wall_seconds = timer.Seconds();
+  // Sheep keeps the graph, the elimination tree and several words of
+  // per-vertex bookkeeping resident — the mem profile Fig. 9 reports.
+  stats_.peak_memory_bytes =
+      g.MemoryBytes() +
+      n * (sizeof(VertexId) * 3 + sizeof(std::uint64_t) * 2);
+  return Status::OK();
+}
+
+}  // namespace dne

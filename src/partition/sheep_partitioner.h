@@ -1,0 +1,35 @@
+// Sheep [35]: the "indirect" distributed edge partitioner — translates the
+// graph into an elimination tree (degree ordering), maps every edge onto a
+// tree node, and partitions the tree by balanced subtree accumulation.
+#ifndef DNE_PARTITION_SHEEP_PARTITIONER_H_
+#define DNE_PARTITION_SHEEP_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+class SheepPartitioner : public Partitioner {
+ public:
+  explicit SheepPartitioner(std::uint64_t seed = 1) : seed_(seed) {}
+
+  std::string name() const override { return "sheep"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+  /// Exposed for tests: elimination-tree parent of each vertex under the
+  /// degree ordering (kNoVertex for roots). parent rank is always higher.
+  static std::vector<VertexId> BuildEliminationTree(
+      const Graph& g, const std::vector<std::uint32_t>& rank);
+
+ private:
+  std::uint64_t seed_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_SHEEP_PARTITIONER_H_

@@ -1,0 +1,42 @@
+// SNE: streaming neighbour expansion [54] — NE restricted to a bounded
+// in-memory window of the edge stream, trading quality for memory.
+#ifndef DNE_PARTITION_SNE_PARTITIONER_H_
+#define DNE_PARTITION_SNE_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+struct SneOptions {
+  /// Balance slack alpha of Eq. (2).
+  double alpha = 1.1;
+  /// Number of stream chunks (the inverse of the memory budget: the window
+  /// holds |E|/chunks edges). 8 mimics the paper's "part of the entire graph
+  /// on main memory" regime at our scales.
+  int chunks = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Processes the edge stream chunk by chunk; inside each chunk runs
+/// NE-style expansion seeded from vertices already bound to each partition
+/// by earlier chunks (a global replica table), honouring global capacities.
+class SnePartitioner : public Partitioner {
+ public:
+  explicit SnePartitioner(const SneOptions& options = SneOptions{})
+      : options_(options) {}
+
+  std::string name() const override { return "sne"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  SneOptions options_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_SNE_PARTITIONER_H_

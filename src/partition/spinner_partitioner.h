@@ -1,0 +1,30 @@
+// Spinner [36]: hash-random initial vertex labels refined by capacity-aware
+// label propagation, converted to an edge partition for comparison.
+#ifndef DNE_PARTITION_SPINNER_PARTITIONER_H_
+#define DNE_PARTITION_SPINNER_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+class SpinnerPartitioner : public Partitioner {
+ public:
+  explicit SpinnerPartitioner(int max_iterations = 20, std::uint64_t seed = 1)
+      : max_iterations_(max_iterations), seed_(seed) {}
+
+  std::string name() const override { return "spinner"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  int max_iterations_;
+  std::uint64_t seed_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_SPINNER_PARTITIONER_H_

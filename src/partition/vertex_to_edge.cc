@@ -1,0 +1,20 @@
+#include "partition/vertex_to_edge.h"
+
+#include "common/hash.h"
+
+namespace dne {
+
+EdgePartition VertexToEdgePartition(const Graph& g,
+                                    const std::vector<PartitionId>& labels,
+                                    std::uint32_t num_partitions,
+                                    std::uint64_t seed) {
+  EdgePartition out(num_partitions, g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const bool pick_src = (HashEdge(ed.src, ed.dst, seed) & 1) == 0;
+    out.Set(e, labels[pick_src ? ed.src : ed.dst]);
+  }
+  return out;
+}
+
+}  // namespace dne

@@ -1,0 +1,25 @@
+// Vertex-partition -> edge-partition conversion, as used by the paper to
+// compare against vertex partitioners (Sec. 7.1): "each edge is randomly
+// assigned to one of its adjacent vertices' partitions" [10].
+#ifndef DNE_PARTITION_VERTEX_TO_EDGE_H_
+#define DNE_PARTITION_VERTEX_TO_EDGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+/// Converts a per-vertex labelling into an EdgePartition: each edge flips a
+/// deterministic hash-coin between its endpoints' labels.
+EdgePartition VertexToEdgePartition(const Graph& g,
+                                    const std::vector<PartitionId>& labels,
+                                    std::uint32_t num_partitions,
+                                    std::uint64_t seed = 0);
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_VERTEX_TO_EDGE_H_

@@ -1,0 +1,32 @@
+// XtraPuLP-like [42]: label propagation grown from BFS seeds (no random
+// initial allocation) with edge-aware balancing, converted to edge
+// partitions.
+#ifndef DNE_PARTITION_XTRAPULP_PARTITIONER_H_
+#define DNE_PARTITION_XTRAPULP_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace dne {
+
+class XtraPulpPartitioner : public Partitioner {
+ public:
+  explicit XtraPulpPartitioner(int max_iterations = 20,
+                               std::uint64_t seed = 1)
+      : max_iterations_(max_iterations), seed_(seed) {}
+
+  std::string name() const override { return "xtrapulp"; }
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) override;
+  PartitionRunStats run_stats() const override { return stats_; }
+
+ private:
+  int max_iterations_;
+  std::uint64_t seed_;
+  PartitionRunStats stats_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_XTRAPULP_PARTITIONER_H_

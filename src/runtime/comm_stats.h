@@ -1,0 +1,28 @@
+// Communication counters for the simulated cluster.
+#ifndef DNE_RUNTIME_COMM_STATS_H_
+#define DNE_RUNTIME_COMM_STATS_H_
+
+#include <cstdint>
+
+namespace dne {
+
+/// Aggregate communication volume observed by a SimCluster run. Only
+/// *cross-rank* traffic is counted: messages a rank sends to itself model
+/// intra-machine handoff (e.g. expansion process -> allocation process on the
+/// same machine in Fig. 4) and are free, exactly as in the MPI deployment.
+struct CommStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t supersteps = 0;
+
+  void AddMessage(std::uint64_t message_bytes) {
+    ++messages;
+    bytes += message_bytes;
+  }
+
+  void Reset() { *this = CommStats{}; }
+};
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_COMM_STATS_H_

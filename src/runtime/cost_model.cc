@@ -1,0 +1,46 @@
+#include "runtime/cost_model.h"
+
+#include <algorithm>
+
+namespace dne {
+
+CostModel::CostModel(const CostModelOptions& options, int num_ranks)
+    : options_(options),
+      step_work_(num_ranks, 0),
+      step_bytes_(num_ranks, 0),
+      cumulative_work_(num_ranks, 0) {}
+
+void CostModel::AddWork(int rank, std::uint64_t ops) {
+  step_work_[rank] += ops;
+  cumulative_work_[rank] += ops;
+  total_work_ += ops;
+}
+
+void CostModel::AddBytes(int rank, std::uint64_t bytes) {
+  step_bytes_[rank] += bytes;
+}
+
+void CostModel::EndSuperstep() {
+  std::uint64_t max_work = 0, max_bytes = 0;
+  for (std::uint64_t w : step_work_) max_work = std::max(max_work, w);
+  for (std::uint64_t b : step_bytes_) max_bytes = std::max(max_bytes, b);
+  sim_ns_ += static_cast<double>(max_work) * options_.ns_per_op +
+             static_cast<double>(max_bytes) * options_.ns_per_byte +
+             options_.barrier_ns;
+  std::fill(step_work_.begin(), step_work_.end(), 0);
+  std::fill(step_bytes_.begin(), step_bytes_.end(), 0);
+}
+
+double CostModel::WorkBalance() const {
+  std::uint64_t max_w = 0, sum = 0;
+  for (std::uint64_t w : cumulative_work_) {
+    max_w = std::max(max_w, w);
+    sum += w;
+  }
+  if (sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(cumulative_work_.size());
+  return static_cast<double>(max_w) / mean;
+}
+
+}  // namespace dne

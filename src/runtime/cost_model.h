@@ -1,0 +1,64 @@
+// Alpha-beta cost model turning counted work and bytes into simulated
+// elapsed time. This is how the single-box reproduction recovers the *shape*
+// of the paper's Fig. 10 scaling results (see DESIGN.md §1).
+#ifndef DNE_RUNTIME_COST_MODEL_H_
+#define DNE_RUNTIME_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dne {
+
+/// Machine constants of the simulated cluster. Defaults approximate the
+/// paper's testbed class (2x12-core Xeon, InfiniBand EDR): ~1 ns per local
+/// work unit, ~10 GB/s effective per-machine injection bandwidth, ~25 us
+/// full-cluster barrier.
+struct CostModelOptions {
+  double ns_per_op = 1.0;
+  double ns_per_byte = 0.1;
+  double barrier_ns = 25000.0;
+  /// Cores per machine (the paper's testbed: 2 x 12). Phases a rank executes
+  /// "in parallel" (Alg. 3) divide their work across this many units;
+  /// inherently serial phases (the expansion process's priority queue)
+  /// charge full ops. See Theorem 3's per-unit complexity.
+  int cores_per_machine = 24;
+};
+
+/// Accumulates per-rank work/bytes within a superstep; at the barrier, the
+/// superstep's simulated duration is
+///   max_r(work_r)*ns_per_op + max_r(bytes_r)*ns_per_byte + barrier_ns
+/// (BSP critical path: the slowest rank gates everyone).
+class CostModel {
+ public:
+  CostModel() : CostModel(CostModelOptions{}, 1) {}
+  CostModel(const CostModelOptions& options, int num_ranks);
+
+  void AddWork(int rank, std::uint64_t ops);
+  void AddBytes(int rank, std::uint64_t bytes);
+
+  /// Closes the current superstep and adds its critical path to SimSeconds.
+  void EndSuperstep();
+
+  double SimSeconds() const { return sim_ns_ * 1e-9; }
+  std::uint64_t TotalWork() const { return total_work_; }
+
+  /// Cumulative per-rank work: max/avg is the workload-balance metric (WB).
+  const std::vector<std::uint64_t>& CumulativeWork() const {
+    return cumulative_work_;
+  }
+
+  /// max(cumulative work) / mean(cumulative work); 1.0 when perfectly even.
+  double WorkBalance() const;
+
+ private:
+  CostModelOptions options_;
+  std::vector<std::uint64_t> step_work_;
+  std::vector<std::uint64_t> step_bytes_;
+  std::vector<std::uint64_t> cumulative_work_;
+  std::uint64_t total_work_ = 0;
+  double sim_ns_ = 0.0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_COST_MODEL_H_

@@ -1,0 +1,4 @@
+#include "runtime/mem_tracker.h"
+
+// Header-only; this TU anchors the type in the library.
+namespace dne {}  // namespace dne

@@ -1,0 +1,51 @@
+// Per-rank memory accounting for the Fig. 9 "mem score" experiments.
+#ifndef DNE_RUNTIME_MEM_TRACKER_H_
+#define DNE_RUNTIME_MEM_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dne {
+
+/// Tracks the bytes resident on each simulated rank and the cluster-wide
+/// high-water mark. The paper's mem score (Sec. 7.3) is
+///   (sum over processes of bytes at the peak snapshot) / |E|;
+/// we take the peak of the cluster-wide total, which is what the 0.5-second
+/// snapshot sampling in the paper approximates.
+class MemTracker {
+ public:
+  MemTracker() : MemTracker(1) {}
+  explicit MemTracker(int num_ranks) : current_(num_ranks, 0) {}
+
+  void Allocate(int rank, std::size_t bytes) {
+    current_[rank] += bytes;
+    total_ += bytes;
+    if (total_ > peak_total_) peak_total_ = total_;
+  }
+
+  void Release(int rank, std::size_t bytes) {
+    current_[rank] -= bytes;
+    total_ -= bytes;
+  }
+
+  std::uint64_t current_total() const { return total_; }
+  std::uint64_t peak_total() const { return peak_total_; }
+
+  /// Mem score = peak cluster-wide bytes / edge count.
+  double MemScore(std::uint64_t num_edges) const {
+    return num_edges == 0
+               ? 0.0
+               : static_cast<double>(peak_total_) /
+                     static_cast<double>(num_edges);
+  }
+
+ private:
+  std::vector<std::uint64_t> current_;
+  std::uint64_t total_ = 0;
+  std::uint64_t peak_total_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_MEM_TRACKER_H_

@@ -1,0 +1,4 @@
+#include "runtime/sim_cluster.h"
+
+// Header-only templates; this TU anchors the component in the library.
+namespace dne {}  // namespace dne

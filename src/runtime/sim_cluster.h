@@ -1,0 +1,106 @@
+// SimCluster: the deterministic in-process replacement for the paper's MPI
+// deployment. Ranks exchange byte-counted message buffers at superstep
+// barriers; work/bytes feed the CostModel; buffers feed the MemTracker.
+//
+// Why a simulation is faithful: Distributed NE (and the app engine) are
+// bulk-synchronous — every observable output (edge placement, iteration
+// count, bytes on the wire, critical-path work) is a deterministic function
+// of the superstep schedule, which this class executes exactly. See
+// DESIGN.md §1.
+#ifndef DNE_RUNTIME_SIM_CLUSTER_H_
+#define DNE_RUNTIME_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/comm_stats.h"
+#include "runtime/cost_model.h"
+#include "runtime/mem_tracker.h"
+
+namespace dne {
+
+/// A simulated cluster of `num_ranks` machines.
+class SimCluster {
+ public:
+  explicit SimCluster(int num_ranks,
+                      const CostModelOptions& cost = CostModelOptions{})
+      : num_ranks_(num_ranks),
+        cost_model_(cost, num_ranks),
+        mem_(num_ranks) {}
+
+  int num_ranks() const { return num_ranks_; }
+
+  CommStats& comm() { return comm_; }
+  const CommStats& comm() const { return comm_; }
+  CostModel& cost() { return cost_model_; }
+  const CostModel& cost() const { return cost_model_; }
+  MemTracker& mem() { return mem_; }
+  const MemTracker& mem() const { return mem_; }
+
+  /// Ends a superstep: advances the simulated clock past the barrier.
+  void Barrier() {
+    ++comm_.supersteps;
+    cost_model_.EndSuperstep();
+  }
+
+ private:
+  int num_ranks_;
+  CommStats comm_;
+  CostModel cost_model_;
+  MemTracker mem_;
+};
+
+/// All-to-all exchange of trivially-copyable messages of type T.
+///
+/// Usage: each rank appends to Out(from, to); Deliver() routes everything,
+/// charging sizeof(T) per *cross-rank* message to CommStats and to the
+/// sender's injection bytes in the CostModel, and returns inbox[to] with
+/// messages ordered by sending rank (deterministic).
+template <typename T>
+class AllToAll {
+ public:
+  explicit AllToAll(int num_ranks)
+      : num_ranks_(num_ranks),
+        boxes_(static_cast<std::size_t>(num_ranks) * num_ranks) {}
+
+  std::vector<T>& Out(int from, int to) {
+    return boxes_[static_cast<std::size_t>(from) * num_ranks_ + to];
+  }
+
+  /// Routes all buffered messages. The exchange itself is not a barrier;
+  /// callers invoke cluster.Barrier() when the superstep ends.
+  std::vector<std::vector<T>> Deliver(SimCluster* cluster) {
+    std::vector<std::vector<T>> inbox(num_ranks_);
+    // Pre-size inboxes, then concatenate in sender order.
+    for (int to = 0; to < num_ranks_; ++to) {
+      std::size_t total = 0;
+      for (int from = 0; from < num_ranks_; ++from) {
+        total += Out(from, to).size();
+      }
+      inbox[to].reserve(total);
+    }
+    for (int from = 0; from < num_ranks_; ++from) {
+      for (int to = 0; to < num_ranks_; ++to) {
+        std::vector<T>& box = Out(from, to);
+        if (from != to && !box.empty()) {
+          const std::uint64_t msg_bytes = box.size() * sizeof(T);
+          cluster->comm().AddMessage(msg_bytes);
+          cluster->cost().AddBytes(from, msg_bytes);
+        }
+        inbox[to].insert(inbox[to].end(), box.begin(), box.end());
+        box.clear();
+        box.shrink_to_fit();
+      }
+    }
+    return inbox;
+  }
+
+ private:
+  int num_ranks_;
+  std::vector<std::vector<T>> boxes_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_SIM_CLUSTER_H_

@@ -1,0 +1,71 @@
+#include "runtime/thread_pool.h"
+
+namespace dne {
+
+ThreadPool::ThreadPool(int num_threads) {
+  for (int i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_ready_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    while (next_index_ < job_size_) {
+      const std::size_t i = next_index_++;
+      lock.unlock();
+      (*job_)(i);
+      lock.lock();
+      ++completed_;
+    }
+    if (completed_ == job_size_) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    next_index_ = 0;
+    completed_ = 0;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // The caller participates too.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (next_index_ < job_size_) {
+      const std::size_t i = next_index_++;
+      lock.unlock();
+      fn(i);
+      lock.lock();
+      ++completed_;
+    }
+    work_done_.wait(lock, [&] { return completed_ == job_size_; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace dne

@@ -1,0 +1,53 @@
+// ThreadPool + ParallelFor: intra-machine parallelism for the allocation
+// phases (the paper's Alg. 3 "do in parallel" loops run on all cores of a
+// machine; Theorem 3 gives the per-core complexity).
+#ifndef DNE_RUNTIME_THREAD_POOL_H_
+#define DNE_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dne {
+
+/// A fixed-size pool executing index-range tasks. With num_threads <= 1 all
+/// work runs inline on the caller (the default on single-core hosts), so
+/// results are bit-identical with and without threads as long as tasks are
+/// independent per index — which is how the DNE driver uses it (one
+/// simulated rank per index, no shared mutable state across ranks).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices over the pool
+  /// plus the calling thread; returns when all calls completed.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_THREAD_POOL_H_

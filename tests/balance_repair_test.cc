@@ -1,0 +1,89 @@
+// Tests for the balance-repair post-pass.
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "metrics/partition_metrics.h"
+#include "partition/balance_repair.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+TEST(BalanceRepairTest, RejectsBadAlpha) {
+  Graph g = testing::SkewedGraph(8, 4);
+  EdgePartition ep;
+  MustCreatePartitioner("random")->Partition(g, 4, &ep);
+  BalanceRepairOptions opt;
+  opt.alpha = 0.8;
+  EXPECT_EQ(RepairBalance(g, opt, &ep, nullptr).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(BalanceRepairTest, RepairsGrossImbalance) {
+  Graph g = testing::SkewedGraph(9, 6);
+  // Pathological start: everything in partition 0.
+  EdgePartition ep(4, g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) ep.Set(e, 0);
+  BalanceRepairOptions opt;
+  opt.alpha = 1.1;
+  BalanceRepairStats stats;
+  ASSERT_TRUE(RepairBalance(g, opt, &ep, &stats).ok());
+  EXPECT_TRUE(ep.Validate(g).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  EXPECT_LT(m.edge_balance, 1.12);
+  EXPECT_GT(stats.moved_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.eb_before, 4.0);
+  EXPECT_LT(stats.eb_after, 1.12);
+}
+
+TEST(BalanceRepairTest, NoOpWhenAlreadyBalanced) {
+  Graph g = testing::SkewedGraph(9, 6);
+  EdgePartition ep;
+  MustCreatePartitioner("hdrf")->Partition(g, 8, &ep);  // EB ~ 1.0
+  BalanceRepairOptions opt;
+  opt.alpha = 1.2;
+  BalanceRepairStats stats;
+  EdgePartition before = ep;
+  ASSERT_TRUE(RepairBalance(g, opt, &ep, &stats).ok());
+  EXPECT_EQ(stats.moved_edges, 0u);
+  EXPECT_EQ(ep.assignment(), before.assignment());
+}
+
+TEST(BalanceRepairTest, RepairsGingerKeepingQualityClose) {
+  // The intended use: Ginger trades balance for RF; repair restores the
+  // alpha bound without destroying the quality win over random hashing.
+  Graph g = testing::SkewedGraph(11, 8);
+  EdgePartition ep;
+  MustCreatePartitioner("ginger")->Partition(g, 16, &ep);
+  PartitionMetrics before = ComputePartitionMetrics(g, ep);
+  BalanceRepairOptions opt;
+  opt.alpha = 1.1;
+  BalanceRepairStats stats;
+  ASSERT_TRUE(RepairBalance(g, opt, &ep, &stats).ok());
+  PartitionMetrics after = ComputePartitionMetrics(g, ep);
+  EXPECT_LT(after.edge_balance, 1.15);
+  // RF may rise, but not catastrophically (within 40% here).
+  EXPECT_LT(after.replication_factor, before.replication_factor * 1.4 + 0.5);
+}
+
+TEST(BalanceRepairTest, ValidatesInputPartition) {
+  Graph g = testing::SkewedGraph(8, 4);
+  EdgePartition unassigned(4, g.NumEdges());  // nothing assigned
+  BalanceRepairOptions opt;
+  EXPECT_FALSE(RepairBalance(g, opt, &unassigned, nullptr).ok());
+}
+
+TEST(BalanceRepairTest, PreservesCoverAfterRepair) {
+  Graph g = testing::SkewedGraph(10, 6);
+  EdgePartition ep;
+  MustCreatePartitioner("spinner")->Partition(g, 8, &ep);
+  BalanceRepairOptions opt;
+  opt.alpha = 1.1;
+  ASSERT_TRUE(RepairBalance(g, opt, &ep, nullptr).ok());
+  EXPECT_TRUE(ep.Validate(g).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  EXPECT_LT(m.edge_balance, 1.15);
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,61 @@
+// Tests for the bench harness utilities (flag parsing, medians, byte
+// formatting) — compiled against bench/bench_util.cc directly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../bench/bench_util.h"
+
+namespace dne::bench {
+namespace {
+
+Flags MakeFlags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  Flags f = MakeFlags({"--shift=3", "--alpha=1.5", "--name=pokec"});
+  EXPECT_EQ(f.GetInt("shift", 0), 3);
+  EXPECT_DOUBLE_EQ(f.GetDouble("alpha", 0.0), 1.5);
+  EXPECT_EQ(f.GetString("name", ""), "pokec");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = MakeFlags({"--other=1"});
+  EXPECT_EQ(f.GetInt("shift", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("alpha", 1.1), 1.1);
+  EXPECT_EQ(f.GetString("name", "def"), "def");
+  EXPECT_FALSE(f.Has("shift"));
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  Flags f = MakeFlags({"--full"});
+  EXPECT_TRUE(f.Has("full"));
+  EXPECT_EQ(f.GetString("full", ""), "true");
+}
+
+TEST(FlagsTest, IgnoresNonFlagArguments) {
+  Flags f = MakeFlags({"positional", "-x", "--ok=1"});
+  EXPECT_TRUE(f.Has("ok"));
+  EXPECT_FALSE(f.Has("x"));
+  EXPECT_FALSE(f.Has("positional"));
+}
+
+TEST(MedianTest, OddAndEvenCounts) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(HumanBytesTest, UnitsScale) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.5 MB");
+  EXPECT_EQ(HumanBytes(1.5 * 1024.0 * 1024 * 1024 * 1024), "1.5 TB");
+}
+
+}  // namespace
+}  // namespace dne::bench

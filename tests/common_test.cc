@@ -1,0 +1,114 @@
+// Unit tests for the common substrate: Status, hashing, RNG, zeta.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/zeta.h"
+
+namespace dne {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad alpha");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad alpha");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = []() { return Status::Internal("boom"); };
+  auto outer = [&]() -> Status {
+    DNE_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kInternal);
+}
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_EQ(HashVertex(7, 3), HashVertex(7, 3));
+  EXPECT_NE(HashVertex(7, 3), HashVertex(7, 4));  // salt changes the function
+}
+
+TEST(HashTest, EdgeHashIsSymmetric) {
+  EXPECT_EQ(HashEdge(3, 9), HashEdge(9, 3));
+  EXPECT_EQ(HashEdge(3, 9, 5), HashEdge(9, 3, 5));
+}
+
+TEST(HashTest, SpreadsOverBuckets) {
+  // All 64 buckets of a small modulus should be hit by 10k consecutive keys.
+  std::set<std::uint64_t> buckets;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    buckets.insert(HashVertex(i) % 64);
+  }
+  EXPECT_EQ(buckets.size(), 64u);
+}
+
+TEST(RandomTest, DeterministicSequence) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RandomTest, BelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(ZetaTest, MatchesKnownValues) {
+  // zeta(2) = pi^2/6, zeta(4) = pi^4/90.
+  EXPECT_NEAR(RiemannZeta(2.0), std::numbers::pi * std::numbers::pi / 6.0,
+              1e-9);
+  EXPECT_NEAR(RiemannZeta(4.0),
+              std::pow(std::numbers::pi, 4) / 90.0, 1e-9);
+}
+
+TEST(ZetaTest, HurwitzReducesToRiemann) {
+  EXPECT_NEAR(HurwitzZeta(2.5, 1.0), RiemannZeta(2.5), 1e-12);
+}
+
+TEST(ZetaTest, HurwitzShiftIdentity) {
+  // zeta(s, a) = a^-s + zeta(s, a+1).
+  const double s = 2.2, a = 1.5;
+  EXPECT_NEAR(HurwitzZeta(s, a), std::pow(a, -s) + HurwitzZeta(s, a + 1.0),
+              1e-10);
+}
+
+TEST(ZetaTest, PowerLawMeanDegreeDecreasesWithAlpha) {
+  EXPECT_GT(PowerLawMeanDegree(2.2), PowerLawMeanDegree(2.8));
+  // alpha = 2.2: zeta(1.2)/zeta(2.2) ~ 3.75 (used by Table 1).
+  EXPECT_NEAR(PowerLawMeanDegree(2.2), 3.75, 0.05);
+}
+
+}  // namespace
+}  // namespace dne

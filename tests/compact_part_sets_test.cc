@@ -1,0 +1,149 @@
+// Unit tests for CompactPartSets, covering both the bitmap mode (small |P|)
+// and the slot+arena mode (large |P|).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "partition/dne/compact_part_sets.h"
+
+namespace dne {
+namespace {
+
+class CompactPartSetsModeTest : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  // GetParam() is the partition count: 64 exercises the bitmap mode,
+  // 1024 the slot+arena mode.
+  std::uint32_t P() const { return GetParam(); }
+};
+
+TEST_P(CompactPartSetsModeTest, AddContainsRoundTrip) {
+  CompactPartSets sets;
+  sets.Init(10, P());
+  EXPECT_FALSE(sets.Contains(3, 7));
+  EXPECT_TRUE(sets.Add(3, 7));
+  EXPECT_FALSE(sets.Add(3, 7));  // duplicate
+  EXPECT_TRUE(sets.Contains(3, 7));
+  EXPECT_FALSE(sets.Contains(4, 7));  // other vertex untouched
+  EXPECT_EQ(sets.size_of(3), 1u);
+  EXPECT_EQ(sets.size_of(4), 0u);
+}
+
+TEST_P(CompactPartSetsModeTest, CopyToIsSorted) {
+  CompactPartSets sets;
+  sets.Init(4, P());
+  const PartitionId parts[] = {9, 2, 31, 5, 17};
+  for (PartitionId p : parts) EXPECT_TRUE(sets.Add(1, p));
+  std::vector<PartitionId> out;
+  sets.CopyTo(1, &out);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.front(), 2u);
+  EXPECT_EQ(out.back(), 31u);
+}
+
+TEST_P(CompactPartSetsModeTest, GrowsThroughSpillBoundary) {
+  // Push one vertex's set through sizes 1..20 (the slot mode spills at 3
+  // and regrows blocks at 4, 8, 16); verify the set after every insert.
+  CompactPartSets sets;
+  sets.Init(2, P());
+  std::vector<PartitionId> expect;
+  for (PartitionId p = 0; p < 20; ++p) {
+    const PartitionId id = (p * 7) % 32;  // shuffled order, within P range
+    const bool fresh =
+        std::find(expect.begin(), expect.end(), id) == expect.end();
+    EXPECT_EQ(sets.Add(0, id), fresh) << "p=" << id;
+    if (fresh) expect.push_back(id);
+    EXPECT_EQ(sets.size_of(0), expect.size());
+    for (PartitionId q : expect) EXPECT_TRUE(sets.Contains(0, q));
+  }
+}
+
+TEST_P(CompactPartSetsModeTest, RandomizedAgainstReference) {
+  // Differential test: random Add/Contains mirrored against std::vector
+  // reference sets.
+  CompactPartSets sets;
+  const std::uint32_t n = 64;
+  sets.Init(n, P());
+  std::vector<std::vector<PartitionId>> ref(n);
+  SplitMix64 rng(1234);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.Below(n));
+    const PartitionId p =
+        static_cast<PartitionId>(rng.Below(std::min(P(), 64u)));
+    auto& r = ref[v];
+    const bool fresh = std::find(r.begin(), r.end(), p) == r.end();
+    ASSERT_EQ(sets.Add(v, p), fresh);
+    if (fresh) r.push_back(p);
+    ASSERT_TRUE(sets.Contains(v, p));
+    ASSERT_EQ(sets.size_of(v), r.size());
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::vector<PartitionId> out;
+    sets.CopyTo(v, &out);
+    std::sort(ref[v].begin(), ref[v].end());
+    EXPECT_EQ(out, ref[v]);
+  }
+}
+
+TEST_P(CompactPartSetsModeTest, InitResetsState) {
+  CompactPartSets sets;
+  sets.Init(4, P());
+  sets.Add(0, 1);
+  sets.Add(0, 2);
+  sets.Add(0, 3);
+  sets.Init(4, P());
+  EXPECT_EQ(sets.size_of(0), 0u);
+  EXPECT_FALSE(sets.Contains(0, 1));
+}
+
+TEST_P(CompactPartSetsModeTest, MemoryAccountingPositive) {
+  CompactPartSets sets;
+  sets.Init(100, P());
+  EXPECT_GT(sets.InlineBytes(), 0u);
+  // Fill vertex 0 beyond two entries; spill bytes appear only in slot mode.
+  for (PartitionId p = 0; p < 8; ++p) sets.Add(0, p);
+  if (P() > CompactPartSets::kBitmapMaxPartitions) {
+    EXPECT_GT(sets.SpillBytes(), 0u);
+  } else {
+    EXPECT_EQ(sets.SpillBytes(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitmapAndArena, CompactPartSetsModeTest,
+                         ::testing::Values(64u, 1024u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return i.param == 64u ? "bitmap64" : "arena1024";
+                         });
+
+TEST(CompactPartSetsTest, BitmapModeHandlesHighPartitionIds) {
+  CompactPartSets sets;
+  sets.Init(2, 512);  // exactly the bitmap limit: 8 words/vertex
+  EXPECT_TRUE(sets.Add(1, 511));
+  EXPECT_TRUE(sets.Add(1, 0));
+  EXPECT_TRUE(sets.Add(1, 64));  // second word
+  std::vector<PartitionId> out;
+  sets.CopyTo(1, &out);
+  EXPECT_EQ(out, (std::vector<PartitionId>{0, 64, 511}));
+}
+
+TEST(CompactPartSetsTest, ArenaModeManyVerticesSpilling) {
+  // All vertices spill: the arena grows but stays consistent.
+  CompactPartSets sets;
+  const std::uint32_t n = 200;
+  sets.Init(n, 100000);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (PartitionId p = 0; p < 5; ++p) {
+      EXPECT_TRUE(sets.Add(v, p * 1000 + v));
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    EXPECT_EQ(sets.size_of(v), 5u);
+    EXPECT_TRUE(sets.Contains(v, 4000 + v));
+    EXPECT_FALSE(sets.Contains(v, 4000 + ((v + 1) % n)));
+  }
+}
+
+}  // namespace
+}  // namespace dne

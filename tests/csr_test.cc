@@ -1,0 +1,112 @@
+// Unit tests for the CSR adjacency and the Graph facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/degree_stats.h"
+#include "graph/graph.h"
+
+namespace dne {
+namespace {
+
+Graph Triangle() {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(0, 2);
+  return Graph::Build(std::move(list));
+}
+
+TEST(CsrTest, TriangleDegrees) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(CsrTest, NeighborsCarryEdgeIds) {
+  Graph g = Triangle();
+  // Each undirected edge id must appear exactly twice across all rows.
+  std::vector<int> seen(g.NumEdges(), 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Adjacency& a : g.neighbors(v)) {
+      ASSERT_LT(a.edge, g.NumEdges());
+      ++seen[a.edge];
+      // The edge endpoint pair matches the canonical edge record.
+      const Edge& e = g.edge(a.edge);
+      EXPECT_TRUE((e.src == v && e.dst == a.to) ||
+                  (e.dst == v && e.src == a.to));
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 2);
+}
+
+TEST(CsrTest, StarGraphDegrees) {
+  EdgeList list;
+  for (VertexId leaf = 1; leaf <= 5; ++leaf) list.Add(0, leaf);
+  Graph g = Graph::Build(std::move(list));
+  EXPECT_EQ(g.degree(0), 5u);
+  for (VertexId leaf = 1; leaf <= 5; ++leaf) EXPECT_EQ(g.degree(leaf), 1u);
+}
+
+TEST(CsrTest, IsolatedVerticesHaveZeroDegree) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.SetNumVertices(10);
+  Graph g = Graph::Build(std::move(list));
+  EXPECT_EQ(g.NumVertices(), 10u);
+  for (VertexId v = 2; v < 10; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(CsrTest, EmptyGraph) {
+  Graph g = Graph::Build(EdgeList{});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(CsrTest, BuildNormalizesInput) {
+  EdgeList list;
+  list.Add(2, 1);
+  list.Add(1, 2);
+  list.Add(3, 3);
+  Graph g = Graph::Build(std::move(list));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.edge(0), (Edge{1, 2}));
+}
+
+TEST(CsrTest, MemoryBytesPositive) {
+  Graph g = Triangle();
+  EXPECT_GT(g.MemoryBytes(), 0u);
+  EXPECT_GT(g.csr().MemoryBytes(), 0u);
+}
+
+TEST(DegreeStatsTest, StarGraphStats) {
+  EdgeList list;
+  for (VertexId leaf = 1; leaf <= 99; ++leaf) list.Add(0, leaf);
+  Graph g = Graph::Build(std::move(list));
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.max_degree, 99u);
+  EXPECT_NEAR(s.mean_degree, 2.0 * 99 / 100, 1e-9);
+  EXPECT_EQ(s.median_degree, 1.0);
+  // The single hub (top 1%) carries half the endpoints.
+  EXPECT_NEAR(s.top1pct_edge_share, 0.5, 1e-9);
+}
+
+TEST(DegreeStatsTest, HistogramSumsToVertices) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.SetNumVertices(5);
+  Graph g = Graph::Build(std::move(list));
+  auto hist = DegreeHistogram(g);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : hist) total += c;
+  EXPECT_EQ(total, g.NumVertices());
+  EXPECT_EQ(hist[0], 2u);  // vertices 3, 4
+  EXPECT_EQ(hist[1], 2u);  // vertices 0, 2
+  EXPECT_EQ(hist[2], 1u);  // vertex 1
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,201 @@
+// Direct unit tests for Distributed NE's internal processes
+// (AllocationProcess, ExpansionProcess), driven outside the full driver.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/types.h"
+#include "partition/dne/allocation_process.h"
+#include "partition/dne/expansion_process.h"
+
+namespace dne {
+namespace {
+
+// A small allocation process owning a triangle 0-1-2 plus a pendant 2-3.
+AllocationProcess MakeTriangleProcess() {
+  AllocationProcess ap(0, 4);
+  ap.AddEdge(0, 0, 1);
+  ap.AddEdge(1, 1, 2);
+  ap.AddEdge(2, 0, 2);
+  ap.AddEdge(3, 2, 3);
+  ap.Finalize();
+  return ap;
+}
+
+TEST(AllocationProcessTest, OneHopAllocatesAllIncidentEdges) {
+  AllocationProcess ap = MakeTriangleProcess();
+  std::vector<PartitionId> assignment(4, kNoPartition);
+  std::vector<VertexPartPair> sync;
+  std::vector<std::uint64_t> per_part(4, 0);
+  std::uint64_t ops = 0;
+  ap.AllocateOneHop({{0, 2}}, &assignment, &sync, &per_part, &ops);
+  // Vertex 0's edges: e0 (0,1) and e2 (0,2) to partition 2.
+  EXPECT_EQ(assignment[0], 2u);
+  EXPECT_EQ(assignment[2], 2u);
+  EXPECT_EQ(assignment[1], kNoPartition);
+  EXPECT_EQ(per_part[2], 2u);
+  // Fresh pairs: (0,2), (1,2), (2,2).
+  EXPECT_EQ(sync.size(), 3u);
+  EXPECT_GT(ops, 0u);
+}
+
+TEST(AllocationProcessTest, TwoHopClosesTriangle) {
+  AllocationProcess ap = MakeTriangleProcess();
+  std::vector<PartitionId> assignment(4, kNoPartition);
+  std::vector<VertexPartPair> sync;
+  std::vector<std::uint64_t> per_part(4, 0);
+  std::uint64_t ops = 0, two_hop = 0;
+  ap.AllocateOneHop({{0, 1}}, &assignment, &sync, &per_part, &ops);
+  // After expanding vertex 0, vertices 1 and 2 are both in V(E_1):
+  // the two-hop phase must allocate edge (1,2) for free.
+  ap.AllocateTwoHop(&assignment, &per_part, &two_hop, &ops);
+  EXPECT_EQ(two_hop, 1u);
+  EXPECT_EQ(assignment[1], 1u);
+  // The pendant edge (2,3) must NOT be allocated: 3 is not in V(E_1).
+  EXPECT_EQ(assignment[3], kNoPartition);
+}
+
+TEST(AllocationProcessTest, ConflictResolvedInRequestOrder) {
+  AllocationProcess ap = MakeTriangleProcess();
+  std::vector<PartitionId> assignment(4, kNoPartition);
+  std::vector<VertexPartPair> sync;
+  std::vector<std::uint64_t> per_part(4, 0);
+  std::uint64_t ops = 0;
+  // Partitions 0 and 1 both expand vertex 1 in the same superstep; the
+  // first request in arrival order wins each edge.
+  ap.AllocateOneHop({{1, 0}, {1, 1}}, &assignment, &sync, &per_part, &ops);
+  EXPECT_EQ(assignment[0], 0u);  // (0,1)
+  EXPECT_EQ(assignment[1], 0u);  // (1,2)
+  EXPECT_EQ(per_part[0], 2u);
+  EXPECT_EQ(per_part[1], 0u);  // partition 1 got nothing
+}
+
+TEST(AllocationProcessTest, BudgetCapsAllocation) {
+  AllocationProcess ap = MakeTriangleProcess();
+  std::vector<PartitionId> assignment(4, kNoPartition);
+  std::vector<VertexPartPair> sync;
+  std::vector<std::uint64_t> per_part(4, 0);
+  std::uint64_t ops = 0;
+  ap.SetSuperstepBudgets({1, 1, 1, 1});
+  ap.AllocateOneHop({{0, 2}}, &assignment, &sync, &per_part, &ops);
+  EXPECT_EQ(per_part[2], 1u);  // capped at 1 despite 2 available edges
+}
+
+TEST(AllocationProcessTest, SyncAppliesOnlyKnownVertices) {
+  AllocationProcess ap = MakeTriangleProcess();
+  std::uint64_t ops = 0;
+  // Vertex 99 is not local: the pair must be ignored without error.
+  ap.ApplySync({{99, 1}, {3, 1}}, &ops);
+  std::vector<BoundaryReport> reports;
+  ap.DrainBoundaryReports(&reports, &ops);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].v, 3u);
+  EXPECT_EQ(reports[0].p, 1u);
+  EXPECT_EQ(reports[0].local_drest, 1u);  // edge (2,3) still unallocated
+}
+
+TEST(AllocationProcessTest, DrainClearsPending) {
+  AllocationProcess ap = MakeTriangleProcess();
+  std::uint64_t ops = 0;
+  ap.ApplySync({{3, 1}}, &ops);
+  std::vector<BoundaryReport> reports;
+  ap.DrainBoundaryReports(&reports, &ops);
+  EXPECT_EQ(reports.size(), 1u);
+  reports.clear();
+  ap.DrainBoundaryReports(&reports, &ops);
+  EXPECT_TRUE(reports.empty());  // second drain: nothing pending
+}
+
+TEST(AllocationProcessTest, PeekFreeVertexAdvances) {
+  AllocationProcess ap = MakeTriangleProcess();
+  EXPECT_NE(ap.PeekFreeVertex(), kNoVertex);
+  // Allocate everything; the free cursor must reach the end.
+  std::vector<PartitionId> assignment(4, kNoPartition);
+  std::vector<VertexPartPair> sync;
+  std::vector<std::uint64_t> per_part(4, 0);
+  std::uint64_t ops = 0;
+  ap.AllocateOneHop({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, &assignment, &sync,
+                    &per_part, &ops);
+  EXPECT_EQ(ap.PeekFreeVertex(), kNoVertex);
+}
+
+TEST(ExpansionProcessTest, SelectsMinDrestFirst) {
+  ExpansionProcess ep(0, 100, 1000, 1e-9, /*min_drest=*/true, 1);
+  ep.InsertBoundary(5, 10);
+  ep.InsertBoundary(6, 2);
+  ep.InsertBoundary(7, 7);
+  std::vector<VertexId> out;
+  std::uint64_t ops = 0;
+  ep.SelectVertices(&out, &ops);  // lambda ~ 0 -> k = 1
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 6u);  // minimal D_rest
+  ep.SelectVertices(&out, &ops);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+}
+
+TEST(ExpansionProcessTest, SkipsZeroDrestAndDuplicates) {
+  ExpansionProcess ep(0, 100, 1000, 1.0, true, 1);
+  ep.InsertBoundary(5, 0);  // zero D_rest: cannot contribute edges
+  std::vector<VertexId> out;
+  std::uint64_t ops = 0;
+  ep.SelectVertices(&out, &ops);
+  EXPECT_TRUE(out.empty());
+  ep.InsertBoundary(6, 3);
+  ep.SelectVertices(&out, &ops);
+  ASSERT_EQ(out.size(), 1u);
+  // 6 was expanded: re-inserting it must be ignored.
+  ep.InsertBoundary(6, 3);
+  ep.SelectVertices(&out, &ops);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ExpansionProcessTest, LambdaControlsBatchSize) {
+  ExpansionProcess ep(0, 1000, 100000, 0.5, true, 1);
+  for (VertexId v = 0; v < 100; ++v) ep.InsertBoundary(v, v + 1);
+  std::vector<VertexId> out;
+  std::uint64_t ops = 0;
+  ep.SelectVertices(&out, &ops);
+  EXPECT_EQ(out.size(), 50u);  // k = 0.5 * 100
+}
+
+TEST(ExpansionProcessTest, TerminationAtLimitOrCompletion) {
+  ExpansionProcess ep(0, 100, 50, 0.1, true, 1);
+  EXPECT_FALSE(ep.terminated());
+  ep.AddAllocated(49);
+  ep.CheckTermination(49, 1000);
+  EXPECT_FALSE(ep.terminated());
+  ep.AddAllocated(1);  // reaches the limit of 50
+  ep.CheckTermination(50, 1000);
+  EXPECT_TRUE(ep.terminated());
+
+  ExpansionProcess ep2(1, 100, 1000, 0.1, true, 1);
+  ep2.CheckTermination(77, 77);  // everything allocated cluster-wide
+  EXPECT_TRUE(ep2.terminated());
+}
+
+TEST(ExpansionProcessTest, TerminatedProcessSelectsNothing) {
+  ExpansionProcess ep(0, 100, 1, 0.1, true, 1);
+  ep.InsertBoundary(3, 5);
+  ep.AddAllocated(2);
+  ep.CheckTermination(2, 100);
+  ASSERT_TRUE(ep.terminated());
+  std::vector<VertexId> out;
+  std::uint64_t ops = 0;
+  ep.SelectVertices(&out, &ops);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ExpansionProcessTest, PeakBoundaryTracksHighWater) {
+  ExpansionProcess ep(0, 100, 1000, 1.0, true, 1);
+  for (VertexId v = 0; v < 10; ++v) ep.InsertBoundary(v, 1 + v);
+  EXPECT_EQ(ep.peak_boundary_size(), 10u);
+  std::vector<VertexId> out;
+  std::uint64_t ops = 0;
+  ep.SelectVertices(&out, &ops);  // drains everything at lambda = 1
+  EXPECT_EQ(ep.peak_boundary_size(), 10u);
+  EXPECT_EQ(ep.boundary_size(), 0u);
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,95 @@
+// Parameterized sweeps of Distributed NE invariants across seeds and
+// partition counts — the regression net for the core algorithm.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "metrics/partition_metrics.h"
+#include "metrics/theory.h"
+#include "partition/dne/dne_partitioner.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+class DneSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {
+ protected:
+  std::uint64_t seed() const { return std::get<0>(GetParam()); }
+  std::uint32_t parts() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(DneSweepTest, CoreInvariantsHold) {
+  Graph g = testing::SkewedGraph(9, 6, seed());
+  DneOptions opt;
+  opt.seed = seed();
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  ASSERT_TRUE(dne.Partition(g, parts(), &ep).ok());
+  ASSERT_TRUE(ep.Validate(g).ok());
+
+  const DneStats& s = dne.dne_stats();
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+
+  // 1. Disjoint cover: one-hop + two-hop counters account for every edge.
+  EXPECT_EQ(s.one_hop_edges + s.two_hop_edges, g.NumEdges());
+  // 2. The partitioner's per-partition counters match the partition.
+  auto sizes = ep.PartitionSizes();
+  ASSERT_EQ(s.edges_per_partition.size(), sizes.size());
+  for (std::size_t p = 0; p < sizes.size(); ++p) {
+    EXPECT_EQ(s.edges_per_partition[p], sizes[p]);
+  }
+  // 3. Balance: budget caps keep EB near alpha.
+  EXPECT_LT(m.edge_balance, 1.25);
+  // 4. Quality envelope.
+  EXPECT_GE(m.replication_factor, 1.0);
+  EXPECT_LE(m.replication_factor, static_cast<double>(parts()));
+  // 5. Run accounting is populated.
+  EXPECT_GT(s.iterations, 0u);
+  EXPECT_GT(s.sim_seconds, 0.0);
+  EXPECT_GE(s.boundary_imbalance, 1.0);
+}
+
+TEST_P(DneSweepTest, SingleExpansionSatisfiesTheorem1) {
+  Graph g = testing::SkewedGraph(8, 5, seed());
+  DneOptions opt;
+  opt.seed = seed();
+  opt.lambda = 1e-9;  // strict Algorithm 1 (one vertex per superstep)
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  ASSERT_TRUE(dne.Partition(g, parts(), &ep).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  EXPECT_LE(m.replication_factor,
+            Theorem1UpperBound(g.NumEdges(), g.NumVertices(), parts()));
+}
+
+TEST_P(DneSweepTest, DeterministicAndSeedSensitive) {
+  Graph g = testing::SkewedGraph(8, 5, 3);
+  DneOptions opt;
+  opt.seed = seed();
+  EdgePartition a, b;
+  ASSERT_TRUE(DnePartitioner(opt).Partition(g, parts(), &a).ok());
+  ASSERT_TRUE(DnePartitioner(opt).Partition(g, parts(), &b).ok());
+  EXPECT_EQ(a.assignment(), b.assignment());
+
+  DneOptions other = opt;
+  other.seed = seed() + 1000;
+  EdgePartition c;
+  ASSERT_TRUE(DnePartitioner(other).Partition(g, parts(), &c).ok());
+  if (parts() > 1) {
+    EXPECT_NE(a.assignment(), c.assignment());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByParts, DneSweepTest,
+    ::testing::Combine(::testing::Values(1ull, 7ull, 42ull, 1234ull),
+                       ::testing::Values(2u, 5u, 8u, 16u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint64_t, std::uint32_t>>&
+           info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dne

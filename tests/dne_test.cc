@@ -1,0 +1,281 @@
+// Tests for Distributed NE: correctness, Theorem 1, the Theorem 2 tightness
+// construction, multi-expansion behaviour, and the ablation switches.
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.h"
+#include "gen/ring_complete.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "metrics/partition_metrics.h"
+#include "metrics/theory.h"
+#include "partition/dne/dne_partitioner.h"
+#include "partition/grid_partitioner.h"
+
+namespace dne {
+namespace {
+
+Graph TestGraph(int scale = 11, int ef = 8, std::uint64_t seed = 31) {
+  RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = ef;
+  opt.seed = seed;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+TEST(DneTest, RejectsBadOptions) {
+  Graph g = TestGraph();
+  EdgePartition ep;
+  {
+    DneOptions opt;
+    opt.alpha = 0.9;
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt;
+    opt.lambda = 0.0;
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt;
+    opt.lambda = 1.5;
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+}
+
+TEST(DneTest, CoversFigureOneGraph) {
+  // The 11-vertex example graph of Fig. 1/5 (0-indexed edges).
+  EdgeList list;
+  list.Add(0, 5);
+  list.Add(0, 6);
+  list.Add(5, 6);
+  list.Add(5, 4);
+  list.Add(6, 7);
+  list.Add(4, 7);
+  list.Add(4, 1);
+  list.Add(7, 10);
+  list.Add(1, 10);
+  list.Add(1, 8);
+  list.Add(10, 9);
+  list.Add(8, 9);
+  list.Add(8, 2);
+  list.Add(9, 3);
+  list.Add(2, 3);
+  Graph g = Graph::Build(std::move(list));
+  DnePartitioner dne;
+  EdgePartition ep;
+  ASSERT_TRUE(dne.Partition(g, 3, &ep).ok());
+  EXPECT_TRUE(ep.Validate(g).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  EXPECT_GE(m.replication_factor, 1.0);
+  EXPECT_LE(m.replication_factor,
+            Theorem1UpperBound(g.NumEdges(), g.NumVertices(), 3));
+}
+
+TEST(DneTest, SatisfiesTheorem1OnManyGraphs) {
+  // Theorem 1 holds for the single-vertex expansion (lambda -> one vertex
+  // per step); exercise several graph shapes and partition counts.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (std::uint32_t parts : {2u, 4u, 8u}) {
+      Graph g = TestGraph(9, 6, seed);
+      DneOptions opt;
+      opt.lambda = 1e-9;  // k = max(1, ...) == 1: strict Algorithm 1
+      opt.seed = seed;
+      DnePartitioner dne(opt);
+      EdgePartition ep;
+      ASSERT_TRUE(dne.Partition(g, parts, &ep).ok());
+      PartitionMetrics m = ComputePartitionMetrics(g, ep);
+      EXPECT_LE(m.replication_factor,
+                Theorem1UpperBound(g.NumEdges(), g.NumVertices(), parts))
+          << "seed " << seed << " parts " << parts;
+    }
+  }
+}
+
+TEST(DneTest, TheoremTwoTightnessTrend) {
+  // On ring+complete with |P| = n(n-1)/2, RF approaches the Theorem-1 bound
+  // as n grows (Theorem 2). Check RF/UB rises with n and is near 1.
+  double prev_ratio = 0.0;
+  for (std::uint64_t n : {6ull, 10ull, 14ull}) {
+    Graph g = Graph::Build(GenerateRingComplete(n));
+    const std::uint32_t parts =
+        static_cast<std::uint32_t>(RingCompleteTightPartitions(n));
+    DneOptions opt;
+    opt.lambda = 1e-9;
+    opt.alpha = 1.0;
+    DnePartitioner dne(opt);
+    EdgePartition ep;
+    ASSERT_TRUE(dne.Partition(g, parts, &ep).ok());
+    PartitionMetrics m = ComputePartitionMetrics(g, ep);
+    const double ub =
+        Theorem1UpperBound(g.NumEdges(), g.NumVertices(), parts);
+    const double ratio = m.replication_factor / ub;
+    EXPECT_LE(ratio, 1.0);
+    EXPECT_GT(ratio, 0.5) << "n " << n;
+    EXPECT_GE(ratio, prev_ratio - 0.1) << "n " << n;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(DneTest, EdgeBalanceNearAlpha) {
+  Graph g = TestGraph();
+  DneOptions opt;
+  opt.alpha = 1.1;
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  ASSERT_TRUE(dne.Partition(g, 8, &ep).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  // Per-rank budget caps keep the overshoot to ~|P| edges; the paper
+  // reports EB ~ 1.1 throughout Table 5.
+  EXPECT_LT(m.edge_balance, 1.2);
+}
+
+TEST(DneTest, LambdaOneReducesIterations) {
+  Graph g = TestGraph();
+  DneOptions slow;
+  slow.lambda = 0.01;
+  DneOptions fast;
+  fast.lambda = 1.0;
+  DnePartitioner p_slow(slow), p_fast(fast);
+  EdgePartition ep;
+  ASSERT_TRUE(p_slow.Partition(g, 8, &ep).ok());
+  const std::uint64_t it_slow = p_slow.dne_stats().iterations;
+  ASSERT_TRUE(p_fast.Partition(g, 8, &ep).ok());
+  const std::uint64_t it_fast = p_fast.dne_stats().iterations;
+  EXPECT_LT(it_fast, it_slow);  // Fig. 6, left panel
+}
+
+TEST(DneTest, TwoHopAblationWorsensQuality) {
+  Graph g = TestGraph();
+  DneOptions with;
+  DneOptions without;
+  without.enable_two_hop = false;
+  EdgePartition ep_with, ep_without;
+  ASSERT_TRUE(DnePartitioner(with).Partition(g, 8, &ep_with).ok());
+  ASSERT_TRUE(DnePartitioner(without).Partition(g, 8, &ep_without).ok());
+  PartitionMetrics mw = ComputePartitionMetrics(g, ep_with);
+  PartitionMetrics mo = ComputePartitionMetrics(g, ep_without);
+  // Two-hop edges are free wins; dropping them cannot help.
+  EXPECT_LE(mw.replication_factor, mo.replication_factor + 0.05);
+}
+
+TEST(DneTest, GreedySelectionBeatsRandomSelection) {
+  Graph g = TestGraph();
+  DneOptions greedy;
+  DneOptions random_sel;
+  random_sel.min_drest_selection = false;
+  EdgePartition ep_g, ep_r;
+  ASSERT_TRUE(DnePartitioner(greedy).Partition(g, 16, &ep_g).ok());
+  ASSERT_TRUE(DnePartitioner(random_sel).Partition(g, 16, &ep_r).ok());
+  PartitionMetrics mg = ComputePartitionMetrics(g, ep_g);
+  PartitionMetrics mr = ComputePartitionMetrics(g, ep_r);
+  EXPECT_LE(mg.replication_factor, mr.replication_factor + 0.05);
+}
+
+TEST(DneTest, StatsAreFilled) {
+  Graph g = TestGraph();
+  DnePartitioner dne;
+  EdgePartition ep;
+  ASSERT_TRUE(dne.Partition(g, 8, &ep).ok());
+  const DneStats& s = dne.dne_stats();
+  EXPECT_GT(s.iterations, 0u);
+  EXPECT_GT(s.one_hop_edges, 0u);
+  EXPECT_GT(s.two_hop_edges, 0u);  // RMAT has abundant triangles
+  EXPECT_EQ(s.one_hop_edges + s.two_hop_edges, g.NumEdges());
+  EXPECT_GT(s.comm_bytes, 0u);
+  EXPECT_GT(s.sim_seconds, 0.0);
+  EXPECT_GT(s.peak_memory_bytes, 0u);
+  EXPECT_EQ(s.edges_per_partition.size(), 8u);
+  EXPECT_GE(s.selection_work_fraction, 0.0);
+  EXPECT_LE(s.selection_work_fraction, 1.0);
+}
+
+TEST(DneTest, HandlesIsolatedEdgesViaRandomRestart) {
+  // A perfect matching: no vertex ever has a boundary neighbour, so every
+  // allocation needs the random-restart path (the paper's Flickr tail).
+  EdgeList list;
+  for (VertexId i = 0; i < 200; i += 2) list.Add(i, i + 1);
+  Graph g = Graph::Build(std::move(list));
+  DnePartitioner dne;
+  EdgePartition ep;
+  ASSERT_TRUE(dne.Partition(g, 4, &ep).ok());
+  EXPECT_TRUE(ep.Validate(g).ok());
+  EXPECT_GT(dne.dne_stats().random_restarts, 0u);
+}
+
+TEST(DneTest, WorksAtPEqualsOne) {
+  Graph g = TestGraph(8, 4);
+  DnePartitioner dne;
+  EdgePartition ep;
+  ASSERT_TRUE(dne.Partition(g, 1, &ep).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+}
+
+TEST(DneTest, NonSquarePartitionCounts) {
+  Graph g = TestGraph(9, 6);
+  for (std::uint32_t parts : {3u, 5u, 7u, 12u}) {
+    DnePartitioner dne;
+    EdgePartition ep;
+    ASSERT_TRUE(dne.Partition(g, parts, &ep).ok()) << parts;
+    EXPECT_TRUE(ep.Validate(g).ok()) << parts;
+  }
+}
+
+TEST(DneTest, QualityBeatsGridByWideMargin) {
+  // Fig. 8's qualitative headline at our scale: DNE's RF is well below the
+  // 2-D hash RF on a skewed graph.
+  Graph g = TestGraph(12, 16);
+  DnePartitioner dne;
+  EdgePartition ep_dne;
+  ASSERT_TRUE(dne.Partition(g, 32, &ep_dne).ok());
+  GridPartitioner grid;
+  EdgePartition ep_grid;
+  ASSERT_TRUE(grid.Partition(g, 32, &ep_grid).ok());
+  PartitionMetrics m_dne = ComputePartitionMetrics(g, ep_dne);
+  PartitionMetrics m_grid = ComputePartitionMetrics(g, ep_grid);
+  EXPECT_LT(m_dne.replication_factor, 0.75 * m_grid.replication_factor);
+}
+
+TEST(DneTest, DeterministicAcrossRuns) {
+  Graph g = TestGraph();
+  DneOptions opt;
+  opt.seed = 42;
+  EdgePartition a, b;
+  ASSERT_TRUE(DnePartitioner(opt).Partition(g, 8, &a).ok());
+  ASSERT_TRUE(DnePartitioner(opt).Partition(g, 8, &b).ok());
+  EXPECT_EQ(a.assignment(), b.assignment());
+}
+
+TEST(DneTest, SeedStrategiesAllProduceValidPartitions) {
+  Graph g = TestGraph(10, 8);
+  double rf[3];
+  int i = 0;
+  for (SeedStrategy strat : {SeedStrategy::kRandom, SeedStrategy::kMinDegree,
+                             SeedStrategy::kMaxDegree}) {
+    DneOptions opt;
+    opt.seed_strategy = strat;
+    DnePartitioner dne(opt);
+    EdgePartition ep;
+    ASSERT_TRUE(dne.Partition(g, 8, &ep).ok());
+    ASSERT_TRUE(ep.Validate(g).ok());
+    rf[i++] = ComputePartitionMetrics(g, ep).replication_factor;
+  }
+  // All strategies stay within a sane quality band of each other.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) EXPECT_LT(rf[a], rf[b] * 1.6 + 0.5);
+  }
+}
+
+TEST(DneTest, SimulatedTimeGrowsWithGraphSize) {
+  DnePartitioner dne_small, dne_large;
+  EdgePartition ep;
+  Graph small = TestGraph(9, 8);
+  Graph large = TestGraph(12, 8);
+  ASSERT_TRUE(dne_small.Partition(small, 8, &ep).ok());
+  ASSERT_TRUE(dne_large.Partition(large, 8, &ep).ok());
+  EXPECT_GT(dne_large.dne_stats().sim_seconds,
+            dne_small.dne_stats().sim_seconds);
+}
+
+}  // namespace
+}  // namespace dne

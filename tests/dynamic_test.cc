@@ -1,0 +1,107 @@
+// Tests for the dynamic-graph extension (the paper's future-work direction).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/factory.h"
+#include "metrics/partition_metrics.h"
+#include "partition/dynamic_partitioner.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+TEST(DynamicTest, PureOnlineCoversAndBalances) {
+  DynamicPartitionerOptions opt;
+  DynamicEdgePartitioner dyn(8, opt);
+  SplitMix64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const VertexId u = rng.Below(2000);
+    const VertexId v = rng.Below(2000);
+    const PartitionId p = dyn.AddEdge(u, v);
+    EXPECT_LT(p, 8u);
+  }
+  EXPECT_EQ(dyn.num_edges(), 20000u);
+  EXPECT_LT(dyn.CurrentEdgeBalance(), 1.2);
+  EXPECT_GE(dyn.CurrentReplicationFactor(), 1.0);
+}
+
+TEST(DynamicTest, AdoptsOfflinePartitionState) {
+  Graph g = testing::SkewedGraph(10, 8);
+  EdgePartition ep;
+  MustCreatePartitioner("dne")->Partition(g, 8, &ep);
+  PartitionMetrics offline = ComputePartitionMetrics(g, ep);
+
+  DynamicPartitionerOptions opt;
+  DynamicEdgePartitioner dyn(g, ep, opt);
+  EXPECT_EQ(dyn.num_edges(), g.NumEdges());
+  // The adopted state reproduces the offline replication factor.
+  EXPECT_NEAR(dyn.CurrentReplicationFactor(), offline.replication_factor,
+              1e-9);
+}
+
+TEST(DynamicTest, InsertionsKeepQualityNearOffline) {
+  // Partition the first 80% of a graph offline, stream the final 20%
+  // online; the resulting RF must stay close to partitioning everything
+  // offline (the Leopard-style claim).
+  Graph full = testing::SkewedGraph(11, 8, /*seed=*/5);
+  const EdgeId cut = full.NumEdges() * 8 / 10;
+  EdgeList head_list;
+  for (EdgeId e = 0; e < cut; ++e) {
+    head_list.Add(full.edge(e).src, full.edge(e).dst);
+  }
+  head_list.SetNumVertices(full.NumVertices());
+  Graph head = Graph::Build(std::move(head_list));
+
+  EdgePartition head_part;
+  MustCreatePartitioner("dne")->Partition(head, 8, &head_part);
+  DynamicPartitionerOptions opt;
+  DynamicEdgePartitioner dyn(head, head_part, opt);
+  for (EdgeId e = cut; e < full.NumEdges(); ++e) {
+    dyn.AddEdge(full.edge(e).src, full.edge(e).dst);
+  }
+
+  EdgePartition offline;
+  MustCreatePartitioner("dne")->Partition(full, 8, &offline);
+  PartitionMetrics offline_m = ComputePartitionMetrics(full, offline);
+  // Online updates may cost quality, but far less than starting from hash:
+  EdgePartition random_part;
+  MustCreatePartitioner("random")->Partition(full, 8, &random_part);
+  PartitionMetrics random_m = ComputePartitionMetrics(full, random_part);
+  EXPECT_LT(dyn.CurrentReplicationFactor(),
+            0.8 * random_m.replication_factor);
+  EXPECT_LT(dyn.CurrentReplicationFactor(),
+            offline_m.replication_factor * 1.5);
+}
+
+TEST(DynamicTest, FreeInsertionShareIsHighWithinCommunities) {
+  // Streaming a clique after adopting its first edges: once both endpoints
+  // live in a partition, subsequent edges are free (Condition (5) online).
+  DynamicPartitionerOptions opt;
+  DynamicEdgePartitioner dyn(4, opt);
+  for (VertexId u = 0; u < 24; ++u) {
+    for (VertexId v = u + 1; v < 24; ++v) dyn.AddEdge(u, v);
+  }
+  EXPECT_GT(dyn.FreeInsertionShare(), 0.5);
+}
+
+TEST(DynamicTest, GrowsVertexUniverseOnDemand) {
+  DynamicPartitionerOptions opt;
+  DynamicEdgePartitioner dyn(4, opt);
+  dyn.AddEdge(5, 10);
+  dyn.AddEdge(100000, 200000);  // far beyond the initial headroom
+  EXPECT_EQ(dyn.num_edges(), 2u);
+  EXPECT_GE(dyn.CurrentReplicationFactor(), 1.0);
+}
+
+TEST(DynamicTest, BalanceGuardUnderAdversarialStream) {
+  // A hub fan-out: every edge shares vertex 0, the worst case for the
+  // intersection rule. The capacity guard must still keep balance.
+  DynamicPartitionerOptions opt;
+  opt.alpha = 1.1;
+  DynamicEdgePartitioner dyn(8, opt);
+  for (VertexId leaf = 1; leaf <= 4000; ++leaf) dyn.AddEdge(0, leaf);
+  EXPECT_LT(dyn.CurrentEdgeBalance(), 1.25);
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,80 @@
+// Unit tests for EdgeList canonicalisation.
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.h"
+
+namespace dne {
+namespace {
+
+TEST(EdgeListTest, AddTracksVertexUniverse) {
+  EdgeList list;
+  list.Add(3, 7);
+  list.Add(1, 2);
+  EXPECT_EQ(list.NumEdges(), 2u);
+  EXPECT_EQ(list.NumVertices(), 8u);
+}
+
+TEST(EdgeListTest, SetNumVerticesOnlyWidens) {
+  EdgeList list;
+  list.Add(0, 9);
+  list.SetNumVertices(5);  // narrower: ignored
+  EXPECT_EQ(list.NumVertices(), 10u);
+  list.SetNumVertices(20);
+  EXPECT_EQ(list.NumVertices(), 20u);
+}
+
+TEST(EdgeListTest, NormalizeDropsSelfLoops) {
+  EdgeList list;
+  list.Add(1, 1);
+  list.Add(2, 3);
+  list.Add(4, 4);
+  EXPECT_EQ(list.Normalize(), 2u);
+  EXPECT_EQ(list.NumEdges(), 1u);
+  EXPECT_EQ(list[0], (Edge{2, 3}));
+}
+
+TEST(EdgeListTest, NormalizeOrientsAndDeduplicates) {
+  EdgeList list;
+  list.Add(5, 2);
+  list.Add(2, 5);
+  list.Add(2, 5);
+  EXPECT_EQ(list.Normalize(), 2u);
+  ASSERT_EQ(list.NumEdges(), 1u);
+  EXPECT_EQ(list[0], (Edge{2, 5}));
+}
+
+TEST(EdgeListTest, NormalizeSortsCanonically) {
+  EdgeList list;
+  list.Add(9, 1);
+  list.Add(0, 3);
+  list.Add(0, 2);
+  list.Normalize();
+  ASSERT_EQ(list.NumEdges(), 3u);
+  EXPECT_EQ(list[0], (Edge{0, 2}));
+  EXPECT_EQ(list[1], (Edge{0, 3}));
+  EXPECT_EQ(list[2], (Edge{1, 9}));
+  EXPECT_TRUE(list.IsNormalized());
+}
+
+TEST(EdgeListTest, IsNormalizedDetectsViolations) {
+  EdgeList loop({{1, 1}});
+  EXPECT_FALSE(loop.IsNormalized());
+  EdgeList reversed({{5, 2}});
+  EXPECT_FALSE(reversed.IsNormalized());
+  EdgeList unsorted({{2, 5}, {0, 1}});
+  EXPECT_FALSE(unsorted.IsNormalized());
+  EdgeList dup({{0, 1}, {0, 1}});
+  EXPECT_FALSE(dup.IsNormalized());
+  EdgeList good({{0, 1}, {1, 2}});
+  EXPECT_TRUE(good.IsNormalized());
+}
+
+TEST(EdgeListTest, EmptyListIsNormalized) {
+  EdgeList list;
+  EXPECT_TRUE(list.IsNormalized());
+  EXPECT_EQ(list.Normalize(), 0u);
+  EXPECT_EQ(list.NumVertices(), 0u);
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,116 @@
+// Failure-injection and guard-rail tests: the library must fail loudly and
+// cleanly, never hang or corrupt output.
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "gen/dataset.h"
+#include "metrics/partition_metrics.h"
+#include "partition/dne/dne_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+TEST(FailureTest, SuperstepGuardFiresInsteadOfHanging) {
+  // With max_supersteps = 1 the run cannot finish: the guard must return a
+  // clean Internal error (not loop forever, not return a partial cover).
+  Graph g = testing::SkewedGraph(9, 6);
+  DneOptions opt;
+  opt.max_supersteps = 1;
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  Status st = dne.Partition(g, 8, &ep);
+  EXPECT_EQ(st.code(), Status::Code::kInternal);
+}
+
+TEST(FailureTest, GuardLargeEnoughRunsComplete) {
+  Graph g = testing::SkewedGraph(8, 4);
+  DneOptions opt;
+  opt.max_supersteps = 100000;
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  EXPECT_TRUE(dne.Partition(g, 4, &ep).ok());
+}
+
+TEST(FailureTest, EmptyGraphIsHandledByEveryPartitioner) {
+  Graph g = Graph::Build(EdgeList{});
+  for (const std::string& name : KnownPartitioners()) {
+    EdgePartition ep;
+    Status st = MustCreatePartitioner(name)->Partition(g, 4, &ep);
+    // Either a clean OK with zero edges or a clean error — never a crash.
+    if (st.ok()) {
+      EXPECT_EQ(ep.num_edges(), 0u) << name;
+    }
+  }
+}
+
+TEST(FailureTest, MorePartitionsThanEdges) {
+  // P > |E|: some partitions stay empty; the cover must still be valid.
+  Graph g = testing::PathGraph(5);  // 4 edges
+  for (const std::string name : {"dne", "ne", "hdrf", "random"}) {
+    EdgePartition ep;
+    ASSERT_TRUE(MustCreatePartitioner(name)->Partition(g, 16, &ep).ok())
+        << name;
+    EXPECT_TRUE(ep.Validate(g).ok()) << name;
+  }
+}
+
+TEST(FailureTest, AlphaExactlyOneStillCovers) {
+  // The tightest admissible balance: ceiling division must prevent
+  // stranded edges.
+  Graph g = testing::SkewedGraph(8, 4);
+  FactoryOptions fo;
+  fo.alpha = 1.0;
+  for (const std::string name : {"dne", "ne", "sne"}) {
+    EdgePartition ep;
+    ASSERT_TRUE(MustCreatePartitioner(name, fo)->Partition(g, 7, &ep).ok())
+        << name;
+    EXPECT_TRUE(ep.Validate(g).ok()) << name;
+  }
+}
+
+TEST(FailureTest, GridShapeCoversAwkwardCounts) {
+  for (std::uint32_t p : {1u, 2u, 3u, 5u, 6u, 7u, 9u, 13u, 100u}) {
+    std::uint32_t rows = 0, cols = 0;
+    GridPartitioner::GridShape(p, &rows, &cols);
+    EXPECT_EQ(rows * cols, p);
+    EXPECT_GE(cols, rows);
+  }
+}
+
+TEST(FailureTest, DatasetScaleShiftBoundsChecked) {
+  Graph g;
+  // Shrinking below scale 4 must be rejected, not crash.
+  EXPECT_EQ(BuildDataset("pokec-sim", 100, &g).code(),
+            Status::Code::kInvalidArgument);
+  // Negative shift enlarges and must work.
+  EXPECT_TRUE(BuildDataset("penn-road-sim", -2, &g).ok());
+  EXPECT_GT(g.NumVertices(), 26752u);  // larger than the default build
+}
+
+TEST(FailureTest, CostModelHonoursCoreCount) {
+  // Cores only scale the phases explicitly divided by the partitioner; the
+  // cost model itself must accept any positive core count.
+  Graph g = testing::SkewedGraph(8, 4);
+  DneOptions one;
+  one.cost.cores_per_machine = 1;
+  DneOptions many;
+  many.cost.cores_per_machine = 64;
+  DnePartitioner p1(one), p2(many);
+  EdgePartition ep;
+  ASSERT_TRUE(p1.Partition(g, 4, &ep).ok());
+  ASSERT_TRUE(p2.Partition(g, 4, &ep).ok());
+  // Same partition either way; more cores -> less simulated time.
+  EXPECT_GT(p1.dne_stats().sim_seconds, p2.dne_stats().sim_seconds);
+}
+
+TEST(FailureTest, ValidatePartitionSizeMismatch) {
+  Graph g = testing::PathGraph(6);
+  EdgePartition wrong(2, g.NumEdges() + 3);
+  for (EdgeId e = 0; e < wrong.num_edges(); ++e) wrong.Set(e, 0);
+  EXPECT_FALSE(wrong.Validate(g).ok());
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,157 @@
+// Unit + property tests for the graph generators.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "gen/chung_lu.h"
+#include "gen/dataset.h"
+#include "gen/erdos_renyi.h"
+#include "gen/lattice.h"
+#include "gen/ring_complete.h"
+#include "gen/rmat.h"
+#include "graph/degree_stats.h"
+#include "graph/graph.h"
+
+namespace dne {
+namespace {
+
+TEST(RmatTest, EmitsRequestedSampleCount) {
+  RmatOptions opt;
+  opt.scale = 10;
+  opt.edge_factor = 8;
+  EdgeList list = GenerateRmat(opt);
+  EXPECT_EQ(list.NumEdges(), (1u << 10) * 8u);
+  EXPECT_EQ(list.NumVertices(), 1u << 10);
+}
+
+TEST(RmatTest, DeterministicForSeed) {
+  RmatOptions opt;
+  opt.scale = 8;
+  opt.edge_factor = 4;
+  opt.seed = 99;
+  EdgeList a = GenerateRmat(opt);
+  EdgeList b = GenerateRmat(opt);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (std::size_t i = 0; i < a.NumEdges(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(RmatTest, DifferentSeedsDiffer) {
+  RmatOptions opt;
+  opt.scale = 8;
+  opt.edge_factor = 4;
+  opt.seed = 1;
+  EdgeList a = GenerateRmat(opt);
+  opt.seed = 2;
+  EdgeList b = GenerateRmat(opt);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.NumEdges() && !any_diff; ++i) {
+    any_diff = !(a[i] == b[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RmatTest, ProducesSkewedDegrees) {
+  RmatOptions opt;
+  opt.scale = 12;
+  opt.edge_factor = 16;
+  Graph g = Graph::Build(GenerateRmat(opt));
+  DegreeStats s = ComputeDegreeStats(g);
+  // Skew proxy: the top 1% of vertices should hold well above a uniform
+  // share (1%) of edge endpoints; RMAT at these settings gives > 10%.
+  EXPECT_GT(s.top1pct_edge_share, 0.10);
+  EXPECT_GT(s.max_degree, 50u);
+}
+
+TEST(ErdosRenyiTest, IsNotSkewed) {
+  Graph g = Graph::Build(GenerateErdosRenyi(1 << 12, 16 << 12));
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_LT(s.top1pct_edge_share, 0.05);
+}
+
+TEST(ErdosRenyiTest, SizesAndDeterminism) {
+  EdgeList a = GenerateErdosRenyi(1000, 5000, 7);
+  EdgeList b = GenerateErdosRenyi(1000, 5000, 7);
+  EXPECT_EQ(a.NumEdges(), 5000u);
+  for (std::size_t i = 0; i < a.NumEdges(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ChungLuTest, MatchesTargetAlphaRoughly) {
+  ChungLuOptions opt;
+  opt.num_vertices = 1 << 14;
+  opt.alpha = 2.5;
+  Graph g = Graph::Build(GenerateChungLu(opt));
+  DegreeStats s = ComputeDegreeStats(g);
+  // MLE alpha of the realised degree sequence should be near the target.
+  EXPECT_GT(s.mle_alpha, 1.8);
+  EXPECT_LT(s.mle_alpha, 3.4);
+  EXPECT_GT(s.top1pct_edge_share, 0.05);  // heavier than uniform
+}
+
+TEST(RingCompleteTest, TheoremTwoSizes) {
+  // n = 6: K_6 has 15 edges; ring has 15 vertices and 15 edges.
+  const std::uint64_t n = 6;
+  EdgeList list = GenerateRingComplete(n);
+  EXPECT_EQ(list.NumEdges(), n * (n - 1));          // n(n-1) total
+  EXPECT_EQ(list.NumVertices(), n + n * (n - 1) / 2);  // n + ring
+  EXPECT_EQ(RingCompleteTightPartitions(n), 15u);
+  // Normalization must not remove anything (construction is duplicate-free).
+  EXPECT_EQ(list.Normalize(), 0u);
+}
+
+TEST(RingCompleteTest, RingIsTwoRegular) {
+  Graph g = Graph::Build(GenerateRingComplete(5));
+  // Vertices [n, n + ring) have degree exactly 2.
+  for (VertexId v = 5; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.degree(v), 2u) << "ring vertex " << v;
+  }
+  // K_n vertices have degree n-1.
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(LatticeTest, DegreesAreRoadLike) {
+  LatticeOptions opt;
+  opt.width = 64;
+  opt.height = 64;
+  Graph g = Graph::Build(GenerateLattice(opt));
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_GT(s.mean_degree, 1.5);
+  EXPECT_LT(s.mean_degree, 4.5);
+  EXPECT_LE(s.max_degree, 8u);  // lattice + diagonals caps the degree
+  EXPECT_LT(s.top1pct_edge_share, 0.05);
+}
+
+TEST(DatasetTest, RegistryListsPaperGraphs) {
+  auto skewed = SkewedDatasets();
+  ASSERT_EQ(skewed.size(), 7u);
+  EXPECT_EQ(skewed[0].name, "pokec-sim");
+  EXPECT_EQ(skewed[6].paper_name, "WebUK");
+  auto roads = RoadDatasets();
+  ASSERT_EQ(roads.size(), 3u);
+  EXPECT_EQ(roads[0].kind, "road");
+}
+
+TEST(DatasetTest, BuildsByNameAndRejectsUnknown) {
+  Graph g;
+  ASSERT_TRUE(BuildDataset("pokec-sim", 2, &g).ok());
+  EXPECT_GT(g.NumEdges(), 1000u);
+  EXPECT_EQ(BuildDataset("no-such-graph", 0, &g).code(),
+            Status::Code::kNotFound);
+}
+
+TEST(DatasetTest, ScaleShiftHalvesVertices) {
+  Graph big, small;
+  ASSERT_TRUE(BuildDataset("flickr-sim", 2, &big).ok());
+  ASSERT_TRUE(BuildDataset("flickr-sim", 3, &small).ok());
+  EXPECT_EQ(big.NumVertices(), 2 * small.NumVertices());
+}
+
+TEST(DatasetTest, RoadStandInsAreUnskewed) {
+  Graph g = MustBuildDataset("calif-road-sim");
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_LT(s.top1pct_edge_share, 0.05);
+  EXPECT_GT(s.mean_degree, 1.5);
+  EXPECT_LT(s.mean_degree, 4.5);
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,91 @@
+// Round-trip tests for the text and binary edge-list formats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/graph_io.h"
+
+namespace dne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphIoTest, TextRoundTrip) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(2, 3);
+  list.Add(10, 20);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeListText(path, list).ok());
+  EdgeList loaded;
+  ASSERT_TRUE(LoadEdgeListText(path, &loaded).ok());
+  ASSERT_EQ(loaded.NumEdges(), 3u);
+  EXPECT_EQ(loaded[2], (Edge{10, 20}));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextSkipsComments) {
+  const std::string path = TempPath("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# header\n% other comment\n1 2\n\n3 4\n";
+  }
+  EdgeList loaded;
+  ASSERT_TRUE(LoadEdgeListText(path, &loaded).ok());
+  EXPECT_EQ(loaded.NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextRejectsMalformedLine) {
+  const std::string path = TempPath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2\nnot-an-edge\n";
+  }
+  EdgeList loaded;
+  Status st = LoadEdgeListText(path, &loaded);
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  EdgeList loaded;
+  EXPECT_EQ(LoadEdgeListText("/nonexistent/nowhere.txt", &loaded).code(),
+            Status::Code::kIOError);
+  EXPECT_EQ(LoadEdgeListBinary("/nonexistent/nowhere.bin", &loaded).code(),
+            Status::Code::kIOError);
+}
+
+TEST(GraphIoTest, BinaryRoundTripPreservesUniverse) {
+  EdgeList list;
+  list.Add(5, 9);
+  list.Add(1, 2);
+  list.SetNumVertices(100);  // wider than max id + 1
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(path, list).ok());
+  EdgeList loaded;
+  ASSERT_TRUE(LoadEdgeListBinary(path, &loaded).ok());
+  EXPECT_EQ(loaded.NumEdges(), 2u);
+  EXPECT_EQ(loaded.NumVertices(), 100u);
+  EXPECT_EQ(loaded[0], (Edge{5, 9}));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryRejectsBadMagic) {
+  const std::string path = TempPath("badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a dne file at all, not even close";
+  }
+  EdgeList loaded;
+  EXPECT_EQ(LoadEdgeListBinary(path, &loaded).code(),
+            Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dne

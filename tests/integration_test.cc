@@ -1,0 +1,117 @@
+// End-to-end integration: generate -> partition (all methods) -> metrics ->
+// run applications, on a mid-size skewed graph; plus dataset-driven flows.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "apps/engine.h"
+#include "apps/pagerank.h"
+#include "core/dne.h"
+
+namespace dne {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnDatasetStandIn) {
+  Graph g = MustBuildDataset("pokec-sim", 3);  // shrunk for test speed
+  ASSERT_GT(g.NumEdges(), 10000u);
+
+  std::map<std::string, double> rf;
+  for (const std::string name :
+       {"random", "grid", "oblivious", "hdrf", "sne", "dne"}) {
+    EdgePartition ep;
+    ASSERT_TRUE(MustCreatePartitioner(name)->Partition(g, 16, &ep).ok())
+        << name;
+    ASSERT_TRUE(ep.Validate(g).ok()) << name;
+    rf[name] = ComputePartitionMetrics(g, ep).replication_factor;
+  }
+  // Paper Fig. 8 qualitative ordering on skewed graphs.
+  EXPECT_LT(rf["dne"], rf["random"]);
+  EXPECT_LT(rf["dne"], rf["grid"]);
+  EXPECT_LT(rf["hdrf"], rf["random"]);
+
+  // The winning partition actually runs an application correctly.
+  EdgePartition ep;
+  ASSERT_TRUE(MustCreatePartitioner("dne")->Partition(g, 16, &ep).ok());
+  VertexCutEngine engine(g, ep);
+  std::vector<double> ranks;
+  AppStats stats = engine.RunPageRank(5, &ranks);
+  EXPECT_GT(stats.comm_bytes, 0u);
+  auto ref = PageRankReference(g, 5);
+  for (VertexId v = 0; v < g.NumVertices(); v += 97) {
+    EXPECT_NEAR(ranks[v], ref[v], 1e-9);
+  }
+}
+
+TEST(IntegrationTest, DneStatsConsistentWithMetrics) {
+  Graph g = MustBuildDataset("flickr-sim", 3);
+  DneOptions opt;
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  ASSERT_TRUE(dne.Partition(g, 8, &ep).ok());
+  // The partitioner's own edge counters must agree with the partition.
+  auto sizes = ep.PartitionSizes();
+  ASSERT_EQ(dne.dne_stats().edges_per_partition.size(), sizes.size());
+  for (std::size_t p = 0; p < sizes.size(); ++p) {
+    EXPECT_EQ(dne.dne_stats().edges_per_partition[p], sizes[p]);
+  }
+  EXPECT_EQ(dne.dne_stats().one_hop_edges + dne.dne_stats().two_hop_edges,
+            g.NumEdges());
+}
+
+TEST(IntegrationTest, WeakScalingSimulatedTimeGrows) {
+  // Fig. 10(j) shape: fixed vertices per machine, growing machine count —
+  // simulated time increases (selection imbalance + communication).
+  double prev = 0.0;
+  for (std::uint32_t machines : {2u, 4u, 8u}) {
+    RmatOptions opt;
+    opt.scale = 8 + static_cast<int>(machines / 4);  // ~fixed per machine
+    opt.edge_factor = 8;
+    Graph g = Graph::Build(GenerateRmat(opt));
+    DnePartitioner dne;
+    EdgePartition ep;
+    ASSERT_TRUE(dne.Partition(g, machines, &ep).ok());
+    const double t = dne.dne_stats().sim_seconds;
+    EXPECT_GT(t, 0.0);
+    if (machines > 2) {
+      EXPECT_GT(t, prev * 0.5);  // no pathological drops
+    }
+    prev = t;
+  }
+}
+
+TEST(IntegrationTest, RoadNetworkAllMethodsNearOne) {
+  // Sec. 7.7: on road networks every structure-aware method lands near
+  // RF = 1; hashes sit near 3.5.
+  Graph g = MustBuildDataset("penn-road-sim");
+  auto rf_of = [&](const std::string& name) {
+    EdgePartition ep;
+    EXPECT_TRUE(MustCreatePartitioner(name)->Partition(g, 8, &ep).ok());
+    return ComputePartitionMetrics(g, ep).replication_factor;
+  };
+  EXPECT_LT(rf_of("dne"), 1.3);
+  EXPECT_LT(rf_of("sheep"), 1.6);
+  EXPECT_LT(rf_of("multilevel"), 1.35);
+  EXPECT_GT(rf_of("random"), 2.0);
+}
+
+TEST(IntegrationTest, SaveLoadPartitionPipeline) {
+  // Graph IO integrates with the partitioning flow.
+  Graph g = MustBuildDataset("pokec-sim", 4);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/pipeline.bin";
+  ASSERT_TRUE(SaveEdgeListBinary(path, g.edges()).ok());
+  EdgeList loaded;
+  ASSERT_TRUE(LoadEdgeListBinary(path, &loaded).ok());
+  Graph g2 = Graph::FromNormalized(std::move(loaded));
+  ASSERT_EQ(g2.NumEdges(), g.NumEdges());
+  EdgePartition ep_a, ep_b;
+  FactoryOptions fo;
+  ASSERT_TRUE(MustCreatePartitioner("dne", fo)->Partition(g, 4, &ep_a).ok());
+  ASSERT_TRUE(MustCreatePartitioner("dne", fo)->Partition(g2, 4, &ep_b).ok());
+  EXPECT_EQ(ep_a.assignment(), ep_b.assignment());  // same bits -> same result
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dne

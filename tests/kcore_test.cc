@@ -1,0 +1,98 @@
+// Tests for the k-core decomposition.
+#include <gtest/gtest.h>
+
+#include "apps/kcore.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+// O(V * E * iterations) reference: repeatedly strip vertices of degree < k.
+std::uint32_t ReferenceCore(const Graph& g, VertexId target) {
+  std::uint32_t k = 0;
+  while (true) {
+    // Does target survive the (k+1)-core peeling?
+    std::vector<bool> alive(g.NumVertices(), true);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (!alive[v]) continue;
+        std::uint32_t d = 0;
+        for (const Adjacency& a : g.neighbors(v)) {
+          if (alive[a.to]) ++d;
+        }
+        if (d < k + 1) {
+          alive[v] = false;
+          changed = true;
+        }
+      }
+    }
+    if (!alive[target]) return k;
+    ++k;
+  }
+}
+
+TEST(KCoreTest, CompleteGraphIsUniformlyDense) {
+  Graph g = testing::CompleteGraph(7);
+  auto core = CoreNumbers(g);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(core[v], 6u);
+  EXPECT_EQ(Degeneracy(g), 6u);
+}
+
+TEST(KCoreTest, CycleIsTwoCore) {
+  Graph g = testing::CycleGraph(20);
+  auto core = CoreNumbers(g);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(core[v], 2u);
+}
+
+TEST(KCoreTest, TreesAndStarsAreOneCore) {
+  EXPECT_EQ(Degeneracy(testing::BinaryTreeGraph(31)), 1u);
+  EXPECT_EQ(Degeneracy(testing::StarGraph(50)), 1u);
+  EXPECT_EQ(Degeneracy(testing::PathGraph(50)), 1u);
+}
+
+TEST(KCoreTest, IsolatedVerticesAreZeroCore) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.SetNumVertices(5);
+  Graph g = Graph::Build(std::move(list));
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 1u);
+  EXPECT_EQ(core[1], 1u);
+  EXPECT_EQ(core[4], 0u);
+}
+
+TEST(KCoreTest, CliqueWithTailPeelsCorrectly) {
+  // K_5 plus a path hanging off vertex 0: the path is 1-core, K_5 4-core.
+  EdgeList list;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) list.Add(u, v);
+  }
+  list.Add(0, 5);
+  list.Add(5, 6);
+  Graph g = Graph::Build(std::move(list));
+  auto core = CoreNumbers(g);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(core[v], 4u) << v;
+  EXPECT_EQ(core[5], 1u);
+  EXPECT_EQ(core[6], 1u);
+}
+
+TEST(KCoreTest, MatchesReferenceOnRandomGraph) {
+  Graph g = testing::SkewedGraph(6, 4, 9);  // 64 vertices
+  auto core = CoreNumbers(g);
+  for (VertexId v = 0; v < g.NumVertices(); v += 7) {
+    EXPECT_EQ(core[v], ReferenceCore(g, v)) << "vertex " << v;
+  }
+}
+
+TEST(KCoreTest, CoreNumbersBoundedByDegree) {
+  Graph g = testing::SkewedGraph(9, 8);
+  auto core = CoreNumbers(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LE(core[v], g.degree(v));
+  }
+}
+
+}  // namespace
+}  // namespace dne

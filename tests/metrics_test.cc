@@ -1,0 +1,114 @@
+// Unit tests for partition metrics and vertex replica sets.
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "metrics/partition_metrics.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+namespace {
+
+Graph PathGraph(int n) {
+  EdgeList list;
+  for (int i = 0; i + 1 < n; ++i) list.Add(i, i + 1);
+  return Graph::Build(std::move(list));
+}
+
+TEST(MetricsTest, SinglePartitionHasRfOne) {
+  Graph g = PathGraph(5);
+  EdgePartition part(1, g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) part.Set(e, 0);
+  PartitionMetrics m = ComputePartitionMetrics(g, part);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+  EXPECT_EQ(m.cut_vertices, 0u);
+  EXPECT_DOUBLE_EQ(m.edge_balance, 1.0);
+}
+
+TEST(MetricsTest, SplitPathCutsOneVertex) {
+  // Path 0-1-2-3-4: edges {01,12} -> p0, {23,34} -> p1. Vertex 2 is cut.
+  Graph g = PathGraph(5);
+  EdgePartition part(2, g.NumEdges());
+  part.Set(0, 0);
+  part.Set(1, 0);
+  part.Set(2, 1);
+  part.Set(3, 1);
+  PartitionMetrics m = ComputePartitionMetrics(g, part);
+  EXPECT_EQ(m.cut_vertices, 1u);
+  EXPECT_EQ(m.total_replicas, 6u);  // 5 vertices + 1 extra replica
+  EXPECT_DOUBLE_EQ(m.replication_factor, 6.0 / 5.0);
+  EXPECT_DOUBLE_EQ(m.edge_balance, 1.0);
+  EXPECT_DOUBLE_EQ(m.vertex_balance, 1.0);  // 3 vs 3
+}
+
+TEST(MetricsTest, WorstCasePathPartition) {
+  // Alternate partitions along the path: every interior vertex is cut.
+  Graph g = PathGraph(6);  // 5 edges
+  EdgePartition part(2, g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) part.Set(e, e % 2);
+  PartitionMetrics m = ComputePartitionMetrics(g, part);
+  EXPECT_EQ(m.cut_vertices, 4u);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 10.0 / 6.0);
+}
+
+TEST(MetricsTest, IsolatedVerticesExcludedFromRf) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.SetNumVertices(100);  // 98 isolated vertices
+  Graph g = Graph::Build(std::move(list));
+  EdgePartition part(2, g.NumEdges());
+  part.Set(0, 1);
+  PartitionMetrics m = ComputePartitionMetrics(g, part);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+  EXPECT_EQ(m.total_replicas, 2u);
+}
+
+TEST(MetricsTest, EdgeBalanceDetectsSkew) {
+  Graph g = PathGraph(9);  // 8 edges
+  EdgePartition part(2, g.NumEdges());
+  for (EdgeId e = 0; e < 6; ++e) part.Set(e, 0);
+  part.Set(6, 1);
+  part.Set(7, 1);
+  PartitionMetrics m = ComputePartitionMetrics(g, part);
+  EXPECT_DOUBLE_EQ(m.edge_balance, 6.0 / 4.0);  // max 6 / mean 4
+}
+
+TEST(MetricsTest, ReplicaSetsAreSortedAndDeduplicated) {
+  Graph g = PathGraph(4);  // edges 01, 12, 23
+  EdgePartition part(3, g.NumEdges());
+  part.Set(0, 2);
+  part.Set(1, 0);
+  part.Set(2, 1);
+  VertexReplicaSets sets = ComputeVertexReplicaSets(g, part);
+  auto v1 = sets.of(1);  // edges 01(p2), 12(p0)
+  ASSERT_EQ(v1.size(), 2u);
+  EXPECT_EQ(v1[0], 0u);
+  EXPECT_EQ(v1[1], 2u);
+  auto v0 = sets.of(0);
+  ASSERT_EQ(v0.size(), 1u);
+  EXPECT_EQ(v0[0], 2u);
+}
+
+TEST(MetricsTest, ValidateCatchesUnassignedAndOutOfRange) {
+  Graph g = PathGraph(3);
+  EdgePartition part(2, g.NumEdges());
+  EXPECT_FALSE(part.Validate(g).ok());  // all unassigned
+  part.Set(0, 0);
+  part.Set(1, 5);  // out of range
+  EXPECT_FALSE(part.Validate(g).ok());
+  part.Set(1, 1);
+  EXPECT_TRUE(part.Validate(g).ok());
+}
+
+TEST(MetricsTest, PartitionSizesCountsAssignments) {
+  Graph g = PathGraph(4);
+  EdgePartition part(2, g.NumEdges());
+  part.Set(0, 0);
+  part.Set(1, 0);
+  part.Set(2, 1);
+  auto sizes = part.PartitionSizes();
+  EXPECT_EQ(sizes[0], 2u);
+  EXPECT_EQ(sizes[1], 1u);
+}
+
+}  // namespace
+}  // namespace dne

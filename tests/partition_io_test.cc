@@ -1,0 +1,124 @@
+// Round-trip and shard tests for partition persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/factory.h"
+#include "graph/graph_io.h"
+#include "partition/partition_io.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+EdgePartition MakePartition(const Graph& g) {
+  EdgePartition ep;
+  MustCreatePartitioner("dne")->Partition(g, 8, &ep);
+  return ep;
+}
+
+TEST(PartitionIoTest, TextRoundTrip) {
+  Graph g = testing::SkewedGraph(8, 4);
+  EdgePartition ep = MakePartition(g);
+  const std::string path = TempPath("part.txt");
+  ASSERT_TRUE(SavePartitionText(path, ep).ok());
+  EdgePartition loaded;
+  ASSERT_TRUE(LoadPartitionText(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_partitions(), ep.num_partitions());
+  EXPECT_EQ(loaded.assignment(), ep.assignment());
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, BinaryRoundTrip) {
+  Graph g = testing::SkewedGraph(8, 4);
+  EdgePartition ep = MakePartition(g);
+  const std::string path = TempPath("part.bin");
+  ASSERT_TRUE(SavePartitionBinary(path, ep).ok());
+  EdgePartition loaded;
+  ASSERT_TRUE(LoadPartitionBinary(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_partitions(), ep.num_partitions());
+  EXPECT_EQ(loaded.assignment(), ep.assignment());
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, TextRejectsMissingHeader) {
+  const std::string path = TempPath("noheader.txt");
+  {
+    std::ofstream out(path);
+    out << "0\n1\n";
+  }
+  EdgePartition loaded;
+  EXPECT_EQ(LoadPartitionText(path, &loaded).code(),
+            Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, TextRejectsOutOfRangeIds) {
+  const std::string path = TempPath("badid.txt");
+  {
+    std::ofstream out(path);
+    out << "# 2 3\n0\n1\n7\n";  // 7 >= 2 partitions
+  }
+  EdgePartition loaded;
+  EXPECT_EQ(LoadPartitionText(path, &loaded).code(),
+            Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, BinaryRejectsGarbage) {
+  const std::string path = TempPath("garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage bytes here that are not a partition file";
+  }
+  EdgePartition loaded;
+  EXPECT_EQ(LoadPartitionBinary(path, &loaded).code(),
+            Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, ShardsPartitionTheEdgeSet) {
+  Graph g = testing::SkewedGraph(8, 4);
+  EdgePartition ep = MakePartition(g);
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(WritePartitionShards(dir, g, ep).ok());
+  // Re-load every shard; their union must be exactly the edge set.
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < ep.num_partitions(); ++p) {
+    const std::string shard = dir + "/part-" + std::to_string(p) + ".txt";
+    EdgeList list;
+    ASSERT_TRUE(LoadEdgeListText(shard, &list).ok()) << shard;
+    // Every edge in shard p must be assigned to p.
+    for (const Edge& e : list.edges()) {
+      bool found = false;
+      for (EdgeId id = 0; id < g.NumEdges(); ++id) {
+        if (g.edge(id) == e) {
+          EXPECT_EQ(ep.Get(id), p);
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << e.src << "-" << e.dst;
+    }
+    total += list.NumEdges();
+    std::remove(shard.c_str());
+  }
+  EXPECT_EQ(total, g.NumEdges());
+}
+
+TEST(PartitionIoTest, ShardMismatchRejected) {
+  Graph g = testing::SkewedGraph(8, 4);
+  EdgePartition wrong(4, g.NumEdges() + 5);  // size mismatch
+  EXPECT_EQ(
+      WritePartitionShards(::testing::TempDir(), g, wrong).code(),
+      Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dne

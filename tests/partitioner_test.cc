@@ -1,0 +1,165 @@
+// Parameterized property tests that every partitioner must satisfy:
+// disjoint cover of E, valid ids, determinism, sane quality.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/factory.h"
+#include "gen/erdos_renyi.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "metrics/partition_metrics.h"
+#include "metrics/theory.h"
+
+namespace dne {
+namespace {
+
+Graph SmallRmat() {
+  RmatOptions opt;
+  opt.scale = 10;
+  opt.edge_factor = 8;
+  opt.seed = 5;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+class PartitionerPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Partitioner> Make(std::uint64_t seed = 1) {
+    FactoryOptions fo;
+    fo.seed = seed;
+    return MustCreatePartitioner(GetParam(), fo);
+  }
+};
+
+TEST_P(PartitionerPropertyTest, ProducesValidDisjointCover) {
+  Graph g = SmallRmat();
+  auto part = Make();
+  EdgePartition ep;
+  ASSERT_TRUE(part->Partition(g, 8, &ep).ok());
+  EXPECT_TRUE(ep.Validate(g).ok());
+  EXPECT_EQ(ep.num_partitions(), 8u);
+}
+
+TEST_P(PartitionerPropertyTest, DeterministicForSameSeed) {
+  Graph g = SmallRmat();
+  EdgePartition a, b;
+  ASSERT_TRUE(Make(7)->Partition(g, 8, &a).ok());
+  ASSERT_TRUE(Make(7)->Partition(g, 8, &b).ok());
+  EXPECT_EQ(a.assignment(), b.assignment());
+}
+
+TEST_P(PartitionerPropertyTest, RejectsZeroPartitions) {
+  Graph g = SmallRmat();
+  EdgePartition ep;
+  EXPECT_FALSE(Make()->Partition(g, 0, &ep).ok());
+}
+
+TEST_P(PartitionerPropertyTest, SinglePartitionIsTrivial) {
+  Graph g = SmallRmat();
+  EdgePartition ep;
+  ASSERT_TRUE(Make()->Partition(g, 1, &ep).ok());
+  ASSERT_TRUE(ep.Validate(g).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+}
+
+TEST_P(PartitionerPropertyTest, ReplicationFactorWithinTheorem1Envelope) {
+  // RF can never exceed min(P, (|E|+|V|+|P|)/|V|) for ANY correct method —
+  // a loose sanity envelope that still catches gross bookkeeping bugs.
+  Graph g = SmallRmat();
+  EdgePartition ep;
+  ASSERT_TRUE(Make()->Partition(g, 8, &ep).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  EXPECT_GE(m.replication_factor, 1.0);
+  EXPECT_LE(m.replication_factor, 8.0);
+}
+
+TEST_P(PartitionerPropertyTest, HandlesDisconnectedGraph) {
+  // Two far-apart cliques plus isolated vertices.
+  EdgeList list;
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) list.Add(u, v);
+  }
+  for (VertexId u = 100; u < 108; ++u) {
+    for (VertexId v = u + 1; v < 108; ++v) list.Add(u, v);
+  }
+  list.SetNumVertices(120);
+  Graph g = Graph::Build(std::move(list));
+  EdgePartition ep;
+  ASSERT_TRUE(Make()->Partition(g, 4, &ep).ok());
+  EXPECT_TRUE(ep.Validate(g).ok());
+}
+
+TEST_P(PartitionerPropertyTest, HandlesTinyGraph) {
+  EdgeList list;
+  list.Add(0, 1);
+  Graph g = Graph::Build(std::move(list));
+  EdgePartition ep;
+  ASSERT_TRUE(Make()->Partition(g, 4, &ep).ok());
+  EXPECT_TRUE(ep.Validate(g).ok());
+}
+
+TEST_P(PartitionerPropertyTest, MorePartitionsDoNotReduceReplicas) {
+  Graph g = SmallRmat();
+  EdgePartition ep4, ep32;
+  ASSERT_TRUE(Make()->Partition(g, 4, &ep4).ok());
+  ASSERT_TRUE(Make()->Partition(g, 32, &ep32).ok());
+  PartitionMetrics m4 = ComputePartitionMetrics(g, ep4);
+  PartitionMetrics m32 = ComputePartitionMetrics(g, ep32);
+  // Allow slack: a handful of methods can be marginally non-monotone on a
+  // small graph, but 32-way should never be *better* by a wide margin.
+  EXPECT_GE(m32.replication_factor, 0.9 * m4.replication_factor);
+}
+
+TEST_P(PartitionerPropertyTest, ReportsWallTime) {
+  Graph g = SmallRmat();
+  auto part = Make();
+  EdgePartition ep;
+  ASSERT_TRUE(part->Partition(g, 8, &ep).ok());
+  EXPECT_GE(part->run_stats().wall_seconds, 0.0);
+  EXPECT_GT(part->run_stats().peak_memory_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPartitioners, PartitionerPropertyTest,
+    ::testing::Values("random", "grid", "dbh", "hybrid", "oblivious",
+                      "ginger", "hdrf", "fennel", "ne", "sne", "spinner",
+                      "xtrapulp", "sheep", "multilevel", "dne"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(FactoryTest, KnownPartitionersAllConstruct) {
+  for (const std::string& name : KnownPartitioners()) {
+    std::unique_ptr<Partitioner> p;
+    EXPECT_TRUE(CreatePartitioner(name, FactoryOptions{}, &p).ok()) << name;
+    EXPECT_EQ(p->name(), name);
+  }
+}
+
+TEST(FactoryTest, UnknownNameIsNotFound) {
+  std::unique_ptr<Partitioner> p;
+  EXPECT_EQ(CreatePartitioner("metis5000", FactoryOptions{}, &p).code(),
+            Status::Code::kNotFound);
+}
+
+// Quality-ordering smoke check on a skewed graph: the greedy family must
+// clearly beat 1-D random hashing (the paper's headline qualitative result).
+TEST(QualityOrderingTest, GreedyBeatsRandomOnSkewedGraph) {
+  Graph g = SmallRmat();
+  auto rf_of = [&](const std::string& name) {
+    EdgePartition ep;
+    EXPECT_TRUE(MustCreatePartitioner(name)->Partition(g, 16, &ep).ok());
+    return ComputePartitionMetrics(g, ep).replication_factor;
+  };
+  const double random_rf = rf_of("random");
+  EXPECT_LT(rf_of("dne"), random_rf);
+  EXPECT_LT(rf_of("ne"), random_rf);
+  EXPECT_LT(rf_of("hdrf"), random_rf);
+  EXPECT_LT(rf_of("oblivious"), random_rf);
+  EXPECT_LT(rf_of("grid"), random_rf);
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,156 @@
+// Cross-product property matrix: every partitioner on every canonical graph
+// shape must produce a valid disjoint cover with sane metrics; shape-
+// specific oracles check exact values where they are known.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apps/engine.h"
+#include "core/factory.h"
+#include "metrics/comm_model.h"
+#include "metrics/partition_metrics.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+using Shape = std::pair<const char*, Graph (*)()>;
+
+Graph MakePath() { return testing::PathGraph(64); }
+Graph MakeCycle() { return testing::CycleGraph(64); }
+Graph MakeStar() { return testing::StarGraph(64); }
+Graph MakeComplete() { return testing::CompleteGraph(16); }
+Graph MakeBipartite() { return testing::BipartiteGraph(8, 12); }
+Graph MakeTree() { return testing::BinaryTreeGraph(63); }
+Graph MakeTwoCliques() { return testing::TwoCliquesGraph(8); }
+Graph MakeMatching() { return testing::MatchingGraph(64); }
+
+class ShapeMatrixTest
+    : public ::testing::TestWithParam<std::tuple<std::string, Shape>> {};
+
+TEST_P(ShapeMatrixTest, ValidCoverAndSaneMetrics) {
+  const auto& [method, shape] = GetParam();
+  Graph g = shape.second();
+  for (std::uint32_t parts : {2u, 4u}) {
+    EdgePartition ep;
+    ASSERT_TRUE(MustCreatePartitioner(method)->Partition(g, parts, &ep).ok())
+        << method << " on " << shape.first << " P=" << parts;
+    ASSERT_TRUE(ep.Validate(g).ok()) << method << " on " << shape.first;
+    PartitionMetrics m = ComputePartitionMetrics(g, ep);
+    EXPECT_GE(m.replication_factor, 1.0);
+    EXPECT_LE(m.replication_factor, static_cast<double>(parts));
+    EXPECT_GE(m.edge_balance, 1.0 - 1e-9);
+    // Replicas are consistent: total = |V_active| + extra copies, and each
+    // partition holds at least one vertex when it holds an edge.
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      if (m.edges_per_partition[p] > 0) {
+        EXPECT_GE(m.vertices_per_partition[p], 2u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ShapeMatrixTest,
+    ::testing::Combine(
+        ::testing::Values("random", "grid", "oblivious", "hdrf", "fennel",
+                          "ne", "sne", "sheep", "multilevel", "dne"),
+        ::testing::Values(Shape{"path", &MakePath}, Shape{"cycle", &MakeCycle},
+                          Shape{"star", &MakeStar},
+                          Shape{"complete", &MakeComplete},
+                          Shape{"bipartite", &MakeBipartite},
+                          Shape{"tree", &MakeTree},
+                          Shape{"twocliques", &MakeTwoCliques},
+                          Shape{"matching", &MakeMatching})),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, Shape>>& info) {
+      return std::get<0>(info.param) + std::string("_") +
+             std::get<1>(info.param).first;
+    });
+
+// --- Shape-specific oracles ------------------------------------------------
+
+TEST(ShapeOracleTest, MatchingHasNoReplicasForAnyPartitioner) {
+  // A perfect matching has no shared vertices: RF must be exactly 1 for
+  // every correct method.
+  Graph g = testing::MatchingGraph(64);
+  for (const std::string& name : KnownPartitioners()) {
+    EdgePartition ep;
+    ASSERT_TRUE(MustCreatePartitioner(name)->Partition(g, 4, &ep).ok());
+    PartitionMetrics m = ComputePartitionMetrics(g, ep);
+    EXPECT_DOUBLE_EQ(m.replication_factor, 1.0) << name;
+  }
+}
+
+TEST(ShapeOracleTest, StarHubReplicationBoundsRf) {
+  // On a star, only the hub can replicate: RF <= (n-1+P)/n.
+  Graph g = testing::StarGraph(64);
+  for (const std::string name : {"dne", "ne", "hdrf", "random"}) {
+    EdgePartition ep;
+    ASSERT_TRUE(MustCreatePartitioner(name)->Partition(g, 4, &ep).ok());
+    PartitionMetrics m = ComputePartitionMetrics(g, ep);
+    EXPECT_LE(m.replication_factor, (63.0 + 4.0) / 64.0 + 1e-9) << name;
+    EXPECT_LE(m.cut_vertices, 1u) << name;
+  }
+}
+
+TEST(ShapeOracleTest, TwoCliquesSplitCleanlyByExpansion) {
+  // NE with P=2 and alpha=1.0 on two disjoint same-size cliques: the limit
+  // equals the clique size, so each partition is exactly one clique —
+  // zero cut vertices. (alpha > 1 would let the first partition spill a
+  // few edges into the second clique via its random restart, which is
+  // correct behaviour, hence the exact alpha here.)
+  Graph g = testing::TwoCliquesGraph(8);
+  FactoryOptions fo;
+  fo.alpha = 1.0;
+  EdgePartition ep;
+  ASSERT_TRUE(MustCreatePartitioner("ne", fo)->Partition(g, 2, &ep).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+  EXPECT_EQ(m.cut_vertices, 0u);
+  // DNE's two expansions may compete inside one clique before separating;
+  // the result must still be near-clean.
+  EdgePartition ep_dne;
+  ASSERT_TRUE(MustCreatePartitioner("dne", fo)->Partition(g, 2, &ep_dne).ok());
+  PartitionMetrics md = ComputePartitionMetrics(g, ep_dne);
+  EXPECT_LT(md.replication_factor, 1.5);
+}
+
+TEST(ShapeOracleTest, CommPredictorMatchesEngineOnPageRank) {
+  // One PageRank round's mirror traffic equals the closed-form prediction
+  // exactly: every non-isolated vertex changes value, so every replicated
+  // vertex synchronises once.
+  Graph g = testing::SkewedGraph(9, 6);
+  EdgePartition ep;
+  ASSERT_TRUE(MustCreatePartitioner("grid")->Partition(g, 8, &ep).ok());
+  const std::uint64_t predicted =
+      PredictSyncBytesPerRound(g, ep, sizeof(double));
+  EXPECT_GT(predicted, 0u);
+  VertexCutEngine engine(g, ep);
+  std::vector<double> ranks;
+  AppStats stats = engine.RunPageRank(1, &ranks);
+  EXPECT_EQ(stats.comm_bytes, predicted);
+  // And k rounds cost exactly k times as much.
+  AppStats stats3 = VertexCutEngine(g, ep).RunPageRank(3, &ranks);
+  EXPECT_EQ(stats3.comm_bytes, 3 * predicted);
+}
+
+TEST(ShapeOracleTest, CyclePartitionsAreArcs) {
+  // NE with alpha=1.0 and P=4 on a cycle: the first three partitions grow
+  // contiguous arcs; the last absorbs the remainder, which may consist of
+  // up to P-1 leftover fragments. Hence between P and 2(P-1) cut vertices,
+  // and RF must be exactly (n + cuts)/n (each cut vertex has 2 replicas).
+  Graph g = testing::CycleGraph(64);
+  FactoryOptions fo;
+  fo.alpha = 1.0;
+  EdgePartition ep;
+  ASSERT_TRUE(MustCreatePartitioner("ne", fo)->Partition(g, 4, &ep).ok());
+  PartitionMetrics m = ComputePartitionMetrics(g, ep);
+  EXPECT_GE(m.cut_vertices, 4u);
+  EXPECT_LE(m.cut_vertices, 6u);
+  EXPECT_DOUBLE_EQ(m.replication_factor,
+                   (64.0 + static_cast<double>(m.cut_vertices)) / 64.0);
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,125 @@
+// Unit tests for the simulated-cluster runtime (the MPI substitute).
+#include <gtest/gtest.h>
+
+#include "runtime/sim_cluster.h"
+
+namespace dne {
+namespace {
+
+TEST(AllToAllTest, DeliversInSenderOrder) {
+  SimCluster cluster(3);
+  AllToAll<int> x(3);
+  x.Out(2, 0).push_back(20);
+  x.Out(0, 0).push_back(1);
+  x.Out(0, 0).push_back(2);
+  x.Out(1, 0).push_back(10);
+  auto inbox = x.Deliver(&cluster);
+  ASSERT_EQ(inbox[0].size(), 4u);
+  EXPECT_EQ(inbox[0][0], 1);  // rank 0 first
+  EXPECT_EQ(inbox[0][1], 2);
+  EXPECT_EQ(inbox[0][2], 10);
+  EXPECT_EQ(inbox[0][3], 20);
+  EXPECT_TRUE(inbox[1].empty());
+  EXPECT_TRUE(inbox[2].empty());
+}
+
+TEST(AllToAllTest, CountsOnlyCrossRankBytes) {
+  SimCluster cluster(2);
+  AllToAll<std::uint64_t> x(2);
+  x.Out(0, 0).push_back(7);   // self: free
+  x.Out(0, 1).push_back(8);   // cross: 8 bytes
+  x.Out(1, 0).push_back(9);   // cross: 8 bytes
+  x.Deliver(&cluster);
+  EXPECT_EQ(cluster.comm().bytes, 16u);
+  EXPECT_EQ(cluster.comm().messages, 2u);
+}
+
+TEST(AllToAllTest, ReusableAfterDeliver) {
+  SimCluster cluster(2);
+  AllToAll<int> x(2);
+  x.Out(0, 1).push_back(1);
+  x.Deliver(&cluster);
+  x.Out(1, 0).push_back(2);
+  auto inbox = x.Deliver(&cluster);
+  EXPECT_TRUE(inbox[1].empty());  // first message not re-delivered
+  ASSERT_EQ(inbox[0].size(), 1u);
+  EXPECT_EQ(inbox[0][0], 2);
+}
+
+TEST(CostModelTest, CriticalPathIsMaxOverRanks) {
+  CostModelOptions opt;
+  opt.ns_per_op = 1.0;
+  opt.ns_per_byte = 0.0;
+  opt.barrier_ns = 0.0;
+  CostModel cm(opt, 3);
+  cm.AddWork(0, 100);
+  cm.AddWork(1, 500);  // the straggler
+  cm.AddWork(2, 200);
+  cm.EndSuperstep();
+  EXPECT_DOUBLE_EQ(cm.SimSeconds(), 500e-9);
+}
+
+TEST(CostModelTest, SuperstepsAccumulate) {
+  CostModelOptions opt;
+  opt.ns_per_op = 1.0;
+  opt.ns_per_byte = 0.0;
+  opt.barrier_ns = 10.0;
+  CostModel cm(opt, 2);
+  cm.AddWork(0, 50);
+  cm.EndSuperstep();
+  cm.AddWork(1, 70);
+  cm.EndSuperstep();
+  EXPECT_DOUBLE_EQ(cm.SimSeconds(), (50 + 70 + 20) * 1e-9);
+}
+
+TEST(CostModelTest, WorkBalance) {
+  CostModel cm(CostModelOptions{}, 4);
+  cm.AddWork(0, 100);
+  cm.AddWork(1, 100);
+  cm.AddWork(2, 100);
+  cm.AddWork(3, 100);
+  EXPECT_DOUBLE_EQ(cm.WorkBalance(), 1.0);
+  cm.AddWork(3, 400);
+  // Loads are 100,100,100,500 -> max 500 / mean 200.
+  EXPECT_DOUBLE_EQ(cm.WorkBalance(), 2.5);
+}
+
+TEST(CostModelTest, BytesContributeToTime) {
+  CostModelOptions opt;
+  opt.ns_per_op = 0.0;
+  opt.ns_per_byte = 2.0;
+  opt.barrier_ns = 0.0;
+  CostModel cm(opt, 2);
+  cm.AddBytes(0, 10);
+  cm.AddBytes(1, 30);
+  cm.EndSuperstep();
+  EXPECT_DOUBLE_EQ(cm.SimSeconds(), 60e-9);
+}
+
+TEST(MemTrackerTest, PeakTracksClusterWideTotal) {
+  MemTracker mem(2);
+  mem.Allocate(0, 100);
+  mem.Allocate(1, 200);
+  EXPECT_EQ(mem.peak_total(), 300u);
+  mem.Release(0, 100);
+  mem.Allocate(1, 50);  // total 250 < peak 300
+  EXPECT_EQ(mem.peak_total(), 300u);
+  EXPECT_EQ(mem.current_total(), 250u);
+}
+
+TEST(MemTrackerTest, MemScoreNormalisesByEdges) {
+  MemTracker mem(1);
+  mem.Allocate(0, 1600);
+  EXPECT_DOUBLE_EQ(mem.MemScore(100), 16.0);
+  EXPECT_DOUBLE_EQ(mem.MemScore(0), 0.0);
+}
+
+TEST(SimClusterTest, BarrierCountsSupersteps) {
+  SimCluster cluster(4);
+  cluster.Barrier();
+  cluster.Barrier();
+  EXPECT_EQ(cluster.comm().supersteps, 2u);
+}
+
+}  // namespace
+}  // namespace dne

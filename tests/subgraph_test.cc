@@ -1,0 +1,127 @@
+// Tests for subgraph extraction and METIS interop.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <string>
+
+#include "core/factory.h"
+#include "graph/metis_io.h"
+#include "graph/subgraph.h"
+#include "metrics/partition_metrics.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+TEST(SubgraphTest, InducedTriangleFromClique) {
+  Graph g = testing::CompleteGraph(6);
+  Subgraph sub = InducedSubgraph(g, {1, 3, 5});
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 3u);  // triangle
+  EXPECT_EQ(sub.ToGlobal(0), 1u);
+  EXPECT_EQ(sub.ToGlobal(2), 5u);
+}
+
+TEST(SubgraphTest, InducedKeepsIsolatedRequestedVertices) {
+  Graph g = testing::PathGraph(10);
+  // 0-1 are adjacent; 5 is isolated within the selection.
+  Subgraph sub = InducedSubgraph(g, {0, 1, 5});
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);
+  EXPECT_EQ(sub.graph.degree(2), 0u);  // local id of vertex 5
+}
+
+TEST(SubgraphTest, InducedDeduplicatesInput) {
+  Graph g = testing::PathGraph(5);
+  Subgraph sub = InducedSubgraph(g, {1, 2, 2, 1});
+  EXPECT_EQ(sub.graph.NumVertices(), 2u);
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);
+}
+
+TEST(SubgraphTest, PartitionSubgraphsCoverTheGraph) {
+  Graph g = testing::SkewedGraph(9, 6);
+  EdgePartition ep;
+  ASSERT_TRUE(MustCreatePartitioner("dne")->Partition(g, 4, &ep).ok());
+  std::uint64_t edge_total = 0, replica_total = 0;
+  for (PartitionId p = 0; p < 4; ++p) {
+    Subgraph sub = PartitionSubgraph(g, ep, p);
+    edge_total += sub.graph.NumEdges();
+    replica_total += sub.graph.NumVertices();
+    // Every local edge maps back to an edge assigned to p.
+    for (EdgeId le = 0; le < sub.graph.NumEdges(); ++le) {
+      EXPECT_EQ(ep.Get(sub.global_edges[le]), p);
+      const Edge& local = sub.graph.edge(le);
+      const Edge& global = g.edge(sub.global_edges[le]);
+      EXPECT_EQ(sub.ToGlobal(local.src), global.src);
+      EXPECT_EQ(sub.ToGlobal(local.dst), global.dst);
+    }
+  }
+  EXPECT_EQ(edge_total, g.NumEdges());
+  // Total replicas across partition subgraphs = the metric's replica count.
+  auto m = ComputePartitionMetrics(g, ep);
+  EXPECT_EQ(replica_total, m.total_replicas);
+}
+
+TEST(MetisIoTest, RoundTrip) {
+  Graph g = testing::SkewedGraph(7, 4);
+  const std::string path = std::string(::testing::TempDir()) + "/g.metis";
+  ASSERT_TRUE(SaveMetisGraph(path, g).ok());
+  Graph loaded;
+  ASSERT_TRUE(LoadMetisGraph(path, &loaded).ok());
+  EXPECT_EQ(loaded.NumVertices(), g.NumVertices());
+  EXPECT_EQ(loaded.NumEdges(), g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(loaded.edge(e), g.edge(e));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MetisIoTest, RejectsWeightedFormat) {
+  const std::string path = std::string(::testing::TempDir()) + "/w.metis";
+  {
+    std::ofstream out(path);
+    out << "2 1 011\n2 3\n1 3\n";
+  }
+  Graph g;
+  EXPECT_EQ(LoadMetisGraph(path, &g).code(), Status::Code::kNotSupported);
+  std::remove(path.c_str());
+}
+
+TEST(MetisIoTest, RejectsBadNeighborIds) {
+  const std::string path = std::string(::testing::TempDir()) + "/bad.metis";
+  {
+    std::ofstream out(path);
+    out << "2 1\n9\n1\n";  // vertex 9 does not exist
+  }
+  Graph g;
+  EXPECT_EQ(LoadMetisGraph(path, &g).code(), Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(MetisIoTest, RejectsEdgeCountMismatch) {
+  const std::string path = std::string(::testing::TempDir()) + "/cnt.metis";
+  {
+    std::ofstream out(path);
+    out << "3 5\n2\n1 3\n2\n";  // really 2 edges, header says 5
+  }
+  Graph g;
+  EXPECT_EQ(LoadMetisGraph(path, &g).code(), Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(MetisIoTest, SkipsCommentLines) {
+  const std::string path = std::string(::testing::TempDir()) + "/c.metis";
+  {
+    std::ofstream out(path);
+    out << "% a comment\n3 2\n2\n1 3\n2\n";
+  }
+  Graph g;
+  ASSERT_TRUE(LoadMetisGraph(path, &g).ok());
+  EXPECT_EQ(g.NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dne

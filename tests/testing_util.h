@@ -1,0 +1,90 @@
+// Shared graph constructors for the test suite: canonical small shapes with
+// known structure, used as oracles in property tests.
+#ifndef DNE_TESTS_TESTING_UTIL_H_
+#define DNE_TESTS_TESTING_UTIL_H_
+
+#include <cstdint>
+
+#include "gen/rmat.h"
+#include "graph/graph.h"
+
+namespace dne::testing {
+
+/// Path 0-1-2-...-(n-1): n-1 edges, diameter n-1.
+inline Graph PathGraph(VertexId n) {
+  EdgeList list;
+  for (VertexId i = 0; i + 1 < n; ++i) list.Add(i, i + 1);
+  return Graph::Build(std::move(list));
+}
+
+/// Cycle on n vertices: n edges, 2-regular.
+inline Graph CycleGraph(VertexId n) {
+  EdgeList list;
+  for (VertexId i = 0; i < n; ++i) list.Add(i, (i + 1) % n);
+  return Graph::Build(std::move(list));
+}
+
+/// Star: hub 0 with n-1 leaves.
+inline Graph StarGraph(VertexId n) {
+  EdgeList list;
+  for (VertexId leaf = 1; leaf < n; ++leaf) list.Add(0, leaf);
+  return Graph::Build(std::move(list));
+}
+
+/// Complete graph K_n: n(n-1)/2 edges.
+inline Graph CompleteGraph(VertexId n) {
+  EdgeList list;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) list.Add(u, v);
+  }
+  return Graph::Build(std::move(list));
+}
+
+/// Complete bipartite K_{a,b}: left [0,a), right [a,a+b).
+inline Graph BipartiteGraph(VertexId a, VertexId b) {
+  EdgeList list;
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) list.Add(u, a + v);
+  }
+  return Graph::Build(std::move(list));
+}
+
+/// Binary tree on n vertices (vertex i's parent is (i-1)/2).
+inline Graph BinaryTreeGraph(VertexId n) {
+  EdgeList list;
+  for (VertexId i = 1; i < n; ++i) list.Add((i - 1) / 2, i);
+  return Graph::Build(std::move(list));
+}
+
+/// Two disjoint cliques of size k (a disconnected graph).
+inline Graph TwoCliquesGraph(VertexId k) {
+  EdgeList list;
+  for (VertexId u = 0; u < k; ++u) {
+    for (VertexId v = u + 1; v < k; ++v) {
+      list.Add(u, v);
+      list.Add(k + u, k + v);
+    }
+  }
+  return Graph::Build(std::move(list));
+}
+
+/// Perfect matching: n/2 isolated edges (worst case for expansion).
+inline Graph MatchingGraph(VertexId n) {
+  EdgeList list;
+  for (VertexId i = 0; i + 1 < n; i += 2) list.Add(i, i + 1);
+  return Graph::Build(std::move(list));
+}
+
+/// Small skewed RMAT for randomized property tests.
+inline Graph SkewedGraph(int scale = 10, int edge_factor = 8,
+                         std::uint64_t seed = 1) {
+  RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = edge_factor;
+  opt.seed = seed;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+}  // namespace dne::testing
+
+#endif  // DNE_TESTS_TESTING_UTIL_H_

@@ -1,0 +1,83 @@
+// Tests for the thread pool and the threaded Distributed NE path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "metrics/partition_metrics.h"
+#include "partition/dne/dne_partitioner.h"
+#include "runtime/thread_pool.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeExecutesEverything) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, MultiThreadExecutesEachIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(50, [&](std::size_t) { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, ZeroSizeJobIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NumThreadsReported) {
+  ThreadPool p1(1), p4(4);
+  EXPECT_EQ(p1.num_threads(), 1);
+  EXPECT_EQ(p4.num_threads(), 4);
+}
+
+TEST(ThreadedDneTest, ThreadCountDoesNotChangeResult) {
+  // The cornerstone property: the simulated ranks are independent, so the
+  // partition must be bit-identical for any host thread count.
+  Graph g = testing::SkewedGraph(10, 8);
+  DneOptions seq;
+  seq.num_threads = 1;
+  DneOptions par;
+  par.num_threads = 4;
+  EdgePartition ep_seq, ep_par;
+  ASSERT_TRUE(DnePartitioner(seq).Partition(g, 8, &ep_seq).ok());
+  ASSERT_TRUE(DnePartitioner(par).Partition(g, 8, &ep_par).ok());
+  EXPECT_EQ(ep_seq.assignment(), ep_par.assignment());
+}
+
+TEST(ThreadedDneTest, StatsMatchAcrossThreadCounts) {
+  Graph g = testing::SkewedGraph(9, 6);
+  DneOptions seq;
+  seq.num_threads = 1;
+  DneOptions par;
+  par.num_threads = 3;
+  DnePartitioner a(seq), b(par);
+  EdgePartition ep;
+  ASSERT_TRUE(a.Partition(g, 6, &ep).ok());
+  ASSERT_TRUE(b.Partition(g, 6, &ep).ok());
+  EXPECT_EQ(a.dne_stats().iterations, b.dne_stats().iterations);
+  EXPECT_EQ(a.dne_stats().two_hop_edges, b.dne_stats().two_hop_edges);
+  EXPECT_EQ(a.dne_stats().comm_bytes, b.dne_stats().comm_bytes);
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,73 @@
+// Tests for triangle counting and its per-partition decomposition.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/triangles.h"
+#include "core/factory.h"
+#include "testing_util.h"
+
+namespace dne {
+namespace {
+
+// O(V^3) brute force over the adjacency for small oracles.
+std::uint64_t BruteForceTriangles(const Graph& g) {
+  std::uint64_t count = 0;
+  const VertexId n = g.NumVertices();
+  auto connected = [&](VertexId a, VertexId b) {
+    for (const Adjacency& x : g.neighbors(a)) {
+      if (x.to == b) return true;
+    }
+    return false;
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (!connected(u, v)) continue;
+      for (VertexId w = v + 1; w < n; ++w) {
+        if (connected(u, w) && connected(v, w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(TrianglesTest, KnownShapes) {
+  EXPECT_EQ(CountTriangles(testing::CompleteGraph(4)), 4u);    // C(4,3)
+  EXPECT_EQ(CountTriangles(testing::CompleteGraph(6)), 20u);   // C(6,3)
+  EXPECT_EQ(CountTriangles(testing::CycleGraph(5)), 0u);
+  EXPECT_EQ(CountTriangles(testing::CycleGraph(3)), 1u);
+  EXPECT_EQ(CountTriangles(testing::StarGraph(10)), 0u);
+  EXPECT_EQ(CountTriangles(testing::PathGraph(10)), 0u);
+  EXPECT_EQ(CountTriangles(testing::BipartiteGraph(3, 4)), 0u);
+  EXPECT_EQ(CountTriangles(testing::TwoCliquesGraph(4)), 8u);  // 2 x C(4,3)
+}
+
+TEST(TrianglesTest, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Graph g = testing::SkewedGraph(6, 4, seed);  // 64 vertices
+    EXPECT_EQ(CountTriangles(g), BruteForceTriangles(g)) << "seed " << seed;
+  }
+}
+
+TEST(TrianglesTest, PerPartitionSumsToTotal) {
+  Graph g = testing::SkewedGraph(10, 8);
+  const std::uint64_t total = CountTriangles(g);
+  EXPECT_GT(total, 0u);
+  for (const char* method : {"random", "dne"}) {
+    EdgePartition ep;
+    MustCreatePartitioner(method)->Partition(g, 8, &ep);
+    auto per_part = CountTrianglesPerPartition(g, ep);
+    EXPECT_EQ(std::accumulate(per_part.begin(), per_part.end(),
+                              std::uint64_t{0}),
+              total)
+        << method;
+  }
+}
+
+TEST(TrianglesTest, EmptyAndTinyGraphs) {
+  EXPECT_EQ(CountTriangles(Graph::Build(EdgeList{})), 0u);
+  EXPECT_EQ(CountTriangles(testing::PathGraph(2)), 0u);
+}
+
+}  // namespace
+}  // namespace dne

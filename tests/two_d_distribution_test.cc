@@ -1,0 +1,89 @@
+// Tests for the 2-D hash distribution invariants Distributed NE relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "partition/dne/two_d_distribution.h"
+
+namespace dne {
+namespace {
+
+TEST(TwoDDistributionTest, GridShapeFactorises) {
+  TwoDDistribution d16(16, 1);
+  EXPECT_EQ(d16.rows(), 4u);
+  EXPECT_EQ(d16.cols(), 4u);
+  TwoDDistribution d12(12, 1);
+  EXPECT_EQ(d12.rows() * d12.cols(), 12u);
+  EXPECT_LE(d12.rows(), d12.cols());
+  TwoDDistribution d7(7, 1);  // prime: degenerates to 1 x 7
+  EXPECT_EQ(d7.rows(), 1u);
+  EXPECT_EQ(d7.cols(), 7u);
+}
+
+TEST(TwoDDistributionTest, OwnerInRange) {
+  TwoDDistribution d(12, 3);
+  for (VertexId u = 0; u < 100; ++u) {
+    for (VertexId v = u + 1; v < u + 5; ++v) {
+      const int owner = d.OwnerOf(u, v);
+      EXPECT_GE(owner, 0);
+      EXPECT_LT(owner, 12);
+    }
+  }
+}
+
+TEST(TwoDDistributionTest, ReplicaSetSizeIsRowPlusColumn) {
+  TwoDDistribution d(16, 1);
+  std::vector<int> reps;
+  d.ReplicaRanks(42, &reps);
+  EXPECT_EQ(reps.size(), 4u + 4u - 1u);
+  EXPECT_TRUE(std::is_sorted(reps.begin(), reps.end()));
+  EXPECT_EQ(std::unique(reps.begin(), reps.end()), reps.end());
+}
+
+// The key invariant (Sec. 4): every edge incident to x is owned by a rank in
+// x's replica set, so multicasting a selected vertex to its replica set
+// reaches ALL of its remaining edges.
+TEST(TwoDDistributionTest, EveryIncidentEdgeOwnedInsideReplicaSet) {
+  for (std::uint32_t ranks : {4u, 6u, 9u, 16u, 7u}) {
+    TwoDDistribution d(ranks, 99);
+    std::vector<int> reps;
+    for (VertexId x = 0; x < 200; ++x) {
+      d.ReplicaRanks(x, &reps);
+      for (VertexId other = 0; other < 50; ++other) {
+        if (other == x) continue;
+        // Both canonical orientations.
+        const int owner = x < other ? d.OwnerOf(x, other)
+                                    : d.OwnerOf(other, x);
+        EXPECT_TRUE(std::binary_search(reps.begin(), reps.end(), owner))
+            << "ranks=" << ranks << " x=" << x << " other=" << other;
+      }
+    }
+  }
+}
+
+TEST(TwoDDistributionTest, DistributesEdgesEvenly) {
+  TwoDDistribution d(8, 5);
+  std::vector<int> counts(8, 0);
+  int total = 0;
+  for (VertexId u = 0; u < 300; ++u) {
+    for (VertexId v = u + 1; v < u + 10; ++v) {
+      ++counts[d.OwnerOf(u, v)];
+      ++total;
+    }
+  }
+  // No rank should hold more than 3x the fair share.
+  for (int c : counts) EXPECT_LT(c, 3 * total / 8);
+}
+
+TEST(TwoDDistributionTest, SeedChangesLayout) {
+  TwoDDistribution a(16, 1), b(16, 2);
+  int diffs = 0;
+  for (VertexId u = 0; u < 100; ++u) {
+    if (a.OwnerOf(u, u + 1) != b.OwnerOf(u, u + 1)) ++diffs;
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+}  // namespace
+}  // namespace dne

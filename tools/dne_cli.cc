@@ -1,0 +1,202 @@
+// dne_cli: command-line front end for the library.
+//
+//   dne_cli generate --type=rmat --scale=16 --edge-factor=16 --out=g.bin
+//   dne_cli partition --graph=g.bin --method=dne --partitions=64
+//           --out=p.bin [--alpha=1.1] [--lambda=0.1] [--shards=DIR]
+//   dne_cli evaluate --graph=g.bin --partition=p.bin
+//   dne_cli info --graph=g.bin
+//
+// Graph files may be .txt (SNAP "u v" lines) or the library's binary format
+// (by extension). Partition files likewise.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/triangles.h"
+#include "core/dne.h"
+#include "gen/lattice.h"
+#include "graph/degree_stats.h"
+#include "metrics/partition_metrics.h"
+#include "partition/partition_io.h"
+
+namespace {
+
+using dne::EdgeList;
+using dne::EdgePartition;
+using dne::Graph;
+using dne::Status;
+
+// --key=value parsing over argv[2..].
+std::string GetFlag(int argc, char** argv, const std::string& key,
+                    const std::string& def) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Status LoadGraph(const std::string& path, Graph* out) {
+  EdgeList list;
+  Status st = EndsWith(path, ".txt") ? dne::LoadEdgeListText(path, &list)
+                                     : dne::LoadEdgeListBinary(path, &list);
+  if (!st.ok()) return st;
+  *out = Graph::Build(std::move(list));
+  return Status::OK();
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  const std::string type = GetFlag(argc, argv, "type", "rmat");
+  const std::string out_path = GetFlag(argc, argv, "out", "graph.bin");
+  EdgeList list;
+  if (type == "rmat") {
+    dne::RmatOptions opt;
+    opt.scale = std::stoi(GetFlag(argc, argv, "scale", "16"));
+    opt.edge_factor = std::stoi(GetFlag(argc, argv, "edge-factor", "16"));
+    opt.seed = std::stoull(GetFlag(argc, argv, "seed", "1"));
+    list = dne::GenerateRmat(opt);
+  } else if (type == "lattice") {
+    dne::LatticeOptions opt;
+    opt.width = std::stoull(GetFlag(argc, argv, "width", "256"));
+    opt.height = std::stoull(GetFlag(argc, argv, "height", "256"));
+    opt.seed = std::stoull(GetFlag(argc, argv, "seed", "1"));
+    list = dne::GenerateLattice(opt);
+  } else if (type == "er") {
+    list = dne::GenerateErdosRenyi(
+        std::stoull(GetFlag(argc, argv, "vertices", "65536")),
+        std::stoull(GetFlag(argc, argv, "edges", "1048576")),
+        std::stoull(GetFlag(argc, argv, "seed", "1")));
+  } else {
+    std::fprintf(stderr, "unknown --type=%s (rmat|lattice|er)\n",
+                 type.c_str());
+    return 1;
+  }
+  Status st = EndsWith(out_path, ".txt")
+                  ? dne::SaveEdgeListText(out_path, list)
+                  : dne::SaveEdgeListBinary(out_path, list);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s: %llu raw edges over %llu vertices\n",
+              out_path.c_str(),
+              static_cast<unsigned long long>(list.NumEdges()),
+              static_cast<unsigned long long>(list.NumVertices()));
+  return 0;
+}
+
+int CmdPartition(int argc, char** argv) {
+  Graph g;
+  Status st = LoadGraph(GetFlag(argc, argv, "graph", "graph.bin"), &g);
+  if (!st.ok()) return Fail(st);
+
+  dne::FactoryOptions fo;
+  fo.seed = std::stoull(GetFlag(argc, argv, "seed", "1"));
+  fo.alpha = std::stod(GetFlag(argc, argv, "alpha", "1.1"));
+  fo.lambda = std::stod(GetFlag(argc, argv, "lambda", "0.1"));
+  const std::string method = GetFlag(argc, argv, "method", "dne");
+  std::unique_ptr<dne::Partitioner> partitioner;
+  st = dne::CreatePartitioner(method, fo, &partitioner);
+  if (!st.ok()) return Fail(st);
+
+  const std::uint32_t parts = static_cast<std::uint32_t>(
+      std::stoul(GetFlag(argc, argv, "partitions", "16")));
+  EdgePartition ep;
+  st = partitioner->Partition(g, parts, &ep);
+  if (!st.ok()) return Fail(st);
+
+  const auto m = dne::ComputePartitionMetrics(g, ep);
+  std::printf("%s: |V|=%llu |E|=%llu P=%u RF=%.3f EB=%.3f VB=%.3f "
+              "wall=%.1fms\n",
+              method.c_str(),
+              static_cast<unsigned long long>(g.NumVertices()),
+              static_cast<unsigned long long>(g.NumEdges()), parts,
+              m.replication_factor, m.edge_balance, m.vertex_balance,
+              partitioner->run_stats().wall_seconds * 1e3);
+
+  const std::string out_path = GetFlag(argc, argv, "out", "");
+  if (!out_path.empty()) {
+    st = EndsWith(out_path, ".txt") ? dne::SavePartitionText(out_path, ep)
+                                    : dne::SavePartitionBinary(out_path, ep);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  const std::string shards = GetFlag(argc, argv, "shards", "");
+  if (!shards.empty()) {
+    st = dne::WritePartitionShards(shards, g, ep);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %u shards under %s\n", parts, shards.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(int argc, char** argv) {
+  Graph g;
+  Status st = LoadGraph(GetFlag(argc, argv, "graph", "graph.bin"), &g);
+  if (!st.ok()) return Fail(st);
+  const std::string part_path = GetFlag(argc, argv, "partition", "part.bin");
+  EdgePartition ep;
+  st = EndsWith(part_path, ".txt") ? dne::LoadPartitionText(part_path, &ep)
+                                   : dne::LoadPartitionBinary(part_path, &ep);
+  if (!st.ok()) return Fail(st);
+  st = ep.Validate(g);
+  if (!st.ok()) return Fail(st);
+  const auto m = dne::ComputePartitionMetrics(g, ep);
+  std::printf("partitions     : %u\n", ep.num_partitions());
+  std::printf("replication    : %.4f (Theorem-1 bound %.4f)\n",
+              m.replication_factor,
+              dne::Theorem1UpperBound(g.NumEdges(), g.NumVertices(),
+                                      ep.num_partitions()));
+  std::printf("edge balance   : %.4f\n", m.edge_balance);
+  std::printf("vertex balance : %.4f\n", m.vertex_balance);
+  std::printf("cut vertices   : %llu of %llu\n",
+              static_cast<unsigned long long>(m.cut_vertices),
+              static_cast<unsigned long long>(g.NumVertices()));
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  Graph g;
+  Status st = LoadGraph(GetFlag(argc, argv, "graph", "graph.bin"), &g);
+  if (!st.ok()) return Fail(st);
+  const dne::DegreeStats s = dne::ComputeDegreeStats(g);
+  std::printf("vertices        : %llu\n",
+              static_cast<unsigned long long>(g.NumVertices()));
+  std::printf("edges           : %llu\n",
+              static_cast<unsigned long long>(g.NumEdges()));
+  std::printf("max degree      : %zu\n", s.max_degree);
+  std::printf("mean degree     : %.2f\n", s.mean_degree);
+  std::printf("median degree   : %.0f\n", s.median_degree);
+  std::printf("top-1%% share    : %.3f\n", s.top1pct_edge_share);
+  std::printf("MLE alpha       : %.2f\n", s.mle_alpha);
+  std::printf("triangles       : %llu\n",
+              static_cast<unsigned long long>(dne::CountTriangles(g)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dne_cli <generate|partition|evaluate|info> "
+                 "[--key=value ...]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "partition") return CmdPartition(argc, argv);
+  if (cmd == "evaluate") return CmdEvaluate(argc, argv);
+  if (cmd == "info") return CmdInfo(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 1;
+}
