@@ -1,8 +1,13 @@
-// Quickstart: generate a skewed graph, partition it with Distributed NE,
-// and inspect the quality metrics.
+// Quickstart for the registry-based API: generate a skewed graph, construct
+// the paper's algorithm by name with a typed PartitionConfig, run it under a
+// PartitionContext (progress + uniform stats collection), and inspect the
+// quality metrics.
 //
 //   $ ./quickstart
 //
+// See also: `dne_cli list` for every registered partitioner and its option
+// schema, and examples/dynamic_stream.cpp for the StreamingPartitioner
+// chunked-ingestion path.
 #include <cstdio>
 
 #include "core/dne.h"
@@ -19,38 +24,44 @@ int main() {
               static_cast<unsigned long long>(graph.NumVertices()),
               static_cast<unsigned long long>(graph.NumEdges()));
 
-  // 2. Partition into 16 parts with Distributed NE (the paper's algorithm;
-  //    alpha = 1.1 balance slack and lambda = 0.1 multi-expansion are the
-  //    paper's defaults).
-  dne::DneOptions options;
-  dne::DnePartitioner partitioner(options);
+  // 2. Construct Distributed NE by name. Options are string-keyed and
+  //    validated against the algorithm's declared schema (alpha = 1.1
+  //    balance slack and lambda = 0.1 multi-expansion are the paper's
+  //    defaults; spelling them out here shows the sweep-friendly syntax).
+  const dne::PartitionConfig config{{"alpha", "1.1"}, {"lambda", "0.1"}};
+  auto partitioner = dne::MustCreatePartitioner("dne", config);
+
+  // 3. Run it under a context: a stats sink makes PartitionRunStats uniform
+  //    across every algorithm (wall time included), and a progress callback
+  //    observes the supersteps as they happen.
+  dne::RunStatsSink sink;
+  dne::PartitionContext ctx;
+  ctx.stats_sink = &sink;
   dne::EdgePartition partition;
-  dne::Status status = partitioner.Partition(graph, 16, &partition);
+  dne::Status status = partitioner->Partition(graph, 16, ctx, &partition);
   if (!status.ok()) {
     std::fprintf(stderr, "partitioning failed: %s\n",
                  status.ToString().c_str());
     return 1;
   }
 
-  // 3. Inspect quality (Eq. (1): replication factor) and run behaviour.
+  // 4. Inspect quality (Eq. (1): replication factor) and run behaviour.
   const dne::PartitionMetrics metrics =
       dne::ComputePartitionMetrics(graph, partition);
-  const dne::DneStats& stats = partitioner.dne_stats();
+  const dne::PartitionRunStats& stats = sink.last()->stats;
   std::printf("replication factor : %.3f (theoretical bound %.3f)\n",
               metrics.replication_factor,
               dne::Theorem1UpperBound(graph.NumEdges(), graph.NumVertices(),
                                       16));
-  std::printf("edge balance       : %.3f (alpha = %.1f)\n",
-              metrics.edge_balance, options.alpha);
-  std::printf("iterations         : %llu supersteps\n",
-              static_cast<unsigned long long>(stats.iterations));
-  std::printf("one-hop / two-hop  : %llu / %llu edges\n",
-              static_cast<unsigned long long>(stats.one_hop_edges),
-              static_cast<unsigned long long>(stats.two_hop_edges));
+  std::printf("edge balance       : %.3f (alpha = 1.1)\n",
+              metrics.edge_balance);
+  std::printf("wall time          : %.1f ms\n", stats.wall_seconds * 1e3);
+  std::printf("supersteps         : %llu\n",
+              static_cast<unsigned long long>(stats.supersteps));
   std::printf("simulated time     : %.4f s on 16 machines\n",
               stats.sim_seconds);
 
-  // 4. The assignment is a flat edge -> partition array, ready to ship to a
+  // 5. The assignment is a flat edge -> partition array, ready to ship to a
   //    distributed graph engine.
   std::printf("edge 0 (%llu,%llu) -> partition %u\n",
               static_cast<unsigned long long>(graph.edge(0).src),

@@ -19,6 +19,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kNotSupported:
       return "NotSupported";
+    case Status::Code::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

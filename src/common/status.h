@@ -20,6 +20,7 @@ class Status {
     kIOError,
     kInternal,
     kNotSupported,
+    kCancelled,
   };
 
   Status() : code_(Code::kOk) {}
@@ -42,6 +43,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

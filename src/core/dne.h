@@ -13,6 +13,9 @@
 #include "common/status.h"    // IWYU pragma: export
 #include "common/types.h"     // IWYU pragma: export
 #include "core/factory.h"     // IWYU pragma: export
+#include "core/partition_config.h"      // IWYU pragma: export
+#include "core/partition_context.h"     // IWYU pragma: export
+#include "core/partitioner_registry.h"  // IWYU pragma: export
 #include "core/version.h"     // IWYU pragma: export
 #include "gen/chung_lu.h"     // IWYU pragma: export
 #include "gen/dataset.h"      // IWYU pragma: export
@@ -26,5 +29,7 @@
 #include "metrics/theory.h"   // IWYU pragma: export
 #include "partition/dne/dne_partitioner.h"  // IWYU pragma: export
 #include "partition/partitioner.h"          // IWYU pragma: export
+#include "partition/streaming_adapter.h"      // IWYU pragma: export
+#include "partition/streaming_partitioner.h"  // IWYU pragma: export
 
 #endif  // DNE_CORE_DNE_H_

@@ -3,101 +3,91 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "partition/dbh_partitioner.h"
-#include "partition/dne/dne_partitioner.h"
-#include "partition/fennel_partitioner.h"
-#include "partition/ginger_partitioner.h"
-#include "partition/grid_partitioner.h"
-#include "partition/hdrf_partitioner.h"
-#include "partition/hybrid_hash_partitioner.h"
-#include "partition/multilevel_partitioner.h"
-#include "partition/ne_partitioner.h"
-#include "partition/oblivious_partitioner.h"
-#include "partition/random_partitioner.h"
-#include "partition/sheep_partitioner.h"
-#include "partition/sne_partitioner.h"
-#include "partition/spinner_partitioner.h"
-#include "partition/xtrapulp_partitioner.h"
-
 namespace dne {
 
 std::vector<std::string> KnownPartitioners() {
-  return {"random", "grid",    "dbh",      "hybrid", "oblivious",
-          "ginger", "hdrf",    "fennel",   "ne",     "sne",    "spinner",
-          "xtrapulp", "sheep", "multilevel", "dne"};
+  return PartitionerRegistry::Global().Names();
 }
 
 Status CreatePartitioner(const std::string& name,
-                         const FactoryOptions& options,
+                         const PartitionConfig& config,
                          std::unique_ptr<Partitioner>* out) {
-  if (name == "random") {
-    *out = std::make_unique<RandomPartitioner>(options.seed);
-  } else if (name == "grid") {
-    *out = std::make_unique<GridPartitioner>(options.seed);
-  } else if (name == "dbh") {
-    *out = std::make_unique<DbhPartitioner>(options.seed);
-  } else if (name == "hybrid") {
-    *out = std::make_unique<HybridHashPartitioner>(options.hybrid_threshold,
-                                                   options.seed);
-  } else if (name == "oblivious") {
-    *out = std::make_unique<ObliviousPartitioner>(options.seed);
-  } else if (name == "ginger") {
-    GingerOptions g;
-    g.degree_threshold = options.hybrid_threshold;
-    g.seed = options.seed;
-    *out = std::make_unique<GingerPartitioner>(g);
-  } else if (name == "hdrf") {
-    HdrfOptions h;
-    h.seed = options.seed;
-    *out = std::make_unique<HdrfPartitioner>(h);
-  } else if (name == "fennel") {
-    FennelOptions f;
-    f.seed = options.seed;
-    *out = std::make_unique<FennelPartitioner>(f);
-  } else if (name == "ne") {
-    NeOptions n;
-    n.alpha = options.alpha;
-    n.seed = options.seed;
-    *out = std::make_unique<NePartitioner>(n);
-  } else if (name == "sne") {
-    SneOptions s;
-    s.alpha = options.alpha;
-    s.seed = options.seed;
-    *out = std::make_unique<SnePartitioner>(s);
-  } else if (name == "spinner") {
-    *out = std::make_unique<SpinnerPartitioner>(options.lp_iterations,
-                                                options.seed);
-  } else if (name == "xtrapulp") {
-    *out = std::make_unique<XtraPulpPartitioner>(options.lp_iterations,
-                                                 options.seed);
-  } else if (name == "sheep") {
-    *out = std::make_unique<SheepPartitioner>(options.seed);
-  } else if (name == "multilevel") {
-    MultilevelOptions m;
-    m.seed = options.seed;
-    *out = std::make_unique<MultilevelPartitioner>(m);
-  } else if (name == "dne") {
-    DneOptions d;
-    d.alpha = options.alpha;
-    d.lambda = options.lambda;
-    d.seed = options.seed;
-    *out = std::make_unique<DnePartitioner>(d);
-  } else {
-    return Status::NotFound("unknown partitioner: " + name);
-  }
-  return Status::OK();
+  return PartitionerRegistry::Global().Create(name, config, out);
 }
 
-std::unique_ptr<Partitioner> MustCreatePartitioner(
-    const std::string& name, const FactoryOptions& options) {
+Status CreatePartitioner(const std::string& name,
+                         std::unique_ptr<Partitioner>* out) {
+  return PartitionerRegistry::Global().Create(name, PartitionConfig{}, out);
+}
+
+namespace {
+
+std::unique_ptr<Partitioner> MustCreate(const std::string& name,
+                                        const PartitionConfig& config) {
   std::unique_ptr<Partitioner> p;
-  Status st = CreatePartitioner(name, options, &p);
+  Status st = PartitionerRegistry::Global().Create(name, config, &p);
   if (!st.ok()) {
     std::fprintf(stderr, "MustCreatePartitioner(%s): %s\n", name.c_str(),
                  st.ToString().c_str());
     std::abort();
   }
   return p;
+}
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MustCreatePartitioner(const std::string& name) {
+  return MustCreate(name, PartitionConfig{});
+}
+
+std::unique_ptr<Partitioner> MustCreatePartitioner(
+    const std::string& name, const PartitionConfig& config) {
+  return MustCreate(name, config);
+}
+
+// --- Deprecated compatibility shim -----------------------------------------
+
+namespace {
+
+// Renders the grab-bag as a config with the old hardcoded switch's exact
+// field routing (fields an algorithm did not understand were ignored, and
+// e.g. FactoryOptions::lambda was DNE's expansion factor, never HDRF's
+// balance weight).
+PartitionConfig ShimConfig(const std::string& name,
+                           const FactoryOptions& options) {
+  PartitionConfig c;
+  const PartitionerInfo* info = PartitionerRegistry::Global().Find(name);
+  if (info == nullptr) return c;  // let Create report NotFound
+  if (info->schema.Find("seed") != nullptr) {
+    c.Set("seed", std::to_string(options.seed));
+  }
+  if (name == "ne" || name == "sne" || name == "dne") {
+    c.Set("alpha", std::to_string(options.alpha));
+  }
+  if (name == "dne") {
+    c.Set("lambda", std::to_string(options.lambda));
+  }
+  if (name == "spinner" || name == "xtrapulp") {
+    c.Set("iterations", std::to_string(options.lp_iterations));
+  }
+  if (name == "hybrid" || name == "ginger") {
+    c.Set("degree_threshold", std::to_string(options.hybrid_threshold));
+  }
+  return c;
+}
+
+}  // namespace
+
+Status CreatePartitioner(const std::string& name,
+                         const FactoryOptions& options,
+                         std::unique_ptr<Partitioner>* out) {
+  return PartitionerRegistry::Global().Create(name, ShimConfig(name, options),
+                                              out);
+}
+
+std::unique_ptr<Partitioner> MustCreatePartitioner(
+    const std::string& name, const FactoryOptions& options) {
+  return MustCreate(name, ShimConfig(name, options));
 }
 
 }  // namespace dne

@@ -1,5 +1,7 @@
-// Partitioner factory: string-keyed construction for benches, examples and
-// downstream users.
+// Partitioner factory: thin convenience layer over PartitionerRegistry for
+// benches, examples and downstream users. Algorithms self-register (see
+// core/partitioner_registry.h); configuration travels as a typed
+// PartitionConfig validated against each algorithm's declared OptionSchema.
 #ifndef DNE_CORE_FACTORY_H_
 #define DNE_CORE_FACTORY_H_
 
@@ -9,12 +11,40 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/partition_config.h"
+#include "core/partitioner_registry.h"
 #include "partition/partitioner.h"
 
 namespace dne {
 
-/// Knobs shared across partitioner families; each implementation picks the
-/// fields it understands.
+/// All registered partitioner names, in the paper's presentation order:
+/// "random", "grid", "dbh", "hybrid", "oblivious", "ginger", "hdrf",
+/// "fennel", "ne", "sne", "spinner", "xtrapulp", "sheep", "multilevel",
+/// "dne", "dynamic".
+std::vector<std::string> KnownPartitioners();
+
+/// Creates a partitioner by name with a validated config. NotFound for
+/// unknown names; InvalidArgument/OutOfRange for bad options.
+Status CreatePartitioner(const std::string& name,
+                         const PartitionConfig& config,
+                         std::unique_ptr<Partitioner>* out);
+
+/// Creates a partitioner by name with every option at its declared default.
+Status CreatePartitioner(const std::string& name,
+                         std::unique_ptr<Partitioner>* out);
+
+/// Convenience wrappers that abort on error (benches/examples).
+std::unique_ptr<Partitioner> MustCreatePartitioner(const std::string& name);
+std::unique_ptr<Partitioner> MustCreatePartitioner(
+    const std::string& name, const PartitionConfig& config);
+
+// --- Deprecated compatibility shim (one release) ---------------------------
+
+/// Pre-registry grab-bag of knobs. Fields map onto config keys (seed ->
+/// "seed", alpha -> "alpha", lambda -> "lambda", lp_iterations ->
+/// "iterations", hybrid_threshold -> "degree_threshold"); keys a partitioner
+/// does not declare are dropped, mirroring the old "each implementation
+/// picks the fields it understands" behaviour.
 struct FactoryOptions {
   std::uint64_t seed = 1;
   double alpha = 1.1;     ///< balance slack (NE / SNE / DNE)
@@ -23,19 +53,12 @@ struct FactoryOptions {
   std::size_t hybrid_threshold = 100;  ///< hybrid/ginger degree threshold
 };
 
-/// Known partitioner names, in the paper's presentation order:
-/// "random", "grid", "dbh", "hybrid", "oblivious", "ginger", "hdrf",
-/// "ne", "sne", "spinner", "xtrapulp", "sheep", "multilevel", "dne".
-std::vector<std::string> KnownPartitioners();
+[[deprecated("use the PartitionConfig overload")]] Status CreatePartitioner(
+    const std::string& name, const FactoryOptions& options,
+    std::unique_ptr<Partitioner>* out);
 
-/// Creates a partitioner by name. Returns NotFound for unknown names.
-Status CreatePartitioner(const std::string& name,
-                         const FactoryOptions& options,
-                         std::unique_ptr<Partitioner>* out);
-
-/// Convenience wrapper that aborts on error (benches/examples).
-std::unique_ptr<Partitioner> MustCreatePartitioner(
-    const std::string& name, const FactoryOptions& options = FactoryOptions{});
+[[deprecated("use the PartitionConfig overload")]] std::unique_ptr<Partitioner>
+MustCreatePartitioner(const std::string& name, const FactoryOptions& options);
 
 }  // namespace dne
 

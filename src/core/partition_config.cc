@@ -1,0 +1,324 @@
+#include "core/partition_config.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <charconv>
+#include <cstdlib>
+
+namespace dne {
+
+namespace {
+
+std::string RenderDouble(double v) {
+  std::string s = std::to_string(v);
+  // Trim trailing zeros but keep one digit after the point ("1.10" -> "1.1").
+  while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') {
+    s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace
+
+OptionSpec OptionSpec::Uint(std::string key, std::uint64_t def,
+                            std::string help) {
+  OptionSpec s;
+  s.key = std::move(key);
+  s.type = OptionType::kUint;
+  s.default_value = std::to_string(def);
+  s.help = std::move(help);
+  return s;
+}
+
+OptionSpec OptionSpec::Int(std::string key, std::int64_t def, std::int64_t min,
+                           std::int64_t max, std::string help) {
+  OptionSpec s;
+  s.key = std::move(key);
+  s.type = OptionType::kInt;
+  s.default_value = std::to_string(def);
+  s.min_value = static_cast<double>(min);
+  s.max_value = static_cast<double>(max);
+  s.has_range = true;
+  s.help = std::move(help);
+  return s;
+}
+
+OptionSpec OptionSpec::Double(std::string key, double def, double min,
+                              double max, std::string help) {
+  OptionSpec s;
+  s.key = std::move(key);
+  s.type = OptionType::kDouble;
+  s.default_value = RenderDouble(def);
+  s.min_value = min;
+  s.max_value = max;
+  s.has_range = true;
+  s.help = std::move(help);
+  return s;
+}
+
+OptionSpec OptionSpec::Bool(std::string key, bool def, std::string help) {
+  OptionSpec s;
+  s.key = std::move(key);
+  s.type = OptionType::kBool;
+  s.default_value = def ? "true" : "false";
+  s.help = std::move(help);
+  return s;
+}
+
+OptionSpec OptionSpec::Enum(std::string key, std::vector<std::string> values,
+                            std::string def, std::string help) {
+  OptionSpec s;
+  s.key = std::move(key);
+  s.type = OptionType::kEnum;
+  s.enum_values = std::move(values);
+  s.default_value = std::move(def);
+  s.help = std::move(help);
+  return s;
+}
+
+std::string OptionSpec::TypeName() const {
+  switch (type) {
+    case OptionType::kInt:
+      return "int";
+    case OptionType::kUint:
+      return "uint";
+    case OptionType::kDouble:
+      return "double";
+    case OptionType::kBool:
+      return "bool";
+    case OptionType::kEnum: {
+      std::string out = "enum{";
+      for (std::size_t i = 0; i < enum_values.size(); ++i) {
+        if (i > 0) out += '|';
+        out += enum_values[i];
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "?";
+}
+
+Status ParseUint(const std::string& text, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    return Status::InvalidArgument("'" + text + "' is not a uint");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseInt(const std::string& text, std::int64_t* out) {
+  std::int64_t v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    return Status::InvalidArgument("'" + text + "' is not an int");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) {
+    return Status::InvalidArgument("'' is not a double");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("'" + text + "' is not a double");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseBool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "on" || text == "yes") {
+    *out = true;
+    return Status::OK();
+  }
+  if (text == "false" || text == "0" || text == "off" || text == "no") {
+    *out = false;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("'" + text + "' is not a bool");
+}
+
+PartitionConfig::PartitionConfig(
+    std::initializer_list<std::pair<std::string, std::string>> kv) {
+  for (const auto& [k, v] : kv) values_[k] = v;
+}
+
+Status PartitionConfig::Set(const std::string& key, const std::string& value) {
+  if (key.empty()) {
+    return Status::InvalidArgument("option key must be non-empty");
+  }
+  values_[key] = value;
+  return Status::OK();
+}
+
+Status PartitionConfig::ParseAssignment(const std::string& assignment) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("expected key=value, got '" + assignment +
+                                   "'");
+  }
+  return Set(assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+Status PartitionConfig::FromAssignments(
+    const std::vector<std::string>& assignments, PartitionConfig* out) {
+  PartitionConfig config;
+  for (const std::string& a : assignments) {
+    DNE_RETURN_IF_ERROR(config.ParseAssignment(a));
+  }
+  *out = std::move(config);
+  return Status::OK();
+}
+
+const std::string* PartitionConfig::Find(const std::string& key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+const OptionSpec* OptionSchema::Find(const std::string& key) const {
+  for (const OptionSpec& s : specs_) {
+    if (s.key == key) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status CheckValue(const OptionSpec& spec, const std::string& value) {
+  double numeric = 0.0;
+  switch (spec.type) {
+    case OptionType::kUint: {
+      std::uint64_t v = 0;
+      DNE_RETURN_IF_ERROR(ParseUint(value, &v));
+      numeric = static_cast<double>(v);
+      break;
+    }
+    case OptionType::kInt: {
+      std::int64_t v = 0;
+      DNE_RETURN_IF_ERROR(ParseInt(value, &v));
+      numeric = static_cast<double>(v);
+      break;
+    }
+    case OptionType::kDouble:
+      DNE_RETURN_IF_ERROR(ParseDouble(value, &numeric));
+      break;
+    case OptionType::kBool: {
+      bool v = false;
+      return ParseBool(value, &v);
+    }
+    case OptionType::kEnum: {
+      if (std::find(spec.enum_values.begin(), spec.enum_values.end(), value) ==
+          spec.enum_values.end()) {
+        return Status::InvalidArgument("'" + value + "' is not one of " +
+                                       spec.TypeName());
+      }
+      return Status::OK();
+    }
+  }
+  if (spec.has_range &&
+      (!std::isfinite(numeric) || numeric < spec.min_value ||
+       numeric > spec.max_value)) {
+    return Status::OutOfRange(
+        spec.key + "=" + value + " outside [" + RenderDouble(spec.min_value) +
+        ", " + RenderDouble(spec.max_value) + "]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status OptionSchema::Validate(const PartitionConfig& config) const {
+  for (const auto& [key, value] : config.entries()) {
+    const OptionSpec* spec = Find(key);
+    if (spec == nullptr) {
+      std::string known;
+      for (const OptionSpec& s : specs_) {
+        if (!known.empty()) known += ", ";
+        known += s.key;
+      }
+      return Status::InvalidArgument("unknown option '" + key +
+                                     "' (known: " + known + ")");
+    }
+    Status st = CheckValue(*spec, value);
+    if (!st.ok()) {
+      if (st.code() == Status::Code::kOutOfRange) return st;
+      return Status::InvalidArgument("option '" + key + "': " + st.message());
+    }
+  }
+  return Status::OK();
+}
+
+std::uint64_t OptionSchema::UintOr(const PartitionConfig& config,
+                                   const std::string& key) const {
+  const OptionSpec* spec = Find(key);
+  if (spec == nullptr) return 0;
+  const std::string* raw = config.Find(key);
+  std::uint64_t v = 0;
+  if (raw == nullptr || !ParseUint(*raw, &v).ok()) {
+    ParseUint(spec->default_value, &v);
+  }
+  return v;
+}
+
+std::int64_t OptionSchema::IntOr(const PartitionConfig& config,
+                                 const std::string& key) const {
+  const OptionSpec* spec = Find(key);
+  if (spec == nullptr) return 0;
+  const std::string* raw = config.Find(key);
+  std::int64_t v = 0;
+  if (raw == nullptr || !ParseInt(*raw, &v).ok()) {
+    ParseInt(spec->default_value, &v);
+  }
+  return v;
+}
+
+double OptionSchema::DoubleOr(const PartitionConfig& config,
+                              const std::string& key) const {
+  const OptionSpec* spec = Find(key);
+  if (spec == nullptr) return 0.0;
+  const std::string* raw = config.Find(key);
+  double v = 0.0;
+  if (raw == nullptr || !ParseDouble(*raw, &v).ok()) {
+    ParseDouble(spec->default_value, &v);
+  }
+  return v;
+}
+
+bool OptionSchema::BoolOr(const PartitionConfig& config,
+                          const std::string& key) const {
+  const OptionSpec* spec = Find(key);
+  if (spec == nullptr) return false;
+  const std::string* raw = config.Find(key);
+  bool v = false;
+  if (raw == nullptr || !ParseBool(*raw, &v).ok()) {
+    ParseBool(spec->default_value, &v);
+  }
+  return v;
+}
+
+std::string OptionSchema::EnumOr(const PartitionConfig& config,
+                                 const std::string& key) const {
+  const OptionSpec* spec = Find(key);
+  if (spec == nullptr) return "";
+  const std::string* raw = config.Find(key);
+  if (raw != nullptr &&
+      std::find(spec->enum_values.begin(), spec->enum_values.end(), *raw) !=
+          spec->enum_values.end()) {
+    return *raw;
+  }
+  return spec->default_value;
+}
+
+}  // namespace dne

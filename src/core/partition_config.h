@@ -1,0 +1,123 @@
+// PartitionConfig + OptionSchema: typed, string-parseable configuration for
+// every registered partitioner. A partitioner declares its options once (an
+// OptionSchema of typed OptionSpecs with defaults and ranges); callers build
+// a PartitionConfig from `key=value` strings (CLI flags, sweep scripts,
+// config files) and the registry validates it against the schema before the
+// algorithm is constructed — no recompilation to sweep any knob of any
+// algorithm.
+#ifndef DNE_CORE_PARTITION_CONFIG_H_
+#define DNE_CORE_PARTITION_CONFIG_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dne {
+
+/// Value type of one declared option.
+enum class OptionType { kInt, kUint, kDouble, kBool, kEnum };
+
+/// Declaration of one option: key, type, default, admissible range (numeric
+/// types) or value set (enums), and a help line for `dne_cli --list`.
+struct OptionSpec {
+  std::string key;
+  OptionType type = OptionType::kUint;
+  std::string default_value;  ///< rendered with the same syntax Parse accepts
+  double min_value = 0.0;     ///< inclusive; numeric types only
+  double max_value = 0.0;     ///< inclusive; numeric types only
+  bool has_range = false;
+  std::vector<std::string> enum_values;  ///< kEnum: the admissible spellings
+  std::string help;
+
+  static OptionSpec Uint(std::string key, std::uint64_t def, std::string help);
+  static OptionSpec Int(std::string key, std::int64_t def, std::int64_t min,
+                        std::int64_t max, std::string help);
+  static OptionSpec Double(std::string key, double def, double min, double max,
+                           std::string help);
+  static OptionSpec Bool(std::string key, bool def, std::string help);
+  static OptionSpec Enum(std::string key, std::vector<std::string> values,
+                         std::string def, std::string help);
+
+  /// "uint", "int", "double", "bool" or "enum{a|b|c}".
+  std::string TypeName() const;
+};
+
+/// String-keyed option values for one partitioner run. Values stay raw
+/// strings until validated/read against an OptionSchema, so a config can be
+/// assembled before the target algorithm is even known.
+class PartitionConfig {
+ public:
+  PartitionConfig() = default;
+  PartitionConfig(std::initializer_list<std::pair<std::string, std::string>> kv);
+
+  /// Sets key to a raw value (last set wins). Empty keys are rejected.
+  Status Set(const std::string& key, const std::string& value);
+
+  /// Parses one "key=value" assignment (the `--opt` syntax).
+  Status ParseAssignment(const std::string& assignment);
+
+  /// Parses a list of "key=value" assignments into *out.
+  static Status FromAssignments(const std::vector<std::string>& assignments,
+                                PartitionConfig* out);
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+  /// Raw value or nullptr.
+  const std::string* Find(const std::string& key) const;
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Key -> raw value, sorted by key.
+  const std::map<std::string, std::string>& entries() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Ordered set of OptionSpecs declared by one partitioner.
+class OptionSchema {
+ public:
+  OptionSchema() = default;
+  OptionSchema(std::initializer_list<OptionSpec> specs) : specs_(specs) {}
+
+  OptionSchema& Add(OptionSpec spec) {
+    specs_.push_back(std::move(spec));
+    return *this;
+  }
+
+  const std::vector<OptionSpec>& specs() const { return specs_; }
+  const OptionSpec* Find(const std::string& key) const;
+
+  /// Checks every config entry against the schema: unknown keys and
+  /// type-mismatched values are InvalidArgument, range violations are
+  /// OutOfRange. A config may omit any option (the default applies).
+  Status Validate(const PartitionConfig& config) const;
+
+  /// Typed readers: the config value if present, else the spec's default.
+  /// The key must be declared in this schema and the config must have been
+  /// Validate()d; violations surface as the spec default (never UB).
+  std::uint64_t UintOr(const PartitionConfig& config,
+                       const std::string& key) const;
+  std::int64_t IntOr(const PartitionConfig& config,
+                     const std::string& key) const;
+  double DoubleOr(const PartitionConfig& config, const std::string& key) const;
+  bool BoolOr(const PartitionConfig& config, const std::string& key) const;
+  std::string EnumOr(const PartitionConfig& config,
+                     const std::string& key) const;
+
+ private:
+  std::vector<OptionSpec> specs_;
+};
+
+/// Strict whole-string parsers shared by Validate and the typed readers.
+Status ParseUint(const std::string& text, std::uint64_t* out);
+Status ParseInt(const std::string& text, std::int64_t* out);
+Status ParseDouble(const std::string& text, double* out);
+Status ParseBool(const std::string& text, bool* out);
+
+}  // namespace dne
+
+#endif  // DNE_CORE_PARTITION_CONFIG_H_

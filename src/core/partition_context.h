@@ -1,0 +1,78 @@
+// PartitionContext: per-run environment every partitioner receives through
+// Partition(g, k, ctx, out) — seed override, host thread pool, cooperative
+// cancellation, progress reporting, and a sink that collects uniform
+// PartitionRunStats across all algorithms. A default-constructed context is
+// inert (no override, no cancellation, no callbacks) and is what the
+// two-argument Partition overload passes.
+#ifndef DNE_CORE_PARTITION_CONTEXT_H_
+#define DNE_CORE_PARTITION_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/status.h"
+
+namespace dne {
+
+class ThreadPool;    // runtime/thread_pool.h
+class RunStatsSink;  // partition/partitioner.h
+
+/// One progress report. `total == 0` means the total is unknown (e.g. the
+/// superstep count of an expansion algorithm before it terminates).
+struct ProgressEvent {
+  const char* stage;    ///< e.g. "edges", "superstep", "round", "window"
+  std::uint64_t done;
+  std::uint64_t total;
+};
+
+class PartitionContext {
+ public:
+  /// When set, overrides the partitioner's configured seed for this run.
+  std::optional<std::uint64_t> seed;
+
+  /// Host threads the algorithm may use; nullptr = run single-threaded (or
+  /// let the algorithm manage its own configured pool, as DNE does).
+  ThreadPool* thread_pool = nullptr;
+
+  /// Cooperative cancellation: partitioners poll this flag at loop
+  /// boundaries and abort with Status::Cancelled when it becomes true. The
+  /// flag is owned by the caller and may be flipped from any thread (or from
+  /// inside the progress callback).
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Invoked from the partitioning thread at coarse milestones. Must be
+  /// cheap; a null function disables reporting.
+  std::function<void(const ProgressEvent&)> progress;
+
+  /// Collects one uniform PartitionRunStats record per Partition() call
+  /// (including failed runs), with wall time filled by the harness for
+  /// every algorithm.
+  RunStatsSink* stats_sink = nullptr;
+
+  bool cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Status::Cancelled if the flag is set, OK otherwise — the idiom is
+  /// DNE_RETURN_IF_ERROR(ctx.CheckCancelled()) at loop boundaries.
+  Status CheckCancelled() const {
+    if (cancelled()) return Status::Cancelled("partitioning cancelled");
+    return Status::OK();
+  }
+
+  void ReportProgress(const char* stage, std::uint64_t done,
+                      std::uint64_t total) const {
+    if (progress) progress(ProgressEvent{stage, done, total});
+  }
+
+  /// The seed this run should use given the algorithm's configured one.
+  std::uint64_t EffectiveSeed(std::uint64_t configured) const {
+    return seed.has_value() ? *seed : configured;
+  }
+};
+
+}  // namespace dne
+
+#endif  // DNE_CORE_PARTITION_CONTEXT_H_

@@ -1,0 +1,79 @@
+#include "core/partitioner_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dne {
+
+PartitionerRegistry& PartitionerRegistry::Global() {
+  // Leaked singleton: construct-on-first-use from any static initialiser,
+  // never destructed (registrations may outlive main()).
+  static PartitionerRegistry* registry = new PartitionerRegistry();
+  return *registry;
+}
+
+bool PartitionerRegistry::Register(PartitionerInfo info) {
+  if (info.name.empty() || !info.factory) {
+    std::fprintf(stderr,
+                 "PartitionerRegistry: registration for '%s' is missing a "
+                 "name or factory\n",
+                 info.name.c_str());
+    std::abort();
+  }
+  if (Find(info.name) != nullptr) {
+    std::fprintf(stderr, "PartitionerRegistry: duplicate partitioner '%s'\n",
+                 info.name.c_str());
+    std::abort();
+  }
+  infos_.push_back(std::make_unique<PartitionerInfo>(std::move(info)));
+  return true;
+}
+
+const PartitionerInfo* PartitionerRegistry::Find(
+    const std::string& name) const {
+  for (const auto& info : infos_) {
+    if (info->name == name) return info.get();
+  }
+  return nullptr;
+}
+
+std::vector<const PartitionerInfo*> PartitionerRegistry::List() const {
+  std::vector<const PartitionerInfo*> out;
+  out.reserve(infos_.size());
+  for (const auto& info : infos_) out.push_back(info.get());
+  std::sort(out.begin(), out.end(),
+            [](const PartitionerInfo* a, const PartitionerInfo* b) {
+              if (a->paper_order != b->paper_order) {
+                return a->paper_order < b->paper_order;
+              }
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::vector<std::string> PartitionerRegistry::Names() const {
+  std::vector<std::string> names;
+  for (const PartitionerInfo* info : List()) names.push_back(info->name);
+  return names;
+}
+
+Status PartitionerRegistry::Create(const std::string& name,
+                                   const PartitionConfig& config,
+                                   std::unique_ptr<Partitioner>* out) const {
+  const PartitionerInfo* info = Find(name);
+  if (info == nullptr) {
+    std::string known;
+    for (const std::string& n : Names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::NotFound("unknown partitioner: " + name +
+                            " (known: " + known + ")");
+  }
+  DNE_RETURN_IF_ERROR(info->schema.Validate(config));
+  *out = info->factory(config);
+  return Status::OK();
+}
+
+}  // namespace dne

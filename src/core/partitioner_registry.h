@@ -1,0 +1,79 @@
+// PartitionerRegistry: self-registering, schema-carrying factory for every
+// partitioning algorithm. Each algorithm's translation unit registers itself
+// at static-initialisation time via DNE_REGISTER_PARTITIONER, so adding an
+// algorithm touches exactly one .cc file — no central switch to edit. The
+// registry owns the name -> {description, option schema, factory, streaming
+// capability} mapping that backs CreatePartitioner(), KnownPartitioners()
+// and `dne_cli --list`.
+#ifndef DNE_CORE_PARTITIONER_REGISTRY_H_
+#define DNE_CORE_PARTITIONER_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/partition_config.h"
+#include "partition/partitioner.h"
+
+namespace dne {
+
+/// Everything the registry knows about one algorithm.
+struct PartitionerInfo {
+  std::string name;         ///< the key ("dne", "hdrf", ...)
+  std::string description;  ///< one line for listings
+  /// Presentation order in listings; the paper's Sec. 7 ordering. Ties (and
+  /// unset values) fall back to name order.
+  int paper_order = 1000;
+  OptionSchema schema;
+  std::function<std::unique_ptr<Partitioner>(const PartitionConfig&)> factory;
+  /// True if the produced Partitioner exposes a StreamingPartitioner facet
+  /// (Partitioner::streaming() != nullptr).
+  bool streaming = false;
+};
+
+class PartitionerRegistry {
+ public:
+  /// The process-wide registry all DNE_REGISTER_PARTITIONER sites feed.
+  static PartitionerRegistry& Global();
+
+  /// Registers an algorithm. Duplicate names or a missing factory abort:
+  /// both are build-time authoring bugs, not runtime conditions. Returns
+  /// true so it can initialise a namespace-scope constant.
+  bool Register(PartitionerInfo info);
+
+  /// Info for `name`, or nullptr.
+  const PartitionerInfo* Find(const std::string& name) const;
+
+  /// All registered names in paper order.
+  std::vector<std::string> Names() const;
+
+  /// All registered infos in paper order (pointers stay valid for the
+  /// process lifetime; the registry is append-only).
+  std::vector<const PartitionerInfo*> List() const;
+
+  /// Validates `config` against the algorithm's schema and constructs it.
+  /// NotFound for unknown names (message lists the known ones).
+  Status Create(const std::string& name, const PartitionConfig& config,
+                std::unique_ptr<Partitioner>* out) const;
+
+ private:
+  std::vector<std::unique_ptr<PartitionerInfo>> infos_;
+};
+
+/// Registers a partitioner from namespace scope of its .cc file:
+///
+///   DNE_REGISTER_PARTITIONER(hdrf, MakeHdrfInfo());
+///
+/// The first argument is a unique C identifier, the rest an expression
+/// yielding a PartitionerInfo.
+#define DNE_REGISTER_PARTITIONER(ident, ...)                         \
+  namespace {                                                        \
+  [[maybe_unused]] const bool dne_registered_##ident =               \
+      ::dne::PartitionerRegistry::Global().Register(__VA_ARGS__);    \
+  }
+
+}  // namespace dne
+
+#endif  // DNE_CORE_PARTITIONER_REGISTRY_H_

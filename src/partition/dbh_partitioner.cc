@@ -1,38 +1,117 @@
 #include "partition/dbh_partitioner.h"
 
 #include "common/hash.h"
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 
-Status DbhPartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
-                                 EdgePartition* out) {
+namespace {
+constexpr EdgeId kCheckStride = 8192;
+
+// Hash by the lower-degree endpoint; break degree ties by vertex hash so
+// the choice stays symmetric and deterministic.
+PartitionId DbhAssign(const Edge& ed, std::uint64_t du, std::uint64_t dv,
+                      std::uint64_t seed, std::uint32_t num_partitions) {
+  VertexId key;
+  if (du != dv) {
+    key = du < dv ? ed.src : ed.dst;
+  } else {
+    key = HashVertex(ed.src, seed) < HashVertex(ed.dst, seed) ? ed.src
+                                                              : ed.dst;
+  }
+  return static_cast<PartitionId>(HashVertex(key, seed) % num_partitions);
+}
+
+OptionSchema DbhSchema() {
+  return OptionSchema{OptionSpec::Uint("seed", 1, "vertex hash seed")};
+}
+}  // namespace
+
+Status DbhPartitioner::PartitionImpl(const Graph& g,
+                                     std::uint32_t num_partitions,
+                                     const PartitionContext& ctx,
+                                     EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
-  *out = EdgePartition(num_partitions, g.NumEdges());
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    const Edge& ed = g.edge(e);
-    const std::size_t du = g.degree(ed.src);
-    const std::size_t dv = g.degree(ed.dst);
-    // Hash by the lower-degree endpoint; break degree ties by vertex hash so
-    // the choice stays symmetric and deterministic.
-    VertexId key;
-    if (du != dv) {
-      key = du < dv ? ed.src : ed.dst;
-    } else {
-      key = HashVertex(ed.src, seed_) < HashVertex(ed.dst, seed_) ? ed.src
-                                                                  : ed.dst;
+  const std::uint64_t seed = ctx.EffectiveSeed(seed_);
+  const EdgeId m = g.NumEdges();
+  *out = EdgePartition(num_partitions, m);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (e % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+      ctx.ReportProgress("edges", e, m);
     }
-    out->Set(e,
-             static_cast<PartitionId>(HashVertex(key, seed_) % num_partitions));
+    const Edge& ed = g.edge(e);
+    out->Set(e, DbhAssign(ed, g.degree(ed.src), g.degree(ed.dst), seed,
+                          num_partitions));
   }
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
+  ctx.ReportProgress("edges", m, m);
   stats_.peak_memory_bytes =
-      g.NumEdges() * sizeof(Edge) + g.NumVertices() * sizeof(std::uint32_t);
+      m * sizeof(Edge) + g.NumVertices() * sizeof(std::uint32_t);
   return Status::OK();
 }
+
+Status DbhPartitioner::BeginStream(std::uint32_t num_partitions,
+                                   const PartitionContext& ctx) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  stream_open_ = true;
+  stream_k_ = num_partitions;
+  stream_seed_ = ctx.EffectiveSeed(seed_);
+  stream_ctx_ = ctx;
+  stream_buffer_.clear();
+  stream_degree_.clear();
+  return Status::OK();
+}
+
+Status DbhPartitioner::AddEdges(std::span<const Edge> edges) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("AddEdges before BeginStream");
+  }
+  DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+  stream_buffer_.insert(stream_buffer_.end(), edges.begin(), edges.end());
+  for (const Edge& ed : edges) {
+    ++stream_degree_[ed.src];
+    ++stream_degree_[ed.dst];
+  }
+  return Status::OK();
+}
+
+Status DbhPartitioner::Finish(EdgePartition* out) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("Finish before BeginStream");
+  }
+  *out = EdgePartition(stream_k_, stream_buffer_.size());
+  for (EdgeId e = 0; e < stream_buffer_.size(); ++e) {
+    if (e % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+    }
+    const Edge& ed = stream_buffer_[e];
+    out->Set(e, DbhAssign(ed, stream_degree_[ed.src], stream_degree_[ed.dst],
+                          stream_seed_, stream_k_));
+  }
+  // The stream only closes once the placement loop survives cancellation,
+  // so a cancelled Finish() can be retried with the buffer intact.
+  stream_open_ = false;
+  stream_buffer_.clear();
+  stream_degree_.clear();
+  return Status::OK();
+}
+
+DNE_REGISTER_PARTITIONER(
+    dbh,
+    PartitionerInfo{
+        .name = "dbh",
+        .description = "degree-based hashing by the lower-degree endpoint",
+        .paper_order = 30,
+        .schema = DbhSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          return std::make_unique<DbhPartitioner>(
+              DbhSchema().UintOr(c, "seed"));
+        },
+        .streaming = true})
 
 }  // namespace dne

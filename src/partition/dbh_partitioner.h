@@ -5,23 +5,46 @@
 #define DNE_PARTITION_DBH_PARTITIONER_H_
 
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 #include "partition/partitioner.h"
+#include "partition/streaming_partitioner.h"
 
 namespace dne {
 
-class DbhPartitioner : public Partitioner {
+/// The streaming facet buffers the stream and counts degrees as chunks
+/// arrive, then hashes every edge by its final lower-degree endpoint at
+/// Finish() — reproducing the batch assignment exactly when fed a graph's
+/// canonical edge array (degrees are a whole-stream property, so a true
+/// single-pass variant would diverge from the offline algorithm).
+class DbhPartitioner : public Partitioner, public StreamingPartitioner {
  public:
   explicit DbhPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
 
   std::string name() const override { return "dbh"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+  StreamingPartitioner* streaming() override { return this; }
+
+  Status BeginStream(std::uint32_t num_partitions,
+                     const PartitionContext& ctx) override;
+  using StreamingPartitioner::BeginStream;
+  Status AddEdges(std::span<const Edge> edges) override;
+  Status Finish(EdgePartition* out) override;
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
 
  private:
   std::uint64_t seed_;
-  PartitionRunStats stats_;
+
+  bool stream_open_ = false;
+  std::uint32_t stream_k_ = 0;
+  std::uint64_t stream_seed_ = 0;
+  PartitionContext stream_ctx_;
+  std::vector<Edge> stream_buffer_;
+  std::unordered_map<VertexId, std::uint64_t> stream_degree_;
 };
 
 }  // namespace dne

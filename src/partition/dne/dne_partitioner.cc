@@ -5,7 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 #include "partition/dne/allocation_process.h"
 #include "partition/dne/expansion_process.h"
 #include "partition/dne/two_d_distribution.h"
@@ -14,9 +14,10 @@
 
 namespace dne {
 
-Status DnePartitioner::Partition(const Graph& g,
-                                 std::uint32_t num_partitions,
-                                 EdgePartition* out) {
+Status DnePartitioner::PartitionImpl(const Graph& g,
+                                     std::uint32_t num_partitions,
+                                     const PartitionContext& ctx,
+                                     EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
@@ -26,13 +27,13 @@ Status DnePartitioner::Partition(const Graph& g,
   if (options_.lambda <= 0.0 || options_.lambda > 1.0) {
     return Status::InvalidArgument("lambda must be in (0, 1]");
   }
-  WallTimer timer;
+  const std::uint64_t seed = ctx.EffectiveSeed(options_.seed);
   const int ranks = static_cast<int>(num_partitions);
   const EdgeId total_edges = g.NumEdges();
   const VertexId num_vertices = g.NumVertices();
 
   SimCluster cluster(ranks, options_.cost);
-  TwoDDistribution dist(num_partitions, options_.seed);
+  TwoDDistribution dist(num_partitions, seed);
 
   // --- Initial 2-D hash distribution (Sec. 4) ----------------------------
   std::vector<AllocationProcess> alloc;
@@ -60,7 +61,7 @@ Status DnePartitioner::Partition(const Graph& g,
   for (PartitionId p = 0; p < num_partitions; ++p) {
     expansion.emplace_back(p, num_vertices, limit, options_.lambda,
                            options_.min_drest_selection,
-                           options_.seed + 0x9e37 * (p + 1));
+                           seed + 0x9e37 * (p + 1));
   }
 
   *out = EdgePartition(num_partitions, total_edges);
@@ -105,6 +106,8 @@ Status DnePartitioner::Partition(const Graph& g,
   std::vector<std::uint64_t> rank_two_hop(ranks, 0);
 
   while (total_allocated < total_edges) {
+    DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+    ctx.ReportProgress("superstep", dne_stats_.iterations, 0);
     if (dne_stats_.iterations >= max_supersteps) {
       return Status::Internal("Distributed NE exceeded the superstep guard");
     }
@@ -314,13 +317,59 @@ Status DnePartitioner::Partition(const Graph& g,
                          static_cast<double>(sum_b);
   }
 
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
   stats_.sim_seconds = dne_stats_.sim_seconds;
   stats_.comm_bytes = dne_stats_.comm_bytes;
   stats_.supersteps = dne_stats_.iterations;
   stats_.peak_memory_bytes = dne_stats_.peak_memory_bytes;
   return Status::OK();
 }
+
+namespace {
+OptionSchema DneSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "2-D distribution and expansion seed"),
+      OptionSpec::Double("alpha", 1.1, 1.0, 10.0,
+                         "balance slack of Eq. (2); the paper sets 1.1"),
+      OptionSpec::Double("lambda", 0.1, 1e-6, 1.0,
+                         "expansion factor of Sec. 5; the paper selects 0.1"),
+      OptionSpec::Bool("two_hop", true,
+                       "enable Condition-(5) two-hop free-edge allocation"),
+      OptionSpec::Bool("min_drest", true,
+                       "select boundary vertices by minimal D_rest"),
+      OptionSpec::Enum("seed_strategy", {"random", "min_degree", "max_degree"},
+                       "random", "fresh-vertex policy for empty boundaries"),
+      OptionSpec::Uint("max_supersteps", 0,
+                       "superstep guard; 0 = automatic (10|V| + 1000)"),
+      OptionSpec::Int("threads", 1, 1, 1024,
+                      "host threads for the simulated ranks' phases")};
+}
+}  // namespace
+
+DNE_REGISTER_PARTITIONER(
+    dne,
+    PartitionerInfo{
+        .name = "dne",
+        .description =
+            "Distributed Neighbor Expansion (the paper's algorithm)",
+        .paper_order = 150,
+        .schema = DneSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = DneSchema();
+          DneOptions o;
+          o.seed = s.UintOr(c, "seed");
+          o.alpha = s.DoubleOr(c, "alpha");
+          o.lambda = s.DoubleOr(c, "lambda");
+          o.enable_two_hop = s.BoolOr(c, "two_hop");
+          o.min_drest_selection = s.BoolOr(c, "min_drest");
+          const std::string strat = s.EnumOr(c, "seed_strategy");
+          o.seed_strategy = strat == "min_degree" ? SeedStrategy::kMinDegree
+                            : strat == "max_degree"
+                                ? SeedStrategy::kMaxDegree
+                                : SeedStrategy::kRandom;
+          o.max_supersteps = s.UintOr(c, "max_supersteps");
+          o.num_threads = static_cast<int>(s.IntOr(c, "threads"));
+          return std::make_unique<DnePartitioner>(o);
+        }})
 
 }  // namespace dne

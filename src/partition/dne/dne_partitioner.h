@@ -17,17 +17,18 @@ class DnePartitioner : public Partitioner {
       : options_(options) {}
 
   std::string name() const override { return "dne"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
 
   /// Detailed counters of the most recent run (iterations, one/two-hop
   /// splits, simulated time, peak memory...).
   const DneStats& dne_stats() const { return dne_stats_; }
 
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
+
  private:
   DneOptions options_;
-  PartitionRunStats stats_;
   DneStats dne_stats_;
 };
 

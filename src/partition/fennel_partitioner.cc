@@ -6,18 +6,31 @@
 #include <vector>
 
 #include "common/hash.h"
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 #include "partition/vertex_to_edge.h"
 
 namespace dne {
 
-Status FennelPartitioner::Partition(const Graph& g,
-                                    std::uint32_t num_partitions,
-                                    EdgePartition* out) {
+namespace {
+constexpr VertexId kCheckStride = 8192;
+
+OptionSchema FennelSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "vertex stream shuffle seed"),
+      OptionSpec::Double("gamma", 1.5, 1.0, 4.0,
+                         "load-penalty exponent (paper value 1.5)"),
+      OptionSpec::Double("capacity_slack", 1.1, 1.0, 10.0,
+                         "vertex capacity slack per partition")};
+}
+}  // namespace
+
+Status FennelPartitioner::PartitionImpl(const Graph& g,
+                                        std::uint32_t num_partitions,
+                                        const PartitionContext& ctx,
+                                        EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
   const VertexId n = g.NumVertices();
   const double nd = static_cast<double>(std::max<VertexId>(1, n));
   const double md = static_cast<double>(g.NumEdges());
@@ -32,14 +45,20 @@ Status FennelPartitioner::Partition(const Graph& g,
 
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), VertexId{0});
-  const std::uint64_t seed = options_.seed;
+  const std::uint64_t seed = ctx.EffectiveSeed(options_.seed);
   std::sort(order.begin(), order.end(), [seed](VertexId a, VertexId b) {
     return Mix64(a ^ seed) < Mix64(b ^ seed);
   });
 
   std::vector<double> neighbor_count(num_partitions, 0.0);
   std::vector<PartitionId> touched;
+  VertexId processed = 0;
   for (VertexId v : order) {
+    if (processed % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+      ctx.ReportProgress("vertices", processed, n);
+    }
+    ++processed;
     touched.clear();
     for (const Adjacency& a : g.neighbors(v)) {
       const PartitionId lp = label[a.to];
@@ -75,12 +94,28 @@ Status FennelPartitioner::Partition(const Graph& g,
     for (PartitionId p : touched) neighbor_count[p] = 0.0;
   }
 
-  *out = VertexToEdgePartition(g, label, num_partitions, options_.seed);
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
+  ctx.ReportProgress("vertices", n, n);
+  *out = VertexToEdgePartition(g, label, num_partitions, seed);
   stats_.peak_memory_bytes = g.MemoryBytes() + n * sizeof(PartitionId) +
                              num_partitions * sizeof(double);
   return Status::OK();
 }
+
+DNE_REGISTER_PARTITIONER(
+    fennel,
+    PartitionerInfo{
+        .name = "fennel",
+        .description = "Fennel streaming vertex placement, edges follow",
+        .paper_order = 80,
+        .schema = FennelSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = FennelSchema();
+          FennelOptions o;
+          o.seed = s.UintOr(c, "seed");
+          o.gamma = s.DoubleOr(c, "gamma");
+          o.capacity_slack = s.DoubleOr(c, "capacity_slack");
+          return std::make_unique<FennelPartitioner>(o);
+        }})
 
 }  // namespace dne

@@ -5,17 +5,51 @@
 #include <vector>
 
 #include "common/hash.h"
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 
-Status GingerPartitioner::Partition(const Graph& g,
-                                    std::uint32_t num_partitions,
-                                    EdgePartition* out) {
-  if (num_partitions == 0) {
-    return Status::InvalidArgument("num_partitions must be positive");
+namespace {
+
+// The hybrid-cut edge rule over refined homes: low-degree edges follow the
+// lower-degree endpoint's home, hub-hub edges stay hashed.
+PartitionId GingerAssign(const Edge& ed, std::uint64_t du, std::uint64_t dv,
+                         const std::vector<PartitionId>& home,
+                         std::size_t threshold, std::uint64_t seed,
+                         std::uint32_t num_partitions) {
+  const bool src_low = du <= threshold;
+  const bool dst_low = dv <= threshold;
+  if (!src_low && !dst_low) {
+    return static_cast<PartitionId>(HashEdge(ed.src, ed.dst, seed) %
+                                    num_partitions);
   }
-  WallTimer timer;
+  VertexId key;
+  if (src_low && dst_low) {
+    key = du <= dv ? ed.src : ed.dst;
+  } else {
+    key = src_low ? ed.src : ed.dst;
+  }
+  return home[key];
+}
+
+OptionSchema GingerSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "home/edge hash seed"),
+      OptionSpec::Uint("degree_threshold", 100,
+                       "PowerLyra theta: degrees above it stay hashed"),
+      OptionSpec::Int("rounds", 3, 0, 1000,
+                      "refinement sweeps over low-degree vertices"),
+      OptionSpec::Double("balance_weight", 1.0, 0.0, 1e6,
+                         "weight of the Fennel balance penalty")};
+}
+
+}  // namespace
+
+Status GingerPartitioner::ComputeHomes(const Graph& g,
+                                       std::uint32_t num_partitions,
+                                       std::uint64_t seed,
+                                       const PartitionContext& ctx,
+                                       std::vector<PartitionId>* out) const {
   const VertexId n = g.NumVertices();
   const EdgeId m = g.NumEdges();
 
@@ -26,10 +60,10 @@ Status GingerPartitioner::Partition(const Graph& g,
   auto is_low = [&](VertexId v) {
     return g.degree(v) <= options_.degree_threshold;
   };
-  std::vector<PartitionId> home(n);
+  std::vector<PartitionId>& home = *out;
+  home.resize(n);
   for (VertexId v = 0; v < n; ++v) {
-    home[v] =
-        static_cast<PartitionId>(HashVertex(v, options_.seed) % num_partitions);
+    home[v] = static_cast<PartitionId>(HashVertex(v, seed) % num_partitions);
   }
 
   // Loads for the Fennel penalty, maintained incrementally over moves.
@@ -44,7 +78,6 @@ Status GingerPartitioner::Partition(const Graph& g,
 
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), VertexId{0});
-  const std::uint64_t seed = options_.seed;
   std::sort(order.begin(), order.end(), [seed](VertexId a, VertexId b) {
     return Mix64(a ^ seed) < Mix64(b ^ seed);
   });
@@ -52,6 +85,9 @@ Status GingerPartitioner::Partition(const Graph& g,
   std::vector<double> affinity(num_partitions, 0.0);
   std::vector<PartitionId> touched;
   for (int round = 0; round < options_.rounds; ++round) {
+    DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+    ctx.ReportProgress("round", static_cast<std::uint64_t>(round),
+                       static_cast<std::uint64_t>(options_.rounds));
     for (VertexId v : order) {
       if (!is_low(v) || g.degree(v) == 0) continue;
       touched.clear();
@@ -93,33 +129,105 @@ Status GingerPartitioner::Partition(const Graph& g,
       }
     }
   }
+  return Status::OK();
+}
+
+Status GingerPartitioner::PartitionImpl(const Graph& g,
+                                        std::uint32_t num_partitions,
+                                        const PartitionContext& ctx,
+                                        EdgePartition* out) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  const std::uint64_t seed = ctx.EffectiveSeed(options_.seed);
+  const EdgeId m = g.NumEdges();
+
+  std::vector<PartitionId> home;
+  DNE_RETURN_IF_ERROR(ComputeHomes(g, num_partitions, seed, ctx, &home));
 
   *out = EdgePartition(num_partitions, m);
   for (EdgeId e = 0; e < m; ++e) {
     const Edge& ed = g.edge(e);
-    const bool src_low = is_low(ed.src);
-    const bool dst_low = is_low(ed.dst);
-    if (!src_low && !dst_low) {
-      out->Set(e, static_cast<PartitionId>(
-                      HashEdge(ed.src, ed.dst, options_.seed) %
-                      num_partitions));
-      continue;
-    }
-    VertexId key;
-    if (src_low && dst_low) {
-      key = g.degree(ed.src) <= g.degree(ed.dst) ? ed.src : ed.dst;
-    } else {
-      key = src_low ? ed.src : ed.dst;
-    }
-    out->Set(e, home[key]);
+    out->Set(e, GingerAssign(ed, g.degree(ed.src), g.degree(ed.dst), home,
+                             options_.degree_threshold, seed,
+                             num_partitions));
   }
 
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
   stats_.peak_memory_bytes = g.MemoryBytes() +
-                             n * sizeof(PartitionId) +
+                             g.NumVertices() * sizeof(PartitionId) +
                              2 * num_partitions * sizeof(double);
   return Status::OK();
 }
+
+Status GingerPartitioner::BeginStream(std::uint32_t num_partitions,
+                                      const PartitionContext& ctx) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  stream_open_ = true;
+  stream_k_ = num_partitions;
+  stream_seed_ = ctx.EffectiveSeed(options_.seed);
+  stream_ctx_ = ctx;
+  stream_buffer_.clear();
+  return Status::OK();
+}
+
+Status GingerPartitioner::AddEdges(std::span<const Edge> edges) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("AddEdges before BeginStream");
+  }
+  DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+  stream_buffer_.insert(stream_buffer_.end(), edges.begin(), edges.end());
+  return Status::OK();
+}
+
+Status GingerPartitioner::Finish(EdgePartition* out) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("Finish before BeginStream");
+  }
+  stream_open_ = false;
+  // Rebuild the graph from the buffered stream: the refinement needs whole
+  // neighbourhoods, which no single-pass method has. Degrees and homes are
+  // keyed by global vertex id, so the arrival-order assignment below is
+  // independent of the rebuild's canonical edge order.
+  EdgeList list;
+  list.Reserve(stream_buffer_.size());
+  for (const Edge& ed : stream_buffer_) list.Add(ed.src, ed.dst);
+  Graph g = Graph::Build(std::move(list));
+
+  std::vector<PartitionId> home;
+  DNE_RETURN_IF_ERROR(
+      ComputeHomes(g, stream_k_, stream_seed_, stream_ctx_, &home));
+
+  *out = EdgePartition(stream_k_, stream_buffer_.size());
+  for (EdgeId e = 0; e < stream_buffer_.size(); ++e) {
+    const Edge& ed = stream_buffer_[e];
+    out->Set(e, GingerAssign(ed, g.degree(ed.src), g.degree(ed.dst), home,
+                             options_.degree_threshold, stream_seed_,
+                             stream_k_));
+  }
+  stream_buffer_.clear();
+  return Status::OK();
+}
+
+DNE_REGISTER_PARTITIONER(
+    ginger,
+    PartitionerInfo{
+        .name = "ginger",
+        .description = "hybrid-cut + Fennel-style greedy refinement",
+        .paper_order = 60,
+        .schema = GingerSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = GingerSchema();
+          GingerOptions o;
+          o.seed = s.UintOr(c, "seed");
+          o.degree_threshold =
+              static_cast<std::size_t>(s.UintOr(c, "degree_threshold"));
+          o.rounds = static_cast<int>(s.IntOr(c, "rounds"));
+          o.balance_weight = s.DoubleOr(c, "balance_weight");
+          return std::make_unique<GingerPartitioner>(o);
+        },
+        .streaming = true})
 
 }  // namespace dne

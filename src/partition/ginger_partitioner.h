@@ -4,8 +4,10 @@
 #define DNE_PARTITION_GINGER_PARTITIONER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "partition/partitioner.h"
+#include "partition/streaming_partitioner.h"
 
 namespace dne {
 
@@ -23,19 +25,43 @@ struct GingerOptions {
 /// Refinement objective for moving low-degree vertex v to partition p
 /// (Fennel/Ginger): |N(v) in p| - balance_weight * load_penalty(p), where
 /// the penalty mixes vertex and edge loads as in the Ginger heuristic.
-class GingerPartitioner : public Partitioner {
+///
+/// The streaming facet buffers the stream (the refinement needs whole
+/// neighbourhoods), rebuilds the graph at Finish(), runs the same home
+/// placement + refinement, and emits assignments in arrival order.
+class GingerPartitioner : public Partitioner, public StreamingPartitioner {
  public:
   explicit GingerPartitioner(const GingerOptions& options = GingerOptions{})
       : options_(options) {}
 
   std::string name() const override { return "ginger"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+  StreamingPartitioner* streaming() override { return this; }
+
+  Status BeginStream(std::uint32_t num_partitions,
+                     const PartitionContext& ctx) override;
+  using StreamingPartitioner::BeginStream;
+  Status AddEdges(std::span<const Edge> edges) override;
+  Status Finish(EdgePartition* out) override;
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
 
  private:
+  /// Hybrid-cut home assignment + Fennel refinement (the algorithm's core),
+  /// shared by the batch and streaming paths.
+  Status ComputeHomes(const Graph& g, std::uint32_t num_partitions,
+                      std::uint64_t seed, const PartitionContext& ctx,
+                      std::vector<PartitionId>* home) const;
+
   GingerOptions options_;
-  PartitionRunStats stats_;
+
+  bool stream_open_ = false;
+  std::uint32_t stream_k_ = 0;
+  std::uint64_t stream_seed_ = 0;
+  PartitionContext stream_ctx_;
+  std::vector<Edge> stream_buffer_;
 };
 
 }  // namespace dne

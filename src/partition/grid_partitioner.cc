@@ -1,9 +1,24 @@
 #include "partition/grid_partitioner.h"
 
 #include "common/hash.h"
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
+
+namespace {
+constexpr EdgeId kCheckStride = 8192;
+
+PartitionId GridCell(const Edge& ed, std::uint64_t seed, std::uint32_t rows,
+                     std::uint32_t cols) {
+  const std::uint32_t r = HashVertex(ed.src, seed) % rows;
+  const std::uint32_t c = HashVertex(ed.dst, seed + 1) % cols;
+  return r * cols + c;
+}
+
+OptionSchema GridSchema() {
+  return OptionSchema{OptionSpec::Uint("seed", 1, "vertex hash seed")};
+}
+}  // namespace
 
 void GridPartitioner::GridShape(std::uint32_t num_partitions,
                                 std::uint32_t* rows, std::uint32_t* cols) {
@@ -16,26 +31,82 @@ void GridPartitioner::GridShape(std::uint32_t num_partitions,
   *cols = num_partitions / r;
 }
 
-Status GridPartitioner::Partition(const Graph& g,
-                                  std::uint32_t num_partitions,
-                                  EdgePartition* out) {
+Status GridPartitioner::PartitionImpl(const Graph& g,
+                                      std::uint32_t num_partitions,
+                                      const PartitionContext& ctx,
+                                      EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
+  const std::uint64_t seed = ctx.EffectiveSeed(seed_);
   std::uint32_t rows, cols;
   GridShape(num_partitions, &rows, &cols);
-  *out = EdgePartition(num_partitions, g.NumEdges());
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    const Edge& ed = g.edge(e);
-    const std::uint32_t r = HashVertex(ed.src, seed_) % rows;
-    const std::uint32_t c = HashVertex(ed.dst, seed_ + 1) % cols;
-    out->Set(e, r * cols + c);
+  const EdgeId m = g.NumEdges();
+  *out = EdgePartition(num_partitions, m);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (e % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+      ctx.ReportProgress("edges", e, m);
+    }
+    out->Set(e, GridCell(g.edge(e), seed, rows, cols));
   }
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
-  stats_.peak_memory_bytes = g.NumEdges() * sizeof(Edge);
+  ctx.ReportProgress("edges", m, m);
+  stats_.peak_memory_bytes = m * sizeof(Edge);
   return Status::OK();
 }
+
+Status GridPartitioner::BeginStream(std::uint32_t num_partitions,
+                                    const PartitionContext& ctx) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  stream_open_ = true;
+  stream_k_ = num_partitions;
+  GridShape(num_partitions, &stream_rows_, &stream_cols_);
+  stream_seed_ = ctx.EffectiveSeed(seed_);
+  stream_ctx_ = ctx;
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+Status GridPartitioner::AddEdges(std::span<const Edge> edges) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("AddEdges before BeginStream");
+  }
+  DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+  stream_assign_.reserve(stream_assign_.size() + edges.size());
+  for (const Edge& ed : edges) {
+    stream_assign_.push_back(
+        GridCell(ed, stream_seed_, stream_rows_, stream_cols_));
+  }
+  return Status::OK();
+}
+
+Status GridPartitioner::Finish(EdgePartition* out) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("Finish before BeginStream");
+  }
+  stream_open_ = false;
+  *out = EdgePartition(stream_k_, stream_assign_.size());
+  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
+    out->Set(e, stream_assign_[e]);
+  }
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+DNE_REGISTER_PARTITIONER(
+    grid,
+    PartitionerInfo{
+        .name = "grid",
+        .description = "2-D grid hashing, replicas confined to row+column",
+        .paper_order = 20,
+        .schema = GridSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          return std::make_unique<GridPartitioner>(
+              GridSchema().UintOr(c, "seed"));
+        },
+        .streaming = true})
 
 }  // namespace dne

@@ -4,31 +4,50 @@
 #define DNE_PARTITION_GRID_PARTITIONER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "partition/partitioner.h"
+#include "partition/streaming_partitioner.h"
 
 namespace dne {
 
 /// Arranges the |P| partitions in an R x C grid (R = the largest divisor of
 /// |P| that is <= sqrt(|P|)); edge (u, v) goes to the cell at the
 /// intersection of u's row and v's column, so a vertex's replicas are
-/// confined to its row + column (<= R + C - 1 partitions).
-class GridPartitioner : public Partitioner {
+/// confined to its row + column (<= R + C - 1 partitions). Stateless per
+/// edge, so the streaming facet reproduces the batch assignment exactly.
+class GridPartitioner : public Partitioner, public StreamingPartitioner {
  public:
   explicit GridPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
 
   std::string name() const override { return "grid"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+  StreamingPartitioner* streaming() override { return this; }
+
+  Status BeginStream(std::uint32_t num_partitions,
+                     const PartitionContext& ctx) override;
+  using StreamingPartitioner::BeginStream;
+  Status AddEdges(std::span<const Edge> edges) override;
+  Status Finish(EdgePartition* out) override;
 
   /// Grid shape used for a given |P|: returns {rows, cols}, rows*cols == P.
   static void GridShape(std::uint32_t num_partitions, std::uint32_t* rows,
                         std::uint32_t* cols);
 
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
+
  private:
   std::uint64_t seed_;
-  PartitionRunStats stats_;
+
+  bool stream_open_ = false;
+  std::uint32_t stream_k_ = 0;
+  std::uint32_t stream_rows_ = 0;
+  std::uint32_t stream_cols_ = 0;
+  std::uint64_t stream_seed_ = 0;
+  PartitionContext stream_ctx_;
+  std::vector<PartitionId> stream_assign_;
 };
 
 }  // namespace dne

@@ -5,56 +5,83 @@
 #include <vector>
 
 #include "common/hash.h"
-#include "common/timer.h"
-#include "partition/replica_table.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 
-Status HdrfPartitioner::Partition(const Graph& g,
-                                  std::uint32_t num_partitions,
-                                  EdgePartition* out) {
+namespace {
+constexpr EdgeId kCheckStride = 8192;
+constexpr double kEps = 1e-3;
+
+// One HDRF placement decision given the endpoint degrees to score with.
+PartitionId HdrfBest(const ReplicaTable& replicas,
+                     const std::vector<std::uint64_t>& load,
+                     std::uint64_t max_load, std::uint64_t min_load,
+                     double lambda, VertexId u, VertexId v, double du,
+                     double dv, std::uint32_t num_partitions) {
+  const double theta_u = du / (du + dv);
+  const double theta_v = 1.0 - theta_u;
+  double best_score = -1.0;
+  PartitionId best = 0;
+  const double spread =
+      kEps + static_cast<double>(max_load) - static_cast<double>(min_load);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    double c_rep = 0.0;
+    if (replicas.Contains(u, p)) c_rep += 1.0 + (1.0 - theta_u);
+    if (replicas.Contains(v, p)) c_rep += 1.0 + (1.0 - theta_v);
+    const double c_bal =
+        lambda *
+        (static_cast<double>(max_load) - static_cast<double>(load[p])) /
+        spread;
+    const double score = c_rep + c_bal;
+    if (score > best_score) {
+      best_score = score;
+      best = p;
+    }
+  }
+  return best;
+}
+
+OptionSchema HdrfSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "stream shuffle seed (batch path)"),
+      OptionSpec::Double("lambda", 1.1, 0.0, 1e6,
+                         "balance weight; > 1 tightens balance")};
+}
+}  // namespace
+
+Status HdrfPartitioner::PartitionImpl(const Graph& g,
+                                      std::uint32_t num_partitions,
+                                      const PartitionContext& ctx,
+                                      EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
-  *out = EdgePartition(num_partitions, g.NumEdges());
+  const EdgeId m = g.NumEdges();
+  *out = EdgePartition(num_partitions, m);
   ReplicaTable replicas(g.NumVertices());
   std::vector<std::uint64_t> load(num_partitions, 0);
   std::uint64_t max_load = 0, min_load = 0;
 
-  std::vector<EdgeId> order(g.NumEdges());
+  std::vector<EdgeId> order(m);
   std::iota(order.begin(), order.end(), EdgeId{0});
-  const std::uint64_t seed = options_.seed;
+  const std::uint64_t seed = ctx.EffectiveSeed(options_.seed);
   std::sort(order.begin(), order.end(), [seed](EdgeId a, EdgeId b) {
     return Mix64(a ^ seed) < Mix64(b ^ seed);
   });
 
-  constexpr double kEps = 1e-3;
+  EdgeId processed = 0;
   for (EdgeId e : order) {
-    const Edge& ed = g.edge(e);
-    const double du = static_cast<double>(g.degree(ed.src));
-    const double dv = static_cast<double>(g.degree(ed.dst));
-    const double theta_u = du / (du + dv);
-    const double theta_v = 1.0 - theta_u;
-
-    double best_score = -1.0;
-    PartitionId best = 0;
-    const double spread =
-        kEps + static_cast<double>(max_load) - static_cast<double>(min_load);
-    for (PartitionId p = 0; p < num_partitions; ++p) {
-      double c_rep = 0.0;
-      if (replicas.Contains(ed.src, p)) c_rep += 1.0 + (1.0 - theta_u);
-      if (replicas.Contains(ed.dst, p)) c_rep += 1.0 + (1.0 - theta_v);
-      const double c_bal =
-          options_.lambda *
-          (static_cast<double>(max_load) - static_cast<double>(load[p])) /
-          spread;
-      const double score = c_rep + c_bal;
-      if (score > best_score) {
-        best_score = score;
-        best = p;
-      }
+    if (processed % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+      ctx.ReportProgress("edges", processed, m);
     }
+    ++processed;
+    const Edge& ed = g.edge(e);
+    const PartitionId best = HdrfBest(
+        replicas, load, max_load, min_load, options_.lambda, ed.src, ed.dst,
+        static_cast<double>(g.degree(ed.src)),
+        static_cast<double>(g.degree(ed.dst)), num_partitions);
     out->Set(e, best);
     ++load[best];
     replicas.Add(ed.src, best);
@@ -62,13 +89,95 @@ Status HdrfPartitioner::Partition(const Graph& g,
     max_load = std::max(max_load, load[best]);
     min_load = *std::min_element(load.begin(), load.end());
   }
+  ctx.ReportProgress("edges", m, m);
 
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
-  stats_.peak_memory_bytes = g.NumEdges() * sizeof(Edge) +
-                             replicas.MemoryBytes() +
+  stats_.peak_memory_bytes = m * sizeof(Edge) + replicas.MemoryBytes() +
                              load.size() * sizeof(std::uint64_t);
   return Status::OK();
 }
+
+Status HdrfPartitioner::BeginStream(std::uint32_t num_partitions,
+                                    const PartitionContext& ctx) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  stream_open_ = true;
+  stream_k_ = num_partitions;
+  stream_ctx_ = ctx;
+  stream_replicas_ = ReplicaTable(0);
+  stream_partial_degree_.clear();
+  stream_load_.assign(num_partitions, 0);
+  stream_max_load_ = 0;
+  stream_min_load_ = 0;
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+Status HdrfPartitioner::AddEdges(std::span<const Edge> edges) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("AddEdges before BeginStream");
+  }
+  std::size_t i = 0;
+  for (const Edge& ed : edges) {
+    if (i++ % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+    }
+    const VertexId hi = std::max(ed.src, ed.dst);
+    stream_replicas_.EnsureVertex(hi);
+    if (hi >= stream_partial_degree_.size()) {
+      stream_partial_degree_.resize(hi + 1, 0);
+    }
+    // The original streaming HDRF: score with the partial degrees seen so
+    // far (incremented before scoring so both endpoints count this edge).
+    const double du =
+        static_cast<double>(++stream_partial_degree_[ed.src]);
+    const double dv =
+        static_cast<double>(++stream_partial_degree_[ed.dst]);
+    const PartitionId best =
+        HdrfBest(stream_replicas_, stream_load_, stream_max_load_,
+                 stream_min_load_, options_.lambda, ed.src, ed.dst, du, dv,
+                 stream_k_);
+    stream_assign_.push_back(best);
+    ++stream_load_[best];
+    stream_replicas_.Add(ed.src, best);
+    stream_replicas_.Add(ed.dst, best);
+    stream_max_load_ = std::max(stream_max_load_, stream_load_[best]);
+    stream_min_load_ =
+        *std::min_element(stream_load_.begin(), stream_load_.end());
+  }
+  return Status::OK();
+}
+
+Status HdrfPartitioner::Finish(EdgePartition* out) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("Finish before BeginStream");
+  }
+  stream_open_ = false;
+  *out = EdgePartition(stream_k_, stream_assign_.size());
+  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
+    out->Set(e, stream_assign_[e]);
+  }
+  stream_replicas_ = ReplicaTable(0);
+  stream_partial_degree_.clear();
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+DNE_REGISTER_PARTITIONER(
+    hdrf,
+    PartitionerInfo{
+        .name = "hdrf",
+        .description = "high-degree-replicated-first greedy streaming",
+        .paper_order = 70,
+        .schema = HdrfSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = HdrfSchema();
+          HdrfOptions o;
+          o.seed = s.UintOr(c, "seed");
+          o.lambda = s.DoubleOr(c, "lambda");
+          return std::make_unique<HdrfPartitioner>(o);
+        },
+        .streaming = true})
 
 }  // namespace dne

@@ -3,8 +3,11 @@
 #define DNE_PARTITION_HDRF_PARTITIONER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "partition/partitioner.h"
+#include "partition/replica_table.h"
+#include "partition/streaming_partitioner.h"
 
 namespace dne {
 
@@ -20,19 +23,41 @@ struct HdrfOptions {
 ///   C_bal(p) = lambda * (maxload - load_p) / (eps + maxload - minload).
 /// Low-degree endpoints dominate the score, so hubs get replicated first —
 /// the right choice on skewed graphs.
-class HdrfPartitioner : public Partitioner {
+///
+/// The batch path scores with exact degrees from the Graph; the streaming
+/// facet is the original one-pass HDRF, scoring with *partial* degrees
+/// counted over the prefix of the stream seen so far.
+class HdrfPartitioner : public Partitioner, public StreamingPartitioner {
  public:
   explicit HdrfPartitioner(const HdrfOptions& options = HdrfOptions{})
       : options_(options) {}
 
   std::string name() const override { return "hdrf"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+  StreamingPartitioner* streaming() override { return this; }
+
+  Status BeginStream(std::uint32_t num_partitions,
+                     const PartitionContext& ctx) override;
+  using StreamingPartitioner::BeginStream;
+  Status AddEdges(std::span<const Edge> edges) override;
+  Status Finish(EdgePartition* out) override;
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
 
  private:
   HdrfOptions options_;
-  PartitionRunStats stats_;
+
+  bool stream_open_ = false;
+  std::uint32_t stream_k_ = 0;
+  PartitionContext stream_ctx_;
+  ReplicaTable stream_replicas_;
+  std::vector<std::uint64_t> stream_partial_degree_;
+  std::vector<std::uint64_t> stream_load_;
+  std::uint64_t stream_max_load_ = 0;
+  std::uint64_t stream_min_load_ = 0;
+  std::vector<PartitionId> stream_assign_;
 };
 
 }  // namespace dne

@@ -1,45 +1,131 @@
 #include "partition/hybrid_hash_partitioner.h"
 
 #include "common/hash.h"
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 
-Status HybridHashPartitioner::Partition(const Graph& g,
-                                        std::uint32_t num_partitions,
-                                        EdgePartition* out) {
+namespace {
+constexpr EdgeId kCheckStride = 8192;
+
+PartitionId HybridAssign(const Edge& ed, std::uint64_t du, std::uint64_t dv,
+                         std::size_t threshold, std::uint64_t seed,
+                         std::uint32_t num_partitions) {
+  const bool src_low = du <= threshold;
+  const bool dst_low = dv <= threshold;
+  VertexId key;
+  if (src_low && dst_low) {
+    // Both low: co-locate with the lower-degree endpoint (keeps small
+    // vertices whole).
+    key = du <= dv ? ed.src : ed.dst;
+  } else if (src_low) {
+    key = ed.src;  // dst is a hub: spread its edges by the low side
+  } else if (dst_low) {
+    key = ed.dst;
+  } else {
+    // Hub-hub edge: fall back to edge hashing.
+    return static_cast<PartitionId>(HashEdge(ed.src, ed.dst, seed) %
+                                    num_partitions);
+  }
+  return static_cast<PartitionId>(HashVertex(key, seed) % num_partitions);
+}
+
+OptionSchema HybridSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "vertex/edge hash seed"),
+      OptionSpec::Uint("degree_threshold", 100,
+                       "PowerLyra theta: degrees above it are hubs")};
+}
+}  // namespace
+
+Status HybridHashPartitioner::PartitionImpl(const Graph& g,
+                                            std::uint32_t num_partitions,
+                                            const PartitionContext& ctx,
+                                            EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
-  *out = EdgePartition(num_partitions, g.NumEdges());
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    const Edge& ed = g.edge(e);
-    const bool src_low = g.degree(ed.src) <= threshold_;
-    const bool dst_low = g.degree(ed.dst) <= threshold_;
-    VertexId key;
-    if (src_low && dst_low) {
-      // Both low: co-locate with the lower-degree endpoint (keeps small
-      // vertices whole).
-      key = g.degree(ed.src) <= g.degree(ed.dst) ? ed.src : ed.dst;
-    } else if (src_low) {
-      key = ed.src;  // dst is a hub: spread its edges by the low side
-    } else if (dst_low) {
-      key = ed.dst;
-    } else {
-      // Hub-hub edge: fall back to edge hashing.
-      out->Set(e, static_cast<PartitionId>(HashEdge(ed.src, ed.dst, seed_) %
-                                           num_partitions));
-      continue;
+  const std::uint64_t seed = ctx.EffectiveSeed(seed_);
+  const EdgeId m = g.NumEdges();
+  *out = EdgePartition(num_partitions, m);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (e % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+      ctx.ReportProgress("edges", e, m);
     }
-    out->Set(e,
-             static_cast<PartitionId>(HashVertex(key, seed_) % num_partitions));
+    const Edge& ed = g.edge(e);
+    out->Set(e, HybridAssign(ed, g.degree(ed.src), g.degree(ed.dst),
+                             threshold_, seed, num_partitions));
   }
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
+  ctx.ReportProgress("edges", m, m);
   stats_.peak_memory_bytes =
-      g.NumEdges() * sizeof(Edge) + g.NumVertices() * sizeof(std::uint32_t);
+      m * sizeof(Edge) + g.NumVertices() * sizeof(std::uint32_t);
   return Status::OK();
 }
+
+Status HybridHashPartitioner::BeginStream(std::uint32_t num_partitions,
+                                          const PartitionContext& ctx) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  stream_open_ = true;
+  stream_k_ = num_partitions;
+  stream_seed_ = ctx.EffectiveSeed(seed_);
+  stream_ctx_ = ctx;
+  stream_buffer_.clear();
+  stream_degree_.clear();
+  return Status::OK();
+}
+
+Status HybridHashPartitioner::AddEdges(std::span<const Edge> edges) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("AddEdges before BeginStream");
+  }
+  DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+  stream_buffer_.insert(stream_buffer_.end(), edges.begin(), edges.end());
+  for (const Edge& ed : edges) {
+    ++stream_degree_[ed.src];
+    ++stream_degree_[ed.dst];
+  }
+  return Status::OK();
+}
+
+Status HybridHashPartitioner::Finish(EdgePartition* out) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("Finish before BeginStream");
+  }
+  *out = EdgePartition(stream_k_, stream_buffer_.size());
+  for (EdgeId e = 0; e < stream_buffer_.size(); ++e) {
+    if (e % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+    }
+    const Edge& ed = stream_buffer_[e];
+    out->Set(e, HybridAssign(ed, stream_degree_[ed.src],
+                             stream_degree_[ed.dst], threshold_, stream_seed_,
+                             stream_k_));
+  }
+  // The stream only closes once the placement loop survives cancellation,
+  // so a cancelled Finish() can be retried with the buffer intact.
+  stream_open_ = false;
+  stream_buffer_.clear();
+  stream_degree_.clear();
+  return Status::OK();
+}
+
+DNE_REGISTER_PARTITIONER(
+    hybrid,
+    PartitionerInfo{
+        .name = "hybrid",
+        .description = "PowerLyra hybrid-cut: low-degree locality, hub spread",
+        .paper_order = 40,
+        .schema = HybridSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = HybridSchema();
+          return std::make_unique<HybridHashPartitioner>(
+              static_cast<std::size_t>(s.UintOr(c, "degree_threshold")),
+              s.UintOr(c, "seed"));
+        },
+        .streaming = true})
 
 }  // namespace dne

@@ -5,12 +5,19 @@
 #define DNE_PARTITION_HYBRID_HASH_PARTITIONER_H_
 
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 #include "partition/partitioner.h"
+#include "partition/streaming_partitioner.h"
 
 namespace dne {
 
-class HybridHashPartitioner : public Partitioner {
+/// The streaming facet buffers the stream and counts degrees as chunks
+/// arrive (the low/high-degree split is a whole-stream property), then
+/// applies the hybrid-cut rule at Finish() — matching the batch assignment
+/// exactly on a canonical edge stream.
+class HybridHashPartitioner : public Partitioner, public StreamingPartitioner {
  public:
   /// `degree_threshold` is PowerLyra's theta: vertices with degree above it
   /// are treated as high-degree (default 100, the PowerLyra default).
@@ -19,14 +26,29 @@ class HybridHashPartitioner : public Partitioner {
       : threshold_(degree_threshold), seed_(seed) {}
 
   std::string name() const override { return "hybrid"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+  StreamingPartitioner* streaming() override { return this; }
+
+  Status BeginStream(std::uint32_t num_partitions,
+                     const PartitionContext& ctx) override;
+  using StreamingPartitioner::BeginStream;
+  Status AddEdges(std::span<const Edge> edges) override;
+  Status Finish(EdgePartition* out) override;
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
 
  private:
   std::size_t threshold_;
   std::uint64_t seed_;
-  PartitionRunStats stats_;
+
+  bool stream_open_ = false;
+  std::uint32_t stream_k_ = 0;
+  std::uint64_t stream_seed_ = 0;
+  PartitionContext stream_ctx_;
+  std::vector<Edge> stream_buffer_;
+  std::unordered_map<VertexId, std::uint64_t> stream_degree_;
 };
 
 }  // namespace dne

@@ -6,12 +6,23 @@
 #include <vector>
 
 #include "common/hash.h"
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 #include "partition/vertex_to_edge.h"
 
 namespace dne {
 
 namespace {
+
+OptionSchema MultilevelSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "matching / initial-partition seed"),
+      OptionSpec::Double("balance_slack", 1.05, 1.0, 10.0,
+                         "vertex-weight balance slack during refinement"),
+      OptionSpec::Int("refine_passes", 4, 0, 1000,
+                      "boundary-refinement sweeps per level"),
+      OptionSpec::Int("coarsest_vertices_per_part", 30, 1, 100000,
+                      "coarsening stops near P * this many vertices")};
+}
 
 // Weighted graph used across coarsening levels.
 struct WGraph {
@@ -242,16 +253,17 @@ void Refine(const WGraph& g, std::uint32_t num_parts, double slack,
 
 }  // namespace
 
-Status MultilevelPartitioner::Partition(const Graph& g,
-                                        std::uint32_t num_partitions,
-                                        EdgePartition* out) {
+Status MultilevelPartitioner::PartitionImpl(const Graph& g,
+                                            std::uint32_t num_partitions,
+                                            const PartitionContext& ctx,
+                                            EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
   if (g.NumVertices() >= UINT32_MAX) {
     return Status::NotSupported("multilevel limited to < 2^32 vertices");
   }
-  WallTimer timer;
+  const std::uint64_t seed = ctx.EffectiveSeed(options_.seed);
 
   // --- Coarsening ---------------------------------------------------------
   std::vector<WGraph> levels;
@@ -262,9 +274,11 @@ Status MultilevelPartitioner::Partition(const Graph& g,
       std::max<std::uint32_t>(64, num_partitions *
                                       options_.coarsest_vertices_per_part);
   while (levels.back().n() > coarsest) {
+    DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+    ctx.ReportProgress("coarsen", levels.size(), 0);
     const WGraph& fine = levels.back();
     std::vector<std::uint32_t> match =
-        HeavyEdgeMatch(fine, options_.seed + levels.size());
+        HeavyEdgeMatch(fine, seed + levels.size());
     std::vector<std::uint32_t> fine_to_coarse;
     WGraph coarse = Contract(fine, match, &fine_to_coarse);
     if (coarse.n() > fine.n() * 95 / 100) break;  // diminishing returns
@@ -275,27 +289,46 @@ Status MultilevelPartitioner::Partition(const Graph& g,
 
   // --- Initial partition + uncoarsening with refinement -------------------
   std::vector<PartitionId> part =
-      InitialPartition(levels.back(), num_partitions, options_.seed);
+      InitialPartition(levels.back(), num_partitions, seed);
   Refine(levels.back(), num_partitions, options_.balance_slack,
-         options_.refine_passes, options_.seed, &part);
+         options_.refine_passes, seed, &part);
   for (std::size_t lvl = maps.size(); lvl-- > 0;) {
+    DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+    ctx.ReportProgress("uncoarsen", maps.size() - lvl, maps.size());
     const std::vector<std::uint32_t>& map = maps[lvl];
     std::vector<PartitionId> finer(map.size());
     for (std::uint32_t v = 0; v < map.size(); ++v) finer[v] = part[map[v]];
     part = std::move(finer);
     Refine(levels[lvl], num_partitions, options_.balance_slack,
-           options_.refine_passes, options_.seed + lvl, &part);
+           options_.refine_passes, seed + lvl, &part);
   }
 
   labels_.assign(part.begin(), part.end());
-  *out = VertexToEdgePartition(g, labels_, num_partitions, options_.seed);
+  *out = VertexToEdgePartition(g, labels_, num_partitions, seed);
 
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
   // The coarsening hierarchy keeps every level resident — the memory
   // multiplier the paper calls out for ParMETIS in Sec. 7.3.
   stats_.peak_memory_bytes = g.MemoryBytes() + mem_all_levels;
   return Status::OK();
 }
+
+DNE_REGISTER_PARTITIONER(
+    multilevel,
+    PartitionerInfo{
+        .name = "multilevel",
+        .description = "ParMETIS-style multilevel k-way vertex partitioning",
+        .paper_order = 140,
+        .schema = MultilevelSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = MultilevelSchema();
+          MultilevelOptions o;
+          o.seed = s.UintOr(c, "seed");
+          o.balance_slack = s.DoubleOr(c, "balance_slack");
+          o.refine_passes = static_cast<int>(s.IntOr(c, "refine_passes"));
+          o.coarsest_vertices_per_part =
+              static_cast<int>(s.IntOr(c, "coarsest_vertices_per_part"));
+          return std::make_unique<MultilevelPartitioner>(o);
+        }})
 
 }  // namespace dne

@@ -29,16 +29,17 @@ class MultilevelPartitioner : public Partitioner {
       : options_(options) {}
 
   std::string name() const override { return "multilevel"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
 
   /// The underlying vertex labelling of the last run (for tests).
   const std::vector<PartitionId>& vertex_labels() const { return labels_; }
 
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
+
  private:
   MultilevelOptions options_;
-  PartitionRunStats stats_;
   std::vector<PartitionId> labels_;
 };
 

@@ -8,7 +8,7 @@
 
 #include "common/hash.h"
 #include "common/random.h"
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 
@@ -27,22 +27,29 @@ struct HeapEntry {
 using MinHeap =
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
 
+OptionSchema NeSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "expansion seed-vertex RNG seed"),
+      OptionSpec::Double("alpha", 1.1, 1.0, 10.0,
+                         "balance slack of Eq. (2)")};
+}
+
 }  // namespace
 
-Status NePartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
-                                EdgePartition* out) {
+Status NePartitioner::PartitionImpl(const Graph& g,
+                                    std::uint32_t num_partitions,
+                                    const PartitionContext& ctx,
+                                    EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
   if (options_.alpha < 1.0) {
     return Status::InvalidArgument("alpha must be >= 1.0");
   }
-  WallTimer timer;
   const EdgeId num_edges = g.NumEdges();
   const VertexId n = g.NumVertices();
   *out = EdgePartition(num_partitions, num_edges);
   if (num_edges == 0) {
-    stats_ = PartitionRunStats{};
     return Status::OK();
   }
 
@@ -61,12 +68,12 @@ Status NePartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
   // global cursor; a few random probes first keep the choice near-uniform.
   std::vector<VertexId> shuffled(n);
   std::iota(shuffled.begin(), shuffled.end(), VertexId{0});
-  const std::uint64_t seed = options_.seed;
+  const std::uint64_t seed = ctx.EffectiveSeed(options_.seed);
   std::sort(shuffled.begin(), shuffled.end(), [seed](VertexId a, VertexId b) {
     return Mix64(a ^ seed) < Mix64(b ^ seed);
   });
   std::size_t cursor = 0;
-  SplitMix64 rng(options_.seed);
+  SplitMix64 rng(seed);
   auto next_free_vertex = [&]() -> VertexId {
     for (int probe = 0; probe < 16; ++probe) {
       VertexId v = shuffled[rng.Below(n)];
@@ -83,6 +90,8 @@ Status NePartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
 
   for (PartitionId p = 0; p < num_partitions; ++p) {
     if (total_allocated == num_edges) break;
+    DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+    ctx.ReportProgress("partition", p, num_partitions);
     const bool last = (p + 1 == num_partitions);
     const std::uint64_t limit =
         last ? num_edges : base_limit;  // last partition absorbs the rest
@@ -143,8 +152,6 @@ Status NePartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
     }
   }
 
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
   stats_.peak_memory_bytes =
       g.MemoryBytes() + n * (sizeof(std::uint32_t) * 2) + num_edges / 8 +
       n * sizeof(VertexId);
@@ -152,5 +159,21 @@ Status NePartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
   if (!st.ok()) return st;
   return Status::OK();
 }
+
+DNE_REGISTER_PARTITIONER(
+    ne,
+    PartitionerInfo{
+        .name = "ne",
+        .description = "sequential neighbour expansion (quality gold standard)",
+        .paper_order = 90,
+        .schema = NeSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = NeSchema();
+          NeOptions o;
+          o.seed = s.UintOr(c, "seed");
+          o.alpha = s.DoubleOr(c, "alpha");
+          return std::make_unique<NePartitioner>(o);
+        }})
 
 }  // namespace dne

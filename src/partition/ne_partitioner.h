@@ -28,13 +28,14 @@ class NePartitioner : public Partitioner {
       : options_(options) {}
 
   std::string name() const override { return "ne"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
 
  private:
   NeOptions options_;
-  PartitionRunStats stats_;
 };
 
 }  // namespace dne

@@ -5,72 +5,155 @@
 #include <vector>
 
 #include "common/hash.h"
-#include "common/timer.h"
-#include "partition/replica_table.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 
-Status ObliviousPartitioner::Partition(const Graph& g,
-                                       std::uint32_t num_partitions,
-                                       EdgePartition* out) {
+namespace {
+constexpr EdgeId kCheckStride = 8192;
+
+// The PowerGraph candidate rules over the current replica sets; `scratch`
+// avoids re-allocating the candidate vector per edge.
+PartitionId PlaceGreedy(const ReplicaTable& replicas,
+                        const std::vector<std::uint64_t>& load, VertexId u,
+                        VertexId v, std::uint32_t num_partitions,
+                        std::vector<PartitionId>* scratch) {
+  const auto& au = replicas.of(u);
+  const auto& av = replicas.of(v);
+  std::vector<PartitionId>& candidates = *scratch;
+  candidates.clear();
+  std::set_intersection(au.begin(), au.end(), av.begin(), av.end(),
+                        std::back_inserter(candidates));
+  if (candidates.empty()) {
+    if (!au.empty() && !av.empty()) {
+      std::set_union(au.begin(), au.end(), av.begin(), av.end(),
+                     std::back_inserter(candidates));
+    } else if (!au.empty()) {
+      candidates = au;
+    } else if (!av.empty()) {
+      candidates = av;
+    } else {
+      candidates.resize(num_partitions);
+      std::iota(candidates.begin(), candidates.end(), PartitionId{0});
+    }
+  }
+  PartitionId best = candidates[0];
+  for (PartitionId p : candidates) {
+    if (load[p] < load[best]) best = p;
+  }
+  return best;
+}
+
+OptionSchema ObliviousSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "stream shuffle seed (batch path)")};
+}
+}  // namespace
+
+Status ObliviousPartitioner::PartitionImpl(const Graph& g,
+                                           std::uint32_t num_partitions,
+                                           const PartitionContext& ctx,
+                                           EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
-  *out = EdgePartition(num_partitions, g.NumEdges());
+  const std::uint64_t seed = ctx.EffectiveSeed(seed_);
+  const EdgeId m = g.NumEdges();
+  *out = EdgePartition(num_partitions, m);
   ReplicaTable replicas(g.NumVertices());
   std::vector<std::uint64_t> load(num_partitions, 0);
 
   // Deterministic shuffled streaming order.
-  std::vector<EdgeId> order(g.NumEdges());
+  std::vector<EdgeId> order(m);
   std::iota(order.begin(), order.end(), EdgeId{0});
-  std::sort(order.begin(), order.end(), [this](EdgeId a, EdgeId b) {
-    return Mix64(a ^ seed_) < Mix64(b ^ seed_);
+  std::sort(order.begin(), order.end(), [seed](EdgeId a, EdgeId b) {
+    return Mix64(a ^ seed) < Mix64(b ^ seed);
   });
 
-  auto least_loaded_in = [&](const std::vector<PartitionId>& cands) {
-    PartitionId best = cands[0];
-    for (PartitionId p : cands) {
-      if (load[p] < load[best]) best = p;
-    }
-    return best;
-  };
-
-  std::vector<PartitionId> candidates;
+  std::vector<PartitionId> scratch;
+  EdgeId processed = 0;
   for (EdgeId e : order) {
-    const Edge& ed = g.edge(e);
-    const auto& au = replicas.of(ed.src);
-    const auto& av = replicas.of(ed.dst);
-
-    candidates.clear();
-    std::set_intersection(au.begin(), au.end(), av.begin(), av.end(),
-                          std::back_inserter(candidates));
-    if (candidates.empty()) {
-      if (!au.empty() && !av.empty()) {
-        std::set_union(au.begin(), au.end(), av.begin(), av.end(),
-                       std::back_inserter(candidates));
-      } else if (!au.empty()) {
-        candidates = au;
-      } else if (!av.empty()) {
-        candidates = av;
-      } else {
-        candidates.resize(num_partitions);
-        std::iota(candidates.begin(), candidates.end(), PartitionId{0});
-      }
+    if (processed % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+      ctx.ReportProgress("edges", processed, m);
     }
-    const PartitionId p = least_loaded_in(candidates);
+    ++processed;
+    const Edge& ed = g.edge(e);
+    const PartitionId p = PlaceGreedy(replicas, load, ed.src, ed.dst,
+                                      num_partitions, &scratch);
     out->Set(e, p);
     ++load[p];
     replicas.Add(ed.src, p);
     replicas.Add(ed.dst, p);
   }
+  ctx.ReportProgress("edges", m, m);
 
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
-  stats_.peak_memory_bytes = g.NumEdges() * sizeof(Edge) +
-                             replicas.MemoryBytes() +
+  stats_.peak_memory_bytes = m * sizeof(Edge) + replicas.MemoryBytes() +
                              load.size() * sizeof(std::uint64_t);
   return Status::OK();
 }
+
+Status ObliviousPartitioner::BeginStream(std::uint32_t num_partitions,
+                                         const PartitionContext& ctx) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  stream_open_ = true;
+  stream_k_ = num_partitions;
+  stream_ctx_ = ctx;
+  stream_replicas_ = ReplicaTable(0);
+  stream_load_.assign(num_partitions, 0);
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+Status ObliviousPartitioner::AddEdges(std::span<const Edge> edges) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("AddEdges before BeginStream");
+  }
+  std::size_t i = 0;
+  for (const Edge& ed : edges) {
+    if (i++ % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+    }
+    stream_replicas_.EnsureVertex(std::max(ed.src, ed.dst));
+    const PartitionId p =
+        PlaceGreedy(stream_replicas_, stream_load_, ed.src, ed.dst, stream_k_,
+                    &stream_scratch_);
+    stream_assign_.push_back(p);
+    ++stream_load_[p];
+    stream_replicas_.Add(ed.src, p);
+    stream_replicas_.Add(ed.dst, p);
+  }
+  return Status::OK();
+}
+
+Status ObliviousPartitioner::Finish(EdgePartition* out) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("Finish before BeginStream");
+  }
+  stream_open_ = false;
+  *out = EdgePartition(stream_k_, stream_assign_.size());
+  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
+    out->Set(e, stream_assign_[e]);
+  }
+  stream_replicas_ = ReplicaTable(0);
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+DNE_REGISTER_PARTITIONER(
+    oblivious,
+    PartitionerInfo{
+        .name = "oblivious",
+        .description = "PowerGraph coordination-free greedy edge placement",
+        .paper_order = 50,
+        .schema = ObliviousSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          return std::make_unique<ObliviousPartitioner>(
+              ObliviousSchema().UintOr(c, "seed"));
+        },
+        .streaming = true})
 
 }  // namespace dne

@@ -4,8 +4,11 @@
 #define DNE_PARTITION_OBLIVIOUS_PARTITIONER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "partition/partitioner.h"
+#include "partition/replica_table.h"
+#include "partition/streaming_partitioner.h"
 
 namespace dne {
 
@@ -15,18 +18,38 @@ namespace dne {
 ///   2. both non-empty, no intersection    -> least-loaded in A(u) u A(v)
 ///   3. exactly one non-empty              -> least-loaded in that set
 ///   4. both empty                         -> least-loaded overall
-class ObliviousPartitioner : public Partitioner {
+///
+/// The streaming facet is the same greedy applied in arrival order (a true
+/// online algorithm: per-vertex replica sets plus loads, nothing buffered),
+/// so it diverges from the batch path's shuffled order by design.
+class ObliviousPartitioner : public Partitioner, public StreamingPartitioner {
  public:
   explicit ObliviousPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
 
   std::string name() const override { return "oblivious"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+  StreamingPartitioner* streaming() override { return this; }
+
+  Status BeginStream(std::uint32_t num_partitions,
+                     const PartitionContext& ctx) override;
+  using StreamingPartitioner::BeginStream;
+  Status AddEdges(std::span<const Edge> edges) override;
+  Status Finish(EdgePartition* out) override;
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
 
  private:
   std::uint64_t seed_;
-  PartitionRunStats stats_;
+
+  bool stream_open_ = false;
+  std::uint32_t stream_k_ = 0;
+  PartitionContext stream_ctx_;
+  ReplicaTable stream_replicas_;
+  std::vector<std::uint64_t> stream_load_;
+  std::vector<PartitionId> stream_assign_;
+  std::vector<PartitionId> stream_scratch_;
 };
 
 }  // namespace dne

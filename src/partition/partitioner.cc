@@ -1,4 +1,25 @@
 #include "partition/partitioner.h"
 
-// Interface-only TU; anchors the vtable.
-namespace dne {}  // namespace dne
+#include "common/timer.h"
+
+namespace dne {
+
+Status Partitioner::Partition(const Graph& g, std::uint32_t num_partitions,
+                              const PartitionContext& ctx,
+                              EdgePartition* out) {
+  stats_ = PartitionRunStats{};
+  Status st = ctx.CheckCancelled();
+  WallTimer timer;
+  if (st.ok()) {
+    st = PartitionImpl(g, num_partitions, ctx, out);
+  }
+  // Uniform wall-time accounting: every algorithm — including the hash
+  // baselines that historically reported 0 — gets the measured time.
+  stats_.wall_seconds = timer.Seconds();
+  if (ctx.stats_sink != nullptr) {
+    ctx.stats_sink->Add(RunStatsSink::Record{name(), stats_, st});
+  }
+  return st;
+}
+
+}  // namespace dne

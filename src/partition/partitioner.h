@@ -1,20 +1,33 @@
 // Partitioner: the public interface every edge-partitioning algorithm
 // implements (the paper's f : E -> {E_p}, Eq. (2)).
+//
+// The public entry point is the non-virtual Partition(), a template method
+// that resets the run stats, times the run, forwards to the algorithm's
+// PartitionImpl(), stamps the measured wall time into the stats (uniformly,
+// for every algorithm — hash partitioners included) and publishes the record
+// to the context's RunStatsSink. Algorithms only implement PartitionImpl()
+// and fill the stats fields they actually know (sim time, comm bytes, peak
+// memory, supersteps).
 #ifndef DNE_PARTITION_PARTITIONER_H_
 #define DNE_PARTITION_PARTITIONER_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "core/partition_context.h"
 #include "graph/graph.h"
 #include "partition/edge_partition.h"
 
 namespace dne {
 
-/// Performance/footprint numbers a partitioner reports after a run. Hash
-/// partitioners fill only the trivially-known fields; the distributed
-/// algorithms (DNE, multilevel, LP, Sheep) fill all of them.
+class StreamingPartitioner;  // partition/streaming_partitioner.h
+
+/// Performance/footprint numbers a partitioner reports after a run. The
+/// wall_seconds field is always populated by the Partition() harness; the
+/// distributed algorithms (DNE, multilevel, LP, Sheep) additionally fill the
+/// simulated-cluster fields.
 struct PartitionRunStats {
   double wall_seconds = 0.0;      ///< measured wall-clock partitioning time
   double sim_seconds = 0.0;       ///< CostModel time on the simulated cluster
@@ -29,6 +42,27 @@ struct PartitionRunStats {
   }
 };
 
+/// Uniform per-run stats collection across algorithms: hand one sink to a
+/// PartitionContext, run any number of partitioners, read the records back.
+class RunStatsSink {
+ public:
+  struct Record {
+    std::string partitioner;   ///< Partitioner::name() of the run
+    PartitionRunStats stats;   ///< wall time always populated
+    Status status;             ///< outcome of the run
+  };
+
+  void Add(Record record) { records_.push_back(std::move(record)); }
+  const std::vector<Record>& records() const { return records_; }
+  const Record* last() const {
+    return records_.empty() ? nullptr : &records_.back();
+  }
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
 /// Abstract |P|-way edge partitioner.
 class Partitioner {
  public:
@@ -37,13 +71,34 @@ class Partitioner {
   /// Short identifier, e.g. "dne", "hdrf", "grid".
   virtual std::string name() const = 0;
 
-  /// Partitions g into num_partitions edge sets. Implementations must leave
-  /// *out in a Validate()-clean state on OK.
-  virtual Status Partition(const Graph& g, std::uint32_t num_partitions,
-                           EdgePartition* out) = 0;
+  /// Partitions g into num_partitions edge sets under the given run
+  /// context. Implementations must leave *out in a Validate()-clean state
+  /// on OK. Non-virtual: resets + times the run and publishes stats.
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   const PartitionContext& ctx, EdgePartition* out);
 
-  /// Stats of the most recent Partition() call.
-  virtual PartitionRunStats run_stats() const { return PartitionRunStats{}; }
+  /// Convenience overload with a default (inert) context.
+  Status Partition(const Graph& g, std::uint32_t num_partitions,
+                   EdgePartition* out) {
+    return Partition(g, num_partitions, PartitionContext{}, out);
+  }
+
+  /// Stats of the most recent Partition() call. wall_seconds is populated
+  /// for every algorithm by the Partition() harness.
+  PartitionRunStats run_stats() const { return stats_; }
+
+  /// The streaming facet of this algorithm, or nullptr if it only supports
+  /// batch partitioning. Never owning; valid for this object's lifetime.
+  virtual StreamingPartitioner* streaming() { return nullptr; }
+
+ protected:
+  /// The algorithm. May fill every stats_ field except wall_seconds (the
+  /// harness overwrites it with the measured time).
+  virtual Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                               const PartitionContext& ctx,
+                               EdgePartition* out) = 0;
+
+  PartitionRunStats stats_;
 };
 
 }  // namespace dne

@@ -1,27 +1,94 @@
 #include "partition/random_partitioner.h"
 
 #include "common/hash.h"
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 
-Status RandomPartitioner::Partition(const Graph& g,
-                                    std::uint32_t num_partitions,
-                                    EdgePartition* out) {
+namespace {
+// Cooperative-cancellation poll interval for tight per-edge loops.
+constexpr EdgeId kCheckStride = 8192;
+
+OptionSchema RandomSchema() {
+  return OptionSchema{OptionSpec::Uint("seed", 1, "edge hash seed")};
+}
+}  // namespace
+
+Status RandomPartitioner::PartitionImpl(const Graph& g,
+                                        std::uint32_t num_partitions,
+                                        const PartitionContext& ctx,
+                                        EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
-  *out = EdgePartition(num_partitions, g.NumEdges());
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+  const std::uint64_t seed = ctx.EffectiveSeed(seed_);
+  const EdgeId m = g.NumEdges();
+  *out = EdgePartition(num_partitions, m);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (e % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+      ctx.ReportProgress("edges", e, m);
+    }
     const Edge& ed = g.edge(e);
-    out->Set(e, static_cast<PartitionId>(HashEdge(ed.src, ed.dst, seed_) %
+    out->Set(e, static_cast<PartitionId>(HashEdge(ed.src, ed.dst, seed) %
                                          num_partitions));
   }
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
-  stats_.peak_memory_bytes = g.NumEdges() * sizeof(Edge);
+  ctx.ReportProgress("edges", m, m);
+  stats_.peak_memory_bytes = m * sizeof(Edge);
   return Status::OK();
 }
+
+Status RandomPartitioner::BeginStream(std::uint32_t num_partitions,
+                                      const PartitionContext& ctx) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  stream_open_ = true;
+  stream_k_ = num_partitions;
+  stream_seed_ = ctx.EffectiveSeed(seed_);
+  stream_ctx_ = ctx;
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+Status RandomPartitioner::AddEdges(std::span<const Edge> edges) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("AddEdges before BeginStream");
+  }
+  DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+  stream_assign_.reserve(stream_assign_.size() + edges.size());
+  for (const Edge& ed : edges) {
+    stream_assign_.push_back(static_cast<PartitionId>(
+        HashEdge(ed.src, ed.dst, stream_seed_) % stream_k_));
+  }
+  return Status::OK();
+}
+
+Status RandomPartitioner::Finish(EdgePartition* out) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("Finish before BeginStream");
+  }
+  stream_open_ = false;
+  *out = EdgePartition(stream_k_, stream_assign_.size());
+  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
+    out->Set(e, stream_assign_[e]);
+  }
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+DNE_REGISTER_PARTITIONER(
+    random,
+    PartitionerInfo{
+        .name = "random",
+        .description = "1-D edge hashing, hash(e) mod P (Sec. 7 baseline)",
+        .paper_order = 10,
+        .schema = RandomSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          return std::make_unique<RandomPartitioner>(
+              RandomSchema().UintOr(c, "seed"));
+        },
+        .streaming = true})
 
 }  // namespace dne

@@ -3,24 +3,42 @@
 #define DNE_PARTITION_RANDOM_PARTITIONER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "partition/partitioner.h"
+#include "partition/streaming_partitioner.h"
 
 namespace dne {
 
 /// Assigns each edge to hash(edge) mod |P| — the paper's "Random" baseline.
-class RandomPartitioner : public Partitioner {
+/// Stateless per edge, so the streaming facet assigns chunks on arrival and
+/// reproduces the batch assignment bit-for-bit.
+class RandomPartitioner : public Partitioner, public StreamingPartitioner {
  public:
   explicit RandomPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
 
   std::string name() const override { return "random"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+  StreamingPartitioner* streaming() override { return this; }
+
+  Status BeginStream(std::uint32_t num_partitions,
+                     const PartitionContext& ctx) override;
+  using StreamingPartitioner::BeginStream;
+  Status AddEdges(std::span<const Edge> edges) override;
+  Status Finish(EdgePartition* out) override;
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
 
  private:
   std::uint64_t seed_;
-  PartitionRunStats stats_;
+
+  bool stream_open_ = false;
+  std::uint32_t stream_k_ = 0;
+  std::uint64_t stream_seed_ = 0;
+  PartitionContext stream_ctx_;
+  std::vector<PartitionId> stream_assign_;
 };
 
 }  // namespace dne

@@ -17,7 +17,15 @@ namespace dne {
 /// margin in both space and time.
 class ReplicaTable {
  public:
-  explicit ReplicaTable(VertexId num_vertices) : sets_(num_vertices) {}
+  explicit ReplicaTable(VertexId num_vertices = 0) : sets_(num_vertices) {}
+
+  /// Grows the table so that vertex v is addressable (streaming callers see
+  /// the vertex universe only as edges arrive). Never shrinks.
+  void EnsureVertex(VertexId v) {
+    if (v >= sets_.size()) sets_.resize(v + 1);
+  }
+
+  VertexId NumVertices() const { return sets_.size(); }
 
   bool Contains(VertexId v, PartitionId p) const {
     const auto& s = sets_[v];

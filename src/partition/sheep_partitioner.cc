@@ -4,11 +4,16 @@
 #include <numeric>
 #include <vector>
 
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 
 namespace {
+
+OptionSchema SheepSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "reserved (sheep is order-deterministic)")};
+}
 
 // Union-find with path halving, used for elimination-tree construction.
 class DisjointSet {
@@ -57,13 +62,13 @@ std::vector<VertexId> SheepPartitioner::BuildEliminationTree(
   return parent;
 }
 
-Status SheepPartitioner::Partition(const Graph& g,
-                                   std::uint32_t num_partitions,
-                                   EdgePartition* out) {
+Status SheepPartitioner::PartitionImpl(const Graph& g,
+                                       std::uint32_t num_partitions,
+                                       const PartitionContext& ctx,
+                                       EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
   const VertexId n = g.NumVertices();
   const EdgeId m = g.NumEdges();
 
@@ -80,8 +85,13 @@ Status SheepPartitioner::Partition(const Graph& g,
     rank[order[i]] = static_cast<std::uint32_t>(i);
   }
 
+  DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+  ctx.ReportProgress("stage", 1, 4);
+
   // 2. Elimination tree.
   std::vector<VertexId> parent = BuildEliminationTree(g, rank);
+  DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+  ctx.ReportProgress("stage", 2, 4);
 
   // 3. Map each edge onto the tree node of its lower-ranked endpoint (the
   //    vertex whose elimination consumes the edge); accumulate node weights.
@@ -126,6 +136,9 @@ Status SheepPartitioner::Partition(const Graph& g,
     }
   }
 
+  DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+  ctx.ReportProgress("stage", 3, 4);
+
   // 6. Edge partition: each edge follows its tree node.
   *out = EdgePartition(num_partitions, m);
   for (EdgeId e = 0; e < m; ++e) {
@@ -134,8 +147,7 @@ Status SheepPartitioner::Partition(const Graph& g,
     out->Set(e, vertex_part[node]);
   }
 
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
+  ctx.ReportProgress("stage", 4, 4);
   // Sheep keeps the graph, the elimination tree and several words of
   // per-vertex bookkeeping resident — the mem profile Fig. 9 reports.
   stats_.peak_memory_bytes =
@@ -143,5 +155,18 @@ Status SheepPartitioner::Partition(const Graph& g,
       n * (sizeof(VertexId) * 3 + sizeof(std::uint64_t) * 2);
   return Status::OK();
 }
+
+DNE_REGISTER_PARTITIONER(
+    sheep,
+    PartitionerInfo{
+        .name = "sheep",
+        .description = "elimination-tree translation + balanced subtree cuts",
+        .paper_order = 130,
+        .schema = SheepSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          return std::make_unique<SheepPartitioner>(
+              SheepSchema().UintOr(c, "seed"));
+        }})
 
 }  // namespace dne

@@ -16,18 +16,19 @@ class SheepPartitioner : public Partitioner {
   explicit SheepPartitioner(std::uint64_t seed = 1) : seed_(seed) {}
 
   std::string name() const override { return "sheep"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
 
   /// Exposed for tests: elimination-tree parent of each vertex under the
   /// degree ordering (kNoVertex for roots). parent rank is always higher.
   static std::vector<VertexId> BuildEliminationTree(
       const Graph& g, const std::vector<std::uint32_t>& rank);
 
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
+
  private:
   std::uint64_t seed_;
-  PartitionRunStats stats_;
 };
 
 }  // namespace dne

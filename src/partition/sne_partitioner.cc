@@ -1,13 +1,14 @@
 #include "partition/sne_partitioner.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "common/hash.h"
-#include "common/timer.h"
-#include "partition/replica_table.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 
@@ -39,14 +40,19 @@ struct ChunkGraph {
         std::lower_bound(vertices.begin(), vertices.end(), v) -
         vertices.begin());
   }
+
+  std::size_t MemoryBytes() const {
+    return vertices.size() * sizeof(VertexId) + arcs.size() * sizeof(Arc) +
+           offsets.size() * sizeof(std::uint32_t);
+  }
 };
 
-ChunkGraph BuildChunk(const Graph& g, const std::vector<EdgeId>& window) {
+ChunkGraph BuildChunk(std::span<const Edge> window) {
   ChunkGraph cg;
   cg.vertices.reserve(window.size() * 2);
-  for (EdgeId e : window) {
-    cg.vertices.push_back(g.edge(e).src);
-    cg.vertices.push_back(g.edge(e).dst);
+  for (const Edge& ed : window) {
+    cg.vertices.push_back(ed.src);
+    cg.vertices.push_back(ed.dst);
   }
   std::sort(cg.vertices.begin(), cg.vertices.end());
   cg.vertices.erase(std::unique(cg.vertices.begin(), cg.vertices.end()),
@@ -55,8 +61,8 @@ ChunkGraph BuildChunk(const Graph& g, const std::vector<EdgeId>& window) {
   cg.offsets.assign(nv + 1, 0);
   std::vector<std::uint32_t> lu(window.size()), lv(window.size());
   for (std::uint32_t i = 0; i < window.size(); ++i) {
-    lu[i] = cg.LocalId(g.edge(window[i]).src);
-    lv[i] = cg.LocalId(g.edge(window[i]).dst);
+    lu[i] = cg.LocalId(window[i].src);
+    lv[i] = cg.LocalId(window[i].dst);
     ++cg.offsets[lu[i] + 1];
     ++cg.offsets[lv[i] + 1];
   }
@@ -70,17 +76,140 @@ ChunkGraph BuildChunk(const Graph& g, const std::vector<EdgeId>& window) {
   return cg;
 }
 
+// Allocates every edge of `window`, writing window-local partition ids to
+// out_assign[0..window.size()). SNE fills partitions to completion in
+// sequence, exactly like NE, but only the current window is materialised;
+// the partition under construction carries over between windows via
+// *current, its boundary re-seeded from the replica table (vertices already
+// in V(E_p)). The partition limit is base_limit, except the last partition
+// which gets last_limit: the batch path passes |E| (the final partition
+// absorbs the remainder), while the streaming path passes base_limit too and
+// spills whatever a window cannot place (left kNoPartition here) onto the
+// least-loaded partitions itself.
+void ProcessSneWindow(std::span<const Edge> window,
+                      std::uint32_t num_partitions, std::uint64_t base_limit,
+                      std::uint64_t last_limit, ReplicaTable* replica_table,
+                      std::vector<std::uint64_t>* load_vec,
+                      PartitionId* current, PartitionId* out_assign,
+                      std::size_t* peak_window_bytes) {
+  if (window.empty()) return;
+  ReplicaTable& replicas = *replica_table;
+  std::vector<std::uint64_t>& load = *load_vec;
+  ChunkGraph cg = BuildChunk(window);
+  *peak_window_bytes = std::max(*peak_window_bytes, cg.MemoryBytes());
+  const std::uint32_t nv = static_cast<std::uint32_t>(cg.vertices.size());
+  if (nv > 0) replicas.EnsureVertex(cg.vertices.back());
+
+  std::vector<bool> edge_done(window.size(), false);
+  std::vector<std::uint32_t> rest(nv, 0);
+  for (std::uint32_t v = 0; v < nv; ++v) {
+    rest[v] = cg.offsets[v + 1] - cg.offsets[v];
+  }
+  std::uint32_t chunk_remaining = static_cast<std::uint32_t>(window.size());
+
+  std::vector<std::uint32_t> vx_epoch(nv, UINT32_MAX);
+  std::uint32_t free_cursor = 0;
+
+  while (chunk_remaining > 0) {
+    const bool last_partition = (*current + 1 == num_partitions);
+    const std::uint64_t limit = last_partition ? last_limit : base_limit;
+    if (load[*current] >= limit) {
+      if (!last_partition) {
+        ++*current;
+        continue;
+      }
+      break;  // every partition at capacity: the caller spills the remainder
+    }
+    const PartitionId p = *current;
+    // (Re)build p's boundary for this window: window vertices already in
+    // V(E_p) with unallocated window edges.
+    MinHeap boundary;
+    for (std::uint32_t v = 0; v < nv; ++v) {
+      if (rest[v] > 0 && replicas.Contains(cg.vertices[v], p)) {
+        vx_epoch[v] = p;
+        boundary.push(HeapEntry{rest[v], v});
+      }
+    }
+    auto allocate = [&](std::uint32_t widx, std::uint32_t a,
+                        std::uint32_t b) {
+      edge_done[widx] = true;
+      out_assign[widx] = p;
+      --rest[a];
+      --rest[b];
+      --chunk_remaining;
+      ++load[p];
+      replicas.Add(cg.vertices[a], p);
+      replicas.Add(cg.vertices[b], p);
+    };
+    while (load[p] < limit && chunk_remaining > 0) {
+      std::uint32_t v = UINT32_MAX;
+      while (!boundary.empty()) {
+        HeapEntry top = boundary.top();
+        boundary.pop();
+        if (rest[top.vertex] == 0) continue;
+        if (top.score != rest[top.vertex]) {
+          boundary.push(HeapEntry{rest[top.vertex], top.vertex});
+          continue;
+        }
+        v = top.vertex;
+        break;
+      }
+      if (v == UINT32_MAX) {
+        while (free_cursor < nv && rest[free_cursor] == 0) ++free_cursor;
+        if (free_cursor >= nv) break;  // window exhausted
+        v = static_cast<std::uint32_t>(free_cursor);
+      }
+      vx_epoch[v] = p;
+      for (std::uint32_t i = cg.offsets[v];
+           i < cg.offsets[v + 1] && load[p] < limit; ++i) {
+        const auto& arc = cg.arcs[i];
+        if (edge_done[arc.edge]) continue;
+        allocate(arc.edge, v, arc.to);
+        const std::uint32_t u = arc.to;
+        if (vx_epoch[u] != p) {
+          vx_epoch[u] = p;
+          // Two-hop allocation (Condition (5)) within the window.
+          for (std::uint32_t j = cg.offsets[u];
+               j < cg.offsets[u + 1] && load[p] < limit; ++j) {
+            const auto& arc2 = cg.arcs[j];
+            if (edge_done[arc2.edge] || vx_epoch[arc2.to] != p) continue;
+            allocate(arc2.edge, u, arc2.to);
+          }
+          if (rest[u] > 0) boundary.push(HeapEntry{rest[u], u});
+        }
+      }
+    }
+    if (load[*current] >= limit && !last_partition) {
+      ++*current;
+    } else if (chunk_remaining > 0 && boundary.empty() &&
+               free_cursor >= nv) {
+      break;  // defensive: nothing reachable (cannot normally happen)
+    }
+  }
+}
+
+OptionSchema SneSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "reserved (SNE is order-deterministic)"),
+      OptionSpec::Double("alpha", 1.1, 1.0, 10.0,
+                         "balance slack of Eq. (2)"),
+      OptionSpec::Int("chunks", 8, 1, 1 << 20,
+                      "stream chunk count (batch path; inverse memory "
+                      "budget)")};
+}
+
 }  // namespace
 
-Status SnePartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
-                                 EdgePartition* out) {
+Status SnePartitioner::PartitionImpl(const Graph& g,
+                                     std::uint32_t num_partitions,
+                                     const PartitionContext& ctx,
+                                     EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
   if (options_.chunks < 1) {
     return Status::InvalidArgument("chunks must be >= 1");
   }
-  WallTimer timer;
   const EdgeId m = g.NumEdges();
   *out = EdgePartition(num_partitions, m);
   ReplicaTable replicas(g.NumVertices());
@@ -94,121 +223,122 @@ Status SnePartitioner::Partition(const Graph& g, std::uint32_t num_partitions,
   // neighbourhoods of a source-vertex range, which is what lets in-window
   // expansion behave like NE (a uniformly sampled window would be a sparse
   // subgraph with no expandable structure).
-  std::vector<EdgeId> order(m);
-  std::iota(order.begin(), order.end(), EdgeId{0});
-
-  // SNE fills partitions to completion in sequence, exactly like NE, but
-  // only the current window of the stream is materialised. The partition
-  // under construction carries over between windows, its boundary re-seeded
-  // from the replica table (vertices already in V(E_p)).
+  const std::vector<Edge>& edges = g.edges().edges();
   PartitionId current = 0;
   const int chunks = options_.chunks;
   std::size_t peak_window_bytes = 0;
   for (int c = 0; c < chunks; ++c) {
+    DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+    ctx.ReportProgress("window", static_cast<std::uint64_t>(c),
+                       static_cast<std::uint64_t>(chunks));
     const std::size_t lo = static_cast<std::size_t>(m) * c / chunks;
     const std::size_t hi = static_cast<std::size_t>(m) * (c + 1) / chunks;
-    std::vector<EdgeId> window(order.begin() + lo, order.begin() + hi);
-    if (window.empty()) continue;
-    ChunkGraph cg = BuildChunk(g, window);
-    peak_window_bytes = std::max(
-        peak_window_bytes, cg.vertices.size() * sizeof(VertexId) +
-                               cg.arcs.size() * sizeof(ChunkGraph::Arc) +
-                               cg.offsets.size() * sizeof(std::uint32_t));
-    const std::uint32_t nv = static_cast<std::uint32_t>(cg.vertices.size());
-
-    std::vector<bool> edge_done(window.size(), false);
-    std::vector<std::uint32_t> rest(nv, 0);
-    for (std::uint32_t v = 0; v < nv; ++v) {
-      rest[v] = cg.offsets[v + 1] - cg.offsets[v];
-    }
-    std::uint32_t chunk_remaining =
-        static_cast<std::uint32_t>(window.size());
-
-    std::vector<std::uint32_t> vx_epoch(nv, UINT32_MAX);
-    std::uint32_t free_cursor = 0;
-
-    while (chunk_remaining > 0) {
-      const bool last_partition = (current + 1 == num_partitions);
-      const std::uint64_t limit = last_partition ? m : base_limit;
-      if (load[current] >= limit && !last_partition) {
-        ++current;
-        continue;
-      }
-      const PartitionId p = current;
-      // (Re)build p's boundary for this window: window vertices already in
-      // V(E_p) with unallocated window edges.
-      MinHeap boundary;
-      for (std::uint32_t v = 0; v < nv; ++v) {
-        if (rest[v] > 0 && replicas.Contains(cg.vertices[v], p)) {
-          vx_epoch[v] = p;
-          boundary.push(HeapEntry{rest[v], v});
-        }
-      }
-      auto allocate = [&](std::uint32_t widx, std::uint32_t a,
-                          std::uint32_t b) {
-        edge_done[widx] = true;
-        out->Set(window[widx], p);
-        --rest[a];
-        --rest[b];
-        --chunk_remaining;
-        ++load[p];
-        replicas.Add(cg.vertices[a], p);
-        replicas.Add(cg.vertices[b], p);
-      };
-      while (load[p] < limit && chunk_remaining > 0) {
-        std::uint32_t v = UINT32_MAX;
-        while (!boundary.empty()) {
-          HeapEntry top = boundary.top();
-          boundary.pop();
-          if (rest[top.vertex] == 0) continue;
-          if (top.score != rest[top.vertex]) {
-            boundary.push(HeapEntry{rest[top.vertex], top.vertex});
-            continue;
-          }
-          v = top.vertex;
-          break;
-        }
-        if (v == UINT32_MAX) {
-          while (free_cursor < nv && rest[free_cursor] == 0) ++free_cursor;
-          if (free_cursor >= nv) break;  // window exhausted
-          v = static_cast<std::uint32_t>(free_cursor);
-        }
-        vx_epoch[v] = p;
-        for (std::uint32_t i = cg.offsets[v];
-             i < cg.offsets[v + 1] && load[p] < limit; ++i) {
-          const auto& arc = cg.arcs[i];
-          if (edge_done[arc.edge]) continue;
-          allocate(arc.edge, v, arc.to);
-          const std::uint32_t u = arc.to;
-          if (vx_epoch[u] != p) {
-            vx_epoch[u] = p;
-            // Two-hop allocation (Condition (5)) within the window.
-            for (std::uint32_t j = cg.offsets[u];
-                 j < cg.offsets[u + 1] && load[p] < limit; ++j) {
-              const auto& arc2 = cg.arcs[j];
-              if (edge_done[arc2.edge] || vx_epoch[arc2.to] != p) continue;
-              allocate(arc2.edge, u, arc2.to);
-            }
-            if (rest[u] > 0) boundary.push(HeapEntry{rest[u], u});
-          }
-        }
-      }
-      if (load[current] >= limit && !last_partition) {
-        ++current;
-      } else if (chunk_remaining > 0 && boundary.empty() &&
-                 free_cursor >= nv) {
-        break;  // defensive: nothing reachable (cannot normally happen)
-      }
-    }
+    if (lo == hi) continue;
+    ProcessSneWindow(std::span<const Edge>(edges.data() + lo, hi - lo),
+                     num_partitions, base_limit, /*last_limit=*/m, &replicas,
+                     &load, &current, &out->mutable_assignment()[lo],
+                     &peak_window_bytes);
   }
+  ctx.ReportProgress("window", static_cast<std::uint64_t>(chunks),
+                     static_cast<std::uint64_t>(chunks));
 
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
   // SNE's defining property: only the window (not the whole graph) plus the
   // replica table is resident.
   stats_.peak_memory_bytes = peak_window_bytes + replicas.MemoryBytes() +
                              m * sizeof(PartitionId);
   return out->Validate(g);
 }
+
+Status SnePartitioner::BeginStream(std::uint32_t num_partitions,
+                                   const PartitionContext& ctx) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  stream_open_ = true;
+  stream_k_ = num_partitions;
+  stream_ctx_ = ctx;
+  stream_replicas_ = ReplicaTable(0);
+  stream_load_.assign(num_partitions, 0);
+  stream_current_ = 0;
+  stream_seen_ = 0;
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+Status SnePartitioner::AddEdges(std::span<const Edge> edges) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("AddEdges before BeginStream");
+  }
+  DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+  if (edges.empty()) return Status::OK();
+  stream_seen_ += edges.size();
+  // Capacity grows with the ingested prefix: alpha * seen / |P|. Unlike the
+  // batch path, the last partition is NOT unbounded (the stream length is
+  // unknown, and an open-ended sink would swallow every later chunk);
+  // whatever a window cannot place within the current capacity is spilled
+  // to the least-loaded partitions below.
+  const std::uint64_t base_limit = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(options_.alpha *
+                                    static_cast<double>(stream_seen_) /
+                                    stream_k_));
+  // Earlier partitions regain capacity as the limit grows: resume expansion
+  // from the least-loaded one instead of camping on the last.
+  if (stream_current_ + 1 == stream_k_) {
+    stream_current_ = static_cast<PartitionId>(
+        std::min_element(stream_load_.begin(), stream_load_.end()) -
+        stream_load_.begin());
+  }
+  const std::size_t offset = stream_assign_.size();
+  stream_assign_.resize(offset + edges.size(), kNoPartition);
+  std::size_t peak = 0;
+  ProcessSneWindow(edges, stream_k_, base_limit, /*last_limit=*/base_limit,
+                   &stream_replicas_, &stream_load_, &stream_current_,
+                   &stream_assign_[offset], &peak);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (stream_assign_[offset + i] != kNoPartition) continue;
+    const PartitionId p = static_cast<PartitionId>(
+        std::min_element(stream_load_.begin(), stream_load_.end()) -
+        stream_load_.begin());
+    stream_assign_[offset + i] = p;
+    ++stream_load_[p];
+    stream_replicas_.EnsureVertex(std::max(edges[i].src, edges[i].dst));
+    stream_replicas_.Add(edges[i].src, p);
+    stream_replicas_.Add(edges[i].dst, p);
+  }
+  stream_ctx_.ReportProgress("window", stream_seen_, 0);
+  return Status::OK();
+}
+
+Status SnePartitioner::Finish(EdgePartition* out) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("Finish before BeginStream");
+  }
+  stream_open_ = false;
+  *out = EdgePartition(stream_k_, stream_assign_.size());
+  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
+    out->Set(e, stream_assign_[e]);
+  }
+  stream_replicas_ = ReplicaTable(0);
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+DNE_REGISTER_PARTITIONER(
+    sne,
+    PartitionerInfo{
+        .name = "sne",
+        .description = "streaming neighbour expansion over bounded windows",
+        .paper_order = 100,
+        .schema = SneSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = SneSchema();
+          SneOptions o;
+          o.seed = s.UintOr(c, "seed");
+          o.alpha = s.DoubleOr(c, "alpha");
+          o.chunks = static_cast<int>(s.IntOr(c, "chunks"));
+          return std::make_unique<SnePartitioner>(o);
+        },
+        .streaming = true})
 
 }  // namespace dne

@@ -4,8 +4,11 @@
 #define DNE_PARTITION_SNE_PARTITIONER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "partition/partitioner.h"
+#include "partition/replica_table.h"
+#include "partition/streaming_partitioner.h"
 
 namespace dne {
 
@@ -22,19 +25,43 @@ struct SneOptions {
 /// Processes the edge stream chunk by chunk; inside each chunk runs
 /// NE-style expansion seeded from vertices already bound to each partition
 /// by earlier chunks (a global replica table), honouring global capacities.
-class SnePartitioner : public Partitioner {
+///
+/// The streaming facet treats every AddEdges() chunk as one expansion
+/// window — SNE is the natural chunked-ingestion algorithm. Since the total
+/// edge count is unknown mid-stream, per-partition capacity grows with the
+/// ingested prefix (alpha * seen / |P|); edges a window cannot place within
+/// the current capacity spill to the least-loaded partition, keeping the
+/// balance near alpha instead of dumping the stream's tail into one sink.
+class SnePartitioner : public Partitioner, public StreamingPartitioner {
  public:
   explicit SnePartitioner(const SneOptions& options = SneOptions{})
       : options_(options) {}
 
   std::string name() const override { return "sne"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+  StreamingPartitioner* streaming() override { return this; }
+
+  Status BeginStream(std::uint32_t num_partitions,
+                     const PartitionContext& ctx) override;
+  using StreamingPartitioner::BeginStream;
+  Status AddEdges(std::span<const Edge> edges) override;
+  Status Finish(EdgePartition* out) override;
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
 
  private:
   SneOptions options_;
-  PartitionRunStats stats_;
+
+  bool stream_open_ = false;
+  std::uint32_t stream_k_ = 0;
+  PartitionContext stream_ctx_;
+  ReplicaTable stream_replicas_;
+  std::vector<std::uint64_t> stream_load_;
+  PartitionId stream_current_ = 0;
+  std::uint64_t stream_seen_ = 0;
+  std::vector<PartitionId> stream_assign_;
 };
 
 }  // namespace dne

@@ -1,28 +1,37 @@
 #include "partition/spinner_partitioner.h"
 
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 #include "partition/label_propagation.h"
 #include "partition/vertex_to_edge.h"
 
 namespace dne {
 
-Status SpinnerPartitioner::Partition(const Graph& g,
-                                     std::uint32_t num_partitions,
-                                     EdgePartition* out) {
+namespace {
+OptionSchema SpinnerSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "random-init and tie-break seed"),
+      OptionSpec::Int("iterations", 20, 1, 100000,
+                      "label-propagation sweeps")};
+}
+}  // namespace
+
+Status SpinnerPartitioner::PartitionImpl(const Graph& g,
+                                         std::uint32_t num_partitions,
+                                         const PartitionContext& ctx,
+                                         EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
+  const std::uint64_t seed = ctx.EffectiveSeed(seed_);
   LabelPropagationOptions lp;
   lp.max_iterations = max_iterations_;
   lp.random_init = true;  // Spinner's defining trait: random start
   lp.balance_edges = false;
-  lp.seed = seed_;
+  lp.seed = seed;
   std::vector<PartitionId> labels =
       RunLabelPropagation(g, num_partitions, lp);
-  *out = VertexToEdgePartition(g, labels, num_partitions, seed_);
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
+  DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+  *out = VertexToEdgePartition(g, labels, num_partitions, seed);
   // Label propagation keeps the full bidirectional adjacency resident
   // (edges visible from both endpoints — the vertex-partitioning memory
   // profile Fig. 9 highlights) plus label and load arrays.
@@ -31,5 +40,20 @@ Status SpinnerPartitioner::Partition(const Graph& g,
                              num_partitions * sizeof(double);
   return Status::OK();
 }
+
+DNE_REGISTER_PARTITIONER(
+    spinner,
+    PartitionerInfo{
+        .name = "spinner",
+        .description = "capacity-aware label propagation from random labels",
+        .paper_order = 110,
+        .schema = SpinnerSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = SpinnerSchema();
+          return std::make_unique<SpinnerPartitioner>(
+              static_cast<int>(s.IntOr(c, "iterations")),
+              s.UintOr(c, "seed"));
+        }})
 
 }  // namespace dne

@@ -1,0 +1,92 @@
+#include "partition/streaming_adapter.h"
+
+#include "core/partitioner_registry.h"
+#include "graph/graph.h"
+
+namespace dne {
+
+namespace {
+constexpr EdgeId kCheckStride = 8192;
+
+OptionSchema DynamicSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "placement tie-break seed"),
+      OptionSpec::Double("alpha", 1.1, 1.0, 10.0,
+                         "balance slack for the online capacity guard")};
+}
+}  // namespace
+
+Status DynamicStreamPartitioner::PartitionImpl(const Graph& g,
+                                               std::uint32_t num_partitions,
+                                               const PartitionContext& ctx,
+                                               EdgePartition* out) {
+  DNE_RETURN_IF_ERROR(
+      StreamPartitionGraph(this, g, num_partitions, /*num_chunks=*/1, ctx,
+                           out));
+  stats_.peak_memory_bytes =
+      g.NumEdges() * sizeof(PartitionId) +
+      g.NumVertices() * sizeof(std::vector<PartitionId>);
+  return Status::OK();
+}
+
+Status DynamicStreamPartitioner::BeginStream(std::uint32_t num_partitions,
+                                             const PartitionContext& ctx) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  stream_open_ = true;
+  stream_k_ = num_partitions;
+  stream_ctx_ = ctx;
+  DynamicPartitionerOptions o = options_;
+  o.seed = ctx.EffectiveSeed(options_.seed);
+  stream_state_ = std::make_unique<DynamicEdgePartitioner>(num_partitions, o);
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+Status DynamicStreamPartitioner::AddEdges(std::span<const Edge> edges) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("AddEdges before BeginStream");
+  }
+  std::size_t i = 0;
+  for (const Edge& ed : edges) {
+    if (i++ % kCheckStride == 0) {
+      DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+    }
+    stream_assign_.push_back(stream_state_->AddEdge(ed.src, ed.dst));
+  }
+  return Status::OK();
+}
+
+Status DynamicStreamPartitioner::Finish(EdgePartition* out) {
+  if (!stream_open_) {
+    return Status::InvalidArgument("Finish before BeginStream");
+  }
+  stream_open_ = false;
+  *out = EdgePartition(stream_k_, stream_assign_.size());
+  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
+    out->Set(e, stream_assign_[e]);
+  }
+  stream_state_.reset();
+  stream_assign_.clear();
+  return Status::OK();
+}
+
+DNE_REGISTER_PARTITIONER(
+    dynamic,
+    PartitionerInfo{
+        .name = "dynamic",
+        .description = "online greedy placement (Leopard-style maintainer)",
+        .paper_order = 160,
+        .schema = DynamicSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = DynamicSchema();
+          DynamicPartitionerOptions o;
+          o.seed = s.UintOr(c, "seed");
+          o.alpha = s.DoubleOr(c, "alpha");
+          return std::make_unique<DynamicStreamPartitioner>(o);
+        },
+        .streaming = true})
+
+}  // namespace dne

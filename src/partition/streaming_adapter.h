@@ -1,0 +1,54 @@
+// DynamicStreamPartitioner: adapts DynamicEdgePartitioner (the Leopard-style
+// online maintainer, which lives outside the Partitioner hierarchy) to both
+// the Partitioner and StreamingPartitioner interfaces, so the dynamic
+// placement rule participates in the registry, the CLI, benches and the
+// unified chunked-ingestion scenario like every offline algorithm.
+#ifndef DNE_PARTITION_STREAMING_ADAPTER_H_
+#define DNE_PARTITION_STREAMING_ADAPTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "partition/dynamic_partitioner.h"
+#include "partition/partitioner.h"
+#include "partition/streaming_partitioner.h"
+
+namespace dne {
+
+/// Registry name: "dynamic". The batch path simply streams the graph's
+/// canonical edge array through the online placement rule in one chunk.
+class DynamicStreamPartitioner : public Partitioner,
+                                 public StreamingPartitioner {
+ public:
+  explicit DynamicStreamPartitioner(
+      const DynamicPartitionerOptions& options = DynamicPartitionerOptions{})
+      : options_(options) {}
+
+  std::string name() const override { return "dynamic"; }
+  StreamingPartitioner* streaming() override { return this; }
+
+  Status BeginStream(std::uint32_t num_partitions,
+                     const PartitionContext& ctx) override;
+  using StreamingPartitioner::BeginStream;
+  Status AddEdges(std::span<const Edge> edges) override;
+  Status Finish(EdgePartition* out) override;
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
+
+ private:
+  DynamicPartitionerOptions options_;
+
+  bool stream_open_ = false;
+  std::uint32_t stream_k_ = 0;
+  PartitionContext stream_ctx_;
+  std::unique_ptr<DynamicEdgePartitioner> stream_state_;
+  std::vector<PartitionId> stream_assign_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_STREAMING_ADAPTER_H_

@@ -1,0 +1,33 @@
+#include "partition/streaming_partitioner.h"
+
+#include <algorithm>
+
+#include "graph/graph.h"
+
+namespace dne {
+
+Status StreamPartitionGraph(StreamingPartitioner* streaming, const Graph& g,
+                            std::uint32_t num_partitions, int num_chunks,
+                            const PartitionContext& ctx, EdgePartition* out) {
+  if (streaming == nullptr) {
+    return Status::InvalidArgument("partitioner has no streaming facet");
+  }
+  if (num_chunks < 1) {
+    return Status::InvalidArgument("num_chunks must be >= 1");
+  }
+  DNE_RETURN_IF_ERROR(streaming->BeginStream(num_partitions, ctx));
+  const std::vector<Edge>& edges = g.edges().edges();
+  const std::size_t m = edges.size();
+  const std::size_t chunks = static_cast<std::size_t>(num_chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = m * c / chunks;
+    const std::size_t hi = m * (c + 1) / chunks;
+    if (lo == hi) continue;
+    DNE_RETURN_IF_ERROR(streaming->AddEdges(
+        std::span<const Edge>(edges.data() + lo, hi - lo)));
+    ctx.ReportProgress("chunk", c + 1, chunks);
+  }
+  return streaming->Finish(out);
+}
+
+}  // namespace dne

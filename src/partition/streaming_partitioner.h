@@ -1,0 +1,66 @@
+// StreamingPartitioner: one-pass chunked edge ingestion as a first-class
+// scenario. A caller opens a stream for |P| partitions, feeds edges in any
+// number of chunks (without ever materialising a Graph), and collects an
+// EdgePartition indexed by arrival order:
+//
+//   StreamingPartitioner* s = partitioner->streaming();
+//   s->BeginStream(k, ctx);
+//   while (more edges) s->AddEdges(chunk);
+//   s->Finish(&partition);   // partition.Get(i) = i-th streamed edge
+//
+// Two implementation families exist behind the same interface: the online
+// methods (random, grid, oblivious, hdrf, sne, dynamic) decide placements as
+// chunks arrive and hold only per-vertex state, while the degree-dependent
+// hash methods (dbh, hybrid, ginger) buffer the stream and place edges at
+// Finish() once the final degrees are known — exactly reproducing their
+// batch assignment when fed a graph's canonical edge array.
+#ifndef DNE_PARTITION_STREAMING_PARTITIONER_H_
+#define DNE_PARTITION_STREAMING_PARTITIONER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/partition_context.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+class Graph;
+
+class StreamingPartitioner {
+ public:
+  virtual ~StreamingPartitioner() = default;
+
+  /// Opens a stream for num_partitions partitions under the given context
+  /// (seed override, cancellation, progress). Discards any previous stream.
+  virtual Status BeginStream(std::uint32_t num_partitions,
+                             const PartitionContext& ctx) = 0;
+
+  /// Convenience overload with an inert context.
+  Status BeginStream(std::uint32_t num_partitions) {
+    return BeginStream(num_partitions, PartitionContext{});
+  }
+
+  /// Ingests one chunk. Edges are identified by global arrival index:
+  /// the j-th edge of the i-th chunk follows all edges of chunks < i.
+  virtual Status AddEdges(std::span<const Edge> edges) = 0;
+
+  /// Closes the stream and emits the assignment, indexed by arrival order.
+  /// The stream must be re-opened with BeginStream before further use.
+  virtual Status Finish(EdgePartition* out) = 0;
+};
+
+/// Streams g's canonical edge array through `streaming` in `num_chunks`
+/// roughly equal contiguous chunks — the reference driver for tests, benches
+/// and the CLI's chunked-ingestion mode. The result is indexed by EdgeId
+/// (arrival order == canonical order), so it is Validate()-comparable with
+/// the batch path.
+Status StreamPartitionGraph(StreamingPartitioner* streaming, const Graph& g,
+                            std::uint32_t num_partitions, int num_chunks,
+                            const PartitionContext& ctx, EdgePartition* out);
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_STREAMING_PARTITIONER_H_

@@ -1,34 +1,58 @@
 #include "partition/xtrapulp_partitioner.h"
 
-#include "common/timer.h"
+#include "core/partitioner_registry.h"
 #include "partition/label_propagation.h"
 #include "partition/vertex_to_edge.h"
 
 namespace dne {
 
-Status XtraPulpPartitioner::Partition(const Graph& g,
-                                      std::uint32_t num_partitions,
-                                      EdgePartition* out) {
+namespace {
+OptionSchema XtraPulpSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 1, "BFS-seed and tie-break seed"),
+      OptionSpec::Int("iterations", 20, 1, 100000,
+                      "label-propagation sweeps")};
+}
+}  // namespace
+
+Status XtraPulpPartitioner::PartitionImpl(const Graph& g,
+                                          std::uint32_t num_partitions,
+                                          const PartitionContext& ctx,
+                                          EdgePartition* out) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  WallTimer timer;
+  const std::uint64_t seed = ctx.EffectiveSeed(seed_);
   LabelPropagationOptions lp;
   lp.max_iterations = max_iterations_;
   lp.random_init = false;  // BFS-seed growth, "no initial random allocation"
   lp.balance_edges = true;  // PuLP balances edges as well as vertices
   lp.capacity_slack = 1.10;
-  lp.seed = seed_;
+  lp.seed = seed;
   std::vector<PartitionId> labels =
       RunLabelPropagation(g, num_partitions, lp);
-  *out = VertexToEdgePartition(g, labels, num_partitions, seed_);
-  stats_ = PartitionRunStats{};
-  stats_.wall_seconds = timer.Seconds();
+  DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+  *out = VertexToEdgePartition(g, labels, num_partitions, seed);
   // Full bidirectional adjacency + label/load arrays (see Spinner).
   stats_.peak_memory_bytes = g.MemoryBytes() +
                              g.NumVertices() * 2 * sizeof(PartitionId) +
                              num_partitions * sizeof(double);
   return Status::OK();
 }
+
+DNE_REGISTER_PARTITIONER(
+    xtrapulp,
+    PartitionerInfo{
+        .name = "xtrapulp",
+        .description = "edge-balanced label propagation from BFS seeds",
+        .paper_order = 120,
+        .schema = XtraPulpSchema(),
+        .factory =
+            [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
+          const OptionSchema s = XtraPulpSchema();
+          return std::make_unique<XtraPulpPartitioner>(
+              static_cast<int>(s.IntOr(c, "iterations")),
+              s.UintOr(c, "seed"));
+        }})
 
 }  // namespace dne

@@ -17,14 +17,15 @@ class XtraPulpPartitioner : public Partitioner {
       : max_iterations_(max_iterations), seed_(seed) {}
 
   std::string name() const override { return "xtrapulp"; }
-  Status Partition(const Graph& g, std::uint32_t num_partitions,
-                   EdgePartition* out) override;
-  PartitionRunStats run_stats() const override { return stats_; }
+
+ protected:
+  Status PartitionImpl(const Graph& g, std::uint32_t num_partitions,
+                       const PartitionContext& ctx,
+                       EdgePartition* out) override;
 
  private:
   int max_iterations_;
   std::uint64_t seed_;
-  PartitionRunStats stats_;
 };
 
 }  // namespace dne

@@ -1,0 +1,137 @@
+// PartitionConfig + OptionSchema: parsing, typed validation errors, range
+// checks, and schema-backed typed readers.
+#include <gtest/gtest.h>
+
+#include "core/partition_config.h"
+
+namespace dne {
+namespace {
+
+OptionSchema TestSchema() {
+  return OptionSchema{
+      OptionSpec::Uint("seed", 7, "seed"),
+      OptionSpec::Double("alpha", 1.1, 1.0, 2.0, "slack"),
+      OptionSpec::Int("rounds", 3, 0, 10, "sweeps"),
+      OptionSpec::Bool("two_hop", true, "cond 5"),
+      OptionSpec::Enum("strategy", {"a", "b"}, "a", "pick one")};
+}
+
+TEST(PartitionConfigTest, ParseAssignmentSplitsOnFirstEquals) {
+  PartitionConfig c;
+  ASSERT_TRUE(c.ParseAssignment("alpha=1.5").ok());
+  ASSERT_TRUE(c.ParseAssignment("note=k=v").ok());  // value may contain '='
+  EXPECT_EQ(*c.Find("alpha"), "1.5");
+  EXPECT_EQ(*c.Find("note"), "k=v");
+  EXPECT_FALSE(c.ParseAssignment("no-equals").ok());
+  EXPECT_FALSE(c.ParseAssignment("=value").ok());  // empty key
+}
+
+TEST(PartitionConfigTest, FromAssignmentsCollects) {
+  PartitionConfig c;
+  ASSERT_TRUE(
+      PartitionConfig::FromAssignments({"seed=3", "alpha=1.2"}, &c).ok());
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.Has("seed"));
+  EXPECT_FALSE(
+      PartitionConfig::FromAssignments({"seed=3", "broken"}, &c).ok());
+}
+
+TEST(PartitionConfigTest, LastSetWins) {
+  PartitionConfig c;
+  ASSERT_TRUE(c.Set("seed", "1").ok());
+  ASSERT_TRUE(c.Set("seed", "2").ok());
+  EXPECT_EQ(*c.Find("seed"), "2");
+}
+
+TEST(OptionSchemaTest, UnknownKeyIsInvalidArgument) {
+  PartitionConfig c{{"bogus", "1"}};
+  Status st = TestSchema().Validate(c);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  // The error names the known keys to help CLI users.
+  EXPECT_NE(st.message().find("alpha"), std::string::npos);
+}
+
+TEST(OptionSchemaTest, BadTypeIsInvalidArgument) {
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"seed", "abc"}}).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"alpha", "fast"}}).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"rounds", "2.5"}}).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"two_hop", "maybe"}}).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"strategy", "c"}}).code(),
+            Status::Code::kInvalidArgument);
+  // Trailing garbage is rejected, not truncated.
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"seed", "1x"}}).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(OptionSchemaTest, NonFiniteValuesFailRangeChecks) {
+  // NaN compares false against any bound; the range check must reject it
+  // explicitly rather than wave it through into the algorithm.
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"alpha", "nan"}}).code(),
+            Status::Code::kOutOfRange);
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"alpha", "inf"}}).code(),
+            Status::Code::kOutOfRange);
+}
+
+TEST(OptionSchemaTest, OutOfRangeIsOutOfRange) {
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"alpha", "0.9"}}).code(),
+            Status::Code::kOutOfRange);
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"alpha", "2.1"}}).code(),
+            Status::Code::kOutOfRange);
+  EXPECT_EQ(TestSchema().Validate(PartitionConfig{{"rounds", "11"}}).code(),
+            Status::Code::kOutOfRange);
+  EXPECT_TRUE(TestSchema().Validate(PartitionConfig{{"alpha", "2.0"}}).ok());
+}
+
+TEST(OptionSchemaTest, ValidConfigPasses) {
+  PartitionConfig c{{"seed", "9"},
+                    {"alpha", "1.5"},
+                    {"rounds", "0"},
+                    {"two_hop", "false"},
+                    {"strategy", "b"}};
+  EXPECT_TRUE(TestSchema().Validate(c).ok());
+}
+
+TEST(OptionSchemaTest, TypedReadersFallBackToDefaults) {
+  const OptionSchema s = TestSchema();
+  PartitionConfig empty;
+  EXPECT_EQ(s.UintOr(empty, "seed"), 7u);
+  EXPECT_DOUBLE_EQ(s.DoubleOr(empty, "alpha"), 1.1);
+  EXPECT_EQ(s.IntOr(empty, "rounds"), 3);
+  EXPECT_TRUE(s.BoolOr(empty, "two_hop"));
+  EXPECT_EQ(s.EnumOr(empty, "strategy"), "a");
+
+  PartitionConfig set{{"seed", "11"},
+                      {"alpha", "1.9"},
+                      {"rounds", "5"},
+                      {"two_hop", "off"},
+                      {"strategy", "b"}};
+  EXPECT_EQ(s.UintOr(set, "seed"), 11u);
+  EXPECT_DOUBLE_EQ(s.DoubleOr(set, "alpha"), 1.9);
+  EXPECT_EQ(s.IntOr(set, "rounds"), 5);
+  EXPECT_FALSE(s.BoolOr(set, "two_hop"));
+  EXPECT_EQ(s.EnumOr(set, "strategy"), "b");
+}
+
+TEST(OptionSchemaTest, BoolSpellings) {
+  bool v = false;
+  EXPECT_TRUE(ParseBool("true", &v).ok() && v);
+  EXPECT_TRUE(ParseBool("1", &v).ok() && v);
+  EXPECT_TRUE(ParseBool("on", &v).ok() && v);
+  EXPECT_TRUE(ParseBool("false", &v).ok() && !v);
+  EXPECT_TRUE(ParseBool("0", &v).ok() && !v);
+  EXPECT_TRUE(ParseBool("no", &v).ok() && !v);
+  EXPECT_FALSE(ParseBool("TRUE", &v).ok());  // strict lower-case
+}
+
+TEST(OptionSpecTest, TypeNamesRenderEnums) {
+  EXPECT_EQ(OptionSpec::Uint("k", 1, "h").TypeName(), "uint");
+  EXPECT_EQ(OptionSpec::Enum("s", {"x", "y"}, "x", "h").TypeName(),
+            "enum{x|y}");
+}
+
+}  // namespace
+}  // namespace dne

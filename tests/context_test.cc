@@ -1,0 +1,130 @@
+// PartitionContext: cancellation (pre-set and mid-run), seed override,
+// progress reporting, and the uniform RunStatsSink / wall-time contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "core/factory.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/partitioner.h"
+
+namespace dne {
+namespace {
+
+Graph MediumRmat() {
+  RmatOptions opt;
+  opt.scale = 11;
+  opt.edge_factor = 10;
+  opt.seed = 3;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+TEST(ContextTest, PreSetCancellationStopsEveryAlgorithm) {
+  Graph g = MediumRmat();
+  std::atomic<bool> cancel{true};
+  PartitionContext ctx;
+  ctx.cancel = &cancel;
+  for (const std::string& name : KnownPartitioners()) {
+    EdgePartition ep;
+    Status st = MustCreatePartitioner(name)->Partition(g, 8, ctx, &ep);
+    EXPECT_EQ(st.code(), Status::Code::kCancelled) << name;
+  }
+}
+
+TEST(ContextTest, MidRunCancellationViaProgressCallback) {
+  Graph g = MediumRmat();
+  // Flip the flag from inside the first progress event: the partitioner must
+  // notice at a later poll point and abort cooperatively.
+  for (const std::string name : {"hdrf", "oblivious", "dne", "ne"}) {
+    std::atomic<bool> cancel{false};
+    int events = 0;
+    PartitionContext ctx;
+    ctx.cancel = &cancel;
+    ctx.progress = [&](const ProgressEvent&) {
+      ++events;
+      cancel.store(true);
+    };
+    EdgePartition ep;
+    Status st = MustCreatePartitioner(name)->Partition(g, 8, ctx, &ep);
+    EXPECT_EQ(st.code(), Status::Code::kCancelled) << name;
+    EXPECT_GE(events, 1) << name;
+  }
+}
+
+TEST(ContextTest, ProgressReportsReachTheCallback) {
+  Graph g = MediumRmat();
+  PartitionContext ctx;
+  std::uint64_t last_done = 0;
+  int events = 0;
+  ctx.progress = [&](const ProgressEvent& ev) {
+    ++events;
+    EXPECT_NE(ev.stage, nullptr);
+    last_done = ev.done;
+  };
+  EdgePartition ep;
+  ASSERT_TRUE(MustCreatePartitioner("random")->Partition(g, 8, ctx, &ep).ok());
+  EXPECT_GE(events, 2);  // at least start + completion
+  EXPECT_EQ(last_done, g.NumEdges());
+}
+
+TEST(ContextTest, SeedOverrideChangesHashAssignment) {
+  Graph g = MediumRmat();
+  auto p = MustCreatePartitioner("random");
+  PartitionContext a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EdgePartition ep_a, ep_b, ep_a2;
+  ASSERT_TRUE(p->Partition(g, 8, a, &ep_a).ok());
+  ASSERT_TRUE(p->Partition(g, 8, b, &ep_b).ok());
+  ASSERT_TRUE(p->Partition(g, 8, a, &ep_a2).ok());
+  EXPECT_NE(ep_a.assignment(), ep_b.assignment());
+  EXPECT_EQ(ep_a.assignment(), ep_a2.assignment());  // override deterministic
+}
+
+TEST(ContextTest, StatsSinkCollectsUniformRecords) {
+  Graph g = MediumRmat();
+  RunStatsSink sink;
+  PartitionContext ctx;
+  ctx.stats_sink = &sink;
+  for (const std::string& name : KnownPartitioners()) {
+    EdgePartition ep;
+    ASSERT_TRUE(MustCreatePartitioner(name)->Partition(g, 8, ctx, &ep).ok())
+        << name;
+  }
+  ASSERT_EQ(sink.records().size(), KnownPartitioners().size());
+  for (const RunStatsSink::Record& r : sink.records()) {
+    EXPECT_TRUE(r.status.ok()) << r.partitioner;
+    // The historical inconsistency: hash partitioners reported 0 wall time.
+    // The harness now stamps measured wall time for every algorithm.
+    EXPECT_GT(r.stats.wall_seconds, 0.0) << r.partitioner;
+  }
+}
+
+TEST(ContextTest, EveryAlgorithmReportsPositiveWallTime) {
+  Graph g = MediumRmat();
+  for (const std::string& name : KnownPartitioners()) {
+    auto p = MustCreatePartitioner(name);
+    EdgePartition ep;
+    ASSERT_TRUE(p->Partition(g, 8, &ep).ok()) << name;
+    EXPECT_GT(p->run_stats().wall_seconds, 0.0) << name;
+    EXPECT_GT(p->run_stats().peak_memory_bytes, 0u) << name;
+  }
+}
+
+TEST(ContextTest, FailedRunsAreRecordedInTheSink) {
+  Graph g = MediumRmat();
+  RunStatsSink sink;
+  PartitionContext ctx;
+  ctx.stats_sink = &sink;
+  EdgePartition ep;
+  EXPECT_FALSE(MustCreatePartitioner("random")->Partition(g, 0, ctx, &ep).ok());
+  ASSERT_NE(sink.last(), nullptr);
+  EXPECT_FALSE(sink.last()->status.ok());
+  EXPECT_EQ(sink.last()->partitioner, "random");
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,75 @@
+// The deprecated FactoryOptions shim: kept for one release so downstream
+// users can migrate to PartitionConfig. This file is the only in-repo user.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/factory.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "metrics/partition_metrics.h"
+
+// The whole point of this file is to exercise the deprecated API.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace dne {
+namespace {
+
+Graph ShimGraph() {
+  RmatOptions opt;
+  opt.scale = 10;
+  opt.edge_factor = 8;
+  opt.seed = 5;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+TEST(FactoryShimTest, OldOverloadStillConstructsEveryPartitioner) {
+  for (const std::string& name : KnownPartitioners()) {
+    std::unique_ptr<Partitioner> p;
+    ASSERT_TRUE(CreatePartitioner(name, FactoryOptions{}, &p).ok()) << name;
+    EXPECT_EQ(p->name(), name);
+  }
+}
+
+TEST(FactoryShimTest, ShimMatchesTypedConfigBehaviour) {
+  Graph g = ShimGraph();
+  FactoryOptions fo;
+  fo.seed = 9;
+  fo.alpha = 1.3;
+  EdgePartition via_shim;
+  ASSERT_TRUE(
+      MustCreatePartitioner("ne", fo)->Partition(g, 4, &via_shim).ok());
+
+  const PartitionConfig config{{"seed", "9"}, {"alpha", "1.3"}};
+  EdgePartition via_config;
+  ASSERT_TRUE(
+      MustCreatePartitioner("ne", config)->Partition(g, 4, &via_config).ok());
+  EXPECT_EQ(via_shim.assignment(), via_config.assignment());
+}
+
+TEST(FactoryShimTest, FieldsRouteOnlyToAlgorithmsThatUnderstoodThem) {
+  // The old switch never forwarded FactoryOptions::lambda to HDRF (whose
+  // lambda is an unrelated balance weight); the shim must preserve that.
+  Graph g = ShimGraph();
+  FactoryOptions fo;
+  fo.lambda = 0.5;  // DNE expansion factor, NOT HDRF's balance weight
+  EdgePartition via_shim, via_default;
+  ASSERT_TRUE(
+      MustCreatePartitioner("hdrf", fo)->Partition(g, 8, &via_shim).ok());
+  ASSERT_TRUE(
+      MustCreatePartitioner("hdrf")->Partition(g, 8, &via_default).ok());
+  EXPECT_EQ(via_shim.assignment(), via_default.assignment());
+}
+
+TEST(FactoryShimTest, UnknownNameIsStillNotFound) {
+  std::unique_ptr<Partitioner> p;
+  EXPECT_EQ(CreatePartitioner("metis5000", FactoryOptions{}, &p).code(),
+            Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace dne
+
+#pragma GCC diagnostic pop

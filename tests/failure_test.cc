@@ -60,11 +60,11 @@ TEST(FailureTest, AlphaExactlyOneStillCovers) {
   // The tightest admissible balance: ceiling division must prevent
   // stranded edges.
   Graph g = testing::SkewedGraph(8, 4);
-  FactoryOptions fo;
-  fo.alpha = 1.0;
+  const PartitionConfig tight{{"alpha", "1.0"}};
   for (const std::string name : {"dne", "ne", "sne"}) {
     EdgePartition ep;
-    ASSERT_TRUE(MustCreatePartitioner(name, fo)->Partition(g, 7, &ep).ok())
+    ASSERT_TRUE(
+        MustCreatePartitioner(name, tight)->Partition(g, 7, &ep).ok())
         << name;
     EXPECT_TRUE(ep.Validate(g).ok()) << name;
   }

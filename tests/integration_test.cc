@@ -106,9 +106,8 @@ TEST(IntegrationTest, SaveLoadPartitionPipeline) {
   Graph g2 = Graph::FromNormalized(std::move(loaded));
   ASSERT_EQ(g2.NumEdges(), g.NumEdges());
   EdgePartition ep_a, ep_b;
-  FactoryOptions fo;
-  ASSERT_TRUE(MustCreatePartitioner("dne", fo)->Partition(g, 4, &ep_a).ok());
-  ASSERT_TRUE(MustCreatePartitioner("dne", fo)->Partition(g2, 4, &ep_b).ok());
+  ASSERT_TRUE(MustCreatePartitioner("dne")->Partition(g, 4, &ep_a).ok());
+  ASSERT_TRUE(MustCreatePartitioner("dne")->Partition(g2, 4, &ep_b).ok());
   EXPECT_EQ(ep_a.assignment(), ep_b.assignment());  // same bits -> same result
   std::remove(path.c_str());
 }

@@ -26,9 +26,9 @@ Graph SmallRmat() {
 class PartitionerPropertyTest : public ::testing::TestWithParam<std::string> {
  protected:
   std::unique_ptr<Partitioner> Make(std::uint64_t seed = 1) {
-    FactoryOptions fo;
-    fo.seed = seed;
-    return MustCreatePartitioner(GetParam(), fo);
+    PartitionConfig config;
+    EXPECT_TRUE(config.Set("seed", std::to_string(seed)).ok());
+    return MustCreatePartitioner(GetParam(), config);
   }
 };
 
@@ -125,7 +125,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllPartitioners, PartitionerPropertyTest,
     ::testing::Values("random", "grid", "dbh", "hybrid", "oblivious",
                       "ginger", "hdrf", "fennel", "ne", "sne", "spinner",
-                      "xtrapulp", "sheep", "multilevel", "dne"),
+                      "xtrapulp", "sheep", "multilevel", "dne", "dynamic"),
     [](const ::testing::TestParamInfo<std::string>& info) {
       return info.param;
     });
@@ -133,14 +133,14 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(FactoryTest, KnownPartitionersAllConstruct) {
   for (const std::string& name : KnownPartitioners()) {
     std::unique_ptr<Partitioner> p;
-    EXPECT_TRUE(CreatePartitioner(name, FactoryOptions{}, &p).ok()) << name;
+    EXPECT_TRUE(CreatePartitioner(name, &p).ok()) << name;
     EXPECT_EQ(p->name(), name);
   }
 }
 
 TEST(FactoryTest, UnknownNameIsNotFound) {
   std::unique_ptr<Partitioner> p;
-  EXPECT_EQ(CreatePartitioner("metis5000", FactoryOptions{}, &p).code(),
+  EXPECT_EQ(CreatePartitioner("metis5000", &p).code(),
             Status::Code::kNotFound);
 }
 

@@ -101,17 +101,18 @@ TEST(ShapeOracleTest, TwoCliquesSplitCleanlyByExpansion) {
   // few edges into the second clique via its random restart, which is
   // correct behaviour, hence the exact alpha here.)
   Graph g = testing::TwoCliquesGraph(8);
-  FactoryOptions fo;
-  fo.alpha = 1.0;
+  const PartitionConfig tight{{"alpha", "1.0"}};
   EdgePartition ep;
-  ASSERT_TRUE(MustCreatePartitioner("ne", fo)->Partition(g, 2, &ep).ok());
+  ASSERT_TRUE(
+      MustCreatePartitioner("ne", tight)->Partition(g, 2, &ep).ok());
   PartitionMetrics m = ComputePartitionMetrics(g, ep);
   EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
   EXPECT_EQ(m.cut_vertices, 0u);
   // DNE's two expansions may compete inside one clique before separating;
   // the result must still be near-clean.
   EdgePartition ep_dne;
-  ASSERT_TRUE(MustCreatePartitioner("dne", fo)->Partition(g, 2, &ep_dne).ok());
+  ASSERT_TRUE(
+      MustCreatePartitioner("dne", tight)->Partition(g, 2, &ep_dne).ok());
   PartitionMetrics md = ComputePartitionMetrics(g, ep_dne);
   EXPECT_LT(md.replication_factor, 1.5);
 }
@@ -141,10 +142,10 @@ TEST(ShapeOracleTest, CyclePartitionsAreArcs) {
   // up to P-1 leftover fragments. Hence between P and 2(P-1) cut vertices,
   // and RF must be exactly (n + cuts)/n (each cut vertex has 2 replicas).
   Graph g = testing::CycleGraph(64);
-  FactoryOptions fo;
-  fo.alpha = 1.0;
+  const PartitionConfig tight{{"alpha", "1.0"}};
   EdgePartition ep;
-  ASSERT_TRUE(MustCreatePartitioner("ne", fo)->Partition(g, 4, &ep).ok());
+  ASSERT_TRUE(
+      MustCreatePartitioner("ne", tight)->Partition(g, 4, &ep).ok());
   PartitionMetrics m = ComputePartitionMetrics(g, ep);
   EXPECT_GE(m.cut_vertices, 4u);
   EXPECT_LE(m.cut_vertices, 6u);

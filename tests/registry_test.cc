@@ -1,0 +1,96 @@
+// PartitionerRegistry: round-trip of every registered algorithm, paper-order
+// listing, schema sanity, and streaming-capability consistency.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/factory.h"
+#include "core/partitioner_registry.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/streaming_partitioner.h"
+
+namespace dne {
+namespace {
+
+TEST(RegistryTest, EveryRegisteredNameRoundTrips) {
+  const auto names = PartitionerRegistry::Global().Names();
+  ASSERT_GE(names.size(), 16u);
+  for (const std::string& name : names) {
+    std::unique_ptr<Partitioner> p;
+    ASSERT_TRUE(
+        PartitionerRegistry::Global().Create(name, PartitionConfig{}, &p).ok())
+        << name;
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_EQ(p->name(), name);
+  }
+}
+
+TEST(RegistryTest, KnownPartitionersMatchesRegistryOrder) {
+  EXPECT_EQ(KnownPartitioners(), PartitionerRegistry::Global().Names());
+  // The paper's presentation order, now registry-derived.
+  const auto names = KnownPartitioners();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names.front(), "random");
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size()) << "duplicate registration";
+}
+
+TEST(RegistryTest, ListCarriesDescriptionsAndSchemas) {
+  for (const PartitionerInfo* info : PartitionerRegistry::Global().List()) {
+    EXPECT_FALSE(info->description.empty()) << info->name;
+    // Every algorithm declares at least a seed option.
+    EXPECT_NE(info->schema.Find("seed"), nullptr) << info->name;
+    for (const OptionSpec& spec : info->schema.specs()) {
+      EXPECT_FALSE(spec.key.empty()) << info->name;
+      EXPECT_FALSE(spec.help.empty()) << info->name << "." << spec.key;
+      // Defaults must themselves validate against the schema.
+      PartitionConfig defaults;
+      ASSERT_TRUE(defaults.Set(spec.key, spec.default_value).ok());
+      EXPECT_TRUE(info->schema.Validate(defaults).ok())
+          << info->name << "." << spec.key << "=" << spec.default_value;
+    }
+  }
+}
+
+TEST(RegistryTest, UnknownNameListsKnownOnes) {
+  std::unique_ptr<Partitioner> p;
+  Status st =
+      PartitionerRegistry::Global().Create("metis5000", PartitionConfig{}, &p);
+  EXPECT_EQ(st.code(), Status::Code::kNotFound);
+  EXPECT_NE(st.message().find("dne"), std::string::npos);
+}
+
+TEST(RegistryTest, StreamingFlagMatchesStreamingFacet) {
+  for (const PartitionerInfo* info : PartitionerRegistry::Global().List()) {
+    std::unique_ptr<Partitioner> p;
+    ASSERT_TRUE(PartitionerRegistry::Global()
+                    .Create(info->name, PartitionConfig{}, &p)
+                    .ok());
+    EXPECT_EQ(info->streaming, p->streaming() != nullptr) << info->name;
+  }
+}
+
+TEST(RegistryTest, AtLeastSixStreamingImplementations) {
+  int streaming = 0;
+  for (const PartitionerInfo* info : PartitionerRegistry::Global().List()) {
+    if (info->streaming) ++streaming;
+  }
+  EXPECT_GE(streaming, 6);
+}
+
+TEST(RegistryTest, ConfiguredCreateAppliesOptions) {
+  PartitionConfig config{{"alpha", "1.5"}, {"seed", "42"}};
+  std::unique_ptr<Partitioner> p;
+  ASSERT_TRUE(PartitionerRegistry::Global().Create("ne", config, &p).ok());
+  // And an invalid combination is rejected before construction.
+  PartitionConfig bad{{"alpha", "0.5"}};
+  std::unique_ptr<Partitioner> q;
+  EXPECT_EQ(PartitionerRegistry::Global().Create("ne", bad, &q).code(),
+            Status::Code::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dne

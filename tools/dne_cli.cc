@@ -1,18 +1,27 @@
 // dne_cli: command-line front end for the library.
 //
+//   dne_cli list                      # registered partitioners + schemas
 //   dne_cli generate --type=rmat --scale=16 --edge-factor=16 --out=g.bin
 //   dne_cli partition --graph=g.bin --method=dne --partitions=64
-//           --out=p.bin [--alpha=1.1] [--lambda=0.1] [--shards=DIR]
+//           --out=p.bin [--opt key=value ...] [--seed=1] [--shards=DIR]
+//           [--stream-chunks=N]
 //   dne_cli evaluate --graph=g.bin --partition=p.bin
 //   dne_cli info --graph=g.bin
+//
+// Any algorithm option can be set without recompiling via the repeated
+// --opt flag ("--opt alpha=1.05 --opt lambda=0.2"); `dne_cli list` prints
+// each algorithm's option schema. --seed/--alpha/--lambda remain as
+// shorthands for the matching --opt keys.
 //
 // Graph files may be .txt (SNAP "u v" lines) or the library's binary format
 // (by extension). Partition files likewise.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "apps/triangles.h"
+#include "common/timer.h"
 #include "core/dne.h"
 #include "gen/lattice.h"
 #include "graph/degree_stats.h"
@@ -36,6 +45,20 @@ std::string GetFlag(int argc, char** argv, const std::string& key,
     }
   }
   return def;
+}
+
+// Collects every "--opt key=value" / "--opt=key=value" occurrence in order.
+std::vector<std::string> GetRepeatedOpt(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--opt") == 0 && i + 1 < argc) {
+      out.emplace_back(argv[i + 1]);
+      ++i;
+    } else if (std::strncmp(argv[i], "--opt=", 6) == 0) {
+      out.emplace_back(argv[i] + 6);
+    }
+  }
+  return out;
 }
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -94,24 +117,83 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
+// Prints every registered partitioner with its option schema.
+int CmdList() {
+  for (const dne::PartitionerInfo* info :
+       dne::PartitionerRegistry::Global().List()) {
+    std::printf("%-10s %s%s\n", info->name.c_str(),
+                info->description.c_str(),
+                info->streaming ? "  [streaming]" : "");
+    for (const dne::OptionSpec& spec : info->schema.specs()) {
+      std::string range;
+      if (spec.has_range) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ", range [%g, %g]", spec.min_value,
+                      spec.max_value);
+        range = buf;
+      }
+      std::printf("    %-24s %s (default %s%s)\n",
+                  spec.key.c_str(), spec.TypeName().c_str(),
+                  spec.default_value.c_str(), range.c_str());
+      std::printf("    %-24s   %s\n", "", spec.help.c_str());
+    }
+  }
+  return 0;
+}
+
+// Builds the PartitionConfig for `method` from --opt flags plus the
+// convenience shorthands (--seed/--alpha/--lambda), shorthand keys only
+// when the schema declares them and no explicit --opt overrode them.
+Status BuildConfig(int argc, char** argv, const std::string& method,
+                   dne::PartitionConfig* out) {
+  dne::PartitionConfig config;
+  DNE_RETURN_IF_ERROR(
+      dne::PartitionConfig::FromAssignments(GetRepeatedOpt(argc, argv),
+                                            &config));
+  const dne::PartitionerInfo* info =
+      dne::PartitionerRegistry::Global().Find(method);
+  for (const char* key : {"seed", "alpha", "lambda"}) {
+    if (config.Has(key)) continue;
+    if (info != nullptr && info->schema.Find(key) == nullptr) continue;
+    const std::string v = GetFlag(argc, argv, key, "");
+    if (!v.empty()) DNE_RETURN_IF_ERROR(config.Set(key, v));
+  }
+  *out = std::move(config);
+  return Status::OK();
+}
+
 int CmdPartition(int argc, char** argv) {
   Graph g;
   Status st = LoadGraph(GetFlag(argc, argv, "graph", "graph.bin"), &g);
   if (!st.ok()) return Fail(st);
 
-  dne::FactoryOptions fo;
-  fo.seed = std::stoull(GetFlag(argc, argv, "seed", "1"));
-  fo.alpha = std::stod(GetFlag(argc, argv, "alpha", "1.1"));
-  fo.lambda = std::stod(GetFlag(argc, argv, "lambda", "0.1"));
   const std::string method = GetFlag(argc, argv, "method", "dne");
+  dne::PartitionConfig config;
+  st = BuildConfig(argc, argv, method, &config);
+  if (!st.ok()) return Fail(st);
   std::unique_ptr<dne::Partitioner> partitioner;
-  st = dne::CreatePartitioner(method, fo, &partitioner);
+  st = dne::CreatePartitioner(method, config, &partitioner);
   if (!st.ok()) return Fail(st);
 
   const std::uint32_t parts = static_cast<std::uint32_t>(
       std::stoul(GetFlag(argc, argv, "partitions", "16")));
   EdgePartition ep;
-  st = partitioner->Partition(g, parts, &ep);
+  dne::WallTimer timer;
+  const int stream_chunks =
+      std::stoi(GetFlag(argc, argv, "stream-chunks", "0"));
+  if (stream_chunks > 0) {
+    // Chunked one-pass ingestion through the StreamingPartitioner facet.
+    dne::StreamingPartitioner* streaming = partitioner->streaming();
+    if (streaming == nullptr) {
+      return Fail(Status::NotSupported(method + " has no streaming facet"));
+    }
+    st = dne::StreamPartitionGraph(streaming, g, parts, stream_chunks,
+                                   dne::PartitionContext{}, &ep);
+    if (!st.ok()) return Fail(st);
+    st = ep.Validate(g);
+  } else {
+    st = partitioner->Partition(g, parts, &ep);
+  }
   if (!st.ok()) return Fail(st);
 
   const auto m = dne::ComputePartitionMetrics(g, ep);
@@ -121,7 +203,8 @@ int CmdPartition(int argc, char** argv) {
               static_cast<unsigned long long>(g.NumVertices()),
               static_cast<unsigned long long>(g.NumEdges()), parts,
               m.replication_factor, m.edge_balance, m.vertex_balance,
-              partitioner->run_stats().wall_seconds * 1e3);
+              stream_chunks > 0 ? timer.Millis()
+                                : partitioner->run_stats().wall_seconds * 1e3);
 
   const std::string out_path = GetFlag(argc, argv, "out", "");
   if (!out_path.empty()) {
@@ -186,10 +269,14 @@ int CmdInfo(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--list") == 0 ||
+                    std::strcmp(argv[1], "list") == 0)) {
+    return CmdList();
+  }
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dne_cli <generate|partition|evaluate|info> "
-                 "[--key=value ...]\n");
+                 "usage: dne_cli <list|generate|partition|evaluate|info> "
+                 "[--key=value ...] [--opt key=value ...]\n");
     return 1;
   }
   const std::string cmd = argv[1];
