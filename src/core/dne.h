@@ -15,19 +15,23 @@
 #include "core/factory.h"     // IWYU pragma: export
 #include "core/partition_config.h"      // IWYU pragma: export
 #include "core/partition_context.h"     // IWYU pragma: export
+#include "core/partition_stream.h"      // IWYU pragma: export
 #include "core/partitioner_registry.h"  // IWYU pragma: export
 #include "core/version.h"     // IWYU pragma: export
 #include "gen/chung_lu.h"     // IWYU pragma: export
 #include "gen/dataset.h"      // IWYU pragma: export
 #include "gen/erdos_renyi.h"  // IWYU pragma: export
+#include "gen/generator_stream.h"  // IWYU pragma: export
 #include "gen/lattice.h"      // IWYU pragma: export
 #include "gen/rmat.h"         // IWYU pragma: export
 #include "gen/ring_complete.h"  // IWYU pragma: export
+#include "graph/edge_stream_reader.h"  // IWYU pragma: export
 #include "graph/graph.h"      // IWYU pragma: export
 #include "graph/graph_io.h"   // IWYU pragma: export
 #include "metrics/partition_metrics.h"  // IWYU pragma: export
 #include "metrics/theory.h"   // IWYU pragma: export
 #include "partition/dne/dne_partitioner.h"  // IWYU pragma: export
+#include "partition/partition_io.h"         // IWYU pragma: export
 #include "partition/partitioner.h"          // IWYU pragma: export
 #include "partition/streaming_adapter.h"      // IWYU pragma: export
 #include "partition/streaming_partitioner.h"  // IWYU pragma: export

@@ -1,0 +1,129 @@
+#include "core/partition_stream.h"
+
+#include <exception>
+#include <future>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dne {
+
+namespace {
+
+// Mirrors a byte amount into a MemTracker (rank 0), releasing it on exit.
+class TrackedBytes {
+ public:
+  explicit TrackedBytes(MemTracker* tracker) : tracker_(tracker) {}
+  ~TrackedBytes() { Update(0); }
+
+  void Update(std::size_t bytes) {
+    if (tracker_ == nullptr) return;
+    if (bytes > bytes_) tracker_->Allocate(0, bytes - bytes_);
+    if (bytes < bytes_) tracker_->Release(0, bytes_ - bytes);
+    bytes_ = bytes;
+  }
+
+ private:
+  MemTracker* tracker_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace
+
+Status PartitionStream(EdgeStreamReader* reader,
+                       StreamingPartitioner* streaming,
+                       std::uint32_t num_partitions,
+                       const PartitionContext& ctx, EdgePartition* out,
+                       const PartitionStreamOptions& options,
+                       PartitionStreamResult* result) {
+  if (reader == nullptr) {
+    return Status::InvalidArgument("reader must not be null");
+  }
+  if (streaming == nullptr) {
+    return Status::InvalidArgument("partitioner has no streaming facet");
+  }
+  DNE_RETURN_IF_ERROR(streaming->BeginStream(num_partitions, ctx));
+
+  std::vector<Edge> current, ahead;
+  TrackedBytes tracked(options.mem_tracker);
+  const std::uint64_t hint = reader->EdgeCountHint();
+  std::uint64_t streamed = 0, chunks = 0;
+
+  DNE_RETURN_IF_ERROR(reader->NextChunk(&current));
+  tracked.Update((current.capacity() + ahead.capacity()) * sizeof(Edge));
+  while (!current.empty()) {
+    // Double buffering: fetch the next chunk on the pool while the
+    // partitioner consumes this one. The fetch owns `ahead` and `reader`
+    // until the future completes, so every exit path below waits first.
+    Status ahead_status;
+    std::future<void> fetch;
+    if (options.read_ahead != nullptr) {
+      fetch = options.read_ahead->Submit(
+          [reader, &ahead, &ahead_status] {
+            ahead_status = reader->NextChunk(&ahead);
+          });
+    }
+    const Status add_status =
+        streaming->AddEdges(std::span<const Edge>(current));
+    if (fetch.valid()) {
+      // get(), not wait(): an exception escaping the fetch (e.g. bad_alloc
+      // resizing the chunk buffer) is stored in the future and would
+      // otherwise be silently dropped, leaving `ahead` stale.
+      try {
+        fetch.get();
+      } catch (const std::exception& e) {
+        if (ahead_status.ok()) {
+          ahead_status =
+              Status::Internal(std::string("chunk read-ahead failed: ") +
+                               e.what());
+        }
+      }
+    }
+    DNE_RETURN_IF_ERROR(add_status);
+    DNE_RETURN_IF_ERROR(ahead_status);
+    if (options.read_ahead == nullptr) {
+      DNE_RETURN_IF_ERROR(reader->NextChunk(&ahead));
+    }
+    streamed += current.size();
+    ++chunks;
+    ctx.ReportProgress("edges", streamed, hint);
+    std::swap(current, ahead);
+    tracked.Update((current.capacity() + ahead.capacity()) * sizeof(Edge));
+  }
+  DNE_RETURN_IF_ERROR(streaming->Finish(out));
+  if (result != nullptr) {
+    result->edges_streamed = streamed;
+    result->chunks = chunks;
+  }
+
+  if (options.shard_writer == nullptr) return Status::OK();
+  if (out->num_edges() != streamed) {
+    return Status::Internal("assignment size does not match streamed edges");
+  }
+  // Second pass: replay the stream and spill each edge to its partition's
+  // shard. O(chunk + writer buffers) memory — the edges themselves were not
+  // retained during pass one.
+  DNE_RETURN_IF_ERROR(reader->Reset());
+  DNE_RETURN_IF_ERROR(options.shard_writer->Open());
+  const std::vector<PartitionId>& assignment = out->assignment();
+  std::uint64_t replayed = 0;
+  for (;;) {
+    DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+    DNE_RETURN_IF_ERROR(reader->NextChunk(&current));
+    if (current.empty()) break;
+    if (replayed + current.size() > streamed) {
+      return Status::Internal("replayed stream is longer than the first pass");
+    }
+    DNE_RETURN_IF_ERROR(options.shard_writer->AppendBatch(
+        std::span<const Edge>(current),
+        std::span<const PartitionId>(assignment.data() + replayed,
+                                     current.size())));
+    replayed += current.size();
+  }
+  if (replayed != streamed) {
+    return Status::Internal("replayed stream is shorter than the first pass");
+  }
+  return options.shard_writer->Finish();
+}
+
+}  // namespace dne

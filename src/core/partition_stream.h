@@ -1,0 +1,66 @@
+// PartitionStream: the out-of-core driver that connects an EdgeStreamReader
+// (file- or generator-backed, graph/edge_stream_reader.h) to any
+// StreamingPartitioner. Chunks are double-buffered: while the partitioner
+// consumes the current chunk, the next one is fetched on a ThreadPool
+// worker, so I/O (or generation) overlaps placement. Peak footprint is
+// O(chunk + partitioner state) — the 16-byte-per-edge edge list is never
+// materialised. The partitioner state includes the collected assignment
+// (4 bytes per edge of output), which is what Finish() emits; the shard
+// spill path replays the stream against it rather than buffering edges.
+//
+//   std::unique_ptr<EdgeStreamReader> reader;
+//   DNE_RETURN_IF_ERROR(OpenEdgeStream(path, "auto", 1 << 20, &reader));
+//   auto p = MustCreatePartitioner("hdrf");
+//   ThreadPool pool(2);
+//   PartitionStreamOptions opts;
+//   opts.read_ahead = &pool;
+//   EdgePartition ep;
+//   DNE_RETURN_IF_ERROR(PartitionStream(reader.get(), p->streaming(), 64,
+//                                       PartitionContext{}, &ep, opts));
+#ifndef DNE_CORE_PARTITION_STREAM_H_
+#define DNE_CORE_PARTITION_STREAM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/partition_context.h"
+#include "graph/edge_stream_reader.h"
+#include "partition/edge_partition.h"
+#include "partition/partition_io.h"
+#include "partition/streaming_partitioner.h"
+#include "runtime/mem_tracker.h"
+#include "runtime/thread_pool.h"
+
+namespace dne {
+
+struct PartitionStreamOptions {
+  /// When set, the next chunk is prefetched on this pool while the current
+  /// one is being partitioned (double buffering). nullptr = fetch inline.
+  ThreadPool* read_ahead = nullptr;
+  /// When set, the harness accounts its chunk buffers (rank 0) so a bench or
+  /// test can assert the O(chunk) bound on ingestion memory.
+  MemTracker* mem_tracker = nullptr;
+  /// When set, per-partition edge shards are spilled after Finish() via a
+  /// second pass over the reader (reader->Reset() must replay the identical
+  /// stream). The writer must be constructed but not yet opened.
+  PartitionShardWriter* shard_writer = nullptr;
+};
+
+struct PartitionStreamResult {
+  std::uint64_t edges_streamed = 0;
+  std::uint64_t chunks = 0;
+};
+
+/// Streams every chunk of `reader` through `streaming` and collects the
+/// assignment (indexed by arrival order) into *out. `result` (optional)
+/// reports stream totals.
+Status PartitionStream(EdgeStreamReader* reader,
+                       StreamingPartitioner* streaming,
+                       std::uint32_t num_partitions,
+                       const PartitionContext& ctx, EdgePartition* out,
+                       const PartitionStreamOptions& options = {},
+                       PartitionStreamResult* result = nullptr);
+
+}  // namespace dne
+
+#endif  // DNE_CORE_PARTITION_STREAM_H_

@@ -1,54 +1,57 @@
 #include "gen/chung_lu.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <vector>
-
-#include "common/random.h"
 
 namespace dne {
 
-EdgeList GenerateChungLu(const ChungLuOptions& options) {
-  SplitMix64 rng(options.seed ^ 0xa02bdbf7bb3c0a7ULL);
+ChungLuSampler::ChungLuSampler(const ChungLuOptions& options)
+    : rng_(options.seed ^ 0xa02bdbf7bb3c0a7ULL) {
   const std::uint64_t n = options.num_vertices;
   std::uint64_t dmax = options.max_degree;
   if (dmax == 0) {
-    dmax = static_cast<std::uint64_t>(
-        std::sqrt(static_cast<double>(n)));
+    dmax = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n)));
   }
 
   // Inverse-CDF sampling of the discrete power law truncated at dmax:
   // P(d >= x) ~ x^{-(alpha-1)} for x >= dmin.
   const double exponent = -1.0 / (options.alpha - 1.0);
-  std::vector<std::uint64_t> degree(n);
-  std::uint64_t total = 0;
+  cumulative_.resize(n);
   for (std::uint64_t v = 0; v < n; ++v) {
-    double u = rng.NextDouble();
+    double u = rng_.NextDouble();
     if (u <= 0.0) u = 1e-18;
     double d = static_cast<double>(options.min_degree) * std::pow(u, exponent);
     std::uint64_t di = static_cast<std::uint64_t>(d);
     if (di < options.min_degree) di = options.min_degree;
     if (di > dmax) di = dmax;
-    degree[v] = di;
-    total += di;
+    total_stubs_ += di;
+    cumulative_[v] = total_stubs_;
   }
+}
 
-  // Edge sampling: pick both endpoints degree-proportionally via a flat
-  // "stub" array (configuration-model style; collisions removed later).
-  std::vector<VertexId> stubs;
-  stubs.reserve(total);
-  for (std::uint64_t v = 0; v < n; ++v) {
-    for (std::uint64_t k = 0; k < degree[v]; ++k) stubs.push_back(v);
-  }
+Edge ChungLuSampler::Next() {
+  // stubs[i] is the vertex v with cumulative_[v-1] <= i < cumulative_[v];
+  // upper_bound on the cumulative array performs that lookup directly.
+  auto pick = [&](std::uint64_t i) -> VertexId {
+    return static_cast<VertexId>(
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), i) -
+        cumulative_.begin());
+  };
+  const VertexId u = pick(rng_.Below(total_stubs_));
+  const VertexId v = pick(rng_.Below(total_stubs_));
+  return Edge{u, v};
+}
 
+EdgeList GenerateChungLu(const ChungLuOptions& options) {
+  ChungLuSampler sampler(options);
   EdgeList list;
-  list.SetNumVertices(n);
-  const std::uint64_t num_edges = total / 2;
+  list.SetNumVertices(options.num_vertices);
+  const std::uint64_t num_edges = sampler.num_edges();
   list.Reserve(num_edges);
   for (std::uint64_t i = 0; i < num_edges; ++i) {
-    VertexId u = stubs[rng.Below(stubs.size())];
-    VertexId v = stubs[rng.Below(stubs.size())];
-    list.Add(u, v);
+    const Edge e = sampler.Next();
+    list.Add(e.src, e.dst);
   }
   return list;
 }

@@ -5,7 +5,9 @@
 #define DNE_GEN_CHUNG_LU_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "common/random.h"
 #include "graph/edge_list.h"
 
 namespace dne {
@@ -22,6 +24,28 @@ struct ChungLuOptions {
 };
 
 EdgeList GenerateChungLu(const ChungLuOptions& options);
+
+/// Degree-proportional edge sampler behind GenerateChungLu, exposed so the
+/// chunked GeneratorEdgeStream emits the identical sequence with O(V) state:
+/// endpoints are drawn by inverse-CDF lookup into the cumulative degree
+/// array, which selects exactly the vertex a flat stub array would at the
+/// same random index — without materialising the O(E) stubs.
+class ChungLuSampler {
+ public:
+  explicit ChungLuSampler(const ChungLuOptions& options);
+
+  /// Draws one edge (two uniform draws, src strictly before dst).
+  Edge Next();
+
+  std::uint64_t num_edges() const { return total_stubs_ / 2; }
+  std::uint64_t num_vertices() const { return cumulative_.size(); }
+
+ private:
+  SplitMix64 rng_;
+  /// cumulative_[v] = sum of sampled degrees of vertices 0..v.
+  std::vector<std::uint64_t> cumulative_;
+  std::uint64_t total_stubs_ = 0;
+};
 
 }  // namespace dne
 

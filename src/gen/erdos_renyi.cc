@@ -1,17 +1,16 @@
 #include "gen/erdos_renyi.h"
 
-#include "common/random.h"
-
 namespace dne {
 
 EdgeList GenerateErdosRenyi(std::uint64_t num_vertices,
                             std::uint64_t num_edges, std::uint64_t seed) {
-  SplitMix64 rng(seed ^ 0x5bf03635ef1c5f1dULL);
+  SplitMix64 rng = ErdosRenyiRng(seed);
   EdgeList list;
   list.Reserve(num_edges);
   list.SetNumVertices(num_vertices);
   for (std::uint64_t i = 0; i < num_edges; ++i) {
-    list.Add(rng.Below(num_vertices), rng.Below(num_vertices));
+    const Edge e = SampleErdosRenyiEdge(num_vertices, rng);
+    list.Add(e.src, e.dst);
   }
   return list;
 }

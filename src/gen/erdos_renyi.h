@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "common/random.h"
 #include "graph/edge_list.h"
 
 namespace dne {
@@ -13,6 +14,20 @@ namespace dne {
 /// Self-loops/duplicates may occur; Graph::Build removes them.
 EdgeList GenerateErdosRenyi(std::uint64_t num_vertices,
                             std::uint64_t num_edges, std::uint64_t seed = 1);
+
+/// The RNG exactly as GenerateErdosRenyi primes it (shared with the chunked
+/// GeneratorEdgeStream so batch and stream emit the same sequence).
+inline SplitMix64 ErdosRenyiRng(std::uint64_t seed) {
+  return SplitMix64(seed ^ 0x5bf03635ef1c5f1dULL);
+}
+
+/// Draws one uniform edge; the src endpoint is drawn strictly before dst, so
+/// the sequence is well-defined across compilers.
+inline Edge SampleErdosRenyiEdge(std::uint64_t num_vertices, SplitMix64& rng) {
+  const VertexId u = rng.Below(num_vertices);
+  const VertexId v = rng.Below(num_vertices);
+  return Edge{u, v};
+}
 
 }  // namespace dne
 

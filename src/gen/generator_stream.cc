@@ -1,0 +1,100 @@
+#include "gen/generator_stream.h"
+
+#include <algorithm>
+
+namespace dne {
+
+Status GeneratorEdgeStream::Open(const GeneratorStreamOptions& options,
+                                 std::unique_ptr<GeneratorEdgeStream>* out) {
+  if (options.chunk_edges == 0) {
+    return Status::InvalidArgument("chunk_edges must be positive");
+  }
+  switch (options.kind) {
+    case GeneratorStreamOptions::Kind::kRmat:
+      if (options.rmat.scale < 1 || options.rmat.scale > 40) {
+        return Status::InvalidArgument("rmat scale must be in [1, 40]");
+      }
+      if (options.rmat.edge_factor < 1) {
+        return Status::InvalidArgument("rmat edge_factor must be positive");
+      }
+      break;
+    case GeneratorStreamOptions::Kind::kErdosRenyi:
+      if (options.erdos_renyi.num_vertices == 0) {
+        return Status::InvalidArgument("num_vertices must be positive");
+      }
+      break;
+    case GeneratorStreamOptions::Kind::kChungLu:
+      if (options.chung_lu.num_vertices == 0) {
+        return Status::InvalidArgument("num_vertices must be positive");
+      }
+      if (!(options.chung_lu.alpha > 1.0)) {  // negated to reject NaN too
+        return Status::InvalidArgument("chung-lu alpha must exceed 1");
+      }
+      break;
+  }
+  out->reset(new GeneratorEdgeStream(options));
+  return Status::OK();
+}
+
+GeneratorEdgeStream::GeneratorEdgeStream(const GeneratorStreamOptions& options)
+    : options_(options) {
+  // Reset() cannot fail after Open's validation.
+  static_cast<void>(Reset());
+}
+
+Status GeneratorEdgeStream::Reset() {
+  emitted_ = 0;
+  switch (options_.kind) {
+    case GeneratorStreamOptions::Kind::kRmat: {
+      num_vertices_ = 1ULL << options_.rmat.scale;
+      total_edges_ =
+          num_vertices_ *
+          static_cast<std::uint64_t>(options_.rmat.edge_factor);
+      rng_ = RmatRng(options_.rmat);
+      break;
+    }
+    case GeneratorStreamOptions::Kind::kErdosRenyi: {
+      num_vertices_ = options_.erdos_renyi.num_vertices;
+      total_edges_ = options_.erdos_renyi.num_edges;
+      rng_ = ErdosRenyiRng(options_.erdos_renyi.seed);
+      break;
+    }
+    case GeneratorStreamOptions::Kind::kChungLu: {
+      // Rebuilding the sampler replays the degree-sequence draws, so the
+      // replayed stream is identical to the first pass.
+      chung_lu_.emplace(options_.chung_lu);
+      num_vertices_ = chung_lu_->num_vertices();
+      total_edges_ = chung_lu_->num_edges();
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status GeneratorEdgeStream::NextChunk(std::vector<Edge>* out) {
+  const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+      options_.chunk_edges, total_edges_ - emitted_));
+  out->resize(n);
+  switch (options_.kind) {
+    case GeneratorStreamOptions::Kind::kRmat:
+      for (std::size_t i = 0; i < n; ++i) {
+        (*out)[i] = SampleRmatEdge(options_.rmat, rng_);
+      }
+      break;
+    case GeneratorStreamOptions::Kind::kErdosRenyi:
+      for (std::size_t i = 0; i < n; ++i) {
+        (*out)[i] =
+            SampleErdosRenyiEdge(options_.erdos_renyi.num_vertices, rng_);
+      }
+      break;
+    case GeneratorStreamOptions::Kind::kChungLu:
+      for (std::size_t i = 0; i < n; ++i) {
+        (*out)[i] = chung_lu_->Next();
+      }
+      break;
+  }
+  emitted_ += n;
+  return Status::OK();
+}
+
+}  // namespace dne

@@ -1,0 +1,66 @@
+// GeneratorEdgeStream: a synthetic-workload backend for the out-of-core
+// ingestion pipeline. Emits RMAT, Erdős–Rényi or Chung-Lu edges chunk by
+// chunk without ever materialising the edge list, so arbitrarily large
+// streams cost O(chunk) memory (plus O(V) degree state for Chung-Lu). For
+// RMAT and Erdős–Rényi the emitted sequence is bit-identical to the batch
+// generators (gen/rmat.h, gen/erdos_renyi.h) on the same options; Chung-Lu
+// matches GenerateChungLu through the shared ChungLuSampler.
+#ifndef DNE_GEN_GENERATOR_STREAM_H_
+#define DNE_GEN_GENERATOR_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "gen/rmat.h"
+#include "graph/edge_stream_reader.h"
+
+namespace dne {
+
+struct GeneratorStreamOptions {
+  enum class Kind { kRmat, kErdosRenyi, kChungLu };
+
+  Kind kind = Kind::kRmat;
+  /// Parameters of the selected model; the other two are ignored.
+  RmatOptions rmat;
+  struct ErdosRenyi {
+    std::uint64_t num_vertices = 1 << 16;
+    std::uint64_t num_edges = 1 << 20;
+    std::uint64_t seed = 1;
+  };
+  ErdosRenyi erdos_renyi;
+  ChungLuOptions chung_lu;
+  /// Edges per emitted chunk.
+  std::size_t chunk_edges = 1 << 20;
+};
+
+class GeneratorEdgeStream final : public EdgeStreamReader {
+ public:
+  /// Validates the options (positive chunk size, sane RMAT scale, nonzero
+  /// vertex universe).
+  static Status Open(const GeneratorStreamOptions& options,
+                     std::unique_ptr<GeneratorEdgeStream>* out);
+
+  Status NextChunk(std::vector<Edge>* out) override;
+  Status Reset() override;
+  std::uint64_t EdgeCountHint() const override { return total_edges_; }
+  std::uint64_t NumVerticesHint() const override { return num_vertices_; }
+
+ private:
+  explicit GeneratorEdgeStream(const GeneratorStreamOptions& options);
+
+  GeneratorStreamOptions options_;
+  SplitMix64 rng_{0};
+  std::optional<ChungLuSampler> chung_lu_;
+  std::uint64_t total_edges_ = 0;
+  std::uint64_t num_vertices_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_GEN_GENERATOR_STREAM_H_

@@ -1,45 +1,49 @@
 #include "gen/rmat.h"
 
 #include "common/hash.h"
-#include "common/random.h"
 
 namespace dne {
+
+Edge SampleRmatEdge(const RmatOptions& options, SplitMix64& rng) {
+  const std::uint64_t n = 1ULL << options.scale;
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  std::uint64_t u = 0, v = 0;
+  for (int bit = options.scale - 1; bit >= 0; --bit) {
+    const double r = rng.NextDouble();
+    if (r < options.a) {
+      // upper-left quadrant: no bits set
+    } else if (r < ab) {
+      v |= 1ULL << bit;
+    } else if (r < abc) {
+      u |= 1ULL << bit;
+    } else {
+      u |= 1ULL << bit;
+      v |= 1ULL << bit;
+    }
+  }
+  if (options.scramble_ids) {
+    // Permute ids with a fixed bijection (hash mod n works because n is a
+    // power of two and Mix64 is a bijection on 64 bits; masking keeps it a
+    // permutation of [0, n)).
+    u = Mix64(u + 0xabcdef) & (n - 1);
+    v = Mix64(v + 0xabcdef) & (n - 1);
+  }
+  return Edge{u, v};
+}
 
 EdgeList GenerateRmat(const RmatOptions& options) {
   const std::uint64_t n = 1ULL << options.scale;
   const std::uint64_t m =
       n * static_cast<std::uint64_t>(options.edge_factor);
-  SplitMix64 rng(options.seed * 0x9e3779b97f4a7c15ULL + 0x1234);
+  SplitMix64 rng = RmatRng(options);
 
   EdgeList list;
   list.Reserve(m);
   list.SetNumVertices(n);
-
-  const double ab = options.a + options.b;
-  const double abc = ab + options.c;
   for (std::uint64_t i = 0; i < m; ++i) {
-    std::uint64_t u = 0, v = 0;
-    for (int bit = options.scale - 1; bit >= 0; --bit) {
-      const double r = rng.NextDouble();
-      if (r < options.a) {
-        // upper-left quadrant: no bits set
-      } else if (r < ab) {
-        v |= 1ULL << bit;
-      } else if (r < abc) {
-        u |= 1ULL << bit;
-      } else {
-        u |= 1ULL << bit;
-        v |= 1ULL << bit;
-      }
-    }
-    if (options.scramble_ids) {
-      // Permute ids with a fixed bijection (hash mod n works because n is a
-      // power of two and Mix64 is a bijection on 64 bits; masking keeps it a
-      // permutation of [0, n)).
-      u = Mix64(u + 0xabcdef) & (n - 1);
-      v = Mix64(v + 0xabcdef) & (n - 1);
-    }
-    list.Add(u, v);
+    const Edge e = SampleRmatEdge(options, rng);
+    list.Add(e.src, e.dst);
   }
   return list;
 }

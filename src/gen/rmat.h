@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "common/random.h"
 #include "graph/edge_list.h"
 
 namespace dne {
@@ -29,6 +30,16 @@ struct RmatOptions {
 /// included, as in the real model — Graph::Build deduplicates; the paper
 /// notes DNE "compacts the duplicated edges" for high edge factors).
 EdgeList GenerateRmat(const RmatOptions& options);
+
+/// The RNG exactly as GenerateRmat primes it. Shared with the chunked
+/// GeneratorEdgeStream so batch and stream emit the same edge sequence for
+/// the same options.
+inline SplitMix64 RmatRng(const RmatOptions& options) {
+  return SplitMix64(options.seed * 0x9e3779b97f4a7c15ULL + 0x1234);
+}
+
+/// Draws one raw RMAT edge, advancing rng by exactly `scale` uniform draws.
+Edge SampleRmatEdge(const RmatOptions& options, SplitMix64& rng);
 
 }  // namespace dne
 

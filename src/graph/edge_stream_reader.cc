@@ -1,0 +1,173 @@
+#include "graph/edge_stream_reader.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
+
+namespace dne {
+
+namespace {
+
+// Parses "u v" with arbitrary leading/inter-token whitespace; trailing
+// content after the two ids is ignored (SNAP files may carry weights).
+bool ParseEdgeLine(const std::string& line, Edge* out) {
+  const char* p = line.data();
+  const char* end = line.data() + line.size();
+  auto skip_space = [&] {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  };
+  skip_space();
+  auto r1 = std::from_chars(p, end, out->src);
+  if (r1.ec != std::errc()) return false;
+  p = r1.ptr;
+  skip_space();
+  auto r2 = std::from_chars(p, end, out->dst);
+  return r2.ec == std::errc();
+}
+
+bool IsSkippableLine(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#' || c == '%') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;  // blank (or whitespace-only) line
+}
+
+}  // namespace
+
+// ---- TextEdgeStreamReader ---------------------------------------------------
+
+Status TextEdgeStreamReader::Open(
+    const std::string& path, std::size_t chunk_edges,
+    std::unique_ptr<TextEdgeStreamReader>* out) {
+  if (chunk_edges == 0) {
+    return Status::InvalidArgument("chunk_edges must be positive");
+  }
+  std::unique_ptr<TextEdgeStreamReader> reader(
+      new TextEdgeStreamReader(path, chunk_edges));
+  DNE_RETURN_IF_ERROR(reader->Reset());
+  *out = std::move(reader);
+  return Status::OK();
+}
+
+Status TextEdgeStreamReader::Reset() {
+  in_ = std::ifstream(path_);
+  if (!in_) return Status::IOError("cannot open " + path_);
+  if (in_.peek() == std::ifstream::traits_type::eof()) {
+    return Status::IOError(path_ + ": empty file");
+  }
+  lineno_ = 0;
+  done_ = false;
+  return Status::OK();
+}
+
+Status TextEdgeStreamReader::NextChunk(std::vector<Edge>* out) {
+  out->clear();
+  if (done_) return Status::OK();
+  while (out->size() < chunk_edges_ && std::getline(in_, line_)) {
+    ++lineno_;
+    if (IsSkippableLine(line_)) continue;
+    Edge edge;
+    if (!ParseEdgeLine(line_, &edge)) {
+      return Status::IOError(path_ + ":" + std::to_string(lineno_) +
+                             ": malformed edge line");
+    }
+    out->push_back(edge);
+  }
+  if (out->size() < chunk_edges_) {
+    if (in_.bad()) return Status::IOError(path_ + ": read failed");
+    done_ = true;
+  }
+  return Status::OK();
+}
+
+// ---- BinaryEdgeStreamReader -------------------------------------------------
+
+Status BinaryEdgeStreamReader::Open(
+    const std::string& path, std::size_t chunk_edges,
+    std::unique_ptr<BinaryEdgeStreamReader>* out) {
+  if (chunk_edges == 0) {
+    return Status::InvalidArgument("chunk_edges must be positive");
+  }
+  std::unique_ptr<BinaryEdgeStreamReader> reader(
+      new BinaryEdgeStreamReader(path, chunk_edges));
+  DNE_RETURN_IF_ERROR(reader->OpenAndReadHeader());
+  *out = std::move(reader);
+  return Status::OK();
+}
+
+Status BinaryEdgeStreamReader::OpenAndReadHeader() {
+  in_ = std::ifstream(path_, std::ios::binary);
+  if (!in_) return Status::IOError("cannot open " + path_);
+  EdgeFileHeader header;
+  DNE_RETURN_IF_ERROR(ReadEdgeFileHeader(in_, path_, &header));
+  num_vertices_ = header.num_vertices;
+  num_edges_ = header.num_edges;
+  expected_checksum_ = header.checksum;
+  has_checksum_ = header.has_checksum;
+  remaining_ = num_edges_;
+  checksum_.Reset();
+  return Status::OK();
+}
+
+Status BinaryEdgeStreamReader::Reset() { return OpenAndReadHeader(); }
+
+Status BinaryEdgeStreamReader::NextChunk(std::vector<Edge>* out) {
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(chunk_edges_, remaining_));
+  out->resize(n);
+  if (n == 0) return Status::OK();
+  in_.read(reinterpret_cast<char*>(out->data()),
+           static_cast<std::streamsize>(n * sizeof(Edge)));
+  if (!in_) return Status::IOError(path_ + ": truncated edge payload");
+  remaining_ -= n;
+  if (has_checksum_) {
+    checksum_.Update(std::span<const Edge>(*out));
+    if (remaining_ == 0 && checksum_.value() != expected_checksum_) {
+      return Status::IOError(path_ +
+                             ": checksum mismatch (corrupt payload)");
+    }
+  }
+  return Status::OK();
+}
+
+// ---- VectorEdgeStream -------------------------------------------------------
+
+Status VectorEdgeStream::NextChunk(std::vector<Edge>* out) {
+  const std::size_t n = std::min(chunk_edges_, edges_.size() - position_);
+  out->assign(edges_.begin() + position_, edges_.begin() + position_ + n);
+  position_ += n;
+  return Status::OK();
+}
+
+// ---- Factory ----------------------------------------------------------------
+
+Status OpenEdgeStream(const std::string& path, const std::string& format,
+                      std::size_t chunk_edges,
+                      std::unique_ptr<EdgeStreamReader>* out) {
+  bool text;
+  if (format == "text") {
+    text = true;
+  } else if (format == "bin") {
+    text = false;
+  } else if (format == "auto") {
+    text = path.size() >= 4 && path.compare(path.size() - 4, 4, ".txt") == 0;
+  } else {
+    return Status::InvalidArgument("unknown edge-stream format \"" + format +
+                                   "\" (text|bin|auto)");
+  }
+  if (text) {
+    std::unique_ptr<TextEdgeStreamReader> reader;
+    DNE_RETURN_IF_ERROR(TextEdgeStreamReader::Open(path, chunk_edges,
+                                                   &reader));
+    *out = std::move(reader);
+  } else {
+    std::unique_ptr<BinaryEdgeStreamReader> reader;
+    DNE_RETURN_IF_ERROR(BinaryEdgeStreamReader::Open(path, chunk_edges,
+                                                     &reader));
+    *out = std::move(reader);
+  }
+  return Status::OK();
+}
+
+}  // namespace dne

@@ -1,0 +1,149 @@
+// Out-of-core edge ingestion: an EdgeStreamReader hands a graph's edges to
+// the consumer in bounded chunks, so partitioning a trillion-edge input
+// never requires the full edge list in memory. Three backends exist — a
+// chunked text reader (SNAP "u v" lines), a chunked binary reader (the
+// checksummed v2 edge-file format of graph/graph_io.h), and the in-memory
+// VectorEdgeStream used by tests and adapters. The generator-backed stream
+// lives in gen/generator_stream.h behind the same interface.
+//
+//   std::unique_ptr<EdgeStreamReader> reader;
+//   DNE_RETURN_IF_ERROR(OpenEdgeStream(path, "auto", 1 << 20, &reader));
+//   std::vector<Edge> chunk;
+//   for (;;) {
+//     DNE_RETURN_IF_ERROR(reader->NextChunk(&chunk));
+//     if (chunk.empty()) break;  // end of stream
+//     Consume(chunk);
+//   }
+#ifndef DNE_GRAPH_EDGE_STREAM_READER_H_
+#define DNE_GRAPH_EDGE_STREAM_READER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph_io.h"
+
+namespace dne {
+
+/// A resettable, chunk-at-a-time source of raw edges (self-loops and
+/// duplicates allowed, exactly as the batch loaders deliver them).
+class EdgeStreamReader {
+ public:
+  virtual ~EdgeStreamReader() = default;
+
+  /// Fills *out with the next chunk, at most the reader's configured chunk
+  /// size. An empty *out signals a clean end of stream; every subsequent
+  /// call keeps returning an empty chunk. The vector's capacity is reused
+  /// across calls, so a steady-state stream performs no allocation.
+  virtual Status NextChunk(std::vector<Edge>* out) = 0;
+
+  /// Rewinds to the first chunk. Multi-pass consumers (e.g. shard spilling
+  /// after the assignment is known) depend on the replayed stream being
+  /// identical to the first pass.
+  virtual Status Reset() = 0;
+
+  /// Total number of edges, when known upfront (binary header, generators);
+  /// 0 means unknown (text files).
+  virtual std::uint64_t EdgeCountHint() const { return 0; }
+
+  /// Vertex-universe size, when known upfront; 0 means unknown.
+  virtual std::uint64_t NumVerticesHint() const { return 0; }
+};
+
+/// Chunked reader over a whitespace-separated "u v" text edge list (SNAP
+/// format; '#'/'%' comment lines and blank lines are skipped). Malformed
+/// lines fail the chunk that contains them with the 1-based line number.
+class TextEdgeStreamReader final : public EdgeStreamReader {
+ public:
+  /// Fails on an unreadable or zero-byte file or chunk_edges == 0.
+  static Status Open(const std::string& path, std::size_t chunk_edges,
+                     std::unique_ptr<TextEdgeStreamReader>* out);
+
+  Status NextChunk(std::vector<Edge>* out) override;
+  Status Reset() override;
+
+ private:
+  TextEdgeStreamReader(std::string path, std::size_t chunk_edges)
+      : path_(std::move(path)), chunk_edges_(chunk_edges) {}
+
+  std::string path_;
+  std::size_t chunk_edges_;
+  std::ifstream in_;
+  std::string line_;
+  std::uint64_t lineno_ = 0;
+  bool done_ = false;
+};
+
+/// Chunked reader over the binary edge-file format of graph/graph_io.h.
+/// Understands both the checksummed v2 layout (verified incrementally and
+/// checked against the header when the last chunk is delivered) and the
+/// legacy v1 layout (no checksum). The header is validated against the file
+/// size at Open, so truncation is reported before any chunk is read.
+class BinaryEdgeStreamReader final : public EdgeStreamReader {
+ public:
+  static Status Open(const std::string& path, std::size_t chunk_edges,
+                     std::unique_ptr<BinaryEdgeStreamReader>* out);
+
+  Status NextChunk(std::vector<Edge>* out) override;
+  Status Reset() override;
+  std::uint64_t EdgeCountHint() const override { return num_edges_; }
+  std::uint64_t NumVerticesHint() const override { return num_vertices_; }
+
+ private:
+  BinaryEdgeStreamReader(std::string path, std::size_t chunk_edges)
+      : path_(std::move(path)), chunk_edges_(chunk_edges) {}
+
+  Status OpenAndReadHeader();
+
+  std::string path_;
+  std::size_t chunk_edges_;
+  std::ifstream in_;
+  std::uint64_t num_vertices_ = 0;
+  std::uint64_t num_edges_ = 0;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t expected_checksum_ = 0;
+  bool has_checksum_ = false;
+  EdgeChecksum checksum_;
+};
+
+/// In-memory stream over an owned edge vector — the reference backend for
+/// differential tests and for chunk-driving partitioners from an EdgeList.
+class VectorEdgeStream final : public EdgeStreamReader {
+ public:
+  /// chunk_edges == 0 is rounded up to 1.
+  VectorEdgeStream(std::vector<Edge> edges, std::size_t chunk_edges,
+                   std::uint64_t num_vertices_hint = 0)
+      : edges_(std::move(edges)),
+        chunk_edges_(chunk_edges == 0 ? 1 : chunk_edges),
+        num_vertices_hint_(num_vertices_hint) {}
+
+  Status NextChunk(std::vector<Edge>* out) override;
+  Status Reset() override {
+    position_ = 0;
+    return Status::OK();
+  }
+  std::uint64_t EdgeCountHint() const override { return edges_.size(); }
+  std::uint64_t NumVerticesHint() const override {
+    return num_vertices_hint_;
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::size_t chunk_edges_;
+  std::uint64_t num_vertices_hint_;
+  std::size_t position_ = 0;
+};
+
+/// Opens a file-backed edge stream. `format` is "text", "bin" or "auto"
+/// (by extension: ".txt" is text, anything else binary).
+Status OpenEdgeStream(const std::string& path, const std::string& format,
+                      std::size_t chunk_edges,
+                      std::unique_ptr<EdgeStreamReader>* out);
+
+}  // namespace dne
+
+#endif  // DNE_GRAPH_EDGE_STREAM_READER_H_

@@ -1,7 +1,8 @@
 #include "graph/graph_io.h"
 
+#include <bit>
 #include <cstdint>
-#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -9,8 +10,38 @@
 
 namespace dne {
 
+// The raw-record reads/writes below assume the host is little-endian, which
+// makes the in-memory Edge array byte-identical to the on-disk payload.
+static_assert(std::endian::native == std::endian::little,
+              "binary edge-file I/O requires a little-endian host");
+
 namespace {
-constexpr std::uint64_t kBinaryMagic = 0x444e455f47524148ULL;  // "DNE_GRAH"
+
+void PutU64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetU64(std::ifstream& in, std::uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool GetU32(std::ifstream& in, std::uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+std::uint64_t FileSize(std::ifstream& in) {
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  return size < 0 ? 0 : static_cast<std::uint64_t>(size);
+}
+
 }  // namespace
 
 Status LoadEdgeListText(const std::string& path, EdgeList* out) {
@@ -45,22 +76,68 @@ Status SaveEdgeListText(const std::string& path, const EdgeList& list) {
   return Status::OK();
 }
 
+Status ReadEdgeFileHeader(std::ifstream& in, const std::string& path,
+                          EdgeFileHeader* out) {
+  const std::uint64_t size = FileSize(in);
+  if (size == 0) return Status::IOError(path + ": empty file");
+  if (size < kEdgeFileHeaderBytesV1) {
+    return Status::IOError(path + ": truncated header");
+  }
+  EdgeFileHeader header;
+  std::uint64_t magic = 0;
+  if (!GetU64(in, &magic)) return Status::IOError(path + ": truncated header");
+  if (magic == kEdgeFileMagicV2) {
+    std::uint32_t version = 0, reserved = 0;
+    if (size < kEdgeFileHeaderBytesV2 || !GetU32(in, &version) ||
+        !GetU32(in, &reserved) || !GetU64(in, &header.num_vertices) ||
+        !GetU64(in, &header.num_edges) || !GetU64(in, &header.checksum)) {
+      return Status::IOError(path + ": truncated header");
+    }
+    if (version != kEdgeFileVersion) {
+      return Status::IOError(path + ": unsupported edge-file version " +
+                             std::to_string(version));
+    }
+    header.has_checksum = true;
+    header.header_bytes = kEdgeFileHeaderBytesV2;
+  } else if (magic == kEdgeFileMagicV1) {
+    if (!GetU64(in, &header.num_vertices) || !GetU64(in, &header.num_edges)) {
+      return Status::IOError(path + ": truncated header");
+    }
+    header.header_bytes = kEdgeFileHeaderBytesV1;
+  } else {
+    return Status::IOError(path + ": bad magic (not a DNE binary edge list)");
+  }
+  // Payload consistency, division-side: `header_bytes + ne * sizeof(Edge)`
+  // could wrap for a lying edge count and sail past the check into a huge
+  // allocation.
+  const std::uint64_t payload = size - header.header_bytes;
+  if (payload % sizeof(Edge) != 0 ||
+      payload / sizeof(Edge) != header.num_edges) {
+    return Status::IOError(path + ": truncated edge payload (header says " +
+                           std::to_string(header.num_edges) + " edges)");
+  }
+  *out = header;
+  return Status::OK();
+}
+
 Status LoadEdgeListBinary(const std::string& path, EdgeList* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
-  std::uint64_t magic = 0, nv = 0, ne = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&nv), sizeof(nv));
-  in.read(reinterpret_cast<char*>(&ne), sizeof(ne));
-  if (!in || magic != kBinaryMagic) {
-    return Status::IOError(path + ": bad magic (not a DNE binary edge list)");
-  }
-  std::vector<Edge> edges(ne);
+  EdgeFileHeader header;
+  DNE_RETURN_IF_ERROR(ReadEdgeFileHeader(in, path, &header));
+  std::vector<Edge> edges(header.num_edges);
   in.read(reinterpret_cast<char*>(edges.data()),
-          static_cast<std::streamsize>(ne * sizeof(Edge)));
+          static_cast<std::streamsize>(header.num_edges * sizeof(Edge)));
   if (!in) return Status::IOError(path + ": truncated edge payload");
+  if (header.has_checksum) {
+    EdgeChecksum checksum;
+    checksum.Update(std::span<const Edge>(edges));
+    if (checksum.value() != header.checksum) {
+      return Status::IOError(path + ": checksum mismatch (corrupt payload)");
+    }
+  }
   EdgeList list(std::move(edges));
-  list.SetNumVertices(nv);
+  list.SetNumVertices(header.num_vertices);
   *out = std::move(list);
   return Status::OK();
 }
@@ -68,14 +145,16 @@ Status LoadEdgeListBinary(const std::string& path, EdgeList* out) {
 Status SaveEdgeListBinary(const std::string& path, const EdgeList& list) {
   std::ofstream outf(path, std::ios::binary);
   if (!outf) return Status::IOError("cannot open " + path);
-  const std::uint64_t magic = kBinaryMagic;
-  const std::uint64_t nv = list.NumVertices();
-  const std::uint64_t ne = list.NumEdges();
-  outf.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  outf.write(reinterpret_cast<const char*>(&nv), sizeof(nv));
-  outf.write(reinterpret_cast<const char*>(&ne), sizeof(ne));
+  EdgeChecksum checksum;
+  checksum.Update(std::span<const Edge>(list.edges()));
+  PutU64(outf, kEdgeFileMagicV2);
+  PutU32(outf, kEdgeFileVersion);
+  PutU32(outf, 0);  // reserved
+  PutU64(outf, list.NumVertices());
+  PutU64(outf, list.NumEdges());
+  PutU64(outf, checksum.value());
   outf.write(reinterpret_cast<const char*>(list.edges().data()),
-             static_cast<std::streamsize>(ne * sizeof(Edge)));
+             static_cast<std::streamsize>(list.NumEdges() * sizeof(Edge)));
   if (!outf) return Status::IOError("write failed on " + path);
   return Status::OK();
 }

@@ -1,9 +1,29 @@
 // Text (SNAP-style) and binary edge-list persistence.
+//
+// Binary edge-file format v2 (all fields little-endian):
+//
+//   offset  0  u64  magic "DNEEDGE2"
+//   offset  8  u32  version (currently 2)
+//   offset 12  u32  reserved (zero)
+//   offset 16  u64  num_vertices
+//   offset 24  u64  num_edges
+//   offset 32  u64  checksum (EdgeChecksum over the records in file order)
+//   offset 40  num_edges * { u64 src, u64 dst }
+//
+// The header carries the edge count and a payload checksum so that an
+// out-of-core reader can size its chunking upfront and detect truncation or
+// corruption deterministically. Writers emit v2; loaders additionally accept
+// the legacy v1 layout (magic "DNE_GRAH", no version/checksum) written by
+// earlier releases.
 #ifndef DNE_GRAPH_GRAPH_IO_H_
 #define DNE_GRAPH_GRAPH_IO_H_
 
+#include <cstdint>
+#include <iosfwd>
+#include <span>
 #include <string>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "graph/edge_list.h"
 
@@ -17,11 +37,63 @@ Status LoadEdgeListText(const std::string& path, EdgeList* out);
 /// comment header.
 Status SaveEdgeListText(const std::string& path, const EdgeList& list);
 
-/// Binary format: u64 magic, u64 num_vertices, u64 num_edges, then
-/// num_edges * {u64 src, u64 dst}. An order of magnitude faster to load than
-/// text for large graphs.
+/// Loads a binary edge file (v2 with checksum verification, or legacy v1).
+/// The header is validated against the file size before the payload is
+/// touched, so truncated or oversized files fail cleanly.
 Status LoadEdgeListBinary(const std::string& path, EdgeList* out);
+
+/// Writes the v2 binary format. An order of magnitude faster to load than
+/// text for large graphs.
 Status SaveEdgeListBinary(const std::string& path, const EdgeList& list);
+
+/// Legacy v1 magic ("DNE_GRAH"): u64 magic, u64 num_vertices, u64 num_edges,
+/// then the edge records. Read-only support.
+inline constexpr std::uint64_t kEdgeFileMagicV1 = 0x444e455f47524148ULL;
+/// v2 magic: the bytes "DNEEDGE2" read as a little-endian u64.
+inline constexpr std::uint64_t kEdgeFileMagicV2 = 0x3245474445454e44ULL;
+inline constexpr std::uint32_t kEdgeFileVersion = 2;
+inline constexpr std::size_t kEdgeFileHeaderBytesV1 = 24;
+inline constexpr std::size_t kEdgeFileHeaderBytesV2 = 40;
+
+/// Parsed and validated binary edge-file header (v1 or v2).
+struct EdgeFileHeader {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t checksum = 0;
+  bool has_checksum = false;  ///< true for v2 headers
+  std::size_t header_bytes = 0;
+};
+
+/// Reads the v1/v2 header from `in` (an open binary stream) and validates it
+/// against the file size — including that the payload holds exactly
+/// num_edges records, checked division-side so a lying edge count can never
+/// overflow the arithmetic or trigger a huge allocation. On OK the stream is
+/// positioned at the first edge record. Shared by LoadEdgeListBinary and
+/// BinaryEdgeStreamReader. `path` is used in error messages only.
+Status ReadEdgeFileHeader(std::ifstream& in, const std::string& path,
+                          EdgeFileHeader* out);
+
+/// Sequential FNV-style checksum over edge records; both endpoints are mixed
+/// so endpoint swaps and record reorderings change the value. Incremental by
+/// construction, so streaming writers and readers can fold in one chunk at a
+/// time.
+class EdgeChecksum {
+ public:
+  void Update(const Edge& edge) {
+    hash_ = (hash_ ^ Mix64(edge.src)) * kPrime;
+    hash_ = (hash_ ^ Mix64(edge.dst)) * kPrime;
+  }
+  void Update(std::span<const Edge> edges) {
+    for (const Edge& e : edges) Update(e);
+  }
+  std::uint64_t value() const { return hash_; }
+  void Reset() { hash_ = kOffsetBasis; }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t hash_ = kOffsetBasis;
+};
 
 }  // namespace dne
 

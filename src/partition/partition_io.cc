@@ -1,8 +1,11 @@
 #include "partition/partition_io.h"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <system_error>
 #include <vector>
 
 namespace dne {
@@ -95,21 +98,124 @@ Status WritePartitionShards(const std::string& directory, const Graph& g,
   if (partition.num_edges() != g.NumEdges()) {
     return Status::InvalidArgument("partition does not match graph");
   }
-  std::vector<std::ofstream> shards;
-  shards.reserve(partition.num_partitions());
-  for (std::uint32_t p = 0; p < partition.num_partitions(); ++p) {
-    shards.emplace_back(directory + "/part-" + std::to_string(p) + ".txt");
-    if (!shards.back()) {
+  PartitionShardWriter writer(directory, partition.num_partitions());
+  DNE_RETURN_IF_ERROR(writer.Open());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    DNE_RETURN_IF_ERROR(writer.Append(g.edge(e), partition.Get(e)));
+  }
+  return writer.Finish();
+}
+
+// ---- PartitionShardWriter ---------------------------------------------------
+
+PartitionShardWriter::PartitionShardWriter(std::string directory,
+                                           std::uint32_t num_partitions,
+                                           std::size_t buffer_edges,
+                                           MemTracker* mem_tracker)
+    : directory_(std::move(directory)),
+      num_partitions_(num_partitions),
+      buffer_edges_(buffer_edges == 0 ? 1 : buffer_edges),
+      mem_tracker_(mem_tracker) {}
+
+PartitionShardWriter::~PartitionShardWriter() {
+  if (mem_tracker_ != nullptr && tracked_bytes_ > 0) {
+    mem_tracker_->Release(0, tracked_bytes_);
+  }
+}
+
+std::string PartitionShardWriter::ShardPath(std::uint32_t partition) const {
+  return directory_ + "/part-" + std::to_string(partition) + ".txt";
+}
+
+Status PartitionShardWriter::Open() {
+  if (open_) return Status::InvalidArgument("shard writer already open");
+  if (num_partitions_ == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    return Status::IOError("cannot create shard directory " + directory_ +
+                           ": " + ec.message());
+  }
+  for (std::uint32_t p = 0; p < num_partitions_; ++p) {
+    std::ofstream shard(ShardPath(p), std::ios::trunc);
+    if (!shard) {
       return Status::IOError("cannot open shard " + std::to_string(p) +
-                             " in " + directory);
+                             " in " + directory_);
     }
   }
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    const Edge& ed = g.edge(e);
-    shards[partition.Get(e)] << ed.src << " " << ed.dst << "\n";
+  buffers_.assign(num_partitions_, {});
+  for (auto& buffer : buffers_) buffer.reserve(buffer_edges_);
+  partition_counts_.assign(num_partitions_, 0);
+  edges_written_ = 0;
+  if (mem_tracker_ != nullptr) {
+    tracked_bytes_ = num_partitions_ * buffer_edges_ * sizeof(Edge);
+    mem_tracker_->Allocate(0, tracked_bytes_);
   }
-  for (auto& s : shards) {
-    if (!s) return Status::IOError("shard write failed in " + directory);
+  open_ = true;
+  return Status::OK();
+}
+
+Status PartitionShardWriter::Flush(std::uint32_t partition) {
+  std::vector<Edge>& buffer = buffers_[partition];
+  if (buffer.empty()) return Status::OK();
+  std::ofstream shard(ShardPath(partition), std::ios::app);
+  if (!shard) {
+    return Status::IOError("cannot append to shard " +
+                           std::to_string(partition) + " in " + directory_);
+  }
+  std::string lines;
+  lines.reserve(buffer.size() * 16);
+  for (const Edge& e : buffer) {
+    lines += std::to_string(e.src);
+    lines += ' ';
+    lines += std::to_string(e.dst);
+    lines += '\n';
+  }
+  shard.write(lines.data(), static_cast<std::streamsize>(lines.size()));
+  if (!shard) {
+    return Status::IOError("shard write failed in " + directory_);
+  }
+  buffer.clear();
+  return Status::OK();
+}
+
+Status PartitionShardWriter::Append(const Edge& edge, PartitionId partition) {
+  if (!open_) return Status::InvalidArgument("shard writer is not open");
+  if (partition >= num_partitions_) {
+    return Status::OutOfRange("partition id " + std::to_string(partition) +
+                              " out of range");
+  }
+  buffers_[partition].push_back(edge);
+  ++partition_counts_[partition];
+  ++edges_written_;
+  if (buffers_[partition].size() >= buffer_edges_) {
+    return Flush(partition);
+  }
+  return Status::OK();
+}
+
+Status PartitionShardWriter::AppendBatch(std::span<const Edge> edges,
+                                         std::span<const PartitionId> parts) {
+  if (edges.size() != parts.size()) {
+    return Status::InvalidArgument("edge/assignment span size mismatch");
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    DNE_RETURN_IF_ERROR(Append(edges[i], parts[i]));
+  }
+  return Status::OK();
+}
+
+Status PartitionShardWriter::Finish() {
+  if (!open_) return Status::InvalidArgument("shard writer is not open");
+  open_ = false;
+  for (std::uint32_t p = 0; p < num_partitions_; ++p) {
+    DNE_RETURN_IF_ERROR(Flush(p));
+  }
+  if (mem_tracker_ != nullptr && tracked_bytes_ > 0) {
+    mem_tracker_->Release(0, tracked_bytes_);
+    tracked_bytes_ = 0;
   }
   return Status::OK();
 }

@@ -4,11 +4,15 @@
 #ifndef DNE_PARTITION_PARTITION_IO_H_
 #define DNE_PARTITION_PARTITION_IO_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "graph/graph.h"
 #include "partition/edge_partition.h"
+#include "runtime/mem_tracker.h"
 
 namespace dne {
 
@@ -25,10 +29,66 @@ Status SavePartitionBinary(const std::string& path,
 Status LoadPartitionBinary(const std::string& path, EdgePartition* out);
 
 /// Writes one "part-<i>.txt" edge list per partition into `directory`
-/// (created by the caller). Each shard holds the canonical "u v" lines of
+/// (created if absent). Each shard holds the canonical "u v" lines of
 /// its edges — exactly what each machine of a distributed engine loads.
 Status WritePartitionShards(const std::string& directory, const Graph& g,
                             const EdgePartition& partition);
+
+/// Incremental spiller behind WritePartitionShards and the out-of-core
+/// PartitionStream path: edges are buffered per partition and appended to
+/// that partition's "part-<i>.txt" whenever a buffer fills, so the writer's
+/// footprint stays O(num_partitions * buffer_edges) no matter how long the
+/// stream is. Shard files are opened in append mode per flush, keeping the
+/// number of simultaneously open descriptors at one.
+///
+///   PartitionShardWriter writer(dir, k);
+///   DNE_RETURN_IF_ERROR(writer.Open());
+///   for (...) DNE_RETURN_IF_ERROR(writer.Append(edge, partition_id));
+///   DNE_RETURN_IF_ERROR(writer.Finish());
+class PartitionShardWriter {
+ public:
+  /// The optional MemTracker accounts the writer's buffer capacity on rank 0
+  /// between Open and Finish.
+  PartitionShardWriter(std::string directory, std::uint32_t num_partitions,
+                       std::size_t buffer_edges = 4096,
+                       MemTracker* mem_tracker = nullptr);
+  ~PartitionShardWriter();
+
+  PartitionShardWriter(const PartitionShardWriter&) = delete;
+  PartitionShardWriter& operator=(const PartitionShardWriter&) = delete;
+
+  /// Creates the directory if needed and truncates the shard files.
+  Status Open();
+
+  Status Append(const Edge& edge, PartitionId partition);
+
+  /// Appends edges[i] to parts[i] for every i; the spans must be equal size.
+  Status AppendBatch(std::span<const Edge> edges,
+                     std::span<const PartitionId> parts);
+
+  /// Flushes every buffer and seals the writer; Append afterwards fails.
+  Status Finish();
+
+  std::uint64_t edges_written() const { return edges_written_; }
+  /// Per-partition edge counts, |E_p| as spilled so far.
+  const std::vector<std::uint64_t>& partition_counts() const {
+    return partition_counts_;
+  }
+
+ private:
+  Status Flush(std::uint32_t partition);
+  std::string ShardPath(std::uint32_t partition) const;
+
+  std::string directory_;
+  std::uint32_t num_partitions_;
+  std::size_t buffer_edges_;
+  MemTracker* mem_tracker_;
+  bool open_ = false;
+  std::vector<std::vector<Edge>> buffers_;
+  std::vector<std::uint64_t> partition_counts_;
+  std::uint64_t edges_written_ = 0;
+  std::size_t tracked_bytes_ = 0;
+};
 
 }  // namespace dne
 

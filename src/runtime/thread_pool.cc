@@ -22,8 +22,18 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::unique_lock<std::mutex> lock(mu_);
     work_ready_.wait(lock, [&] {
-      return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      return shutdown_ || !tasks_.empty() ||
+             (job_ != nullptr && generation_ != seen_generation);
     });
+    // Drain pending Submit tasks first (also during shutdown, so futures
+    // handed out before the destructor always complete).
+    if (!tasks_.empty()) {
+      std::packaged_task<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();
+      continue;
+    }
     if (shutdown_) return;
     seen_generation = generation_;
     while (next_index_ < job_size_) {
@@ -66,6 +76,21 @@ void ThreadPool::ParallelFor(std::size_t n,
     work_done_.wait(lock, [&] { return completed_ == job_size_; });
     job_ = nullptr;
   }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (workers_.empty()) {
+    task();  // single-threaded pool: run inline
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_ready_.notify_all();
+  return future;
 }
 
 }  // namespace dne

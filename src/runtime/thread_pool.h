@@ -7,7 +7,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -33,6 +35,14 @@ class ThreadPool {
   /// plus the calling thread; returns when all calls completed.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Schedules fn on a pool worker and returns a future that completes when
+  /// it has run — the primitive behind double-buffered chunk read-ahead
+  /// (fetch the next chunk while the consumer works on the current one).
+  /// With num_threads <= 1 fn runs inline before returning, degenerating to
+  /// a sequential fetch. Tasks coexist with ParallelFor: a worker busy on a
+  /// task simply does not participate in an ongoing ParallelFor.
+  std::future<void> Submit(std::function<void()> fn);
+
  private:
   void WorkerLoop();
 
@@ -40,6 +50,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
+  std::deque<std::packaged_task<void()>> tasks_;
   const std::function<void(std::size_t)>* job_ = nullptr;
   std::size_t job_size_ = 0;
   std::size_t next_index_ = 0;

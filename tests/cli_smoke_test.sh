@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# CLI smoke test: the happy path of every subcommand plus the flag-validation
+# contract — malformed numeric flags must exit cleanly (status 1/2 with a
+# usage or error message), never crash with an uncaught exception.
+#
+#   cli_smoke_test.sh /path/to/dne_cli
+set -u
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+"$CLI" list > /dev/null || fail "list"
+
+"$CLI" generate --type=rmat --scale=10 --edge-factor=8 \
+    --out="$TMP/g.bin" > /dev/null || fail "generate"
+
+"$CLI" info --graph="$TMP/g.bin" > /dev/null || fail "info"
+
+"$CLI" partition --graph="$TMP/g.bin" --method=hdrf --partitions=8 \
+    --out="$TMP/p.bin" > /dev/null || fail "partition"
+
+"$CLI" partition --graph="$TMP/g.bin" --method=hdrf --partitions=8 \
+    --stream-chunks=4 > /dev/null || fail "partition --stream-chunks"
+
+"$CLI" evaluate --graph="$TMP/g.bin" --partition="$TMP/p.bin" \
+    > /dev/null || fail "evaluate"
+
+# Out-of-core: file-backed and generator-backed streams, with shard spilling.
+"$CLI" stream --input="$TMP/g.bin" --method=random --partitions=8 \
+    --chunk-edges=1000 > /dev/null || fail "stream --input"
+"$CLI" stream --gen=rmat --scale=12 --edge-factor=8 --method=random \
+    --partitions=8 --chunk-edges=10000 --out="$TMP/sp.bin" \
+    --out-dir="$TMP/shards" > /dev/null || fail "stream --gen"
+[ -s "$TMP/shards/part-0.txt" ] || fail "stream wrote no shards"
+[ -s "$TMP/sp.bin" ] || fail "stream wrote no partition file"
+
+# Malformed numeric flags: clean error + usage, exit 1/2 — not an uncaught
+# std::stoi throw (which would abort with 134).
+check_clean_failure() {
+  "$@" > /dev/null 2> "$TMP/err"
+  local rc=$?
+  [ "$rc" -eq 1 ] || [ "$rc" -eq 2 ] || fail "'$*' exited $rc (crash?)"
+  grep -qiE "usage|error" "$TMP/err" || fail "'$*' printed no diagnostic"
+}
+check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=random \
+    --stream-chunks=banana
+check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=random \
+    --partitions=-3
+check_clean_failure "$CLI" stream --gen=rmat --method=random \
+    --chunk-edges=many
+check_clean_failure "$CLI" stream --method=random --partitions=8
+check_clean_failure "$CLI" stream --gen=nonsense --method=random
+check_clean_failure "$CLI" generate --type=rmat --scale=ten
+check_clean_failure "$CLI" generate --type=rmat --scale=64
+check_clean_failure "$CLI" stream --gen=rmat --scale=64 --method=random
+check_clean_failure "$CLI" stream --gen=rmat --scale=12 --method=random \
+    --partitions=4294967297
+check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=random \
+    --partitions=4294967297
+check_clean_failure "$CLI" frobnicate
+
+# Error paths that must not crash either.
+check_clean_failure "$CLI" partition --graph=/nonexistent/g.bin
+check_clean_failure "$CLI" stream --input=/nonexistent/g.bin --method=random
+
+echo "PASS"

@@ -1,0 +1,245 @@
+// PartitionStream: the out-of-core driver. Differential contract against
+// the batch path over 1/3/7/64 chunks — bit-identical for the hash family,
+// valid-cover + balance invariants for the online/window family — plus
+// read-ahead, shard spilling, memory accounting and error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/partition_stream.h"
+#include "gen/rmat.h"
+#include "graph/edge_stream_reader.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "metrics/partition_metrics.h"
+#include "partition/partition_io.h"
+#include "runtime/mem_tracker.h"
+#include "runtime/thread_pool.h"
+
+namespace dne {
+namespace {
+
+Graph StreamGraph() {
+  RmatOptions opt;
+  opt.scale = 11;
+  opt.edge_factor = 8;
+  opt.seed = 17;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+std::size_t ChunkEdgesFor(const Graph& g, int chunks) {
+  return (g.NumEdges() + chunks - 1) / chunks;
+}
+
+EdgePartition BatchPartition(const std::string& name, const Graph& g,
+                             std::uint32_t k) {
+  EdgePartition ep;
+  EXPECT_TRUE(MustCreatePartitioner(name)->Partition(g, k, &ep).ok()) << name;
+  return ep;
+}
+
+// Streams g's canonical edges through `name` via PartitionStream over a
+// VectorEdgeStream split into `chunks` chunks (optionally double-buffered).
+EdgePartition StreamedPartition(const std::string& name, const Graph& g,
+                                std::uint32_t k, int chunks,
+                                ThreadPool* pool = nullptr) {
+  auto p = MustCreatePartitioner(name);
+  StreamingPartitioner* s = p->streaming();
+  EXPECT_NE(s, nullptr) << name;
+  VectorEdgeStream reader(g.edges().edges(), ChunkEdgesFor(g, chunks));
+  PartitionStreamOptions opts;
+  opts.read_ahead = pool;
+  EdgePartition ep;
+  PartitionStreamResult result;
+  EXPECT_TRUE(PartitionStream(&reader, s, k, PartitionContext{}, &ep, opts,
+                              &result)
+                  .ok())
+      << name;
+  EXPECT_EQ(result.edges_streamed, g.NumEdges()) << name;
+  return ep;
+}
+
+using DifferentialParam = std::tuple<std::string, int>;
+
+// The hash family assigns every edge from whole-stream state (hash seeds +
+// final degrees), so out-of-core chunking must reproduce the one-shot batch
+// assignment bit for bit regardless of the chunk count.
+class HashFamilyDifferentialTest
+    : public ::testing::TestWithParam<DifferentialParam> {};
+
+TEST_P(HashFamilyDifferentialTest, StreamingMatchesBatchExactly) {
+  const auto& [name, chunks] = GetParam();
+  Graph g = StreamGraph();
+  const EdgePartition batch = BatchPartition(name, g, 8);
+  const EdgePartition streamed = StreamedPartition(name, g, 8, chunks);
+  ASSERT_TRUE(streamed.Validate(g).ok());
+  EXPECT_EQ(streamed.assignment(), batch.assignment());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChunkings, HashFamilyDifferentialTest,
+    ::testing::Combine(::testing::Values("random", "grid", "dbh", "hybrid"),
+                       ::testing::Values(1, 3, 7, 64)),
+    [](const ::testing::TestParamInfo<DifferentialParam>& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param)) + "chunks";
+    });
+
+// The online/window family places greedily in arrival order, so exact
+// equality is not required — but every chunking must emit a Validate()-clean
+// disjoint cover whose balance respects the capacity guards (alpha-balance)
+// these methods carry.
+class WindowFamilyDifferentialTest
+    : public ::testing::TestWithParam<DifferentialParam> {};
+
+TEST_P(WindowFamilyDifferentialTest, StreamingKeepsInvariants) {
+  const auto& [name, chunks] = GetParam();
+  Graph g = StreamGraph();
+  const EdgePartition streamed = StreamedPartition(name, g, 8, chunks);
+  ASSERT_TRUE(streamed.Validate(g).ok());
+  EXPECT_EQ(streamed.num_partitions(), 8u);
+  const PartitionMetrics m = ComputePartitionMetrics(g, streamed);
+  EXPECT_LT(m.edge_balance, 2.5) << "balance guard violated";
+  // Greedy streaming must still clearly beat 1-D hashing on skew.
+  const double random_rf =
+      ComputePartitionMetrics(g, BatchPartition("random", g, 8))
+          .replication_factor;
+  EXPECT_LT(m.replication_factor, random_rf);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChunkings, WindowFamilyDifferentialTest,
+    ::testing::Combine(
+        ::testing::Values("oblivious", "ginger", "hdrf", "sne", "dynamic"),
+        ::testing::Values(1, 3, 7, 64)),
+    [](const ::testing::TestParamInfo<DifferentialParam>& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param)) + "chunks";
+    });
+
+TEST(PartitionStreamTest, ReadAheadMatchesInlineFetch) {
+  Graph g = StreamGraph();
+  ThreadPool pool(3);
+  const EdgePartition inline_fetch = StreamedPartition("hdrf", g, 8, 7);
+  const EdgePartition read_ahead =
+      StreamedPartition("hdrf", g, 8, 7, &pool);
+  EXPECT_EQ(read_ahead.assignment(), inline_fetch.assignment());
+}
+
+TEST(PartitionStreamTest, FileBackedStreamMatchesVectorStream) {
+  Graph g = StreamGraph();
+  const std::string path =
+      std::string(::testing::TempDir()) + "/stream_graph.bin";
+  ASSERT_TRUE(SaveEdgeListBinary(path, g.edges()).ok());
+  std::unique_ptr<EdgeStreamReader> reader;
+  ASSERT_TRUE(OpenEdgeStream(path, "auto", ChunkEdgesFor(g, 7), &reader).ok());
+  auto p = MustCreatePartitioner("dbh");
+  EdgePartition from_file;
+  ASSERT_TRUE(PartitionStream(reader.get(), p->streaming(), 8,
+                              PartitionContext{}, &from_file)
+                  .ok());
+  EXPECT_EQ(from_file.assignment(),
+            StreamedPartition("dbh", g, 8, 7).assignment());
+  std::remove(path.c_str());
+}
+
+TEST(PartitionStreamTest, SpillsShardsThatPartitionTheStream) {
+  Graph g = StreamGraph();
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/stream_shards";
+  VectorEdgeStream reader(g.edges().edges(), ChunkEdgesFor(g, 5));
+  PartitionShardWriter writer(dir, 4, /*buffer_edges=*/64);
+  PartitionStreamOptions opts;
+  opts.shard_writer = &writer;
+  auto p = MustCreatePartitioner("random");
+  EdgePartition ep;
+  ASSERT_TRUE(PartitionStream(&reader, p->streaming(), 4,
+                              PartitionContext{}, &ep, opts)
+                  .ok());
+  EXPECT_EQ(writer.edges_written(), g.NumEdges());
+  // Each shard holds exactly the edges assigned to it, in arrival order.
+  std::uint64_t total = 0;
+  for (std::uint32_t part = 0; part < 4; ++part) {
+    EdgeList shard;
+    ASSERT_TRUE(
+        LoadEdgeListText(dir + "/part-" + std::to_string(part) + ".txt",
+                         &shard)
+            .ok());
+    EXPECT_EQ(shard.NumEdges(), writer.partition_counts()[part]);
+    std::size_t i = 0;
+    for (EdgeId e = 0; e < g.NumEdges() && i < shard.NumEdges(); ++e) {
+      if (ep.Get(e) == part) EXPECT_EQ(shard[i++], g.edge(e));
+    }
+    total += shard.NumEdges();
+  }
+  EXPECT_EQ(total, g.NumEdges());
+}
+
+TEST(PartitionStreamTest, TracksChunkMemoryOnly) {
+  Graph g = StreamGraph();
+  const std::size_t chunk_edges = 512;
+  VectorEdgeStream reader(g.edges().edges(), chunk_edges);
+  MemTracker tracker;
+  PartitionStreamOptions opts;
+  opts.mem_tracker = &tracker;
+  auto p = MustCreatePartitioner("random");
+  EdgePartition ep;
+  ASSERT_TRUE(PartitionStream(&reader, p->streaming(), 8,
+                              PartitionContext{}, &ep, opts)
+                  .ok());
+  // Two buffers, each at most a chunk (plus vector growth slack): far below
+  // the materialised edge list.
+  EXPECT_LE(tracker.peak_total(), 4 * chunk_edges * sizeof(Edge));
+  EXPECT_LT(tracker.peak_total(), g.NumEdges() * sizeof(Edge) / 4);
+  EXPECT_EQ(tracker.current_total(), 0u);  // all released on exit
+}
+
+TEST(PartitionStreamTest, PropagatesReaderErrorsAndBadArguments) {
+  Graph g = StreamGraph();
+  auto p = MustCreatePartitioner("random");
+  EdgePartition ep;
+  EXPECT_FALSE(PartitionStream(nullptr, p->streaming(), 8,
+                               PartitionContext{}, &ep)
+                   .ok());
+  VectorEdgeStream reader(g.edges().edges(), 512);
+  EXPECT_FALSE(
+      PartitionStream(&reader, nullptr, 8, PartitionContext{}, &ep).ok());
+  // A malformed text file fails mid-stream and the error surfaces.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/bad_stream.txt";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 100; ++i) out << i << " " << i + 1 << "\n";
+    out << "garbage line\n";
+  }
+  std::unique_ptr<EdgeStreamReader> bad;
+  ASSERT_TRUE(OpenEdgeStream(path, "text", 16, &bad).ok());
+  EXPECT_EQ(PartitionStream(bad.get(), p->streaming(), 8,
+                            PartitionContext{}, &ep)
+                .code(),
+            Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionStreamTest, CancellationAborts) {
+  Graph g = StreamGraph();
+  std::atomic<bool> cancel{true};
+  PartitionContext ctx;
+  ctx.cancel = &cancel;
+  VectorEdgeStream reader(g.edges().edges(), 512);
+  auto p = MustCreatePartitioner("oblivious");
+  EdgePartition ep;
+  EXPECT_EQ(
+      PartitionStream(&reader, p->streaming(), 8, ctx, &ep).code(),
+      Status::Code::kCancelled);
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,344 @@
+// EdgeStreamReader backends: chunk-boundary behaviour, Reset() replay,
+// header hints, generator/batch equivalence, and the malformed-input
+// contract (truncation, bad magic/checksum, empty files, non-numeric lines)
+// for both the old whole-file loaders and the new chunked readers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "gen/generator_stream.h"
+#include "gen/rmat.h"
+#include "graph/edge_stream_reader.h"
+#include "graph/graph_io.h"
+
+namespace dne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+EdgeList SampleList() {
+  EdgeList list;
+  for (std::uint64_t i = 0; i < 10; ++i) list.Add(i, (i * 7 + 3) % 11);
+  return list;
+}
+
+// Drains a reader; returns all edges and requires every chunk <= max_chunk.
+std::vector<Edge> Drain(EdgeStreamReader* reader, std::size_t max_chunk) {
+  std::vector<Edge> all, chunk;
+  for (;;) {
+    Status st = reader->NextChunk(&chunk);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    if (!st.ok() || chunk.empty()) break;
+    EXPECT_LE(chunk.size(), max_chunk);
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return all;
+}
+
+TEST(TextStreamReaderTest, ChunksReassembleTheFile) {
+  const std::string path = TempPath("stream.txt");
+  const EdgeList list = SampleList();
+  ASSERT_TRUE(SaveEdgeListText(path, list).ok());
+  std::unique_ptr<TextEdgeStreamReader> reader;
+  ASSERT_TRUE(TextEdgeStreamReader::Open(path, 3, &reader).ok());
+  EXPECT_EQ(Drain(reader.get(), 3), list.edges());
+  std::remove(path.c_str());
+}
+
+TEST(TextStreamReaderTest, ResetReplaysTheIdenticalStream) {
+  const std::string path = TempPath("stream_reset.txt");
+  ASSERT_TRUE(SaveEdgeListText(path, SampleList()).ok());
+  std::unique_ptr<TextEdgeStreamReader> reader;
+  ASSERT_TRUE(TextEdgeStreamReader::Open(path, 4, &reader).ok());
+  const std::vector<Edge> first = Drain(reader.get(), 4);
+  ASSERT_TRUE(reader->Reset().ok());
+  EXPECT_EQ(Drain(reader.get(), 4), first);
+  std::remove(path.c_str());
+}
+
+TEST(TextStreamReaderTest, NonNumericLineFailsWithLineNumber) {
+  const std::string path = TempPath("bad_line.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2\n3 4\nnot numbers\n5 6\n";
+  }
+  std::unique_ptr<TextEdgeStreamReader> reader;
+  ASSERT_TRUE(TextEdgeStreamReader::Open(path, 100, &reader).ok());
+  std::vector<Edge> chunk;
+  const Status st = reader->NextChunk(&chunk);
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  EXPECT_NE(st.message().find(":3"), std::string::npos) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(TextStreamReaderTest, EmptyFileIsRejectedAtOpen) {
+  const std::string path = TempPath("empty.txt");
+  { std::ofstream out(path); }
+  std::unique_ptr<TextEdgeStreamReader> reader;
+  EXPECT_EQ(TextEdgeStreamReader::Open(path, 8, &reader).code(),
+            Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(TextStreamReaderTest, RejectsMissingFileAndZeroChunk) {
+  std::unique_ptr<TextEdgeStreamReader> reader;
+  EXPECT_EQ(
+      TextEdgeStreamReader::Open("/nonexistent/x.txt", 8, &reader).code(),
+      Status::Code::kIOError);
+  EXPECT_EQ(TextEdgeStreamReader::Open("/tmp/x.txt", 0, &reader).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(BinaryStreamReaderTest, ChunksReassembleTheFileWithHints) {
+  const std::string path = TempPath("stream.bin");
+  EdgeList list = SampleList();
+  list.SetNumVertices(50);
+  ASSERT_TRUE(SaveEdgeListBinary(path, list).ok());
+  std::unique_ptr<BinaryEdgeStreamReader> reader;
+  ASSERT_TRUE(BinaryEdgeStreamReader::Open(path, 4, &reader).ok());
+  EXPECT_EQ(reader->EdgeCountHint(), list.NumEdges());
+  EXPECT_EQ(reader->NumVerticesHint(), 50u);
+  EXPECT_EQ(Drain(reader.get(), 4), list.edges());
+  ASSERT_TRUE(reader->Reset().ok());
+  EXPECT_EQ(Drain(reader.get(), 4), list.edges());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStreamReaderTest, CorruptPayloadFailsTheChecksum) {
+  const std::string path = TempPath("corrupt.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(path, SampleList()).ok());
+  {
+    // Flip one byte in the middle of the payload; size stays valid.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kEdgeFileHeaderBytesV2 + 19));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(static_cast<std::streamoff>(kEdgeFileHeaderBytesV2 + 19));
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  // The chunked reader reports the mismatch on the final chunk...
+  std::unique_ptr<BinaryEdgeStreamReader> reader;
+  ASSERT_TRUE(BinaryEdgeStreamReader::Open(path, 4, &reader).ok());
+  std::vector<Edge> chunk;
+  Status last = Status::OK();
+  for (int i = 0; i < 10 && last.ok(); ++i) {
+    last = reader->NextChunk(&chunk);
+    if (chunk.empty()) break;
+  }
+  EXPECT_EQ(last.code(), Status::Code::kIOError);
+  // ...and the whole-file loader at load time.
+  EdgeList loaded;
+  EXPECT_EQ(LoadEdgeListBinary(path, &loaded).code(),
+            Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStreamReaderTest, TruncatedFileIsRejectedAtOpen) {
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(path, SampleList()).ok());
+  {
+    // Drop the last 8 bytes of the payload.
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 8));
+  }
+  std::unique_ptr<BinaryEdgeStreamReader> reader;
+  EXPECT_EQ(BinaryEdgeStreamReader::Open(path, 4, &reader).code(),
+            Status::Code::kIOError);
+  EdgeList loaded;
+  EXPECT_EQ(LoadEdgeListBinary(path, &loaded).code(),
+            Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStreamReaderTest, LyingHeaderEdgeCountIsRejected) {
+  // 2^56 fails the plain size comparison; 2^60 * sizeof(Edge) wraps to 0 in
+  // u64, so only a division-side check catches it — either way the loaders
+  // must reject the header instead of attempting a huge allocation.
+  for (const std::uint64_t huge : {1ULL << 56, 1ULL << 60}) {
+    const std::string path = TempPath("liar.bin");
+    ASSERT_TRUE(SaveEdgeListBinary(path, SampleList()).ok());
+    {
+      std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+      f.seekp(24);
+      f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+    }
+    std::unique_ptr<BinaryEdgeStreamReader> reader;
+    EXPECT_EQ(BinaryEdgeStreamReader::Open(path, 4, &reader).code(),
+              Status::Code::kIOError);
+    EdgeList loaded;
+    EXPECT_EQ(LoadEdgeListBinary(path, &loaded).code(),
+              Status::Code::kIOError);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(BinaryStreamReaderTest, EmptyAndBadMagicFilesAreRejected) {
+  const std::string empty = TempPath("empty.bin");
+  { std::ofstream out(empty, std::ios::binary); }
+  const std::string garbage = TempPath("garbage.bin");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "this is not a dne edge file, not even close to one....";
+  }
+  std::unique_ptr<BinaryEdgeStreamReader> reader;
+  EdgeList loaded;
+  for (const std::string& path : {empty, garbage}) {
+    EXPECT_EQ(BinaryEdgeStreamReader::Open(path, 4, &reader).code(),
+              Status::Code::kIOError)
+        << path;
+    EXPECT_EQ(LoadEdgeListBinary(path, &loaded).code(),
+              Status::Code::kIOError)
+        << path;
+  }
+  std::remove(empty.c_str());
+  std::remove(garbage.c_str());
+}
+
+TEST(BinaryFormatTest, LegacyV1FilesStillLoad) {
+  const std::string path = TempPath("legacy.bin");
+  const EdgeList list = SampleList();
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint64_t magic = kEdgeFileMagicV1;
+    const std::uint64_t nv = list.NumVertices(), ne = list.NumEdges();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&nv), sizeof(nv));
+    out.write(reinterpret_cast<const char*>(&ne), sizeof(ne));
+    out.write(reinterpret_cast<const char*>(list.edges().data()),
+              static_cast<std::streamsize>(ne * sizeof(Edge)));
+  }
+  EdgeList loaded;
+  ASSERT_TRUE(LoadEdgeListBinary(path, &loaded).ok());
+  EXPECT_EQ(loaded.edges(), list.edges());
+  std::unique_ptr<BinaryEdgeStreamReader> reader;
+  ASSERT_TRUE(BinaryEdgeStreamReader::Open(path, 4, &reader).ok());
+  EXPECT_EQ(Drain(reader.get(), 4), list.edges());
+  std::remove(path.c_str());
+}
+
+TEST(VectorEdgeStreamTest, ChunksAndResets) {
+  const EdgeList list = SampleList();
+  VectorEdgeStream stream(list.edges(), 4, /*num_vertices_hint=*/11);
+  EXPECT_EQ(stream.EdgeCountHint(), list.NumEdges());
+  EXPECT_EQ(stream.NumVerticesHint(), 11u);
+  EXPECT_EQ(Drain(&stream, 4), list.edges());
+  ASSERT_TRUE(stream.Reset().ok());
+  EXPECT_EQ(Drain(&stream, 4), list.edges());
+}
+
+TEST(OpenEdgeStreamTest, DispatchesByFormatAndExtension) {
+  const std::string text = TempPath("open.txt");
+  const std::string bin = TempPath("open.bin");
+  const EdgeList list = SampleList();
+  ASSERT_TRUE(SaveEdgeListText(text, list).ok());
+  ASSERT_TRUE(SaveEdgeListBinary(bin, list).ok());
+  std::unique_ptr<EdgeStreamReader> reader;
+  ASSERT_TRUE(OpenEdgeStream(text, "auto", 4, &reader).ok());
+  EXPECT_EQ(Drain(reader.get(), 4), list.edges());
+  ASSERT_TRUE(OpenEdgeStream(bin, "auto", 4, &reader).ok());
+  EXPECT_EQ(Drain(reader.get(), 4), list.edges());
+  EXPECT_EQ(OpenEdgeStream(bin, "nonsense", 4, &reader).code(),
+            Status::Code::kInvalidArgument);
+  std::remove(text.c_str());
+  std::remove(bin.c_str());
+}
+
+// The generator stream must emit exactly the batch generators' sequences:
+// out-of-core runs are then directly comparable with in-memory experiments.
+TEST(GeneratorStreamTest, RmatMatchesBatchGenerator) {
+  RmatOptions rmat;
+  rmat.scale = 10;
+  rmat.edge_factor = 4;
+  rmat.seed = 42;
+  GeneratorStreamOptions opt;
+  opt.kind = GeneratorStreamOptions::Kind::kRmat;
+  opt.rmat = rmat;
+  opt.chunk_edges = 777;  // deliberately not a divisor of the total
+  std::unique_ptr<GeneratorEdgeStream> stream;
+  ASSERT_TRUE(GeneratorEdgeStream::Open(opt, &stream).ok());
+  const EdgeList batch = GenerateRmat(rmat);
+  EXPECT_EQ(stream->EdgeCountHint(), batch.NumEdges());
+  EXPECT_EQ(stream->NumVerticesHint(), batch.NumVertices());
+  EXPECT_EQ(Drain(stream.get(), 777), batch.edges());
+  ASSERT_TRUE(stream->Reset().ok());
+  EXPECT_EQ(Drain(stream.get(), 777), batch.edges());
+}
+
+TEST(GeneratorStreamTest, ErdosRenyiMatchesBatchGenerator) {
+  GeneratorStreamOptions opt;
+  opt.kind = GeneratorStreamOptions::Kind::kErdosRenyi;
+  opt.erdos_renyi.num_vertices = 500;
+  opt.erdos_renyi.num_edges = 3000;
+  opt.erdos_renyi.seed = 9;
+  opt.chunk_edges = 256;
+  std::unique_ptr<GeneratorEdgeStream> stream;
+  ASSERT_TRUE(GeneratorEdgeStream::Open(opt, &stream).ok());
+  const EdgeList batch = GenerateErdosRenyi(500, 3000, 9);
+  EXPECT_EQ(Drain(stream.get(), 256), batch.edges());
+}
+
+TEST(GeneratorStreamTest, ChungLuMatchesBatchGenerator) {
+  ChungLuOptions cl;
+  cl.num_vertices = 2000;
+  cl.alpha = 2.2;
+  cl.seed = 5;
+  GeneratorStreamOptions opt;
+  opt.kind = GeneratorStreamOptions::Kind::kChungLu;
+  opt.chung_lu = cl;
+  opt.chunk_edges = 100;
+  std::unique_ptr<GeneratorEdgeStream> stream;
+  ASSERT_TRUE(GeneratorEdgeStream::Open(opt, &stream).ok());
+  const EdgeList batch = GenerateChungLu(cl);
+  EXPECT_EQ(stream->EdgeCountHint(), batch.NumEdges());
+  EXPECT_EQ(Drain(stream.get(), 100), batch.edges());
+}
+
+TEST(GeneratorStreamTest, RejectsBadOptions) {
+  std::unique_ptr<GeneratorEdgeStream> stream;
+  GeneratorStreamOptions opt;
+  opt.chunk_edges = 0;
+  EXPECT_EQ(GeneratorEdgeStream::Open(opt, &stream).code(),
+            Status::Code::kInvalidArgument);
+  opt.chunk_edges = 16;
+  opt.rmat.scale = 0;
+  EXPECT_EQ(GeneratorEdgeStream::Open(opt, &stream).code(),
+            Status::Code::kInvalidArgument);
+  opt = GeneratorStreamOptions{};
+  opt.kind = GeneratorStreamOptions::Kind::kErdosRenyi;
+  opt.erdos_renyi.num_vertices = 0;
+  EXPECT_EQ(GeneratorEdgeStream::Open(opt, &stream).code(),
+            Status::Code::kInvalidArgument);
+}
+
+// Old-loader regression: the text loader keeps accepting zero-edge files
+// (empty shards round-trip through LoadEdgeListText), and rejects
+// non-numeric lines as before.
+TEST(LegacyLoaderContractTest, TextLoaderEdgeCases) {
+  const std::string path = TempPath("legacy_empty.txt");
+  { std::ofstream out(path); }
+  EdgeList loaded;
+  EXPECT_TRUE(LoadEdgeListText(path, &loaded).ok());
+  EXPECT_EQ(loaded.NumEdges(), 0u);
+  {
+    std::ofstream out(path);
+    out << "12 bananas\n";
+  }
+  EXPECT_EQ(LoadEdgeListText(path, &loaded).code(), Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dne

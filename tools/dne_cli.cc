@@ -5,8 +5,18 @@
 //   dne_cli partition --graph=g.bin --method=dne --partitions=64
 //           --out=p.bin [--opt key=value ...] [--seed=1] [--shards=DIR]
 //           [--stream-chunks=N]
+//   dne_cli stream --method=hdrf --partitions=64 --input=g.bin
+//           [--format=auto|text|bin] [--chunk-edges=N] [--out=p.bin]
+//           [--out-dir=DIR] [--threads=N]
+//   dne_cli stream --method=hdrf --partitions=64 --gen=rmat --scale=23
+//           [--edge-factor=16] [--vertices=N] [--edges=N] [--chunk-edges=N]
 //   dne_cli evaluate --graph=g.bin --partition=p.bin
 //   dne_cli info --graph=g.bin
+//
+// `stream` is the out-of-core path: edges arrive in bounded chunks from a
+// file or straight out of a generator, are placed by any streaming-capable
+// method, and are optionally spilled to per-partition shard files — the
+// full edge list is never held in memory.
 //
 // Any algorithm option can be set without recompiling via the repeated
 // --opt flag ("--opt alpha=1.05 --opt lambda=0.2"); `dne_cli list` prints
@@ -14,7 +24,9 @@
 // shorthands for the matching --opt keys.
 //
 // Graph files may be .txt (SNAP "u v" lines) or the library's binary format
-// (by extension). Partition files likewise.
+// (by extension). Partition files likewise. Numeric flags are validated up
+// front; a malformed value prints the command usage and exits with status 2.
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,6 +39,8 @@
 #include "graph/degree_stats.h"
 #include "metrics/partition_metrics.h"
 #include "partition/partition_io.h"
+#include "runtime/mem_tracker.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -34,6 +48,18 @@ using dne::EdgeList;
 using dne::EdgePartition;
 using dne::Graph;
 using dne::Status;
+
+constexpr char kUsage[] =
+    "usage: dne_cli <list|generate|partition|stream|evaluate|info> "
+    "[--key=value ...] [--opt key=value ...]\n";
+
+constexpr char kStreamUsage[] =
+    "usage: dne_cli stream --method=NAME --partitions=K\n"
+    "         (--input=FILE [--format=auto|text|bin]\n"
+    "          | --gen=rmat|er|chung-lu [--scale=N] [--edge-factor=N]\n"
+    "            [--vertices=N] [--edges=N] [--gen-alpha=X])\n"
+    "         [--chunk-edges=N] [--seed=N] [--threads=N]\n"
+    "         [--out=FILE] [--out-dir=DIR] [--opt key=value ...]\n";
 
 // --key=value parsing over argv[2..].
 std::string GetFlag(int argc, char** argv, const std::string& key,
@@ -45,6 +71,71 @@ std::string GetFlag(int argc, char** argv, const std::string& key,
     }
   }
   return def;
+}
+
+// Strict numeric flag parsing: the whole value must be a number in range.
+// (std::stoi would throw an uncaught exception on "--stream-chunks=banana".)
+Status ParseUint(const std::string& flag, const std::string& value,
+                 std::uint64_t* out) {
+  const char* begin = value.data();
+  const char* end = value.data() + value.size();
+  auto r = std::from_chars(begin, end, *out);
+  if (r.ec != std::errc() || r.ptr != end || value.empty()) {
+    return Status::InvalidArgument("--" + flag + "=" + value +
+                                   ": not a non-negative integer");
+  }
+  return Status::OK();
+}
+
+Status ParseDouble(const std::string& flag, const std::string& value,
+                   double* out) {
+  const char* begin = value.data();
+  const char* end = value.data() + value.size();
+  auto r = std::from_chars(begin, end, *out);
+  if (r.ec != std::errc() || r.ptr != end || value.empty()) {
+    return Status::InvalidArgument("--" + flag + "=" + value +
+                                   ": not a number");
+  }
+  return Status::OK();
+}
+
+// Fetches an unsigned flag with a default, validating the value.
+Status GetUintFlag(int argc, char** argv, const std::string& key,
+                   std::uint64_t def, std::uint64_t* out) {
+  const std::string v = GetFlag(argc, argv, key, "");
+  if (v.empty()) {
+    *out = def;
+    return Status::OK();
+  }
+  return ParseUint(key, v, out);
+}
+
+// Flags that are narrowed to u32/int after parsing must be range-checked
+// first, or large values wrap silently (--partitions=2^32+1 becoming 1).
+Status CheckNarrowingRange(const char* flag, std::uint64_t value,
+                           std::uint64_t min, std::uint64_t max) {
+  if (value < min || value > max) {
+    return Status::OutOfRange(std::string("--") + flag + "=" +
+                              std::to_string(value) + ": must be in [" +
+                              std::to_string(min) + ", " +
+                              std::to_string(max) + "]");
+  }
+  return Status::OK();
+}
+
+// RMAT parameters feed `1ULL << scale` and narrowing int casts; range-check
+// them before anything runs instead of truncating silently (or shifting by
+// 64, which is UB).
+Status CheckRmatRange(std::uint64_t scale, std::uint64_t edge_factor) {
+  if (scale < 1 || scale > 40) {
+    return Status::OutOfRange("--scale=" + std::to_string(scale) +
+                              ": must be in [1, 40]");
+  }
+  if (edge_factor < 1 || edge_factor > (1 << 20)) {
+    return Status::OutOfRange("--edge-factor=" + std::to_string(edge_factor) +
+                              ": must be in [1, 2^20]");
+  }
+  return Status::OK();
 }
 
 // Collects every "--opt key=value" / "--opt=key=value" occurrence in order.
@@ -80,35 +171,49 @@ int Fail(const Status& st) {
   return 1;
 }
 
+// Flag-validation failure: error plus the relevant usage text, exit 2.
+int FailUsage(const Status& st, const char* usage) {
+  std::fprintf(stderr, "error: %s\n%s", st.ToString().c_str(), usage);
+  return 2;
+}
+
 int CmdGenerate(int argc, char** argv) {
   const std::string type = GetFlag(argc, argv, "type", "rmat");
   const std::string out_path = GetFlag(argc, argv, "out", "graph.bin");
+  std::uint64_t scale, edge_factor, seed, width, height, vertices, edges;
+  Status st = GetUintFlag(argc, argv, "scale", 16, &scale);
+  if (st.ok()) st = GetUintFlag(argc, argv, "edge-factor", 16, &edge_factor);
+  if (st.ok()) st = GetUintFlag(argc, argv, "seed", 1, &seed);
+  if (st.ok()) st = GetUintFlag(argc, argv, "width", 256, &width);
+  if (st.ok()) st = GetUintFlag(argc, argv, "height", 256, &height);
+  if (st.ok()) st = GetUintFlag(argc, argv, "vertices", 65536, &vertices);
+  if (st.ok()) st = GetUintFlag(argc, argv, "edges", 1048576, &edges);
+  if (!st.ok()) return FailUsage(st, kUsage);
+
   EdgeList list;
   if (type == "rmat") {
+    st = CheckRmatRange(scale, edge_factor);
+    if (!st.ok()) return FailUsage(st, kUsage);
     dne::RmatOptions opt;
-    opt.scale = std::stoi(GetFlag(argc, argv, "scale", "16"));
-    opt.edge_factor = std::stoi(GetFlag(argc, argv, "edge-factor", "16"));
-    opt.seed = std::stoull(GetFlag(argc, argv, "seed", "1"));
+    opt.scale = static_cast<int>(scale);
+    opt.edge_factor = static_cast<int>(edge_factor);
+    opt.seed = seed;
     list = dne::GenerateRmat(opt);
   } else if (type == "lattice") {
     dne::LatticeOptions opt;
-    opt.width = std::stoull(GetFlag(argc, argv, "width", "256"));
-    opt.height = std::stoull(GetFlag(argc, argv, "height", "256"));
-    opt.seed = std::stoull(GetFlag(argc, argv, "seed", "1"));
+    opt.width = width;
+    opt.height = height;
+    opt.seed = seed;
     list = dne::GenerateLattice(opt);
   } else if (type == "er") {
-    list = dne::GenerateErdosRenyi(
-        std::stoull(GetFlag(argc, argv, "vertices", "65536")),
-        std::stoull(GetFlag(argc, argv, "edges", "1048576")),
-        std::stoull(GetFlag(argc, argv, "seed", "1")));
+    list = dne::GenerateErdosRenyi(vertices, edges, seed);
   } else {
     std::fprintf(stderr, "unknown --type=%s (rmat|lattice|er)\n",
                  type.c_str());
-    return 1;
+    return 2;
   }
-  Status st = EndsWith(out_path, ".txt")
-                  ? dne::SaveEdgeListText(out_path, list)
-                  : dne::SaveEdgeListBinary(out_path, list);
+  st = EndsWith(out_path, ".txt") ? dne::SaveEdgeListText(out_path, list)
+                                  : dne::SaveEdgeListBinary(out_path, list);
   if (!st.ok()) return Fail(st);
   std::printf("wrote %s: %llu raw edges over %llu vertices\n",
               out_path.c_str(),
@@ -163,8 +268,17 @@ Status BuildConfig(int argc, char** argv, const std::string& method,
 }
 
 int CmdPartition(int argc, char** argv) {
+  std::uint64_t parts_flag, stream_chunks;
+  Status st = GetUintFlag(argc, argv, "partitions", 16, &parts_flag);
+  if (st.ok()) st = CheckNarrowingRange("partitions", parts_flag, 1, 1 << 20);
+  if (st.ok()) st = GetUintFlag(argc, argv, "stream-chunks", 0,
+                                &stream_chunks);
+  if (st.ok()) st = CheckNarrowingRange("stream-chunks", stream_chunks, 0,
+                                        1 << 20);
+  if (!st.ok()) return FailUsage(st, kUsage);
+
   Graph g;
-  Status st = LoadGraph(GetFlag(argc, argv, "graph", "graph.bin"), &g);
+  st = LoadGraph(GetFlag(argc, argv, "graph", "graph.bin"), &g);
   if (!st.ok()) return Fail(st);
 
   const std::string method = GetFlag(argc, argv, "method", "dne");
@@ -175,19 +289,17 @@ int CmdPartition(int argc, char** argv) {
   st = dne::CreatePartitioner(method, config, &partitioner);
   if (!st.ok()) return Fail(st);
 
-  const std::uint32_t parts = static_cast<std::uint32_t>(
-      std::stoul(GetFlag(argc, argv, "partitions", "16")));
+  const std::uint32_t parts = static_cast<std::uint32_t>(parts_flag);
   EdgePartition ep;
   dne::WallTimer timer;
-  const int stream_chunks =
-      std::stoi(GetFlag(argc, argv, "stream-chunks", "0"));
   if (stream_chunks > 0) {
     // Chunked one-pass ingestion through the StreamingPartitioner facet.
     dne::StreamingPartitioner* streaming = partitioner->streaming();
     if (streaming == nullptr) {
       return Fail(Status::NotSupported(method + " has no streaming facet"));
     }
-    st = dne::StreamPartitionGraph(streaming, g, parts, stream_chunks,
+    st = dne::StreamPartitionGraph(streaming, g, parts,
+                                   static_cast<int>(stream_chunks),
                                    dne::PartitionContext{}, &ep);
     if (!st.ok()) return Fail(st);
     st = ep.Validate(g);
@@ -218,6 +330,142 @@ int CmdPartition(int argc, char** argv) {
     st = dne::WritePartitionShards(shards, g, ep);
     if (!st.ok()) return Fail(st);
     std::printf("wrote %u shards under %s\n", parts, shards.c_str());
+  }
+  return 0;
+}
+
+// The out-of-core path: file- or generator-backed chunked ingestion through
+// PartitionStream, with optional incremental shard spilling. Never builds a
+// Graph, so quality is reported as edge balance only (replication factor
+// needs the vertex replica sets, which would defeat the O(chunk) bound).
+// The assignment is indexed by raw arrival order — the stream is not
+// normalised (global dedup would need O(E) memory), unlike the batch path.
+int CmdStream(int argc, char** argv) {
+  std::uint64_t parts_flag, chunk_edges, threads, seed;
+  std::uint64_t scale, edge_factor, vertices, edges;
+  double gen_alpha;
+  Status st = GetUintFlag(argc, argv, "partitions", 16, &parts_flag);
+  if (st.ok()) st = GetUintFlag(argc, argv, "chunk-edges", 1 << 20,
+                                &chunk_edges);
+  if (st.ok()) st = GetUintFlag(argc, argv, "threads", 2, &threads);
+  if (st.ok()) st = GetUintFlag(argc, argv, "seed", 1, &seed);
+  if (st.ok()) st = GetUintFlag(argc, argv, "scale", 20, &scale);
+  if (st.ok()) st = GetUintFlag(argc, argv, "edge-factor", 16, &edge_factor);
+  if (st.ok()) st = GetUintFlag(argc, argv, "vertices", 1 << 20, &vertices);
+  if (st.ok()) st = GetUintFlag(argc, argv, "edges", 16 << 20, &edges);
+  if (st.ok()) {
+    const std::string v = GetFlag(argc, argv, "gen-alpha", "2.4");
+    st = ParseDouble("gen-alpha", v, &gen_alpha);
+  }
+  if (st.ok()) st = CheckNarrowingRange("partitions", parts_flag, 1, 1 << 20);
+  if (st.ok()) st = CheckNarrowingRange("threads", threads, 1, 256);
+  if (!st.ok()) return FailUsage(st, kStreamUsage);
+  if (chunk_edges == 0) {
+    return FailUsage(
+        Status::InvalidArgument("--chunk-edges must be positive"),
+        kStreamUsage);
+  }
+
+  const std::string input = GetFlag(argc, argv, "input", "");
+  const std::string gen = GetFlag(argc, argv, "gen", "");
+  if (input.empty() == gen.empty()) {
+    return FailUsage(
+        Status::InvalidArgument("exactly one of --input/--gen is required"),
+        kStreamUsage);
+  }
+  std::unique_ptr<dne::EdgeStreamReader> reader;
+  if (!input.empty()) {
+    st = dne::OpenEdgeStream(input, GetFlag(argc, argv, "format", "auto"),
+                             chunk_edges, &reader);
+  } else {
+    dne::GeneratorStreamOptions opt;
+    opt.chunk_edges = chunk_edges;
+    if (gen == "rmat") {
+      st = CheckRmatRange(scale, edge_factor);
+      if (!st.ok()) return FailUsage(st, kStreamUsage);
+      opt.kind = dne::GeneratorStreamOptions::Kind::kRmat;
+      opt.rmat.scale = static_cast<int>(scale);
+      opt.rmat.edge_factor = static_cast<int>(edge_factor);
+      opt.rmat.seed = seed;
+    } else if (gen == "er") {
+      opt.kind = dne::GeneratorStreamOptions::Kind::kErdosRenyi;
+      opt.erdos_renyi.num_vertices = vertices;
+      opt.erdos_renyi.num_edges = edges;
+      opt.erdos_renyi.seed = seed;
+    } else if (gen == "chung-lu") {
+      opt.kind = dne::GeneratorStreamOptions::Kind::kChungLu;
+      opt.chung_lu.num_vertices = vertices;
+      opt.chung_lu.alpha = gen_alpha;
+      opt.chung_lu.seed = seed;
+    } else {
+      return FailUsage(Status::InvalidArgument(
+                           "unknown --gen=" + gen + " (rmat|er|chung-lu)"),
+                       kStreamUsage);
+    }
+    std::unique_ptr<dne::GeneratorEdgeStream> gen_reader;
+    st = dne::GeneratorEdgeStream::Open(opt, &gen_reader);
+    if (st.ok()) reader = std::move(gen_reader);
+  }
+  if (!st.ok()) return Fail(st);
+
+  const std::string method = GetFlag(argc, argv, "method", "hdrf");
+  dne::PartitionConfig config;
+  st = BuildConfig(argc, argv, method, &config);
+  if (!st.ok()) return Fail(st);
+  std::unique_ptr<dne::Partitioner> partitioner;
+  st = dne::CreatePartitioner(method, config, &partitioner);
+  if (!st.ok()) return Fail(st);
+  dne::StreamingPartitioner* streaming = partitioner->streaming();
+  if (streaming == nullptr) {
+    return Fail(Status::NotSupported(method + " has no streaming facet"));
+  }
+
+  const std::uint32_t parts = static_cast<std::uint32_t>(parts_flag);
+  dne::ThreadPool pool(static_cast<int>(threads));
+  dne::MemTracker tracker;
+  dne::PartitionStreamOptions opts;
+  opts.read_ahead = &pool;
+  opts.mem_tracker = &tracker;
+  const std::string out_dir = GetFlag(argc, argv, "out-dir", "");
+  std::unique_ptr<dne::PartitionShardWriter> shard_writer;
+  if (!out_dir.empty()) {
+    shard_writer = std::make_unique<dne::PartitionShardWriter>(
+        out_dir, parts, /*buffer_edges=*/4096, &tracker);
+    opts.shard_writer = shard_writer.get();
+  }
+
+  EdgePartition ep;
+  dne::PartitionStreamResult result;
+  dne::WallTimer timer;
+  st = dne::PartitionStream(reader.get(), streaming, parts,
+                            dne::PartitionContext{}, &ep, opts, &result);
+  if (!st.ok()) return Fail(st);
+  const double wall_ms = timer.Millis();
+
+  const std::vector<std::uint64_t> sizes = ep.PartitionSizes();
+  std::uint64_t max_size = 0;
+  for (const std::uint64_t s : sizes) max_size = std::max(max_size, s);
+  const double balance =
+      result.edges_streamed == 0
+          ? 1.0
+          : static_cast<double>(max_size) * parts /
+                static_cast<double>(result.edges_streamed);
+  std::printf("%s: streamed |E|=%llu in %llu chunks P=%u EB=%.3f "
+              "wall=%.1fms peak-tracked=%.1fMiB\n",
+              method.c_str(),
+              static_cast<unsigned long long>(result.edges_streamed),
+              static_cast<unsigned long long>(result.chunks), parts, balance,
+              wall_ms, tracker.peak_total() / (1024.0 * 1024.0));
+
+  const std::string out_path = GetFlag(argc, argv, "out", "");
+  if (!out_path.empty()) {
+    st = EndsWith(out_path, ".txt") ? dne::SavePartitionText(out_path, ep)
+                                    : dne::SavePartitionBinary(out_path, ep);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (shard_writer != nullptr) {
+    std::printf("wrote %u shards under %s\n", parts, out_dir.c_str());
   }
   return 0;
 }
@@ -274,16 +522,15 @@ int main(int argc, char** argv) {
     return CmdList();
   }
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: dne_cli <list|generate|partition|evaluate|info> "
-                 "[--key=value ...] [--opt key=value ...]\n");
-    return 1;
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
   }
   const std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(argc, argv);
   if (cmd == "partition") return CmdPartition(argc, argv);
+  if (cmd == "stream") return CmdStream(argc, argv);
   if (cmd == "evaluate") return CmdEvaluate(argc, argv);
   if (cmd == "info") return CmdInfo(argc, argv);
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  return 1;
+  std::fprintf(stderr, "unknown command: %s\n%s", cmd.c_str(), kUsage);
+  return 2;
 }
