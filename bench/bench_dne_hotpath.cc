@@ -1,0 +1,195 @@
+// DNE superstep hot-path bench: drives an RMAT graph through the overhauled
+// driver ("fast": parallel Phase-A selection, bucketed boundary queues,
+// persistent AllToAll exchanges, chunked-parallel 2-D distribution) and the
+// pre-overhaul driver shape ("legacy": sequential selection, binary heaps,
+// per-superstep exchange construction, sequential distribution), verifies
+// the two produce bit-identical partitions (and that thread count does not
+// change the result), and reports edges/sec plus the per-phase host time
+// split. --json=FILE emits the machine-readable BENCH_dne.json record the
+// perf trajectory is tracked with (schema documented in README
+// "Performance").
+//
+//   ./bench_dne_hotpath [--scale=17] [--edge-factor=8] [--partitions=16]
+//                       [--threads=8] [--repeats=3] [--seed=7]
+//                       [--modes=legacy,fast] [--json=FILE]
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_partitioner.h"
+
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  std::vector<double> wall_seconds;  // one per repeat
+  double best_seconds = 0.0;
+  double edges_per_sec = 0.0;
+  dne::DneStats stats;  // from the last repeat
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dne::bench::Flags flags(argc, argv);
+  const int scale = flags.GetInt("scale", 17);
+  const int edge_factor = flags.GetInt("edge-factor", 8);
+  const int partitions = flags.GetInt("partitions", 16);
+  const int threads = flags.GetInt("threads", 8);
+  const int repeats = flags.GetInt("repeats", 3);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  const std::vector<std::string> modes =
+      dne::bench::SplitCsv(flags.GetString("modes", "legacy,fast"));
+  const std::string json_path = flags.GetString("json", "");
+  dne::bench::PrintBanner(
+      "DNE hot path", "superstep pipeline, old vs overhauled execution shape",
+      "--scale=N --edge-factor=N --partitions=N --threads=N --repeats=N "
+      "--seed=N --modes=legacy,fast --json=FILE");
+
+  dne::RmatOptions ro;
+  ro.scale = scale;
+  ro.edge_factor = edge_factor;
+  ro.seed = seed;
+  dne::Graph g = dne::Graph::Build(dne::GenerateRmat(ro));
+  std::printf("\ngraph: rmat scale=%d ef=%d seed=%llu -> |V|=%llu "
+              "|E|=%llu, P=%d, threads=%d, repeats=%d\n\n",
+              scale, edge_factor, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(g.NumVertices()),
+              static_cast<unsigned long long>(g.NumEdges()), partitions,
+              threads, repeats);
+
+  auto run = [&](bool legacy, int nthreads, dne::EdgePartition* ep,
+                 dne::DneStats* stats) -> double {
+    dne::DneOptions o;
+    o.num_threads = nthreads;
+    o.legacy_hotpath = legacy;
+    dne::DnePartitioner p(o);
+    dne::WallTimer t;
+    dne::Status st = p.Partition(g, static_cast<std::uint32_t>(partitions),
+                                 ep);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    if (stats != nullptr) *stats = p.dne_stats();
+    return t.Seconds();
+  };
+
+  // Determinism guarantees first: threads=1 vs threads=N bit-identical on
+  // the fast path, and legacy vs fast bit-identical.
+  dne::EdgePartition ref, probe;
+  run(/*legacy=*/false, /*nthreads=*/1, &ref, nullptr);
+  run(/*legacy=*/false, threads, &probe, nullptr);
+  const bool threads_identical = ref.assignment() == probe.assignment();
+  run(/*legacy=*/true, threads, &probe, nullptr);
+  const bool modes_identical = ref.assignment() == probe.assignment();
+  std::printf("determinism: threads 1 vs %d %s, legacy vs fast %s\n\n",
+              threads, threads_identical ? "IDENTICAL" : "DIVERGED",
+              modes_identical ? "IDENTICAL" : "DIVERGED");
+
+  std::printf("  %-8s %9s %12s %10s %8s %8s %25s\n", "mode", "wall s",
+              "Medges/s", "supersteps", "sel-frac", "peak-sim",
+              "host A/B/C/D+dist ms");
+  std::vector<ModeResult> results;
+  for (const std::string& mode : modes) {
+    if (mode != "legacy" && mode != "fast") {
+      std::fprintf(stderr, "error: unknown mode '%s'\n", mode.c_str());
+      return 1;
+    }
+    ModeResult r;
+    r.mode = mode;
+    for (int i = 0; i < repeats; ++i) {
+      dne::EdgePartition ep;
+      const double secs = run(mode == "legacy", threads, &ep, &r.stats);
+      r.wall_seconds.push_back(secs);
+      if (r.best_seconds == 0.0 || secs < r.best_seconds) {
+        r.best_seconds = secs;
+      }
+    }
+    r.edges_per_sec =
+        static_cast<double>(g.NumEdges()) / r.best_seconds;
+    const dne::DneStats& s = r.stats;
+    std::printf("  %-8s %9.3f %12.2f %10llu %8.3f %8s %7.0f/%.0f/%.0f/%.0f+%.0f\n",
+                r.mode.c_str(), r.best_seconds, r.edges_per_sec / 1e6,
+                static_cast<unsigned long long>(s.iterations),
+                s.selection_work_fraction,
+                dne::bench::HumanBytes(
+                    static_cast<double>(s.peak_memory_bytes)).c_str(),
+                s.host_phase_a_seconds * 1e3, s.host_phase_b_seconds * 1e3,
+                s.host_phase_c_seconds * 1e3, s.host_phase_d_seconds * 1e3,
+                s.host_distribute_seconds * 1e3);
+    results.push_back(std::move(r));
+  }
+
+  double speedup = 0.0;
+  {
+    const ModeResult* legacy = nullptr;
+    const ModeResult* fast = nullptr;
+    for (const ModeResult& r : results) {
+      if (r.mode == "legacy") legacy = &r;
+      if (r.mode == "fast") fast = &r;
+    }
+    if (legacy != nullptr && fast != nullptr && fast->best_seconds > 0) {
+      speedup = legacy->best_seconds / fast->best_seconds;
+      std::printf("\nspeedup fast over legacy driver shape: %.2fx\n",
+                  speedup);
+    }
+  }
+  std::printf("(legacy replays the pre-overhaul hot path end to end: "
+              "sequential selection, binary-heap boundaries, per-superstep "
+              "exchange allocation, whole-array vertex lookup, full "
+              "adjacency rescans, materialised set intersections)\n");
+
+  if (!json_path.empty()) {
+    dne::bench::JsonWriter w;
+    w.BeginObject();
+    w.KV("bench", "dne_hotpath");
+    w.Key("graph").BeginObject();
+    w.KV("kind", "rmat");
+    w.KV("scale", scale);
+    w.KV("edge_factor", edge_factor);
+    w.KV("seed", seed);
+    w.KV("vertices", static_cast<std::uint64_t>(g.NumVertices()));
+    w.KV("edges", static_cast<std::uint64_t>(g.NumEdges()));
+    w.EndObject();
+    w.KV("partitions", partitions);
+    w.KV("threads", threads);
+    w.KV("repeats", repeats);
+    w.KV("threads_bit_identical", threads_identical);
+    w.KV("modes_bit_identical", modes_identical);
+    w.Key("results").BeginArray();
+    for (const ModeResult& r : results) {
+      const dne::DneStats& s = r.stats;
+      w.BeginObject();
+      w.KV("mode", r.mode);
+      w.Key("wall_seconds").BeginArray();
+      for (double secs : r.wall_seconds) w.Value(secs);
+      w.EndArray();
+      w.KV("best_seconds", r.best_seconds);
+      w.KV("edges_per_sec", r.edges_per_sec);
+      w.KV("supersteps", s.iterations);
+      w.KV("selection_critical_path_share", s.selection_work_fraction);
+      w.KV("sim_seconds", s.sim_seconds);
+      w.KV("peak_sim_memory_bytes", s.peak_memory_bytes);
+      w.KV("host_distribute_seconds", s.host_distribute_seconds);
+      w.KV("host_phase_a_seconds", s.host_phase_a_seconds);
+      w.KV("host_phase_b_seconds", s.host_phase_b_seconds);
+      w.KV("host_phase_c_seconds", s.host_phase_c_seconds);
+      w.KV("host_phase_d_seconds", s.host_phase_d_seconds);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.KV("speedup_fast_over_legacy", speedup);
+    w.KV("peak_rss_bytes", dne::bench::PeakRssBytes());
+    w.EndObject();
+    if (!dne::bench::WriteTextFile(json_path, w.str())) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return (threads_identical && modes_identical) ? 0 : 1;
+}

@@ -1,8 +1,11 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace dne::bench {
 
@@ -49,6 +52,16 @@ std::string Flags::GetString(const std::string& key,
   return def;
 }
 
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
 double Median(std::vector<double> values) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
@@ -79,6 +92,154 @@ std::string HumanBytes(double bytes) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[u]);
   return buf;
+}
+
+std::uint64_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream ss(line.substr(6));
+      std::uint64_t kib = 0;
+      ss >> kib;
+      return kib * 1024;
+    }
+  }
+  return 0;
+}
+
+void JsonWriter::Prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted its separator
+  }
+  if (!has_item_.empty()) {
+    if (has_item_.back()) out_ += ',';
+    has_item_.back() = true;
+  }
+}
+
+void JsonWriter::Raw(const std::string& s) {
+  Prefix();
+  out_ += s;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Raw("{");
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  if (!has_item_.empty()) has_item_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Raw("[");
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  if (!has_item_.empty()) has_item_.pop_back();
+  return *this;
+}
+
+namespace {
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+JsonWriter& JsonWriter::Key(const std::string& k) {
+  Prefix();
+  out_ += '"';
+  out_ += EscapeJson(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  Prefix();
+  out_ += '"';
+  out_ += EscapeJson(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* v) {
+  return Value(std::string(v));
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  if (!std::isfinite(v)) {
+    Raw("null");
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  Raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t v) {
+  Raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t v) {
+  Raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Raw(v ? "true" : "false");
+  return *this;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  if (!content.empty() && content.back() != '\n') out << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dne::bench

@@ -27,6 +27,9 @@ class Flags {
 /// Median of a (copied) sample vector; 0 for empty input.
 double Median(std::vector<double> values);
 
+/// Splits "a,b,c" on commas, dropping empty items (for --methods/--modes).
+std::vector<std::string> SplitCsv(const std::string& csv);
+
 /// Prints the standard bench banner: which experiment of the paper this
 /// binary regenerates and under which substitutions.
 void PrintBanner(const std::string& experiment, const std::string& what,
@@ -34,6 +37,52 @@ void PrintBanner(const std::string& experiment, const std::string& what,
 
 /// Formats a byte count as a human-readable string (e.g. "12.3 MB").
 std::string HumanBytes(double bytes);
+
+/// Peak resident set of this process in bytes (VmHWM from
+/// /proc/self/status); 0 when unavailable.
+std::uint64_t PeakRssBytes();
+
+/// Minimal streaming JSON emitter shared by the bench binaries' --json=FILE
+/// outputs: containers push/pop explicitly, commas and key quoting are
+/// handled internally, strings are escaped. Misuse (value without key
+/// inside an object, unbalanced End) is the caller's bug; the emitter keeps
+/// the output well-formed for every legal call sequence.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(std::uint64_t v);
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(bool v);
+
+  /// Convenience: Key(k) + Value(v).
+  template <typename T>
+  JsonWriter& KV(const std::string& k, T v) {
+    Key(k);
+    return Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Prefix();
+  void Raw(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> has_item_;  // per open container
+  bool pending_key_ = false;
+};
+
+/// Writes `content` to `path` (+ trailing newline if missing); warns on
+/// stderr and returns false on I/O failure. Used by the --json=FILE flags.
+bool WriteTextFile(const std::string& path, const std::string& content);
 
 }  // namespace dne::bench
 

@@ -1,16 +1,23 @@
 // google-benchmark microbenchmarks for the hot kernels: hashing, CSR
-// construction, RMAT generation, normalization, the boundary heap, the
-// replica table, and the 2-D distribution algebra.
+// construction, RMAT generation, normalization, the boundary queues (heap
+// vs buckets), the replica table, and the 2-D distribution algebra.
+//
+// A custom main wires the runs onto the shared bench JSON emitter:
+// --json=FILE captures every benchmark's per-iteration real/cpu time next
+// to google-benchmark's own console output.
 #include <benchmark/benchmark.h>
 
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/hash.h"
 #include "gen/rmat.h"
 #include "graph/csr.h"
 #include "graph/edge_list.h"
 #include "graph/graph.h"
+#include "partition/dne/boundary_queue.h"
 #include "partition/dne/two_d_distribution.h"
 #include "partition/replica_table.h"
 
@@ -98,6 +105,25 @@ void BM_BoundaryHeap(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundaryHeap)->Arg(1024)->Arg(65536);
 
+void BM_BoundaryBuckets(benchmark::State& state) {
+  // Same fill/drain workload as BM_BoundaryHeap, on the overhauled
+  // bucketed queue (O(1) push/amortized-O(1) pop vs the heap's log n).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BucketedBoundaryQueue queue;
+    for (int i = 0; i < n; ++i) {
+      queue.Push(Mix64(i) % 64, static_cast<VertexId>(i));
+    }
+    std::uint64_t sum = 0;
+    while (!queue.empty()) {
+      sum += queue.PopMin().vertex;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BoundaryBuckets)->Arg(1024)->Arg(65536);
+
 void BM_ReplicaTableAdd(benchmark::State& state) {
   const int n = 100000;
   for (auto _ : state) {
@@ -136,5 +162,61 @@ void BM_GraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphBuild);
 
+// Console output as usual, plus a capture of every run for the shared
+// --json=FILE emitter.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    std::uint64_t iterations;
+    double real_ns;
+    double cpu_ns;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      rows_.push_back(Row{run.benchmark_name(),
+                          static_cast<std::uint64_t>(run.iterations),
+                          run.GetAdjustedRealTime(),
+                          run.GetAdjustedCPUTime()});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 }  // namespace dne
+
+int main(int argc, char** argv) {
+  dne::bench::Flags flags(argc, argv);
+  const std::string json_path = flags.GetString("json", "");
+  benchmark::Initialize(&argc, argv);
+  dne::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    dne::bench::JsonWriter w;
+    w.BeginObject();
+    w.KV("bench", "micro_bench");
+    w.Key("results").BeginArray();
+    for (const auto& row : reporter.rows()) {
+      w.BeginObject();
+      w.KV("name", row.name);
+      w.KV("iterations", row.iterations);
+      w.KV("real_time_ns", row.real_ns);
+      w.KV("cpu_time_ns", row.cpu_ns);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    if (!dne::bench::WriteTextFile(json_path, w.str())) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

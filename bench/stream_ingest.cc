@@ -9,11 +9,9 @@
 //
 //   ./stream_ingest [--scale=20] [--edge-factor=10] [--partitions=64]
 //                   [--chunk-edges=1048576] [--threads=2]
-//                   [--methods=random,hdrf,dynamic]
+//                   [--methods=random,hdrf,dynamic] [--json=FILE]
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,35 +23,6 @@
 #include "runtime/mem_tracker.h"
 #include "runtime/thread_pool.h"
 
-namespace {
-
-// Peak resident set of this process in bytes (VmHWM), 0 if unavailable.
-std::uint64_t PeakRssBytes() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      std::istringstream ss(line.substr(6));
-      std::uint64_t kib = 0;
-      ss >> kib;
-      return kib * 1024;
-    }
-  }
-  return 0;
-}
-
-std::vector<std::string> SplitCsv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   dne::bench::Flags flags(argc, argv);
   const int scale = flags.GetInt("scale", 20);
@@ -62,12 +31,13 @@ int main(int argc, char** argv) {
   const int chunk_edges = flags.GetInt("chunk-edges", 1 << 20);
   const int threads = flags.GetInt("threads", 2);
   const std::vector<std::string> methods =
-      SplitCsv(flags.GetString("methods", "random,hdrf,dynamic"));
+      dne::bench::SplitCsv(flags.GetString("methods", "random,hdrf,dynamic"));
+  const std::string json_path = flags.GetString("json", "");
   dne::bench::PrintBanner(
       "Out-of-core ingestion",
       "generator-backed stream -> streaming partitioners, bounded memory",
       "--scale=N --edge-factor=N --partitions=N --chunk-edges=N "
-      "--threads=N --methods=a,b,c");
+      "--threads=N --methods=a,b,c --json=FILE");
 
   dne::GeneratorStreamOptions gen;
   gen.kind = dne::GeneratorStreamOptions::Kind::kRmat;
@@ -92,6 +62,19 @@ int main(int argc, char** argv) {
               partitions);
   std::printf("  %-10s %12s %9s %12s %14s %12s\n", "method", "edges",
               "wall s", "Medges/s", "tracked peak", "VmHWM");
+
+  dne::bench::JsonWriter json;
+  json.BeginObject();
+  json.KV("bench", "stream_ingest");
+  json.Key("stream").BeginObject();
+  json.KV("kind", "rmat");
+  json.KV("scale", scale);
+  json.KV("edge_factor", edge_factor);
+  json.KV("chunk_edges", chunk_edges);
+  json.EndObject();
+  json.KV("partitions", partitions);
+  json.KV("threads", threads);
+  json.Key("results").BeginArray();
 
   dne::ThreadPool pool(threads);
   for (const std::string& method : methods) {
@@ -124,9 +107,24 @@ int main(int argc, char** argv) {
                 dne::bench::HumanBytes(
                     static_cast<double>(tracker.peak_total())).c_str(),
                 dne::bench::HumanBytes(
-                    static_cast<double>(PeakRssBytes())).c_str());
+                    static_cast<double>(dne::bench::PeakRssBytes()))
+                    .c_str());
+    json.BeginObject();
+    json.KV("method", method);
+    json.KV("edges_streamed", result.edges_streamed);
+    json.KV("wall_seconds", secs);
+    json.KV("edges_per_sec", result.edges_streamed / secs);
+    json.KV("tracked_peak_bytes", tracker.peak_total());
+    json.EndObject();
   }
   std::printf("\n(tracked peak covers the harness's chunk buffers; VmHWM is "
               "the whole process, including per-vertex partitioner state)\n");
+  json.EndArray();
+  json.KV("peak_rss_bytes", dne::bench::PeakRssBytes());
+  json.EndObject();
+  if (!json_path.empty()) {
+    if (!dne::bench::WriteTextFile(json_path, json.str())) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "partition/dne/allocation_process.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace dne {
 
@@ -22,6 +23,25 @@ void AllocationProcess::Finalize() {
   vertices_.shrink_to_fit();
   const std::uint32_t nv = static_cast<std::uint32_t>(vertices_.size());
 
+  // Bucket index for LocalIndex (built before the lu/lv translation below,
+  // which is itself the first heavy LocalIndex user). The legacy replay
+  // neither builds nor charges it — it binary-searches the whole array.
+  if (!legacy_scan_) {
+    vrange_ = nv == 0 ? 0 : static_cast<std::uint64_t>(vertices_.back()) + 1;
+    bucket_count_ = std::min<std::uint32_t>(
+        1u << 20, std::bit_ceil(std::max<std::uint32_t>(1, nv / 16)));
+    bucket_start_.assign(bucket_count_ + 1, 0);
+    for (std::uint32_t i = 0; i < nv; ++i) {
+      const std::uint32_t b = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(vertices_[i]) * bucket_count_ /
+          vrange_);
+      ++bucket_start_[b + 1];
+    }
+    for (std::uint32_t b = 0; b < bucket_count_; ++b) {
+      bucket_start_[b + 1] += bucket_start_[b];
+    }
+  }
+
   offsets_.assign(nv + 1, 0);
   std::vector<std::uint32_t> lu(m), lv(m);
   for (std::size_t i = 0; i < m; ++i) {
@@ -40,8 +60,10 @@ void AllocationProcess::Finalize() {
   edge_gid_ = std::move(build_gids_);
   edge_done_.assign(m, 0);
   rest_degree_.assign(nv, 0);
+  if (!legacy_scan_) live_end_.assign(nv, 0);
   for (std::uint32_t v = 0; v < nv; ++v) {
     rest_degree_[v] = offsets_[v + 1] - offsets_[v];
+    if (!legacy_scan_) live_end_[v] = offsets_[v + 1];
   }
   vertex_parts_.Init(nv,
                      static_cast<std::uint32_t>(local_count_per_part_.size()));
@@ -72,6 +94,8 @@ std::size_t AllocationProcess::StaticMemoryBytes() const {
          arcs_.capacity() * sizeof(Arc) +
          edge_done_.capacity() * sizeof(std::uint8_t) +
          rest_degree_.capacity() * sizeof(std::uint32_t) +
+         live_end_.capacity() * sizeof(std::uint32_t) +
+         bucket_start_.capacity() * sizeof(std::uint32_t) +
          vertex_parts_.InlineBytes() +
          local_count_per_part_.capacity() * sizeof(std::uint64_t);
 }
@@ -81,9 +105,19 @@ std::size_t AllocationProcess::DynamicMemoryBytes() const {
 }
 
 std::uint32_t AllocationProcess::LocalIndex(VertexId v) const {
-  auto it = std::lower_bound(vertices_.begin(), vertices_.end(), v);
-  if (it == vertices_.end() || *it != v) return UINT32_MAX;
-  return static_cast<std::uint32_t>(it - vertices_.begin());
+  if (legacy_scan_) {
+    auto it = std::lower_bound(vertices_.begin(), vertices_.end(), v);
+    if (it == vertices_.end() || *it != v) return UINT32_MAX;
+    return static_cast<std::uint32_t>(it - vertices_.begin());
+  }
+  if (static_cast<std::uint64_t>(v) >= vrange_) return UINT32_MAX;
+  const std::uint32_t b = static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(v) * bucket_count_ / vrange_);
+  const VertexId* begin = vertices_.data() + bucket_start_[b];
+  const VertexId* end = vertices_.data() + bucket_start_[b + 1];
+  const VertexId* it = std::lower_bound(begin, end, v);
+  if (it == end || *it != v) return UINT32_MAX;
+  return static_cast<std::uint32_t>(it - vertices_.data());
 }
 
 VertexId AllocationProcess::PeekFreeVertex() {
@@ -115,6 +149,7 @@ void AllocationProcess::Allocate(std::uint32_t le, std::uint32_t a,
   for (std::uint32_t x : {a, b}) {
     if (AddVertexPart(x, p)) {
       pending_.push_back(VertexPartPair{vertices_[x], p});
+      pending_sorted_ = false;
       if (sync_out != nullptr) {
         sync_out->push_back(VertexPartPair{vertices_[x], p});
       }
@@ -131,14 +166,32 @@ void AllocationProcess::AllocateOneHop(
     const std::uint32_t lv = LocalIndex(req.v);
     *ops += 1;
     if (lv == UINT32_MAX) continue;  // replica rank without local edges of v
-    for (std::uint32_t i = offsets_[lv]; i < offsets_[lv + 1]; ++i) {
-      const Arc& a = arcs_[i];
+    // Scan the live adjacency window only, dropping every arc that is (or
+    // just became) allocated: a one-hop pass either allocates a live arc or
+    // stops on an exhausted budget, so completed scans leave an empty
+    // window and later expansions of v by other partitions are O(1).
+    const std::uint32_t begin = offsets_[lv];
+    const std::uint32_t end = legacy_scan_ ? offsets_[lv + 1] : live_end_[lv];
+    std::uint32_t i = begin;
+    for (; i < end; ++i) {
+      const Arc a = arcs_[i];
       *ops += 1;
       if (edge_done_[a.edge]) continue;
       if (!budget_.empty() && budget_[req.p] == 0) break;  // p is full here
       if (!budget_.empty()) --budget_[req.p];
       Allocate(a.edge, lv, a.to, req.p, assignment, sync_out);
       ++(*allocated_per_part)[req.p];
+    }
+    if (legacy_scan_) continue;  // pre-overhaul: no window maintenance
+    if (i < end) {
+      // Budget break: the unscanned tail [i, end) is still live; slide it
+      // to the window start (stable, so the pre-compaction scan order —
+      // and with it the allocation result — is preserved exactly).
+      std::copy(arcs_.begin() + i, arcs_.begin() + end,
+                arcs_.begin() + begin);
+      live_end_[lv] = begin + (end - i);
+    } else {
+      live_end_[lv] = begin;
     }
   }
 }
@@ -151,8 +204,17 @@ void AllocationProcess::ApplySync(const std::vector<VertexPartPair>& pairs,
     if (lv == UINT32_MAX) continue;
     if (AddVertexPart(lv, pair.p)) {
       pending_.push_back(pair);
+      pending_sorted_ = false;
     }
   }
+}
+
+void AllocationProcess::SortPendingUnique() {
+  if (pending_sorted_ && !legacy_scan_) return;
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+  pending_sorted_ = true;
 }
 
 void AllocationProcess::AllocateTwoHop(
@@ -161,13 +223,12 @@ void AllocationProcess::AllocateTwoHop(
     std::uint64_t* two_hop_count, std::uint64_t* ops) {
   // Deterministic order; dedup by vertex — Alg. 3 line 12 iterates the
   // boundary vertices, ignoring the pair's partition.
-  std::sort(pending_.begin(), pending_.end());
-  pending_.erase(std::unique(pending_.begin(), pending_.end()),
-                 pending_.end());
+  SortPendingUnique();
   VertexId last_v = kNoVertex;
   // Indexed loop: Allocate() can in principle append to pending_, but
   // two-hop allocations never create fresh (vertex, partition) pairs — both
-  // endpoints already carry the chosen partition — so the size is stable.
+  // endpoints already carry the chosen partition — so the size is stable
+  // and the sorted/unique state established above survives the loop.
   const std::size_t pending_size = pending_.size();
   for (std::size_t pi = 0; pi < pending_size; ++pi) {
     const VertexPartPair pair = pending_[pi];
@@ -175,56 +236,75 @@ void AllocationProcess::AllocateTwoHop(
     last_v = pair.v;
     const std::uint32_t lu = LocalIndex(pair.v);
     if (lu == UINT32_MAX) continue;
-    vertex_parts_.CopyTo(lu, &scratch_u_);
-    const auto& parts_u = scratch_u_;
-    for (std::uint32_t i = offsets_[lu]; i < offsets_[lu + 1]; ++i) {
-      const Arc& a = arcs_[i];
+    // Same live-window discipline as the one-hop scan: done arcs compact
+    // out stably, arcs that stay unallocated (no common partition with
+    // budget) are retained in order for the next superstep.
+    const std::uint32_t begin = offsets_[lu];
+    const std::uint32_t end = legacy_scan_ ? offsets_[lu + 1] : live_end_[lu];
+    std::uint32_t w = begin;
+    if (legacy_scan_) vertex_parts_.CopyTo(lu, &scratch_u_);
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const Arc a = arcs_[i];
       *ops += 1;
       if (edge_done_[a.edge]) continue;
-      vertex_parts_.CopyTo(a.to, &scratch_w_);
-      const auto& parts_w = scratch_w_;
       // P_new = Parti(u) n Parti(w); allocate to the locally smallest
-      // member with remaining budget (Alg. 3 lines 14-17).
+      // member with remaining budget (Alg. 3 lines 14-17). The fast path
+      // intersects directly on the compact sets (a word AND in bitmap
+      // mode) — no per-arc materialisation; the legacy path replays the
+      // pre-overhaul copy-and-merge.
       PartitionId best = kNoPartition;
-      auto iu = parts_u.begin();
-      auto iw = parts_w.begin();
-      while (iu != parts_u.end() && iw != parts_w.end()) {
-        if (*iu < *iw) {
-          ++iu;
-        } else if (*iw < *iu) {
-          ++iw;
-        } else {
-          const bool has_budget = budget_.empty() || budget_[*iu] > 0;
+      if (legacy_scan_) {
+        vertex_parts_.CopyTo(a.to, &scratch_w_);
+        auto iu = scratch_u_.begin();
+        auto iw = scratch_w_.begin();
+        while (iu != scratch_u_.end() && iw != scratch_w_.end()) {
+          if (*iu < *iw) {
+            ++iu;
+          } else if (*iw < *iu) {
+            ++iw;
+          } else {
+            const bool has_budget = budget_.empty() || budget_[*iu] > 0;
+            if (has_budget &&
+                (best == kNoPartition ||
+                 local_count_per_part_[*iu] < local_count_per_part_[best])) {
+              best = *iu;
+            }
+            ++iu;
+            ++iw;
+          }
+          *ops += 1;
+        }
+      } else {
+        std::uint64_t visited = 0;
+        vertex_parts_.ForEachCommon(lu, a.to, [&](PartitionId p) {
+          ++visited;
+          const bool has_budget = budget_.empty() || budget_[p] > 0;
           if (has_budget &&
               (best == kNoPartition ||
-               local_count_per_part_[*iu] < local_count_per_part_[best])) {
-            best = *iu;
+               local_count_per_part_[p] < local_count_per_part_[best])) {
+            best = p;
           }
-          ++iu;
-          ++iw;
-        }
-        *ops += 1;
+        });
+        *ops += visited;
       }
       if (best != kNoPartition) {
         if (!budget_.empty()) --budget_[best];
         Allocate(a.edge, lu, a.to, best, assignment, nullptr);
         ++(*allocated_per_part)[best];
         ++(*two_hop_count);
+      } else if (!legacy_scan_) {
+        arcs_[w++] = a;  // still live: keep for the next superstep
       }
     }
+    if (!legacy_scan_) live_end_[lu] = w;
   }
-  // Note: Allocate() may have appended fresh pairs while iterating? No —
-  // two-hop allocations only involve endpoints that already carry the
-  // partition, so AddVertexPart never fires here. (Checked by tests.)
 }
 
 void AllocationProcess::DrainBoundaryReports(std::vector<BoundaryReport>* out,
                                              std::uint64_t* ops) {
-  // Idempotent dedup (AllocateTwoHop already sorts, but the two-hop phase
-  // may be disabled by the ablation options).
-  std::sort(pending_.begin(), pending_.end());
-  pending_.erase(std::unique(pending_.begin(), pending_.end()),
-                 pending_.end());
+  // No-op when AllocateTwoHop already sorted this superstep's pending set;
+  // still needed when the two-hop phase is disabled by the ablation options.
+  SortPendingUnique();
   for (const VertexPartPair& pair : pending_) {
     const std::uint32_t lv = LocalIndex(pair.v);
     if (lv == UINT32_MAX) continue;
@@ -232,6 +312,7 @@ void AllocationProcess::DrainBoundaryReports(std::vector<BoundaryReport>* out,
     out->push_back(BoundaryReport{pair.v, pair.p, rest_degree_[lv]});
   }
   pending_.clear();
+  pending_sorted_ = true;
 }
 
 }  // namespace dne

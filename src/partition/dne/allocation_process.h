@@ -42,14 +42,38 @@ struct BoundaryReport {
 
 class AllocationProcess {
  public:
+  /// `legacy_scan` replays the pre-overhaul data structures — whole-array
+  /// binary search for LocalIndex, full adjacency rescans (no live-arc
+  /// compaction) and materialised two-hop set intersections — so
+  /// bench_dne_hotpath can measure the overhaul end to end. The allocation
+  /// *results* are identical either way.
   AllocationProcess(int rank, std::uint32_t num_partitions,
-                    SeedStrategy seed_strategy = SeedStrategy::kRandom)
+                    SeedStrategy seed_strategy = SeedStrategy::kRandom,
+                    bool legacy_scan = false)
       : rank_(rank),
         seed_strategy_(seed_strategy),
+        legacy_scan_(legacy_scan),
         local_count_per_part_(num_partitions, 0) {}
 
   /// Build stage: registers an owned edge (global id + endpoints).
   void AddEdge(EdgeId e, VertexId u, VertexId v);
+
+  /// Build stage, parallel 2-D distribution: pre-sizes the edge buffers so
+  /// concurrent chunks can scatter-write owned edges via PlaceEdge().
+  void PrepareBulkEdges(std::size_t count) {
+    build_edges_.resize(count);
+    build_gids_.resize(count);
+  }
+
+  /// Writes owned edge `e` into slot `pos` of the build buffers. The driver
+  /// derives slots from deterministic per-(chunk, owner) prefix sums, so
+  /// each slot is written exactly once and the resulting order equals the
+  /// sequential AddEdge order (ascending global edge id) for any thread
+  /// count.
+  void PlaceEdge(std::size_t pos, EdgeId e, VertexId u, VertexId v) {
+    build_edges_[pos] = Edge{u, v};
+    build_gids_[pos] = e;
+  }
 
   /// Freezes the local CSR. Must be called once before the superstep loop.
   void Finalize();
@@ -107,6 +131,8 @@ class AllocationProcess {
 
  private:
   std::uint32_t LocalIndex(VertexId v) const;
+  /// Sorts + dedups pending_ unless it is already in that state.
+  void SortPendingUnique();
   /// Allocates local edge `le` (endpoints `a`, `b`, local ids) to p;
   /// registers fresh (vertex, partition) pairs in pending_/sync.
   void Allocate(std::uint32_t le, std::uint32_t a, std::uint32_t b,
@@ -121,6 +147,10 @@ class AllocationProcess {
 
   int rank_;
   SeedStrategy seed_strategy_;
+  bool legacy_scan_;
+  // Scratch buffers for the legacy-mode two-hop intersection.
+  std::vector<PartitionId> scratch_u_;
+  std::vector<PartitionId> scratch_w_;
   // Seed scan order (degree-sorted for the non-random strategies).
   std::vector<std::uint32_t> seed_order_;
   // Build buffers (cleared by Finalize).
@@ -133,21 +163,31 @@ class AllocationProcess {
   std::vector<Arc> arcs_;
   std::vector<EdgeId> edge_gid_;         // local edge -> global edge id
   std::vector<std::uint8_t> edge_done_;  // local allocation flag
+  // Radix bucket index over the sorted vertices_ (monotone v -> bucket
+  // mapping): LocalIndex narrows its binary search to one ~16-element
+  // bucket instead of the whole array. O(|V_r|/16) extra words.
+  std::vector<std::uint32_t> bucket_start_;
+  std::uint64_t vrange_ = 0;       // vertices_.back() + 1; 0 when empty
+  std::uint32_t bucket_count_ = 0;
+  // Per-vertex live adjacency window [offsets_[v], live_end_[v]): the
+  // allocation scans stably compact already-done arcs out, so a vertex
+  // re-expanded by later partitions no longer re-reads dead arcs.
+  std::vector<std::uint32_t> live_end_;
 
   // Mutable per-vertex state. Vertex allocation ids use the compact
-  // two-slot representation (8 bytes/vertex) — the paper's "no memory-
-  // consuming data structure" requirement.
+  // bitmap/two-slot representation — the paper's "no memory-consuming data
+  // structure" requirement; the two-hop intersection runs directly on it.
   std::vector<std::uint32_t> rest_degree_;
   CompactPartSets vertex_parts_;
-  // Scratch buffers for the two-hop intersection (avoid per-edge allocs).
-  std::vector<PartitionId> scratch_u_;
-  std::vector<PartitionId> scratch_w_;
 
   // Per-partition local allocation counts (Alg. 3 line 16 tie-break).
   std::vector<std::uint64_t> local_count_per_part_;
 
   // Pairs newly learned this superstep (locally created or synced in).
+  // `pending_sorted_` tracks whether the set is already sorted + deduped so
+  // the Phase-C passes sort at most once per superstep.
   std::vector<VertexPartPair> pending_;
+  bool pending_sorted_ = true;
 
   // Per-partition allocation caps for the current superstep (empty = no
   // caps, used by unit tests that drive the process directly).

@@ -1,0 +1,50 @@
+#include "partition/dne/boundary_queue.h"
+
+#include <algorithm>
+
+namespace dne {
+
+void BucketedBoundaryQueue::Push(std::uint64_t score, VertexId v) {
+  if (buckets_.empty()) buckets_.resize(kNumBuckets);
+  const std::size_t b = static_cast<std::size_t>(
+      std::min<std::uint64_t>(score, kNumBuckets - 1));
+  Bucket& bucket = buckets_[b];
+  if (bucket.head == bucket.items.size()) {
+    // Fully consumed: recycle the storage instead of growing forever.
+    bucket.items.clear();
+    bucket.head = 0;
+    bucket.sorted_end = 0;
+  }
+  bucket.items.push_back(BoundaryEntry{score, v});
+  min_bucket_ = std::min(min_bucket_, b);
+  ++size_;
+}
+
+BoundaryEntry BucketedBoundaryQueue::PopMin() {
+  while (min_bucket_ < buckets_.size()) {
+    Bucket& bucket = buckets_[min_bucket_];
+    if (bucket.head == bucket.items.size()) {
+      ++min_bucket_;
+      continue;
+    }
+    if (bucket.sorted_end != bucket.items.size()) {
+      // Fresh inserts since the last pop: sort only the fresh suffix and
+      // merge it into the already-sorted live tail. Within a non-overflow
+      // bucket all scores are equal, so this orders by vertex id; the
+      // overflow bucket orders by (score, vertex). Either way the global
+      // pop order matches the heap exactly.
+      const auto head_it = bucket.items.begin() + bucket.head;
+      const auto mid_it =
+          bucket.items.begin() + std::max(bucket.head, bucket.sorted_end);
+      std::sort(mid_it, bucket.items.end());
+      std::inplace_merge(head_it, mid_it, bucket.items.end());
+      bucket.sorted_end = bucket.items.size();
+    }
+    --size_;
+    return bucket.items[bucket.head++];
+  }
+  // Callers check empty() first; an unreachable fallback keeps this total.
+  return BoundaryEntry{0, kNoVertex};
+}
+
+}  // namespace dne

@@ -1,0 +1,100 @@
+// Boundary queues for the expansion processes (Alg. 1 / Alg. 4).
+//
+// Two implementations of the same min-(score, vertex) contract:
+//
+//  - HeapBoundaryQueue: the classic binary heap (O(log |B_p|) per
+//    operation). Kept as the pre-overhaul reference for the hot-path bench
+//    and the legacy driver mode.
+//  - BucketedBoundaryQueue: flat buckets keyed by the clamped score with
+//    lazily sorted tails. Push is O(1); PopMin is O(1) amortized on the
+//    min-D_rest workload (scores are small non-negative integers and the
+//    selection sweep consumes buckets in increasing-score order). Entries
+//    whose score exceeds the clamp share one overflow bucket that degrades
+//    gracefully to sorted-vector behaviour.
+//
+// Both queues pop in exactly the same order — ascending (score, vertex),
+// stale duplicates included — so swapping one for the other is
+// bit-identical for the whole partitioner. Lazy deletion of already-
+// expanded vertices stays in ExpansionProcess, as before.
+#ifndef DNE_PARTITION_DNE_BOUNDARY_QUEUE_H_
+#define DNE_PARTITION_DNE_BOUNDARY_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dne {
+
+struct BoundaryEntry {
+  std::uint64_t score;
+  VertexId vertex;
+  friend bool operator>(const BoundaryEntry& a, const BoundaryEntry& b) {
+    return std::tie(a.score, a.vertex) > std::tie(b.score, b.vertex);
+  }
+  friend bool operator<(const BoundaryEntry& a, const BoundaryEntry& b) {
+    return std::tie(a.score, a.vertex) < std::tie(b.score, b.vertex);
+  }
+};
+
+/// The pre-overhaul boundary structure: a std::priority_queue min-heap.
+class HeapBoundaryQueue {
+ public:
+  void Push(std::uint64_t score, VertexId v) {
+    heap_.push(BoundaryEntry{score, v});
+  }
+
+  /// Requires !empty().
+  BoundaryEntry PopMin() {
+    BoundaryEntry top = heap_.top();
+    heap_.pop();
+    return top;
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  std::priority_queue<BoundaryEntry, std::vector<BoundaryEntry>,
+                      std::greater<>>
+      heap_;
+};
+
+/// Monotone bucket queue over the clamped score. Bucket b holds entries with
+/// min(score, kNumBuckets - 1) == b; within a bucket only the unconsumed
+/// tail is kept sorted, and sorting is deferred until the bucket is popped
+/// with fresh inserts outstanding. Consumed bucket storage is recycled in
+/// place, so steady-state supersteps allocate nothing.
+class BucketedBoundaryQueue {
+ public:
+  /// D_rest clamp. Scores are rest-degrees in the default configuration, so
+  /// nearly all mass sits far below this; the random-selection ablation
+  /// (32-bit hash scores) lands in the overflow bucket wholesale.
+  static constexpr std::size_t kNumBuckets = 1024;
+
+  void Push(std::uint64_t score, VertexId v);
+
+  /// Pops the minimum (score, vertex) entry. Requires !empty().
+  BoundaryEntry PopMin();
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Bucket {
+    std::vector<BoundaryEntry> items;
+    std::size_t head = 0;        // items[0, head) already popped
+    std::size_t sorted_end = 0;  // items[head, sorted_end) is sorted
+  };
+
+  std::vector<Bucket> buckets_;  // sized on first push
+  std::size_t min_bucket_ = kNumBuckets;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_BOUNDARY_QUEUE_H_

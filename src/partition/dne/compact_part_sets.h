@@ -81,6 +81,42 @@ class CompactPartSets {
     SlotCopyTo(v, out);
   }
 
+  /// Visits the ids common to u's and w's sets in ascending order. In
+  /// bitmap mode this is a word-wise AND + bit scan — the two-hop hot loop
+  /// (Alg. 3 line 14) runs on it without materialising either set.
+  template <typename Fn>
+  void ForEachCommon(std::uint32_t u, std::uint32_t w, Fn&& fn) const {
+    if (words_ > 0) {
+      const std::uint64_t* bu = &bits_[static_cast<std::size_t>(u) * words_];
+      const std::uint64_t* bw = &bits_[static_cast<std::size_t>(w) * words_];
+      for (std::uint32_t i = 0; i < words_; ++i) {
+        std::uint64_t common = bu[i] & bw[i];
+        while (common != 0) {
+          fn(static_cast<PartitionId>(64 * i + std::countr_zero(common)));
+          common &= common - 1;
+        }
+      }
+      return;
+    }
+    PartitionId iu[2], iw[2];
+    const PartitionId* du;
+    const PartitionId* dw;
+    const std::size_t su = SlotView(u, iu, &du);
+    const std::size_t sw = SlotView(w, iw, &dw);
+    std::size_t a = 0, b = 0;
+    while (a < su && b < sw) {
+      if (du[a] < dw[b]) {
+        ++a;
+      } else if (dw[b] < du[a]) {
+        ++b;
+      } else {
+        fn(du[a]);
+        ++a;
+        ++b;
+      }
+    }
+  }
+
   std::size_t size_of(std::uint32_t v) const {
     if (words_ > 0) {
       std::size_t n = 0;
@@ -176,6 +212,23 @@ class CompactPartSets {
     }
     if (s0 != kNoPartition) out->push_back(s0);
     if (s1 != kNoPartition) out->push_back(s1);
+  }
+
+  /// Slot mode: exposes v's sorted ids either from the spill arena or via
+  /// the caller-provided inline buffer; returns the count.
+  std::size_t SlotView(std::uint32_t v, PartitionId inline_buf[2],
+                       const PartitionId** data) const {
+    const PartitionId s0 = slots_[2 * v];
+    const PartitionId s1 = slots_[2 * v + 1];
+    if (s0 == kSpillTag) {
+      *data = &arena_[s1 + 2];
+      return arena_[s1 + 1];
+    }
+    std::size_t n = 0;
+    if (s0 != kNoPartition) inline_buf[n++] = s0;
+    if (s1 != kNoPartition) inline_buf[n++] = s1;
+    *data = inline_buf;
+    return n;
   }
 
   std::size_t SlotSizeOf(std::uint32_t v) const {

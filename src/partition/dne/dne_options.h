@@ -32,10 +32,16 @@ struct DneOptions {
   SeedStrategy seed_strategy = SeedStrategy::kRandom;
   /// Safety valve; 0 = automatic (10 * |V| + 1000).
   std::uint64_t max_supersteps = 0;
-  /// Host threads executing the simulated ranks' allocation phases
-  /// (per-rank state is independent, so results are bit-identical for any
-  /// thread count). 1 = fully sequential.
+  /// Host threads executing the simulated ranks' phases (per-rank state is
+  /// independent, so results are bit-identical for any thread count).
+  /// 1 = fully sequential. Bounded by kMaxPoolThreads.
   int num_threads = 1;
+  /// Runs the pre-overhaul hot path: sequential Phase-A vertex selection,
+  /// binary-heap boundary queues, per-superstep AllToAll construction and a
+  /// sequential initial 2-D distribution. The partitioning result is
+  /// bit-identical to the fast path; only the host-side execution shape
+  /// differs. Exists for bench_dne_hotpath's old-vs-new comparison.
+  bool legacy_hotpath = false;
 };
 
 /// Detailed observability of a Distributed NE run (feeds Figs. 6, 9, 10).
@@ -48,6 +54,15 @@ struct DneStats {
   std::uint64_t comm_messages = 0;
   double sim_seconds = 0.0;           ///< CostModel elapsed time
   double selection_work_fraction = 0.0;  ///< share of work in vertex selection
+  /// Host-side wall time of the driver, split by superstep phase: initial
+  /// 2-D distribution, then A (selection + request exchange), B (one-hop +
+  /// sync exchange), C (sync apply / two-hop / reports), D (boundary
+  /// aggregation + termination). Feeds bench_dne_hotpath's breakdown.
+  double host_distribute_seconds = 0.0;
+  double host_phase_a_seconds = 0.0;
+  double host_phase_b_seconds = 0.0;
+  double host_phase_c_seconds = 0.0;
+  double host_phase_d_seconds = 0.0;
   /// max/mean of the partitions' peak boundary sizes — the vertex-selection
   /// imbalance the paper names as the weak-scaling bottleneck (Sec. 7.4).
   double boundary_imbalance = 1.0;

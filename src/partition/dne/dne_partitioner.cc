@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/timer.h"
 #include "core/partitioner_registry.h"
 #include "partition/dne/allocation_process.h"
 #include "partition/dne/expansion_process.h"
@@ -14,6 +15,14 @@
 
 namespace dne {
 
+// The driver maps one simulated rank to one partition (ranks ==
+// num_partitions), so every per-rank and per-partition array below is
+// indexed by the same range. The hot path exploits this: parallel sections
+// only ever touch state owned by their own index (expansion[p], alloc[r],
+// outbox row Out(i, *), staged scratch[i]), all cross-index merging happens
+// sequentially in index order, and shared counters (CommStats, CostModel
+// totals) are only updated from sequential code — which is why any thread
+// count produces bit-identical partitions.
 Status DnePartitioner::PartitionImpl(const Graph& g,
                                      std::uint32_t num_partitions,
                                      const PartitionContext& ctx,
@@ -27,6 +36,10 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
   if (options_.lambda <= 0.0 || options_.lambda > 1.0) {
     return Status::InvalidArgument("lambda must be in (0, 1]");
   }
+  if (options_.num_threads > kMaxPoolThreads) {
+    return Status::InvalidArgument("threads exceeds the supported maximum");
+  }
+  const bool fast = !options_.legacy_hotpath;
   const std::uint64_t seed = ctx.EffectiveSeed(options_.seed);
   const int ranks = static_cast<int>(num_partitions);
   const EdgeId total_edges = g.NumEdges();
@@ -35,20 +48,72 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
   SimCluster cluster(ranks, options_.cost);
   TwoDDistribution dist(num_partitions, seed);
 
+  // Host threads for the per-rank phases. Each simulated rank's state is
+  // disjoint (edges are uniquely owned), so any thread count gives
+  // bit-identical results.
+  ThreadPool pool(std::max(1, options_.num_threads));
+
   // --- Initial 2-D hash distribution (Sec. 4) ----------------------------
+  WallTimer phase_timer;
   std::vector<AllocationProcess> alloc;
   alloc.reserve(ranks);
   for (int r = 0; r < ranks; ++r) {
-    alloc.emplace_back(r, num_partitions, options_.seed_strategy);
+    alloc.emplace_back(r, num_partitions, options_.seed_strategy,
+                       /*legacy_scan=*/!fast);
   }
-  for (EdgeId e = 0; e < total_edges; ++e) {
-    const Edge& ed = g.edge(e);
-    alloc[dist.OwnerOf(ed.src, ed.dst)].AddEdge(e, ed.src, ed.dst);
+  if (fast) {
+    // Chunked two-pass ownership scatter: pass 1 counts owners per chunk,
+    // a per-rank prefix sum over chunks turns the counts into slot ranges,
+    // pass 2 scatter-writes each edge into its slot. Per rank the slots
+    // follow (chunk, position-in-chunk) order, i.e. ascending global edge
+    // id — exactly the sequential AddEdge order, for any thread count.
+    const EdgeId chunk_edges = 1 << 16;
+    const std::size_t num_chunks = static_cast<std::size_t>(
+        (total_edges + chunk_edges - 1) / chunk_edges);
+    std::vector<std::vector<std::uint64_t>> chunk_offset(
+        num_chunks, std::vector<std::uint64_t>(ranks, 0));
+    pool.ParallelFor(num_chunks, [&](std::size_t c) {
+      const EdgeId lo = static_cast<EdgeId>(c) * chunk_edges;
+      const EdgeId hi = std::min<EdgeId>(total_edges, lo + chunk_edges);
+      std::vector<std::uint64_t>& count = chunk_offset[c];
+      for (EdgeId e = lo; e < hi; ++e) {
+        const Edge& ed = g.edge(e);
+        ++count[dist.OwnerOf(ed.src, ed.dst)];
+      }
+    });
+    for (int r = 0; r < ranks; ++r) {
+      std::uint64_t running = 0;
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::uint64_t count = chunk_offset[c][r];
+        chunk_offset[c][r] = running;
+        running += count;
+      }
+      alloc[r].PrepareBulkEdges(running);
+    }
+    pool.ParallelFor(num_chunks, [&](std::size_t c) {
+      const EdgeId lo = static_cast<EdgeId>(c) * chunk_edges;
+      const EdgeId hi = std::min<EdgeId>(total_edges, lo + chunk_edges);
+      std::vector<std::uint64_t>& offset = chunk_offset[c];
+      for (EdgeId e = lo; e < hi; ++e) {
+        const Edge& ed = g.edge(e);
+        const int r = dist.OwnerOf(ed.src, ed.dst);
+        alloc[r].PlaceEdge(offset[r]++, e, ed.src, ed.dst);
+      }
+    });
+    pool.ParallelFor(static_cast<std::size_t>(ranks),
+                     [&](std::size_t r) { alloc[r].Finalize(); });
+  } else {
+    for (EdgeId e = 0; e < total_edges; ++e) {
+      const Edge& ed = g.edge(e);
+      alloc[dist.OwnerOf(ed.src, ed.dst)].AddEdge(e, ed.src, ed.dst);
+    }
+    for (int r = 0; r < ranks; ++r) alloc[r].Finalize();
   }
   for (int r = 0; r < ranks; ++r) {
-    alloc[r].Finalize();
     cluster.mem().Allocate(r, alloc[r].StaticMemoryBytes());
   }
+  dne_stats_ = DneStats{};
+  dne_stats_.host_distribute_seconds = phase_timer.Seconds();
 
   // Ceiling division so that |P| * limit >= alpha |E| >= |E|: the caps can
   // never leave edges stranded with every partition full.
@@ -58,16 +123,19 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
                        static_cast<double>(num_partitions))));
   std::vector<ExpansionProcess> expansion;
   expansion.reserve(num_partitions);
+  // The bucket queue keys on the clamped D_rest; under the random-selection
+  // ablation scores are 32-bit hashes that all clamp into the overflow
+  // bucket, so the heap is the right structure there even on the fast path.
+  const bool bucket_queue = fast && options_.min_drest_selection;
   for (PartitionId p = 0; p < num_partitions; ++p) {
     expansion.emplace_back(p, num_vertices, limit, options_.lambda,
                            options_.min_drest_selection,
-                           seed + 0x9e37 * (p + 1));
+                           seed + 0x9e37 * (p + 1), bucket_queue);
   }
 
   *out = EdgePartition(num_partitions, total_edges);
   std::vector<PartitionId>& assignment = out->mutable_assignment();
 
-  dne_stats_ = DneStats{};
   std::uint64_t total_allocated = 0;
   // Per-phase critical-path accounting: the slowest rank gates each phase
   // (the paper's vertex-selection bottleneck of Sec. 7.4 is the phase-A
@@ -96,14 +164,27 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
   std::vector<int> replica_ranks;
   std::vector<std::vector<std::uint64_t>> allocated_per_part(
       ranks, std::vector<std::uint64_t>(num_partitions, 0));
-  // Host threads for the per-rank allocation phases. Each simulated rank's
-  // state is disjoint (edges are uniquely owned), so any thread count gives
-  // bit-identical results.
-  ThreadPool pool(std::max(1, options_.num_threads));
   std::vector<std::uint64_t> rank_ops(ranks, 0);
   std::vector<std::vector<VertexPartPair>> rank_sync(ranks);
   std::vector<std::vector<BoundaryReport>> rank_reports(ranks);
   std::vector<std::uint64_t> rank_two_hop(ranks, 0);
+
+  // Hot-path persistent state (fast mode): the exchanges, their inbox
+  // arenas, the per-partition selection buffers and the per-index
+  // ReplicaRanks scratch are created once and recycled every superstep, so
+  // the four exchanges per superstep stop churning the allocator. The
+  // legacy mode reconstructs its exchanges per superstep (the pre-overhaul
+  // shape measured by bench_dne_hotpath).
+  AllToAll<SelectRequest> select_x(ranks);
+  AllToAll<VertexPartPair> sync_x(ranks);
+  AllToAll<BoundaryReport> report_x(ranks);
+  std::vector<std::vector<SelectRequest>> requests_in;
+  std::vector<std::vector<VertexPartPair>> sync_in;
+  std::vector<std::vector<BoundaryReport>> reports_in;
+  std::vector<std::vector<VertexId>> staged_selected(num_partitions);
+  std::vector<std::uint64_t> staged_ops(num_partitions, 0);
+  std::vector<std::vector<int>> replica_scratch(ranks);
+  std::vector<VertexId> selected;  // legacy-mode selection buffer
 
   while (total_allocated < total_edges) {
     DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
@@ -113,12 +194,21 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
     }
 
     // ---- Phase A: vertex selection (expansion processes, Alg. 4) --------
-    AllToAll<SelectRequest> select_x(ranks);
-    std::vector<VertexId> selected;
-    for (PartitionId p = 0; p < num_partitions; ++p) {
-      std::uint64_t ops = 0;
-      expansion[p].SelectVertices(&selected, &ops);
-      if (selected.empty() && !expansion[p].terminated()) {
+    phase_timer.Reset();
+    if (fast) {
+      // Selection only reads/writes expansion[p]: all partitions run
+      // concurrently into staged per-partition buffers.
+      pool.ParallelFor(num_partitions, [&](std::size_t p) {
+        staged_ops[p] = 0;
+        expansion[p].SelectVertices(&staged_selected[p], &staged_ops[p]);
+      });
+      // The empty-boundary fallback probes *other* ranks and charges the
+      // shared comm counters, so it stays sequential in partition order
+      // (it is rare: only exhausted boundaries take it).
+      for (PartitionId p = 0; p < num_partitions; ++p) {
+        if (!staged_selected[p].empty() || expansion[p].terminated()) {
+          continue;
+        }
         // Alg. 1 line 7: random vertex, local allocation process first,
         // other machines only if necessary (one probe message each).
         VertexId v = alloc[p].PeekFreeVertex();
@@ -132,28 +222,68 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
           }
         }
         if (v != kNoVertex) {
-          selected.push_back(v);
+          staged_selected[p].push_back(v);
           ++dne_stats_.random_restarts;
         }
       }
-      ops += selected.size();
-      cluster.cost().AddWork(static_cast<int>(p), ops);
-      phase_ops[p] += ops;
-      for (VertexId v : selected) {
-        dist.ReplicaRanks(v, &replica_ranks);
-        for (int r : replica_ranks) {
-          select_x.Out(static_cast<int>(p), r).push_back(
-              SelectRequest{v, p});
+      // Request staging: partition p owns outbox row Out(p, *), so the fan
+      // -out to replica ranks is parallel too.
+      pool.ParallelFor(num_partitions, [&](std::size_t p) {
+        staged_ops[p] += staged_selected[p].size();
+        for (VertexId v : staged_selected[p]) {
+          dist.ReplicaRanks(v, &replica_scratch[p]);
+          for (int r : replica_scratch[p]) {
+            select_x.Out(static_cast<int>(p), r).push_back(
+                SelectRequest{v, static_cast<PartitionId>(p)});
+          }
         }
+      });
+      for (PartitionId p = 0; p < num_partitions; ++p) {
+        cluster.cost().AddWork(static_cast<int>(p), staged_ops[p]);
+        phase_ops[p] += staged_ops[p];
       }
-      selected.clear();
+      select_x.DeliverInto(&cluster, &requests_in);
+    } else {
+      AllToAll<SelectRequest> legacy_select(ranks);
+      for (PartitionId p = 0; p < num_partitions; ++p) {
+        std::uint64_t ops = 0;
+        expansion[p].SelectVertices(&selected, &ops);
+        if (selected.empty() && !expansion[p].terminated()) {
+          VertexId v = alloc[p].PeekFreeVertex();
+          if (v == kNoVertex) {
+            for (int off = 1; off < ranks; ++off) {
+              const int r = (static_cast<int>(p) + off) % ranks;
+              cluster.comm().AddMessage(sizeof(VertexId));
+              cluster.cost().AddBytes(static_cast<int>(p), sizeof(VertexId));
+              v = alloc[r].PeekFreeVertex();
+              if (v != kNoVertex) break;
+            }
+          }
+          if (v != kNoVertex) {
+            selected.push_back(v);
+            ++dne_stats_.random_restarts;
+          }
+        }
+        ops += selected.size();
+        cluster.cost().AddWork(static_cast<int>(p), ops);
+        phase_ops[p] += ops;
+        for (VertexId v : selected) {
+          dist.ReplicaRanks(v, &replica_ranks);
+          for (int r : replica_ranks) {
+            legacy_select.Out(static_cast<int>(p), r).push_back(
+                SelectRequest{v, p});
+          }
+        }
+        selected.clear();
+      }
+      requests_in = legacy_select.Deliver(&cluster);
     }
-    std::vector<std::vector<SelectRequest>> requests =
-        select_x.Deliver(&cluster);
     close_phase(/*is_selection=*/true);
     cluster.cost().EndSuperstep();
+    dne_stats_.host_phase_a_seconds += phase_timer.Seconds();
 
     // ---- Phase B: one-hop allocation (Alg. 3 lines 1-9) -----------------
+    phase_timer.Reset();
     // Per-rank allocation caps from the all-gathered |E_p| (Alg. 1 line
     // 14): each partition's remaining budget is split across all ranks
     // (any rank may own edges of the selected vertices), so one superstep
@@ -169,34 +299,59 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
               : std::max<std::uint64_t>(
                     1, remaining / static_cast<std::uint64_t>(ranks));
     }
-    AllToAll<VertexPartPair> sync_x(ranks);
-    pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
-      rank_ops[r] = 0;
-      rank_sync[r].clear();
-      alloc[r].SetSuperstepBudgets(budgets);
-      alloc[r].AllocateOneHop(requests[r], &assignment, &rank_sync[r],
-                              &allocated_per_part[r], &rank_ops[r]);
-    });
-    for (int r = 0; r < ranks; ++r) {
-      cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
-      phase_ops[r] += parallel_ops(rank_ops[r]);
-      // Replica synchronisation (Alg. 2 line 3): fresh pairs go to every
-      // replica rank of the vertex except this one.
-      for (const VertexPartPair& pair : rank_sync[r]) {
-        dist.ReplicaRanks(pair.v, &replica_ranks);
-        for (int to : replica_ranks) {
-          if (to != r) sync_x.Out(r, to).push_back(pair);
+    if (fast) {
+      // One-hop allocation and the replica-synchronisation fan-out run in
+      // the same task: rank r owns alloc[r], rank_sync[r] and outbox row
+      // Out(r, *).
+      pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
+        rank_ops[r] = 0;
+        rank_sync[r].clear();
+        alloc[r].SetSuperstepBudgets(budgets);
+        alloc[r].AllocateOneHop(requests_in[r], &assignment, &rank_sync[r],
+                                &allocated_per_part[r], &rank_ops[r]);
+        // Replica synchronisation (Alg. 2 line 3): fresh pairs go to every
+        // replica rank of the vertex except this one.
+        const int from = static_cast<int>(r);
+        for (const VertexPartPair& pair : rank_sync[r]) {
+          dist.ReplicaRanks(pair.v, &replica_scratch[r]);
+          for (int to : replica_scratch[r]) {
+            if (to != from) sync_x.Out(from, to).push_back(pair);
+          }
+        }
+      });
+      for (int r = 0; r < ranks; ++r) {
+        cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
+        phase_ops[r] += parallel_ops(rank_ops[r]);
+      }
+      sync_x.DeliverInto(&cluster, &sync_in);
+    } else {
+      AllToAll<VertexPartPair> legacy_sync(ranks);
+      pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
+        rank_ops[r] = 0;
+        rank_sync[r].clear();
+        alloc[r].SetSuperstepBudgets(budgets);
+        alloc[r].AllocateOneHop(requests_in[r], &assignment, &rank_sync[r],
+                                &allocated_per_part[r], &rank_ops[r]);
+      });
+      for (int r = 0; r < ranks; ++r) {
+        cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
+        phase_ops[r] += parallel_ops(rank_ops[r]);
+        for (const VertexPartPair& pair : rank_sync[r]) {
+          dist.ReplicaRanks(pair.v, &replica_ranks);
+          for (int to : replica_ranks) {
+            if (to != r) legacy_sync.Out(r, to).push_back(pair);
+          }
         }
       }
+      sync_in = legacy_sync.Deliver(&cluster);
     }
-    std::vector<std::vector<VertexPartPair>> sync_in =
-        sync_x.Deliver(&cluster);
     close_phase(/*is_selection=*/false);
     cluster.cost().EndSuperstep();
+    dne_stats_.host_phase_b_seconds += phase_timer.Seconds();
 
     // ---- Phase C: sync apply, two-hop allocation, local D_rest ----------
-    AllToAll<BoundaryReport> report_x(ranks);
-    pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
+    phase_timer.Reset();
+    auto phase_c_rank = [&](std::size_t r) {
       rank_ops[r] = 0;
       rank_two_hop[r] = 0;
       alloc[r].ApplySync(sync_in[r], &rank_ops[r]);
@@ -206,20 +361,41 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
       }
       rank_reports[r].clear();
       alloc[r].DrainBoundaryReports(&rank_reports[r], &rank_ops[r]);
-    });
-    for (int r = 0; r < ranks; ++r) {
-      dne_stats_.two_hop_edges += rank_two_hop[r];
-      cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
-      phase_ops[r] += parallel_ops(rank_ops[r]);
-      for (const BoundaryReport& rep : rank_reports[r]) {
-        report_x.Out(r, static_cast<int>(rep.p)).push_back(rep);
+    };
+    if (fast) {
+      pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
+        phase_c_rank(r);
+        // Boundary reports route home to the owning expansion process;
+        // rank r owns outbox row Out(r, *).
+        for (const BoundaryReport& rep : rank_reports[r]) {
+          report_x.Out(static_cast<int>(r), static_cast<int>(rep.p))
+              .push_back(rep);
+        }
+      });
+      for (int r = 0; r < ranks; ++r) {
+        dne_stats_.two_hop_edges += rank_two_hop[r];
+        cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
+        phase_ops[r] += parallel_ops(rank_ops[r]);
       }
+      report_x.DeliverInto(&cluster, &reports_in);
+    } else {
+      AllToAll<BoundaryReport> legacy_report(ranks);
+      pool.ParallelFor(static_cast<std::size_t>(ranks), phase_c_rank);
+      for (int r = 0; r < ranks; ++r) {
+        dne_stats_.two_hop_edges += rank_two_hop[r];
+        cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
+        phase_ops[r] += parallel_ops(rank_ops[r]);
+        for (const BoundaryReport& rep : rank_reports[r]) {
+          legacy_report.Out(r, static_cast<int>(rep.p)).push_back(rep);
+        }
+      }
+      reports_in = legacy_report.Deliver(&cluster);
     }
-    std::vector<std::vector<BoundaryReport>> reports_in =
-        report_x.Deliver(&cluster);
     close_phase(/*is_selection=*/false);
     cluster.cost().EndSuperstep();
+    dne_stats_.host_phase_c_seconds += phase_timer.Seconds();
 
+    phase_timer.Reset();
     // ---- Edge hand-off accounting: allocated edges are copied from their
     // allocation rank to the owning expansion rank (Fig. 4's data flow).
     std::uint64_t newly_allocated = 0;
@@ -242,18 +418,21 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
         total_allocated - dne_stats_.two_hop_edges;
 
     // ---- Phase D: boundary updates + termination (Alg. 1 lines 10-15) ---
-    for (PartitionId p = 0; p < num_partitions; ++p) {
+    // Aggregation of the per-rank local D_rest scores into global scores
+    // plus the boundary-queue inserts; partition p owns its inbox and
+    // expansion[p], so the fast path fans the loop out and merges only the
+    // shared-counter accounting sequentially.
+    auto phase_d_partition = [&](std::size_t p) {
       auto& inbox = reports_in[p];
-      // Aggregate the per-rank local D_rest scores into global scores.
       std::sort(inbox.begin(), inbox.end(),
                 [](const BoundaryReport& a, const BoundaryReport& b) {
                   return a.v < b.v;
                 });
-      // Linear aggregation over the reports, plus one log|B_p| heap insert
-      // per unique boundary vertex.
+      // Linear aggregation over the reports, plus one queue insert per
+      // unique boundary vertex (O(1) bucket append on the fast path,
+      // log |B_p| heap insert on the legacy path).
       std::uint64_t ops = inbox.size();
-      const std::uint64_t insert_cost =
-          1 + std::bit_width(expansion[p].boundary_size() + 1);
+      const std::uint64_t insert_cost = expansion[p].InsertCostOps();
       std::size_t i = 0;
       while (i < inbox.size()) {
         std::size_t j = i;
@@ -266,21 +445,33 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
         ops += insert_cost;
         i = j;
       }
-      // Aggregation + heap inserts pipeline with message arrival on the
+      staged_ops[p] = ops;
+      // Alg. 1 line 14/15: the termination test over the all-gathered
+      // |E_p| totals.
+      expansion[p].CheckTermination(total_allocated, total_edges);
+    };
+    if (fast) {
+      pool.ParallelFor(num_partitions, phase_d_partition);
+    } else {
+      for (PartitionId p = 0; p < num_partitions; ++p) phase_d_partition(p);
+    }
+    for (PartitionId p = 0; p < num_partitions; ++p) {
+      // Aggregation + queue inserts pipeline with message arrival on the
       // expansion machine; charged as parallel background work. The serial
       // bottleneck the paper measures (Sec. 7.4) is the selection step
       // itself (phase A).
-      cluster.cost().AddWork(static_cast<int>(p), parallel_ops(ops));
-      phase_ops[p] += parallel_ops(ops);
+      cluster.cost().AddWork(static_cast<int>(p),
+                             parallel_ops(staged_ops[p]));
+      phase_ops[p] += parallel_ops(staged_ops[p]);
       // AllGather of |E_p| for the termination test (Alg. 1 line 14).
       const std::uint64_t allgather_bytes =
           (static_cast<std::uint64_t>(ranks) - 1) * sizeof(std::uint64_t);
       cluster.cost().AddBytes(static_cast<int>(p), allgather_bytes);
-      expansion[p].CheckTermination(total_allocated, total_edges);
     }
 
     close_phase(/*is_selection=*/false);
     cluster.Barrier();
+    dne_stats_.host_phase_d_seconds += phase_timer.Seconds();
     ++dne_stats_.iterations;
   }
 
@@ -340,8 +531,11 @@ OptionSchema DneSchema() {
                        "random", "fresh-vertex policy for empty boundaries"),
       OptionSpec::Uint("max_supersteps", 0,
                        "superstep guard; 0 = automatic (10|V| + 1000)"),
-      OptionSpec::Int("threads", 1, 1, 1024,
-                      "host threads for the simulated ranks' phases")};
+      OptionSpec::Int("threads", 1, 1, kMaxPoolThreads,
+                      "host threads for the simulated ranks' phases"),
+      OptionSpec::Bool("legacy_hotpath", false,
+                       "pre-overhaul sequential hot path (bench reference; "
+                       "bit-identical result)")};
 }
 }  // namespace
 
@@ -369,6 +563,7 @@ DNE_REGISTER_PARTITIONER(
                                 : SeedStrategy::kRandom;
           o.max_supersteps = s.UintOr(c, "max_supersteps");
           o.num_threads = static_cast<int>(s.IntOr(c, "threads"));
+          o.legacy_hotpath = s.BoolOr(c, "legacy_hotpath");
           return std::make_unique<DnePartitioner>(o);
         }})
 

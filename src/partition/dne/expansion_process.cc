@@ -9,22 +9,33 @@ namespace dne {
 
 ExpansionProcess::ExpansionProcess(PartitionId p, VertexId num_vertices,
                                    std::uint64_t edge_limit, double lambda,
-                                   bool min_drest, std::uint64_t seed)
+                                   bool min_drest, std::uint64_t seed,
+                                   bool bucket_queue)
     : partition_(p),
       edge_limit_(edge_limit),
       lambda_(lambda),
       min_drest_(min_drest),
+      bucket_queue_(bucket_queue),
       seed_(seed),
       expanded_(num_vertices, false) {}
 
+std::uint64_t ExpansionProcess::InsertCostOps() const {
+  if (bucket_queue_) return 2;  // O(1) bucket append
+  return 1 + std::bit_width(heap_.size() + 1);
+}
+
 void ExpansionProcess::InsertBoundary(VertexId v, std::uint64_t global_drest) {
   if (terminated_ || global_drest == 0 || expanded_[v]) return;
-  // Randomised score under the selection ablation: the heap degenerates to
+  // Randomised score under the selection ablation: the queue degenerates to
   // a uniform sampler over the boundary.
   const std::uint64_t score =
       min_drest_ ? global_drest : Mix64(v ^ seed_) >> 32;
-  heap_.push(Entry{score, v});
-  peak_boundary_ = std::max(peak_boundary_, heap_.size());
+  if (bucket_queue_) {
+    buckets_.Push(score, v);
+  } else {
+    heap_.Push(score, v);
+  }
+  peak_boundary_ = std::max(peak_boundary_, boundary_size());
 }
 
 void ExpansionProcess::SelectVertices(std::vector<VertexId>* out,
@@ -33,7 +44,7 @@ void ExpansionProcess::SelectVertices(std::vector<VertexId>* out,
   if (terminated_) return;
   std::uint64_t k = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(lambda_ *
-                                    static_cast<double>(heap_.size())));
+                                    static_cast<double>(boundary_size())));
   // Budget clamp: past experience says each expanded vertex brings
   // allocated_/expanded_count_ edges; do not select far more vertices than
   // the remaining budget can absorb (keeps |E_p| <= ~alpha |E|/|P|).
@@ -46,11 +57,17 @@ void ExpansionProcess::SelectVertices(std::vector<VertexId>* out,
         std::max<std::uint64_t>(1, remaining / per_vertex);
     k = std::min(k, max_k);
   }
-  while (k > 0 && !heap_.empty()) {
-    Entry top = heap_.top();
-    heap_.pop();
-    // Heap pop costs log |B_p| on the serial expansion process.
-    *ops += 1 + std::bit_width(heap_.size());
+  while (k > 0 && boundary_size() > 0) {
+    BoundaryEntry top;
+    if (bucket_queue_) {
+      top = buckets_.PopMin();
+      // Amortized O(1) bucket pop.
+      *ops += 2;
+    } else {
+      top = heap_.PopMin();
+      // Heap pop costs log |B_p| on the serial expansion process.
+      *ops += 1 + std::bit_width(heap_.size());
+    }
     if (expanded_[top.vertex]) continue;  // duplicate insert within a step
     expanded_[top.vertex] = true;
     out->push_back(top.vertex);

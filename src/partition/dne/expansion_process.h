@@ -1,15 +1,14 @@
 // ExpansionProcess: one per partition (Fig. 4). Manages the boundary
-// priority queue and implements the vertex-selection side of Algorithm 1
-// and the k-min multi-expansion of Algorithm 4.
+// queue and implements the vertex-selection side of Algorithm 1 and the
+// k-min multi-expansion of Algorithm 4.
 #ifndef DNE_PARTITION_DNE_EXPANSION_PROCESS_H_
 #define DNE_PARTITION_DNE_EXPANSION_PROCESS_H_
 
 #include <cstdint>
-#include <queue>
-#include <tuple>
 #include <vector>
 
 #include "common/types.h"
+#include "partition/dne/boundary_queue.h"
 
 namespace dne {
 
@@ -17,16 +16,25 @@ class ExpansionProcess {
  public:
   /// `edge_limit` is alpha * |E| / |P| (Alg. 1 line 15). `lambda` is the
   /// multi-expansion factor. When `min_drest` is false the process selects
-  /// random boundary vertices (ablation of the greedy heuristic).
+  /// random boundary vertices (ablation of the greedy heuristic). The
+  /// boundary lives in a bucketed O(1)-pop queue unless `bucket_queue` is
+  /// false, which restores the pre-overhaul binary heap; both pop in the
+  /// same order, so the partitioning result is identical either way.
   ExpansionProcess(PartitionId p, VertexId num_vertices,
                    std::uint64_t edge_limit, double lambda, bool min_drest,
-                   std::uint64_t seed);
+                   std::uint64_t seed, bool bucket_queue = true);
 
   PartitionId partition() const { return partition_; }
   bool terminated() const { return terminated_; }
   std::uint64_t allocated() const { return allocated_; }
-  std::size_t boundary_size() const { return heap_.size(); }
+  std::size_t boundary_size() const {
+    return bucket_queue_ ? buckets_.size() : heap_.size();
+  }
   std::size_t peak_boundary_size() const { return peak_boundary_; }
+
+  /// Simulated-cost charge for one boundary insert at the current size
+  /// (constant for the bucket queue, log |B_p| for the heap).
+  std::uint64_t InsertCostOps() const;
 
   /// Alg. 4 lines 3-6: pops k = max(1, lambda * |B_p|) minimum-D_rest
   /// vertices (insert-time scores, as in the paper). k is additionally
@@ -49,21 +57,15 @@ class ExpansionProcess {
                         std::uint64_t total_edges);
 
  private:
-  struct Entry {
-    std::uint64_t score;
-    VertexId vertex;
-    friend bool operator>(const Entry& a, const Entry& b) {
-      return std::tie(a.score, a.vertex) > std::tie(b.score, b.vertex);
-    }
-  };
-
   PartitionId partition_;
   std::uint64_t edge_limit_;
   double lambda_;
   bool min_drest_;
+  bool bucket_queue_;
   std::uint64_t seed_;
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  BucketedBoundaryQueue buckets_;
+  HeapBoundaryQueue heap_;  // legacy mode only; empty otherwise
   std::vector<bool> expanded_;  // per-vertex: popped already
   std::uint64_t allocated_ = 0;
   std::uint64_t expanded_count_ = 0;

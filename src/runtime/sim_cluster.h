@@ -53,10 +53,18 @@ class SimCluster {
 
 /// All-to-all exchange of trivially-copyable messages of type T.
 ///
-/// Usage: each rank appends to Out(from, to); Deliver() routes everything,
-/// charging sizeof(T) per *cross-rank* message to CommStats and to the
-/// sender's injection bytes in the CostModel, and returns inbox[to] with
+/// Usage: each rank appends to Out(from, to); Deliver()/DeliverInto() route
+/// everything, charging sizeof(T) per *cross-rank* message to CommStats and
+/// to the sender's injection bytes in the CostModel, and fill inbox[to] with
 /// messages ordered by sending rank (deterministic).
+///
+/// The object is reusable: a delivery leaves every outbox empty (capacity
+/// retained by DeliverInto, released by Deliver) and the next round of
+/// Out().push_back() starts clean. A persistent AllToAll plus a persistent
+/// inbox arena passed to DeliverInto() makes repeated exchanges
+/// allocation-free in steady state — the DNE driver runs four exchanges per
+/// superstep this way. Reset() abandons any buffered messages in place
+/// (capacity retained, nothing charged).
 template <typename T>
 class AllToAll {
  public:
@@ -68,17 +76,37 @@ class AllToAll {
     return boxes_[static_cast<std::size_t>(from) * num_ranks_ + to];
   }
 
-  /// Routes all buffered messages. The exchange itself is not a barrier;
-  /// callers invoke cluster.Barrier() when the superstep ends.
+  /// Discards all buffered (undelivered) messages, keeping the outbox
+  /// capacity for reuse. No communication is charged.
+  void Reset() {
+    for (std::vector<T>& box : boxes_) box.clear();
+  }
+
+  /// Routes all buffered messages into a fresh inbox. The exchange itself
+  /// is not a barrier; callers invoke cluster.Barrier() when the superstep
+  /// ends.
   std::vector<std::vector<T>> Deliver(SimCluster* cluster) {
     std::vector<std::vector<T>> inbox(num_ranks_);
+    DeliverInto(cluster, &inbox);
+    // One-shot use: also drop the outbox capacity.
+    for (std::vector<T>& box : boxes_) box.shrink_to_fit();
+    return inbox;
+  }
+
+  /// Routes all buffered messages into `*inbox`, a caller-owned arena that
+  /// is resized to one vector per rank and overwritten (capacity of both
+  /// the inbox vectors and the outboxes is retained across calls). The
+  /// charged communication is identical to Deliver().
+  void DeliverInto(SimCluster* cluster, std::vector<std::vector<T>>* inbox) {
+    inbox->resize(num_ranks_);
     // Pre-size inboxes, then concatenate in sender order.
     for (int to = 0; to < num_ranks_; ++to) {
       std::size_t total = 0;
       for (int from = 0; from < num_ranks_; ++from) {
         total += Out(from, to).size();
       }
-      inbox[to].reserve(total);
+      (*inbox)[to].clear();
+      (*inbox)[to].reserve(total);
     }
     for (int from = 0; from < num_ranks_; ++from) {
       for (int to = 0; to < num_ranks_; ++to) {
@@ -88,12 +116,10 @@ class AllToAll {
           cluster->comm().AddMessage(msg_bytes);
           cluster->cost().AddBytes(from, msg_bytes);
         }
-        inbox[to].insert(inbox[to].end(), box.begin(), box.end());
+        (*inbox)[to].insert((*inbox)[to].end(), box.begin(), box.end());
         box.clear();
-        box.shrink_to_fit();
       }
     }
-    return inbox;
   }
 
  private:

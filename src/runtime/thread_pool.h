@@ -16,6 +16,12 @@
 
 namespace dne {
 
+/// Upper bound accepted by every user-facing thread-count knob (CLI flags
+/// and partitioner options). A fixed pool beyond this is a misconfiguration
+/// on any host this project targets; keeping the constant here makes the
+/// CLI and the option schemas agree by construction.
+inline constexpr int kMaxPoolThreads = 256;
+
 /// A fixed-size pool executing index-range tasks. With num_threads <= 1 all
 /// work runs inline on the caller (the default on single-core hosts), so
 /// results are bit-identical with and without threads as long as tasks are

@@ -2,6 +2,8 @@
 // formatting) — compiled against bench/bench_util.cc directly.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "../bench/bench_util.h"
@@ -55,6 +57,41 @@ TEST(HumanBytesTest, UnitsScale) {
   EXPECT_EQ(HumanBytes(2048), "2.0 KB");
   EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.5 MB");
   EXPECT_EQ(HumanBytes(1.5 * 1024.0 * 1024 * 1024 * 1024), "1.5 TB");
+}
+
+TEST(JsonWriterTest, NestedContainersAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "demo");
+  w.KV("edges", std::uint64_t{12345});
+  w.KV("ratio", 1.5);
+  w.KV("ok", true);
+  w.Key("rows").BeginArray();
+  w.BeginObject().KV("mode", "fast").KV("secs", 0.25).EndObject();
+  w.BeginObject().KV("mode", "legacy").KV("secs", 0.5).EndObject();
+  w.Value(std::int64_t{-3});
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"bench\":\"demo\",\"edges\":12345,\"ratio\":1.5,\"ok\":true,"
+            "\"rows\":[{\"mode\":\"fast\",\"secs\":0.25},"
+            "{\"mode\":\"legacy\",\"secs\":0.5},-3]}");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndNonFiniteDoubles) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("text", "a\"b\\c\nd");
+  w.KV("bad", std::numeric_limits<double>::infinity());
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"text\":\"a\\\"b\\\\c\\nd\",\"bad\":null}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject().Key("a").BeginArray().EndArray().Key("b").BeginObject()
+      .EndObject().EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":[],\"b\":{}}");
 }
 
 }  // namespace

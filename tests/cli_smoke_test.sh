@@ -65,6 +65,20 @@ check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=random \
     --partitions=4294967297
 check_clean_failure "$CLI" frobnicate
 
+# The threads knob shares one bound (kMaxPoolThreads = 256) between the
+# stream flag and the dne partitioner option: both must accept an in-range
+# value and reject 0 / 257 cleanly.
+"$CLI" partition --graph="$TMP/g.bin" --method=dne --partitions=4 \
+    --opt threads=4 > /dev/null || fail "partition --opt threads=4"
+check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=dne \
+    --partitions=4 --opt threads=257
+check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=dne \
+    --partitions=4 --opt threads=0
+check_clean_failure "$CLI" stream --gen=rmat --scale=12 --method=random \
+    --partitions=8 --chunk-edges=10000 --threads=257
+check_clean_failure "$CLI" stream --gen=rmat --scale=12 --method=random \
+    --partitions=8 --chunk-edges=10000 --threads=0
+
 # Error paths that must not crash either.
 check_clean_failure "$CLI" partition --graph=/nonexistent/g.bin
 check_clean_failure "$CLI" stream --input=/nonexistent/g.bin --method=random

@@ -1,0 +1,168 @@
+// Hot-path overhaul guarantees: DNE partition assignments are bit-identical
+// across host thread counts and across the fast/legacy execution shapes,
+// and the bucketed boundary queue pops in exactly the binary heap's order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "gen/erdos_renyi.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/dne/boundary_queue.h"
+#include "partition/dne/dne_partitioner.h"
+
+namespace dne {
+namespace {
+
+std::vector<PartitionId> RunDne(const Graph& g, std::uint32_t parts,
+                                int threads, bool legacy) {
+  DneOptions opt;
+  opt.seed = 11;
+  opt.num_threads = threads;
+  opt.legacy_hotpath = legacy;
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  EXPECT_TRUE(dne.Partition(g, parts, &ep).ok());
+  return ep.assignment();
+}
+
+TEST(DneHotpathTest, ThreadCountDoesNotChangeAssignment) {
+  const Graph rmat = Graph::Build([] {
+    RmatOptions opt;
+    opt.scale = 11;
+    opt.edge_factor = 8;
+    opt.seed = 5;
+    return GenerateRmat(opt);
+  }());
+  const Graph er = Graph::Build(GenerateErdosRenyi(2048, 16384, 5));
+  for (const Graph* g : {&rmat, &er}) {
+    for (std::uint32_t parts : {2u, 4u, 16u}) {
+      const auto base = RunDne(*g, parts, /*threads=*/1, /*legacy=*/false);
+      EXPECT_EQ(base, RunDne(*g, parts, /*threads=*/8, /*legacy=*/false))
+          << "parts " << parts;
+    }
+  }
+}
+
+TEST(DneHotpathTest, FastPathMatchesLegacyPathBitForBit) {
+  // The overhaul (parallel selection, bucket queues, persistent exchanges,
+  // chunked distribution, live-arc windows) must be a pure execution-shape
+  // change: same assignment as the pre-overhaul path, edge for edge.
+  const Graph rmat = Graph::Build([] {
+    RmatOptions opt;
+    opt.scale = 11;
+    opt.edge_factor = 8;
+    opt.seed = 7;
+    return GenerateRmat(opt);
+  }());
+  const Graph er = Graph::Build(GenerateErdosRenyi(2048, 16384, 9));
+  for (const Graph* g : {&rmat, &er}) {
+    for (std::uint32_t parts : {2u, 4u, 16u}) {
+      EXPECT_EQ(RunDne(*g, parts, /*threads=*/4, /*legacy=*/false),
+                RunDne(*g, parts, /*threads=*/1, /*legacy=*/true))
+          << "parts " << parts;
+    }
+  }
+}
+
+TEST(DneHotpathTest, LegacyAndFastStatsAgreeOnAlgorithmicCounters) {
+  Graph g = Graph::Build([] {
+    RmatOptions opt;
+    opt.scale = 10;
+    opt.edge_factor = 8;
+    return GenerateRmat(opt);
+  }());
+  DneOptions fast_opt, legacy_opt;
+  legacy_opt.legacy_hotpath = true;
+  DnePartitioner fast(fast_opt), legacy(legacy_opt);
+  EdgePartition ep;
+  ASSERT_TRUE(fast.Partition(g, 8, &ep).ok());
+  ASSERT_TRUE(legacy.Partition(g, 8, &ep).ok());
+  // Supersteps, placement split and exchanged bytes are algorithm-level
+  // observables — the execution shape must not move them.
+  EXPECT_EQ(fast.dne_stats().iterations, legacy.dne_stats().iterations);
+  EXPECT_EQ(fast.dne_stats().one_hop_edges,
+            legacy.dne_stats().one_hop_edges);
+  EXPECT_EQ(fast.dne_stats().two_hop_edges,
+            legacy.dne_stats().two_hop_edges);
+  EXPECT_EQ(fast.dne_stats().comm_bytes, legacy.dne_stats().comm_bytes);
+  EXPECT_EQ(fast.dne_stats().random_restarts,
+            legacy.dne_stats().random_restarts);
+}
+
+TEST(BucketedBoundaryQueueTest, PopsInHeapOrder) {
+  // Randomised differential: any push/pop interleaving yields exactly the
+  // heap's ascending (score, vertex) order.
+  HeapBoundaryQueue heap;
+  BucketedBoundaryQueue buckets;
+  std::uint64_t state = 42;
+  auto next = [&state] { return state = Mix64(state); };
+  for (int round = 0; round < 50; ++round) {
+    const int pushes = static_cast<int>(next() % 40);
+    for (int i = 0; i < pushes; ++i) {
+      // Mix of small (bucketed) and huge (overflow-bucket) scores.
+      const std::uint64_t score =
+          (next() % 4 == 0) ? next() : next() % 2000;
+      const VertexId v = static_cast<VertexId>(next() % 10000);
+      heap.Push(score, v);
+      buckets.Push(score, v);
+    }
+    ASSERT_EQ(heap.size(), buckets.size());
+    const int pops = static_cast<int>(next() % (heap.size() + 1));
+    for (int i = 0; i < pops; ++i) {
+      const BoundaryEntry a = heap.PopMin();
+      const BoundaryEntry b = buckets.PopMin();
+      ASSERT_EQ(a.score, b.score);
+      ASSERT_EQ(a.vertex, b.vertex);
+    }
+  }
+  while (!heap.empty()) {
+    const BoundaryEntry a = heap.PopMin();
+    const BoundaryEntry b = buckets.PopMin();
+    ASSERT_EQ(a.score, b.score);
+    ASSERT_EQ(a.vertex, b.vertex);
+  }
+  EXPECT_TRUE(buckets.empty());
+}
+
+TEST(BucketedBoundaryQueueTest, DuplicateScoresPopByVertexId) {
+  BucketedBoundaryQueue q;
+  q.Push(5, 30);
+  q.Push(5, 10);
+  q.Push(5, 20);
+  EXPECT_EQ(q.PopMin().vertex, 10u);
+  // A later insert below the already-consumed position still sorts in.
+  q.Push(5, 15);
+  EXPECT_EQ(q.PopMin().vertex, 15u);
+  EXPECT_EQ(q.PopMin().vertex, 20u);
+  EXPECT_EQ(q.PopMin().vertex, 30u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketedBoundaryQueueTest, InsertBelowCurrentMinimumReopensBucket) {
+  BucketedBoundaryQueue q;
+  q.Push(100, 1);
+  EXPECT_EQ(q.PopMin().score, 100u);
+  q.Push(3, 2);  // below every bucket visited so far
+  q.Push(200, 3);
+  EXPECT_EQ(q.PopMin().score, 3u);
+  EXPECT_EQ(q.PopMin().score, 200u);
+}
+
+TEST(BucketedBoundaryQueueTest, OverflowBucketOrdersByFullScore) {
+  BucketedBoundaryQueue q;
+  const std::uint64_t base = BucketedBoundaryQueue::kNumBuckets;
+  q.Push(base + 500, 1);
+  q.Push(base + 2, 2);
+  q.Push(base + 2, 1);
+  q.Push(1u << 30, 9);
+  EXPECT_EQ(q.PopMin().vertex, 1u);  // (base+2, 1)
+  EXPECT_EQ(q.PopMin().vertex, 2u);  // (base+2, 2)
+  EXPECT_EQ(q.PopMin().score, base + 500);
+  EXPECT_EQ(q.PopMin().score, 1u << 30);
+}
+
+}  // namespace
+}  // namespace dne

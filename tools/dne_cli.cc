@@ -358,7 +358,8 @@ int CmdStream(int argc, char** argv) {
     st = ParseDouble("gen-alpha", v, &gen_alpha);
   }
   if (st.ok()) st = CheckNarrowingRange("partitions", parts_flag, 1, 1 << 20);
-  if (st.ok()) st = CheckNarrowingRange("threads", threads, 1, 256);
+  if (st.ok()) st = CheckNarrowingRange("threads", threads, 1,
+                                dne::kMaxPoolThreads);
   if (!st.ok()) return FailUsage(st, kStreamUsage);
   if (chunk_edges == 0) {
     return FailUsage(
