@@ -1,0 +1,174 @@
+// Streaming greedy-scorer bench: drives a chunked RMAT edge stream through
+// the greedy/streaming family twice per operating point — once with the
+// legacy full-scan scorer (O(|P|) per edge + per-edge min_element) and once
+// with the candidate scoring engine (LoadTracker + ReplicaTable v2,
+// O(|A(u)|+|A(v)|) per edge) — verifies the two assignments are
+// bit-identical, and reports edges/sec across partition counts. The point
+// of the sweep: legacy throughput degrades linearly in |P| while the engine
+// stays flat, which is the O(m·|P|) -> O(m·RF + |P|) headline.
+//
+// --json=FILE emits the machine-readable BENCH_stream.json record the perf
+// trajectory is tracked with (schema documented in README "Performance").
+//
+//   ./bench_stream_partition [--scale=17] [--edge-factor=8] [--seed=7]
+//                            [--partitions=16,256,1024]
+//                            [--methods=hdrf,oblivious,sne] [--chunks=8]
+//                            [--repeats=3] [--json=FILE]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/factory.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/streaming_partitioner.h"
+
+namespace {
+
+struct RunResult {
+  std::vector<double> wall_seconds;
+  double best_seconds = 0.0;
+  double edges_per_sec = 0.0;
+  std::uint64_t peak_state_bytes = 0;
+  std::vector<dne::PartitionId> assignment;
+};
+
+RunResult RunMode(const std::string& method, bool legacy, const dne::Graph& g,
+                  std::uint32_t partitions, int chunks, int repeats) {
+  RunResult r;
+  for (int i = 0; i < repeats; ++i) {
+    dne::PartitionConfig config;
+    if (legacy) (void)config.Set("legacy_scorer", "true");
+    std::unique_ptr<dne::Partitioner> p =
+        dne::MustCreatePartitioner(method, config);
+    dne::EdgePartition ep;
+    dne::WallTimer t;
+    const dne::Status st = dne::StreamPartitionGraph(
+        p->streaming(), g, partitions, chunks, dne::PartitionContext{}, &ep);
+    const double secs = t.Seconds();
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s %s: %s\n", method.c_str(),
+                   legacy ? "legacy" : "engine", st.ToString().c_str());
+      std::exit(1);
+    }
+    r.wall_seconds.push_back(secs);
+    if (r.best_seconds == 0.0 || secs < r.best_seconds) r.best_seconds = secs;
+    r.peak_state_bytes = p->run_stats().peak_memory_bytes;
+    if (i == 0) r.assignment = ep.assignment();
+  }
+  r.edges_per_sec = static_cast<double>(g.NumEdges()) / r.best_seconds;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dne::bench::Flags flags(argc, argv);
+  const int scale = flags.GetInt("scale", 17);
+  const int edge_factor = flags.GetInt("edge-factor", 8);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  const int chunks = flags.GetInt("chunks", 8);
+  const int repeats = flags.GetInt("repeats", 3);
+  const std::vector<std::string> methods =
+      dne::bench::SplitCsv(flags.GetString("methods", "hdrf,oblivious,sne"));
+  const std::vector<std::string> partition_list =
+      dne::bench::SplitCsv(flags.GetString("partitions", "16,256,1024"));
+  const std::string json_path = flags.GetString("json", "");
+  dne::bench::PrintBanner(
+      "Streaming greedy scorers",
+      "legacy O(P)-per-edge scan vs candidate scoring engine",
+      "--scale=N --edge-factor=N --seed=N --partitions=a,b,c "
+      "--methods=hdrf,oblivious,sne --chunks=N --repeats=N --json=FILE");
+
+  dne::RmatOptions ro;
+  ro.scale = scale;
+  ro.edge_factor = edge_factor;
+  ro.seed = seed;
+  dne::Graph g = dne::Graph::Build(dne::GenerateRmat(ro));
+  std::printf("\ngraph: rmat scale=%d ef=%d seed=%llu -> |V|=%llu |E|=%llu, "
+              "chunks=%d, repeats=%d\n\n",
+              scale, edge_factor, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(g.NumVertices()),
+              static_cast<unsigned long long>(g.NumEdges()), chunks, repeats);
+
+  dne::bench::JsonWriter json;
+  json.BeginObject();
+  json.KV("bench", "stream_partition");
+  json.Key("graph");
+  json.BeginObject();
+  json.KV("kind", "rmat");
+  json.KV("scale", scale);
+  json.KV("edge_factor", edge_factor);
+  json.KV("seed", seed);
+  json.KV("vertices", g.NumVertices());
+  json.KV("edges", g.NumEdges());
+  json.EndObject();
+  json.KV("chunks", chunks);
+  json.KV("repeats", repeats);
+  json.Key("results");
+  json.BeginArray();
+
+  bool all_identical = true;
+  std::printf("  %-10s %10s %12s %12s %9s %10s\n", "method", "partitions",
+              "legacy Me/s", "engine Me/s", "speedup", "identical");
+  for (const std::string& method : methods) {
+    for (const std::string& parts_str : partition_list) {
+      const std::uint32_t partitions =
+          static_cast<std::uint32_t>(std::strtoul(parts_str.c_str(),
+                                                  nullptr, 10));
+      if (partitions == 0) {
+        std::fprintf(stderr, "error: bad --partitions entry '%s'\n",
+                     parts_str.c_str());
+        return 1;
+      }
+      const RunResult legacy =
+          RunMode(method, /*legacy=*/true, g, partitions, chunks, repeats);
+      const RunResult engine =
+          RunMode(method, /*legacy=*/false, g, partitions, chunks, repeats);
+      const bool identical = legacy.assignment == engine.assignment;
+      all_identical = all_identical && identical;
+      const double speedup = legacy.best_seconds / engine.best_seconds;
+      std::printf("  %-10s %10u %12.2f %12.2f %8.2fx %10s\n", method.c_str(),
+                  partitions, legacy.edges_per_sec / 1e6,
+                  engine.edges_per_sec / 1e6, speedup,
+                  identical ? "yes" : "DIVERGED");
+
+      json.BeginObject();
+      json.KV("method", method);
+      json.KV("partitions", static_cast<std::uint64_t>(partitions));
+      json.KV("bit_identical", identical);
+      json.KV("speedup_engine_over_legacy", speedup);
+      for (const bool legacy_mode : {true, false}) {
+        const RunResult& r = legacy_mode ? legacy : engine;
+        json.Key(legacy_mode ? "legacy" : "engine");
+        json.BeginObject();
+        json.Key("wall_seconds");
+        json.BeginArray();
+        for (const double s : r.wall_seconds) json.Value(s);
+        json.EndArray();
+        json.KV("best_seconds", r.best_seconds);
+        json.KV("edges_per_sec", r.edges_per_sec);
+        json.KV("peak_state_bytes", r.peak_state_bytes);
+        json.EndObject();
+      }
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.KV("all_bit_identical", all_identical);
+  json.KV("peak_rss_bytes", dne::bench::PeakRssBytes());
+  json.EndObject();
+
+  std::printf("\nassignments %s across modes\n",
+              all_identical ? "bit-identical" : "DIVERGED");
+  if (!json_path.empty() &&
+      dne::bench::WriteTextFile(json_path, json.str())) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}

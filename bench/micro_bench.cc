@@ -1,12 +1,14 @@
 // google-benchmark microbenchmarks for the hot kernels: hashing, CSR
 // construction, RMAT generation, normalization, the boundary queues (heap
-// vs buckets), the replica table, and the 2-D distribution algebra.
+// vs buckets), the replica table (v2 union iteration), the load tracker vs
+// the legacy min_element scan, and the 2-D distribution algebra.
 //
 // A custom main wires the runs onto the shared bench JSON emitter:
 // --json=FILE captures every benchmark's per-iteration real/cpu time next
 // to google-benchmark's own console output.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <queue>
 #include <string>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "graph/graph.h"
 #include "partition/dne/boundary_queue.h"
 #include "partition/dne/two_d_distribution.h"
+#include "partition/greedy/load_tracker.h"
 #include "partition/replica_table.h"
 
 namespace dne {
@@ -137,6 +140,66 @@ void BM_ReplicaTableAdd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n);
 }
 BENCHMARK(BM_ReplicaTableAdd);
+
+void BM_ReplicaTableV2Union(benchmark::State& state) {
+  // The scoring engine's per-edge candidate sweep: ForEachUnion over two
+  // RF-sized replica sets. Arg = partition count (64 exercises the word-
+  // wise bitmap mode, 1024 the inline-slot merge).
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  const int n = 4096;
+  ReplicaTable table(n, k);
+  for (int v = 0; v < n; ++v) {
+    for (int r = 0; r < 4; ++r) {
+      table.Add(static_cast<VertexId>(v), Mix64(4 * v + r) % k);
+    }
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const VertexId u = Mix64(i) % n;
+    const VertexId v = Mix64(i + 1) % n;
+    ++i;
+    std::uint64_t sum = 0;
+    table.ForEachUnion(u, v, [&](PartitionId p, bool in_u, bool in_v) {
+      sum += p + in_u + in_v;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplicaTableV2Union)->Arg(64)->Arg(1024);
+
+void BM_LoadTracker(benchmark::State& state) {
+  // The engine's per-edge load maintenance: Increment the (skewed) chosen
+  // partition, then query the argmin — the pattern HDRF/Oblivious/SNE run
+  // once per edge. Arg = partition count.
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  LoadTracker tracker(k);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tracker.Increment(static_cast<PartitionId>(
+        std::min(Mix64(i) % k, Mix64(i + 1) % k)));
+    ++i;
+    benchmark::DoNotOptimize(tracker.ArgMinPartition());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoadTracker)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_LoadVectorMinElement(benchmark::State& state) {
+  // The legacy counterpart of BM_LoadTracker: plain vector + min_element
+  // scan per edge (what every greedy scorer did before the engine).
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::uint64_t> load(k, 0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++load[std::min(Mix64(i) % k, Mix64(i + 1) % k)];
+    ++i;
+    benchmark::DoNotOptimize(
+        std::min_element(load.begin(), load.end()) - load.begin());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoadVectorMinElement)->Arg(16)->Arg(256)->Arg(1024);
 
 void BM_TwoDReplicaRanks(benchmark::State& state) {
   TwoDDistribution dist(static_cast<std::uint32_t>(state.range(0)), 1);

@@ -76,6 +76,7 @@ Status DbhPartitioner::AddEdges(std::span<const Edge> edges) {
     ++stream_degree_[ed.src];
     ++stream_degree_[ed.dst];
   }
+  stream_ctx_.ReportProgress("edges", stream_buffer_.size(), 0);
   return Status::OK();
 }
 
@@ -83,15 +84,21 @@ Status DbhPartitioner::Finish(EdgePartition* out) {
   if (!stream_open_) {
     return Status::InvalidArgument("Finish before BeginStream");
   }
+  stats_.peak_memory_bytes = stream_buffer_.capacity() * sizeof(Edge) +
+                             ApproxDegreeMapBytes(stream_degree_.size()) +
+                             stream_buffer_.size() * sizeof(PartitionId);
   *out = EdgePartition(stream_k_, stream_buffer_.size());
   for (EdgeId e = 0; e < stream_buffer_.size(); ++e) {
     if (e % kCheckStride == 0) {
       DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+      stream_ctx_.ReportProgress("edges", e, stream_buffer_.size());
     }
     const Edge& ed = stream_buffer_[e];
     out->Set(e, DbhAssign(ed, stream_degree_[ed.src], stream_degree_[ed.dst],
                           stream_seed_, stream_k_));
   }
+  stream_ctx_.ReportProgress("edges", stream_buffer_.size(),
+                             stream_buffer_.size());
   // The stream only closes once the placement loop survives cancellation,
   // so a cancelled Finish() can be retried with the buffer intact.
   stream_open_ = false;

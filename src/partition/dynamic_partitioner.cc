@@ -37,15 +37,10 @@ DynamicEdgePartitioner::DynamicEdgePartitioner(
 
 void DynamicEdgePartitioner::EnsureVertex(VertexId v) {
   if (v < max_vertex_) return;
-  // Grow the replica table by rebuilding with doubled headroom. Amortised
-  // O(1) per insertion thanks to the doubling.
-  VertexId new_size = std::max<VertexId>(2 * max_vertex_, v + 1);
-  ReplicaTable grown(new_size);
-  for (VertexId x = 0; x < max_vertex_; ++x) {
-    for (PartitionId p : replicas_.of(x)) grown.Add(x, p);
-  }
-  replicas_ = std::move(grown);
-  max_vertex_ = new_size;
+  // ReplicaTable v2 grows geometrically in place (no per-vertex heap
+  // containers to rebuild), so the old copy-rebuild is gone.
+  replicas_.EnsureVertex(v);
+  max_vertex_ = replicas_.NumVertices();
 }
 
 PartitionId DynamicEdgePartitioner::PlaceEdge(VertexId u, VertexId v) {

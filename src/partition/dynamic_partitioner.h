@@ -12,6 +12,7 @@
 #ifndef DNE_PARTITION_DYNAMIC_PARTITIONER_H_
 #define DNE_PARTITION_DYNAMIC_PARTITIONER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -65,6 +66,13 @@ class DynamicEdgePartitioner {
   /// Share of inserted edges that were "free" (both endpoints already in
   /// the chosen partition) — the online analogue of the two-hop ratio.
   double FreeInsertionShare() const;
+
+  /// Approximate resident bytes of the maintained state (replica sets +
+  /// loads), for streaming peak-memory accounting.
+  std::size_t MemoryBytes() const {
+    return replicas_.MemoryBytes() +
+           load_.capacity() * sizeof(std::uint64_t);
+  }
 
  private:
   PartitionId PlaceEdge(VertexId u, VertexId v);

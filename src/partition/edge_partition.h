@@ -19,6 +19,11 @@ class EdgePartition {
   EdgePartition(std::uint32_t num_partitions, EdgeId num_edges)
       : num_partitions_(num_partitions),
         assignment_(num_edges, kNoPartition) {}
+  /// Adopts a fully built assignment without copying — the streaming
+  /// Finish() path, where the arrival-order assignment already exists.
+  EdgePartition(std::uint32_t num_partitions,
+                std::vector<PartitionId> assignment)
+      : num_partitions_(num_partitions), assignment_(std::move(assignment)) {}
 
   std::uint32_t num_partitions() const { return num_partitions_; }
   EdgeId num_edges() const { return assignment_.size(); }

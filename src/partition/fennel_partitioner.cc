@@ -7,6 +7,8 @@
 
 #include "common/hash.h"
 #include "core/partitioner_registry.h"
+#include "partition/greedy/load_tracker.h"
+#include "partition/greedy/score_engine.h"
 #include "partition/vertex_to_edge.h"
 
 namespace dne {
@@ -20,7 +22,9 @@ OptionSchema FennelSchema() {
       OptionSpec::Double("gamma", 1.5, 1.0, 4.0,
                          "load-penalty exponent (paper value 1.5)"),
       OptionSpec::Double("capacity_slack", 1.1, 1.0, 10.0,
-                         "vertex capacity slack per partition")};
+                         "vertex capacity slack per partition"),
+      OptionSpec::Bool("legacy_scorer", false,
+                       "use the pre-engine min_element load scans")};
 }
 }  // namespace
 
@@ -41,7 +45,29 @@ Status FennelPartitioner::PartitionImpl(const Graph& g,
   const double capacity = options_.capacity_slack * nd / pd;
 
   std::vector<PartitionId> label(n, kNoPartition);
-  std::vector<double> vload(num_partitions, 0.0);
+  // The engine path keeps the (integer) vertex loads in a LoadTracker: the
+  // legacy path's two min_element scans per vertex become O(1) argmin
+  // queries. Loads are whole counts, so the double casts reproduce the
+  // legacy accumulate-by-1.0 values bit for bit.
+  std::vector<double> vload_legacy;
+  LoadTracker vload;
+  if (options_.legacy_scorer) {
+    vload_legacy.assign(num_partitions, 0.0);
+  } else {
+    vload.Reset(num_partitions);
+  }
+  const auto load_of = [&](PartitionId p) {
+    return options_.legacy_scorer ? vload_legacy[p]
+                                  : static_cast<double>(vload.load(p));
+  };
+  const auto least_loaded = [&]() {
+    if (options_.legacy_scorer) {
+      return static_cast<PartitionId>(
+          std::min_element(vload_legacy.begin(), vload_legacy.end()) -
+          vload_legacy.begin());
+    }
+    return vload.ArgMinPartition();
+  };
 
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), VertexId{0});
@@ -50,8 +76,8 @@ Status FennelPartitioner::PartitionImpl(const Graph& g,
     return Mix64(a ^ seed) < Mix64(b ^ seed);
   });
 
-  std::vector<double> neighbor_count(num_partitions, 0.0);
-  std::vector<PartitionId> touched;
+  greedy::NeighborAffinity affinity;
+  affinity.Reset(num_partitions);
   VertexId processed = 0;
   for (VertexId v : order) {
     if (processed % kCheckStride == 0) {
@@ -59,45 +85,48 @@ Status FennelPartitioner::PartitionImpl(const Graph& g,
       ctx.ReportProgress("vertices", processed, n);
     }
     ++processed;
-    touched.clear();
     for (const Adjacency& a : g.neighbors(v)) {
       const PartitionId lp = label[a.to];
       if (lp == kNoPartition) continue;  // not yet streamed
-      if (neighbor_count[lp] == 0.0) touched.push_back(lp);
-      neighbor_count[lp] += 1.0;
+      affinity.Add(lp);
     }
     PartitionId best = kNoPartition;
     double best_score = -1e300;
     auto consider = [&](PartitionId p) {
-      if (vload[p] + 1.0 > capacity) return;
+      if (load_of(p) + 1.0 > capacity) return;
       const double score =
-          neighbor_count[p] -
-          alpha_f * gamma * std::pow(vload[p], gamma - 1.0);
+          affinity.value(p) -
+          alpha_f * gamma * std::pow(load_of(p), gamma - 1.0);
       if (score > best_score) {
         best_score = score;
         best = p;
       }
     };
-    for (PartitionId p : touched) consider(p);
+    for (PartitionId p : affinity.touched()) consider(p);
     // Also consider the emptiest partition (the stream may bring a vertex
     // with no placed neighbours, and the penalty term needs a base case).
-    consider(static_cast<PartitionId>(
-        std::min_element(vload.begin(), vload.end()) - vload.begin()));
+    consider(least_loaded());
     if (best == kNoPartition) {
       // Everything at capacity (can only happen with tight slack): spill to
       // the least-loaded partition.
-      best = static_cast<PartitionId>(
-          std::min_element(vload.begin(), vload.end()) - vload.begin());
+      best = least_loaded();
     }
     label[v] = best;
-    vload[best] += 1.0;
-    for (PartitionId p : touched) neighbor_count[p] = 0.0;
+    if (options_.legacy_scorer) {
+      vload_legacy[best] += 1.0;
+    } else {
+      vload.Increment(best);
+    }
+    affinity.Clear();
   }
 
   ctx.ReportProgress("vertices", n, n);
   *out = VertexToEdgePartition(g, label, num_partitions, seed);
   stats_.peak_memory_bytes = g.MemoryBytes() + n * sizeof(PartitionId) +
-                             num_partitions * sizeof(double);
+                             (options_.legacy_scorer
+                                  ? num_partitions * sizeof(double)
+                                  : vload.MemoryBytes()) +
+                             affinity.MemoryBytes();
   return Status::OK();
 }
 
@@ -115,6 +144,7 @@ DNE_REGISTER_PARTITIONER(
           o.seed = s.UintOr(c, "seed");
           o.gamma = s.DoubleOr(c, "gamma");
           o.capacity_slack = s.DoubleOr(c, "capacity_slack");
+          o.legacy_scorer = s.BoolOr(c, "legacy_scorer");
           return std::make_unique<FennelPartitioner>(o);
         }})
 

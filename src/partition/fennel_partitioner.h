@@ -17,6 +17,9 @@ struct FennelOptions {
   /// Capacity slack: a partition may not exceed slack * |V| / |P| vertices.
   double capacity_slack = 1.10;
   std::uint64_t seed = 1;
+  /// Reference mode: per-vertex min_element load scans instead of the
+  /// LoadTracker (bit-identical; kept as the differential-test oracle).
+  bool legacy_scorer = false;
 };
 
 /// Streams vertices in a deterministic shuffled order; each is placed at

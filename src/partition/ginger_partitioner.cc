@@ -6,10 +6,12 @@
 
 #include "common/hash.h"
 #include "core/partitioner_registry.h"
+#include "partition/greedy/score_engine.h"
 
 namespace dne {
 
 namespace {
+constexpr EdgeId kCheckStride = 8192;
 
 // The hybrid-cut edge rule over refined homes: low-degree edges follow the
 // lower-degree endpoint's home, hub-hub edges stay hashed.
@@ -40,7 +42,9 @@ OptionSchema GingerSchema() {
       OptionSpec::Int("rounds", 3, 0, 1000,
                       "refinement sweeps over low-degree vertices"),
       OptionSpec::Double("balance_weight", 1.0, 0.0, 1e6,
-                         "weight of the Fennel balance penalty")};
+                         "weight of the Fennel balance penalty"),
+      OptionSpec::Bool("legacy_scorer", false,
+                       "use the pre-engine hand-rolled affinity arrays")};
 }
 
 }  // namespace
@@ -82,20 +86,42 @@ Status GingerPartitioner::ComputeHomes(const Graph& g,
     return Mix64(a ^ seed) < Mix64(b ^ seed);
   });
 
-  std::vector<double> affinity(num_partitions, 0.0);
-  std::vector<PartitionId> touched;
+  // The per-vertex candidate accumulator: the engine path uses the shared
+  // greedy::NeighborAffinity, the legacy path keeps the hand-rolled array
+  // pair. Both accumulate identically (first-seen touched order, +1.0
+  // increments), so the move decisions below are mode-independent.
+  greedy::NeighborAffinity engine_affinity;
+  std::vector<double> legacy_affinity;
+  std::vector<PartitionId> legacy_touched;
+  if (options_.legacy_scorer) {
+    legacy_affinity.assign(num_partitions, 0.0);
+  } else {
+    engine_affinity.Reset(num_partitions);
+  }
   for (int round = 0; round < options_.rounds; ++round) {
     DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
     ctx.ReportProgress("round", static_cast<std::uint64_t>(round),
                        static_cast<std::uint64_t>(options_.rounds));
     for (VertexId v : order) {
       if (!is_low(v) || g.degree(v) == 0) continue;
-      touched.clear();
-      for (const Adjacency& a : g.neighbors(v)) {
-        const PartitionId hp = home[a.to];
-        if (affinity[hp] == 0.0) touched.push_back(hp);
-        affinity[hp] += 1.0;
+      if (options_.legacy_scorer) {
+        legacy_touched.clear();
+        for (const Adjacency& a : g.neighbors(v)) {
+          const PartitionId hp = home[a.to];
+          if (legacy_affinity[hp] == 0.0) legacy_touched.push_back(hp);
+          legacy_affinity[hp] += 1.0;
+        }
+      } else {
+        for (const Adjacency& a : g.neighbors(v)) {
+          engine_affinity.Add(home[a.to]);
+        }
       }
+      const std::vector<PartitionId>& touched =
+          options_.legacy_scorer ? legacy_touched : engine_affinity.touched();
+      const auto affinity_of = [&](PartitionId p) {
+        return options_.legacy_scorer ? legacy_affinity[p]
+                                      : engine_affinity.value(p);
+      };
       const PartitionId cur = home[v];
       PartitionId best = cur;
       double best_score = -1e300;
@@ -106,7 +132,7 @@ Status GingerPartitioner::ComputeHomes(const Graph& g,
       auto score_of = [&](PartitionId p) {
         const double penalty =
             0.5 * (vload[p] / v_target + eload[p] / e_target);
-        return affinity[p] - options_.balance_weight * penalty;
+        return affinity_of(p) - options_.balance_weight * penalty;
       };
       const double d_v = static_cast<double>(g.degree(v));
       for (PartitionId p : touched) {
@@ -118,7 +144,11 @@ Status GingerPartitioner::ComputeHomes(const Graph& g,
         }
       }
       if (score_of(cur) >= best_score - 1e-12) best = cur;  // sticky
-      for (PartitionId p : touched) affinity[p] = 0.0;
+      if (options_.legacy_scorer) {
+        for (PartitionId p : legacy_touched) legacy_affinity[p] = 0.0;
+      } else {
+        engine_affinity.Clear();
+      }
       if (best != cur) {
         const double d = static_cast<double>(g.degree(v));
         vload[cur] -= 1.0;
@@ -169,6 +199,7 @@ Status GingerPartitioner::BeginStream(std::uint32_t num_partitions,
   stream_seed_ = ctx.EffectiveSeed(options_.seed);
   stream_ctx_ = ctx;
   stream_buffer_.clear();
+  stream_peak_bytes_ = 0;
   return Status::OK();
 }
 
@@ -178,6 +209,9 @@ Status GingerPartitioner::AddEdges(std::span<const Edge> edges) {
   }
   DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
   stream_buffer_.insert(stream_buffer_.end(), edges.begin(), edges.end());
+  stream_peak_bytes_ =
+      std::max(stream_peak_bytes_, stream_buffer_.capacity() * sizeof(Edge));
+  stream_ctx_.ReportProgress("edges", stream_buffer_.size(), 0);
   return Status::OK();
 }
 
@@ -200,12 +234,22 @@ Status GingerPartitioner::Finish(EdgePartition* out) {
       ComputeHomes(g, stream_k_, stream_seed_, stream_ctx_, &home));
 
   *out = EdgePartition(stream_k_, stream_buffer_.size());
-  for (EdgeId e = 0; e < stream_buffer_.size(); ++e) {
+  const EdgeId m = stream_buffer_.size();
+  for (EdgeId e = 0; e < m; ++e) {
+    if (e % kCheckStride == 0) {
+      stream_ctx_.ReportProgress("edges", e, m);
+    }
     const Edge& ed = stream_buffer_[e];
     out->Set(e, GingerAssign(ed, g.degree(ed.src), g.degree(ed.dst), home,
                              options_.degree_threshold, stream_seed_,
                              stream_k_));
   }
+  stream_ctx_.ReportProgress("edges", m, m);
+  stats_.peak_memory_bytes =
+      std::max(stream_peak_bytes_,
+               g.MemoryBytes() + home.capacity() * sizeof(PartitionId) +
+                   stream_buffer_.capacity() * sizeof(Edge) +
+                   m * sizeof(PartitionId));
   stream_buffer_.clear();
   return Status::OK();
 }
@@ -226,6 +270,7 @@ DNE_REGISTER_PARTITIONER(
               static_cast<std::size_t>(s.UintOr(c, "degree_threshold"));
           o.rounds = static_cast<int>(s.IntOr(c, "rounds"));
           o.balance_weight = s.DoubleOr(c, "balance_weight");
+          o.legacy_scorer = s.BoolOr(c, "legacy_scorer");
           return std::make_unique<GingerPartitioner>(o);
         },
         .streaming = true})

@@ -3,6 +3,7 @@
 #ifndef DNE_PARTITION_GINGER_PARTITIONER_H_
 #define DNE_PARTITION_GINGER_PARTITIONER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +21,9 @@ struct GingerOptions {
   /// Weight of the Fennel balance penalty.
   double balance_weight = 1.0;
   std::uint64_t seed = 0;
+  /// Reference mode: the hand-rolled affinity accumulator instead of the
+  /// shared greedy::NeighborAffinity (bit-identical; differential oracle).
+  bool legacy_scorer = false;
 };
 
 /// Refinement objective for moving low-degree vertex v to partition p
@@ -62,6 +66,7 @@ class GingerPartitioner : public Partitioner, public StreamingPartitioner {
   std::uint64_t stream_seed_ = 0;
   PartitionContext stream_ctx_;
   std::vector<Edge> stream_buffer_;
+  std::size_t stream_peak_bytes_ = 0;
 };
 
 }  // namespace dne

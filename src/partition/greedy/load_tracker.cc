@@ -1,0 +1,58 @@
+#include "partition/greedy/load_tracker.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace dne {
+
+void LoadTracker::Reset(std::uint32_t num_partitions) {
+  loads_.assign(num_partitions, 0);
+  min_ = 0;
+  max_ = 0;
+  count_at_min_ = num_partitions;
+  min_mask_.assign((static_cast<std::size_t>(num_partitions) + 63) / 64,
+                   ~0ULL);
+  if (num_partitions % 64 != 0 && !min_mask_.empty()) {
+    min_mask_.back() = (1ULL << (num_partitions % 64)) - 1;
+  }
+  min_mask_cursor_ = 0;
+}
+
+void LoadTracker::Increment(PartitionId p) {
+  const std::uint64_t old_load = loads_[p]++;
+  if (old_load + 1 > max_) max_ = old_load + 1;
+  if (old_load == min_) {
+    min_mask_[p >> 6] &= ~(1ULL << (p & 63));
+    if (--count_at_min_ == 0) RecomputeMinLevel();
+  }
+}
+
+PartitionId LoadTracker::ArgMinPartition() const {
+  // count_at_min_ > 0 is an invariant, so a set bit always exists; bits
+  // are only cleared between rescans, so the cursor never moves backwards.
+  while (min_mask_[min_mask_cursor_] == 0) ++min_mask_cursor_;
+  return static_cast<PartitionId>(
+      64 * min_mask_cursor_ + std::countr_zero(min_mask_[min_mask_cursor_]));
+}
+
+void LoadTracker::RecomputeMinLevel() {
+  min_ = std::numeric_limits<std::uint64_t>::max();
+  for (const std::uint64_t l : loads_) min_ = std::min(min_, l);
+  std::fill(min_mask_.begin(), min_mask_.end(), 0);
+  count_at_min_ = 0;
+  for (std::size_t p = 0; p < loads_.size(); ++p) {
+    if (loads_[p] == min_) {
+      min_mask_[p >> 6] |= 1ULL << (p & 63);
+      ++count_at_min_;
+    }
+  }
+  min_mask_cursor_ = 0;
+}
+
+std::size_t LoadTracker::MemoryBytes() const {
+  return loads_.capacity() * sizeof(std::uint64_t) +
+         min_mask_.capacity() * sizeof(std::uint64_t);
+}
+
+}  // namespace dne

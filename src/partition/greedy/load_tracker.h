@@ -1,0 +1,83 @@
+// LoadTracker: per-partition load counters for the greedy/streaming scorer
+// family, replacing the per-edge `std::min_element` scan over all |P| loads.
+//
+// Loads only ever grow by 1 (one placed edge / vertex at a time), which a
+// monotone min-level structure exploits — the same monotonicity idea as
+// dne/boundary_queue, applied to load values instead of D_rest scores:
+//
+//  * Increment(p) is O(1) amortized: a count of the partitions sitting at
+//    the current minimum detects when the min level empties; only then are
+//    the k loads rescanned for the new minimum. The min of k counters
+//    summing to N is <= N/k, so the O(k) rescans amortize to O(1) per
+//    increment over any increment sequence.
+//  * MinLoad()/MaxLoad() are O(1) reads.
+//  * ArgMinPartition() — the *lowest-index* partition at the minimum load,
+//    i.e. exactly what `std::min_element` returns — is O(1) amortized: a
+//    bitmask over the partitions at the min level is consumed bit by bit
+//    between rescans.
+//
+// Auxiliary state is O(|P|) regardless of how skewed the loads get (an
+// SNE-style fill that drives one partition to m/k while the min stays 0
+// costs nothing extra). All tie-breaks are index-ascending, matching every
+// legacy call site (`std::min_element` and first-strictly-greater argmax
+// loops), so swapping the tracker in is bit-identical for the whole
+// partitioner family.
+#ifndef DNE_PARTITION_GREEDY_LOAD_TRACKER_H_
+#define DNE_PARTITION_GREEDY_LOAD_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dne {
+
+class LoadTracker {
+ public:
+  LoadTracker() = default;
+  explicit LoadTracker(std::uint32_t num_partitions) {
+    Reset(num_partitions);
+  }
+
+  /// Re-initialises for `num_partitions` partitions, all loads zero.
+  void Reset(std::uint32_t num_partitions);
+
+  std::uint32_t num_partitions() const {
+    return static_cast<std::uint32_t>(loads_.size());
+  }
+
+  std::uint64_t load(PartitionId p) const { return loads_[p]; }
+  std::uint64_t MinLoad() const { return min_; }
+  std::uint64_t MaxLoad() const { return max_; }
+
+  /// load[p] += 1. O(1) amortized.
+  void Increment(PartitionId p);
+
+  /// The lowest-index partition whose load equals MinLoad() — bit-identical
+  /// to `std::min_element(load.begin(), load.end()) - load.begin()`.
+  /// Requires num_partitions() > 0. O(1) amortized.
+  PartitionId ArgMinPartition() const;
+
+  /// Approximate resident bytes (for mem-score accounting).
+  std::size_t MemoryBytes() const;
+
+ private:
+  /// Rescans the loads for the new minimum, its population count and its
+  /// bitmask. O(k); runs only when the min level empties.
+  void RecomputeMinLevel();
+
+  std::vector<std::uint64_t> loads_;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint32_t count_at_min_ = 0;  ///< partitions whose load == min_
+
+  // "Is at min load" bitmask; bits are only cleared between rescans, so
+  // the first-set-bit cursor never moves backwards.
+  mutable std::vector<std::uint64_t> min_mask_;
+  mutable std::size_t min_mask_cursor_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_GREEDY_LOAD_TRACKER_H_

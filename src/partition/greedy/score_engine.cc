@@ -1,0 +1,70 @@
+#include "partition/greedy/score_engine.h"
+
+namespace dne::greedy {
+
+PartitionId HdrfBest(const ReplicaTable& replicas, const LoadTracker& loads,
+                     double lambda, VertexId u, VertexId v, double du,
+                     double dv) {
+  const double theta_u = du / (du + dv);
+  const double theta_v = 1.0 - theta_u;
+  const double max_load = static_cast<double>(loads.MaxLoad());
+  const double spread =
+      kHdrfEps + max_load - static_cast<double>(loads.MinLoad());
+  // Same initial state and strict `>` update as the legacy scan: scores are
+  // all >= 0, so the first candidate always displaces the sentinel and the
+  // lowest-index argmax wins.
+  double best_score = -1.0;
+  PartitionId best = 0;
+  const auto eval = [&](PartitionId p, bool in_u, bool in_v) {
+    double c_rep = 0.0;
+    if (in_u) c_rep += 1.0 + (1.0 - theta_u);
+    if (in_v) c_rep += 1.0 + (1.0 - theta_v);
+    const double c_bal =
+        lambda * (max_load - static_cast<double>(loads.load(p))) / spread;
+    const double score = c_rep + c_bal;
+    if (score > best_score) {
+      best_score = score;
+      best = p;
+    }
+  };
+  // Merge the min-load candidate into the ascending union sweep so the
+  // visit order matches the legacy index order exactly. lambda == 0 zeroes
+  // the balance term, so every partition outside the union ties at 0.0 and
+  // the legacy scan keeps the first one — partition 0 — not the argmin.
+  const PartitionId pmin = lambda > 0.0 ? loads.ArgMinPartition() : 0;
+  bool pmin_done = false;
+  replicas.ForEachUnion(u, v, [&](PartitionId p, bool in_u, bool in_v) {
+    if (!pmin_done && pmin <= p) {
+      if (pmin < p) eval(pmin, false, false);
+      pmin_done = true;  // pmin == p is scored with its replica flags below
+    }
+    eval(p, in_u, in_v);
+  });
+  if (!pmin_done) eval(pmin, false, false);
+  return best;
+}
+
+PartitionId ObliviousBest(const ReplicaTable& replicas,
+                          const LoadTracker& loads, VertexId u, VertexId v) {
+  PartitionId best_common = kNoPartition;
+  PartitionId best_union = kNoPartition;
+  replicas.ForEachUnion(u, v, [&](PartitionId p, bool in_u, bool in_v) {
+    if (best_union == kNoPartition ||
+        loads.load(p) < loads.load(best_union)) {
+      best_union = p;
+    }
+    if (in_u && in_v &&
+        (best_common == kNoPartition ||
+         loads.load(p) < loads.load(best_common))) {
+      best_common = p;
+    }
+  });
+  // Rule 1: least-loaded common partition. Rules 2+3 collapse: with no
+  // common partition, the union *is* the candidate set whether one or both
+  // endpoints have homes. Rule 4: least-loaded overall.
+  if (best_common != kNoPartition) return best_common;
+  if (best_union != kNoPartition) return best_union;
+  return loads.ArgMinPartition();
+}
+
+}  // namespace dne::greedy

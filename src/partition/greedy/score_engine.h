@@ -1,0 +1,92 @@
+// Candidate-set scoring engine for the one-pass greedy partitioner family
+// (HDRF, Oblivious, Ginger, SNE spill path, Fennel).
+//
+// Every legacy scorer walks all |P| partitions per edge although only the
+// endpoint replica sets A(u), A(v) — whose sizes are the replication factor,
+// i.e. tiny — plus the least-loaded partition can win the argmax. The engine
+// evaluates exactly that candidate set, taking the per-edge cost from
+// O(|P|) to O(|A(u)| + |A(v)|) with the LoadTracker closing the balance-only
+// case in O(1), and reproduces the legacy result bit for bit:
+//
+//  * candidates are visited in ascending partition order and compared with
+//    the same strict `>` / `<` updates, so index tie-breaks are unchanged;
+//  * score expressions are evaluated with the identical operation order, so
+//    IEEE rounding is unchanged;
+//  * a partition outside the candidate set scores only the balance term,
+//    which is monotone non-increasing in its load, so the overall
+//    lowest-index argmax provably lies in A(u) ∪ A(v) ∪ {argmin-load}. (The
+//    monotonicity argument is exact as long as distinct integer loads map
+//    to distinct balance scores, which holds for any lambda > 0 and
+//    |E| < ~4.6e15 — comfortably past trillion-edge streams. lambda == 0
+//    flattens the balance term entirely; there the closing candidate is
+//    partition 0, the legacy scan's first-win tie-break.)
+//
+// The legacy full-scan scorers stay runnable behind each algorithm's
+// `legacy_scorer` option; `tests/greedy_engine_test.cc` holds the
+// differential matrix.
+#ifndef DNE_PARTITION_GREEDY_SCORE_ENGINE_H_
+#define DNE_PARTITION_GREEDY_SCORE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "partition/greedy/load_tracker.h"
+#include "partition/replica_table.h"
+
+namespace dne::greedy {
+
+/// HDRF's balance-term epsilon (the published algorithm's constant); shared
+/// by the engine and the legacy scorer so the two stay bit-identical.
+inline constexpr double kHdrfEps = 1e-3;
+
+/// argmax_p C_rep(p) + C_bal(p) over the candidate set, lowest index on
+/// ties — bit-identical to the legacy O(|P|) scan for any stream.
+PartitionId HdrfBest(const ReplicaTable& replicas, const LoadTracker& loads,
+                     double lambda, VertexId u, VertexId v, double du,
+                     double dv);
+
+/// The PowerGraph greedy rules (least-loaded common partition, else
+/// least-loaded home of either endpoint, else least-loaded overall) in one
+/// pass over A(u) ∪ A(v) — bit-identical to the legacy candidate-vector
+/// construction, without materialising it.
+PartitionId ObliviousBest(const ReplicaTable& replicas,
+                          const LoadTracker& loads, VertexId u, VertexId v);
+
+/// Dense per-partition affinity accumulator with a touched list — the
+/// candidate-set half of the Fennel/Ginger vertex scores. Reset once per
+/// run (O(|P|)); per vertex the cost is O(degree) to fill and O(touched)
+/// to clear.
+class NeighborAffinity {
+ public:
+  void Reset(std::uint32_t num_partitions) {
+    values_.assign(num_partitions, 0.0);
+    touched_.clear();
+  }
+
+  void Add(PartitionId p, double w = 1.0) {
+    if (values_[p] == 0.0) touched_.push_back(p);
+    values_[p] += w;
+  }
+
+  double value(PartitionId p) const { return values_[p]; }
+  const std::vector<PartitionId>& touched() const { return touched_; }
+
+  void Clear() {
+    for (const PartitionId p : touched_) values_[p] = 0.0;
+    touched_.clear();
+  }
+
+  std::size_t MemoryBytes() const {
+    return values_.capacity() * sizeof(double) +
+           touched_.capacity() * sizeof(PartitionId);
+  }
+
+ private:
+  std::vector<double> values_;
+  std::vector<PartitionId> touched_;
+};
+
+}  // namespace dne::greedy
+
+#endif  // DNE_PARTITION_GREEDY_SCORE_ENGINE_H_

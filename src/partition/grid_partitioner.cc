@@ -74,11 +74,13 @@ Status GridPartitioner::AddEdges(std::span<const Edge> edges) {
     return Status::InvalidArgument("AddEdges before BeginStream");
   }
   DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
-  stream_assign_.reserve(stream_assign_.size() + edges.size());
+  // No per-chunk exact reserve: it would defeat push_back's geometric
+  // growth and re-copy the whole assignment every chunk.
   for (const Edge& ed : edges) {
     stream_assign_.push_back(
         GridCell(ed, stream_seed_, stream_rows_, stream_cols_));
   }
+  stream_ctx_.ReportProgress("edges", stream_assign_.size(), 0);
   return Status::OK();
 }
 
@@ -87,10 +89,10 @@ Status GridPartitioner::Finish(EdgePartition* out) {
     return Status::InvalidArgument("Finish before BeginStream");
   }
   stream_open_ = false;
-  *out = EdgePartition(stream_k_, stream_assign_.size());
-  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
-    out->Set(e, stream_assign_[e]);
-  }
+  const std::uint64_t m = stream_assign_.size();
+  stream_ctx_.ReportProgress("edges", m, m);
+  stats_.peak_memory_bytes = stream_assign_.capacity() * sizeof(PartitionId);
+  *out = EdgePartition(stream_k_, std::move(stream_assign_));
   stream_assign_.clear();
   return Status::OK();
 }

@@ -6,25 +6,27 @@
 
 #include "common/hash.h"
 #include "core/partitioner_registry.h"
+#include "partition/greedy/score_engine.h"
 
 namespace dne {
 
 namespace {
 constexpr EdgeId kCheckStride = 8192;
-constexpr double kEps = 1e-3;
 
-// One HDRF placement decision given the endpoint degrees to score with.
-PartitionId HdrfBest(const ReplicaTable& replicas,
-                     const std::vector<std::uint64_t>& load,
-                     std::uint64_t max_load, std::uint64_t min_load,
-                     double lambda, VertexId u, VertexId v, double du,
-                     double dv, std::uint32_t num_partitions) {
+// The pre-engine reference scorer: one HDRF placement decision by scanning
+// every partition. Kept runnable behind the `legacy_scorer` option as the
+// oracle for the engine's differential tests.
+PartitionId LegacyHdrfBest(const ReplicaTable& replicas,
+                           const std::vector<std::uint64_t>& load,
+                           std::uint64_t max_load, std::uint64_t min_load,
+                           double lambda, VertexId u, VertexId v, double du,
+                           double dv, std::uint32_t num_partitions) {
   const double theta_u = du / (du + dv);
   const double theta_v = 1.0 - theta_u;
   double best_score = -1.0;
   PartitionId best = 0;
-  const double spread =
-      kEps + static_cast<double>(max_load) - static_cast<double>(min_load);
+  const double spread = greedy::kHdrfEps + static_cast<double>(max_load) -
+                        static_cast<double>(min_load);
   for (PartitionId p = 0; p < num_partitions; ++p) {
     double c_rep = 0.0;
     if (replicas.Contains(u, p)) c_rep += 1.0 + (1.0 - theta_u);
@@ -46,7 +48,9 @@ OptionSchema HdrfSchema() {
   return OptionSchema{
       OptionSpec::Uint("seed", 1, "stream shuffle seed (batch path)"),
       OptionSpec::Double("lambda", 1.1, 0.0, 1e6,
-                         "balance weight; > 1 tightens balance")};
+                         "balance weight; > 1 tightens balance"),
+      OptionSpec::Bool("legacy_scorer", false,
+                       "use the pre-engine O(P)-per-edge reference scorer")};
 }
 }  // namespace
 
@@ -59,9 +63,6 @@ Status HdrfPartitioner::PartitionImpl(const Graph& g,
   }
   const EdgeId m = g.NumEdges();
   *out = EdgePartition(num_partitions, m);
-  ReplicaTable replicas(g.NumVertices());
-  std::vector<std::uint64_t> load(num_partitions, 0);
-  std::uint64_t max_load = 0, min_load = 0;
 
   std::vector<EdgeId> order(m);
   std::iota(order.begin(), order.end(), EdgeId{0});
@@ -70,6 +71,37 @@ Status HdrfPartitioner::PartitionImpl(const Graph& g,
     return Mix64(a ^ seed) < Mix64(b ^ seed);
   });
 
+  if (options_.legacy_scorer) {
+    ReplicaTable replicas(g.NumVertices());
+    std::vector<std::uint64_t> load(num_partitions, 0);
+    std::uint64_t max_load = 0, min_load = 0;
+    EdgeId processed = 0;
+    for (EdgeId e : order) {
+      if (processed % kCheckStride == 0) {
+        DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+        ctx.ReportProgress("edges", processed, m);
+      }
+      ++processed;
+      const Edge& ed = g.edge(e);
+      const PartitionId best = LegacyHdrfBest(
+          replicas, load, max_load, min_load, options_.lambda, ed.src,
+          ed.dst, static_cast<double>(g.degree(ed.src)),
+          static_cast<double>(g.degree(ed.dst)), num_partitions);
+      out->Set(e, best);
+      ++load[best];
+      replicas.Add(ed.src, best);
+      replicas.Add(ed.dst, best);
+      max_load = std::max(max_load, load[best]);
+      min_load = *std::min_element(load.begin(), load.end());
+    }
+    ctx.ReportProgress("edges", m, m);
+    stats_.peak_memory_bytes = m * sizeof(Edge) + replicas.MemoryBytes() +
+                               load.size() * sizeof(std::uint64_t);
+    return Status::OK();
+  }
+
+  ReplicaTable replicas(g.NumVertices(), num_partitions);
+  LoadTracker loads(num_partitions);
   EdgeId processed = 0;
   for (EdgeId e : order) {
     if (processed % kCheckStride == 0) {
@@ -78,21 +110,19 @@ Status HdrfPartitioner::PartitionImpl(const Graph& g,
     }
     ++processed;
     const Edge& ed = g.edge(e);
-    const PartitionId best = HdrfBest(
-        replicas, load, max_load, min_load, options_.lambda, ed.src, ed.dst,
+    const PartitionId best = greedy::HdrfBest(
+        replicas, loads, options_.lambda, ed.src, ed.dst,
         static_cast<double>(g.degree(ed.src)),
-        static_cast<double>(g.degree(ed.dst)), num_partitions);
+        static_cast<double>(g.degree(ed.dst)));
     out->Set(e, best);
-    ++load[best];
+    loads.Increment(best);
     replicas.Add(ed.src, best);
     replicas.Add(ed.dst, best);
-    max_load = std::max(max_load, load[best]);
-    min_load = *std::min_element(load.begin(), load.end());
   }
   ctx.ReportProgress("edges", m, m);
 
-  stats_.peak_memory_bytes = m * sizeof(Edge) + replicas.MemoryBytes() +
-                             load.size() * sizeof(std::uint64_t);
+  stats_.peak_memory_bytes =
+      m * sizeof(Edge) + replicas.MemoryBytes() + loads.MemoryBytes();
   return Status::OK();
 }
 
@@ -104,12 +134,16 @@ Status HdrfPartitioner::BeginStream(std::uint32_t num_partitions,
   stream_open_ = true;
   stream_k_ = num_partitions;
   stream_ctx_ = ctx;
-  stream_replicas_ = ReplicaTable(0);
+  stream_replicas_ = ReplicaTable(
+      0, options_.legacy_scorer ? 0 : num_partitions);
   stream_partial_degree_.clear();
-  stream_load_.assign(num_partitions, 0);
+  stream_loads_.Reset(options_.legacy_scorer ? 0 : num_partitions);
+  stream_load_.assign(options_.legacy_scorer ? num_partitions : 0, 0);
   stream_max_load_ = 0;
   stream_min_load_ = 0;
   stream_assign_.clear();
+  stream_seen_ = 0;
+  stream_peak_bytes_ = 0;
   return Status::OK();
 }
 
@@ -117,15 +151,23 @@ Status HdrfPartitioner::AddEdges(std::span<const Edge> edges) {
   if (!stream_open_) {
     return Status::InvalidArgument("AddEdges before BeginStream");
   }
+  if (edges.empty()) return Status::OK();
+  // Chunk-level batching: one replica-table growth and one degree resize
+  // per chunk instead of per edge.
+  VertexId hi = 0;
+  for (const Edge& ed : edges) {
+    hi = std::max(hi, std::max(ed.src, ed.dst));
+  }
+  stream_replicas_.EnsureVertex(hi);
+  if (hi >= stream_partial_degree_.size()) {
+    stream_partial_degree_.resize(hi + 1, 0);
+  }
+
   std::size_t i = 0;
   for (const Edge& ed : edges) {
     if (i++ % kCheckStride == 0) {
       DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
-    }
-    const VertexId hi = std::max(ed.src, ed.dst);
-    stream_replicas_.EnsureVertex(hi);
-    if (hi >= stream_partial_degree_.size()) {
-      stream_partial_degree_.resize(hi + 1, 0);
+      stream_ctx_.ReportProgress("edges", stream_seen_ + i - 1, 0);
     }
     // The original streaming HDRF: score with the partial degrees seen so
     // far (incremented before scoring so both endpoints count this edge).
@@ -133,18 +175,26 @@ Status HdrfPartitioner::AddEdges(std::span<const Edge> edges) {
         static_cast<double>(++stream_partial_degree_[ed.src]);
     const double dv =
         static_cast<double>(++stream_partial_degree_[ed.dst]);
-    const PartitionId best =
-        HdrfBest(stream_replicas_, stream_load_, stream_max_load_,
-                 stream_min_load_, options_.lambda, ed.src, ed.dst, du, dv,
-                 stream_k_);
+    PartitionId best;
+    if (options_.legacy_scorer) {
+      best = LegacyHdrfBest(stream_replicas_, stream_load_, stream_max_load_,
+                            stream_min_load_, options_.lambda, ed.src,
+                            ed.dst, du, dv, stream_k_);
+      ++stream_load_[best];
+      stream_max_load_ = std::max(stream_max_load_, stream_load_[best]);
+      stream_min_load_ =
+          *std::min_element(stream_load_.begin(), stream_load_.end());
+    } else {
+      best = greedy::HdrfBest(stream_replicas_, stream_loads_,
+                              options_.lambda, ed.src, ed.dst, du, dv);
+      stream_loads_.Increment(best);
+    }
     stream_assign_.push_back(best);
-    ++stream_load_[best];
     stream_replicas_.Add(ed.src, best);
     stream_replicas_.Add(ed.dst, best);
-    stream_max_load_ = std::max(stream_max_load_, stream_load_[best]);
-    stream_min_load_ =
-        *std::min_element(stream_load_.begin(), stream_load_.end());
   }
+  stream_seen_ += edges.size();
+  stream_peak_bytes_ = std::max(stream_peak_bytes_, StreamStateBytes());
   return Status::OK();
 }
 
@@ -153,14 +203,22 @@ Status HdrfPartitioner::Finish(EdgePartition* out) {
     return Status::InvalidArgument("Finish before BeginStream");
   }
   stream_open_ = false;
-  *out = EdgePartition(stream_k_, stream_assign_.size());
-  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
-    out->Set(e, stream_assign_[e]);
-  }
+  stream_ctx_.ReportProgress("edges", stream_seen_, stream_seen_);
+  stats_.peak_memory_bytes =
+      std::max(stream_peak_bytes_, StreamStateBytes());
+  *out = EdgePartition(stream_k_, std::move(stream_assign_));
   stream_replicas_ = ReplicaTable(0);
   stream_partial_degree_.clear();
   stream_assign_.clear();
   return Status::OK();
+}
+
+std::size_t HdrfPartitioner::StreamStateBytes() const {
+  return stream_replicas_.MemoryBytes() +
+         stream_partial_degree_.capacity() * sizeof(std::uint64_t) +
+         stream_loads_.MemoryBytes() +
+         stream_load_.capacity() * sizeof(std::uint64_t) +
+         stream_assign_.capacity() * sizeof(PartitionId);
 }
 
 DNE_REGISTER_PARTITIONER(
@@ -176,6 +234,7 @@ DNE_REGISTER_PARTITIONER(
           HdrfOptions o;
           o.seed = s.UintOr(c, "seed");
           o.lambda = s.DoubleOr(c, "lambda");
+          o.legacy_scorer = s.BoolOr(c, "legacy_scorer");
           return std::make_unique<HdrfPartitioner>(o);
         },
         .streaming = true})

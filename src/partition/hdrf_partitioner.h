@@ -2,9 +2,11 @@
 #ifndef DNE_PARTITION_HDRF_PARTITIONER_H_
 #define DNE_PARTITION_HDRF_PARTITIONER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "partition/greedy/load_tracker.h"
 #include "partition/partitioner.h"
 #include "partition/replica_table.h"
 #include "partition/streaming_partitioner.h"
@@ -15,6 +17,9 @@ struct HdrfOptions {
   /// Balance weight lambda; > 1 tightens balance (HDRF paper notation).
   double lambda = 1.1;
   std::uint64_t seed = 0;
+  /// Reference mode: the pre-engine O(|P|)-per-edge scorer (bit-identical
+  /// to the candidate engine; kept as the differential-test oracle).
+  bool legacy_scorer = false;
 };
 
 /// For each streamed edge (u, v), picks argmax_p C_rep(p) + C_bal(p) where
@@ -47,6 +52,10 @@ class HdrfPartitioner : public Partitioner, public StreamingPartitioner {
                        EdgePartition* out) override;
 
  private:
+  /// Resident bytes of the open stream's state (replica sets, degrees,
+  /// loads, collected assignment) — the streaming peak-memory accounting.
+  std::size_t StreamStateBytes() const;
+
   HdrfOptions options_;
 
   bool stream_open_ = false;
@@ -54,10 +63,13 @@ class HdrfPartitioner : public Partitioner, public StreamingPartitioner {
   PartitionContext stream_ctx_;
   ReplicaTable stream_replicas_;
   std::vector<std::uint64_t> stream_partial_degree_;
-  std::vector<std::uint64_t> stream_load_;
-  std::uint64_t stream_max_load_ = 0;
-  std::uint64_t stream_min_load_ = 0;
+  LoadTracker stream_loads_;                   // engine scorer
+  std::vector<std::uint64_t> stream_load_;     // legacy scorer
+  std::uint64_t stream_max_load_ = 0;          // legacy scorer
+  std::uint64_t stream_min_load_ = 0;          // legacy scorer
   std::vector<PartitionId> stream_assign_;
+  std::uint64_t stream_seen_ = 0;
+  std::size_t stream_peak_bytes_ = 0;
 };
 
 }  // namespace dne

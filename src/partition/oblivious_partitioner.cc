@@ -6,20 +6,24 @@
 
 #include "common/hash.h"
 #include "core/partitioner_registry.h"
+#include "partition/greedy/score_engine.h"
 
 namespace dne {
 
 namespace {
 constexpr EdgeId kCheckStride = 8192;
 
-// The PowerGraph candidate rules over the current replica sets; `scratch`
-// avoids re-allocating the candidate vector per edge.
-PartitionId PlaceGreedy(const ReplicaTable& replicas,
-                        const std::vector<std::uint64_t>& load, VertexId u,
-                        VertexId v, std::uint32_t num_partitions,
-                        std::vector<PartitionId>* scratch) {
-  const auto& au = replicas.of(u);
-  const auto& av = replicas.of(v);
+// The pre-engine reference: materialises the PowerGraph candidate vector
+// per edge (`scratch` avoids re-allocating it). Kept runnable behind the
+// `legacy_scorer` option as the differential-test oracle. Requires a
+// slot-mode replica table (it reads the sorted id spans directly).
+PartitionId LegacyPlaceGreedy(const ReplicaTable& replicas,
+                              const std::vector<std::uint64_t>& load,
+                              VertexId u, VertexId v,
+                              std::uint32_t num_partitions,
+                              std::vector<PartitionId>* scratch) {
+  const std::span<const PartitionId> au = replicas.of(u);
+  const std::span<const PartitionId> av = replicas.of(v);
   std::vector<PartitionId>& candidates = *scratch;
   candidates.clear();
   std::set_intersection(au.begin(), au.end(), av.begin(), av.end(),
@@ -29,9 +33,9 @@ PartitionId PlaceGreedy(const ReplicaTable& replicas,
       std::set_union(au.begin(), au.end(), av.begin(), av.end(),
                      std::back_inserter(candidates));
     } else if (!au.empty()) {
-      candidates = au;
+      candidates.assign(au.begin(), au.end());
     } else if (!av.empty()) {
-      candidates = av;
+      candidates.assign(av.begin(), av.end());
     } else {
       candidates.resize(num_partitions);
       std::iota(candidates.begin(), candidates.end(), PartitionId{0});
@@ -46,7 +50,9 @@ PartitionId PlaceGreedy(const ReplicaTable& replicas,
 
 OptionSchema ObliviousSchema() {
   return OptionSchema{
-      OptionSpec::Uint("seed", 1, "stream shuffle seed (batch path)")};
+      OptionSpec::Uint("seed", 1, "stream shuffle seed (batch path)"),
+      OptionSpec::Bool("legacy_scorer", false,
+                       "use the pre-engine candidate-vector scorer")};
 }
 }  // namespace
 
@@ -57,11 +63,9 @@ Status ObliviousPartitioner::PartitionImpl(const Graph& g,
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  const std::uint64_t seed = ctx.EffectiveSeed(seed_);
+  const std::uint64_t seed = ctx.EffectiveSeed(options_.seed);
   const EdgeId m = g.NumEdges();
   *out = EdgePartition(num_partitions, m);
-  ReplicaTable replicas(g.NumVertices());
-  std::vector<std::uint64_t> load(num_partitions, 0);
 
   // Deterministic shuffled streaming order.
   std::vector<EdgeId> order(m);
@@ -70,7 +74,33 @@ Status ObliviousPartitioner::PartitionImpl(const Graph& g,
     return Mix64(a ^ seed) < Mix64(b ^ seed);
   });
 
-  std::vector<PartitionId> scratch;
+  if (options_.legacy_scorer) {
+    ReplicaTable replicas(g.NumVertices());
+    std::vector<std::uint64_t> load(num_partitions, 0);
+    std::vector<PartitionId> scratch;
+    EdgeId processed = 0;
+    for (EdgeId e : order) {
+      if (processed % kCheckStride == 0) {
+        DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
+        ctx.ReportProgress("edges", processed, m);
+      }
+      ++processed;
+      const Edge& ed = g.edge(e);
+      const PartitionId p = LegacyPlaceGreedy(replicas, load, ed.src, ed.dst,
+                                              num_partitions, &scratch);
+      out->Set(e, p);
+      ++load[p];
+      replicas.Add(ed.src, p);
+      replicas.Add(ed.dst, p);
+    }
+    ctx.ReportProgress("edges", m, m);
+    stats_.peak_memory_bytes = m * sizeof(Edge) + replicas.MemoryBytes() +
+                               load.size() * sizeof(std::uint64_t);
+    return Status::OK();
+  }
+
+  ReplicaTable replicas(g.NumVertices(), num_partitions);
+  LoadTracker loads(num_partitions);
   EdgeId processed = 0;
   for (EdgeId e : order) {
     if (processed % kCheckStride == 0) {
@@ -79,17 +109,17 @@ Status ObliviousPartitioner::PartitionImpl(const Graph& g,
     }
     ++processed;
     const Edge& ed = g.edge(e);
-    const PartitionId p = PlaceGreedy(replicas, load, ed.src, ed.dst,
-                                      num_partitions, &scratch);
+    const PartitionId p =
+        greedy::ObliviousBest(replicas, loads, ed.src, ed.dst);
     out->Set(e, p);
-    ++load[p];
+    loads.Increment(p);
     replicas.Add(ed.src, p);
     replicas.Add(ed.dst, p);
   }
   ctx.ReportProgress("edges", m, m);
 
-  stats_.peak_memory_bytes = m * sizeof(Edge) + replicas.MemoryBytes() +
-                             load.size() * sizeof(std::uint64_t);
+  stats_.peak_memory_bytes =
+      m * sizeof(Edge) + replicas.MemoryBytes() + loads.MemoryBytes();
   return Status::OK();
 }
 
@@ -101,9 +131,13 @@ Status ObliviousPartitioner::BeginStream(std::uint32_t num_partitions,
   stream_open_ = true;
   stream_k_ = num_partitions;
   stream_ctx_ = ctx;
-  stream_replicas_ = ReplicaTable(0);
-  stream_load_.assign(num_partitions, 0);
+  stream_replicas_ = ReplicaTable(
+      0, options_.legacy_scorer ? 0 : num_partitions);
+  stream_loads_.Reset(options_.legacy_scorer ? 0 : num_partitions);
+  stream_load_.assign(options_.legacy_scorer ? num_partitions : 0, 0);
   stream_assign_.clear();
+  stream_seen_ = 0;
+  stream_peak_bytes_ = 0;
   return Status::OK();
 }
 
@@ -111,20 +145,36 @@ Status ObliviousPartitioner::AddEdges(std::span<const Edge> edges) {
   if (!stream_open_) {
     return Status::InvalidArgument("AddEdges before BeginStream");
   }
+  if (edges.empty()) return Status::OK();
+  // Chunk-level batching: one replica-table growth per chunk.
+  VertexId hi = 0;
+  for (const Edge& ed : edges) {
+    hi = std::max(hi, std::max(ed.src, ed.dst));
+  }
+  stream_replicas_.EnsureVertex(hi);
+
   std::size_t i = 0;
   for (const Edge& ed : edges) {
     if (i++ % kCheckStride == 0) {
       DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+      stream_ctx_.ReportProgress("edges", stream_seen_ + i - 1, 0);
     }
-    stream_replicas_.EnsureVertex(std::max(ed.src, ed.dst));
-    const PartitionId p =
-        PlaceGreedy(stream_replicas_, stream_load_, ed.src, ed.dst, stream_k_,
-                    &stream_scratch_);
+    PartitionId p;
+    if (options_.legacy_scorer) {
+      p = LegacyPlaceGreedy(stream_replicas_, stream_load_, ed.src, ed.dst,
+                            stream_k_, &stream_scratch_);
+      ++stream_load_[p];
+    } else {
+      p = greedy::ObliviousBest(stream_replicas_, stream_loads_, ed.src,
+                                ed.dst);
+      stream_loads_.Increment(p);
+    }
     stream_assign_.push_back(p);
-    ++stream_load_[p];
     stream_replicas_.Add(ed.src, p);
     stream_replicas_.Add(ed.dst, p);
   }
+  stream_seen_ += edges.size();
+  stream_peak_bytes_ = std::max(stream_peak_bytes_, StreamStateBytes());
   return Status::OK();
 }
 
@@ -133,13 +183,19 @@ Status ObliviousPartitioner::Finish(EdgePartition* out) {
     return Status::InvalidArgument("Finish before BeginStream");
   }
   stream_open_ = false;
-  *out = EdgePartition(stream_k_, stream_assign_.size());
-  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
-    out->Set(e, stream_assign_[e]);
-  }
+  stream_ctx_.ReportProgress("edges", stream_seen_, stream_seen_);
+  stats_.peak_memory_bytes =
+      std::max(stream_peak_bytes_, StreamStateBytes());
+  *out = EdgePartition(stream_k_, std::move(stream_assign_));
   stream_replicas_ = ReplicaTable(0);
   stream_assign_.clear();
   return Status::OK();
+}
+
+std::size_t ObliviousPartitioner::StreamStateBytes() const {
+  return stream_replicas_.MemoryBytes() + stream_loads_.MemoryBytes() +
+         stream_load_.capacity() * sizeof(std::uint64_t) +
+         stream_assign_.capacity() * sizeof(PartitionId);
 }
 
 DNE_REGISTER_PARTITIONER(
@@ -151,8 +207,11 @@ DNE_REGISTER_PARTITIONER(
         .schema = ObliviousSchema(),
         .factory =
             [](const PartitionConfig& c) -> std::unique_ptr<Partitioner> {
-          return std::make_unique<ObliviousPartitioner>(
-              ObliviousSchema().UintOr(c, "seed"));
+          const OptionSchema s = ObliviousSchema();
+          ObliviousOptions o;
+          o.seed = s.UintOr(c, "seed");
+          o.legacy_scorer = s.BoolOr(c, "legacy_scorer");
+          return std::make_unique<ObliviousPartitioner>(o);
         },
         .streaming = true})
 

@@ -3,14 +3,22 @@
 #ifndef DNE_PARTITION_OBLIVIOUS_PARTITIONER_H_
 #define DNE_PARTITION_OBLIVIOUS_PARTITIONER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "partition/greedy/load_tracker.h"
 #include "partition/partitioner.h"
 #include "partition/replica_table.h"
 #include "partition/streaming_partitioner.h"
 
 namespace dne {
+
+struct ObliviousOptions {
+  std::uint64_t seed = 0;
+  /// Reference mode: the pre-engine candidate-vector scorer.
+  bool legacy_scorer = false;
+};
 
 /// Streams edges (in a deterministic shuffled order) applying the PowerGraph
 /// greedy rules:
@@ -24,7 +32,11 @@ namespace dne {
 /// so it diverges from the batch path's shuffled order by design.
 class ObliviousPartitioner : public Partitioner, public StreamingPartitioner {
  public:
-  explicit ObliviousPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+  explicit ObliviousPartitioner(
+      const ObliviousOptions& options = ObliviousOptions{})
+      : options_(options) {}
+  explicit ObliviousPartitioner(std::uint64_t seed)
+      : options_{.seed = seed} {}
 
   std::string name() const override { return "oblivious"; }
   StreamingPartitioner* streaming() override { return this; }
@@ -41,15 +53,21 @@ class ObliviousPartitioner : public Partitioner, public StreamingPartitioner {
                        EdgePartition* out) override;
 
  private:
-  std::uint64_t seed_;
+  /// Resident bytes of the open stream's state (peak-memory accounting).
+  std::size_t StreamStateBytes() const;
+
+  ObliviousOptions options_;
 
   bool stream_open_ = false;
   std::uint32_t stream_k_ = 0;
   PartitionContext stream_ctx_;
   ReplicaTable stream_replicas_;
-  std::vector<std::uint64_t> stream_load_;
+  LoadTracker stream_loads_;                // engine scorer
+  std::vector<std::uint64_t> stream_load_;  // legacy scorer
   std::vector<PartitionId> stream_assign_;
-  std::vector<PartitionId> stream_scratch_;
+  std::vector<PartitionId> stream_scratch_;  // legacy scorer
+  std::uint64_t stream_seen_ = 0;
+  std::size_t stream_peak_bytes_ = 0;
 };
 
 }  // namespace dne

@@ -56,11 +56,13 @@ Status RandomPartitioner::AddEdges(std::span<const Edge> edges) {
     return Status::InvalidArgument("AddEdges before BeginStream");
   }
   DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
-  stream_assign_.reserve(stream_assign_.size() + edges.size());
+  // No per-chunk exact reserve: it would defeat push_back's geometric
+  // growth and re-copy the whole assignment every chunk.
   for (const Edge& ed : edges) {
     stream_assign_.push_back(static_cast<PartitionId>(
         HashEdge(ed.src, ed.dst, stream_seed_) % stream_k_));
   }
+  stream_ctx_.ReportProgress("edges", stream_assign_.size(), 0);
   return Status::OK();
 }
 
@@ -69,10 +71,10 @@ Status RandomPartitioner::Finish(EdgePartition* out) {
     return Status::InvalidArgument("Finish before BeginStream");
   }
   stream_open_ = false;
-  *out = EdgePartition(stream_k_, stream_assign_.size());
-  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
-    out->Set(e, stream_assign_[e]);
-  }
+  const std::uint64_t m = stream_assign_.size();
+  stream_ctx_.ReportProgress("edges", m, m);
+  stats_.peak_memory_bytes = stream_assign_.capacity() * sizeof(PartitionId);
+  *out = EdgePartition(stream_k_, std::move(stream_assign_));
   stream_assign_.clear();
   return Status::OK();
 }

@@ -1,63 +1,237 @@
 // ReplicaTable: per-vertex partition sets A(v) maintained by the greedy and
-// streaming partitioners (Oblivious, HDRF, Ginger, SNE).
+// streaming partitioners (Oblivious, HDRF, Ginger, SNE, Dynamic).
+//
+// v2 — no per-vertex heap containers. Two storage modes, chosen from the
+// partition count at construction (mirroring dne/compact_part_sets):
+//
+//  * bitmap mode (1 <= |P| <= 64): one 64-bit word per vertex. Add and
+//    Contains are single bit operations, and the union/common iteration the
+//    scoring engine runs per edge is word-wise (OR/AND + bit scan) — no
+//    materialised candidate vectors.
+//  * slot mode (|P| unknown or > 64): kInlineSlots sorted partition ids
+//    inline per vertex; the rare set that outgrows them (replica sets are
+//    RF-sized, i.e. tiny) moves wholesale to an overflow vector. Union and
+//    common iteration merge two sorted spans.
+//
+// Iteration order is ascending partition id in both modes, which is what
+// keeps every candidate-scoring tie-break identical to the legacy full-scan
+// scorers. `of(v)` (a contiguous sorted view) is only available in slot
+// mode; bitmap-mode callers use the visitors.
 #ifndef DNE_PARTITION_REPLICA_TABLE_H_
 #define DNE_PARTITION_REPLICA_TABLE_H_
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
 
 namespace dne {
 
-/// Sorted small-vector set of partitions per vertex. Partition counts in the
-/// paper's experiments are <= 1024, and per-vertex replica sets are tiny (the
-/// replication factor itself!), so sorted vectors beat hash sets by a wide
-/// margin in both space and time.
 class ReplicaTable {
  public:
-  explicit ReplicaTable(VertexId num_vertices = 0) : sets_(num_vertices) {}
+  /// Largest partition count served by the single-word bitmap mode.
+  static constexpr std::uint32_t kBitmapMaxPartitions = 64;
+  /// Sorted partition ids stored inline per vertex in slot mode.
+  static constexpr std::uint32_t kInlineSlots = 4;
 
-  /// Grows the table so that vertex v is addressable (streaming callers see
-  /// the vertex universe only as edges arrive). Never shrinks.
-  void EnsureVertex(VertexId v) {
-    if (v >= sets_.size()) sets_.resize(v + 1);
+  /// `num_partitions == 0` (the default, and the legacy one-argument form)
+  /// selects slot mode, which serves any partition count.
+  explicit ReplicaTable(VertexId num_vertices = 0,
+                        std::uint32_t num_partitions = 0)
+      : bitmap_(num_partitions >= 1 &&
+                num_partitions <= kBitmapMaxPartitions) {
+    if (bitmap_) {
+      bits_.assign(num_vertices, 0);
+    } else {
+      rows_.assign(num_vertices, Row{});
+    }
   }
 
-  VertexId NumVertices() const { return sets_.size(); }
+  /// Grows the table so that vertex v is addressable (streaming callers see
+  /// the vertex universe only as edges arrive). Never shrinks; growth is
+  /// geometric so per-edge callers stay amortized O(1).
+  void EnsureVertex(VertexId v) {
+    const VertexId n = NumVertices();
+    if (v < n) return;
+    const VertexId grown = std::max<VertexId>(v + 1, n + n / 2 + 1);
+    if (bitmap_) {
+      bits_.resize(grown, 0);
+    } else {
+      rows_.resize(grown, Row{});
+    }
+  }
+
+  VertexId NumVertices() const {
+    return bitmap_ ? bits_.size() : rows_.size();
+  }
 
   bool Contains(VertexId v, PartitionId p) const {
-    const auto& s = sets_[v];
-    return std::binary_search(s.begin(), s.end(), p);
+    if (bitmap_) return (bits_[v] >> p) & 1ULL;
+    const Row& r = rows_[v];
+    if (r.count <= kInlineSlots) {
+      for (std::uint32_t i = 0; i < r.count; ++i) {
+        if (r.slots[i] == p) return true;
+      }
+      return false;
+    }
+    const std::vector<PartitionId>& o = overflow_[r.slots[0]];
+    return std::binary_search(o.begin(), o.end(), p);
   }
 
   /// Inserts p into A(v); returns true if newly added.
   bool Add(VertexId v, PartitionId p) {
-    auto& s = sets_[v];
-    auto it = std::lower_bound(s.begin(), s.end(), p);
-    if (it != s.end() && *it == p) return false;
-    s.insert(it, p);
-    return true;
+    if (bitmap_) {
+      const std::uint64_t mask = 1ULL << p;
+      if (bits_[v] & mask) return false;
+      bits_[v] |= mask;
+      return true;
+    }
+    return SlotAdd(v, p);
   }
 
-  const std::vector<PartitionId>& of(VertexId v) const { return sets_[v]; }
+  /// Sorted view of A(v). Slot mode only (bitmap mode has no materialised
+  /// id array — use the visitors); the view is invalidated by any Add or
+  /// EnsureVertex. Aborts loudly on bitmap-mode misuse — silent UB in
+  /// NDEBUG builds is worse than a crash.
+  std::span<const PartitionId> of(VertexId v) const {
+    if (bitmap_) std::abort();
+    return SlotView(v);
+  }
+
+  std::size_t SetSize(VertexId v) const {
+    if (bitmap_) return static_cast<std::size_t>(std::popcount(bits_[v]));
+    return rows_[v].count;
+  }
+
+  /// Visits A(u) ∪ A(v) in ascending partition order; fn(p, in_u, in_v)
+  /// tells which side(s) contain p. Word-wise in bitmap mode, a sorted-span
+  /// merge in slot mode. u == v is allowed (every p reports both flags).
+  template <typename Fn>
+  void ForEachUnion(VertexId u, VertexId v, Fn&& fn) const {
+    if (bitmap_) {
+      const std::uint64_t wu = bits_[u];
+      const std::uint64_t wv = bits_[v];
+      std::uint64_t both = wu | wv;
+      while (both != 0) {
+        const int b = std::countr_zero(both);
+        fn(static_cast<PartitionId>(b), ((wu >> b) & 1ULL) != 0,
+           ((wv >> b) & 1ULL) != 0);
+        both &= both - 1;
+      }
+      return;
+    }
+    const std::span<const PartitionId> su = SlotView(u);
+    const std::span<const PartitionId> sv = SlotView(v);
+    std::size_t a = 0, b = 0;
+    while (a < su.size() && b < sv.size()) {
+      if (su[a] < sv[b]) {
+        fn(su[a++], true, false);
+      } else if (sv[b] < su[a]) {
+        fn(sv[b++], false, true);
+      } else {
+        fn(su[a], true, true);
+        ++a;
+        ++b;
+      }
+    }
+    while (a < su.size()) fn(su[a++], true, false);
+    while (b < sv.size()) fn(sv[b++], false, true);
+  }
+
+  /// Visits A(u) ∩ A(v) in ascending partition order (word-wise AND in
+  /// bitmap mode).
+  template <typename Fn>
+  void ForEachCommon(VertexId u, VertexId v, Fn&& fn) const {
+    if (bitmap_) {
+      std::uint64_t common = bits_[u] & bits_[v];
+      while (common != 0) {
+        fn(static_cast<PartitionId>(std::countr_zero(common)));
+        common &= common - 1;
+      }
+      return;
+    }
+    ForEachUnion(u, v, [&fn](PartitionId p, bool in_u, bool in_v) {
+      if (in_u && in_v) fn(p);
+    });
+  }
 
   std::size_t TotalReplicas() const {
     std::size_t n = 0;
-    for (const auto& s : sets_) n += s.size();
+    if (bitmap_) {
+      for (const std::uint64_t w : bits_) {
+        n += static_cast<std::size_t>(std::popcount(w));
+      }
+    } else {
+      for (const Row& r : rows_) n += r.count;
+    }
     return n;
   }
 
   /// Approximate resident bytes (for mem-score accounting).
   std::size_t MemoryBytes() const {
-    std::size_t bytes = sets_.capacity() * sizeof(sets_[0]);
-    for (const auto& s : sets_) bytes += s.capacity() * sizeof(PartitionId);
+    std::size_t bytes = bits_.capacity() * sizeof(std::uint64_t) +
+                        rows_.capacity() * sizeof(Row) +
+                        overflow_.capacity() * sizeof(overflow_[0]);
+    for (const auto& o : overflow_) bytes += o.capacity() * sizeof(PartitionId);
     return bytes;
   }
 
  private:
-  std::vector<std::vector<PartitionId>> sets_;
+  struct Row {
+    /// Sorted ids while count <= kInlineSlots; slots[0] is the overflow_
+    /// index once the set has spilled.
+    PartitionId slots[kInlineSlots] = {};
+    std::uint32_t count = 0;
+  };
+
+  std::span<const PartitionId> SlotView(VertexId v) const {
+    const Row& r = rows_[v];
+    if (r.count <= kInlineSlots) return {r.slots, r.count};
+    const std::vector<PartitionId>& o = overflow_[r.slots[0]];
+    return {o.data(), o.size()};
+  }
+
+  bool SlotAdd(VertexId v, PartitionId p) {
+    Row& r = rows_[v];
+    if (r.count <= kInlineSlots) {
+      std::uint32_t i = 0;
+      while (i < r.count && r.slots[i] < p) ++i;
+      if (i < r.count && r.slots[i] == p) return false;
+      if (r.count < kInlineSlots) {
+        for (std::uint32_t j = r.count; j > i; --j) {
+          r.slots[j] = r.slots[j - 1];
+        }
+        r.slots[i] = p;
+        ++r.count;
+        return true;
+      }
+      // Inline full: the whole set (plus p) moves to the overflow vector.
+      std::vector<PartitionId> spilled;
+      spilled.reserve(2 * kInlineSlots);
+      spilled.assign(r.slots, r.slots + kInlineSlots);
+      spilled.insert(spilled.begin() + i, p);
+      r.slots[0] = static_cast<PartitionId>(overflow_.size());
+      r.count = kInlineSlots + 1;
+      overflow_.push_back(std::move(spilled));
+      return true;
+    }
+    std::vector<PartitionId>& o = overflow_[r.slots[0]];
+    const auto it = std::lower_bound(o.begin(), o.end(), p);
+    if (it != o.end() && *it == p) return false;
+    o.insert(it, p);
+    ++r.count;
+    return true;
+  }
+
+  bool bitmap_ = false;
+  std::vector<std::uint64_t> bits_;      ///< bitmap mode: one word per vertex
+  std::vector<Row> rows_;                ///< slot mode: inline ids per vertex
+  std::vector<std::vector<PartitionId>> overflow_;  ///< slot mode spills
 };
 
 }  // namespace dne

@@ -25,6 +25,27 @@ struct HeapEntry {
 using MinHeap =
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
 
+// The two load-bookkeeping policies ProcessSneWindow is instantiated with:
+// the legacy plain vector (min_element per decision at the call sites) and
+// the engine's LoadTracker (O(1) argmin). Placement decisions are identical
+// either way — the policy only changes how the loads are maintained.
+struct VectorLoads {
+  std::vector<std::uint64_t>* v;
+  std::uint64_t load(PartitionId p) const { return (*v)[p]; }
+  void Increment(PartitionId p) const { ++(*v)[p]; }
+  PartitionId ArgMin() const {
+    return static_cast<PartitionId>(
+        std::min_element(v->begin(), v->end()) - v->begin());
+  }
+};
+
+struct TrackerLoads {
+  LoadTracker* t;
+  std::uint64_t load(PartitionId p) const { return t->load(p); }
+  void Increment(PartitionId p) const { t->Increment(p); }
+  PartitionId ArgMin() const { return t->ArgMinPartition(); }
+};
+
 // Chunk-local CSR over the window's edges.
 struct ChunkGraph {
   std::vector<VertexId> vertices;       // sorted global ids
@@ -86,15 +107,15 @@ ChunkGraph BuildChunk(std::span<const Edge> window) {
 // absorbs the remainder), while the streaming path passes base_limit too and
 // spills whatever a window cannot place (left kNoPartition here) onto the
 // least-loaded partitions itself.
+template <typename Loads>
 void ProcessSneWindow(std::span<const Edge> window,
                       std::uint32_t num_partitions, std::uint64_t base_limit,
                       std::uint64_t last_limit, ReplicaTable* replica_table,
-                      std::vector<std::uint64_t>* load_vec,
-                      PartitionId* current, PartitionId* out_assign,
+                      Loads loads, PartitionId* current,
+                      PartitionId* out_assign,
                       std::size_t* peak_window_bytes) {
   if (window.empty()) return;
   ReplicaTable& replicas = *replica_table;
-  std::vector<std::uint64_t>& load = *load_vec;
   ChunkGraph cg = BuildChunk(window);
   *peak_window_bytes = std::max(*peak_window_bytes, cg.MemoryBytes());
   const std::uint32_t nv = static_cast<std::uint32_t>(cg.vertices.size());
@@ -113,7 +134,7 @@ void ProcessSneWindow(std::span<const Edge> window,
   while (chunk_remaining > 0) {
     const bool last_partition = (*current + 1 == num_partitions);
     const std::uint64_t limit = last_partition ? last_limit : base_limit;
-    if (load[*current] >= limit) {
+    if (loads.load(*current) >= limit) {
       if (!last_partition) {
         ++*current;
         continue;
@@ -137,11 +158,11 @@ void ProcessSneWindow(std::span<const Edge> window,
       --rest[a];
       --rest[b];
       --chunk_remaining;
-      ++load[p];
+      loads.Increment(p);
       replicas.Add(cg.vertices[a], p);
       replicas.Add(cg.vertices[b], p);
     };
-    while (load[p] < limit && chunk_remaining > 0) {
+    while (loads.load(p) < limit && chunk_remaining > 0) {
       std::uint32_t v = UINT32_MAX;
       while (!boundary.empty()) {
         HeapEntry top = boundary.top();
@@ -161,7 +182,7 @@ void ProcessSneWindow(std::span<const Edge> window,
       }
       vx_epoch[v] = p;
       for (std::uint32_t i = cg.offsets[v];
-           i < cg.offsets[v + 1] && load[p] < limit; ++i) {
+           i < cg.offsets[v + 1] && loads.load(p) < limit; ++i) {
         const auto& arc = cg.arcs[i];
         if (edge_done[arc.edge]) continue;
         allocate(arc.edge, v, arc.to);
@@ -170,7 +191,7 @@ void ProcessSneWindow(std::span<const Edge> window,
           vx_epoch[u] = p;
           // Two-hop allocation (Condition (5)) within the window.
           for (std::uint32_t j = cg.offsets[u];
-               j < cg.offsets[u + 1] && load[p] < limit; ++j) {
+               j < cg.offsets[u + 1] && loads.load(p) < limit; ++j) {
             const auto& arc2 = cg.arcs[j];
             if (edge_done[arc2.edge] || vx_epoch[arc2.to] != p) continue;
             allocate(arc2.edge, u, arc2.to);
@@ -179,7 +200,7 @@ void ProcessSneWindow(std::span<const Edge> window,
         }
       }
     }
-    if (load[*current] >= limit && !last_partition) {
+    if (loads.load(*current) >= limit && !last_partition) {
       ++*current;
     } else if (chunk_remaining > 0 && boundary.empty() &&
                free_cursor >= nv) {
@@ -195,7 +216,9 @@ OptionSchema SneSchema() {
                          "balance slack of Eq. (2)"),
       OptionSpec::Int("chunks", 8, 1, 1 << 20,
                       "stream chunk count (batch path; inverse memory "
-                      "budget)")};
+                      "budget)"),
+      OptionSpec::Bool("legacy_scorer", false,
+                       "use the pre-engine load vector + min_element scans")};
 }
 
 }  // namespace
@@ -212,8 +235,15 @@ Status SnePartitioner::PartitionImpl(const Graph& g,
   }
   const EdgeId m = g.NumEdges();
   *out = EdgePartition(num_partitions, m);
-  ReplicaTable replicas(g.NumVertices());
-  std::vector<std::uint64_t> load(num_partitions, 0);
+  ReplicaTable replicas(g.NumVertices(),
+                        options_.legacy_scorer ? 0 : num_partitions);
+  std::vector<std::uint64_t> load_vec;
+  LoadTracker loads;
+  if (options_.legacy_scorer) {
+    load_vec.assign(num_partitions, 0);
+  } else {
+    loads.Reset(num_partitions);
+  }
   const std::uint64_t base_limit = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(options_.alpha * static_cast<double>(m) /
                                     num_partitions));
@@ -234,10 +264,17 @@ Status SnePartitioner::PartitionImpl(const Graph& g,
     const std::size_t lo = static_cast<std::size_t>(m) * c / chunks;
     const std::size_t hi = static_cast<std::size_t>(m) * (c + 1) / chunks;
     if (lo == hi) continue;
-    ProcessSneWindow(std::span<const Edge>(edges.data() + lo, hi - lo),
-                     num_partitions, base_limit, /*last_limit=*/m, &replicas,
-                     &load, &current, &out->mutable_assignment()[lo],
-                     &peak_window_bytes);
+    const std::span<const Edge> window(edges.data() + lo, hi - lo);
+    PartitionId* out_assign = &out->mutable_assignment()[lo];
+    if (options_.legacy_scorer) {
+      ProcessSneWindow(window, num_partitions, base_limit, /*last_limit=*/m,
+                       &replicas, VectorLoads{&load_vec}, &current,
+                       out_assign, &peak_window_bytes);
+    } else {
+      ProcessSneWindow(window, num_partitions, base_limit, /*last_limit=*/m,
+                       &replicas, TrackerLoads{&loads}, &current, out_assign,
+                       &peak_window_bytes);
+    }
   }
   ctx.ReportProgress("window", static_cast<std::uint64_t>(chunks),
                      static_cast<std::uint64_t>(chunks));
@@ -257,11 +294,15 @@ Status SnePartitioner::BeginStream(std::uint32_t num_partitions,
   stream_open_ = true;
   stream_k_ = num_partitions;
   stream_ctx_ = ctx;
-  stream_replicas_ = ReplicaTable(0);
-  stream_load_.assign(num_partitions, 0);
+  stream_replicas_ = ReplicaTable(
+      0, options_.legacy_scorer ? 0 : num_partitions);
+  stream_loads_.Reset(options_.legacy_scorer ? 0 : num_partitions);
+  stream_load_.assign(options_.legacy_scorer ? num_partitions : 0, 0);
   stream_current_ = 0;
   stream_seen_ = 0;
   stream_assign_.clear();
+  stream_window_bytes_ = 0;
+  stream_peak_bytes_ = 0;
   return Status::OK();
 }
 
@@ -281,31 +322,45 @@ Status SnePartitioner::AddEdges(std::span<const Edge> edges) {
       1, static_cast<std::uint64_t>(options_.alpha *
                                     static_cast<double>(stream_seen_) /
                                     stream_k_));
+  const VectorLoads legacy_loads{&stream_load_};
+  const TrackerLoads engine_loads{&stream_loads_};
+  const auto least_loaded = [&]() {
+    return options_.legacy_scorer ? legacy_loads.ArgMin()
+                                  : engine_loads.ArgMin();
+  };
   // Earlier partitions regain capacity as the limit grows: resume expansion
   // from the least-loaded one instead of camping on the last.
   if (stream_current_ + 1 == stream_k_) {
-    stream_current_ = static_cast<PartitionId>(
-        std::min_element(stream_load_.begin(), stream_load_.end()) -
-        stream_load_.begin());
+    stream_current_ = least_loaded();
   }
   const std::size_t offset = stream_assign_.size();
   stream_assign_.resize(offset + edges.size(), kNoPartition);
-  std::size_t peak = 0;
-  ProcessSneWindow(edges, stream_k_, base_limit, /*last_limit=*/base_limit,
-                   &stream_replicas_, &stream_load_, &stream_current_,
-                   &stream_assign_[offset], &peak);
+  if (options_.legacy_scorer) {
+    ProcessSneWindow(edges, stream_k_, base_limit, /*last_limit=*/base_limit,
+                     &stream_replicas_, legacy_loads, &stream_current_,
+                     &stream_assign_[offset], &stream_window_bytes_);
+  } else {
+    ProcessSneWindow(edges, stream_k_, base_limit, /*last_limit=*/base_limit,
+                     &stream_replicas_, engine_loads, &stream_current_,
+                     &stream_assign_[offset], &stream_window_bytes_);
+  }
   for (std::size_t i = 0; i < edges.size(); ++i) {
     if (stream_assign_[offset + i] != kNoPartition) continue;
-    const PartitionId p = static_cast<PartitionId>(
-        std::min_element(stream_load_.begin(), stream_load_.end()) -
-        stream_load_.begin());
+    const PartitionId p = least_loaded();
     stream_assign_[offset + i] = p;
-    ++stream_load_[p];
+    if (options_.legacy_scorer) {
+      legacy_loads.Increment(p);
+    } else {
+      engine_loads.Increment(p);
+    }
     stream_replicas_.EnsureVertex(std::max(edges[i].src, edges[i].dst));
     stream_replicas_.Add(edges[i].src, p);
     stream_replicas_.Add(edges[i].dst, p);
   }
-  stream_ctx_.ReportProgress("window", stream_seen_, 0);
+  stream_peak_bytes_ = std::max(stream_peak_bytes_, StreamStateBytes());
+  // Stage name matches the rest of the streaming family (the batch path
+  // keeps "window", where windows are the real unit of a known total).
+  stream_ctx_.ReportProgress("edges", stream_seen_, 0);
   return Status::OK();
 }
 
@@ -314,13 +369,20 @@ Status SnePartitioner::Finish(EdgePartition* out) {
     return Status::InvalidArgument("Finish before BeginStream");
   }
   stream_open_ = false;
-  *out = EdgePartition(stream_k_, stream_assign_.size());
-  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
-    out->Set(e, stream_assign_[e]);
-  }
+  stream_ctx_.ReportProgress("edges", stream_seen_, stream_seen_);
+  stats_.peak_memory_bytes =
+      std::max(stream_peak_bytes_, StreamStateBytes());
+  *out = EdgePartition(stream_k_, std::move(stream_assign_));
   stream_replicas_ = ReplicaTable(0);
   stream_assign_.clear();
   return Status::OK();
+}
+
+std::size_t SnePartitioner::StreamStateBytes() const {
+  return stream_window_bytes_ + stream_replicas_.MemoryBytes() +
+         stream_loads_.MemoryBytes() +
+         stream_load_.capacity() * sizeof(std::uint64_t) +
+         stream_assign_.capacity() * sizeof(PartitionId);
 }
 
 DNE_REGISTER_PARTITIONER(
@@ -337,6 +399,7 @@ DNE_REGISTER_PARTITIONER(
           o.seed = s.UintOr(c, "seed");
           o.alpha = s.DoubleOr(c, "alpha");
           o.chunks = static_cast<int>(s.IntOr(c, "chunks"));
+          o.legacy_scorer = s.BoolOr(c, "legacy_scorer");
           return std::make_unique<SnePartitioner>(o);
         },
         .streaming = true})

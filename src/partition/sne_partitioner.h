@@ -3,9 +3,11 @@
 #ifndef DNE_PARTITION_SNE_PARTITIONER_H_
 #define DNE_PARTITION_SNE_PARTITIONER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "partition/greedy/load_tracker.h"
 #include "partition/partitioner.h"
 #include "partition/replica_table.h"
 #include "partition/streaming_partitioner.h"
@@ -20,6 +22,8 @@ struct SneOptions {
   /// on main memory" regime at our scales.
   int chunks = 8;
   std::uint64_t seed = 1;
+  /// Reference mode: plain load vector + per-decision min_element scans.
+  bool legacy_scorer = false;
 };
 
 /// Processes the edge stream chunk by chunk; inside each chunk runs
@@ -52,16 +56,22 @@ class SnePartitioner : public Partitioner, public StreamingPartitioner {
                        EdgePartition* out) override;
 
  private:
+  /// Resident bytes of the open stream's state (peak-memory accounting).
+  std::size_t StreamStateBytes() const;
+
   SneOptions options_;
 
   bool stream_open_ = false;
   std::uint32_t stream_k_ = 0;
   PartitionContext stream_ctx_;
   ReplicaTable stream_replicas_;
-  std::vector<std::uint64_t> stream_load_;
+  LoadTracker stream_loads_;                // engine scorer
+  std::vector<std::uint64_t> stream_load_;  // legacy scorer
   PartitionId stream_current_ = 0;
   std::uint64_t stream_seen_ = 0;
   std::vector<PartitionId> stream_assign_;
+  std::size_t stream_window_bytes_ = 0;
+  std::size_t stream_peak_bytes_ = 0;
 };
 
 }  // namespace dne

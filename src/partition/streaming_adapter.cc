@@ -52,6 +52,7 @@ Status DynamicStreamPartitioner::AddEdges(std::span<const Edge> edges) {
   for (const Edge& ed : edges) {
     if (i++ % kCheckStride == 0) {
       DNE_RETURN_IF_ERROR(stream_ctx_.CheckCancelled());
+      stream_ctx_.ReportProgress("edges", stream_assign_.size(), 0);
     }
     stream_assign_.push_back(stream_state_->AddEdge(ed.src, ed.dst));
   }
@@ -63,10 +64,12 @@ Status DynamicStreamPartitioner::Finish(EdgePartition* out) {
     return Status::InvalidArgument("Finish before BeginStream");
   }
   stream_open_ = false;
-  *out = EdgePartition(stream_k_, stream_assign_.size());
-  for (EdgeId e = 0; e < stream_assign_.size(); ++e) {
-    out->Set(e, stream_assign_[e]);
-  }
+  const std::uint64_t m = stream_assign_.size();
+  stream_ctx_.ReportProgress("edges", m, m);
+  stats_.peak_memory_bytes =
+      stream_assign_.capacity() * sizeof(PartitionId) +
+      (stream_state_ != nullptr ? stream_state_->MemoryBytes() : 0);
+  *out = EdgePartition(stream_k_, std::move(stream_assign_));
   stream_state_.reset();
   stream_assign_.clear();
   return Status::OK();

@@ -17,6 +17,7 @@
 #ifndef DNE_PARTITION_STREAMING_PARTITIONER_H_
 #define DNE_PARTITION_STREAMING_PARTITIONER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 
@@ -28,6 +29,15 @@
 namespace dne {
 
 class Graph;
+
+/// Rough resident bytes of an unordered_map<VertexId, uint64_t> with
+/// `entries` nodes (key + value + ~2 pointers of node/bucket overhead) —
+/// shared by the degree-buffering hash partitioners' streaming peak-memory
+/// accounting so the estimate cannot drift between them.
+inline std::size_t ApproxDegreeMapBytes(std::size_t entries) {
+  return entries *
+         (sizeof(VertexId) + sizeof(std::uint64_t) + 2 * sizeof(void*));
+}
 
 class StreamingPartitioner {
  public:

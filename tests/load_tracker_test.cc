@@ -1,0 +1,112 @@
+// LoadTracker: randomized differential tests against the naive oracle
+// (std::min_element / std::max_element over a plain load vector), plus the
+// structural paths (histogram growth, dead-prefix compaction, reset reuse).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "partition/greedy/load_tracker.h"
+
+namespace dne {
+namespace {
+
+TEST(LoadTrackerTest, StartsUniformAtZero) {
+  LoadTracker t(8);
+  EXPECT_EQ(t.num_partitions(), 8u);
+  EXPECT_EQ(t.MinLoad(), 0u);
+  EXPECT_EQ(t.MaxLoad(), 0u);
+  EXPECT_EQ(t.ArgMinPartition(), 0u);
+  for (PartitionId p = 0; p < 8; ++p) EXPECT_EQ(t.load(p), 0u);
+}
+
+TEST(LoadTrackerTest, ArgMinBreaksTiesByLowestIndex) {
+  LoadTracker t(4);
+  t.Increment(0);
+  // Loads 1,0,0,0: partitions 1..3 tie at the min.
+  EXPECT_EQ(t.ArgMinPartition(), 1u);
+  t.Increment(1);
+  t.Increment(2);
+  t.Increment(3);
+  // All back to load 1: lowest index wins again.
+  EXPECT_EQ(t.MinLoad(), 1u);
+  EXPECT_EQ(t.ArgMinPartition(), 0u);
+}
+
+TEST(LoadTrackerTest, MatchesNaiveOracleOnRandomStreams) {
+  std::mt19937_64 rng(7);
+  for (const std::uint32_t k : {1u, 2u, 3u, 7u, 64u, 65u, 300u}) {
+    LoadTracker t(k);
+    std::vector<std::uint64_t> oracle(k, 0);
+    // Skewed choice so some partitions race ahead (exercises wide load
+    // spans) while others stay at the min for long stretches.
+    std::uniform_int_distribution<std::uint32_t> pick(0, k - 1);
+    for (int i = 0; i < 20000; ++i) {
+      const PartitionId p = std::min(pick(rng), pick(rng));
+      t.Increment(p);
+      ++oracle[p];
+      ASSERT_EQ(t.load(p), oracle[p]);
+      ASSERT_EQ(t.MinLoad(),
+                *std::min_element(oracle.begin(), oracle.end()));
+      ASSERT_EQ(t.MaxLoad(),
+                *std::max_element(oracle.begin(), oracle.end()));
+      ASSERT_EQ(t.ArgMinPartition(),
+                static_cast<PartitionId>(
+                    std::min_element(oracle.begin(), oracle.end()) -
+                    oracle.begin()))
+          << "k=" << k << " step=" << i;
+    }
+  }
+}
+
+TEST(LoadTrackerTest, SinglePartitionStaysExactAndSmall) {
+  // k=1: every increment empties the min level, driving the rescan path on
+  // each step; the tracker must stay exact and O(k)-sized throughout.
+  LoadTracker t(1);
+  for (int i = 0; i < 100000; ++i) t.Increment(0);
+  EXPECT_EQ(t.load(0), 100000u);
+  EXPECT_EQ(t.MinLoad(), 100000u);
+  EXPECT_EQ(t.MaxLoad(), 100000u);
+  EXPECT_EQ(t.ArgMinPartition(), 0u);
+  EXPECT_LT(t.MemoryBytes(), 1024u);
+}
+
+TEST(LoadTrackerTest, SkewedFillKeepsMemoryAtOrderP) {
+  // The SNE fill pattern: partition 0 climbs to m while the min level sits
+  // untouched at 0 — auxiliary state must stay O(k), not O(max - min).
+  LoadTracker t(4);
+  for (int i = 0; i < 200000; ++i) t.Increment(0);
+  EXPECT_EQ(t.MaxLoad(), 200000u);
+  EXPECT_EQ(t.MinLoad(), 0u);
+  EXPECT_EQ(t.ArgMinPartition(), 1u);
+  EXPECT_LT(t.MemoryBytes(), 1024u);
+  // Now let the min advance across the whole span in one step.
+  for (int i = 0; i < 5; ++i) t.Increment(1);
+  for (int i = 0; i < 3; ++i) t.Increment(2);
+  t.Increment(3);
+  EXPECT_EQ(t.MinLoad(), 1u);
+  EXPECT_EQ(t.ArgMinPartition(), 3u);
+}
+
+TEST(LoadTrackerTest, ResetReusesTheTracker) {
+  LoadTracker t(4);
+  t.Increment(2);
+  t.Increment(2);
+  t.Reset(6);
+  EXPECT_EQ(t.num_partitions(), 6u);
+  EXPECT_EQ(t.MinLoad(), 0u);
+  EXPECT_EQ(t.MaxLoad(), 0u);
+  EXPECT_EQ(t.ArgMinPartition(), 0u);
+  t.Increment(0);
+  EXPECT_EQ(t.ArgMinPartition(), 1u);
+}
+
+TEST(LoadTrackerTest, MemoryBytesIsPopulated) {
+  LoadTracker t(16);
+  EXPECT_GT(t.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dne

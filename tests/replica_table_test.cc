@@ -1,0 +1,158 @@
+// ReplicaTable v2: randomized differential tests against a std::set oracle
+// in both storage modes (word bitmap for |P| <= 64, inline slots + overflow
+// vector above), plus the visitors the scoring engine runs per edge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "partition/replica_table.h"
+
+namespace dne {
+namespace {
+
+// The mode matrix: 0 = unspecified (slot mode), 64 = the largest bitmap
+// partition count, 65 = the smallest slot-mode one, 1024 = the paper's max.
+const std::uint32_t kModes[] = {0, 1, 64, 65, 1024};
+
+std::uint32_t EffectivePartitions(std::uint32_t mode) {
+  return mode == 0 ? 1024 : mode;
+}
+
+TEST(ReplicaTableV2Test, AddContainsMatchesSetOracle) {
+  std::mt19937_64 rng(13);
+  for (const std::uint32_t mode : kModes) {
+    const std::uint32_t k = EffectivePartitions(mode);
+    ReplicaTable table(50, mode);
+    std::vector<std::set<PartitionId>> oracle(50);
+    std::uniform_int_distribution<VertexId> pick_v(0, 49);
+    std::uniform_int_distribution<PartitionId> pick_p(0, k - 1);
+    for (int i = 0; i < 5000; ++i) {
+      const VertexId v = pick_v(rng);
+      const PartitionId p = pick_p(rng);
+      ASSERT_EQ(table.Add(v, p), oracle[v].insert(p).second);
+      ASSERT_TRUE(table.Contains(v, p));
+      ASSERT_EQ(table.SetSize(v), oracle[v].size());
+      const PartitionId probe = pick_p(rng);
+      ASSERT_EQ(table.Contains(v, probe), oracle[v].count(probe) != 0);
+    }
+    std::size_t total = 0;
+    for (const auto& s : oracle) total += s.size();
+    EXPECT_EQ(table.TotalReplicas(), total);
+    EXPECT_GT(table.MemoryBytes(), 0u);
+  }
+}
+
+TEST(ReplicaTableV2Test, ForEachUnionVisitsAscendingWithSideFlags) {
+  std::mt19937_64 rng(99);
+  for (const std::uint32_t mode : kModes) {
+    const std::uint32_t k = EffectivePartitions(mode);
+    ReplicaTable table(2, mode);
+    std::set<PartitionId> su, sv;
+    std::uniform_int_distribution<PartitionId> pick_p(0, k - 1);
+    // Grow the two sets interleaved so inline, spilled and empty shapes all
+    // appear; check the union visitor after every insertion.
+    for (int i = 0; i < 40; ++i) {
+      if (i % 2 == 0) {
+        const PartitionId p = pick_p(rng);
+        table.Add(0, p);
+        su.insert(p);
+      } else {
+        const PartitionId p = pick_p(rng);
+        table.Add(1, p);
+        sv.insert(p);
+      }
+      std::vector<PartitionId> visited;
+      std::vector<std::pair<bool, bool>> flags;
+      table.ForEachUnion(0, 1, [&](PartitionId p, bool in_u, bool in_v) {
+        visited.push_back(p);
+        flags.emplace_back(in_u, in_v);
+      });
+      ASSERT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+      std::set<PartitionId> expected = su;
+      expected.insert(sv.begin(), sv.end());
+      ASSERT_EQ(visited.size(), expected.size());
+      for (std::size_t j = 0; j < visited.size(); ++j) {
+        ASSERT_TRUE(expected.count(visited[j]));
+        ASSERT_EQ(flags[j].first, su.count(visited[j]) != 0);
+        ASSERT_EQ(flags[j].second, sv.count(visited[j]) != 0);
+      }
+    }
+  }
+}
+
+TEST(ReplicaTableV2Test, ForEachUnionOfVertexWithItselfReportsBothSides) {
+  for (const std::uint32_t mode : kModes) {
+    ReplicaTable table(1, mode);
+    table.Add(0, 3);
+    table.Add(0, 7);
+    std::vector<PartitionId> visited;
+    table.ForEachUnion(0, 0, [&](PartitionId p, bool in_u, bool in_v) {
+      visited.push_back(p);
+      EXPECT_TRUE(in_u);
+      EXPECT_TRUE(in_v);
+    });
+    EXPECT_EQ(visited, (std::vector<PartitionId>{3, 7}));
+  }
+}
+
+TEST(ReplicaTableV2Test, ForEachCommonMatchesSetIntersection) {
+  std::mt19937_64 rng(5);
+  for (const std::uint32_t mode : kModes) {
+    const std::uint32_t k = EffectivePartitions(mode);
+    ReplicaTable table(2, mode);
+    std::set<PartitionId> su, sv;
+    std::uniform_int_distribution<PartitionId> pick_p(0, std::min(k - 1, 20u));
+    for (int i = 0; i < 30; ++i) {
+      const PartitionId pu = pick_p(rng), pv = pick_p(rng);
+      table.Add(0, pu);
+      su.insert(pu);
+      table.Add(1, pv);
+      sv.insert(pv);
+    }
+    std::vector<PartitionId> common;
+    table.ForEachCommon(0, 1, [&](PartitionId p) { common.push_back(p); });
+    std::vector<PartitionId> expected;
+    std::set_intersection(su.begin(), su.end(), sv.begin(), sv.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(common, expected);
+  }
+}
+
+TEST(ReplicaTableV2Test, SlotModeSpillsToOverflowKeepingSortedView) {
+  ReplicaTable table(1, 1024);  // slot mode
+  // More distinct ids than the inline slots hold, inserted out of order.
+  const PartitionId ids[] = {900, 3, 512, 77, 1, 1023, 400, 8, 9, 2};
+  std::set<PartitionId> oracle;
+  for (const PartitionId p : ids) {
+    EXPECT_TRUE(table.Add(0, p));
+    EXPECT_FALSE(table.Add(0, p));  // duplicate re-insert
+    oracle.insert(p);
+    const std::span<const PartitionId> view = table.of(0);
+    ASSERT_EQ(view.size(), oracle.size());
+    ASSERT_TRUE(std::is_sorted(view.begin(), view.end()));
+    ASSERT_TRUE(std::equal(view.begin(), view.end(), oracle.begin()));
+  }
+  for (const PartitionId p : ids) EXPECT_TRUE(table.Contains(0, p));
+  EXPECT_FALSE(table.Contains(0, 500));
+}
+
+TEST(ReplicaTableV2Test, EnsureVertexGrowsBothModes) {
+  for (const std::uint32_t mode : {0u, 64u}) {
+    ReplicaTable table(0, mode);
+    EXPECT_EQ(table.NumVertices(), 0u);
+    table.EnsureVertex(10);
+    EXPECT_GE(table.NumVertices(), 11u);
+    EXPECT_TRUE(table.Add(10, 1));
+    EXPECT_TRUE(table.Contains(10, 1));
+    table.EnsureVertex(5000);
+    EXPECT_GE(table.NumVertices(), 5001u);
+    EXPECT_TRUE(table.Contains(10, 1)) << "growth must preserve sets";
+  }
+}
+
+}  // namespace
+}  // namespace dne

@@ -58,8 +58,17 @@ constexpr char kStreamUsage[] =
     "         (--input=FILE [--format=auto|text|bin]\n"
     "          | --gen=rmat|er|chung-lu [--scale=N] [--edge-factor=N]\n"
     "            [--vertices=N] [--edges=N] [--gen-alpha=X])\n"
-    "         [--chunk-edges=N] [--seed=N] [--threads=N]\n"
+    "         [--chunk-edges=N] [--seed=N] [--threads=N] [--progress]\n"
     "         [--out=FILE] [--out-dir=DIR] [--opt key=value ...]\n";
+
+// Bare --flag presence over argv[2..] (boolean switches).
+bool HasFlag(int argc, char** argv, const std::string& key) {
+  const std::string bare = "--" + key;
+  for (int i = 2; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  return false;
+}
 
 // --key=value parsing over argv[2..].
 std::string GetFlag(int argc, char** argv, const std::string& key,
@@ -435,11 +444,34 @@ int CmdStream(int argc, char** argv) {
     opts.shard_writer = shard_writer.get();
   }
 
+  // Progress events come from the partitioners themselves now (the
+  // streaming family reports like batch runs); --progress surfaces them,
+  // throttled to twice a second.
+  dne::PartitionContext ctx;
+  dne::WallTimer progress_timer;
+  double last_report = -1.0;
+  if (HasFlag(argc, argv, "progress")) {
+    ctx.progress = [&progress_timer,
+                    &last_report](const dne::ProgressEvent& ev) {
+      const double now = progress_timer.Seconds();
+      if (now - last_report < 0.5 && ev.done != ev.total) return;
+      last_report = now;
+      if (ev.total > 0) {
+        std::fprintf(stderr, "progress: %s %llu/%llu\n", ev.stage,
+                     static_cast<unsigned long long>(ev.done),
+                     static_cast<unsigned long long>(ev.total));
+      } else {
+        std::fprintf(stderr, "progress: %s %llu\n", ev.stage,
+                     static_cast<unsigned long long>(ev.done));
+      }
+    };
+  }
+
   EdgePartition ep;
   dne::PartitionStreamResult result;
   dne::WallTimer timer;
-  st = dne::PartitionStream(reader.get(), streaming, parts,
-                            dne::PartitionContext{}, &ep, opts, &result);
+  st = dne::PartitionStream(reader.get(), streaming, parts, ctx, &ep, opts,
+                            &result);
   if (!st.ok()) return Fail(st);
   const double wall_ms = timer.Millis();
 
@@ -451,12 +483,18 @@ int CmdStream(int argc, char** argv) {
           ? 1.0
           : static_cast<double>(max_size) * parts /
                 static_cast<double>(result.edges_streamed);
+  // peak-state is the partitioner's own accounting (replica sets, loads,
+  // collected assignment), reported through run_stats() by the streaming
+  // family exactly like batch runs; peak-tracked is the harness's chunk
+  // buffer accounting.
   std::printf("%s: streamed |E|=%llu in %llu chunks P=%u EB=%.3f "
-              "wall=%.1fms peak-tracked=%.1fMiB\n",
+              "wall=%.1fms peak-tracked=%.1fMiB peak-state=%.1fMiB\n",
               method.c_str(),
               static_cast<unsigned long long>(result.edges_streamed),
               static_cast<unsigned long long>(result.chunks), parts, balance,
-              wall_ms, tracker.peak_total() / (1024.0 * 1024.0));
+              wall_ms, tracker.peak_total() / (1024.0 * 1024.0),
+              partitioner->run_stats().peak_memory_bytes /
+                  (1024.0 * 1024.0));
 
   const std::string out_path = GetFlag(argc, argv, "out", "");
   if (!out_path.empty()) {
