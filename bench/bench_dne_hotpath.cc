@@ -9,9 +9,18 @@
 // perf trajectory is tracked with (schema documented in README
 // "Performance").
 //
+// The third mode, "process" (or --transport=process), runs the identical
+// superstep loop over forked rank processes exchanging checksummed frames
+// on Unix-domain sockets — same partition bit for bit, with *observed*
+// bytes-on-wire recorded next to the modeled volume. --json appends to the
+// target file (a JSON array of records), so the committed trajectory keeps
+// every prior entry.
+//
 //   ./bench_dne_hotpath [--scale=17] [--edge-factor=8] [--partitions=16]
 //                       [--threads=8] [--repeats=3] [--seed=7]
-//                       [--modes=legacy,fast] [--json=FILE]
+//                       [--modes=legacy,fast,process] [--transport=process]
+//                       [--ranks=N] [--json=FILE]
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -44,13 +53,18 @@ int main(int argc, char** argv) {
   const int repeats = flags.GetInt("repeats", 3);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 7));
-  const std::vector<std::string> modes =
-      dne::bench::SplitCsv(flags.GetString("modes", "legacy,fast"));
+  const std::string transport = flags.GetString("transport", "");
+  const int ranks = flags.GetInt("ranks", 0);
+  const std::vector<std::string> modes = dne::bench::SplitCsv(
+      flags.GetString("modes", transport == "process" ? "fast,process"
+                                                      : "legacy,fast"));
   const std::string json_path = flags.GetString("json", "");
   dne::bench::PrintBanner(
-      "DNE hot path", "superstep pipeline, old vs overhauled execution shape",
+      "DNE hot path",
+      "superstep pipeline: old vs overhauled shape, modeled vs real transport",
       "--scale=N --edge-factor=N --partitions=N --threads=N --repeats=N "
-      "--seed=N --modes=legacy,fast --json=FILE");
+      "--seed=N --modes=legacy,fast,process --transport=process --ranks=N "
+      "--json=FILE");
 
   dne::RmatOptions ro;
   ro.scale = scale;
@@ -64,11 +78,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(g.NumEdges()), partitions,
               threads, repeats);
 
-  auto run = [&](bool legacy, int nthreads, dne::EdgePartition* ep,
-                 dne::DneStats* stats) -> double {
+  auto run = [&](const std::string& mode, int nthreads,
+                 dne::EdgePartition* ep, dne::DneStats* stats) -> double {
     dne::DneOptions o;
-    o.num_threads = nthreads;
-    o.legacy_hotpath = legacy;
+    o.num_threads = mode == "process" ? 1 : nthreads;
+    o.legacy_hotpath = mode == "legacy";
+    if (mode == "process") {
+      o.transport = dne::DneTransport::kProcess;
+      o.ranks = ranks;
+    }
     dne::DnePartitioner p(o);
     dne::WallTimer t;
     dne::Status st = p.Partition(g, static_cast<std::uint32_t>(partitions),
@@ -82,23 +100,35 @@ int main(int argc, char** argv) {
   };
 
   // Determinism guarantees first: threads=1 vs threads=N bit-identical on
-  // the fast path, and legacy vs fast bit-identical.
+  // the fast path, legacy vs fast bit-identical, and — when requested —
+  // the multi-process transport bit-identical to the in-process one.
+  const bool want_process =
+      std::find(modes.begin(), modes.end(), "process") != modes.end();
   dne::EdgePartition ref, probe;
-  run(/*legacy=*/false, /*nthreads=*/1, &ref, nullptr);
-  run(/*legacy=*/false, threads, &probe, nullptr);
+  run("fast", /*nthreads=*/1, &ref, nullptr);
+  run("fast", threads, &probe, nullptr);
   const bool threads_identical = ref.assignment() == probe.assignment();
-  run(/*legacy=*/true, threads, &probe, nullptr);
+  run("legacy", threads, &probe, nullptr);
   const bool modes_identical = ref.assignment() == probe.assignment();
-  std::printf("determinism: threads 1 vs %d %s, legacy vs fast %s\n\n",
+  bool transport_identical = true;
+  if (want_process) {
+    run("process", threads, &probe, nullptr);
+    transport_identical = ref.assignment() == probe.assignment();
+  }
+  std::printf("determinism: threads 1 vs %d %s, legacy vs fast %s%s%s\n\n",
               threads, threads_identical ? "IDENTICAL" : "DIVERGED",
-              modes_identical ? "IDENTICAL" : "DIVERGED");
+              modes_identical ? "IDENTICAL" : "DIVERGED",
+              want_process ? ", inproc vs process " : "",
+              want_process
+                  ? (transport_identical ? "IDENTICAL" : "DIVERGED")
+                  : "");
 
   std::printf("  %-8s %9s %12s %10s %8s %8s %25s\n", "mode", "wall s",
               "Medges/s", "supersteps", "sel-frac", "peak-sim",
               "host A/B/C/D+dist ms");
   std::vector<ModeResult> results;
   for (const std::string& mode : modes) {
-    if (mode != "legacy" && mode != "fast") {
+    if (mode != "legacy" && mode != "fast" && mode != "process") {
       std::fprintf(stderr, "error: unknown mode '%s'\n", mode.c_str());
       return 1;
     }
@@ -106,7 +136,7 @@ int main(int argc, char** argv) {
     r.mode = mode;
     for (int i = 0; i < repeats; ++i) {
       dne::EdgePartition ep;
-      const double secs = run(mode == "legacy", threads, &ep, &r.stats);
+      const double secs = run(mode, threads, &ep, &r.stats);
       r.wall_seconds.push_back(secs);
       if (r.best_seconds == 0.0 || secs < r.best_seconds) {
         r.best_seconds = secs;
@@ -124,6 +154,17 @@ int main(int argc, char** argv) {
                 s.host_phase_a_seconds * 1e3, s.host_phase_b_seconds * 1e3,
                 s.host_phase_c_seconds * 1e3, s.host_phase_d_seconds * 1e3,
                 s.host_distribute_seconds * 1e3);
+    if (s.rank_processes > 0) {
+      std::printf("  %-8s   payload %s in %llu msgs, wire %s in %llu "
+                  "frames, %d rank processes\n",
+                  "", dne::bench::HumanBytes(
+                          static_cast<double>(s.comm_bytes)).c_str(),
+                  static_cast<unsigned long long>(s.comm_messages),
+                  dne::bench::HumanBytes(
+                      static_cast<double>(s.wire_bytes)).c_str(),
+                  static_cast<unsigned long long>(s.wire_frames),
+                  s.rank_processes);
+    }
     results.push_back(std::move(r));
   }
 
@@ -182,14 +223,22 @@ int main(int argc, char** argv) {
       w.KV("host_phase_b_seconds", s.host_phase_b_seconds);
       w.KV("host_phase_c_seconds", s.host_phase_c_seconds);
       w.KV("host_phase_d_seconds", s.host_phase_d_seconds);
+      w.KV("transport", r.mode == "process" ? "process" : "inproc");
+      w.KV("comm_payload_bytes", s.comm_bytes);
+      w.KV("comm_messages", s.comm_messages);
+      w.KV("wire_bytes", s.wire_bytes);
+      w.KV("wire_frames", s.wire_frames);
+      w.KV("rank_processes", s.rank_processes);
       w.EndObject();
     }
     w.EndArray();
     w.KV("speedup_fast_over_legacy", speedup);
+    w.KV("transport_bit_identical", transport_identical);
     w.KV("peak_rss_bytes", dne::bench::PeakRssBytes());
     w.EndObject();
-    if (!dne::bench::WriteTextFile(json_path, w.str())) return 1;
-    std::printf("wrote %s\n", json_path.c_str());
+    if (!dne::bench::AppendJsonRecord(json_path, w.str())) return 1;
+    std::printf("appended to %s\n", json_path.c_str());
   }
-  return (threads_identical && modes_identical) ? 0 : 1;
+  return (threads_identical && modes_identical && transport_identical) ? 0
+                                                                       : 1;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 namespace dne::bench {
@@ -240,6 +241,35 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
     return false;
   }
   return true;
+}
+
+bool AppendJsonRecord(const std::string& path, const std::string& record) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      existing.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    }
+  }
+  // Trim surrounding whitespace to classify the current shape.
+  const std::size_t first = existing.find_first_not_of(" \t\r\n");
+  const std::size_t last = existing.find_last_not_of(" \t\r\n");
+  std::string body;
+  if (first == std::string::npos) {
+    body = record;  // fresh file
+  } else if (existing[first] == '[') {
+    // Existing array: splice the record in before the closing bracket.
+    std::string inner = existing.substr(first + 1, last - first - 1);
+    const std::size_t inner_last = inner.find_last_not_of(" \t\r\n,");
+    inner = inner_last == std::string::npos ? ""
+                                            : inner.substr(0, inner_last + 1);
+    body = inner.empty() ? record : inner + ",\n" + record;
+  } else {
+    // Legacy single-record file: keep it as the first array entry.
+    body = existing.substr(first, last - first + 1) + ",\n" + record;
+  }
+  return WriteTextFile(path, "[" + body + "]");
 }
 
 }  // namespace dne::bench

@@ -84,6 +84,14 @@ class JsonWriter {
 /// stderr and returns false on I/O failure. Used by the --json=FILE flags.
 bool WriteTextFile(const std::string& path, const std::string& content);
 
+/// Appends one JSON record to `path`, keeping the file a JSON array of
+/// records: a missing/empty file becomes `[record]`, an existing array
+/// gains the record, and a legacy single-object file is wrapped into an
+/// array first — earlier entries are never overwritten. This is how the
+/// committed BENCH_*.json trajectories accumulate one entry per change
+/// instead of losing history.
+bool AppendJsonRecord(const std::string& path, const std::string& record);
+
 }  // namespace dne::bench
 
 #endif  // DNE_BENCH_BENCH_UTIL_H_

@@ -16,8 +16,9 @@
 
 namespace dne {
 
-class ThreadPool;    // runtime/thread_pool.h
-class RunStatsSink;  // partition/partitioner.h
+class ThreadPool;     // runtime/thread_pool.h
+class RunStatsSink;   // partition/partitioner.h
+class Communicator;   // runtime/communicator.h
 
 /// One progress report. `total == 0` means the total is unknown (e.g. the
 /// superstep count of an expansion algorithm before it terminates).
@@ -50,6 +51,14 @@ class PartitionContext {
   /// (including failed runs), with wall time filled by the harness for
   /// every algorithm.
   RunStatsSink* stats_sink = nullptr;
+
+  /// Advanced: a caller-provided transport endpoint for the distributed
+  /// algorithms (currently DNE). When set, the superstep loop runs over
+  /// this Communicator instead of constructing one from its options — the
+  /// endpoint must host every simulated rank (local_ranks() == all |P|
+  /// ranks) and it overrides the algorithm's `transport` option. The
+  /// endpoint is borrowed, not owned.
+  Communicator* communicator = nullptr;
 
   bool cancelled() const {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);

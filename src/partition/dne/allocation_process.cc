@@ -59,6 +59,7 @@ void AllocationProcess::Finalize() {
   }
   edge_gid_ = std::move(build_gids_);
   edge_done_.assign(m, 0);
+  local_assignment_.assign(m, kNoPartition);
   rest_degree_.assign(nv, 0);
   if (!legacy_scan_) live_end_.assign(nv, 0);
   for (std::uint32_t v = 0; v < nv; ++v) {
@@ -93,6 +94,7 @@ std::size_t AllocationProcess::StaticMemoryBytes() const {
          offsets_.capacity() * sizeof(std::uint32_t) +
          arcs_.capacity() * sizeof(Arc) +
          edge_done_.capacity() * sizeof(std::uint8_t) +
+         local_assignment_.capacity() * sizeof(PartitionId) +
          rest_degree_.capacity() * sizeof(std::uint32_t) +
          live_end_.capacity() * sizeof(std::uint32_t) +
          bucket_start_.capacity() * sizeof(std::uint32_t) +
@@ -136,10 +138,10 @@ bool AllocationProcess::AddVertexPart(std::uint32_t local_v, PartitionId p) {
 
 void AllocationProcess::Allocate(std::uint32_t le, std::uint32_t a,
                                  std::uint32_t b, PartitionId p,
-                                 std::vector<PartitionId>* assignment,
                                  std::vector<VertexPartPair>* sync_out) {
   edge_done_[le] = 1;
-  (*assignment)[edge_gid_[le]] = p;
+  local_assignment_[le] = p;
+  handoff_.push_back(HandoffRecord{Edge{vertices_[a], vertices_[b]}, p});
   --rest_degree_[a];
   --rest_degree_[b];
   ++local_count_per_part_[p];
@@ -159,7 +161,6 @@ void AllocationProcess::Allocate(std::uint32_t le, std::uint32_t a,
 
 void AllocationProcess::AllocateOneHop(
     const std::vector<SelectRequest>& requests,
-    std::vector<PartitionId>* assignment,
     std::vector<VertexPartPair>* sync_out,
     std::vector<std::uint64_t>* allocated_per_part, std::uint64_t* ops) {
   for (const SelectRequest& req : requests) {
@@ -179,7 +180,7 @@ void AllocationProcess::AllocateOneHop(
       if (edge_done_[a.edge]) continue;
       if (!budget_.empty() && budget_[req.p] == 0) break;  // p is full here
       if (!budget_.empty()) --budget_[req.p];
-      Allocate(a.edge, lv, a.to, req.p, assignment, sync_out);
+      Allocate(a.edge, lv, a.to, req.p, sync_out);
       ++(*allocated_per_part)[req.p];
     }
     if (legacy_scan_) continue;  // pre-overhaul: no window maintenance
@@ -218,7 +219,6 @@ void AllocationProcess::SortPendingUnique() {
 }
 
 void AllocationProcess::AllocateTwoHop(
-    std::vector<PartitionId>* assignment,
     std::vector<std::uint64_t>* allocated_per_part,
     std::uint64_t* two_hop_count, std::uint64_t* ops) {
   // Deterministic order; dedup by vertex — Alg. 3 line 12 iterates the
@@ -289,7 +289,7 @@ void AllocationProcess::AllocateTwoHop(
       }
       if (best != kNoPartition) {
         if (!budget_.empty()) --budget_[best];
-        Allocate(a.edge, lu, a.to, best, assignment, nullptr);
+        Allocate(a.edge, lu, a.to, best, nullptr);
         ++(*allocated_per_part)[best];
         ++(*two_hop_count);
       } else if (!legacy_scan_) {

@@ -9,35 +9,17 @@
 
 #include "common/types.h"
 #include "partition/dne/compact_part_sets.h"
+#include "partition/dne/dne_messages.h"
 #include "partition/dne/dne_options.h"
 
 namespace dne {
 
-/// Expansion request: partition p wants vertex v expanded (Alg. 1 line 8).
-struct SelectRequest {
-  VertexId v;
+/// One edge allocated this superstep, queued for hand-off to the owning
+/// expansion rank (Fig. 4's data flow): the edge travels, the destination
+/// is implied by `p` (one expansion process per partition).
+struct HandoffRecord {
+  Edge edge;
   PartitionId p;
-};
-
-/// Replica-synchronisation record: vertex v is now allocated to partition p
-/// (Alg. 2 line 3, SyncVertexAllocations).
-struct VertexPartPair {
-  VertexId v;
-  PartitionId p;
-  friend bool operator<(const VertexPartPair& a, const VertexPartPair& b) {
-    return a.v != b.v ? a.v < b.v : a.p < b.p;
-  }
-  friend bool operator==(const VertexPartPair& a, const VertexPartPair& b) {
-    return a.v == b.v && a.p == b.p;
-  }
-};
-
-/// New-boundary report sent back to expansion process p: v joined B_p with
-/// this rank's local D_rest contribution (Alg. 2 lines 5-6).
-struct BoundaryReport {
-  VertexId v;
-  PartitionId p;
-  std::uint32_t local_drest;
 };
 
 class AllocationProcess {
@@ -98,14 +80,13 @@ class AllocationProcess {
 
   /// Phase B (Alg. 3 AllocteOneHopNeighbors): allocates the remaining local
   /// edges of each requested vertex to the requesting partition, recording
-  /// the result in `assignment` (the edge is locally unique, so this write
-  /// is conflict-free across ranks; conflicts between partitions at this
-  /// rank resolve in request order). Newly created (vertex, partition)
-  /// pairs are appended to `sync_out` for replica synchronisation; per-
-  /// partition allocation counts for this phase are added to
-  /// `allocated_per_part`; `*ops` accrues local work units.
+  /// the result in this rank's local assignment (edges are uniquely owned,
+  /// so ranks never conflict; conflicts between partitions at this rank
+  /// resolve in request order). Newly created (vertex, partition) pairs are
+  /// appended to `sync_out` for replica synchronisation; per-partition
+  /// allocation counts for this phase are added to `allocated_per_part`;
+  /// `*ops` accrues local work units.
   void AllocateOneHop(const std::vector<SelectRequest>& requests,
-                      std::vector<PartitionId>* assignment,
                       std::vector<VertexPartPair>* sync_out,
                       std::vector<std::uint64_t>* allocated_per_part,
                       std::uint64_t* ops);
@@ -117,14 +98,38 @@ class AllocationProcess {
   /// Phase C2 (AllocateTwoHopNeighbors) over the pending pairs: allocates
   /// edges whose two endpoints already share a partition (Condition (5)),
   /// to the locally least-loaded shared partition (Alg. 3 line 16).
-  void AllocateTwoHop(std::vector<PartitionId>* assignment,
-                      std::vector<std::uint64_t>* allocated_per_part,
+  void AllocateTwoHop(std::vector<std::uint64_t>* allocated_per_part,
                       std::uint64_t* two_hop_count, std::uint64_t* ops);
 
   /// Phase C3 (ComputeLocalDrest): one report per pending pair, then clears
   /// the pending set for the next superstep.
   void DrainBoundaryReports(std::vector<BoundaryReport>* out,
                             std::uint64_t* ops);
+
+  /// Edges allocated since the last ClearSuperstepHandoff(), in allocation
+  /// order — the per-superstep hand-off payload to the expansion ranks.
+  const std::vector<HandoffRecord>& superstep_handoff() const {
+    return handoff_;
+  }
+  void ClearSuperstepHandoff() { handoff_.clear(); }
+
+  /// This rank's materialised result: partition of each *local* edge,
+  /// indexed by local edge id (insertion order), kNoPartition while
+  /// unallocated.
+  const std::vector<PartitionId>& local_assignment() const {
+    return local_assignment_;
+  }
+
+  /// Streams the final (global edge id, partition) pairs of every allocated
+  /// local edge — how the in-process driver scatters rank results into the
+  /// shared output (ranks own disjoint edges, so concurrent scatters never
+  /// collide).
+  template <typename Fn>
+  void ForEachAssignment(Fn&& fn) const {
+    for (std::size_t le = 0; le < local_assignment_.size(); ++le) {
+      if (edge_done_[le]) fn(edge_gid_[le], local_assignment_[le]);
+    }
+  }
 
   int rank() const { return rank_; }
   std::uint64_t num_local_edges() const { return edge_gid_.size(); }
@@ -134,10 +139,10 @@ class AllocationProcess {
   /// Sorts + dedups pending_ unless it is already in that state.
   void SortPendingUnique();
   /// Allocates local edge `le` (endpoints `a`, `b`, local ids) to p;
-  /// registers fresh (vertex, partition) pairs in pending_/sync.
+  /// registers fresh (vertex, partition) pairs in pending_/sync and the
+  /// edge in the superstep hand-off queue.
   void Allocate(std::uint32_t le, std::uint32_t a, std::uint32_t b,
-                PartitionId p, std::vector<PartitionId>* assignment,
-                std::vector<VertexPartPair>* sync_out);
+                PartitionId p, std::vector<VertexPartPair>* sync_out);
   bool AddVertexPart(std::uint32_t local_v, PartitionId p);
 
   struct Arc {
@@ -163,6 +168,12 @@ class AllocationProcess {
   std::vector<Arc> arcs_;
   std::vector<EdgeId> edge_gid_;         // local edge -> global edge id
   std::vector<std::uint8_t> edge_done_;  // local allocation flag
+  // Rank-local result: partition per local edge. This is the materialised
+  // partition a real rank owns; a rank process ships it to the coordinator
+  // once, after termination.
+  std::vector<PartitionId> local_assignment_;
+  // Edges allocated in the current superstep, awaiting hand-off.
+  std::vector<HandoffRecord> handoff_;
   // Radix bucket index over the sorted vertices_ (monotone v -> bucket
   // mapping): LocalIndex narrows its binary search to one ~16-element
   // bucket instead of the whole array. O(|V_r|/16) extra words.

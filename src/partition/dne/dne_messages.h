@@ -1,0 +1,51 @@
+// The POD message records of Distributed NE's data plane. Kept in a leaf
+// header so both the algorithm processes (partition/dne) and the transport
+// layer (runtime/communicator.h, runtime/process_cluster.cc) can name them
+// without pulling each other in. All three are trivially copyable — the
+// process transport serialises them by memcpy into checksummed frames.
+#ifndef DNE_PARTITION_DNE_DNE_MESSAGES_H_
+#define DNE_PARTITION_DNE_DNE_MESSAGES_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/types.h"
+
+namespace dne {
+
+/// Expansion request: partition p wants vertex v expanded (Alg. 1 line 8).
+struct SelectRequest {
+  VertexId v;
+  PartitionId p;
+};
+
+/// Replica-synchronisation record: vertex v is now allocated to partition p
+/// (Alg. 2 line 3, SyncVertexAllocations).
+struct VertexPartPair {
+  VertexId v;
+  PartitionId p;
+  friend bool operator<(const VertexPartPair& a, const VertexPartPair& b) {
+    return a.v != b.v ? a.v < b.v : a.p < b.p;
+  }
+  friend bool operator==(const VertexPartPair& a, const VertexPartPair& b) {
+    return a.v == b.v && a.p == b.p;
+  }
+};
+
+/// New-boundary report sent back to expansion process p: v joined B_p with
+/// this rank's local D_rest contribution (Alg. 2 lines 5-6).
+struct BoundaryReport {
+  VertexId v;
+  PartitionId p;
+  std::uint32_t local_drest;
+};
+
+static_assert(std::is_trivially_copyable_v<SelectRequest> &&
+                  std::is_trivially_copyable_v<VertexPartPair> &&
+                  std::is_trivially_copyable_v<BoundaryReport> &&
+                  std::is_trivially_copyable_v<Edge>,
+              "wire records must be memcpy-safe");
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_DNE_MESSAGES_H_

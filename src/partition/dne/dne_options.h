@@ -15,6 +15,17 @@ namespace dne {
 /// periphery, high-degree seeds in its core).
 enum class SeedStrategy { kRandom, kMinDegree, kMaxDegree };
 
+/// Which transport runs the superstep loop (see runtime/communicator.h):
+/// in-process ranks over the modeled exchange, or forked rank processes
+/// over Unix-domain sockets with observed byte accounting. The partition
+/// result is bit-identical either way.
+enum class DneTransport { kInProcess, kProcess };
+
+/// Upper bound on forked rank processes (`ranks` option). Above this the
+/// fork fan-out and the O(n^2) socket mesh stop being a sensible single-host
+/// configuration.
+inline constexpr int kMaxRankProcesses = 64;
+
 struct DneOptions {
   /// Balance slack alpha of Eq. (2); the paper sets 1.1.
   double alpha = 1.1;
@@ -42,6 +53,19 @@ struct DneOptions {
   /// bit-identical to the fast path; only the host-side execution shape
   /// differs. Exists for bench_dne_hotpath's old-vs-new comparison.
   bool legacy_hotpath = false;
+  /// Transport under the superstep loop. kProcess forks rank processes and
+  /// exchanges checksummed frames over socket pairs; comm/cost stats then
+  /// report *observed* wire traffic instead of the modeled volume.
+  DneTransport transport = DneTransport::kInProcess;
+  /// Process transport only: number of rank processes hosting the |P|
+  /// simulated ranks (rank r lives on process r mod ranks). 0 = one process
+  /// per simulated rank (capped at kMaxRankProcesses); values must be in
+  /// [2, min(|P|, kMaxRankProcesses)] otherwise.
+  int ranks = 0;
+  /// Test-only fault injection (process transport): this rank process
+  /// _exit()s at the start of superstep 1 so the failure path — fail fast
+  /// with a diagnostic, never hang — stays covered. -1 = disabled.
+  int fault_rank = -1;
 };
 
 /// Detailed observability of a Distributed NE run (feeds Figs. 6, 9, 10).
@@ -68,6 +92,20 @@ struct DneStats {
   double boundary_imbalance = 1.0;
   std::uint64_t peak_memory_bytes = 0;
   std::vector<std::uint64_t> edges_per_partition;
+  /// Per-simulated-rank peak bytes (state the rank's algorithm structures
+  /// occupy). Under the process transport these are reported by each rank
+  /// process and aggregated at the terminal barrier.
+  std::vector<std::uint64_t> rank_peak_bytes;
+  /// Process transport only: observed wire totals — every frame actually
+  /// sent between rank processes (payload + frame/sub-block headers) and
+  /// the frame count. comm_bytes stays the data-plane payload, so
+  /// wire_bytes - comm_bytes is the framing + control-plane overhead.
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_frames = 0;
+  /// Process transport only: rank processes forked and each one's observed
+  /// peak RSS (getrusage), indexed by process.
+  int rank_processes = 0;
+  std::vector<std::uint64_t> process_rss_bytes;
 };
 
 }  // namespace dne

@@ -1,28 +1,73 @@
 #include "partition/dne/dne_partitioner.h"
 
 #include <algorithm>
-#include <cmath>
 #include <memory>
 #include <vector>
 
 #include "common/timer.h"
 #include "core/partitioner_registry.h"
-#include "partition/dne/allocation_process.h"
-#include "partition/dne/expansion_process.h"
+#include "partition/dne/dne_process_transport.h"
+#include "partition/dne/dne_rank_state.h"
 #include "partition/dne/two_d_distribution.h"
+#include "runtime/communicator.h"
 #include "runtime/sim_cluster.h"
 #include "runtime/thread_pool.h"
 
 namespace dne {
 
-// The driver maps one simulated rank to one partition (ranks ==
-// num_partitions), so every per-rank and per-partition array below is
-// indexed by the same range. The hot path exploits this: parallel sections
-// only ever touch state owned by their own index (expansion[p], alloc[r],
-// outbox row Out(i, *), staged scratch[i]), all cross-index merging happens
-// sequentially in index order, and shared counters (CommStats, CostModel
-// totals) are only updated from sequential code — which is why any thread
-// count produces bit-identical partitions.
+namespace {
+
+// Cross-option validation of the transport knobs; returns the resolved
+// rank-process count for the process transport (0 for in-process).
+Status ResolveTransport(const DneOptions& options,
+                        std::uint32_t num_partitions, int* nproc) {
+  *nproc = 0;
+  if (options.transport == DneTransport::kInProcess) {
+    if (options.ranks != 0) {
+      return Status::InvalidArgument(
+          "ranks requires transport=process (the in-process transport "
+          "always hosts every simulated rank)");
+    }
+    if (options.fault_rank >= 0) {
+      return Status::InvalidArgument(
+          "fault_rank requires transport=process");
+    }
+    return Status::OK();
+  }
+  if (num_partitions < 2) {
+    return Status::InvalidArgument(
+        "transport=process needs at least 2 partitions (there is nothing "
+        "to distribute across one rank)");
+  }
+  const int max_procs = static_cast<int>(
+      std::min<std::uint32_t>(num_partitions, kMaxRankProcesses));
+  int n = options.ranks;
+  if (n == 0) n = max_procs;
+  if (n < 2 || n > max_procs) {
+    return Status::InvalidArgument(
+        "ranks must be in [2, min(partitions, " +
+        std::to_string(kMaxRankProcesses) + ")] for transport=process; got " +
+        std::to_string(options.ranks));
+  }
+  if (options.fault_rank >= n) {
+    return Status::InvalidArgument(
+        "fault_rank must name one of the " + std::to_string(n) +
+        " rank processes");
+  }
+  *nproc = n;
+  return Status::OK();
+}
+
+}  // namespace
+
+// The driver proper is the rank-local superstep loop of dne_rank_state.cc,
+// parameterized by a Communicator. This method only resolves options,
+// dispatches the transport, and — for the in-process transport — builds the
+// per-rank states (2-D distribution), runs the loop over an
+// InProcessCommunicator, scatters the rank-local assignments into the
+// shared output and derives the stats. Per-rank and per-partition arrays
+// are indexed by the same range (one simulated rank per partition, as in
+// the paper's Fig. 4).
 Status DnePartitioner::PartitionImpl(const Graph& g,
                                      std::uint32_t num_partitions,
                                      const PartitionContext& ctx,
@@ -39,11 +84,36 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
   if (options_.num_threads > kMaxPoolThreads) {
     return Status::InvalidArgument("threads exceeds the supported maximum");
   }
+  int nproc = 0;
+  DNE_RETURN_IF_ERROR(ResolveTransport(options_, num_partitions, &nproc));
+
   const bool fast = !options_.legacy_hotpath;
   const std::uint64_t seed = ctx.EffectiveSeed(options_.seed);
   const int ranks = static_cast<int>(num_partitions);
   const EdgeId total_edges = g.NumEdges();
   const VertexId num_vertices = g.NumVertices();
+
+  // A caller-injected Communicator endpoint overrides the transport option
+  // (it must host every rank, i.e. behave like the in-process transport).
+  Communicator* injected = ctx.communicator;
+  if (injected != nullptr &&
+      (injected->num_ranks() != ranks ||
+       injected->local_ranks().size() != static_cast<std::size_t>(ranks))) {
+    return Status::InvalidArgument(
+        "injected communicator must host all " + std::to_string(ranks) +
+        " simulated ranks");
+  }
+  if (injected == nullptr && options_.transport == DneTransport::kProcess) {
+    dne_stats_ = DneStats{};
+    DNE_RETURN_IF_ERROR(RunDneProcessTransport(
+        g, num_partitions, options_, seed, nproc, ctx, out, &dne_stats_));
+    DNE_RETURN_IF_ERROR(out->Validate(g));
+    stats_.sim_seconds = dne_stats_.sim_seconds;
+    stats_.comm_bytes = dne_stats_.comm_bytes;
+    stats_.supersteps = dne_stats_.iterations;
+    stats_.peak_memory_bytes = dne_stats_.peak_memory_bytes;
+    return Status::OK();
+  }
 
   SimCluster cluster(ranks, options_.cost);
   TwoDDistribution dist(num_partitions, seed);
@@ -112,401 +182,88 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
   for (int r = 0; r < ranks; ++r) {
     cluster.mem().Allocate(r, alloc[r].StaticMemoryBytes());
   }
+
+  const std::uint64_t limit =
+      DneEdgeLimit(options_.alpha, total_edges, num_partitions);
+  std::vector<DneRankState> states;
+  states.reserve(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    states.emplace_back(
+        r, std::move(alloc[r]),
+        MakeDneExpansion(options_, r, num_vertices, limit, seed),
+        num_partitions);
+  }
+  alloc.clear();
   dne_stats_ = DneStats{};
   dne_stats_.host_distribute_seconds = phase_timer.Seconds();
 
-  // Ceiling division so that |P| * limit >= alpha |E| >= |E|: the caps can
-  // never leave edges stranded with every partition full.
-  const std::uint64_t limit = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(
-             std::ceil(options_.alpha * static_cast<double>(total_edges) /
-                       static_cast<double>(num_partitions))));
-  std::vector<ExpansionProcess> expansion;
-  expansion.reserve(num_partitions);
-  // The bucket queue keys on the clamped D_rest; under the random-selection
-  // ablation scores are 32-bit hashes that all clamp into the overflow
-  // bucket, so the heap is the right structure there even on the fast path.
-  const bool bucket_queue = fast && options_.min_drest_selection;
-  for (PartitionId p = 0; p < num_partitions; ++p) {
-    expansion.emplace_back(p, num_vertices, limit, options_.lambda,
-                           options_.min_drest_selection,
-                           seed + 0x9e37 * (p + 1), bucket_queue);
+  InProcessCommunicator own_comm(ranks);
+  Communicator* comm = injected != nullptr ? injected : &own_comm;
+  SimClusterLedger ledger(&cluster);
+  comm->SetLedger(&ledger);
+
+  DneLoopEnv env;
+  env.options = &options_;
+  env.num_partitions = num_partitions;
+  env.total_edges = total_edges;
+  env.edge_limit = limit;
+  env.max_supersteps = DneMaxSupersteps(options_, num_vertices);
+  env.dist = &dist;
+  env.comm = comm;
+  env.ledger = &ledger;
+  env.pool = &pool;
+  env.ctx = &ctx;
+
+  DneLoopResult result;
+  DNE_RETURN_IF_ERROR(RunDneSuperstepLoop(env, &states, &result));
+  DNE_RETURN_IF_ERROR(comm->Barrier());
+
+  // Final memory census: vertex allocation-id sets grown during the run
+  // plus the peak boundary queues.
+  for (int r = 0; r < ranks; ++r) {
+    cluster.mem().Allocate(r, states[r].alloc.DynamicMemoryBytes());
+    cluster.mem().Allocate(r, states[r].expansion.peak_boundary_size() *
+                                  (sizeof(std::uint64_t) * 2));
   }
 
+  // Scatter the rank-local assignments into the shared output; ranks own
+  // disjoint global edge ids, so the parallel writes never collide.
   *out = EdgePartition(num_partitions, total_edges);
   std::vector<PartitionId>& assignment = out->mutable_assignment();
+  pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
+    states[r].alloc.ForEachAssignment(
+        [&](EdgeId gid, PartitionId p) { assignment[gid] = p; });
+  });
+  DNE_RETURN_IF_ERROR(out->Validate(g));
 
-  std::uint64_t total_allocated = 0;
-  // Per-phase critical-path accounting: the slowest rank gates each phase
-  // (the paper's vertex-selection bottleneck of Sec. 7.4 is the phase-A
-  // straggler share of this critical path).
-  std::uint64_t selection_critical_ops = 0;
-  std::uint64_t total_critical_ops = 0;
-  std::vector<std::uint64_t> phase_ops(ranks, 0);
-  const std::uint64_t cores = static_cast<std::uint64_t>(
-      std::max(1, options_.cost.cores_per_machine));
-  auto parallel_ops = [cores](std::uint64_t ops) {
-    return (ops + cores - 1) / cores;
-  };
-  auto close_phase = [&](bool is_selection) {
-    std::uint64_t mx = 0;
-    for (std::uint64_t& w : phase_ops) {
-      mx = std::max(mx, w);
-      w = 0;
-    }
-    if (is_selection) selection_critical_ops += mx;
-    total_critical_ops += mx;
-  };
-  const std::uint64_t max_supersteps =
-      options_.max_supersteps > 0 ? options_.max_supersteps
-                                  : 10 * num_vertices + 1000;
-
-  std::vector<int> replica_ranks;
-  std::vector<std::vector<std::uint64_t>> allocated_per_part(
-      ranks, std::vector<std::uint64_t>(num_partitions, 0));
-  std::vector<std::uint64_t> rank_ops(ranks, 0);
-  std::vector<std::vector<VertexPartPair>> rank_sync(ranks);
-  std::vector<std::vector<BoundaryReport>> rank_reports(ranks);
-  std::vector<std::uint64_t> rank_two_hop(ranks, 0);
-
-  // Hot-path persistent state (fast mode): the exchanges, their inbox
-  // arenas, the per-partition selection buffers and the per-index
-  // ReplicaRanks scratch are created once and recycled every superstep, so
-  // the four exchanges per superstep stop churning the allocator. The
-  // legacy mode reconstructs its exchanges per superstep (the pre-overhaul
-  // shape measured by bench_dne_hotpath).
-  AllToAll<SelectRequest> select_x(ranks);
-  AllToAll<VertexPartPair> sync_x(ranks);
-  AllToAll<BoundaryReport> report_x(ranks);
-  std::vector<std::vector<SelectRequest>> requests_in;
-  std::vector<std::vector<VertexPartPair>> sync_in;
-  std::vector<std::vector<BoundaryReport>> reports_in;
-  std::vector<std::vector<VertexId>> staged_selected(num_partitions);
-  std::vector<std::uint64_t> staged_ops(num_partitions, 0);
-  std::vector<std::vector<int>> replica_scratch(ranks);
-  std::vector<VertexId> selected;  // legacy-mode selection buffer
-
-  while (total_allocated < total_edges) {
-    DNE_RETURN_IF_ERROR(ctx.CheckCancelled());
-    ctx.ReportProgress("superstep", dne_stats_.iterations, 0);
-    if (dne_stats_.iterations >= max_supersteps) {
-      return Status::Internal("Distributed NE exceeded the superstep guard");
-    }
-
-    // ---- Phase A: vertex selection (expansion processes, Alg. 4) --------
-    phase_timer.Reset();
-    if (fast) {
-      // Selection only reads/writes expansion[p]: all partitions run
-      // concurrently into staged per-partition buffers.
-      pool.ParallelFor(num_partitions, [&](std::size_t p) {
-        staged_ops[p] = 0;
-        expansion[p].SelectVertices(&staged_selected[p], &staged_ops[p]);
-      });
-      // The empty-boundary fallback probes *other* ranks and charges the
-      // shared comm counters, so it stays sequential in partition order
-      // (it is rare: only exhausted boundaries take it).
-      for (PartitionId p = 0; p < num_partitions; ++p) {
-        if (!staged_selected[p].empty() || expansion[p].terminated()) {
-          continue;
-        }
-        // Alg. 1 line 7: random vertex, local allocation process first,
-        // other machines only if necessary (one probe message each).
-        VertexId v = alloc[p].PeekFreeVertex();
-        if (v == kNoVertex) {
-          for (int off = 1; off < ranks; ++off) {
-            const int r = (static_cast<int>(p) + off) % ranks;
-            cluster.comm().AddMessage(sizeof(VertexId));
-            cluster.cost().AddBytes(static_cast<int>(p), sizeof(VertexId));
-            v = alloc[r].PeekFreeVertex();
-            if (v != kNoVertex) break;
-          }
-        }
-        if (v != kNoVertex) {
-          staged_selected[p].push_back(v);
-          ++dne_stats_.random_restarts;
-        }
-      }
-      // Request staging: partition p owns outbox row Out(p, *), so the fan
-      // -out to replica ranks is parallel too.
-      pool.ParallelFor(num_partitions, [&](std::size_t p) {
-        staged_ops[p] += staged_selected[p].size();
-        for (VertexId v : staged_selected[p]) {
-          dist.ReplicaRanks(v, &replica_scratch[p]);
-          for (int r : replica_scratch[p]) {
-            select_x.Out(static_cast<int>(p), r).push_back(
-                SelectRequest{v, static_cast<PartitionId>(p)});
-          }
-        }
-      });
-      for (PartitionId p = 0; p < num_partitions; ++p) {
-        cluster.cost().AddWork(static_cast<int>(p), staged_ops[p]);
-        phase_ops[p] += staged_ops[p];
-      }
-      select_x.DeliverInto(&cluster, &requests_in);
-    } else {
-      AllToAll<SelectRequest> legacy_select(ranks);
-      for (PartitionId p = 0; p < num_partitions; ++p) {
-        std::uint64_t ops = 0;
-        expansion[p].SelectVertices(&selected, &ops);
-        if (selected.empty() && !expansion[p].terminated()) {
-          VertexId v = alloc[p].PeekFreeVertex();
-          if (v == kNoVertex) {
-            for (int off = 1; off < ranks; ++off) {
-              const int r = (static_cast<int>(p) + off) % ranks;
-              cluster.comm().AddMessage(sizeof(VertexId));
-              cluster.cost().AddBytes(static_cast<int>(p), sizeof(VertexId));
-              v = alloc[r].PeekFreeVertex();
-              if (v != kNoVertex) break;
-            }
-          }
-          if (v != kNoVertex) {
-            selected.push_back(v);
-            ++dne_stats_.random_restarts;
-          }
-        }
-        ops += selected.size();
-        cluster.cost().AddWork(static_cast<int>(p), ops);
-        phase_ops[p] += ops;
-        for (VertexId v : selected) {
-          dist.ReplicaRanks(v, &replica_ranks);
-          for (int r : replica_ranks) {
-            legacy_select.Out(static_cast<int>(p), r).push_back(
-                SelectRequest{v, p});
-          }
-        }
-        selected.clear();
-      }
-      requests_in = legacy_select.Deliver(&cluster);
-    }
-    close_phase(/*is_selection=*/true);
-    cluster.cost().EndSuperstep();
-    dne_stats_.host_phase_a_seconds += phase_timer.Seconds();
-
-    // ---- Phase B: one-hop allocation (Alg. 3 lines 1-9) -----------------
-    phase_timer.Reset();
-    // Per-rank allocation caps from the all-gathered |E_p| (Alg. 1 line
-    // 14): each partition's remaining budget is split across all ranks
-    // (any rank may own edges of the selected vertices), so one superstep
-    // cannot blow through the limit by more than ~|P| stragglers of 1.
-    std::vector<std::uint64_t> budgets(num_partitions, 0);
-    for (PartitionId p = 0; p < num_partitions; ++p) {
-      const std::uint64_t allocated = expansion[p].allocated();
-      const std::uint64_t remaining =
-          limit > allocated ? limit - allocated : 0;
-      budgets[p] =
-          remaining == 0
-              ? 0
-              : std::max<std::uint64_t>(
-                    1, remaining / static_cast<std::uint64_t>(ranks));
-    }
-    if (fast) {
-      // One-hop allocation and the replica-synchronisation fan-out run in
-      // the same task: rank r owns alloc[r], rank_sync[r] and outbox row
-      // Out(r, *).
-      pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
-        rank_ops[r] = 0;
-        rank_sync[r].clear();
-        alloc[r].SetSuperstepBudgets(budgets);
-        alloc[r].AllocateOneHop(requests_in[r], &assignment, &rank_sync[r],
-                                &allocated_per_part[r], &rank_ops[r]);
-        // Replica synchronisation (Alg. 2 line 3): fresh pairs go to every
-        // replica rank of the vertex except this one.
-        const int from = static_cast<int>(r);
-        for (const VertexPartPair& pair : rank_sync[r]) {
-          dist.ReplicaRanks(pair.v, &replica_scratch[r]);
-          for (int to : replica_scratch[r]) {
-            if (to != from) sync_x.Out(from, to).push_back(pair);
-          }
-        }
-      });
-      for (int r = 0; r < ranks; ++r) {
-        cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
-        phase_ops[r] += parallel_ops(rank_ops[r]);
-      }
-      sync_x.DeliverInto(&cluster, &sync_in);
-    } else {
-      AllToAll<VertexPartPair> legacy_sync(ranks);
-      pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
-        rank_ops[r] = 0;
-        rank_sync[r].clear();
-        alloc[r].SetSuperstepBudgets(budgets);
-        alloc[r].AllocateOneHop(requests_in[r], &assignment, &rank_sync[r],
-                                &allocated_per_part[r], &rank_ops[r]);
-      });
-      for (int r = 0; r < ranks; ++r) {
-        cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
-        phase_ops[r] += parallel_ops(rank_ops[r]);
-        for (const VertexPartPair& pair : rank_sync[r]) {
-          dist.ReplicaRanks(pair.v, &replica_ranks);
-          for (int to : replica_ranks) {
-            if (to != r) legacy_sync.Out(r, to).push_back(pair);
-          }
-        }
-      }
-      sync_in = legacy_sync.Deliver(&cluster);
-    }
-    close_phase(/*is_selection=*/false);
-    cluster.cost().EndSuperstep();
-    dne_stats_.host_phase_b_seconds += phase_timer.Seconds();
-
-    // ---- Phase C: sync apply, two-hop allocation, local D_rest ----------
-    phase_timer.Reset();
-    auto phase_c_rank = [&](std::size_t r) {
-      rank_ops[r] = 0;
-      rank_two_hop[r] = 0;
-      alloc[r].ApplySync(sync_in[r], &rank_ops[r]);
-      if (options_.enable_two_hop) {
-        alloc[r].AllocateTwoHop(&assignment, &allocated_per_part[r],
-                                &rank_two_hop[r], &rank_ops[r]);
-      }
-      rank_reports[r].clear();
-      alloc[r].DrainBoundaryReports(&rank_reports[r], &rank_ops[r]);
-    };
-    if (fast) {
-      pool.ParallelFor(static_cast<std::size_t>(ranks), [&](std::size_t r) {
-        phase_c_rank(r);
-        // Boundary reports route home to the owning expansion process;
-        // rank r owns outbox row Out(r, *).
-        for (const BoundaryReport& rep : rank_reports[r]) {
-          report_x.Out(static_cast<int>(r), static_cast<int>(rep.p))
-              .push_back(rep);
-        }
-      });
-      for (int r = 0; r < ranks; ++r) {
-        dne_stats_.two_hop_edges += rank_two_hop[r];
-        cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
-        phase_ops[r] += parallel_ops(rank_ops[r]);
-      }
-      report_x.DeliverInto(&cluster, &reports_in);
-    } else {
-      AllToAll<BoundaryReport> legacy_report(ranks);
-      pool.ParallelFor(static_cast<std::size_t>(ranks), phase_c_rank);
-      for (int r = 0; r < ranks; ++r) {
-        dne_stats_.two_hop_edges += rank_two_hop[r];
-        cluster.cost().AddWork(r, parallel_ops(rank_ops[r]));
-        phase_ops[r] += parallel_ops(rank_ops[r]);
-        for (const BoundaryReport& rep : rank_reports[r]) {
-          legacy_report.Out(r, static_cast<int>(rep.p)).push_back(rep);
-        }
-      }
-      reports_in = legacy_report.Deliver(&cluster);
-    }
-    close_phase(/*is_selection=*/false);
-    cluster.cost().EndSuperstep();
-    dne_stats_.host_phase_c_seconds += phase_timer.Seconds();
-
-    phase_timer.Reset();
-    // ---- Edge hand-off accounting: allocated edges are copied from their
-    // allocation rank to the owning expansion rank (Fig. 4's data flow).
-    std::uint64_t newly_allocated = 0;
-    for (int r = 0; r < ranks; ++r) {
-      for (PartitionId p = 0; p < num_partitions; ++p) {
-        const std::uint64_t cnt = allocated_per_part[r][p];
-        if (cnt == 0) continue;
-        newly_allocated += cnt;
-        expansion[p].AddAllocated(cnt);
-        if (static_cast<int>(p) != r) {
-          const std::uint64_t bytes = cnt * sizeof(Edge);
-          cluster.comm().AddMessage(bytes);
-          cluster.cost().AddBytes(r, bytes);
-        }
-        allocated_per_part[r][p] = 0;
-      }
-    }
-    total_allocated += newly_allocated;
-    dne_stats_.one_hop_edges =
-        total_allocated - dne_stats_.two_hop_edges;
-
-    // ---- Phase D: boundary updates + termination (Alg. 1 lines 10-15) ---
-    // Aggregation of the per-rank local D_rest scores into global scores
-    // plus the boundary-queue inserts; partition p owns its inbox and
-    // expansion[p], so the fast path fans the loop out and merges only the
-    // shared-counter accounting sequentially.
-    auto phase_d_partition = [&](std::size_t p) {
-      auto& inbox = reports_in[p];
-      std::sort(inbox.begin(), inbox.end(),
-                [](const BoundaryReport& a, const BoundaryReport& b) {
-                  return a.v < b.v;
-                });
-      // Linear aggregation over the reports, plus one queue insert per
-      // unique boundary vertex (O(1) bucket append on the fast path,
-      // log |B_p| heap insert on the legacy path).
-      std::uint64_t ops = inbox.size();
-      const std::uint64_t insert_cost = expansion[p].InsertCostOps();
-      std::size_t i = 0;
-      while (i < inbox.size()) {
-        std::size_t j = i;
-        std::uint64_t drest = 0;
-        while (j < inbox.size() && inbox[j].v == inbox[i].v) {
-          drest += inbox[j].local_drest;
-          ++j;
-        }
-        expansion[p].InsertBoundary(inbox[i].v, drest);
-        ops += insert_cost;
-        i = j;
-      }
-      staged_ops[p] = ops;
-      // Alg. 1 line 14/15: the termination test over the all-gathered
-      // |E_p| totals.
-      expansion[p].CheckTermination(total_allocated, total_edges);
-    };
-    if (fast) {
-      pool.ParallelFor(num_partitions, phase_d_partition);
-    } else {
-      for (PartitionId p = 0; p < num_partitions; ++p) phase_d_partition(p);
-    }
-    for (PartitionId p = 0; p < num_partitions; ++p) {
-      // Aggregation + queue inserts pipeline with message arrival on the
-      // expansion machine; charged as parallel background work. The serial
-      // bottleneck the paper measures (Sec. 7.4) is the selection step
-      // itself (phase A).
-      cluster.cost().AddWork(static_cast<int>(p),
-                             parallel_ops(staged_ops[p]));
-      phase_ops[p] += parallel_ops(staged_ops[p]);
-      // AllGather of |E_p| for the termination test (Alg. 1 line 14).
-      const std::uint64_t allgather_bytes =
-          (static_cast<std::uint64_t>(ranks) - 1) * sizeof(std::uint64_t);
-      cluster.cost().AddBytes(static_cast<int>(p), allgather_bytes);
-    }
-
-    close_phase(/*is_selection=*/false);
-    cluster.Barrier();
-    dne_stats_.host_phase_d_seconds += phase_timer.Seconds();
-    ++dne_stats_.iterations;
+  dne_stats_.iterations = result.iterations;
+  dne_stats_.host_phase_a_seconds = result.host_phase_seconds[0];
+  dne_stats_.host_phase_b_seconds = result.host_phase_seconds[1];
+  dne_stats_.host_phase_c_seconds = result.host_phase_seconds[2];
+  dne_stats_.host_phase_d_seconds = result.host_phase_seconds[3];
+  std::uint64_t max_b = 0, sum_b = 0;
+  for (const DneRankState& st : states) {
+    dne_stats_.two_hop_edges += st.two_hop_edges;
+    dne_stats_.random_restarts += st.random_restarts;
+    max_b = std::max<std::uint64_t>(max_b, st.expansion.peak_boundary_size());
+    sum_b += st.expansion.peak_boundary_size();
   }
-
-  // Final memory census: vertex allocation-id sets grown during the run plus
-  // the peak boundary queues.
-  for (int r = 0; r < ranks; ++r) {
-    cluster.mem().Allocate(r, alloc[r].DynamicMemoryBytes());
-    cluster.mem().Allocate(
-        r, expansion[r].peak_boundary_size() * (sizeof(std::uint64_t) * 2));
-  }
-
-  Status st = out->Validate(g);
-  if (!st.ok()) return st;
-
+  dne_stats_.one_hop_edges = result.total_allocated - dne_stats_.two_hop_edges;
+  dne_stats_.boundary_imbalance =
+      sum_b == 0 ? 1.0
+                 : static_cast<double>(max_b) * num_partitions /
+                       static_cast<double>(sum_b);
   dne_stats_.comm_bytes = cluster.comm().bytes;
   dne_stats_.comm_messages = cluster.comm().messages;
   dne_stats_.sim_seconds = cluster.cost().SimSeconds();
   dne_stats_.selection_work_fraction =
-      total_critical_ops == 0
+      ledger.total_critical_ops() == 0
           ? 0.0
-          : static_cast<double>(selection_critical_ops) /
-                static_cast<double>(total_critical_ops);
+          : static_cast<double>(ledger.selection_critical_ops()) /
+                static_cast<double>(ledger.total_critical_ops());
   dne_stats_.peak_memory_bytes = cluster.mem().peak_total();
+  dne_stats_.rank_peak_bytes = cluster.mem().rank_peaks();
   dne_stats_.edges_per_partition = out->PartitionSizes();
-  {
-    std::uint64_t max_b = 0, sum_b = 0;
-    for (const ExpansionProcess& ep : expansion) {
-      max_b = std::max<std::uint64_t>(max_b, ep.peak_boundary_size());
-      sum_b += ep.peak_boundary_size();
-    }
-    dne_stats_.boundary_imbalance =
-        sum_b == 0 ? 1.0
-                   : static_cast<double>(max_b) * num_partitions /
-                         static_cast<double>(sum_b);
-  }
 
   stats_.sim_seconds = dne_stats_.sim_seconds;
   stats_.comm_bytes = dne_stats_.comm_bytes;
@@ -535,7 +292,17 @@ OptionSchema DneSchema() {
                       "host threads for the simulated ranks' phases"),
       OptionSpec::Bool("legacy_hotpath", false,
                        "pre-overhaul sequential hot path (bench reference; "
-                       "bit-identical result)")};
+                       "bit-identical result)"),
+      OptionSpec::Enum("transport", {"inproc", "process"}, "inproc",
+                       "superstep transport: in-process modeled exchange or "
+                       "forked rank processes over socket frames "
+                       "(bit-identical partitions)"),
+      OptionSpec::Int("ranks", 0, 0, kMaxRankProcesses,
+                      "rank processes for transport=process; 0 = one per "
+                      "partition (capped), otherwise >= 2"),
+      OptionSpec::Int("fault_rank", -1, -1, kMaxRankProcesses,
+                      "test-only: crash this rank process at superstep 1 "
+                      "(transport=process)")};
 }
 }  // namespace
 
@@ -564,6 +331,11 @@ DNE_REGISTER_PARTITIONER(
           o.max_supersteps = s.UintOr(c, "max_supersteps");
           o.num_threads = static_cast<int>(s.IntOr(c, "threads"));
           o.legacy_hotpath = s.BoolOr(c, "legacy_hotpath");
+          o.transport = s.EnumOr(c, "transport") == "process"
+                            ? DneTransport::kProcess
+                            : DneTransport::kInProcess;
+          o.ranks = static_cast<int>(s.IntOr(c, "ranks"));
+          o.fault_rank = static_cast<int>(s.IntOr(c, "fault_rank"));
           return std::make_unique<DnePartitioner>(o);
         }})
 

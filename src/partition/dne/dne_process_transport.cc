@@ -1,0 +1,595 @@
+#include "partition/dne/dne_process_transport.h"
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/timer.h"
+#include "partition/dne/dne_rank_state.h"
+#include "partition/dne/two_d_distribution.h"
+#include "runtime/process_cluster.h"
+#include "runtime/wire.h"
+
+namespace dne {
+namespace {
+
+static_assert(std::is_trivially_copyable_v<DneOptions>,
+              "DneOptions is shipped to rank processes by memcpy");
+
+// Control-channel frame kinds (disjoint from DneMsgKind so a crossed wire
+// is caught as a protocol desync, not misparsed).
+enum CtrlKind : std::uint8_t {
+  kCtrlConfig = 32,
+  kCtrlEdges = 33,
+  kCtrlEdgesDone = 34,
+  kCtrlResult = 35,
+  kCtrlStats = 36,
+  kCtrlError = 37,
+};
+
+struct ConfigTail {
+  std::uint32_t num_partitions;
+  std::uint32_t nproc;
+  std::uint32_t proc_index;
+  std::uint32_t pad = 0;
+  std::uint64_t num_vertices;
+  std::uint64_t total_edges;
+  std::uint64_t seed;
+};
+
+struct EdgeRecord {
+  std::uint32_t rank;
+  std::uint32_t pad = 0;
+  std::uint64_t src;
+  std::uint64_t dst;
+};
+
+struct RankStatsRecord {
+  std::uint32_t rank;
+  std::uint32_t pad = 0;
+  std::uint64_t two_hop;
+  std::uint64_t restarts;
+  std::uint64_t mem_bytes;
+  std::uint64_t boundary_peak;
+};
+
+struct StatsHead {
+  std::uint64_t iterations;
+  std::uint64_t rss_bytes;
+  double phase_seconds[4];
+  double distribute_seconds;
+  std::uint32_t num_local;
+  std::uint32_t pad = 0;
+  std::uint64_t num_steps;
+};
+
+constexpr const char* kCoordinator = "coordinator";
+
+std::uint64_t SelfPeakRssBytes() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+}
+
+// ---- Child side -------------------------------------------------------------
+
+Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
+  // Config first: options + cluster geometry.
+  wire::FrameHeader header;
+  std::vector<unsigned char> payload;
+  DNE_RETURN_IF_ERROR(
+      wire::RecvFrame(control_fd, &header, &payload, kCoordinator));
+  if (header.kind != kCtrlConfig) {
+    return Status::Internal("rank process expected config frame");
+  }
+  DneOptions opt;
+  ConfigTail tail{};
+  {
+    wire::PayloadReader reader(payload.data(), payload.size());
+    if (!reader.Read(&opt) || !reader.Read(&tail)) {
+      return Status::Internal("malformed config frame");
+    }
+  }
+  const std::uint32_t num_partitions = tail.num_partitions;
+  const int ranks = static_cast<int>(num_partitions);
+  const bool fast = !opt.legacy_hotpath;
+
+  SocketCommunicator comm(ranks, static_cast<int>(tail.nproc), child,
+                          mesh_fds);
+  const std::vector<int>& local = comm.local_ranks();
+  const std::size_t num_local = local.size();
+
+  // Shard ingestion: the only bytes of the graph this process ever owns.
+  // Edges arrive in ascending global order per rank, so AddEdge order (and
+  // with it the frozen CSR) matches the in-process distribution exactly.
+  // Global edge ids stay with the coordinator; a rank addresses its edges
+  // by local index and ships back one partition id per local edge.
+  WallTimer distribute_timer;
+  std::vector<AllocationProcess> allocs;
+  allocs.reserve(num_local);
+  for (int r : local) {
+    allocs.emplace_back(r, num_partitions, opt.seed_strategy,
+                        /*legacy_scan=*/!fast);
+  }
+  std::vector<EdgeId> next_local_edge(num_local, 0);
+  for (;;) {
+    DNE_RETURN_IF_ERROR(
+        wire::RecvFrame(control_fd, &header, &payload, kCoordinator));
+    if (header.kind == kCtrlEdgesDone) break;
+    if (header.kind != kCtrlEdges) {
+      return Status::Internal("rank process expected an edge frame");
+    }
+    wire::PayloadReader reader(payload.data(), payload.size());
+    EdgeRecord rec{};
+    while (reader.remaining() > 0) {
+      if (!reader.Read(&rec) || rec.rank >= num_partitions ||
+          comm.rank_to_proc(static_cast<int>(rec.rank)) != child) {
+        return Status::Internal("misrouted edge record");
+      }
+      const std::size_t slot = comm.slot_of_rank(static_cast<int>(rec.rank));
+      allocs[slot].AddEdge(next_local_edge[slot]++, rec.src, rec.dst);
+    }
+  }
+  for (AllocationProcess& a : allocs) a.Finalize();
+
+  const std::uint64_t limit =
+      DneEdgeLimit(opt.alpha, tail.total_edges, num_partitions);
+  std::vector<DneRankState> states;
+  states.reserve(num_local);
+  for (std::size_t l = 0; l < num_local; ++l) {
+    states.emplace_back(local[l], std::move(allocs[l]),
+                        MakeDneExpansion(opt, local[l], tail.num_vertices,
+                                         limit, tail.seed),
+                        num_partitions);
+  }
+  allocs.clear();
+  const double distribute_seconds = distribute_timer.Seconds();
+
+  TapeLedger ledger(local);
+  comm.SetLedger(&ledger);
+  TwoDDistribution dist(num_partitions, tail.seed);
+
+  DneLoopEnv env;
+  env.options = &opt;
+  env.num_partitions = num_partitions;
+  env.total_edges = tail.total_edges;
+  env.edge_limit = limit;
+  env.max_supersteps = DneMaxSupersteps(opt, tail.num_vertices);
+  env.dist = &dist;
+  env.comm = &comm;
+  env.ledger = &ledger;
+  if (opt.fault_rank == child) {
+    env.superstep_hook = [child](std::uint64_t iter) -> Status {
+      if (iter == 1) {
+        // Injected crash: die without a goodbye so the failure path is the
+        // real one (peers see EOF, the coordinator sees the exit status).
+        ::_exit(3);
+      }
+      (void)child;
+      return Status::OK();
+    };
+  }
+
+  DneLoopResult result;
+  DNE_RETURN_IF_ERROR(RunDneSuperstepLoop(env, &states, &result));
+  // Terminal barrier: every rank's exchanges (and with them its accounting
+  // tape) are complete before anything is reported.
+  DNE_RETURN_IF_ERROR(comm.Barrier());
+
+  // Results: one frame per hosted rank with the shard's assignment.
+  std::vector<unsigned char> buf;
+  for (std::size_t l = 0; l < num_local; ++l) {
+    const std::vector<PartitionId>& parts =
+        states[l].alloc.local_assignment();
+    buf.clear();
+    wire::AppendPod(&buf, static_cast<std::uint32_t>(local[l]));
+    wire::AppendPod(&buf, std::uint32_t{0});
+    wire::AppendPod(&buf, static_cast<std::uint64_t>(parts.size()));
+    const auto* data = reinterpret_cast<const unsigned char*>(parts.data());
+    buf.insert(buf.end(), data, data + parts.size() * sizeof(PartitionId));
+    DNE_RETURN_IF_ERROR(wire::SendFrame(control_fd, kCtrlResult,
+                                        static_cast<std::uint32_t>(child),
+                                        buf.data(), buf.size(),
+                                        kCoordinator));
+  }
+
+  // Stats: per-rank counters + the accounting tape, gathered while the
+  // cluster stands at the terminal barrier.
+  buf.clear();
+  StatsHead head{};
+  head.iterations = result.iterations;
+  head.rss_bytes = SelfPeakRssBytes();
+  for (int i = 0; i < 4; ++i) head.phase_seconds[i] = result.host_phase_seconds[i];
+  head.distribute_seconds = distribute_seconds;
+  head.num_local = static_cast<std::uint32_t>(num_local);
+  head.num_steps = ledger.steps().size();
+  wire::AppendPod(&buf, head);
+  for (std::size_t l = 0; l < num_local; ++l) {
+    const DneRankState& st = states[l];
+    RankStatsRecord rec{};
+    rec.rank = static_cast<std::uint32_t>(local[l]);
+    rec.two_hop = st.two_hop_edges;
+    rec.restarts = st.random_restarts;
+    // The same census the in-process driver takes: frozen structures plus
+    // the grown allocation-id spill plus the peak boundary queue.
+    rec.mem_bytes =
+        st.alloc.StaticMemoryBytes() + st.alloc.DynamicMemoryBytes() +
+        st.expansion.peak_boundary_size() * (sizeof(std::uint64_t) * 2);
+    rec.boundary_peak = st.expansion.peak_boundary_size();
+    wire::AppendPod(&buf, rec);
+  }
+  for (const TapeLedger::Step& step : ledger.steps()) {
+    wire::AppendPod(&buf, static_cast<std::uint8_t>(step.selection));
+    wire::AppendPod(&buf, static_cast<std::uint8_t>(step.superstep_end));
+    wire::AppendPod(&buf, std::uint16_t{0});
+    wire::AppendPod(&buf, std::uint32_t{0});
+    for (const TapeLedger::StepRow& row : step.rows) {
+      wire::AppendPod(&buf, row.work);
+      wire::AppendPod(&buf, row.data_bytes);
+      wire::AppendPod(&buf, row.data_messages);
+      wire::AppendPod(&buf, row.control_bytes);
+      wire::AppendPod(&buf, row.wire_bytes);
+      wire::AppendPod(&buf, row.wire_frames);
+    }
+  }
+  return wire::SendFrame(control_fd, kCtrlStats,
+                         static_cast<std::uint32_t>(child), buf.data(),
+                         buf.size(), kCoordinator);
+}
+
+int DneChildMain(int child, const std::vector<int>& mesh_fds,
+                 int control_fd) {
+  const Status st = ChildRun(child, mesh_fds, control_fd);
+  if (st.ok()) return 0;
+  // Best-effort diagnostic to the coordinator before exiting non-zero.
+  const std::string msg = st.ToString();
+  (void)wire::SendFrame(
+      control_fd, kCtrlError, static_cast<std::uint32_t>(child),
+      reinterpret_cast<const unsigned char*>(msg.data()), msg.size(),
+      kCoordinator);
+  return 1;
+}
+
+// ---- Parent side ------------------------------------------------------------
+
+struct ChildReport {
+  bool stats_done = false;
+  StatsHead head{};
+  std::vector<RankStatsRecord> rank_stats;
+  std::vector<TapeLedger::Step> tape;
+  std::vector<std::vector<PartitionId>> rank_parts;  // by local slot
+  std::vector<int> local_ranks;
+};
+
+Status ParseStatsFrame(const std::vector<unsigned char>& payload,
+                       ChildReport* report) {
+  wire::PayloadReader reader(payload.data(), payload.size());
+  if (!reader.Read(&report->head)) {
+    return Status::Internal("malformed stats frame header");
+  }
+  // Size the frame arithmetic before any resize: a corrupted count must
+  // become a diagnostic, not an allocation of its face value.
+  const std::uint64_t per_step =
+      8 + static_cast<std::uint64_t>(report->head.num_local) *
+              (6 * sizeof(std::uint64_t));
+  if (report->head.num_local == 0 ||
+      report->head.num_local > (1u << 20) ||
+      report->head.num_steps > (1ull << 32) ||
+      reader.remaining() !=
+          report->head.num_local * sizeof(RankStatsRecord) +
+              report->head.num_steps * per_step) {
+    return Status::Internal("stats frame size mismatch (corrupted counts)");
+  }
+  report->rank_stats.resize(report->head.num_local);
+  for (RankStatsRecord& rec : report->rank_stats) {
+    if (!reader.Read(&rec)) return Status::Internal("malformed rank stats");
+  }
+  report->tape.resize(report->head.num_steps);
+  for (TapeLedger::Step& step : report->tape) {
+    std::uint8_t selection = 0, superstep_end = 0;
+    std::uint16_t pad16 = 0;
+    std::uint32_t pad32 = 0;
+    if (!reader.Read(&selection) || !reader.Read(&superstep_end) ||
+        !reader.Read(&pad16) || !reader.Read(&pad32)) {
+      return Status::Internal("malformed tape step");
+    }
+    step.selection = selection != 0;
+    step.superstep_end = superstep_end != 0;
+    step.rows.resize(report->head.num_local);
+    for (TapeLedger::StepRow& row : step.rows) {
+      if (!reader.Read(&row.work) || !reader.Read(&row.data_bytes) ||
+          !reader.Read(&row.data_messages) ||
+          !reader.Read(&row.control_bytes) || !reader.Read(&row.wire_bytes) ||
+          !reader.Read(&row.wire_frames)) {
+        return Status::Internal("malformed tape row");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
+                              const DneOptions& options, std::uint64_t seed,
+                              int nproc, const PartitionContext& ctx,
+                              EdgePartition* out, DneStats* stats) {
+  const std::uint64_t total_edges = g.NumEdges();
+  const int ranks = static_cast<int>(num_partitions);
+  TwoDDistribution dist(num_partitions, seed);
+
+  ProcessCluster cluster;
+  DNE_RETURN_IF_ERROR(cluster.Launch(nproc, DneChildMain));
+  auto fail = [&cluster](Status st) {
+    cluster.KillAll();
+    const std::string abnormal = cluster.ReapAll();
+    if (abnormal.empty()) return st;
+    return Status::Internal(st.message() + " [" + abnormal + "]");
+  };
+
+  WallTimer ship_timer;
+  // Config to every rank process.
+  {
+    std::vector<unsigned char> cfg;
+    for (int c = 0; c < nproc; ++c) {
+      cfg.clear();
+      wire::AppendPod(&cfg, options);
+      ConfigTail tail{};
+      tail.num_partitions = num_partitions;
+      tail.nproc = static_cast<std::uint32_t>(nproc);
+      tail.proc_index = static_cast<std::uint32_t>(c);
+      tail.num_vertices = g.NumVertices();
+      tail.total_edges = total_edges;
+      tail.seed = seed;
+      wire::AppendPod(&cfg, tail);
+      const Status st =
+          wire::SendFrame(cluster.control_fd(c), kCtrlConfig, 0, cfg.data(),
+                          cfg.size(), "rank process " + std::to_string(c));
+      if (!st.ok()) return fail(st);
+    }
+  }
+
+  // 2-D shard streaming in ascending global edge order; the coordinator
+  // keeps the local-index -> global-id mapping per rank so the children
+  // never need global ids.
+  std::vector<std::vector<EdgeId>> rank_gids(ranks);
+  {
+    std::vector<std::vector<unsigned char>> bufs(nproc);
+    constexpr std::size_t kFlushBytes = 1 << 20;
+    auto flush = [&](int c) -> Status {
+      if (bufs[c].empty()) return Status::OK();
+      Status st = wire::SendFrame(cluster.control_fd(c), kCtrlEdges, 0,
+                                  bufs[c].data(), bufs[c].size(),
+                                  "rank process " + std::to_string(c));
+      bufs[c].clear();
+      return st;
+    };
+    for (EdgeId e = 0; e < total_edges; ++e) {
+      const Edge& ed = g.edge(e);
+      const int r = dist.OwnerOf(ed.src, ed.dst);
+      rank_gids[r].push_back(e);
+      const int c = r % nproc;
+      EdgeRecord rec{};
+      rec.rank = static_cast<std::uint32_t>(r);
+      rec.src = ed.src;
+      rec.dst = ed.dst;
+      wire::AppendPod(&bufs[c], rec);
+      if (bufs[c].size() >= kFlushBytes) {
+        // Flush boundaries double as the cancellation/progress points of
+        // the distribution phase (the superstep loop has its own).
+        if (ctx.cancelled()) {
+          return fail(Status::Cancelled("partitioning cancelled"));
+        }
+        ctx.ReportProgress("distribute", e, total_edges);
+        const Status st = flush(c);
+        if (!st.ok()) return fail(st);
+      }
+    }
+    for (int c = 0; c < nproc; ++c) {
+      Status st = flush(c);
+      if (st.ok()) {
+        st = wire::SendFrame(cluster.control_fd(c), kCtrlEdgesDone, 0,
+                             nullptr, 0,
+                             "rank process " + std::to_string(c));
+      }
+      if (!st.ok()) return fail(st);
+    }
+  }
+  const double ship_seconds = ship_timer.Seconds();
+
+  // Monitor: collect result + stats frames; any child error, crash or
+  // cancellation tears the cluster down immediately.
+  std::vector<ChildReport> reports(nproc);
+  for (int c = 0; c < nproc; ++c) {
+    for (int r = c; r < ranks; r += nproc) reports[c].local_ranks.push_back(r);
+    reports[c].rank_parts.resize(reports[c].local_ranks.size());
+  }
+  int remaining = nproc;
+  while (remaining > 0) {
+    if (ctx.cancelled()) {
+      return fail(Status::Cancelled("partitioning cancelled"));
+    }
+    std::vector<pollfd> pfds;
+    std::vector<int> children;
+    for (int c = 0; c < nproc; ++c) {
+      if (reports[c].stats_done) continue;
+      pfds.push_back(pollfd{cluster.control_fd(c), POLLIN, 0});
+      children.push_back(c);
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), 200);
+    if (rc < 0 && errno != EINTR) {
+      return fail(Status::Internal(std::string("poll failed: ") +
+                                   std::strerror(errno)));
+    }
+    {
+      // Reap zombies as they appear. An exit is not yet a failure: a
+      // finished child's frames may still sit in the socket buffer — the
+      // buffer stays readable after the peer closes, so the drain below
+      // decides. A crash surfaces as EOF before the stats frame.
+      int exited = 0, status = 0;
+      while (cluster.PollExited(&exited, &status)) {
+      }
+    }
+    if (rc <= 0) continue;
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int c = children[k];
+      ChildReport& report = reports[c];
+      wire::FrameHeader header;
+      std::vector<unsigned char> payload;
+      Status st = wire::RecvFrame(cluster.control_fd(c), &header, &payload,
+                                  "rank process " + std::to_string(c));
+      if (!st.ok()) {
+        return fail(Status::Internal(
+            "rank process " + std::to_string(c) +
+            " died before reporting results: " + st.message()));
+      }
+      if (header.kind == kCtrlError) {
+        return fail(Status::Internal(
+            "rank process " + std::to_string(c) + " failed: " +
+            std::string(payload.begin(), payload.end())));
+      }
+      if (header.kind == kCtrlResult) {
+        wire::PayloadReader reader(payload.data(), payload.size());
+        std::uint32_t rank = 0, pad = 0;
+        std::uint64_t count = 0;
+        if (!reader.Read(&rank) || !reader.Read(&pad) ||
+            !reader.Read(&count) || rank >= num_partitions ||
+            static_cast<int>(rank % nproc) != c ||
+            count != rank_gids[rank].size() ||
+            reader.remaining() != count * sizeof(PartitionId)) {
+          return fail(Status::Internal("malformed result frame from rank " +
+                                       std::to_string(rank)));
+        }
+        std::vector<PartitionId> parts(count);
+        reader.ReadBytes(parts.data(), count * sizeof(PartitionId));
+        report.rank_parts[rank / nproc] = std::move(parts);
+        continue;
+      }
+      if (header.kind == kCtrlStats) {
+        st = ParseStatsFrame(payload, &report);
+        if (!st.ok()) return fail(st);
+        if (report.head.num_local != report.local_ranks.size()) {
+          return fail(Status::Internal("stats frame with wrong rank count"));
+        }
+        report.stats_done = true;
+        --remaining;
+        continue;
+      }
+      return fail(Status::Internal("unexpected control frame kind " +
+                                   std::to_string(header.kind)));
+    }
+  }
+  {
+    const std::string abnormal = cluster.ReapAll();
+    if (!abnormal.empty()) {
+      return Status::Internal("rank process exited abnormally: " + abnormal);
+    }
+  }
+
+  // ---- Assemble the partition ----------------------------------------------
+  *out = EdgePartition(num_partitions, total_edges);
+  std::vector<PartitionId>& assignment = out->mutable_assignment();
+  for (int r = 0; r < ranks; ++r) {
+    const ChildReport& report = reports[r % nproc];
+    const std::vector<PartitionId>& parts = report.rank_parts[r / nproc];
+    const std::vector<EdgeId>& gids = rank_gids[r];
+    for (std::size_t i = 0; i < gids.size(); ++i) {
+      assignment[gids[i]] = parts[i];
+    }
+  }
+
+  // ---- Replay the tapes into the shared stats machinery --------------------
+  // Every endpoint ran the same BSP schedule, so the tapes must agree on
+  // step count and superstep count; the replay recovers the cluster-wide
+  // critical path (max over ranks per step) from observed quantities.
+  const std::size_t num_steps = reports[0].tape.size();
+  for (int c = 1; c < nproc; ++c) {
+    if (reports[c].tape.size() != num_steps ||
+        reports[c].head.iterations != reports[0].head.iterations) {
+      return Status::Internal("rank processes disagree on the superstep "
+                              "schedule (transport bug)");
+    }
+  }
+  SimCluster sim(ranks, options.cost);
+  SimClusterLedger replay(&sim);
+  std::uint64_t wire_total = 0;
+  for (std::size_t s = 0; s < num_steps; ++s) {
+    for (int c = 0; c < nproc; ++c) {
+      const ChildReport& report = reports[c];
+      const TapeLedger::Step& step = report.tape[s];
+      for (std::size_t l = 0; l < report.local_ranks.size(); ++l) {
+        const int r = report.local_ranks[l];
+        const TapeLedger::StepRow& row = step.rows[l];
+        replay.AddWork(r, row.work);
+        replay.AddDataAggregate(r, row.data_bytes, row.data_messages);
+        replay.AddControlBytes(r, row.control_bytes);
+        replay.AddWireOverhead(r, row.wire_bytes, row.wire_frames);
+        wire_total += row.data_bytes + row.control_bytes + row.wire_bytes;
+      }
+    }
+    if (reports[0].tape[s].superstep_end) {
+      replay.EndSuperstep();
+    } else {
+      replay.EndPhase(reports[0].tape[s].selection);
+    }
+  }
+
+  *stats = DneStats{};
+  stats->iterations = reports[0].head.iterations;
+  stats->rank_peak_bytes.assign(ranks, 0);
+  std::uint64_t max_boundary = 0, sum_boundary = 0;
+  for (int c = 0; c < nproc; ++c) {
+    const ChildReport& report = reports[c];
+    for (const RankStatsRecord& rec : report.rank_stats) {
+      stats->two_hop_edges += rec.two_hop;
+      stats->random_restarts += rec.restarts;
+      sim.mem().Allocate(static_cast<int>(rec.rank), rec.mem_bytes);
+      max_boundary = std::max(max_boundary, rec.boundary_peak);
+      sum_boundary += rec.boundary_peak;
+    }
+    stats->process_rss_bytes.push_back(report.head.rss_bytes);
+    for (int i = 0; i < 4; ++i) {
+      double& phase = i == 0   ? stats->host_phase_a_seconds
+                      : i == 1 ? stats->host_phase_b_seconds
+                      : i == 2 ? stats->host_phase_c_seconds
+                               : stats->host_phase_d_seconds;
+      phase = std::max(phase, report.head.phase_seconds[i]);
+    }
+    stats->host_distribute_seconds = std::max(
+        stats->host_distribute_seconds, report.head.distribute_seconds);
+  }
+  // The children ingest concurrently with the coordinator's ship loop, so
+  // the phase's wall time is the slower of the two — not their sum.
+  stats->host_distribute_seconds =
+      std::max(stats->host_distribute_seconds, ship_seconds);
+  stats->one_hop_edges = total_edges - stats->two_hop_edges;
+  stats->comm_bytes = sim.comm().bytes;
+  stats->comm_messages = sim.comm().messages;
+  stats->sim_seconds = sim.cost().SimSeconds();
+  stats->selection_work_fraction =
+      replay.total_critical_ops() == 0
+          ? 0.0
+          : static_cast<double>(replay.selection_critical_ops()) /
+                static_cast<double>(replay.total_critical_ops());
+  stats->peak_memory_bytes = sim.mem().peak_total();
+  stats->rank_peak_bytes = sim.mem().rank_peaks();
+  stats->boundary_imbalance =
+      sum_boundary == 0 ? 1.0
+                        : static_cast<double>(max_boundary) * num_partitions /
+                              static_cast<double>(sum_boundary);
+  stats->wire_bytes = wire_total;
+  stats->wire_frames = replay.wire_frames();
+  stats->rank_processes = nproc;
+  stats->edges_per_partition = out->PartitionSizes();
+  return Status::OK();
+}
+
+}  // namespace dne

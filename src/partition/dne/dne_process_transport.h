@@ -1,0 +1,36 @@
+// The multi-process DNE transport: forks `nproc` rank processes, streams
+// each one its 2-D shard over the control channel, lets them run the
+// rank-local superstep loop against a SocketCommunicator mesh, then
+// collects results + accounting tapes and replays them into the same stats
+// machinery the in-process driver uses.
+//
+// Rank-local memory is real here: a child builds its allocation/expansion
+// state only from the streamed shard — the forked copy-on-write image of
+// the parent is never touched. The partition is bit-identical to the
+// in-process transport for any process count; what changes is the
+// accounting source (observed frames instead of modeled bytes).
+#ifndef DNE_PARTITION_DNE_DNE_PROCESS_TRANSPORT_H_
+#define DNE_PARTITION_DNE_DNE_PROCESS_TRANSPORT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/partition_context.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_options.h"
+#include "partition/edge_partition.h"
+
+namespace dne {
+
+/// Runs Distributed NE over `nproc` forked rank processes. `seed` is the
+/// already-resolved effective seed. Fills `*out` (validated by the caller)
+/// and the full `*stats` record. A crashed or wedged rank process surfaces
+/// as Status::Internal naming the process — never a hang.
+Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
+                              const DneOptions& options, std::uint64_t seed,
+                              int nproc, const PartitionContext& ctx,
+                              EdgePartition* out, DneStats* stats);
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_DNE_PROCESS_TRANSPORT_H_

@@ -1,0 +1,319 @@
+#include "partition/dne/dne_rank_state.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "runtime/thread_pool.h"
+
+namespace dne {
+
+std::uint64_t DneEdgeLimit(double alpha, std::uint64_t total_edges,
+                           std::uint32_t num_partitions) {
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(alpha * static_cast<double>(total_edges) /
+                       static_cast<double>(num_partitions))));
+}
+
+std::uint64_t DneMaxSupersteps(const DneOptions& options,
+                               VertexId num_vertices) {
+  return options.max_supersteps > 0 ? options.max_supersteps
+                                    : 10 * num_vertices + 1000;
+}
+
+ExpansionProcess MakeDneExpansion(const DneOptions& options, int rank,
+                                  VertexId num_vertices,
+                                  std::uint64_t edge_limit,
+                                  std::uint64_t seed) {
+  // The bucket queue keys on the clamped D_rest; under the random-selection
+  // ablation scores are 32-bit hashes that all clamp into the overflow
+  // bucket, so the heap is the right structure there even on the fast path.
+  const bool bucket_queue =
+      !options.legacy_hotpath && options.min_drest_selection;
+  return ExpansionProcess(
+      static_cast<PartitionId>(rank), num_vertices, edge_limit,
+      options.lambda, options.min_drest_selection,
+      seed + 0x9e37 * (static_cast<std::uint64_t>(rank) + 1), bucket_queue);
+}
+
+namespace {
+
+// Runs fn over every local slot — on the pool when this phase is parallel
+// (each slot touches only its own rank's state), sequentially otherwise.
+void ForEachSlot(ThreadPool* pool, bool parallel, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (parallel && pool != nullptr) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+Status RunDneSuperstepLoop(const DneLoopEnv& env,
+                           std::vector<DneRankState>* states,
+                           DneLoopResult* result) {
+  const DneOptions& opt = *env.options;
+  // The hot-path split of PR 3 survives inside the rank loop: the fast
+  // shape fans phases A/D out across the hosted ranks, the legacy shape
+  // replays them sequentially (B/C were parallel before the overhaul and
+  // stay so). Either way each slot only touches its own rank's state and
+  // all ledger charges are flushed sequentially in rank order, so any
+  // thread count — and any transport — produces bit-identical partitions.
+  const bool fast = !opt.legacy_hotpath;
+  const int ranks = env.comm->num_ranks();
+  const std::size_t num_local = states->size();
+  const std::uint32_t num_partitions = env.num_partitions;
+  CommLedger* ledger = env.ledger;
+
+  const std::uint64_t cores = static_cast<std::uint64_t>(
+      std::max(1, opt.cost.cores_per_machine));
+  auto parallel_ops = [cores](std::uint64_t ops) {
+    return (ops + cores - 1) / cores;
+  };
+  auto flush_work = [&](bool scaled) {
+    for (std::size_t l = 0; l < num_local; ++l) {
+      DneRankState& st = (*states)[l];
+      ledger->AddWork(st.rank, scaled ? parallel_ops(st.step_ops)
+                                      : st.step_ops);
+    }
+  };
+
+  // Persistent mailboxes: the exchanges run allocation-free in steady state
+  // (the inbox arenas and outbox capacity survive across supersteps).
+  RankMailboxes<SelectRequest> select_x;
+  RankMailboxes<VertexPartPair> sync_x;
+  RankMailboxes<BoundaryReport> report_x;
+  RankMailboxes<Edge> handoff_x;
+  RankMailboxes<VertexId> probe_req_x, probe_resp_x;
+  select_x.Init(num_local, ranks);
+  sync_x.Init(num_local, ranks);
+  report_x.Init(num_local, ranks);
+  handoff_x.Init(num_local, ranks);
+  probe_req_x.Init(num_local, ranks);
+  probe_resp_x.Init(num_local, ranks);
+
+  // Replicated cluster view, advanced identically on every endpoint by the
+  // per-superstep |E_p| all-gather: per-partition totals and their sum.
+  std::vector<std::uint64_t> allocated_vec(num_partitions, 0);
+  std::vector<std::uint64_t> budgets(num_partitions, 0);
+  std::vector<std::uint64_t> gather_local(num_local, 0);
+  std::vector<std::uint64_t> gather_all;
+
+  std::uint64_t total_allocated = 0;
+  std::uint64_t iterations = 0;
+  WallTimer phase_timer;
+
+  while (total_allocated < env.total_edges) {
+    if (env.superstep_hook) {
+      DNE_RETURN_IF_ERROR(env.superstep_hook(iterations));
+    }
+    if (env.ctx != nullptr) {
+      DNE_RETURN_IF_ERROR(env.ctx->CheckCancelled());
+      env.ctx->ReportProgress("superstep", iterations, 0);
+    }
+    if (iterations >= env.max_supersteps) {
+      return Status::Internal("Distributed NE exceeded the superstep guard");
+    }
+
+    // ---- Phase A: vertex selection (Alg. 4) + random restarts -----------
+    phase_timer.Reset();
+    ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
+      DneRankState& st = (*states)[l];
+      st.step_ops = 0;
+      st.expansion.SelectVertices(&st.staged_selected, &st.step_ops);
+      st.want_probe = false;
+      if (st.staged_selected.empty() && !st.expansion.terminated()) {
+        // Alg. 1 line 7: fresh vertex — the local allocation process first,
+        // other ranks only if necessary, via a probe round trip (the one
+        // cross-rank read of the old driver, now a message like the rest).
+        const VertexId v = st.alloc.PeekFreeVertex();
+        if (v != kNoVertex) {
+          st.staged_selected.push_back(v);
+          ++st.random_restarts;
+        } else if (ranks > 1) {
+          st.want_probe = true;
+          for (int off = 1; off < ranks; ++off) {
+            const int r = (st.rank + off) % ranks;
+            probe_req_x.out[l][r].push_back(
+                static_cast<VertexId>(st.rank));
+          }
+        }
+      }
+    });
+    DNE_RETURN_IF_ERROR(
+        env.comm->Exchange(DneMsgKind::kProbeRequest, &probe_req_x));
+    ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
+      DneRankState& st = (*states)[l];
+      if (probe_req_x.in[l].empty()) return;
+      // Non-consuming peek: every prober gets the same answer, exactly as
+      // when the old driver peeked this rank's state directly.
+      const VertexId v = st.alloc.PeekFreeVertex();
+      for (int from = 0; from < ranks; ++from) {
+        const std::size_t n = probe_req_x.InFrom(l, from).size();
+        for (std::size_t k = 0; k < n; ++k) {
+          probe_resp_x.out[l][from].push_back(v);
+        }
+      }
+    });
+    DNE_RETURN_IF_ERROR(
+        env.comm->Exchange(DneMsgKind::kProbeResponse, &probe_resp_x));
+    ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
+      DneRankState& st = (*states)[l];
+      if (st.want_probe) {
+        // First free vertex in the old sequential probe order
+        // ((rank + off) % ranks, ascending off).
+        for (int off = 1; off < ranks; ++off) {
+          const int r = (st.rank + off) % ranks;
+          const auto resp = probe_resp_x.InFrom(l, r);
+          if (!resp.empty() && resp[0] != kNoVertex) {
+            st.staged_selected.push_back(resp[0]);
+            ++st.random_restarts;
+            break;
+          }
+        }
+      }
+      st.step_ops += st.staged_selected.size();
+      for (VertexId v : st.staged_selected) {
+        env.dist->ReplicaRanks(v, &st.replica_scratch);
+        for (int r : st.replica_scratch) {
+          select_x.out[l][r].push_back(
+              SelectRequest{v, static_cast<PartitionId>(st.rank)});
+        }
+      }
+    });
+    flush_work(/*scaled=*/false);
+    DNE_RETURN_IF_ERROR(
+        env.comm->Exchange(DneMsgKind::kSelectRequest, &select_x));
+    ledger->EndPhase(/*selection=*/true);
+    result->host_phase_seconds[0] += phase_timer.Seconds();
+
+    // ---- Phase B: one-hop allocation (Alg. 3 lines 1-9) -----------------
+    phase_timer.Reset();
+    // Per-rank caps from the all-gathered |E_p| (Alg. 1 line 14): each
+    // partition's remaining budget is split across all ranks, so one
+    // superstep cannot blow through the limit by more than ~|P| stragglers.
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      const std::uint64_t allocated = allocated_vec[p];
+      const std::uint64_t remaining =
+          env.edge_limit > allocated ? env.edge_limit - allocated : 0;
+      budgets[p] = remaining == 0
+                       ? 0
+                       : std::max<std::uint64_t>(
+                             1, remaining / static_cast<std::uint64_t>(ranks));
+    }
+    ForEachSlot(env.pool, true, num_local, [&](std::size_t l) {
+      DneRankState& st = (*states)[l];
+      st.step_ops = 0;
+      st.sync_buf.clear();
+      std::fill(st.per_part_scratch.begin(), st.per_part_scratch.end(), 0);
+      st.alloc.SetSuperstepBudgets(budgets);
+      st.alloc.AllocateOneHop(select_x.in[l], &st.sync_buf,
+                              &st.per_part_scratch, &st.step_ops);
+      // Replica synchronisation (Alg. 2 line 3): fresh pairs go to every
+      // replica rank of the vertex except this one.
+      for (const VertexPartPair& pair : st.sync_buf) {
+        env.dist->ReplicaRanks(pair.v, &st.replica_scratch);
+        for (int to : st.replica_scratch) {
+          if (to != st.rank) sync_x.out[l][to].push_back(pair);
+        }
+      }
+    });
+    flush_work(/*scaled=*/true);
+    DNE_RETURN_IF_ERROR(env.comm->Exchange(DneMsgKind::kSyncPair, &sync_x));
+    ledger->EndPhase(/*selection=*/false);
+    result->host_phase_seconds[1] += phase_timer.Seconds();
+
+    // ---- Phase C: sync apply, two-hop allocation, local D_rest ----------
+    phase_timer.Reset();
+    ForEachSlot(env.pool, true, num_local, [&](std::size_t l) {
+      DneRankState& st = (*states)[l];
+      st.step_ops = 0;
+      st.alloc.ApplySync(sync_x.in[l], &st.step_ops);
+      if (opt.enable_two_hop) {
+        std::uint64_t two = 0;
+        st.alloc.AllocateTwoHop(&st.per_part_scratch, &two, &st.step_ops);
+        st.two_hop_edges += two;
+      }
+      st.report_buf.clear();
+      st.alloc.DrainBoundaryReports(&st.report_buf, &st.step_ops);
+      // Boundary reports route home to the owning expansion process.
+      for (const BoundaryReport& rep : st.report_buf) {
+        report_x.out[l][rep.p].push_back(rep);
+      }
+    });
+    flush_work(/*scaled=*/true);
+    DNE_RETURN_IF_ERROR(
+        env.comm->Exchange(DneMsgKind::kBoundaryReport, &report_x));
+    ledger->EndPhase(/*selection=*/false);
+    result->host_phase_seconds[2] += phase_timer.Seconds();
+
+    // ---- Edge hand-off + |E_p| all-gather + Phase D ---------------------
+    phase_timer.Reset();
+    // Allocated edges are copied from their allocation rank to the owning
+    // expansion rank (Fig. 4's data flow). The expansion side only needs
+    // the count for |E_p|; the payload still travels so observed wire
+    // bytes match what the deployment would move.
+    ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
+      DneRankState& st = (*states)[l];
+      for (const HandoffRecord& h : st.alloc.superstep_handoff()) {
+        handoff_x.out[l][h.p].push_back(h.edge);
+      }
+      st.alloc.ClearSuperstepHandoff();
+    });
+    DNE_RETURN_IF_ERROR(
+        env.comm->Exchange(DneMsgKind::kEdgeHandoff, &handoff_x));
+    for (std::size_t l = 0; l < num_local; ++l) {
+      gather_local[l] = handoff_x.in[l].size();
+      (*states)[l].expansion.AddAllocated(gather_local[l]);
+    }
+    // AllGather of |E_p| growth for the budgets and the termination test
+    // (Alg. 1 line 14) — every endpoint advances the same replicated view.
+    DNE_RETURN_IF_ERROR(env.comm->AllGatherU64(gather_local, &gather_all));
+    std::uint64_t newly_allocated = 0;
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      allocated_vec[p] += gather_all[p];
+      newly_allocated += gather_all[p];
+    }
+    total_allocated += newly_allocated;
+
+    // Phase D: aggregation of per-rank local D_rest into global scores,
+    // boundary-queue inserts, termination (Alg. 1 lines 10-15).
+    ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
+      DneRankState& st = (*states)[l];
+      std::vector<BoundaryReport>& inbox = report_x.in[l];
+      std::sort(inbox.begin(), inbox.end(),
+                [](const BoundaryReport& a, const BoundaryReport& b) {
+                  return a.v < b.v;
+                });
+      std::uint64_t ops = inbox.size();
+      const std::uint64_t insert_cost = st.expansion.InsertCostOps();
+      std::size_t i = 0;
+      while (i < inbox.size()) {
+        std::size_t j = i;
+        std::uint64_t drest = 0;
+        while (j < inbox.size() && inbox[j].v == inbox[i].v) {
+          drest += inbox[j].local_drest;
+          ++j;
+        }
+        st.expansion.InsertBoundary(inbox[i].v, drest);
+        ops += insert_cost;
+        i = j;
+      }
+      st.step_ops = ops;
+      st.expansion.CheckTermination(total_allocated, env.total_edges);
+    });
+    flush_work(/*scaled=*/true);
+    ledger->EndSuperstep();
+    result->host_phase_seconds[3] += phase_timer.Seconds();
+    ++iterations;
+  }
+
+  result->iterations = iterations;
+  result->total_allocated = total_allocated;
+  return Status::OK();
+}
+
+}  // namespace dne

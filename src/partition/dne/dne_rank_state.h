@@ -1,0 +1,130 @@
+// DneRankState + the rank-local superstep loop.
+//
+// One DneRankState per simulated rank: the rank's allocation process (its
+// unique 2-D edge shard, replica sets, live-arc windows), its expansion
+// process (boundary queue, |E_p| accounting), and the rank's scratch
+// buffers and counters. A state owns no other rank's memory — everything a
+// rank learns about the rest of the cluster arrives through Communicator
+// collectives, which is what lets the same loop run all ranks in one
+// address space (InProcessCommunicator) or one-rank-per-process over
+// sockets (SocketCommunicator).
+//
+// RunDneSuperstepLoop executes Algorithm 1 for the ranks hosted by the
+// endpoint. Per superstep:
+//   A: vertex selection (Alg. 4) + random-restart probe round trip
+//      (Alg. 1 line 7) + expansion-request fan-out          [3 exchanges]
+//   B: one-hop allocation (Alg. 3) + replica sync fan-out    [1 exchange]
+//   C: sync apply, two-hop allocation, boundary reports      [1 exchange]
+//   D: edge hand-off to the expansion ranks [1 exchange], |E_p| all-gather,
+//      boundary aggregation, termination test, barrier.
+// Every decision is a deterministic function of the exchanged data (inboxes
+// are ordered by sending rank), so any transport, process count or host
+// thread count produces bit-identical partitions.
+#ifndef DNE_PARTITION_DNE_DNE_RANK_STATE_H_
+#define DNE_PARTITION_DNE_DNE_RANK_STATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/partition_context.h"
+#include "partition/dne/allocation_process.h"
+#include "partition/dne/dne_options.h"
+#include "partition/dne/expansion_process.h"
+#include "partition/dne/two_d_distribution.h"
+#include "runtime/communicator.h"
+
+namespace dne {
+
+class ThreadPool;
+
+/// The complete per-rank state of Distributed NE (rank r drives both the
+/// allocation process of machine r and the expansion process of partition
+/// r, as in the paper's Fig. 4).
+struct DneRankState {
+  DneRankState(int rank_in, AllocationProcess&& alloc_in,
+               ExpansionProcess&& expansion_in, std::uint32_t num_partitions)
+      : rank(rank_in),
+        alloc(std::move(alloc_in)),
+        expansion(std::move(expansion_in)),
+        per_part_scratch(num_partitions, 0) {}
+
+  int rank;
+  AllocationProcess alloc;
+  ExpansionProcess expansion;
+
+  // Superstep scratch, reused every iteration (no steady-state allocation).
+  std::vector<VertexId> staged_selected;
+  std::vector<int> replica_scratch;
+  std::vector<VertexPartPair> sync_buf;
+  std::vector<BoundaryReport> report_buf;
+  std::vector<std::uint64_t> per_part_scratch;
+  std::uint64_t step_ops = 0;
+  bool want_probe = false;
+
+  // Whole-run counters this rank accumulates locally.
+  std::uint64_t two_hop_edges = 0;
+  std::uint64_t random_restarts = 0;
+};
+
+/// Everything the loop needs besides the states; all pointers are borrowed.
+struct DneLoopEnv {
+  const DneOptions* options = nullptr;
+  std::uint32_t num_partitions = 0;
+  std::uint64_t total_edges = 0;
+  std::uint64_t edge_limit = 0;
+  std::uint64_t max_supersteps = 0;
+  const TwoDDistribution* dist = nullptr;
+  Communicator* comm = nullptr;
+  CommLedger* ledger = nullptr;
+  /// Host threads for the per-rank phases; null = sequential (rank
+  /// processes host one rank each and need none).
+  ThreadPool* pool = nullptr;
+  /// Cancellation/progress; null inside rank processes (the coordinator
+  /// owns cancellation there).
+  const PartitionContext* ctx = nullptr;
+  /// Invoked at the top of every superstep with the iteration index —
+  /// fault injection and transport-side guards hook in here.
+  std::function<Status(std::uint64_t)> superstep_hook;
+};
+
+/// Whole-run outputs every endpoint derives identically from the exchanged
+/// data (plus this endpoint's host-side phase timings).
+struct DneLoopResult {
+  std::uint64_t iterations = 0;
+  std::uint64_t total_allocated = 0;
+  double host_phase_seconds[4] = {0.0, 0.0, 0.0, 0.0};  // A, B, C, D
+};
+
+/// The edge cap per partition: ceil(alpha |E| / |P|), so |P| * limit >= |E|
+/// and the caps can never strand edges with every partition full.
+std::uint64_t DneEdgeLimit(double alpha, std::uint64_t total_edges,
+                           std::uint32_t num_partitions);
+
+/// The superstep guard: the configured value, or the automatic
+/// 10 |V| + 1000 when unset.
+std::uint64_t DneMaxSupersteps(const DneOptions& options,
+                               VertexId num_vertices);
+
+/// Builds partition `rank`'s expansion process. Every transport constructs
+/// rank state through this one recipe — the per-partition seed mixing, the
+/// bucket-queue choice and the limit wiring are exactly what the
+/// cross-transport bit-identity guarantee rests on, so they live in one
+/// place.
+ExpansionProcess MakeDneExpansion(const DneOptions& options, int rank,
+                                  VertexId num_vertices,
+                                  std::uint64_t edge_limit,
+                                  std::uint64_t seed);
+
+/// Runs the superstep loop for the ranks in `*states` (which must be the
+/// ranks of env.comm->local_ranks(), in order) until every edge is
+/// allocated cluster-wide. On success, each state's allocation process
+/// holds its shard's final assignment.
+Status RunDneSuperstepLoop(const DneLoopEnv& env,
+                           std::vector<DneRankState>* states,
+                           DneLoopResult* result);
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_DNE_RANK_STATE_H_

@@ -1,0 +1,264 @@
+// Communicator: the pluggable transport under the DNE superstep loop.
+//
+// The loop is written against this interface only — every byte that crosses
+// a simulated rank boundary (expansion requests, replica synchronisation,
+// boundary reports, edge hand-off, the random-restart probes and the |E_p|
+// all-gather) flows through a Communicator collective. Two backends exist:
+//
+//   * InProcessCommunicator — all ranks hosted in one address space; the
+//     exchange is a deterministic in-memory concatenation (the persistent
+//     AllToAll/inbox-arena machinery of the hot-path overhaul) and the
+//     communication volume is *modeled*: sizeof(T) per cross-rank message,
+//     charged to the CommLedger exactly like the pre-refactor driver.
+//   * SocketCommunicator (runtime/process_cluster.h) — each endpoint lives
+//     in a forked rank process; exchanges are length-prefixed, checksummed
+//     frames over Unix-domain socket pairs and the charged volume is
+//     *observed* (payload actually sent plus framing overhead).
+//
+// Ranks vs processes: the algorithm always runs |P| simulated ranks (one
+// expansion + one allocation process per partition, as in the paper's
+// Fig. 4). A Communicator endpoint hosts a subset of them (`local_ranks`);
+// the in-process backend hosts all |P|, a rank process hosts the ranks
+// mapped to it (rank % nproc). Traffic between co-hosted ranks never leaves
+// the endpoint; the in-process backend still *charges* it when the ranks
+// differ, because it models the fully distributed deployment.
+#ifndef DNE_RUNTIME_COMMUNICATOR_H_
+#define DNE_RUNTIME_COMMUNICATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "partition/dne/dne_messages.h"
+#include "runtime/sim_cluster.h"
+
+namespace dne {
+
+/// Message kinds on the wire. The data-plane kinds carry algorithm state and
+/// are counted in CommStats (messages + payload bytes); the control kinds
+/// (all-gather, barrier) are charged to the cost model only, mirroring how
+/// the pre-refactor driver charged the |E_p| all-gather.
+enum class DneMsgKind : std::uint8_t {
+  kSelectRequest = 0,  ///< expansion request fan-out (Alg. 1 line 8)
+  kSyncPair = 1,       ///< replica synchronisation (Alg. 2 line 3)
+  kBoundaryReport = 2, ///< local D_rest reports (Alg. 2 lines 5-6)
+  kEdgeHandoff = 3,    ///< allocated edges copied to their partition's rank
+  kProbeRequest = 4,   ///< random-restart free-vertex probe (Alg. 1 line 7)
+  kProbeResponse = 5,  ///< probe answer: a free vertex or kNoVertex
+  kAllGather = 6,      ///< control: per-rank u64 all-gather
+  kBarrier = 7,        ///< control: empty synchronisation round
+};
+
+/// Accounting sink for everything the loop and the transport observe:
+/// compute ops, message payloads, control traffic and wire overhead, plus
+/// the BSP step boundaries. The in-process driver plugs a SimCluster-backed
+/// ledger in (modeled charging, identical to the pre-refactor driver); a
+/// rank process plugs in a tape that is shipped to the parent and replayed.
+class CommLedger {
+ public:
+  virtual ~CommLedger() = default;
+
+  /// Local work units executed by `rank` in the current step.
+  virtual void AddWork(int rank, std::uint64_t ops) = 0;
+
+  /// One data-plane message sent by `from_rank` (payload bytes, excluding
+  /// any framing). Counted in CommStats and the cost model.
+  virtual void AddDataMessage(int from_rank, std::uint64_t payload_bytes) = 0;
+
+  /// Control-plane traffic sent by `from_rank` (all-gather payloads).
+  /// Charged to the cost model only.
+  virtual void AddControlBytes(int from_rank, std::uint64_t bytes) = 0;
+
+  /// Physical framing overhead observed by the real transport (frame
+  /// headers + sub-block headers). Zero under modeled transports.
+  virtual void AddWireOverhead(int from_rank, std::uint64_t bytes,
+                               std::uint64_t frames) = 0;
+
+  /// Ends a BSP phase (superstep-internal barrier; phases A/B/C).
+  /// `selection` marks the vertex-selection phase for the critical-path
+  /// split the paper reports in Sec. 7.4.
+  virtual void EndPhase(bool selection) = 0;
+
+  /// Ends the superstep (phase D + cluster barrier).
+  virtual void EndSuperstep() = 0;
+};
+
+/// Typed mailboxes for one exchange: `out[l][to]` is what local rank slot
+/// `l` (position in Communicator::local_ranks()) sends to rank `to`;
+/// after the exchange `in[l]` holds everything addressed to that rank,
+/// concatenated in ascending sender order (deterministic), with
+/// `in_begin[l][from] .. in_begin[l][from+1]` delimiting each sender's
+/// slice. All buffers retain capacity across exchanges — a persistent
+/// RankMailboxes makes the four exchanges per superstep allocation-free in
+/// steady state, like the AllToAll arenas it replaces.
+template <typename T>
+struct RankMailboxes {
+  std::vector<std::vector<std::vector<T>>> out;
+  std::vector<std::vector<T>> in;
+  std::vector<std::vector<std::uint64_t>> in_begin;
+
+  void Init(std::size_t num_local, int num_ranks) {
+    out.resize(num_local);
+    for (auto& boxes : out) boxes.resize(static_cast<std::size_t>(num_ranks));
+    in.resize(num_local);
+    in_begin.resize(num_local);
+    for (auto& b : in_begin) {
+      b.assign(static_cast<std::size_t>(num_ranks) + 1, 0);
+    }
+  }
+
+  std::span<const T> InFrom(std::size_t l, int from) const {
+    const std::uint64_t b = in_begin[l][from];
+    const std::uint64_t e = in_begin[l][from + 1];
+    return std::span<const T>(in[l].data() + b, e - b);
+  }
+};
+
+/// The transport interface. One virtual Exchange per POD message type (the
+/// kinds are a closed set); every call is a collective — all ranks reach it
+/// in the same order, the BSP structure of the loop guarantees that.
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int num_ranks() const = 0;
+  /// Simulated ranks hosted by this endpoint, ascending.
+  virtual const std::vector<int>& local_ranks() const = 0;
+  /// Installs the accounting sink (owned by the caller, may be null).
+  virtual void SetLedger(CommLedger* ledger) = 0;
+
+  virtual Status Exchange(DneMsgKind kind, RankMailboxes<SelectRequest>* m) = 0;
+  virtual Status Exchange(DneMsgKind kind, RankMailboxes<VertexPartPair>* m) = 0;
+  virtual Status Exchange(DneMsgKind kind, RankMailboxes<BoundaryReport>* m) = 0;
+  virtual Status Exchange(DneMsgKind kind, RankMailboxes<Edge>* m) = 0;
+  virtual Status Exchange(DneMsgKind kind, RankMailboxes<VertexId>* m) = 0;
+
+  /// All-gather of one u64 per rank: `local_vals[l]` is the contribution of
+  /// local rank slot `l`; on return `*all` (size num_ranks, identical on
+  /// every endpoint) holds every rank's value. Charged as control traffic —
+  /// 8 bytes to each other rank under the modeled transport, the observed
+  /// frames under the real one.
+  virtual Status AllGatherU64(const std::vector<std::uint64_t>& local_vals,
+                              std::vector<std::uint64_t>* all) = 0;
+
+  /// Full synchronisation barrier (no payload). The exchanges are already
+  /// synchronising; the loop uses this once, after termination, so every
+  /// rank's final accounting is complete before results are collected.
+  virtual Status Barrier() = 0;
+};
+
+/// All ranks in one address space; deterministic in-memory routing with
+/// modeled charging (sizeof(T) per cross-rank message, self-traffic free).
+class InProcessCommunicator final : public Communicator {
+ public:
+  explicit InProcessCommunicator(int num_ranks);
+
+  int num_ranks() const override { return num_ranks_; }
+  const std::vector<int>& local_ranks() const override { return local_; }
+  void SetLedger(CommLedger* ledger) override { ledger_ = ledger; }
+
+  Status Exchange(DneMsgKind k, RankMailboxes<SelectRequest>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<VertexPartPair>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<BoundaryReport>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<Edge>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<VertexId>* m) override;
+  Status AllGatherU64(const std::vector<std::uint64_t>& local_vals,
+                      std::vector<std::uint64_t>* all) override;
+  Status Barrier() override { return Status::OK(); }
+
+ private:
+  template <typename T>
+  Status ExchangeImpl(RankMailboxes<T>* m);
+
+  int num_ranks_;
+  std::vector<int> local_;
+  CommLedger* ledger_ = nullptr;
+};
+
+/// SimCluster-backed ledger: reproduces the pre-refactor driver's charging
+/// bit for bit (CommStats message/byte counters, CostModel work/bytes and
+/// superstep boundaries) and tracks the per-phase critical path that feeds
+/// DneStats::selection_work_fraction.
+class SimClusterLedger final : public CommLedger {
+ public:
+  explicit SimClusterLedger(SimCluster* cluster);
+
+  void AddWork(int rank, std::uint64_t ops) override;
+  void AddDataMessage(int from_rank, std::uint64_t payload_bytes) override;
+  void AddControlBytes(int from_rank, std::uint64_t bytes) override;
+  void AddWireOverhead(int from_rank, std::uint64_t bytes,
+                       std::uint64_t frames) override;
+  void EndPhase(bool selection) override;
+  void EndSuperstep() override;
+
+  /// Aggregated replay entry points for the process transport: the parent
+  /// feeds each rank's tape row through these so the derived stats come out
+  /// of the same machinery.
+  void AddDataAggregate(int from_rank, std::uint64_t bytes,
+                        std::uint64_t messages);
+
+  std::uint64_t selection_critical_ops() const {
+    return selection_critical_ops_;
+  }
+  std::uint64_t total_critical_ops() const { return total_critical_ops_; }
+  std::uint64_t wire_bytes() const { return wire_bytes_; }
+  std::uint64_t wire_frames() const { return wire_frames_; }
+
+ private:
+  void ClosePhase(bool selection);
+
+  SimCluster* cluster_;
+  std::vector<std::uint64_t> phase_ops_;
+  std::uint64_t selection_critical_ops_ = 0;
+  std::uint64_t total_critical_ops_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+  std::uint64_t wire_frames_ = 0;
+};
+
+/// Tape ledger for a rank process: accumulates one row per (BSP step, local
+/// rank) — work, data payload bytes/messages, control bytes, wire overhead —
+/// for replay on the parent after the run.
+class TapeLedger final : public CommLedger {
+ public:
+  struct StepRow {
+    std::uint64_t work = 0;
+    std::uint64_t data_bytes = 0;
+    std::uint64_t data_messages = 0;
+    std::uint64_t control_bytes = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t wire_frames = 0;
+  };
+  /// One step: `selection` + one row per local rank (local_ranks order).
+  struct Step {
+    bool selection = false;
+    bool superstep_end = false;
+    std::vector<StepRow> rows;
+  };
+
+  explicit TapeLedger(std::vector<int> local_ranks);
+
+  void AddWork(int rank, std::uint64_t ops) override;
+  void AddDataMessage(int from_rank, std::uint64_t payload_bytes) override;
+  void AddControlBytes(int from_rank, std::uint64_t bytes) override;
+  void AddWireOverhead(int from_rank, std::uint64_t bytes,
+                       std::uint64_t frames) override;
+  void EndPhase(bool selection) override;
+  void EndSuperstep() override;
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  StepRow& Row(int rank);
+  void CloseStep(bool selection, bool superstep_end);
+
+  std::vector<int> local_ranks_;
+  std::vector<StepRow> current_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_COMMUNICATOR_H_

@@ -16,10 +16,12 @@ namespace dne {
 class MemTracker {
  public:
   MemTracker() : MemTracker(1) {}
-  explicit MemTracker(int num_ranks) : current_(num_ranks, 0) {}
+  explicit MemTracker(int num_ranks)
+      : current_(num_ranks, 0), rank_peak_(num_ranks, 0) {}
 
   void Allocate(int rank, std::size_t bytes) {
     current_[rank] += bytes;
+    if (current_[rank] > rank_peak_[rank]) rank_peak_[rank] = current_[rank];
     total_ += bytes;
     if (total_ > peak_total_) peak_total_ = total_;
   }
@@ -32,6 +34,14 @@ class MemTracker {
   std::uint64_t current_total() const { return total_; }
   std::uint64_t peak_total() const { return peak_total_; }
 
+  /// Per-rank high-water marks. Under the in-process transport these come
+  /// from the driver's charges; under the process transport each rank
+  /// process reports its own peaks, which the coordinator replays here at
+  /// the terminal barrier — so "peak per rank" is the rank's, not a share
+  /// of a single global number.
+  std::uint64_t rank_peak(int rank) const { return rank_peak_[rank]; }
+  const std::vector<std::uint64_t>& rank_peaks() const { return rank_peak_; }
+
   /// Mem score = peak cluster-wide bytes / edge count.
   double MemScore(std::uint64_t num_edges) const {
     return num_edges == 0
@@ -42,6 +52,7 @@ class MemTracker {
 
  private:
   std::vector<std::uint64_t> current_;
+  std::vector<std::uint64_t> rank_peak_;
   std::uint64_t total_ = 0;
   std::uint64_t peak_total_ = 0;
 };

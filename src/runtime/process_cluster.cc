@@ -1,0 +1,557 @@
+#include "runtime/process_cluster.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/wire.h"
+
+namespace dne {
+
+namespace {
+
+/// Mesh rounds give a wedged peer this long before the endpoint gives up
+/// with a diagnostic instead of hanging forever (a *crashed* peer is
+/// detected immediately via EOF/HUP; this guards live-but-stuck ones).
+constexpr int kMeshTimeoutSeconds = 600;
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string PeerName(int q) { return "rank process " + std::to_string(q); }
+
+}  // namespace
+
+// ---- ProcessCluster ---------------------------------------------------------
+
+ProcessCluster::~ProcessCluster() {
+  KillAll();
+  ReapAll();
+}
+
+Status ProcessCluster::Launch(int nproc, const ChildMain& child_main) {
+  // Mesh: one socketpair per unordered process pair; fds[i][j] is i's end
+  // of the {i, j} link (row-major convenience matrix, -1 on the diagonal).
+  std::vector<std::vector<int>> mesh(nproc, std::vector<int>(nproc, -1));
+  auto cleanup_fds = [&]() {
+    for (auto& row : mesh) {
+      for (int fd : row) {
+        if (fd >= 0) ::close(fd);
+      }
+    }
+    for (int fd : control_fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+    control_fds_.clear();
+  };
+  std::vector<int> child_control(nproc, -1);
+  for (int i = 0; i < nproc; ++i) {
+    for (int j = i + 1; j < nproc; ++j) {
+      int sp[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) != 0) {
+        cleanup_fds();
+        return Status::Internal(std::string("socketpair failed: ") +
+                                std::strerror(errno));
+      }
+      mesh[i][j] = sp[0];
+      mesh[j][i] = sp[1];
+    }
+  }
+  control_fds_.assign(nproc, -1);
+  for (int i = 0; i < nproc; ++i) {
+    int sp[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) != 0) {
+      for (int fd : child_control) {
+        if (fd >= 0) ::close(fd);
+      }
+      cleanup_fds();
+      return Status::Internal(std::string("socketpair failed: ") +
+                              std::strerror(errno));
+    }
+    control_fds_[i] = sp[0];
+    child_control[i] = sp[1];
+  }
+
+  // Buffered stdio must be flushed before fork or the children replay it.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  pids_.assign(nproc, -1);
+  reaped_.assign(nproc, false);
+  wait_status_.assign(nproc, 0);
+  for (int i = 0; i < nproc; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const Status st = Status::Internal(std::string("fork failed: ") +
+                                         std::strerror(errno));
+      pids_.resize(i);
+      reaped_.resize(i);
+      wait_status_.resize(i);
+      KillAll();
+      ReapAll();
+      for (int fd : child_control) {
+        if (fd >= 0) ::close(fd);
+      }
+      cleanup_fds();
+      return st;
+    }
+    if (pid == 0) {
+      // Child i: keep row i of the mesh and its own control end, close
+      // everything else inherited from the parent.
+      for (int a = 0; a < nproc; ++a) {
+        for (int b = 0; b < nproc; ++b) {
+          if (a != i && mesh[a][b] >= 0) ::close(mesh[a][b]);
+        }
+      }
+      for (int c = 0; c < nproc; ++c) {
+        if (control_fds_[c] >= 0) ::close(control_fds_[c]);
+        if (c != i && child_control[c] >= 0) ::close(child_control[c]);
+      }
+      int code = 9;
+      try {
+        code = child_main(i, mesh[i], child_control[i]);
+      } catch (...) {
+        code = 9;
+      }
+      // _exit, not exit: the child must not run the parent's atexit
+      // handlers or flush inherited stdio state.
+      ::_exit(code);
+    }
+    pids_[i] = pid;
+  }
+  // Parent: the mesh and the children's control ends belong to the
+  // children alone.
+  for (auto& row : mesh) {
+    for (int& fd : row) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  }
+  for (int fd : child_control) {
+    if (fd >= 0) ::close(fd);
+  }
+  return Status::OK();
+}
+
+void ProcessCluster::MarkReaped(int child, int wait_status) {
+  reaped_[child] = true;
+  wait_status_[child] = wait_status;
+}
+
+bool ProcessCluster::PollExited(int* child, int* wait_status) {
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (reaped_[i]) continue;
+    int status = 0;
+    const pid_t r = ::waitpid(pids_[i], &status, WNOHANG);
+    if (r == pids_[i]) {
+      MarkReaped(static_cast<int>(i), status);
+      *child = static_cast<int>(i);
+      *wait_status = status;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ProcessCluster::KillAll() {
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (!reaped_[i] && pids_[i] > 0) ::kill(pids_[i], SIGKILL);
+  }
+}
+
+std::string ProcessCluster::ReapAll() {
+  std::string abnormal;
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (!reaped_[i] && pids_[i] > 0) {
+      int status = 0;
+      if (::waitpid(pids_[i], &status, 0) == pids_[i]) {
+        MarkReaped(static_cast<int>(i), status);
+      } else {
+        continue;
+      }
+    }
+    const int status = wait_status_[i];
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+    if (!abnormal.empty()) abnormal += "; ";
+    abnormal += PeerName(static_cast<int>(i)) + " (pid " +
+                std::to_string(pids_[i]) + ") ";
+    if (WIFSIGNALED(status)) {
+      abnormal += "killed by signal " + std::to_string(WTERMSIG(status));
+    } else {
+      abnormal += "exited with status " + std::to_string(WEXITSTATUS(status));
+    }
+  }
+  for (int& fd : control_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  return abnormal;
+}
+
+// ---- SocketCommunicator -----------------------------------------------------
+
+SocketCommunicator::SocketCommunicator(int num_ranks, int nproc,
+                                       int proc_index,
+                                       std::vector<int> mesh_fds)
+    : num_ranks_(num_ranks),
+      nproc_(nproc),
+      proc_index_(proc_index),
+      mesh_fds_(std::move(mesh_fds)),
+      send_frames_(nproc),
+      recv_payloads_(nproc) {
+  for (int r = proc_index_; r < num_ranks_; r += nproc_) local_.push_back(r);
+  stage_.resize(local_.size());
+  for (auto& per_from : stage_) {
+    per_from.resize(static_cast<std::size_t>(num_ranks_));
+  }
+  for (int q = 0; q < nproc_; ++q) {
+    if (q != proc_index_ && mesh_fds_[q] >= 0) SetNonBlocking(mesh_fds_[q]);
+  }
+}
+
+SocketCommunicator::~SocketCommunicator() {
+  for (int fd : mesh_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+Status SocketCommunicator::RunMeshRound(std::uint8_t kind) {
+  struct PeerIo {
+    std::size_t sent = 0;
+    unsigned char hdr[wire::kFrameHeaderBytes];
+    std::size_t hdr_got = 0;
+    wire::FrameHeader header;
+    bool header_done = false;
+    std::size_t payload_got = 0;
+    bool recv_done = false;
+  };
+  std::vector<PeerIo> io(nproc_);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(kMeshTimeoutSeconds);
+  for (;;) {
+    bool pending = false;
+    std::vector<pollfd> pfds;
+    std::vector<int> peers;
+    for (int q = 0; q < nproc_; ++q) {
+      if (q == proc_index_) continue;
+      short events = 0;
+      if (io[q].sent < send_frames_[q].size()) events |= POLLOUT;
+      if (!io[q].recv_done) events |= POLLIN;
+      if (events == 0) continue;
+      pending = true;
+      pfds.push_back(pollfd{mesh_fds_[q], events, 0});
+      peers.push_back(q);
+    }
+    if (!pending) break;
+    const int rc = ::poll(pfds.data(), pfds.size(), 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("poll failed: ") +
+                              std::strerror(errno));
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return Status::Internal(
+          "transport timeout: a rank process stopped making progress");
+    }
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      const int q = peers[k];
+      PeerIo& p = io[q];
+      const int fd = mesh_fds_[q];
+      if ((pfds[k].revents & POLLOUT) != 0 &&
+          p.sent < send_frames_[q].size()) {
+        const ssize_t n =
+            ::send(fd, send_frames_[q].data() + p.sent,
+                   send_frames_[q].size() - p.sent, MSG_NOSIGNAL);
+        if (n > 0) {
+          p.sent += static_cast<std::size_t>(n);
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          return Status::Internal(PeerName(q) + " unreachable: " +
+                                  std::strerror(errno));
+        }
+      }
+      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          !p.recv_done) {
+        for (;;) {
+          ssize_t n;
+          if (!p.header_done) {
+            n = ::recv(fd, p.hdr + p.hdr_got,
+                       wire::kFrameHeaderBytes - p.hdr_got, 0);
+          } else {
+            n = ::recv(fd, recv_payloads_[q].data() + p.payload_got,
+                       p.header.payload_len - p.payload_got, 0);
+          }
+          if (n > 0) {
+            if (!p.header_done) {
+              p.hdr_got += static_cast<std::size_t>(n);
+              if (p.hdr_got == wire::kFrameHeaderBytes) {
+                DNE_RETURN_IF_ERROR(wire::DecodeHeader(p.hdr, &p.header));
+                if (p.header.kind != kind) {
+                  return Status::Internal(
+                      "protocol desync with " + PeerName(q) + ": expected "
+                      "frame kind " + std::to_string(kind) + ", got " +
+                      std::to_string(p.header.kind));
+                }
+                recv_payloads_[q].resize(p.header.payload_len);
+                p.header_done = true;
+                if (p.header.payload_len == 0) {
+                  p.recv_done = true;
+                  break;
+                }
+              }
+            } else {
+              p.payload_got += static_cast<std::size_t>(n);
+              if (p.payload_got == p.header.payload_len) {
+                p.recv_done = true;
+                break;
+              }
+            }
+          } else if (n == 0) {
+            return Status::Internal(PeerName(q) +
+                                    " disconnected mid-superstep (crash?)");
+          } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            break;
+          } else if (errno != EINTR) {
+            return Status::Internal("recv from " + PeerName(q) +
+                                    " failed: " + std::strerror(errno));
+          }
+        }
+      }
+    }
+  }
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    if (wire::Fnv1a64(recv_payloads_[q].data(), recv_payloads_[q].size()) !=
+        io[q].header.checksum) {
+      return Status::Internal("frame checksum mismatch from " + PeerName(q));
+    }
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status SocketCommunicator::ExchangeImpl(DneMsgKind kind,
+                                        RankMailboxes<T>* m) {
+  const std::size_t num_local = local_.size();
+  // Serialise one frame per peer: all (from -> to) sub-messages between the
+  // two processes, each prefixed with {from, to, byte length}. Empty boxes
+  // send nothing; empty frames still flow as the synchronisation point.
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    std::vector<unsigned char>& frame = send_frames_[q];
+    frame.clear();
+    frame.resize(wire::kFrameHeaderBytes);  // header patched below
+    std::uint64_t sub_blocks = 0;
+    for (std::size_t l = 0; l < num_local; ++l) {
+      const int from = local_[l];
+      for (int to = q; to < num_ranks_; to += nproc_) {
+        const std::vector<T>& box = m->out[l][to];
+        if (box.empty()) continue;
+        const std::uint64_t bytes = box.size() * sizeof(T);
+        wire::AppendPod(&frame, static_cast<std::uint32_t>(from));
+        wire::AppendPod(&frame, static_cast<std::uint32_t>(to));
+        wire::AppendPod(&frame, bytes);
+        const auto* data =
+            reinterpret_cast<const unsigned char*>(box.data());
+        frame.insert(frame.end(), data, data + bytes);
+        ++sub_blocks;
+        if (ledger_ != nullptr) ledger_->AddDataMessage(from, bytes);
+      }
+    }
+    const std::size_t payload_len = frame.size() - wire::kFrameHeaderBytes;
+    wire::FrameHeader h;
+    h.kind = static_cast<std::uint8_t>(kind);
+    h.from = static_cast<std::uint32_t>(proc_index_);
+    h.payload_len = payload_len;
+    h.checksum =
+        wire::Fnv1a64(frame.data() + wire::kFrameHeaderBytes, payload_len);
+    wire::EncodeHeader(h, frame.data());
+    if (ledger_ != nullptr) {
+      ledger_->AddWireOverhead(
+          local_[0],
+          wire::kFrameHeaderBytes + wire::kSubBlockHeaderBytes * sub_blocks,
+          1);
+    }
+  }
+
+  DNE_RETURN_IF_ERROR(RunMeshRound(static_cast<std::uint8_t>(kind)));
+
+  // Parse the received frames into per-(local slot, sender) staging.
+  for (std::size_t l = 0; l < num_local; ++l) {
+    for (auto& buf : stage_[l]) buf.clear();
+  }
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    wire::PayloadReader reader(recv_payloads_[q].data(),
+                               recv_payloads_[q].size());
+    while (reader.remaining() > 0) {
+      std::uint32_t from = 0, to = 0;
+      std::uint64_t bytes = 0;
+      if (!reader.Read(&from) || !reader.Read(&to) || !reader.Read(&bytes) ||
+          bytes % sizeof(T) != 0 || reader.remaining() < bytes) {
+        return Status::Internal("malformed exchange sub-block from " +
+                                PeerName(q));
+      }
+      if (static_cast<int>(from) >= num_ranks_ ||
+          static_cast<int>(to) >= num_ranks_ ||
+          rank_to_proc(static_cast<int>(from)) != q ||
+          rank_to_proc(static_cast<int>(to)) != proc_index_) {
+        return Status::Internal("misrouted exchange sub-block from " +
+                                PeerName(q));
+      }
+      const std::size_t slot = slot_of_rank(static_cast<int>(to));
+      std::vector<unsigned char>& buf = stage_[slot][from];
+      buf.insert(buf.end(), reader.cursor(), reader.cursor() + bytes);
+      reader.Skip(bytes);
+    }
+  }
+
+  // Assemble every local inbox: concatenated ascending sender order, local
+  // senders straight out of their outboxes (co-hosted traffic never hits
+  // the wire), remote senders from the staged bytes.
+  for (std::size_t l = 0; l < num_local; ++l) {
+    const int to_rank = local_[l];
+    std::size_t total = 0;
+    for (int from = 0; from < num_ranks_; ++from) {
+      if (rank_to_proc(from) == proc_index_) {
+        total += m->out[slot_of_rank(from)][to_rank].size();
+      } else {
+        total += stage_[l][from].size() / sizeof(T);
+      }
+    }
+    std::vector<T>& inbox = m->in[l];
+    inbox.clear();
+    inbox.resize(total);
+    std::size_t pos = 0;
+    m->in_begin[l][0] = 0;
+    for (int from = 0; from < num_ranks_; ++from) {
+      if (rank_to_proc(from) == proc_index_) {
+        const std::vector<T>& box = m->out[slot_of_rank(from)][to_rank];
+        std::copy(box.begin(), box.end(), inbox.begin() + pos);
+        pos += box.size();
+      } else {
+        const std::vector<unsigned char>& buf = stage_[l][from];
+        if (!buf.empty()) {
+          std::memcpy(inbox.data() + pos, buf.data(), buf.size());
+          pos += buf.size() / sizeof(T);
+        }
+      }
+      m->in_begin[l][from + 1] = pos;
+    }
+  }
+  for (std::size_t l = 0; l < num_local; ++l) {
+    for (auto& box : m->out[l]) box.clear();
+  }
+  return Status::OK();
+}
+
+Status SocketCommunicator::Exchange(DneMsgKind k,
+                                    RankMailboxes<SelectRequest>* m) {
+  return ExchangeImpl(k, m);
+}
+Status SocketCommunicator::Exchange(DneMsgKind k,
+                                    RankMailboxes<VertexPartPair>* m) {
+  return ExchangeImpl(k, m);
+}
+Status SocketCommunicator::Exchange(DneMsgKind k,
+                                    RankMailboxes<BoundaryReport>* m) {
+  return ExchangeImpl(k, m);
+}
+Status SocketCommunicator::Exchange(DneMsgKind k, RankMailboxes<Edge>* m) {
+  return ExchangeImpl(k, m);
+}
+Status SocketCommunicator::Exchange(DneMsgKind k,
+                                    RankMailboxes<VertexId>* m) {
+  return ExchangeImpl(k, m);
+}
+
+Status SocketCommunicator::AllGatherU64(
+    const std::vector<std::uint64_t>& local_vals,
+    std::vector<std::uint64_t>* all) {
+  struct Entry {
+    std::uint32_t rank;
+    std::uint32_t pad = 0;
+    std::uint64_t value;
+  };
+  // One frame to every peer carrying this process's (rank, value) entries.
+  std::vector<unsigned char> payload;
+  for (std::size_t l = 0; l < local_.size(); ++l) {
+    wire::AppendPod(&payload,
+                    Entry{static_cast<std::uint32_t>(local_[l]), 0,
+                          local_vals[l]});
+  }
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    std::vector<unsigned char>& frame = send_frames_[q];
+    frame.assign(wire::kFrameHeaderBytes, 0);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    wire::FrameHeader h;
+    h.kind = static_cast<std::uint8_t>(DneMsgKind::kAllGather);
+    h.from = static_cast<std::uint32_t>(proc_index_);
+    h.payload_len = payload.size();
+    h.checksum = wire::Fnv1a64(payload.data(), payload.size());
+    wire::EncodeHeader(h, frame.data());
+  }
+  if (ledger_ != nullptr && nproc_ > 1) {
+    for (std::size_t l = 0; l < local_.size(); ++l) {
+      ledger_->AddControlBytes(
+          local_[l],
+          static_cast<std::uint64_t>(nproc_ - 1) * sizeof(Entry));
+    }
+    ledger_->AddWireOverhead(
+        local_[0],
+        static_cast<std::uint64_t>(nproc_ - 1) * wire::kFrameHeaderBytes,
+        static_cast<std::uint64_t>(nproc_ - 1));
+  }
+  DNE_RETURN_IF_ERROR(
+      RunMeshRound(static_cast<std::uint8_t>(DneMsgKind::kAllGather)));
+
+  all->assign(static_cast<std::size_t>(num_ranks_), 0);
+  for (std::size_t l = 0; l < local_.size(); ++l) {
+    (*all)[local_[l]] = local_vals[l];
+  }
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    wire::PayloadReader reader(recv_payloads_[q].data(),
+                               recv_payloads_[q].size());
+    Entry e{0, 0, 0};
+    while (reader.remaining() > 0) {
+      if (!reader.Read(&e) || static_cast<int>(e.rank) >= num_ranks_ ||
+          rank_to_proc(static_cast<int>(e.rank)) != q) {
+        return Status::Internal("malformed all-gather entry from " +
+                                PeerName(q));
+      }
+      (*all)[e.rank] = e.value;
+    }
+  }
+  return Status::OK();
+}
+
+Status SocketCommunicator::Barrier() {
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    std::vector<unsigned char>& frame = send_frames_[q];
+    frame.assign(wire::kFrameHeaderBytes, 0);
+    wire::FrameHeader h;
+    h.kind = static_cast<std::uint8_t>(DneMsgKind::kBarrier);
+    h.from = static_cast<std::uint32_t>(proc_index_);
+    h.payload_len = 0;
+    h.checksum = wire::Fnv1a64(nullptr, 0);
+    wire::EncodeHeader(h, frame.data());
+  }
+  return RunMeshRound(static_cast<std::uint8_t>(DneMsgKind::kBarrier));
+}
+
+}  // namespace dne

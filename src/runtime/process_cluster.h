@@ -1,0 +1,139 @@
+// Multi-process runtime: forked rank processes, a Unix-domain socket mesh
+// between them, and a control channel back to the coordinating parent.
+//
+//   ProcessCluster   — parent-side lifecycle: creates the socketpair mesh
+//                      and per-child control channels, forks the children,
+//                      and guarantees teardown (kill + reap) on every exit
+//                      path so a crashed or wedged rank can never hang the
+//                      caller.
+//   SocketCommunicator — the Communicator endpoint a rank process runs the
+//                      superstep loop against: collectives are batched,
+//                      length-prefixed, FNV-checksummed frames exchanged
+//                      peer-to-peer over the mesh (see runtime/wire.h), and
+//                      the charged volume is what was actually sent.
+//
+// Topology: one frame per ordered process pair per collective (an
+// alltoallv-style batch of all (from_rank -> to_rank) sub-messages between
+// the two processes). Empty frames still flow — they are the
+// synchronisation. Ranks co-hosted on one process exchange in memory for
+// free, exactly like co-located MPI ranks over shared memory.
+//
+// Failure model: a dying process closes its socket ends; every peer's poll
+// loop and the parent's monitor treat EOF/HUP as a fatal protocol event and
+// surface Status::Internal naming the peer — the cluster fails fast instead
+// of deadlocking on a missing frame.
+#ifndef DNE_RUNTIME_PROCESS_CLUSTER_H_
+#define DNE_RUNTIME_PROCESS_CLUSTER_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/communicator.h"
+
+namespace dne {
+
+/// Parent-side handle on the forked rank processes.
+class ProcessCluster {
+ public:
+  /// Runs in the forked child: (child index, mesh fds indexed by peer
+  /// process with -1 at the child's own slot, control fd to the parent).
+  /// The return value becomes the child's exit status; the child never
+  /// returns to the caller's code.
+  using ChildMain = std::function<int(int, const std::vector<int>&, int)>;
+
+  ProcessCluster() = default;
+  ~ProcessCluster();
+
+  ProcessCluster(const ProcessCluster&) = delete;
+  ProcessCluster& operator=(const ProcessCluster&) = delete;
+
+  /// Creates the mesh + control channels and forks `nproc` children. On
+  /// success the parent holds one control fd per child; all mesh fds are
+  /// closed in the parent.
+  Status Launch(int nproc, const ChildMain& child_main);
+
+  int nproc() const { return static_cast<int>(pids_.size()); }
+  int control_fd(int child) const { return control_fds_[child]; }
+  pid_t pid(int child) const { return pids_[child]; }
+
+  /// True once the child has been reaped (by ReapAll or a monitor).
+  bool reaped(int child) const { return reaped_[child]; }
+  void MarkReaped(int child, int wait_status);
+
+  /// Non-blocking scan for any exited child; returns true and fills
+  /// (child, wait_status) when one was reaped.
+  bool PollExited(int* child, int* wait_status);
+
+  /// SIGKILLs every still-running child (idempotent).
+  void KillAll();
+
+  /// Reaps every remaining child (blocking) and returns a human-readable
+  /// summary of abnormal exits ("rank process 2 (pid 123) killed by signal
+  /// 9"), empty when all exited cleanly.
+  std::string ReapAll();
+
+ private:
+  std::vector<pid_t> pids_;
+  std::vector<int> control_fds_;
+  std::vector<bool> reaped_;
+  std::vector<int> wait_status_;
+};
+
+/// The rank-process Communicator endpoint over the socket mesh.
+class SocketCommunicator final : public Communicator {
+ public:
+  /// `mesh_fds[q]` connects to process q (-1 at `proc_index`). The endpoint
+  /// hosts the simulated ranks {r : r mod nproc == proc_index}.
+  SocketCommunicator(int num_ranks, int nproc, int proc_index,
+                     std::vector<int> mesh_fds);
+  ~SocketCommunicator() override;
+
+  int num_ranks() const override { return num_ranks_; }
+  const std::vector<int>& local_ranks() const override { return local_; }
+  void SetLedger(CommLedger* ledger) override { ledger_ = ledger; }
+
+  Status Exchange(DneMsgKind k, RankMailboxes<SelectRequest>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<VertexPartPair>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<BoundaryReport>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<Edge>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<VertexId>* m) override;
+  Status AllGatherU64(const std::vector<std::uint64_t>& local_vals,
+                      std::vector<std::uint64_t>* all) override;
+  Status Barrier() override;
+
+  int rank_to_proc(int rank) const { return rank % nproc_; }
+  int slot_of_rank(int rank) const { return (rank - proc_index_) / nproc_; }
+
+ private:
+  template <typename T>
+  Status ExchangeImpl(DneMsgKind kind, RankMailboxes<T>* m);
+
+  /// One collective round: sends `send_frames_[q]` to every peer q and
+  /// receives exactly one frame of `kind` from each, via a poll loop that
+  /// interleaves sends and receives (so a full socket buffer can never
+  /// deadlock the mesh). Received payloads land in `recv_payloads_[q]`.
+  Status RunMeshRound(std::uint8_t kind);
+
+  int num_ranks_;
+  int nproc_;
+  int proc_index_;
+  std::vector<int> mesh_fds_;
+  std::vector<int> local_;
+  CommLedger* ledger_ = nullptr;
+
+  // Per-peer scratch, reused across rounds.
+  std::vector<std::vector<unsigned char>> send_frames_;
+  std::vector<std::vector<unsigned char>> recv_payloads_;
+  // Sub-message staging for exchanges: stage_[local slot][from rank] holds
+  // the raw bytes sent by `from` to that local rank this round.
+  std::vector<std::vector<std::vector<unsigned char>>> stage_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_PROCESS_CLUSTER_H_

@@ -1,0 +1,111 @@
+#include "runtime/wire.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dne {
+namespace wire {
+
+void EncodeHeader(const FrameHeader& h, unsigned char out[kFrameHeaderBytes]) {
+  std::memset(out, 0, kFrameHeaderBytes);
+  std::memcpy(out + 0, &h.magic, 4);
+  out[4] = h.kind;
+  std::memcpy(out + 8, &h.from, 4);
+  std::memcpy(out + 16, &h.payload_len, 8);
+  std::memcpy(out + 24, &h.checksum, 8);
+}
+
+Status DecodeHeader(const unsigned char in[kFrameHeaderBytes],
+                    FrameHeader* out) {
+  std::memcpy(&out->magic, in + 0, 4);
+  out->kind = in[4];
+  std::memcpy(&out->from, in + 8, 4);
+  std::memcpy(&out->payload_len, in + 16, 8);
+  std::memcpy(&out->checksum, in + 24, 8);
+  if (out->magic != kMagic) {
+    return Status::Internal("transport frame with bad magic (stream desync)");
+  }
+  if (out->payload_len > kMaxFramePayload) {
+    return Status::Internal("transport frame with implausible length " +
+                            std::to_string(out->payload_len));
+  }
+  return Status::OK();
+}
+
+Status SendAll(int fd, const void* data, std::size_t len,
+               const std::string& peer) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal("send to " + peer + " failed: " +
+                            std::strerror(n < 0 ? errno : EPIPE));
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, void* data, std::size_t len, const std::string& peer) {
+  auto* p = static_cast<unsigned char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      return Status::Internal(peer + " disconnected (rank process crash?)");
+    }
+    return Status::Internal("recv from " + peer + " failed: " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SendFrame(int fd, std::uint8_t kind, std::uint32_t from,
+                 const unsigned char* payload, std::size_t payload_len,
+                 const std::string& peer) {
+  FrameHeader h;
+  h.kind = kind;
+  h.from = from;
+  h.payload_len = payload_len;
+  h.checksum = Fnv1a64(payload, payload_len);
+  unsigned char buf[kFrameHeaderBytes];
+  EncodeHeader(h, buf);
+  DNE_RETURN_IF_ERROR(SendAll(fd, buf, kFrameHeaderBytes, peer));
+  if (payload_len > 0) {
+    DNE_RETURN_IF_ERROR(SendAll(fd, payload, payload_len, peer));
+  }
+  return Status::OK();
+}
+
+Status RecvFrame(int fd, FrameHeader* header,
+                 std::vector<unsigned char>* payload,
+                 const std::string& peer) {
+  unsigned char buf[kFrameHeaderBytes];
+  DNE_RETURN_IF_ERROR(RecvAll(fd, buf, kFrameHeaderBytes, peer));
+  DNE_RETURN_IF_ERROR(DecodeHeader(buf, header));
+  payload->resize(header->payload_len);
+  if (header->payload_len > 0) {
+    DNE_RETURN_IF_ERROR(
+        RecvAll(fd, payload->data(), header->payload_len, peer));
+  }
+  const std::uint64_t sum = Fnv1a64(payload->data(), payload->size());
+  if (sum != header->checksum) {
+    return Status::Internal("frame checksum mismatch from " + peer +
+                            " (corrupted transport stream)");
+  }
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace dne

@@ -1,0 +1,134 @@
+// Wire format + socket helpers for the multi-process transport.
+//
+// Every message between processes — mesh exchanges between rank processes
+// and the parent<->child control channel — is one *frame*:
+//
+//   header (32 bytes, little-endian):
+//     u32 magic      'DNE1' (0x31454e44)
+//     u8  kind       DneMsgKind / control kind
+//     u8  reserved[3]
+//     u32 from       sending process index (or rank, on control channels)
+//     u64 payload_len
+//     u64 checksum   FNV-1a 64 of the payload bytes
+//   payload (payload_len bytes)
+//
+// Exchange frames batch all (from_rank -> to_rank) sub-messages between two
+// processes into one payload; each sub-block is
+//     u32 from_rank, u32 to_rank, u64 byte_len,  then byte_len bytes.
+//
+// The checksum is verified on receipt; a mismatch, a short read (peer died)
+// or an unexpected kind surfaces as Status::Internal with the peer named —
+// never a hang: a crashed peer closes its socket ends, which every poll
+// loop treats as a fatal protocol event.
+#ifndef DNE_RUNTIME_WIRE_H_
+#define DNE_RUNTIME_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dne {
+namespace wire {
+
+inline constexpr std::uint32_t kMagic = 0x31454e44;  // "DNE1"
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+inline constexpr std::size_t kSubBlockHeaderBytes = 16;
+/// Sanity bound on one frame's payload (guards a corrupted length field
+/// before any allocation happens).
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 32;
+
+/// FNV-1a 64 over a byte range (the same construction the binary graph
+/// format uses for its file checksum).
+inline std::uint64_t Fnv1a64(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t kind = 0;
+  std::uint32_t from = 0;
+  std::uint64_t payload_len = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Serialises the header into exactly kFrameHeaderBytes.
+void EncodeHeader(const FrameHeader& h, unsigned char out[kFrameHeaderBytes]);
+
+/// Parses + validates magic and the payload-length bound.
+Status DecodeHeader(const unsigned char in[kFrameHeaderBytes],
+                    FrameHeader* out);
+
+/// Appends a POD value to a byte buffer (sub-block headers, config records).
+template <typename T>
+void AppendPod(std::vector<unsigned char>* buf, const T& v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  buf->insert(buf->end(), p, p + sizeof(T));
+}
+
+/// Bounds-checked POD reader over a received payload.
+class PayloadReader {
+ public:
+  PayloadReader(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (pos_ + sizeof(T) > size_) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* out, std::size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const unsigned char* cursor() const { return data_ + pos_; }
+  bool Skip(std::size_t n) {
+    if (pos_ + n > size_) return false;
+    pos_ += n;
+    return true;
+  }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Blocking send of a whole buffer (MSG_NOSIGNAL, EINTR-safe). Fails with
+/// Status::Internal when the peer is gone.
+Status SendAll(int fd, const void* data, std::size_t len,
+               const std::string& peer);
+
+/// Blocking receive of exactly `len` bytes. A clean EOF mid-message is a
+/// protocol failure (peer died) and is reported as such.
+Status RecvAll(int fd, void* data, std::size_t len, const std::string& peer);
+
+/// Sends one frame (header + payload) over a blocking fd.
+Status SendFrame(int fd, std::uint8_t kind, std::uint32_t from,
+                 const unsigned char* payload, std::size_t payload_len,
+                 const std::string& peer);
+
+/// Receives one frame over a blocking fd, verifying the checksum.
+Status RecvFrame(int fd, FrameHeader* header,
+                 std::vector<unsigned char>* payload, const std::string& peer);
+
+}  // namespace wire
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_WIRE_H_

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "../bench/bench_util.h"
@@ -92,6 +96,31 @@ TEST(JsonWriterTest, EmptyContainers) {
   w.BeginObject().Key("a").BeginArray().EndArray().Key("b").BeginObject()
       .EndObject().EndObject();
   EXPECT_EQ(w.str(), "{\"a\":[],\"b\":{}}");
+}
+
+TEST(AppendJsonRecordTest, GrowsAnArrayWithoutLosingEntries) {
+  const std::string path =
+      ::testing::TempDir() + "/append_json_record_test.json";
+  std::remove(path.c_str());
+  // Fresh file -> [a]; append -> [a, b]; a legacy single-object file is
+  // wrapped into an array first, never overwritten.
+  ASSERT_TRUE(AppendJsonRecord(path, "{\"run\":1}"));
+  ASSERT_TRUE(AppendJsonRecord(path, "{\"run\":2}"));
+  {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "[{\"run\":1},\n{\"run\":2}]\n");
+  }
+  ASSERT_TRUE(WriteTextFile(path, "{\"legacy\":true}"));
+  ASSERT_TRUE(AppendJsonRecord(path, "{\"run\":3}"));
+  {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "[{\"legacy\":true},\n{\"run\":3}]\n");
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

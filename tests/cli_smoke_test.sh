@@ -79,6 +79,26 @@ check_clean_failure "$CLI" stream --gen=rmat --scale=12 --method=random \
 check_clean_failure "$CLI" stream --gen=rmat --scale=12 --method=random \
     --partitions=8 --chunk-edges=10000 --threads=0
 
+# Distributed execution: the multi-process transport must partition over
+# forked rank processes (both the --opt spelling and the shorthand flags),
+# and the transport knobs must validate cleanly.
+"$CLI" partition --graph="$TMP/g.bin" --method=dne --partitions=4 \
+    --opt transport=process --opt ranks=2 > "$TMP/proc.out" \
+    || fail "partition --opt transport=process,ranks=2"
+grep -q "transport=process ranks=2" "$TMP/proc.out" \
+    || fail "process transport printed no wire summary"
+"$CLI" partition --graph="$TMP/g.bin" --method=dne --partitions=4 \
+    --transport=process --ranks=4 > /dev/null \
+    || fail "partition --transport=process --ranks=4"
+check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=dne \
+    --partitions=4 --opt transport=process --opt ranks=1
+check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=dne \
+    --partitions=4 --opt transport=carrier-pigeon
+check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=dne \
+    --partitions=4 --opt ranks=2
+check_clean_failure "$CLI" partition --graph="$TMP/g.bin" --method=dne \
+    --partitions=4 --opt ranks=65
+
 # Error paths that must not crash either.
 check_clean_failure "$CLI" partition --graph=/nonexistent/g.bin
 check_clean_failure "$CLI" stream --input=/nonexistent/g.bin --method=random

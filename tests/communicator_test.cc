@@ -1,0 +1,195 @@
+// Unit tests for the Communicator layer: in-process exchange routing and
+// charging, the all-gather, the accounting ledgers, per-rank MemTracker
+// peaks, and the wire frame format (round trip + corruption detection).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/communicator.h"
+#include "runtime/mem_tracker.h"
+#include "runtime/wire.h"
+
+namespace dne {
+namespace {
+
+// Records every charge so tests can assert the exact accounting stream.
+class RecordingLedger final : public CommLedger {
+ public:
+  void AddWork(int rank, std::uint64_t ops) override {
+    work.push_back({rank, ops});
+  }
+  void AddDataMessage(int from_rank, std::uint64_t payload_bytes) override {
+    messages.push_back({from_rank, payload_bytes});
+  }
+  void AddControlBytes(int from_rank, std::uint64_t bytes) override {
+    control.push_back({from_rank, bytes});
+  }
+  void AddWireOverhead(int, std::uint64_t bytes,
+                       std::uint64_t frames_in) override {
+    wire_bytes += bytes;
+    frames += frames_in;
+  }
+  void EndPhase(bool) override { ++phases; }
+  void EndSuperstep() override { ++supersteps; }
+
+  std::vector<std::pair<int, std::uint64_t>> work;
+  std::vector<std::pair<int, std::uint64_t>> messages;
+  std::vector<std::pair<int, std::uint64_t>> control;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t frames = 0;
+  int phases = 0;
+  int supersteps = 0;
+};
+
+TEST(InProcessCommunicatorTest, DeliversInSenderOrderWithOffsets) {
+  InProcessCommunicator comm(3);
+  RankMailboxes<VertexId> m;
+  m.Init(3, 3);
+  m.out[2][0].push_back(20);
+  m.out[0][0].push_back(1);
+  m.out[0][0].push_back(2);
+  m.out[1][0].push_back(10);
+  ASSERT_TRUE(comm.Exchange(DneMsgKind::kProbeRequest, &m).ok());
+  ASSERT_EQ(m.in[0].size(), 4u);
+  EXPECT_EQ(m.in[0][0], 1u);  // rank 0 first
+  EXPECT_EQ(m.in[0][1], 2u);
+  EXPECT_EQ(m.in[0][2], 10u);
+  EXPECT_EQ(m.in[0][3], 20u);
+  // Sender slices via the offsets.
+  EXPECT_EQ(m.InFrom(0, 0).size(), 2u);
+  EXPECT_EQ(m.InFrom(0, 1).size(), 1u);
+  EXPECT_EQ(m.InFrom(0, 1)[0], 10u);
+  EXPECT_EQ(m.InFrom(0, 2)[0], 20u);
+  EXPECT_TRUE(m.in[1].empty());
+  EXPECT_TRUE(m.in[2].empty());
+  // Outboxes drained for the next round.
+  EXPECT_TRUE(m.out[0][0].empty());
+}
+
+TEST(InProcessCommunicatorTest, ChargesCrossRankMessagesOnly) {
+  InProcessCommunicator comm(2);
+  RecordingLedger ledger;
+  comm.SetLedger(&ledger);
+  RankMailboxes<VertexId> m;
+  m.Init(2, 2);
+  m.out[0][0].push_back(7);  // self: free
+  m.out[0][1].push_back(8);  // cross: 8 bytes
+  m.out[1][0].push_back(9);  // cross: 8 bytes
+  ASSERT_TRUE(comm.Exchange(DneMsgKind::kProbeRequest, &m).ok());
+  ASSERT_EQ(ledger.messages.size(), 2u);
+  EXPECT_EQ(ledger.messages[0], (std::pair<int, std::uint64_t>{1, 8}));
+  EXPECT_EQ(ledger.messages[1], (std::pair<int, std::uint64_t>{0, 8}));
+  EXPECT_EQ(ledger.wire_bytes, 0u);  // modeled transport: no framing
+}
+
+TEST(InProcessCommunicatorTest, AllGatherReplicatesAndChargesControl) {
+  InProcessCommunicator comm(4);
+  RecordingLedger ledger;
+  comm.SetLedger(&ledger);
+  std::vector<std::uint64_t> all;
+  ASSERT_TRUE(comm.AllGatherU64({5, 6, 7, 8}, &all).ok());
+  EXPECT_EQ(all, (std::vector<std::uint64_t>{5, 6, 7, 8}));
+  ASSERT_EQ(ledger.control.size(), 4u);
+  for (const auto& [rank, bytes] : ledger.control) {
+    EXPECT_EQ(bytes, 3u * sizeof(std::uint64_t));  // to each other rank
+  }
+  EXPECT_TRUE(ledger.messages.empty());  // control, not data plane
+}
+
+TEST(SimClusterLedgerTest, ReproducesDriverCharging) {
+  SimCluster cluster(2);
+  SimClusterLedger ledger(&cluster);
+  ledger.AddWork(0, 100);
+  ledger.AddWork(1, 40);
+  ledger.AddDataMessage(0, 64);
+  ledger.EndPhase(/*selection=*/true);
+  ledger.AddWork(1, 10);
+  ledger.EndSuperstep();
+  EXPECT_EQ(cluster.comm().messages, 1u);
+  EXPECT_EQ(cluster.comm().bytes, 64u);
+  EXPECT_EQ(cluster.comm().supersteps, 1u);
+  EXPECT_EQ(cluster.cost().TotalWork(), 150u);
+  // Critical path: max per step — 100 (selection) + 10.
+  EXPECT_EQ(ledger.selection_critical_ops(), 100u);
+  EXPECT_EQ(ledger.total_critical_ops(), 110u);
+}
+
+TEST(TapeLedgerTest, RecordsOneRowPerStepAndRank) {
+  TapeLedger ledger({1, 3});
+  ledger.AddWork(1, 5);
+  ledger.AddWork(3, 7);
+  ledger.AddDataMessage(3, 32);
+  ledger.EndPhase(/*selection=*/true);
+  ledger.AddControlBytes(1, 16);
+  ledger.AddWireOverhead(1, 48, 2);
+  ledger.EndSuperstep();
+  ASSERT_EQ(ledger.steps().size(), 2u);
+  const TapeLedger::Step& a = ledger.steps()[0];
+  EXPECT_TRUE(a.selection);
+  EXPECT_FALSE(a.superstep_end);
+  EXPECT_EQ(a.rows[0].work, 5u);
+  EXPECT_EQ(a.rows[1].work, 7u);
+  EXPECT_EQ(a.rows[1].data_bytes, 32u);
+  EXPECT_EQ(a.rows[1].data_messages, 1u);
+  const TapeLedger::Step& b = ledger.steps()[1];
+  EXPECT_TRUE(b.superstep_end);
+  EXPECT_EQ(b.rows[0].control_bytes, 16u);
+  EXPECT_EQ(b.rows[0].wire_bytes, 48u);
+  EXPECT_EQ(b.rows[0].wire_frames, 2u);
+  EXPECT_EQ(b.rows[1].work, 0u);  // fresh row after the step closed
+}
+
+TEST(MemTrackerTest, TracksPerRankPeaks) {
+  MemTracker mem(3);
+  mem.Allocate(0, 100);
+  mem.Allocate(1, 50);
+  mem.Allocate(0, 25);
+  mem.Release(0, 110);
+  mem.Allocate(2, 10);
+  EXPECT_EQ(mem.rank_peak(0), 125u);
+  EXPECT_EQ(mem.rank_peak(1), 50u);
+  EXPECT_EQ(mem.rank_peak(2), 10u);
+  EXPECT_EQ(mem.rank_peaks().size(), 3u);
+  EXPECT_EQ(mem.peak_total(), 175u);  // cluster-wide high-water mark
+}
+
+TEST(WireFormatTest, HeaderRoundTrip) {
+  wire::FrameHeader h;
+  h.kind = 5;
+  h.from = 3;
+  h.payload_len = 1234;
+  h.checksum = 0xdeadbeefcafef00dull;
+  unsigned char buf[wire::kFrameHeaderBytes];
+  wire::EncodeHeader(h, buf);
+  wire::FrameHeader parsed;
+  ASSERT_TRUE(wire::DecodeHeader(buf, &parsed).ok());
+  EXPECT_EQ(parsed.kind, 5);
+  EXPECT_EQ(parsed.from, 3u);
+  EXPECT_EQ(parsed.payload_len, 1234u);
+  EXPECT_EQ(parsed.checksum, h.checksum);
+}
+
+TEST(WireFormatTest, RejectsBadMagicAndImplausibleLength) {
+  wire::FrameHeader h;
+  unsigned char buf[wire::kFrameHeaderBytes];
+  wire::EncodeHeader(h, buf);
+  buf[0] ^= 0xff;  // corrupt the magic
+  wire::FrameHeader parsed;
+  EXPECT_FALSE(wire::DecodeHeader(buf, &parsed).ok());
+
+  h.payload_len = wire::kMaxFramePayload + 1;
+  wire::EncodeHeader(h, buf);
+  EXPECT_FALSE(wire::DecodeHeader(buf, &parsed).ok());
+}
+
+TEST(WireFormatTest, ChecksumDetectsPayloadCorruption) {
+  const unsigned char payload[] = {1, 2, 3, 4, 5};
+  const std::uint64_t sum = wire::Fnv1a64(payload, sizeof(payload));
+  unsigned char corrupted[] = {1, 2, 9, 4, 5};
+  EXPECT_NE(wire::Fnv1a64(corrupted, sizeof(corrupted)), sum);
+  EXPECT_EQ(wire::Fnv1a64(payload, sizeof(payload)), sum);  // deterministic
+}
+
+}  // namespace
+}  // namespace dne

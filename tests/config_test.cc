@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/partition_config.h"
+#include "core/partitioner_registry.h"
 
 namespace dne {
 namespace {
@@ -131,6 +132,38 @@ TEST(OptionSpecTest, TypeNamesRenderEnums) {
   EXPECT_EQ(OptionSpec::Uint("k", 1, "h").TypeName(), "uint");
   EXPECT_EQ(OptionSpec::Enum("s", {"x", "y"}, "x", "h").TypeName(),
             "enum{x|y}");
+}
+
+// The transport knobs of the registered dne schema: the typed schema
+// rejects non-enum transports and out-of-range rank counts up front (the
+// cross-option rule — ranks >= 2 for transport=process — is enforced by the
+// partitioner itself, covered in dne_transport_test).
+TEST(OptionSchemaTest, DneTransportKnobsValidateThroughTheSchema) {
+  const PartitionerInfo* info = PartitionerRegistry::Global().Find("dne");
+  ASSERT_NE(info, nullptr);
+  const OptionSchema& s = info->schema;
+
+  EXPECT_TRUE(s.Validate(PartitionConfig{{"transport", "inproc"}}).ok());
+  EXPECT_TRUE(
+      s.Validate(PartitionConfig{{"transport", "process"}, {"ranks", "2"}})
+          .ok());
+  // Non-enum transport values are invalid at the schema layer.
+  EXPECT_EQ(s.Validate(PartitionConfig{{"transport", "mpi"}}).code(),
+            Status::Code::kInvalidArgument);
+  // Rank-process counts beyond the supported fan-out are out of range.
+  EXPECT_EQ(s.Validate(PartitionConfig{{"ranks", "65"}}).code(),
+            Status::Code::kOutOfRange);
+  EXPECT_EQ(s.Validate(PartitionConfig{{"ranks", "-1"}}).code(),
+            Status::Code::kOutOfRange);
+  EXPECT_EQ(s.Validate(PartitionConfig{{"ranks", "two"}}).code(),
+            Status::Code::kInvalidArgument);
+  // fault_rank is declared (test-only) and range-checked like any option.
+  EXPECT_EQ(s.Validate(PartitionConfig{{"fault_rank", "100"}}).code(),
+            Status::Code::kOutOfRange);
+  // Typed readers surface the defaults: in-process, auto process count.
+  EXPECT_EQ(s.EnumOr(PartitionConfig{}, "transport"), "inproc");
+  EXPECT_EQ(s.IntOr(PartitionConfig{}, "ranks"), 0);
+  EXPECT_EQ(s.IntOr(PartitionConfig{}, "fault_rank"), -1);
 }
 
 }  // namespace

@@ -24,60 +24,62 @@ AllocationProcess MakeTriangleProcess() {
 
 TEST(AllocationProcessTest, OneHopAllocatesAllIncidentEdges) {
   AllocationProcess ap = MakeTriangleProcess();
-  std::vector<PartitionId> assignment(4, kNoPartition);
   std::vector<VertexPartPair> sync;
   std::vector<std::uint64_t> per_part(4, 0);
   std::uint64_t ops = 0;
-  ap.AllocateOneHop({{0, 2}}, &assignment, &sync, &per_part, &ops);
-  // Vertex 0's edges: e0 (0,1) and e2 (0,2) to partition 2.
-  EXPECT_EQ(assignment[0], 2u);
-  EXPECT_EQ(assignment[2], 2u);
-  EXPECT_EQ(assignment[1], kNoPartition);
+  ap.AllocateOneHop({{0, 2}}, &sync, &per_part, &ops);
+  // Vertex 0's edges: e0 (0,1) and e2 (0,2) to partition 2 (local edge ids
+  // equal insertion order here, so they match the AddEdge gids).
+  EXPECT_EQ(ap.local_assignment()[0], 2u);
+  EXPECT_EQ(ap.local_assignment()[2], 2u);
+  EXPECT_EQ(ap.local_assignment()[1], kNoPartition);
   EXPECT_EQ(per_part[2], 2u);
   // Fresh pairs: (0,2), (1,2), (2,2).
   EXPECT_EQ(sync.size(), 3u);
   EXPECT_GT(ops, 0u);
+  // The allocations queue for hand-off to expansion rank 2, in order.
+  ASSERT_EQ(ap.superstep_handoff().size(), 2u);
+  EXPECT_EQ(ap.superstep_handoff()[0].p, 2u);
+  ap.ClearSuperstepHandoff();
+  EXPECT_TRUE(ap.superstep_handoff().empty());
 }
 
 TEST(AllocationProcessTest, TwoHopClosesTriangle) {
   AllocationProcess ap = MakeTriangleProcess();
-  std::vector<PartitionId> assignment(4, kNoPartition);
   std::vector<VertexPartPair> sync;
   std::vector<std::uint64_t> per_part(4, 0);
   std::uint64_t ops = 0, two_hop = 0;
-  ap.AllocateOneHop({{0, 1}}, &assignment, &sync, &per_part, &ops);
+  ap.AllocateOneHop({{0, 1}}, &sync, &per_part, &ops);
   // After expanding vertex 0, vertices 1 and 2 are both in V(E_1):
   // the two-hop phase must allocate edge (1,2) for free.
-  ap.AllocateTwoHop(&assignment, &per_part, &two_hop, &ops);
+  ap.AllocateTwoHop(&per_part, &two_hop, &ops);
   EXPECT_EQ(two_hop, 1u);
-  EXPECT_EQ(assignment[1], 1u);
+  EXPECT_EQ(ap.local_assignment()[1], 1u);
   // The pendant edge (2,3) must NOT be allocated: 3 is not in V(E_1).
-  EXPECT_EQ(assignment[3], kNoPartition);
+  EXPECT_EQ(ap.local_assignment()[3], kNoPartition);
 }
 
 TEST(AllocationProcessTest, ConflictResolvedInRequestOrder) {
   AllocationProcess ap = MakeTriangleProcess();
-  std::vector<PartitionId> assignment(4, kNoPartition);
   std::vector<VertexPartPair> sync;
   std::vector<std::uint64_t> per_part(4, 0);
   std::uint64_t ops = 0;
   // Partitions 0 and 1 both expand vertex 1 in the same superstep; the
   // first request in arrival order wins each edge.
-  ap.AllocateOneHop({{1, 0}, {1, 1}}, &assignment, &sync, &per_part, &ops);
-  EXPECT_EQ(assignment[0], 0u);  // (0,1)
-  EXPECT_EQ(assignment[1], 0u);  // (1,2)
+  ap.AllocateOneHop({{1, 0}, {1, 1}}, &sync, &per_part, &ops);
+  EXPECT_EQ(ap.local_assignment()[0], 0u);  // (0,1)
+  EXPECT_EQ(ap.local_assignment()[1], 0u);  // (1,2)
   EXPECT_EQ(per_part[0], 2u);
   EXPECT_EQ(per_part[1], 0u);  // partition 1 got nothing
 }
 
 TEST(AllocationProcessTest, BudgetCapsAllocation) {
   AllocationProcess ap = MakeTriangleProcess();
-  std::vector<PartitionId> assignment(4, kNoPartition);
   std::vector<VertexPartPair> sync;
   std::vector<std::uint64_t> per_part(4, 0);
   std::uint64_t ops = 0;
   ap.SetSuperstepBudgets({1, 1, 1, 1});
-  ap.AllocateOneHop({{0, 2}}, &assignment, &sync, &per_part, &ops);
+  ap.AllocateOneHop({{0, 2}}, &sync, &per_part, &ops);
   EXPECT_EQ(per_part[2], 1u);  // capped at 1 despite 2 available edges
 }
 
@@ -110,12 +112,11 @@ TEST(AllocationProcessTest, PeekFreeVertexAdvances) {
   AllocationProcess ap = MakeTriangleProcess();
   EXPECT_NE(ap.PeekFreeVertex(), kNoVertex);
   // Allocate everything; the free cursor must reach the end.
-  std::vector<PartitionId> assignment(4, kNoPartition);
   std::vector<VertexPartPair> sync;
   std::vector<std::uint64_t> per_part(4, 0);
   std::uint64_t ops = 0;
-  ap.AllocateOneHop({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, &assignment, &sync,
-                    &per_part, &ops);
+  ap.AllocateOneHop({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, &sync, &per_part,
+                    &ops);
   EXPECT_EQ(ap.PeekFreeVertex(), kNoVertex);
 }
 

@@ -1,0 +1,251 @@
+// Transport guarantees of the pluggable Communicator layer: the
+// multi-process backend (forked rank processes over socket frames) produces
+// bit-identical partitions to the in-process backend for every process
+// count, observed wire traffic reconciles with the modeled volume, a
+// crashed rank fails fast with a diagnostic instead of hanging, and the
+// transport knobs validate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_partitioner.h"
+#include "runtime/communicator.h"
+#include "runtime/wire.h"
+
+namespace dne {
+namespace {
+
+Graph RmatGraph(int scale, std::uint64_t seed) {
+  RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = 8;
+  opt.seed = seed;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+Graph ErGraph(std::uint64_t seed) {
+  return Graph::Build(GenerateErdosRenyi(1024, 8192, seed));
+}
+
+struct RunOutcome {
+  std::vector<PartitionId> assignment;
+  DneStats stats;
+};
+
+RunOutcome RunDne(const Graph& g, std::uint32_t parts,
+                  const DneOptions& opt) {
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  const Status st = dne.Partition(g, parts, &ep);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return RunOutcome{ep.assignment(), dne.dne_stats()};
+}
+
+DneOptions ProcessOptions(int nproc) {
+  DneOptions opt;
+  opt.seed = 11;
+  opt.transport = DneTransport::kProcess;
+  opt.ranks = nproc;
+  return opt;
+}
+
+// The CI-named 2-rank differential: two forked rank processes against the
+// in-process reference, RMAT and ER.
+TEST(DneTransportTest, TwoRankProcessBackendMatchesInProcess) {
+  for (const Graph& g : {RmatGraph(10, 5), ErGraph(7)}) {
+    for (std::uint32_t parts : {2u, 4u}) {
+      DneOptions inproc;
+      inproc.seed = 11;
+      const RunOutcome ref = RunDne(g, parts, inproc);
+      const RunOutcome proc = RunDne(g, parts, ProcessOptions(2));
+      EXPECT_EQ(ref.assignment, proc.assignment) << "parts " << parts;
+    }
+  }
+}
+
+// Full differential matrix: RMAT/ER x P{2,4,16}, with both a 2-process
+// grouping (ranks co-hosted per process) and one process per rank.
+TEST(DneTransportTest, ProcessMatrixBitIdenticalToInProcess) {
+  const Graph rmat = RmatGraph(10, 7);
+  const Graph er = ErGraph(9);
+  for (const Graph* g : {&rmat, &er}) {
+    for (std::uint32_t parts : {2u, 4u, 16u}) {
+      DneOptions inproc;
+      inproc.seed = 11;
+      inproc.num_threads = 4;
+      const RunOutcome ref = RunDne(*g, parts, inproc);
+      for (int nproc : {2, static_cast<int>(parts)}) {
+        if (nproc > static_cast<int>(parts)) continue;
+        const RunOutcome proc = RunDne(*g, parts, ProcessOptions(nproc));
+        EXPECT_EQ(ref.assignment, proc.assignment)
+            << "parts " << parts << " nproc " << nproc;
+        EXPECT_EQ(ref.stats.iterations, proc.stats.iterations);
+        EXPECT_EQ(ref.stats.one_hop_edges, proc.stats.one_hop_edges);
+        EXPECT_EQ(ref.stats.two_hop_edges, proc.stats.two_hop_edges);
+        EXPECT_EQ(ref.stats.random_restarts, proc.stats.random_restarts);
+      }
+    }
+  }
+}
+
+// The legacy hot-path shape must survive transport changes too.
+TEST(DneTransportTest, LegacyHotpathOverProcessTransport) {
+  const Graph g = RmatGraph(10, 3);
+  DneOptions legacy;
+  legacy.seed = 11;
+  legacy.legacy_hotpath = true;
+  const RunOutcome ref = RunDne(g, 4, legacy);
+  DneOptions proc = ProcessOptions(4);
+  proc.legacy_hotpath = true;
+  const RunOutcome process = RunDne(g, 4, proc);
+  EXPECT_EQ(ref.assignment, process.assignment);
+}
+
+// The matching graph drives every allocation through the random-restart
+// probe protocol — the one message pattern the old driver executed as a
+// direct cross-rank read.
+TEST(DneTransportTest, RestartHeavyGraphMatchesAcrossTransports) {
+  EdgeList list;
+  for (VertexId i = 0; i < 200; i += 2) list.Add(i, i + 1);
+  const Graph g = Graph::Build(std::move(list));
+  DneOptions inproc;
+  inproc.seed = 11;
+  const RunOutcome ref = RunDne(g, 4, inproc);
+  const RunOutcome proc = RunDne(g, 4, ProcessOptions(4));
+  EXPECT_EQ(ref.assignment, proc.assignment);
+  EXPECT_GT(proc.stats.random_restarts, 0u);
+  EXPECT_EQ(ref.stats.random_restarts, proc.stats.random_restarts);
+}
+
+// Modeled (in-process) vs observed (process) traffic: the data-plane
+// payload must agree exactly, and the wire total must exceed it by exactly
+// the declared framing + control-plane overhead.
+TEST(DneTransportTest, ObservedBytesMatchModeledWithinFramingOverhead) {
+  const Graph g = RmatGraph(10, 5);
+  const std::uint32_t parts = 4;
+  DneOptions inproc;
+  inproc.seed = 11;
+  const RunOutcome ref = RunDne(g, parts, inproc);
+  const RunOutcome proc = RunDne(g, parts, ProcessOptions(parts));
+
+  // One rank per process: every modeled cross-rank message crosses a
+  // process boundary, so observed payload == modeled payload, byte for
+  // byte.
+  EXPECT_EQ(proc.stats.comm_bytes, ref.stats.comm_bytes);
+  EXPECT_EQ(proc.stats.comm_messages, ref.stats.comm_messages);
+
+  // wire = payload + per-frame headers + per-sub-block headers + the
+  // all-gather control entries (16 bytes per rank pair per superstep).
+  const std::uint64_t control_bytes =
+      proc.stats.iterations * parts * (parts - 1) * 16;
+  EXPECT_EQ(proc.stats.wire_bytes,
+            proc.stats.comm_bytes + control_bytes +
+                wire::kFrameHeaderBytes * proc.stats.wire_frames +
+                wire::kSubBlockHeaderBytes * proc.stats.comm_messages);
+  EXPECT_GT(proc.stats.wire_frames, 0u);
+  // The in-process transport has no wire.
+  EXPECT_EQ(ref.stats.wire_bytes, 0u);
+  EXPECT_EQ(ref.stats.wire_frames, 0u);
+}
+
+// MemTracker per-rank peaks: identical modeled census on both transports
+// (the process transport aggregates them from the rank processes at the
+// terminal barrier), plus an observed RSS per rank process.
+TEST(DneTransportTest, PerRankPeaksAggregatedFromRankProcesses) {
+  const Graph g = RmatGraph(10, 5);
+  const std::uint32_t parts = 4;
+  DneOptions inproc;
+  inproc.seed = 11;
+  const RunOutcome ref = RunDne(g, parts, inproc);
+  const RunOutcome proc = RunDne(g, parts, ProcessOptions(parts));
+
+  ASSERT_EQ(ref.stats.rank_peak_bytes.size(), parts);
+  ASSERT_EQ(proc.stats.rank_peak_bytes.size(), parts);
+  EXPECT_EQ(ref.stats.rank_peak_bytes, proc.stats.rank_peak_bytes);
+  std::uint64_t sum = 0;
+  for (std::uint64_t b : proc.stats.rank_peak_bytes) {
+    EXPECT_GT(b, 0u);
+    sum += b;
+  }
+  EXPECT_EQ(sum, proc.stats.peak_memory_bytes);
+  EXPECT_EQ(proc.stats.rank_processes, static_cast<int>(parts));
+  ASSERT_EQ(proc.stats.process_rss_bytes.size(), parts);
+  for (std::uint64_t rss : proc.stats.process_rss_bytes) {
+    EXPECT_GT(rss, 0u);  // a real process with a real footprint
+  }
+}
+
+// A rank process dying mid-run must surface as a clean diagnostic, fast —
+// its peers see EOF on the mesh, the coordinator sees the exit — never as
+// a hang on a missing frame.
+TEST(DneTransportTest, CrashedRankFailsFastWithDiagnostic) {
+  const Graph g = RmatGraph(10, 5);
+  DneOptions opt = ProcessOptions(4);
+  opt.fault_rank = 1;
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  const Status st = dne.Partition(g, 4, &ep);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("rank process"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(DneTransportTest, TransportKnobsValidate) {
+  const Graph g = RmatGraph(8, 5);
+  EdgePartition ep;
+  {
+    DneOptions opt = ProcessOptions(1);  // below the 2-process minimum
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt = ProcessOptions(8);  // more processes than ranks
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt;  // ranks without the process transport
+    opt.ranks = 2;
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt;  // fault injection without the process transport
+    opt.fault_rank = 0;
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt = ProcessOptions(0);  // auto: one process per rank
+    EXPECT_TRUE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt = ProcessOptions(2);  // P=1 has nothing to distribute
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 1, &ep).ok());
+  }
+}
+
+// The context-level wiring: a caller-injected Communicator endpoint drives
+// the loop and reproduces the default run exactly.
+TEST(DneTransportTest, InjectedCommunicatorRunsTheLoop) {
+  const Graph g = RmatGraph(10, 5);
+  DneOptions opt;
+  opt.seed = 11;
+  const RunOutcome ref = RunDne(g, 4, opt);
+
+  InProcessCommunicator comm(4);
+  PartitionContext ctx;
+  ctx.communicator = &comm;
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  ASSERT_TRUE(dne.Partition(g, 4, ctx, &ep).ok());
+  EXPECT_EQ(ep.assignment(), ref.assignment);
+
+  // A mis-sized endpoint is rejected up front.
+  InProcessCommunicator wrong(3);
+  ctx.communicator = &wrong;
+  EXPECT_FALSE(dne.Partition(g, 4, ctx, &ep).ok());
+}
+
+}  // namespace
+}  // namespace dne

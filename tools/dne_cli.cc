@@ -4,7 +4,7 @@
 //   dne_cli generate --type=rmat --scale=16 --edge-factor=16 --out=g.bin
 //   dne_cli partition --graph=g.bin --method=dne --partitions=64
 //           --out=p.bin [--opt key=value ...] [--seed=1] [--shards=DIR]
-//           [--stream-chunks=N]
+//           [--stream-chunks=N] [--transport=inproc|process] [--ranks=N]
 //   dne_cli stream --method=hdrf --partitions=64 --input=g.bin
 //           [--format=auto|text|bin] [--chunk-edges=N] [--out=p.bin]
 //           [--out-dir=DIR] [--threads=N]
@@ -36,6 +36,7 @@
 #include "common/timer.h"
 #include "core/dne.h"
 #include "gen/lattice.h"
+#include "partition/dne/dne_partitioner.h"
 #include "graph/degree_stats.h"
 #include "metrics/partition_metrics.h"
 #include "partition/partition_io.h"
@@ -256,8 +257,9 @@ int CmdList() {
 }
 
 // Builds the PartitionConfig for `method` from --opt flags plus the
-// convenience shorthands (--seed/--alpha/--lambda), shorthand keys only
-// when the schema declares them and no explicit --opt overrode them.
+// convenience shorthands (--seed/--alpha/--lambda/--transport/--ranks),
+// shorthand keys only when the schema declares them and no explicit --opt
+// overrode them.
 Status BuildConfig(int argc, char** argv, const std::string& method,
                    dne::PartitionConfig* out) {
   dne::PartitionConfig config;
@@ -266,7 +268,7 @@ Status BuildConfig(int argc, char** argv, const std::string& method,
                                             &config));
   const dne::PartitionerInfo* info =
       dne::PartitionerRegistry::Global().Find(method);
-  for (const char* key : {"seed", "alpha", "lambda"}) {
+  for (const char* key : {"seed", "alpha", "lambda", "transport", "ranks"}) {
     if (config.Has(key)) continue;
     if (info != nullptr && info->schema.Find(key) == nullptr) continue;
     const std::string v = GetFlag(argc, argv, key, "");
@@ -326,6 +328,20 @@ int CmdPartition(int argc, char** argv) {
               m.replication_factor, m.edge_balance, m.vertex_balance,
               stream_chunks > 0 ? timer.Millis()
                                 : partitioner->run_stats().wall_seconds * 1e3);
+  // The distributed transport reports what actually crossed the wire.
+  if (const auto* dne_ptr =
+          dynamic_cast<const dne::DnePartitioner*>(partitioner.get())) {
+    const dne::DneStats& ds = dne_ptr->dne_stats();
+    if (ds.rank_processes > 0) {
+      std::printf("transport=process ranks=%d: payload=%llu B over %llu "
+                  "messages, wire=%llu B in %llu frames\n",
+                  ds.rank_processes,
+                  static_cast<unsigned long long>(ds.comm_bytes),
+                  static_cast<unsigned long long>(ds.comm_messages),
+                  static_cast<unsigned long long>(ds.wire_bytes),
+                  static_cast<unsigned long long>(ds.wire_frames));
+    }
+  }
 
   const std::string out_path = GetFlag(argc, argv, "out", "");
   if (!out_path.empty()) {
