@@ -17,12 +17,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/timer.h"
 #include "core/factory.h"
+#include "core/partition_config.h"
 #include "gen/rmat.h"
 #include "graph/graph.h"
 #include "partition/streaming_partitioner.h"
@@ -118,14 +120,14 @@ int main(int argc, char** argv) {
               "legacy Me/s", "engine Me/s", "speedup", "identical");
   for (const std::string& method : methods) {
     for (const std::string& parts_str : partition_list) {
-      const std::uint32_t partitions =
-          static_cast<std::uint32_t>(std::strtoul(parts_str.c_str(),
-                                                  nullptr, 10));
-      if (partitions == 0) {
+      std::uint64_t parsed = 0;
+      if (!dne::ParseUint(parts_str, &parsed).ok() || parsed == 0 ||
+          parsed > std::numeric_limits<std::uint32_t>::max()) {
         std::fprintf(stderr, "error: bad --partitions entry '%s'\n",
                      parts_str.c_str());
         return 1;
       }
+      const std::uint32_t partitions = static_cast<std::uint32_t>(parsed);
       const RunResult legacy =
           RunMode(method, /*legacy=*/true, g, partitions, chunks, repeats);
       const RunResult engine =

@@ -8,6 +8,8 @@
 #include <iterator>
 #include <sstream>
 
+#include "core/partition_config.h"
+
 namespace dne::bench {
 
 Flags::Flags(int argc, char** argv) {
@@ -31,16 +33,38 @@ bool Flags::Has(const std::string& key) const {
   return false;
 }
 
+// Malformed numeric flags abort the bench instead of silently running the
+// atoi-style zero default — a mistyped --scale must not record a bogus
+// trajectory entry. Parsing goes through the same validated converters as
+// the option schemas (dne::ParseInt/ParseDouble).
 int Flags::GetInt(const std::string& key, int def) const {
   for (const auto& [k, v] : kv_) {
-    if (k == key) return std::atoi(v.c_str());
+    if (k == key) {
+      std::int64_t parsed = 0;
+      const Status st = ParseInt(v, &parsed);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bad flag --%s=%s: %s\n", key.c_str(), v.c_str(),
+                     st.message().c_str());
+        std::exit(2);
+      }
+      return static_cast<int>(parsed);
+    }
   }
   return def;
 }
 
 double Flags::GetDouble(const std::string& key, double def) const {
   for (const auto& [k, v] : kv_) {
-    if (k == key) return std::atof(v.c_str());
+    if (k == key) {
+      double parsed = 0;
+      const Status st = ParseDouble(v, &parsed);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bad flag --%s=%s: %s\n", key.c_str(), v.c_str(),
+                     st.message().c_str());
+        std::exit(2);
+      }
+      return parsed;
+    }
   }
   return def;
 }

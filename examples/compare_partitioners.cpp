@@ -7,13 +7,32 @@
 #include <cstdlib>
 
 #include "core/dne.h"
+#include "core/partition_config.h"
 #include "metrics/partition_metrics.h"
 
+namespace {
+
+// Positional args are parsed through the validated converter: a typo like
+// `compare_partitioners 1z` must fail loudly, not run at atoi's zero.
+std::uint64_t ArgOr(int argc, char** argv, int index, std::uint64_t def) {
+  if (argc <= index) return def;
+  std::uint64_t v = 0;
+  const dne::Status st = dne::ParseUint(argv[index], &v);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bad argument '%s': %s\n", argv[index],
+                 st.message().c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int scale = argc > 1 ? std::atoi(argv[1]) : 12;
-  const int edge_factor = argc > 2 ? std::atoi(argv[2]) : 16;
+  const int scale = static_cast<int>(ArgOr(argc, argv, 1, 12));
+  const int edge_factor = static_cast<int>(ArgOr(argc, argv, 2, 16));
   const std::uint32_t partitions =
-      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 32;
+      static_cast<std::uint32_t>(ArgOr(argc, argv, 3, 32));
 
   dne::RmatOptions gen;
   gen.scale = scale;

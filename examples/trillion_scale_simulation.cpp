@@ -10,10 +10,21 @@
 #include <cstdlib>
 
 #include "core/dne.h"
+#include "core/partition_config.h"
 #include "metrics/partition_metrics.h"
 
 int main(int argc, char** argv) {
-  const int quota = argc > 1 ? std::atoi(argv[1]) : 10;
+  int quota = 10;
+  if (argc > 1) {
+    std::int64_t parsed = 0;
+    const dne::Status st = dne::ParseInt(argv[1], &parsed);
+    if (!st.ok() || parsed < 1 || parsed > 30) {
+      std::fprintf(stderr, "bad quota_log2 '%s' (want an integer in [1,30])\n",
+                   argv[1]);
+      return 2;
+    }
+    quota = static_cast<int>(parsed);
+  }
   std::printf("weak scaling: 2^%d vertices per machine, RMAT EF=64 "
               "(paper: 2^22/machine, EF up to 1024)\n\n",
               quota);

@@ -41,6 +41,14 @@ class PartitionContext {
   /// boundaries and abort with Status::Cancelled when it becomes true. The
   /// flag is owned by the caller and may be flipped from any thread (or from
   /// inside the progress callback).
+  ///
+  /// Memory-ordering contract: the poll uses memory_order_relaxed — the flag
+  /// is a pure go/no-go signal carrying no payload, so cancellation needs no
+  /// ordering with any other memory. The only guarantee required (and given:
+  /// atomics are eventually visible) is that a store becomes visible to the
+  /// polling loop; cancellation latency is "within one loop iteration", not
+  /// "immediately". Anyone adding state that must be visible *with* the
+  /// cancel signal must switch the store/load pair to release/acquire.
   const std::atomic<bool>* cancel = nullptr;
 
   /// Invoked from the partitioning thread at coarse milestones. Must be

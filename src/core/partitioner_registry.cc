@@ -21,7 +21,8 @@ bool PartitionerRegistry::Register(PartitionerInfo info) {
                  info.name.c_str());
     std::abort();
   }
-  if (Find(info.name) != nullptr) {
+  MutexLock lock(&mu_);
+  if (FindLocked(info.name) != nullptr) {
     std::fprintf(stderr, "PartitionerRegistry: duplicate partitioner '%s'\n",
                  info.name.c_str());
     std::abort();
@@ -30,7 +31,7 @@ bool PartitionerRegistry::Register(PartitionerInfo info) {
   return true;
 }
 
-const PartitionerInfo* PartitionerRegistry::Find(
+const PartitionerInfo* PartitionerRegistry::FindLocked(
     const std::string& name) const {
   for (const auto& info : infos_) {
     if (info->name == name) return info.get();
@@ -38,7 +39,13 @@ const PartitionerInfo* PartitionerRegistry::Find(
   return nullptr;
 }
 
-std::vector<const PartitionerInfo*> PartitionerRegistry::List() const {
+const PartitionerInfo* PartitionerRegistry::Find(
+    const std::string& name) const {
+  MutexLock lock(&mu_);
+  return FindLocked(name);
+}
+
+std::vector<const PartitionerInfo*> PartitionerRegistry::ListLocked() const {
   std::vector<const PartitionerInfo*> out;
   out.reserve(infos_.size());
   for (const auto& info : infos_) out.push_back(info.get());
@@ -50,6 +57,11 @@ std::vector<const PartitionerInfo*> PartitionerRegistry::List() const {
               return a->name < b->name;
             });
   return out;
+}
+
+std::vector<const PartitionerInfo*> PartitionerRegistry::List() const {
+  MutexLock lock(&mu_);
+  return ListLocked();
 }
 
 std::vector<std::string> PartitionerRegistry::Names() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/partition_config.h"
 #include "partition/partitioner.h"
 
@@ -33,6 +34,12 @@ struct PartitionerInfo {
   bool streaming = false;
 };
 
+/// Thread safety: internally synchronised. Registration normally happens in
+/// single-threaded static initialisation, but lookups (Find/List/Create) may
+/// come from any thread — the serve/bench harnesses construct partitioners
+/// from pool workers — so the table is mutex-protected. Returned
+/// PartitionerInfo pointers stay valid for the process lifetime: the
+/// registry is append-only and each info is heap-allocated once.
 class PartitionerRegistry {
  public:
   /// The process-wide registry all DNE_REGISTER_PARTITIONER sites feed.
@@ -41,25 +48,30 @@ class PartitionerRegistry {
   /// Registers an algorithm. Duplicate names or a missing factory abort:
   /// both are build-time authoring bugs, not runtime conditions. Returns
   /// true so it can initialise a namespace-scope constant.
-  bool Register(PartitionerInfo info);
+  bool Register(PartitionerInfo info) DNE_EXCLUDES(mu_);
 
   /// Info for `name`, or nullptr.
-  const PartitionerInfo* Find(const std::string& name) const;
+  const PartitionerInfo* Find(const std::string& name) const DNE_EXCLUDES(mu_);
 
   /// All registered names in paper order.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const DNE_EXCLUDES(mu_);
 
   /// All registered infos in paper order (pointers stay valid for the
   /// process lifetime; the registry is append-only).
-  std::vector<const PartitionerInfo*> List() const;
+  std::vector<const PartitionerInfo*> List() const DNE_EXCLUDES(mu_);
 
   /// Validates `config` against the algorithm's schema and constructs it.
   /// NotFound for unknown names (message lists the known ones).
   Status Create(const std::string& name, const PartitionConfig& config,
-                std::unique_ptr<Partitioner>* out) const;
+                std::unique_ptr<Partitioner>* out) const DNE_EXCLUDES(mu_);
 
  private:
-  std::vector<std::unique_ptr<PartitionerInfo>> infos_;
+  const PartitionerInfo* FindLocked(const std::string& name) const
+      DNE_REQUIRES(mu_);
+  std::vector<const PartitionerInfo*> ListLocked() const DNE_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<PartitionerInfo>> infos_ DNE_GUARDED_BY(mu_);
 };
 
 /// Registers a partitioner from namespace scope of its .cc file:

@@ -16,6 +16,12 @@
 // stale duplicates included — so swapping one for the other is
 // bit-identical for the whole partitioner. Lazy deletion of already-
 // expanded vertices stays in ExpansionProcess, as before.
+//
+// Thread contract: rank-confined. A queue belongs to exactly one
+// DneRankState and is only touched while that rank's superstep phase runs,
+// i.e. by whichever ThreadPool worker currently executes the rank — never
+// by two threads at once. The phase barrier (ParallelFor join) publishes
+// the state between workers across phases; no internal locking needed.
 #ifndef DNE_PARTITION_DNE_BOUNDARY_QUEUE_H_
 #define DNE_PARTITION_DNE_BOUNDARY_QUEUE_H_
 

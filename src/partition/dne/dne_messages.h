@@ -6,6 +6,7 @@
 #ifndef DNE_PARTITION_DNE_DNE_MESSAGES_H_
 #define DNE_PARTITION_DNE_DNE_MESSAGES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <type_traits>
 
@@ -45,6 +46,31 @@ static_assert(std::is_trivially_copyable_v<SelectRequest> &&
                   std::is_trivially_copyable_v<BoundaryReport> &&
                   std::is_trivially_copyable_v<Edge>,
               "wire records must be memcpy-safe");
+
+// Layout freeze: the process transport memcpys these records (including
+// padding) into checksummed frames, so any size or offset drift between two
+// builds silently desyncs the stream past the checksum. Pinning the layout
+// here turns drift into a build error instead. tools/dne_lint.py additionally
+// requires every struct in this header to keep explicit-width fields and a
+// trivially-copyable assert.
+static_assert(sizeof(VertexId) == 8 && sizeof(PartitionId) == 4,
+              "wire scalar widths are part of the frame format");
+static_assert(sizeof(SelectRequest) == 16 &&
+                  offsetof(SelectRequest, v) == 0 &&
+                  offsetof(SelectRequest, p) == 8,
+              "SelectRequest wire layout drifted");
+static_assert(sizeof(VertexPartPair) == 16 &&
+                  offsetof(VertexPartPair, v) == 0 &&
+                  offsetof(VertexPartPair, p) == 8,
+              "VertexPartPair wire layout drifted");
+static_assert(sizeof(BoundaryReport) == 16 &&
+                  offsetof(BoundaryReport, v) == 0 &&
+                  offsetof(BoundaryReport, p) == 8 &&
+                  offsetof(BoundaryReport, local_drest) == 12,
+              "BoundaryReport wire layout drifted");
+static_assert(sizeof(Edge) == 16 && offsetof(Edge, src) == 0 &&
+                  offsetof(Edge, dst) == 8,
+              "Edge wire layout drifted");
 
 }  // namespace dne
 

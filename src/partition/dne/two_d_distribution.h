@@ -2,6 +2,12 @@
 // uniquely owned by one allocation process; vertices are replicated across
 // the owner grid row + column, and the replica set is *computed* from the
 // vertex id — no stored metadata, the paper's trillion-edge-scale trick.
+//
+// Thread contract: immutable after construction (three scalar fields, never
+// reassigned), so any number of threads may call the lookup methods
+// concurrently with no synchronization — the parallel shard build in
+// DneRankState leans on this, and the 8-thread determinism stress test
+// (tests/tsan_stress_test.cc) pins it under TSan.
 #ifndef DNE_PARTITION_DNE_TWO_D_DISTRIBUTION_H_
 #define DNE_PARTITION_DNE_TWO_D_DISTRIBUTION_H_
 

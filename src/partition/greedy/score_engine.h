@@ -24,6 +24,15 @@
 // The legacy full-scan scorers stay runnable behind each algorithm's
 // `legacy_scorer` option; `tests/greedy_engine_test.cc` holds the
 // differential matrix.
+//
+// Thread contract: the engine's shared state (ReplicaTable + LoadTracker)
+// is single-writer by construction — the streaming partitioners consume
+// edges strictly sequentially on the caller's thread, and every Best()
+// lookup reads state produced by earlier edges on that same thread. None
+// of these types are internally synchronized; sharing one across threads
+// would also break determinism (assignment depends on processing order),
+// so the linter-enforced rule is: one engine per stream, one stream per
+// thread.
 #ifndef DNE_PARTITION_GREEDY_SCORE_ENGINE_H_
 #define DNE_PARTITION_GREEDY_SCORE_ENGINE_H_
 

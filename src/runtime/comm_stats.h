@@ -10,6 +10,12 @@ namespace dne {
 /// *cross-rank* traffic is counted: messages a rank sends to itself model
 /// intra-machine handoff (e.g. expansion process -> allocation process on the
 /// same machine in Fig. 4) and are free, exactly as in the MPI deployment.
+///
+/// Thread contract: NOT internally synchronized. AddMessage/Reset are called
+/// only from the driver thread during the sequential, rank-ordered ledger
+/// flush at an exchange boundary (see CommLedger in runtime/communicator.h);
+/// worker threads never touch these counters, so plain non-atomic fields are
+/// correct and keep the per-message cost at two increments.
 struct CommStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;

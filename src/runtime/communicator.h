@@ -57,6 +57,12 @@ enum class DneMsgKind : std::uint8_t {
 /// the BSP step boundaries. The in-process driver plugs a SimCluster-backed
 /// ledger in (modeled charging, identical to the pre-refactor driver); a
 /// rank process plugs in a tape that is shipped to the parent and replayed.
+///
+/// Thread safety: charges are *driver-thread-only*, like the collectives —
+/// the superstep loop accumulates per-rank ops in rank-local state during
+/// parallel phases and flushes them here sequentially in rank order, which
+/// is also what keeps the charge stream (and thus every derived stat)
+/// deterministic across thread counts.
 class CommLedger {
  public:
   virtual ~CommLedger() = default;
@@ -120,6 +126,13 @@ struct RankMailboxes {
 /// The transport interface. One virtual Exchange per POD message type (the
 /// kinds are a closed set); every call is a collective — all ranks reach it
 /// in the same order, the BSP structure of the loop guarantees that.
+///
+/// Thread safety: collectives are *driver-thread-only*. One thread per
+/// endpoint issues Exchange/AllGatherU64/Barrier; pool workers fill the
+/// mailboxes' disjoint out-rows beforehand and the ParallelFor join
+/// publishes those writes to the driver (see the RankMailboxes/AllToAll
+/// phase contract). Implementations may therefore keep unsynchronised
+/// per-endpoint scratch. SetLedger must happen-before the first collective.
 class Communicator {
  public:
   virtual ~Communicator() = default;

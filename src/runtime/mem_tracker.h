@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace dne {
 
 /// Tracks the bytes resident on each simulated rank and the cluster-wide
@@ -13,37 +15,64 @@ namespace dne {
 ///   (sum over processes of bytes at the peak snapshot) / |E|;
 /// we take the peak of the cluster-wide total, which is what the 0.5-second
 /// snapshot sampling in the paper approximates.
+///
+/// Thread safety: fully internally synchronised — Allocate/Release and every
+/// accessor take mu_, so charges may arrive from pool workers (the stream
+/// harness charges from the read-ahead task) concurrently with the driver.
+/// The peak is maintained under the same mutex as the counter it snapshots,
+/// so `peak >= every concurrent current` holds with no relaxed-atomic
+/// subtleties: a mutex-serialised read-modify-write is the whole contract.
+/// Readers see the totals of all charges that happened-before the accessor
+/// call; for exact end-of-run figures, call after joining/awaiting the
+/// charging tasks (all existing callers read after a barrier or future.get).
 class MemTracker {
  public:
   MemTracker() : MemTracker(1) {}
   explicit MemTracker(int num_ranks)
       : current_(num_ranks, 0), rank_peak_(num_ranks, 0) {}
 
-  void Allocate(int rank, std::size_t bytes) {
+  void Allocate(int rank, std::size_t bytes) DNE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     current_[rank] += bytes;
     if (current_[rank] > rank_peak_[rank]) rank_peak_[rank] = current_[rank];
     total_ += bytes;
     if (total_ > peak_total_) peak_total_ = total_;
   }
 
-  void Release(int rank, std::size_t bytes) {
+  void Release(int rank, std::size_t bytes) DNE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     current_[rank] -= bytes;
     total_ -= bytes;
   }
 
-  std::uint64_t current_total() const { return total_; }
-  std::uint64_t peak_total() const { return peak_total_; }
+  std::uint64_t current_total() const DNE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return total_;
+  }
+  std::uint64_t peak_total() const DNE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return peak_total_;
+  }
 
   /// Per-rank high-water marks. Under the in-process transport these come
   /// from the driver's charges; under the process transport each rank
   /// process reports its own peaks, which the coordinator replays here at
   /// the terminal barrier — so "peak per rank" is the rank's, not a share
   /// of a single global number.
-  std::uint64_t rank_peak(int rank) const { return rank_peak_[rank]; }
-  const std::vector<std::uint64_t>& rank_peaks() const { return rank_peak_; }
+  std::uint64_t rank_peak(int rank) const DNE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return rank_peak_[rank];
+  }
+  /// Snapshot of all per-rank peaks (by value: the internal vector may keep
+  /// moving under concurrent charges).
+  std::vector<std::uint64_t> rank_peaks() const DNE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return rank_peak_;
+  }
 
   /// Mem score = peak cluster-wide bytes / edge count.
-  double MemScore(std::uint64_t num_edges) const {
+  double MemScore(std::uint64_t num_edges) const DNE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return num_edges == 0
                ? 0.0
                : static_cast<double>(peak_total_) /
@@ -51,10 +80,11 @@ class MemTracker {
   }
 
  private:
-  std::vector<std::uint64_t> current_;
-  std::vector<std::uint64_t> rank_peak_;
-  std::uint64_t total_ = 0;
-  std::uint64_t peak_total_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::uint64_t> current_ DNE_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> rank_peak_ DNE_GUARDED_BY(mu_);
+  std::uint64_t total_ DNE_GUARDED_BY(mu_) = 0;
+  std::uint64_t peak_total_ DNE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dne

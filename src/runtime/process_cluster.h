@@ -38,6 +38,13 @@
 namespace dne {
 
 /// Parent-side handle on the forked rank processes.
+///
+/// Thread safety: confined to the coordinating parent thread — Launch,
+/// PollExited, KillAll and ReapAll share the pid/reaped tables with no
+/// internal lock, and fork()/waitpid() from concurrent threads would be a
+/// hazard regardless. (This file is also the only place outside the linter
+/// allowlist permitted to call fork(): tools/dne_lint.py bans raw
+/// pthread/fork primitives outside src/runtime/.)
 class ProcessCluster {
  public:
   /// Runs in the forked child: (child index, mesh fds indexed by peer

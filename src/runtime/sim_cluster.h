@@ -21,6 +21,15 @@
 namespace dne {
 
 /// A simulated cluster of `num_ranks` machines.
+///
+/// Thread safety: *externally synchronised, single-writer*. All charging
+/// (comm()/cost() mutation, Barrier()) happens on the orchestrating driver
+/// thread — the superstep loop flushes per-rank work sequentially in rank
+/// order precisely so the charge stream is deterministic; pool workers never
+/// touch the cluster directly. The one exception is mem(): MemTracker is
+/// internally synchronised (see mem_tracker.h) because the stream harness
+/// charges it from read-ahead tasks. This contract is what keeps charging
+/// deterministic and is exercised under TSan by tests/tsan_stress_test.cc.
 class SimCluster {
  public:
   explicit SimCluster(int num_ranks,
@@ -65,6 +74,14 @@ class SimCluster {
 /// allocation-free in steady state — the DNE driver runs four exchanges per
 /// superstep this way. Reset() abandons any buffered messages in place
 /// (capacity retained, nothing charged).
+///
+/// Thread safety: *phase-structured*. During a fill phase, concurrent
+/// threads may each append to disjoint Out(from, ·) rows (the outbox grid is
+/// pre-sized at construction, so no shared vector reallocates); the
+/// ParallelFor completion hand-shake then publishes every append to the
+/// driver before Deliver()/DeliverInto()/Reset(), which must run exclusively
+/// on the driver thread. A mutex cannot express this barrier discipline —
+/// it is documented here, checked at runtime by the TSan stress suite.
 template <typename T>
 class AllToAll {
  public:

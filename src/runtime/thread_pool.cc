@@ -10,7 +10,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   work_ready_.notify_all();
@@ -19,32 +19,35 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   std::uint64_t seen_generation = 0;
+  mu_.Lock();
   while (true) {
-    std::unique_lock<std::mutex> lock(mu_);
-    work_ready_.wait(lock, [&] {
-      return shutdown_ || !tasks_.empty() ||
-             (job_ != nullptr && generation_ != seen_generation);
-    });
+    while (!(shutdown_ || !tasks_.empty() ||
+             (job_ != nullptr && generation_ != seen_generation))) {
+      work_ready_.wait(mu_);
+    }
     // Drain pending Submit tasks first (also during shutdown, so futures
     // handed out before the destructor always complete).
     if (!tasks_.empty()) {
       std::packaged_task<void()> task = std::move(tasks_.front());
       tasks_.pop_front();
-      lock.unlock();
+      mu_.Unlock();
       task();
+      mu_.Lock();
       continue;
     }
-    if (shutdown_) return;
+    if (shutdown_) break;
     seen_generation = generation_;
     while (next_index_ < job_size_) {
       const std::size_t i = next_index_++;
-      lock.unlock();
-      (*job_)(i);
-      lock.lock();
+      const std::function<void(std::size_t)>* job = job_;
+      mu_.Unlock();
+      (*job)(i);
+      mu_.Lock();
       ++completed_;
     }
     if (completed_ == job_size_) work_done_.notify_all();
   }
+  mu_.Unlock();
 }
 
 void ThreadPool::ParallelFor(std::size_t n,
@@ -55,7 +58,7 @@ void ThreadPool::ParallelFor(std::size_t n,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     job_ = &fn;
     job_size_ = n;
     next_index_ = 0;
@@ -64,18 +67,17 @@ void ThreadPool::ParallelFor(std::size_t n,
   }
   work_ready_.notify_all();
   // The caller participates too.
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (next_index_ < job_size_) {
-      const std::size_t i = next_index_++;
-      lock.unlock();
-      fn(i);
-      lock.lock();
-      ++completed_;
-    }
-    work_done_.wait(lock, [&] { return completed_ == job_size_; });
-    job_ = nullptr;
+  mu_.Lock();
+  while (next_index_ < job_size_) {
+    const std::size_t i = next_index_++;
+    mu_.Unlock();
+    fn(i);
+    mu_.Lock();
+    ++completed_;
   }
+  while (completed_ != job_size_) work_done_.wait(mu_);
+  job_ = nullptr;
+  mu_.Unlock();
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
@@ -86,7 +88,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push_back(std::move(task));
   }
   work_ready_.notify_all();

@@ -10,9 +10,10 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dne {
 
@@ -27,6 +28,24 @@ inline constexpr int kMaxPoolThreads = 256;
 /// results are bit-identical with and without threads as long as tasks are
 /// independent per index — which is how the DNE driver uses it (one
 /// simulated rank per index, no shared mutable state across ranks).
+///
+/// Concurrency contract (machine-checked by the DNE_GUARDED_BY annotations,
+/// exercised under TSan by tests/tsan_stress_test.cc):
+///   * Submit() may be called from any thread, concurrently with other
+///     Submit() calls and with an in-flight ParallelFor().
+///   * ParallelFor() is a *driver-side* primitive: at most one call may be
+///     in flight at a time (concurrent callers would stomp the shared job
+///     slot). The DNE driver and the stream harness both satisfy this by
+///     construction — one orchestrating thread.
+///   * The destructor drains queued Submit tasks before joining, so every
+///     future handed out is eventually satisfied; it must not race with new
+///     Submit()/ParallelFor() calls (owner destroys last, as usual).
+///
+/// Memory ordering: all cross-thread publication goes through mu_ — the
+/// closure state read by workers inside fn is written by the driver before
+/// the mutex-protected job hand-off and read back after the mutex-protected
+/// completion hand-shake, so plain (non-atomic) captures are safe on both
+/// sides. The pool itself uses no relaxed atomics.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -39,7 +58,8 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, n), distributing indices over the pool
   /// plus the calling thread; returns when all calls completed.
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn)
+      DNE_EXCLUDES(mu_);
 
   /// Schedules fn on a pool worker and returns a future that completes when
   /// it has run — the primitive behind double-buffered chunk read-ahead
@@ -47,22 +67,24 @@ class ThreadPool {
   /// With num_threads <= 1 fn runs inline before returning, degenerating to
   /// a sequential fetch. Tasks coexist with ParallelFor: a worker busy on a
   /// task simply does not participate in an ongoing ParallelFor.
-  std::future<void> Submit(std::function<void()> fn);
+  std::future<void> Submit(std::function<void()> fn) DNE_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DNE_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::deque<std::packaged_task<void()>> tasks_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_size_ = 0;
-  std::size_t next_index_ = 0;
-  std::size_t completed_ = 0;
-  std::uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  // condition_variable_any so the waits run against the annotated Mutex
+  // (BasicLockable) and every surrounding access stays analysed.
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any work_done_;
+  std::deque<std::packaged_task<void()>> tasks_ DNE_GUARDED_BY(mu_);
+  const std::function<void(std::size_t)>* job_ DNE_GUARDED_BY(mu_) = nullptr;
+  std::size_t job_size_ DNE_GUARDED_BY(mu_) = 0;
+  std::size_t next_index_ DNE_GUARDED_BY(mu_) = 0;
+  std::size_t completed_ DNE_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ DNE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DNE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dne

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/status.h"
@@ -60,6 +61,21 @@ struct FrameHeader {
   std::uint64_t payload_len = 0;
   std::uint64_t checksum = 0;
 };
+
+// The header is encoded field-by-field (EncodeHeader), not memcpy'd whole,
+// but each field IS memcpy'd at a fixed offset — freeze the field widths and
+// the frame constants so a type edit here cannot silently change the wire
+// format under the checksum.
+static_assert(std::is_trivially_copyable_v<FrameHeader>,
+              "FrameHeader fields are memcpy'd into frames");
+static_assert(sizeof(FrameHeader::magic) == 4 &&
+                  sizeof(FrameHeader::kind) == 1 &&
+                  sizeof(FrameHeader::from) == 4 &&
+                  sizeof(FrameHeader::payload_len) == 8 &&
+                  sizeof(FrameHeader::checksum) == 8,
+              "frame header field widths are part of the wire format");
+static_assert(kFrameHeaderBytes == 32 && kSubBlockHeaderBytes == 16,
+              "frame geometry is part of the wire format");
 
 /// Serialises the header into exactly kFrameHeaderBytes.
 void EncodeHeader(const FrameHeader& h, unsigned char out[kFrameHeaderBytes]);

@@ -1,0 +1,526 @@
+#!/usr/bin/env python3
+"""dne_lint: determinism & wire-safety invariants the compilers can't check.
+
+The repo's headline guarantee is bit-identical partitions across thread
+counts, transports and rank counts. Clang's thread-safety analysis and TSan
+cover locking; this linter covers the *determinism and wire-format* half of
+the contract, statically:
+
+  wire-pod        Every struct in the wire/message headers
+                  (src/partition/dne/dne_messages.h, src/runtime/wire.h) is
+                  covered by a static_assert(std::is_trivially_copyable_v<X>)
+                  and uses only explicit-width field types — no `int`/`long`/
+                  `size_t` whose width can drift between ABIs.
+  nondeterminism  No rand()/srand()/std::random_device (unseeded entropy) and
+                  no iteration over std::unordered_{map,set} (hash order is
+                  implementation-defined) in partition-result-affecting paths
+                  (src/partition, src/core, src/gen, src/graph).
+  numeric-parse   No naked std::stoi/atoi/strtol/... outside the validated
+                  option parser (src/core/partition_config.cc) — ad-hoc
+                  parses throw or silently truncate on bad input.
+  include-cc      No `#include` of a .cc file (hides ODR/link structure).
+  raw-thread      No direct pthread_* / fork() / vfork() / clone() outside
+                  src/runtime/ — process and thread lifecycles live in the
+                  runtime layer only.
+  stale-allowlist Every allowlist entry must still match something; stale
+                  exceptions rot the policy and are flagged.
+
+Exceptions go in tools/dne_lint_allow.txt with a reason; see that file for
+the format and policy. Run modes:
+
+  dne_lint.py [--root DIR] [--check]   scan the tree (exit 1 on violations)
+  dne_lint.py --self-test              seed each violation class in a temp
+                                       tree, assert every rule fires
+  dne_lint.py --list-rules             print the rule table
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+import tempfile
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+SCAN_DIRS = ("src", "tools", "bench", "examples")
+RESULT_DIRS = ("src/partition", "src/core", "src/gen", "src/graph")
+WIRE_HEADERS = ("src/partition/dne/dne_messages.h", "src/runtime/wire.h")
+VALIDATED_PARSER = "src/core/partition_config.cc"
+RUNTIME_DIR = "src/runtime"
+ALLOWLIST_FILE = os.path.join("tools", "dne_lint_allow.txt")
+
+# Field types whose width is pinned on every ABI this project targets.
+EXPLICIT_WIDTH_TYPES = {
+    "std::uint8_t", "std::uint16_t", "std::uint32_t", "std::uint64_t",
+    "std::int8_t", "std::int16_t", "std::int32_t", "std::int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "VertexId", "EdgeId", "PartitionId",
+    "unsigned char", "std::byte",
+}
+
+NONDET_TOKENS = [
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand() (unseeded global RNG)"),
+    (re.compile(r"(?<![\w:.>])rand\s*\("), "rand() (unseeded global RNG)"),
+    (re.compile(r"\brandom_device\b"), "std::random_device (entropy source)"),
+    (re.compile(r"(?<!\w)[ld]rand48\s*\("), "rand48 family"),
+]
+
+NUMERIC_PARSE_TOKENS = [
+    (re.compile(r"\bstd::sto(i|l|ll|ul|ull|f|d|ld)\s*\("), "std::sto*"),
+    (re.compile(r"(?<![\w.>])(?:std::)?ato(i|l|ll|f)\s*\("), "ato*"),
+    (re.compile(r"(?<![\w.>])(?:std::)?strto(l|ul|ll|ull|d|f|ld)\s*\("),
+     "strto*"),
+    (re.compile(r"(?<![\w.>])(?:std::)?s?scanf\s*\("), "scanf family"),
+]
+
+RAW_THREAD_TOKENS = [
+    (re.compile(r"\bpthread_\w+\s*\("), "pthread_* call"),
+    (re.compile(r"(?<![\w:.>])fork\s*\(\s*\)"), "fork()"),
+    (re.compile(r"(?<![\w:.>])vfork\s*\(\s*\)"), "vfork()"),
+    (re.compile(r"(?<![\w:.>])clone\s*\("), "clone()"),
+]
+
+INCLUDE_CC_RE = re.compile(r'#\s*include\s+["<][^">]*\.cc[">]')
+
+RULES = {
+    "wire-pod": "wire/message structs: trivially-copyable assert + "
+                "explicit-width fields",
+    "nondeterminism": "no unseeded RNG / unordered-container iteration in "
+                      "result-affecting paths",
+    "numeric-parse": "no naked numeric parses outside the validated option "
+                     "parser",
+    "include-cc": "no #include of .cc files",
+    "raw-thread": "no raw pthread/fork primitives outside src/runtime/",
+    "stale-allowlist": "allowlist entries must still match a real site",
+}
+
+
+class Violation:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line  # 1-based, 0 = whole file
+        self.message = message
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literal *contents*, preserving
+    line structure so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; bail to code to stay line-stable
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def iter_source_files(root):
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != "build"]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def find_token_violations(rule, rel, stripped, tokens, out):
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for regex, what in tokens:
+            if regex.search(line):
+                out.append(Violation(rule, rel, lineno, f"{what} is banned"))
+
+
+STRUCT_RE = re.compile(r"^\s*struct\s+(\w+)\s*(\{|$)")
+MEMBER_RE = re.compile(
+    r"^\s*((?:const\s+)?[\w:]+(?:\s+\w+)?)\s+(\w+)\s*(\[\s*\w+\s*\])?"
+    r"\s*(=[^;]*)?;")
+
+
+def check_wire_header(rel, stripped, out):
+    """wire-pod over one of the WIRE_HEADERS."""
+    lines = stripped.splitlines()
+    structs = {}  # name -> decl line
+    i = 0
+    while i < len(lines):
+        m = STRUCT_RE.match(lines[i])
+        if not m:
+            i += 1
+            continue
+        name, decl_line = m.group(1), i + 1
+        structs[name] = decl_line
+        # Walk the struct body by brace depth, vetting member declarations.
+        depth = 0
+        j = i
+        body_started = False
+        while j < len(lines):
+            depth += lines[j].count("{") - lines[j].count("}")
+            if "{" in lines[j]:
+                body_started = True
+            if body_started and depth <= 0:
+                break
+            if body_started and depth == 1 and j > i:
+                line = lines[j]
+                if ("(" in line or "static" in line or "using" in line or
+                        "friend" in line):
+                    j += 1
+                    continue
+                mm = MEMBER_RE.match(line)
+                if mm:
+                    field_type = re.sub(r"^const\s+", "",
+                                        mm.group(1).strip())
+                    field_type = re.sub(r"\s+", " ", field_type)
+                    if field_type not in EXPLICIT_WIDTH_TYPES:
+                        out.append(Violation(
+                            "wire-pod", rel, j + 1,
+                            f"field '{mm.group(2)}' of wire struct '{name}' "
+                            f"has non-explicit-width type '{field_type}'"))
+            j += 1
+        i = j + 1
+    for name, decl_line in structs.items():
+        assert_re = re.compile(
+            r"is_trivially_copyable(_v)?\s*<\s*" + re.escape(name) + r"\s*>")
+        if not assert_re.search(stripped):
+            out.append(Violation(
+                "wire-pod", rel, decl_line,
+                f"struct '{name}' lacks a "
+                f"static_assert(std::is_trivially_copyable_v<{name}>)"))
+
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<[^;{}()]*>\s+(\w+)\s*(?:;|=|\{)")
+
+
+def check_nondeterminism(rel, stripped, out):
+    find_token_violations("nondeterminism", rel, stripped, NONDET_TOKENS, out)
+    names = set(UNORDERED_DECL_RE.findall(stripped))
+    if not names:
+        return
+    pattern = re.compile(
+        r"for\s*\([^;)]*:\s*(?:this->)?(" + "|".join(
+            re.escape(n) for n in names) + r")\s*\)")
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        m = pattern.search(line)
+        if m:
+            out.append(Violation(
+                "nondeterminism", rel, lineno,
+                f"iteration over std::unordered container '{m.group(1)}' "
+                "(hash order is implementation-defined)"))
+
+
+def scan_tree(root):
+    violations = []
+    for rel in iter_source_files(root):
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8",
+                      errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            violations.append(Violation("include-cc", rel, 0,
+                                        f"unreadable: {e}"))
+            continue
+        stripped = strip_comments_and_strings(text)
+
+        # Include targets live inside string literals, so this rule runs on
+        # the raw text — but only on lines that survive comment stripping
+        # (a commented-out include is not a violation).
+        stripped_lines = stripped.splitlines()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if (INCLUDE_CC_RE.search(line) and lineno <= len(stripped_lines)
+                    and "#" in stripped_lines[lineno - 1]):
+                violations.append(Violation(
+                    "include-cc", rel, lineno,
+                    "#include of a .cc file"))
+
+        if rel in WIRE_HEADERS:
+            check_wire_header(rel, stripped, violations)
+
+        if any(rel.startswith(d + "/") for d in RESULT_DIRS):
+            check_nondeterminism(rel, stripped, violations)
+
+        if rel != VALIDATED_PARSER:
+            find_token_violations("numeric-parse", rel, stripped,
+                                  NUMERIC_PARSE_TOKENS, violations)
+
+        if not rel.startswith(RUNTIME_DIR + "/"):
+            find_token_violations("raw-thread", rel, stripped,
+                                  RAW_THREAD_TOKENS, violations)
+    return violations
+
+
+def load_allowlist(root):
+    """Entries: `rule|path-glob|line-substring|reason` (substring may be
+    empty = whole file). Lines starting with # and blanks are skipped."""
+    path = os.path.join(root, ALLOWLIST_FILE)
+    entries = []
+    if not os.path.isfile(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [p.strip() for p in line.split("|")]
+            if len(parts) != 4 or not parts[3]:
+                print(f"{ALLOWLIST_FILE}:{lineno}: malformed entry (need "
+                      "rule|path-glob|substring|reason)", file=sys.stderr)
+                sys.exit(2)
+            entries.append({"rule": parts[0], "glob": parts[1],
+                            "substr": parts[2], "reason": parts[3],
+                            "line": lineno, "used": False})
+    return entries
+
+
+def apply_allowlist(violations, entries, root):
+    remaining = []
+    for v in violations:
+        suppressed = False
+        for e in entries:
+            if e["rule"] != v.rule:
+                continue
+            if not fnmatch.fnmatch(v.path, e["glob"]):
+                continue
+            if e["substr"]:
+                try:
+                    with open(os.path.join(root, v.path),
+                              encoding="utf-8", errors="replace") as f:
+                        lines = f.read().splitlines()
+                    line_text = lines[v.line - 1] if 0 < v.line <= len(
+                        lines) else ""
+                except OSError:
+                    line_text = ""
+                if e["substr"] not in line_text:
+                    continue
+            e["used"] = True
+            suppressed = True
+            break
+        if not suppressed:
+            remaining.append(v)
+    for e in entries:
+        if not e["used"]:
+            remaining.append(Violation(
+                "stale-allowlist", ALLOWLIST_FILE, e["line"],
+                f"entry for rule '{e['rule']}' glob '{e['glob']}' matches "
+                "nothing — remove it"))
+    return remaining
+
+
+def run_check(root):
+    violations = apply_allowlist(scan_tree(root), load_allowlist(root), root)
+    for v in sorted(violations, key=lambda v: (v.path, v.line)):
+        print(v)
+    if violations:
+        print(f"\ndne_lint: {len(violations)} violation(s). Fix them or add "
+              f"a justified entry to {ALLOWLIST_FILE}.", file=sys.stderr)
+        return 1
+    print("dne_lint: clean")
+    return 0
+
+
+# --------------------------- self-test ------------------------------------
+
+SEEDED_FILES = {
+    # wire-pod: struct with no trivially-copyable assert + an `int` field.
+    "src/partition/dne/dne_messages.h": """
+struct GoodRecord {
+  std::uint64_t v;
+  std::uint32_t p;
+};
+static_assert(std::is_trivially_copyable_v<GoodRecord>, "ok");
+struct BadRecord {
+  int width_drifts;
+  long also_drifts;
+};
+""",
+    # nondeterminism: rand/srand/random_device + unordered_map iteration.
+    "src/partition/seeded_nondet.cc": """
+#include <unordered_map>
+int Mix() {
+  std::unordered_map<int, int> counts;
+  int sum = rand();
+  srand(42);
+  std::random_device rd;
+  for (const auto& kv : counts) sum += kv.second;
+  return sum;
+}
+""",
+    # numeric-parse: naked stoi/atoi (bare and std-qualified) outside the
+    # validated parser.
+    "src/graph/seeded_parse.cc": """
+#include <string>
+int Parse(const std::string& s) { return std::stoi(s) + atoi(s.c_str()); }
+long Parse2(const std::string& s) { return std::atol(s.c_str()); }
+""",
+    # include-cc.
+    "src/core/seeded_include.cc": """
+#include "core/partitioner_registry.cc"
+""",
+    # raw-thread: fork/pthread outside src/runtime/.
+    "src/partition/seeded_thread.cc": """
+#include <pthread.h>
+void Spawn() {
+  pthread_t t;
+  pthread_create(&t, nullptr, nullptr, nullptr);
+  (void)fork();
+}
+""",
+    # Clean runtime file: fork here is legal (src/runtime/ is the exemption).
+    "src/runtime/seeded_runtime_ok.cc": """
+void LaunchChild() { (void)fork(); }
+""",
+}
+
+EXPECTED_RULE_HITS = {
+    "wire-pod": 3,        # missing assert + 2 drifting fields
+    "nondeterminism": 4,  # rand, srand, random_device, map iteration
+    "numeric-parse": 3,   # stoi + bare atoi + std::atol
+    "include-cc": 1,
+    "raw-thread": 2,      # pthread_create + fork
+}
+
+
+def run_self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="dne_lint_selftest_") as tmp:
+        for rel, content in SEEDED_FILES.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        violations = scan_tree(tmp)
+        by_rule = {}
+        for v in violations:
+            by_rule.setdefault(v.rule, []).append(v)
+        for rule, want in EXPECTED_RULE_HITS.items():
+            got = len(by_rule.get(rule, []))
+            if got != want:
+                failures.append(
+                    f"rule '{rule}': expected {want} seeded hit(s), got "
+                    f"{got}: {[str(v) for v in by_rule.get(rule, [])]}")
+        for v in violations:
+            if "seeded_runtime_ok" in v.path:
+                failures.append(f"false positive in runtime exemption: {v}")
+        # The clean half of the seeds must NOT fire (GoodRecord, the
+        # non-iterating unordered_map decl itself, the comment-only tokens).
+        good_hits = [v for v in by_rule.get("wire-pod", [])
+                     if "GoodRecord" in v.message]
+        if good_hits:
+            failures.append(f"false positive on clean struct: {good_hits[0]}")
+
+        # Allowlist round-trip: a justified entry suppresses its violation,
+        # and a stale entry is itself flagged.
+        allow_path = os.path.join(tmp, ALLOWLIST_FILE)
+        os.makedirs(os.path.dirname(allow_path), exist_ok=True)
+        with open(allow_path, "w", encoding="utf-8") as f:
+            f.write("numeric-parse|src/graph/seeded_parse.cc||"
+                    "self-test suppression\n")
+            f.write("raw-thread|src/nonexistent/*.cc||stale on purpose\n")
+        after = apply_allowlist(scan_tree(tmp), load_allowlist(tmp), tmp)
+        rules_after = {v.rule for v in after}
+        if "numeric-parse" in rules_after:
+            failures.append("allowlist entry failed to suppress "
+                            "numeric-parse")
+        if "stale-allowlist" not in rules_after:
+            failures.append("stale allowlist entry was not flagged")
+
+        # And a violation-free mini-tree must exit clean.
+        with tempfile.TemporaryDirectory(prefix="dne_lint_clean_") as clean:
+            os.makedirs(os.path.join(clean, "src", "core"))
+            with open(os.path.join(clean, "src", "core", "ok.cc"), "w",
+                      encoding="utf-8") as f:
+                f.write("int Identity(int x) { return x; }\n")
+            if scan_tree(clean):
+                failures.append("clean tree produced violations")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print(f"dne_lint self-test: all {len(EXPECTED_RULE_HITS)} rule classes "
+          "fire on seeded violations; clean tree passes")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the script's parent repo)")
+    parser.add_argument("--check", action="store_true",
+                        help="scan the tree (the default mode)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="prove every rule fires on seeded violations")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:16} {desc}")
+        return 0
+    if args.self_test:
+        return run_self_test()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    return run_check(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
