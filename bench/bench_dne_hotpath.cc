@@ -19,7 +19,7 @@
 //   ./bench_dne_hotpath [--scale=17] [--edge-factor=8] [--partitions=16]
 //                       [--threads=8] [--repeats=3] [--seed=7]
 //                       [--modes=legacy,fast,process] [--transport=process]
-//                       [--ranks=N] [--json=FILE]
+//                       [--ranks=N] [--process-ratio-warn=R] [--json=FILE]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       "superstep pipeline: old vs overhauled shape, modeled vs real transport",
       "--scale=N --edge-factor=N --partitions=N --threads=N --repeats=N "
       "--seed=N --modes=legacy,fast,process --transport=process --ranks=N "
-      "--json=FILE");
+      "--process-ratio-warn=R --json=FILE");
 
   dne::RmatOptions ro;
   ro.scale = scale;
@@ -182,6 +182,32 @@ int main(int argc, char** argv) {
                   speedup);
     }
   }
+  double process_ratio = 0.0;
+  {
+    const ModeResult* inproc = nullptr;
+    const ModeResult* proc = nullptr;
+    for (const ModeResult& r : results) {
+      if (r.mode == "fast" || (r.mode == "legacy" && inproc == nullptr)) {
+        inproc = &r;
+      }
+      if (r.mode == "process") proc = &r;
+    }
+    if (inproc != nullptr && proc != nullptr && inproc->edges_per_sec > 0) {
+      process_ratio = proc->edges_per_sec / inproc->edges_per_sec;
+      std::printf("process vs in-process throughput: %.2fx\n", process_ratio);
+      // Warn-only perf gate for CI: below the floor we complain loudly but
+      // never fail the run — wall-clock on shared runners is too noisy to
+      // gate hard, the bit-identity checks above are what must hold.
+      const double warn_floor = flags.GetDouble("process-ratio-warn", 0.0);
+      if (warn_floor > 0.0 && process_ratio < warn_floor) {
+        std::fprintf(stderr,
+                     "WARNING: process transport ran at %.2fx of the "
+                     "in-process throughput (floor %.2fx) — possible "
+                     "transport performance regression\n",
+                     process_ratio, warn_floor);
+      }
+    }
+  }
   std::printf("(legacy replays the pre-overhaul hot path end to end: "
               "sequential selection, binary-heap boundaries, per-superstep "
               "exchange allocation, whole-array vertex lookup, full "
@@ -233,6 +259,7 @@ int main(int argc, char** argv) {
     }
     w.EndArray();
     w.KV("speedup_fast_over_legacy", speedup);
+    w.KV("process_vs_inproc_ratio", process_ratio);
     w.KV("transport_bit_identical", transport_identical);
     w.KV("peak_rss_bytes", dne::bench::PeakRssBytes());
     w.EndObject();

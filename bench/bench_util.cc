@@ -267,6 +267,45 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
   return true;
 }
 
+namespace {
+
+// True when [first, last] of `s` is a structurally complete JSON value:
+// starts like an array or object, every brace/bracket balances
+// (string-aware, so "]" inside a quoted value doesn't count), and no
+// string runs off the end. Splicing a record into anything that fails
+// this would produce a file no JSON reader can load — e.g. a benchmark
+// run killed mid-write leaving `[{"run":1`.
+bool LooksLikeCompleteJson(const std::string& s, std::size_t first,
+                           std::size_t last) {
+  if (s[first] != '[' && s[first] != '{') return false;
+  long depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = first; i <= last; ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+}  // namespace
+
 bool AppendJsonRecord(const std::string& path, const std::string& record) {
   std::string existing;
   {
@@ -277,11 +316,24 @@ bool AppendJsonRecord(const std::string& path, const std::string& record) {
     }
   }
   // Trim surrounding whitespace to classify the current shape.
-  const std::size_t first = existing.find_first_not_of(" \t\r\n");
-  const std::size_t last = existing.find_last_not_of(" \t\r\n");
+  std::size_t first = existing.find_first_not_of(" \t\r\n");
+  std::size_t last = existing.find_last_not_of(" \t\r\n");
+  if (first != std::string::npos &&
+      !LooksLikeCompleteJson(existing, first, last)) {
+    // Truncated or garbage history (crashed writer, manual edit). Never
+    // splice into it — that would corrupt the new record too. Preserve
+    // the damaged bytes aside and start a fresh array.
+    const std::string aside = path + ".corrupt";
+    std::rename(path.c_str(), aside.c_str());
+    std::fprintf(stderr,
+                 "warning: %s is not valid JSON (truncated or corrupt); "
+                 "moved it to %s and started a fresh record array\n",
+                 path.c_str(), aside.c_str());
+    first = std::string::npos;
+  }
   std::string body;
   if (first == std::string::npos) {
-    body = record;  // fresh file
+    body = record;  // fresh or recovered file
   } else if (existing[first] == '[') {
     // Existing array: splice the record in before the closing bracket.
     std::string inner = existing.substr(first + 1, last - first - 1);

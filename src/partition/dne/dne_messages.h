@@ -41,6 +41,20 @@ struct BoundaryReport {
   std::uint32_t local_drest;
 };
 
+/// Per-rank step-end summary broadcast in the fused end-of-superstep round:
+/// the sender's next free-vertex peek (kNoVertex when exhausted) plus its
+/// per-partition handoff counts, from which every rank derives the global
+/// |E_p| growth without a separate all-gather, and the peek table replaces
+/// next superstep's probe round. The record head is followed on the wire by
+/// `num_counts` u64 values.
+struct StepSummaryRecord {
+  std::uint32_t rank;
+  std::uint32_t num_counts;
+  std::uint64_t peek;
+};
+
+static_assert(std::is_trivially_copyable_v<StepSummaryRecord>,
+              "wire records must be memcpy-safe");
 static_assert(std::is_trivially_copyable_v<SelectRequest> &&
                   std::is_trivially_copyable_v<VertexPartPair> &&
                   std::is_trivially_copyable_v<BoundaryReport> &&
@@ -71,6 +85,11 @@ static_assert(sizeof(BoundaryReport) == 16 &&
 static_assert(sizeof(Edge) == 16 && offsetof(Edge, src) == 0 &&
                   offsetof(Edge, dst) == 8,
               "Edge wire layout drifted");
+static_assert(sizeof(StepSummaryRecord) == 16 &&
+                  offsetof(StepSummaryRecord, rank) == 0 &&
+                  offsetof(StepSummaryRecord, num_counts) == 4 &&
+                  offsetof(StepSummaryRecord, peek) == 8,
+              "StepSummaryRecord wire layout drifted");
 
 }  // namespace dne
 

@@ -62,6 +62,13 @@ struct DneOptions {
   /// per simulated rank (capped at kMaxRankProcesses); values must be in
   /// [2, min(|P|, kMaxRankProcesses)] otherwise.
   int ranks = 0;
+  /// Process transport only: fuse each superstep's boundary reports, edge
+  /// hand-off and step summaries into one multi-channel frame per peer
+  /// (wire.h ChannelDir directory, single checksum). Off = one frame per
+  /// logical exchange — the legacy framing kept as the differential
+  /// baseline. Inbox assembly and ledger data/control accounting are
+  /// byte-identical either way; only frame count and header overhead move.
+  bool coalesce_frames = true;
   /// Test-only fault injection (process transport): this rank process
   /// _exit()s at the start of superstep 1 so the failure path — fail fast
   /// with a diagnostic, never hang — stays covered. -1 = disabled.

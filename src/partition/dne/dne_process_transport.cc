@@ -44,13 +44,6 @@ struct ConfigTail {
   std::uint64_t seed;
 };
 
-struct EdgeRecord {
-  std::uint32_t rank;
-  std::uint32_t pad = 0;
-  std::uint64_t src;
-  std::uint64_t dst;
-};
-
 struct RankStatsRecord {
   std::uint32_t rank;
   std::uint32_t pad = 0;
@@ -102,7 +95,7 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
   const bool fast = !opt.legacy_hotpath;
 
   SocketCommunicator comm(ranks, static_cast<int>(tail.nproc), child,
-                          mesh_fds);
+                          mesh_fds, opt.coalesce_frames);
   const std::vector<int>& local = comm.local_ranks();
   const std::size_t num_local = local.size();
 
@@ -126,14 +119,19 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
     if (header.kind != kCtrlEdges) {
       return Status::Internal("rank process expected an edge frame");
     }
+    // The frame's `from` field carries the destination rank: one frame is
+    // one run of that rank's edges, bare 16-byte {src, dst} records.
+    if (header.from >= num_partitions ||
+        comm.rank_to_proc(static_cast<int>(header.from)) != child) {
+      return Status::Internal("misrouted edge frame");
+    }
+    const std::size_t slot = comm.slot_of_rank(static_cast<int>(header.from));
     wire::PayloadReader reader(payload.data(), payload.size());
-    EdgeRecord rec{};
+    Edge rec{};
     while (reader.remaining() > 0) {
-      if (!reader.Read(&rec) || rec.rank >= num_partitions ||
-          comm.rank_to_proc(static_cast<int>(rec.rank)) != child) {
-        return Status::Internal("misrouted edge record");
+      if (!reader.Read(&rec)) {
+        return Status::Internal("malformed edge frame");
       }
-      const std::size_t slot = comm.slot_of_rank(static_cast<int>(rec.rank));
       allocs[slot].AddEdge(next_local_edge[slot]++, rec.src, rec.dst);
     }
   }
@@ -356,49 +354,50 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
     }
   }
 
-  // 2-D shard streaming in ascending global edge order; the coordinator
-  // keeps the local-index -> global-id mapping per rank so the children
-  // never need global ids.
+  // 2-D shard streaming; the coordinator keeps the local-index ->
+  // global-id mapping per rank so the children never need global ids.
+  // Edges are buffered per destination rank and shipped as bare 16-byte
+  // {src, dst} records in frames whose `from` field names the rank —
+  // per-rank arrival order is still ascending global order, which is all
+  // the child's AddEdge/CSR construction depends on.
   std::vector<std::vector<EdgeId>> rank_gids(ranks);
   {
-    std::vector<std::vector<unsigned char>> bufs(nproc);
+    std::vector<std::vector<unsigned char>> bufs(ranks);
     constexpr std::size_t kFlushBytes = 1 << 20;
-    auto flush = [&](int c) -> Status {
-      if (bufs[c].empty()) return Status::OK();
-      Status st = wire::SendFrame(cluster.control_fd(c), kCtrlEdges, 0,
-                                  bufs[c].data(), bufs[c].size(),
+    auto flush = [&](int r) -> Status {
+      if (bufs[r].empty()) return Status::OK();
+      const int c = r % nproc;
+      Status st = wire::SendFrame(cluster.control_fd(c), kCtrlEdges,
+                                  static_cast<std::uint32_t>(r),
+                                  bufs[r].data(), bufs[r].size(),
                                   "rank process " + std::to_string(c));
-      bufs[c].clear();
+      bufs[r].clear();
       return st;
     };
     for (EdgeId e = 0; e < total_edges; ++e) {
       const Edge& ed = g.edge(e);
       const int r = dist.OwnerOf(ed.src, ed.dst);
       rank_gids[r].push_back(e);
-      const int c = r % nproc;
-      EdgeRecord rec{};
-      rec.rank = static_cast<std::uint32_t>(r);
-      rec.src = ed.src;
-      rec.dst = ed.dst;
-      wire::AppendPod(&bufs[c], rec);
-      if (bufs[c].size() >= kFlushBytes) {
+      wire::AppendPod(&bufs[r], ed);
+      if (bufs[r].size() >= kFlushBytes) {
         // Flush boundaries double as the cancellation/progress points of
         // the distribution phase (the superstep loop has its own).
         if (ctx.cancelled()) {
           return fail(Status::Cancelled("partitioning cancelled"));
         }
         ctx.ReportProgress("distribute", e, total_edges);
-        const Status st = flush(c);
+        const Status st = flush(r);
         if (!st.ok()) return fail(st);
       }
     }
+    for (int r = 0; r < ranks; ++r) {
+      const Status st = flush(r);
+      if (!st.ok()) return fail(st);
+    }
     for (int c = 0; c < nproc; ++c) {
-      Status st = flush(c);
-      if (st.ok()) {
-        st = wire::SendFrame(cluster.control_fd(c), kCtrlEdgesDone, 0,
-                             nullptr, 0,
-                             "rank process " + std::to_string(c));
-      }
+      const Status st = wire::SendFrame(cluster.control_fd(c), kCtrlEdgesDone,
+                                        0, nullptr, 0,
+                                        "rank process " + std::to_string(c));
       if (!st.ok()) return fail(st);
     }
   }

@@ -87,24 +87,33 @@ Status RunDneSuperstepLoop(const DneLoopEnv& env,
   RankMailboxes<VertexPartPair> sync_x;
   RankMailboxes<BoundaryReport> report_x;
   RankMailboxes<Edge> handoff_x;
-  RankMailboxes<VertexId> probe_req_x, probe_resp_x;
   select_x.Init(num_local, ranks);
   sync_x.Init(num_local, ranks);
   report_x.Init(num_local, ranks);
   handoff_x.Init(num_local, ranks);
-  probe_req_x.Init(num_local, ranks);
-  probe_resp_x.Init(num_local, ranks);
 
   // Replicated cluster view, advanced identically on every endpoint by the
-  // per-superstep |E_p| all-gather: per-partition totals and their sum.
+  // fused step-end round: per-partition totals and their sum, plus the
+  // free-vertex peek table that answers random restarts without a probe
+  // round trip.
   std::vector<std::uint64_t> allocated_vec(num_partitions, 0);
   std::vector<std::uint64_t> budgets(num_partitions, 0);
-  std::vector<std::uint64_t> gather_local(num_local, 0);
-  std::vector<std::uint64_t> gather_all;
+  std::vector<std::uint64_t> peek_local(num_local, 0);
+  std::vector<std::uint64_t> all_peeks;
+  std::vector<std::uint64_t> handoff_totals;
 
   std::uint64_t total_allocated = 0;
   std::uint64_t iterations = 0;
   WallTimer phase_timer;
+
+  // Seed the peek table with the initial allocation state: an empty
+  // step-end round whose summaries broadcast every rank's first free
+  // vertex — exactly what superstep 0's probes would have answered.
+  for (std::size_t l = 0; l < num_local; ++l) {
+    peek_local[l] = (*states)[l].alloc.PeekFreeVertex();
+  }
+  DNE_RETURN_IF_ERROR(env.comm->ExchangeStepEnd(
+      &report_x, &handoff_x, peek_local, &all_peeks, &handoff_totals));
 
   while (total_allocated < env.total_edges) {
     if (env.superstep_hook) {
@@ -124,54 +133,24 @@ Status RunDneSuperstepLoop(const DneLoopEnv& env,
       DneRankState& st = (*states)[l];
       st.step_ops = 0;
       st.expansion.SelectVertices(&st.staged_selected, &st.step_ops);
-      st.want_probe = false;
       if (st.staged_selected.empty() && !st.expansion.terminated()) {
         // Alg. 1 line 7: fresh vertex — the local allocation process first,
-        // other ranks only if necessary, via a probe round trip (the one
-        // cross-rank read of the old driver, now a message like the rest).
+        // other ranks only if necessary, answered from the replicated peek
+        // table in the old sequential probe order ((rank + off) % ranks,
+        // ascending off). The table was captured after the last allocation
+        // mutation, so it holds exactly what a live probe would answer.
         const VertexId v = st.alloc.PeekFreeVertex();
         if (v != kNoVertex) {
           st.staged_selected.push_back(v);
           ++st.random_restarts;
-        } else if (ranks > 1) {
-          st.want_probe = true;
+        } else {
           for (int off = 1; off < ranks; ++off) {
             const int r = (st.rank + off) % ranks;
-            probe_req_x.out[l][r].push_back(
-                static_cast<VertexId>(st.rank));
-          }
-        }
-      }
-    });
-    DNE_RETURN_IF_ERROR(
-        env.comm->Exchange(DneMsgKind::kProbeRequest, &probe_req_x));
-    ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
-      DneRankState& st = (*states)[l];
-      if (probe_req_x.in[l].empty()) return;
-      // Non-consuming peek: every prober gets the same answer, exactly as
-      // when the old driver peeked this rank's state directly.
-      const VertexId v = st.alloc.PeekFreeVertex();
-      for (int from = 0; from < ranks; ++from) {
-        const std::size_t n = probe_req_x.InFrom(l, from).size();
-        for (std::size_t k = 0; k < n; ++k) {
-          probe_resp_x.out[l][from].push_back(v);
-        }
-      }
-    });
-    DNE_RETURN_IF_ERROR(
-        env.comm->Exchange(DneMsgKind::kProbeResponse, &probe_resp_x));
-    ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
-      DneRankState& st = (*states)[l];
-      if (st.want_probe) {
-        // First free vertex in the old sequential probe order
-        // ((rank + off) % ranks, ascending off).
-        for (int off = 1; off < ranks; ++off) {
-          const int r = (st.rank + off) % ranks;
-          const auto resp = probe_resp_x.InFrom(l, r);
-          if (!resp.empty() && resp[0] != kNoVertex) {
-            st.staged_selected.push_back(resp[0]);
-            ++st.random_restarts;
-            break;
+            if (all_peeks[r] != kNoVertex) {
+              st.staged_selected.push_back(all_peeks[r]);
+              ++st.random_restarts;
+              break;
+            }
           }
         }
       }
@@ -222,7 +201,23 @@ Status RunDneSuperstepLoop(const DneLoopEnv& env,
       }
     });
     flush_work(/*scaled=*/true);
-    DNE_RETURN_IF_ERROR(env.comm->Exchange(DneMsgKind::kSyncPair, &sync_x));
+    // Async sync round: the sends go out now; while the frames are in
+    // flight, stage the one-hop hand-off records into their out boxes (a
+    // different mailbox — the transport still owns sync_x until Finish).
+    // FinishExchange is the completion barrier before phase C applies the
+    // sync in-boxes.
+    DNE_RETURN_IF_ERROR(env.comm->BeginExchange(DneMsgKind::kSyncPair,
+                                                &sync_x));
+    ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
+      DneRankState& st = (*states)[l];
+      const auto& handoff = st.alloc.superstep_handoff();
+      for (std::size_t i = 0; i < handoff.size(); ++i) {
+        handoff_x.out[l][handoff[i].p].push_back(handoff[i].edge);
+      }
+      st.handoff_staged = handoff.size();
+    });
+    DNE_RETURN_IF_ERROR(env.comm->FinishExchange(DneMsgKind::kSyncPair,
+                                                 &sync_x));
     ledger->EndPhase(/*selection=*/false);
     result->host_phase_seconds[1] += phase_timer.Seconds();
 
@@ -243,43 +238,46 @@ Status RunDneSuperstepLoop(const DneLoopEnv& env,
       for (const BoundaryReport& rep : st.report_buf) {
         report_x.out[l][rep.p].push_back(rep);
       }
+      // Edge hand-off (Fig. 4's data flow): phase B already staged the
+      // one-hop prefix during the sync round; append what two-hop
+      // allocation added past the cursor. The expansion side only needs
+      // the count for |E_p|; the payload still travels so observed wire
+      // bytes match what the deployment would move.
+      const auto& handoff = st.alloc.superstep_handoff();
+      for (std::size_t i = st.handoff_staged; i < handoff.size(); ++i) {
+        handoff_x.out[l][handoff[i].p].push_back(handoff[i].edge);
+      }
+      st.alloc.ClearSuperstepHandoff();
+      st.handoff_staged = 0;
+      // Capture the free-vertex peek for the step summary: this is the last
+      // point this superstep that touches allocation state, so the
+      // broadcast table equals next phase A's live probe answers.
+      peek_local[l] = st.alloc.PeekFreeVertex();
     });
     flush_work(/*scaled=*/true);
-    DNE_RETURN_IF_ERROR(
-        env.comm->Exchange(DneMsgKind::kBoundaryReport, &report_x));
+    // Fused step-end round: boundary reports + edge hand-off + summaries
+    // (peeks and per-partition |E_p| growth) in one frame per peer.
+    DNE_RETURN_IF_ERROR(env.comm->ExchangeStepEnd(
+        &report_x, &handoff_x, peek_local, &all_peeks, &handoff_totals));
     ledger->EndPhase(/*selection=*/false);
     result->host_phase_seconds[2] += phase_timer.Seconds();
 
-    // ---- Edge hand-off + |E_p| all-gather + Phase D ---------------------
+    // ---- Phase D: |E_p| growth, boundary aggregation, termination -------
     phase_timer.Reset();
-    // Allocated edges are copied from their allocation rank to the owning
-    // expansion rank (Fig. 4's data flow). The expansion side only needs
-    // the count for |E_p|; the payload still travels so observed wire
-    // bytes match what the deployment would move.
-    ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
-      DneRankState& st = (*states)[l];
-      for (const HandoffRecord& h : st.alloc.superstep_handoff()) {
-        handoff_x.out[l][h.p].push_back(h.edge);
-      }
-      st.alloc.ClearSuperstepHandoff();
-    });
-    DNE_RETURN_IF_ERROR(
-        env.comm->Exchange(DneMsgKind::kEdgeHandoff, &handoff_x));
     for (std::size_t l = 0; l < num_local; ++l) {
-      gather_local[l] = handoff_x.in[l].size();
-      (*states)[l].expansion.AddAllocated(gather_local[l]);
+      (*states)[l].expansion.AddAllocated(handoff_x.in[l].size());
     }
-    // AllGather of |E_p| growth for the budgets and the termination test
-    // (Alg. 1 line 14) — every endpoint advances the same replicated view.
-    DNE_RETURN_IF_ERROR(env.comm->AllGatherU64(gather_local, &gather_all));
+    // The summaries replace the separate |E_p| all-gather (Alg. 1 line 14):
+    // every endpoint folds the same per-partition totals, advancing the
+    // same replicated view.
     std::uint64_t newly_allocated = 0;
     for (std::uint32_t p = 0; p < num_partitions; ++p) {
-      allocated_vec[p] += gather_all[p];
-      newly_allocated += gather_all[p];
+      allocated_vec[p] += handoff_totals[p];
+      newly_allocated += handoff_totals[p];
     }
     total_allocated += newly_allocated;
 
-    // Phase D: aggregation of per-rank local D_rest into global scores,
+    // Aggregation of per-rank local D_rest into global scores,
     // boundary-queue inserts, termination (Alg. 1 lines 10-15).
     ForEachSlot(env.pool, fast, num_local, [&](std::size_t l) {
       DneRankState& st = (*states)[l];

@@ -10,16 +10,27 @@
 // sockets (SocketCommunicator).
 //
 // RunDneSuperstepLoop executes Algorithm 1 for the ranks hosted by the
-// endpoint. Per superstep:
-//   A: vertex selection (Alg. 4) + random-restart probe round trip
-//      (Alg. 1 line 7) + expansion-request fan-out          [3 exchanges]
-//   B: one-hop allocation (Alg. 3) + replica sync fan-out    [1 exchange]
-//   C: sync apply, two-hop allocation, boundary reports      [1 exchange]
-//   D: edge hand-off to the expansion ranks [1 exchange], |E_p| all-gather,
-//      boundary aggregation, termination test, barrier.
+// endpoint, in three communication rounds per superstep:
+//   A: vertex selection (Alg. 4) + random restarts (Alg. 1 line 7) resolved
+//      from the replicated free-vertex peek table (broadcast in the previous
+//      step-end round — no probe round trip) + expansion-request fan-out
+//                                                            [1 exchange]
+//   B: one-hop allocation (Alg. 3) + replica sync fan-out, issued
+//      asynchronously (BeginExchange) so staging the one-hop edge hand-off
+//      overlaps the in-flight round; FinishExchange is the completion
+//      barrier before phase C consumes the in-boxes          [1 exchange]
+//   C: sync apply, two-hop allocation, boundary reports + edge hand-off +
+//      step summaries (free-vertex peeks, per-partition hand-off counts),
+//      all fused into the step-end round                     [1 exchange]
+//   D: |E_p| growth folded from the summaries (no separate all-gather),
+//      boundary aggregation, termination test.
 // Every decision is a deterministic function of the exchanged data (inboxes
 // are ordered by sending rank), so any transport, process count or host
-// thread count produces bit-identical partitions.
+// thread count produces bit-identical partitions. The peek table makes the
+// retired probe round trip exact: a rank's PeekFreeVertex is non-consuming
+// and its allocation state cannot change between the step-end capture and
+// the next phase A (phase D only touches expansion state), so the table
+// holds precisely what a live probe would have answered.
 #ifndef DNE_PARTITION_DNE_DNE_RANK_STATE_H_
 #define DNE_PARTITION_DNE_DNE_RANK_STATE_H_
 
@@ -61,7 +72,10 @@ struct DneRankState {
   std::vector<BoundaryReport> report_buf;
   std::vector<std::uint64_t> per_part_scratch;
   std::uint64_t step_ops = 0;
-  bool want_probe = false;
+  /// Hand-off records already staged into the out boxes this superstep —
+  /// phase B stages the one-hop prefix while the sync round is in flight,
+  /// phase C stages whatever two-hop allocation appended after the cursor.
+  std::size_t handoff_staged = 0;
 
   // Whole-run counters this rank accumulates locally.
   std::uint64_t two_hop_edges = 0;

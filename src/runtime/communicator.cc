@@ -57,6 +57,38 @@ Status InProcessCommunicator::Exchange(DneMsgKind,
   return ExchangeImpl(m);
 }
 
+Status InProcessCommunicator::ExchangeStepEnd(
+    RankMailboxes<BoundaryReport>* reports, RankMailboxes<Edge>* handoff,
+    const std::vector<std::uint64_t>& local_peeks,
+    std::vector<std::uint64_t>* all_peeks,
+    std::vector<std::uint64_t>* handoff_totals) {
+  // Per-rank hand-off growth: column sums over the out boxes, self traffic
+  // included — taken before ExchangeImpl clears the boxes.
+  handoff_totals->assign(static_cast<std::size_t>(num_ranks_), 0);
+  for (int to = 0; to < num_ranks_; ++to) {
+    for (int from = 0; from < num_ranks_; ++from) {
+      (*handoff_totals)[to] += handoff->out[from][to].size();
+    }
+  }
+  // Every rank is local, so the peek table is the local contribution vector.
+  *all_peeks = local_peeks;
+  DNE_RETURN_IF_ERROR(ExchangeImpl(reports));
+  DNE_RETURN_IF_ERROR(ExchangeImpl(handoff));
+  if (ledger_ != nullptr && num_ranks_ > 1) {
+    // Each rank broadcasts one StepSummaryRecord head plus a u64 count per
+    // partition to every other rank — the control charge that replaces the
+    // probe round and the |E_p| all-gather it fuses away.
+    const std::uint64_t summary_bytes =
+        sizeof(StepSummaryRecord) +
+        static_cast<std::uint64_t>(num_ranks_) * sizeof(std::uint64_t);
+    for (int r = 0; r < num_ranks_; ++r) {
+      ledger_->AddControlBytes(
+          r, static_cast<std::uint64_t>(num_ranks_ - 1) * summary_bytes);
+    }
+  }
+  return Status::OK();
+}
+
 Status InProcessCommunicator::AllGatherU64(
     const std::vector<std::uint64_t>& local_vals,
     std::vector<std::uint64_t>* all) {

@@ -46,10 +46,16 @@ enum class DneMsgKind : std::uint8_t {
   kSyncPair = 1,       ///< replica synchronisation (Alg. 2 line 3)
   kBoundaryReport = 2, ///< local D_rest reports (Alg. 2 lines 5-6)
   kEdgeHandoff = 3,    ///< allocated edges copied to their partition's rank
-  kProbeRequest = 4,   ///< random-restart free-vertex probe (Alg. 1 line 7)
-  kProbeResponse = 5,  ///< probe answer: a free vertex or kNoVertex
+  kProbeRequest = 4,   ///< random-restart free-vertex probe (retired: the
+                       ///< step-end peek table replaced the probe round)
+  kProbeResponse = 5,  ///< probe answer: a free vertex or kNoVertex (retired)
   kAllGather = 6,      ///< control: per-rank u64 all-gather
   kBarrier = 7,        ///< control: empty synchronisation round
+  kStepEnd = 8,        ///< fused end-of-superstep round (reports + handoff +
+                       ///< step summaries in one coalesced frame per peer)
+  kStepSummary = 9,    ///< control channel inside kStepEnd: per-rank
+                       ///< StepSummaryRecord (free-vertex peek + handoff
+                       ///< counts); also its own round when coalescing is off
 };
 
 /// Accounting sink for everything the loop and the transport observe:
@@ -149,6 +155,43 @@ class Communicator {
   virtual Status Exchange(DneMsgKind kind, RankMailboxes<Edge>* m) = 0;
   virtual Status Exchange(DneMsgKind kind, RankMailboxes<VertexId>* m) = 0;
 
+  /// Asynchronous replica-sync exchange: BeginExchange serialises and posts
+  /// the sends; FinishExchange completes delivery into the in-boxes. Between
+  /// the two calls the caller may run local compute that does not touch `m`
+  /// (the transport may still be reading the out rows for co-hosted
+  /// routing) — that is the comm/compute overlap of the superstep loop.
+  /// FinishExchange is the completion barrier: after it returns, `in` /
+  /// `in_begin` are fully assembled and `out` is cleared, exactly as if one
+  /// synchronous Exchange had run. The default implementation degrades to
+  /// synchronous: Begin does the whole exchange, Finish is a no-op.
+  virtual Status BeginExchange(DneMsgKind kind,
+                               RankMailboxes<VertexPartPair>* m) {
+    return Exchange(kind, m);
+  }
+  virtual Status FinishExchange(DneMsgKind, RankMailboxes<VertexPartPair>*) {
+    return Status::OK();
+  }
+
+  /// Fused end-of-superstep collective — one round that carries three
+  /// logical channels: boundary reports, the edge hand-off, and a per-rank
+  /// StepSummaryRecord (next free-vertex peek + per-partition hand-off
+  /// counts). Both mailboxes are exchanged exactly as two separate Exchange
+  /// calls would; additionally, on return:
+  ///   * `all_peeks` (size num_ranks, identical on every endpoint) holds
+  ///     every rank's peek — next superstep's random-restart table, which
+  ///     replaces the probe request/response rounds;
+  ///   * `handoff_totals` (size num_ranks, identical everywhere) holds the
+  ///     number of hand-off records addressed to each rank, summed over all
+  ///     senders including the rank itself — the |E_p| growth that replaces
+  ///     the separate all-gather.
+  /// `local_peeks[l]` is the contribution of local rank slot `l`. Summaries
+  /// are charged as control traffic; the mailboxes as data.
+  virtual Status ExchangeStepEnd(RankMailboxes<BoundaryReport>* reports,
+                                 RankMailboxes<Edge>* handoff,
+                                 const std::vector<std::uint64_t>& local_peeks,
+                                 std::vector<std::uint64_t>* all_peeks,
+                                 std::vector<std::uint64_t>* handoff_totals) = 0;
+
   /// All-gather of one u64 per rank: `local_vals[l]` is the contribution of
   /// local rank slot `l`; on return `*all` (size num_ranks, identical on
   /// every endpoint) holds every rank's value. Charged as control traffic —
@@ -178,6 +221,11 @@ class InProcessCommunicator final : public Communicator {
   Status Exchange(DneMsgKind k, RankMailboxes<BoundaryReport>* m) override;
   Status Exchange(DneMsgKind k, RankMailboxes<Edge>* m) override;
   Status Exchange(DneMsgKind k, RankMailboxes<VertexId>* m) override;
+  Status ExchangeStepEnd(RankMailboxes<BoundaryReport>* reports,
+                         RankMailboxes<Edge>* handoff,
+                         const std::vector<std::uint64_t>& local_peeks,
+                         std::vector<std::uint64_t>* all_peeks,
+                         std::vector<std::uint64_t>* handoff_totals) override;
   Status AllGatherU64(const std::vector<std::uint64_t>& local_vals,
                       std::vector<std::uint64_t>* all) override;
   Status Barrier() override { return Status::OK(); }

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "runtime/wire.h"
 
@@ -30,6 +31,17 @@ void SetNonBlocking(int fd) {
 }
 
 std::string PeerName(int q) { return "rank process " + std::to_string(q); }
+
+// Unix socketpairs default to ~208 KB of kernel buffer — smaller than one
+// coalesced superstep frame, so the sender would block mid-frame and every
+// round degenerates into write/wake ping-pong (ruinous when the rank
+// processes share cores). Best effort: the kernel silently caps the
+// request at net.core.{w,r}mem_max.
+void GrowSocketBuffers(int fd) {
+  int bytes = 4 * 1024 * 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
 
 }  // namespace
 
@@ -64,6 +76,8 @@ Status ProcessCluster::Launch(int nproc, const ChildMain& child_main) {
         return Status::Internal(std::string("socketpair failed: ") +
                                 std::strerror(errno));
       }
+      GrowSocketBuffers(sp[0]);
+      GrowSocketBuffers(sp[1]);
       mesh[i][j] = sp[0];
       mesh[j][i] = sp[1];
     }
@@ -79,6 +93,10 @@ Status ProcessCluster::Launch(int nproc, const ChildMain& child_main) {
       return Status::Internal(std::string("socketpair failed: ") +
                               std::strerror(errno));
     }
+    // The control link streams each child its whole 2-D shard at startup;
+    // deep buffers matter even more there.
+    GrowSocketBuffers(sp[0]);
+    GrowSocketBuffers(sp[1]);
     control_fds_[i] = sp[0];
     child_control[i] = sp[1];
   }
@@ -203,13 +221,16 @@ std::string ProcessCluster::ReapAll() {
 
 SocketCommunicator::SocketCommunicator(int num_ranks, int nproc,
                                        int proc_index,
-                                       std::vector<int> mesh_fds)
+                                       std::vector<int> mesh_fds,
+                                       bool coalesce)
     : num_ranks_(num_ranks),
       nproc_(nproc),
       proc_index_(proc_index),
       mesh_fds_(std::move(mesh_fds)),
+      coalesce_(coalesce),
       send_frames_(nproc),
-      recv_payloads_(nproc) {
+      recv_payloads_(nproc),
+      round_io_(nproc) {
   for (int r = proc_index_; r < num_ranks_; r += nproc_) local_.push_back(r);
   stage_.resize(local_.size());
   for (auto& per_from : stage_) {
@@ -220,26 +241,43 @@ SocketCommunicator::SocketCommunicator(int num_ranks, int nproc,
   }
 }
 
+std::string SocketCommunicator::PeerLabel(int q) const {
+  std::string s = "rank process " + std::to_string(q) + " (simulated rank";
+  int n = 0;
+  for (int r = q; r < num_ranks_; r += nproc_) ++n;
+  if (n != 1) s += 's';
+  bool first = true;
+  for (int r = q; r < num_ranks_; r += nproc_) {
+    s += first ? " " : ", ";
+    s += std::to_string(r);
+    first = false;
+  }
+  s += ')';
+  return s;
+}
+
 SocketCommunicator::~SocketCommunicator() {
   for (int fd : mesh_fds_) {
     if (fd >= 0) ::close(fd);
   }
 }
 
-Status SocketCommunicator::RunMeshRound(std::uint8_t kind) {
-  struct PeerIo {
-    std::size_t sent = 0;
-    unsigned char hdr[wire::kFrameHeaderBytes];
-    std::size_t hdr_got = 0;
-    wire::FrameHeader header;
-    bool header_done = false;
-    std::size_t payload_got = 0;
-    bool recv_done = false;
-  };
-  std::vector<PeerIo> io(nproc_);
+Status SocketCommunicator::StartRound(std::uint8_t kind) {
+  if (round_active_) {
+    return Status::Internal(
+        "transport protocol bug: mesh round started while kind " +
+        std::to_string(round_kind_) + " is still in flight");
+  }
+  for (PeerIo& p : round_io_) p = PeerIo{};
+  round_kind_ = kind;
+  round_active_ = true;
+  round_deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(kMeshTimeoutSeconds);
+  return Status::OK();
+}
 
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::seconds(kMeshTimeoutSeconds);
+Status SocketCommunicator::ProgressRound(bool block) {
+  if (!round_active_) return Status::OK();
   for (;;) {
     bool pending = false;
     std::vector<pollfd> pfds;
@@ -247,27 +285,42 @@ Status SocketCommunicator::RunMeshRound(std::uint8_t kind) {
     for (int q = 0; q < nproc_; ++q) {
       if (q == proc_index_) continue;
       short events = 0;
-      if (io[q].sent < send_frames_[q].size()) events |= POLLOUT;
-      if (!io[q].recv_done) events |= POLLIN;
+      if (round_io_[q].sent < send_frames_[q].size()) events |= POLLOUT;
+      if (!round_io_[q].recv_done) events |= POLLIN;
       if (events == 0) continue;
       pending = true;
       pfds.push_back(pollfd{mesh_fds_[q], events, 0});
       peers.push_back(q);
     }
     if (!pending) break;
-    const int rc = ::poll(pfds.data(), pfds.size(), 200);
+    // Event-driven wait: block exactly until a peer is ready (capped by the
+    // wedge-guard deadline) instead of waking on a fixed interval; the
+    // non-blocking overlap pass polls with a zero timeout.
+    int timeout_ms = 0;
+    if (block) {
+      const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              round_deadline_ - std::chrono::steady_clock::now())
+                              .count();
+      if (remain <= 0) {
+        return Status::Internal(
+            "transport timeout: a rank process stopped making progress");
+      }
+      timeout_ms = static_cast<int>(
+          std::min<long long>(remain, std::numeric_limits<int>::max()));
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(std::string("poll failed: ") +
                               std::strerror(errno));
     }
-    if (std::chrono::steady_clock::now() > deadline) {
-      return Status::Internal(
-          "transport timeout: a rank process stopped making progress");
+    if (rc == 0) {
+      if (!block) return Status::OK();  // overlap window: come back later
+      continue;  // deadline re-checked above
     }
     for (std::size_t k = 0; k < pfds.size(); ++k) {
       const int q = peers[k];
-      PeerIo& p = io[q];
+      PeerIo& p = round_io_[q];
       const int fd = mesh_fds_[q];
       if ((pfds[k].revents & POLLOUT) != 0 &&
           p.sent < send_frames_[q].size()) {
@@ -278,7 +331,7 @@ Status SocketCommunicator::RunMeshRound(std::uint8_t kind) {
           p.sent += static_cast<std::size_t>(n);
         } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                    errno != EINTR) {
-          return Status::Internal(PeerName(q) + " unreachable: " +
+          return Status::Internal(PeerLabel(q) + " unreachable: " +
                                   std::strerror(errno));
         }
       }
@@ -298,10 +351,10 @@ Status SocketCommunicator::RunMeshRound(std::uint8_t kind) {
               p.hdr_got += static_cast<std::size_t>(n);
               if (p.hdr_got == wire::kFrameHeaderBytes) {
                 DNE_RETURN_IF_ERROR(wire::DecodeHeader(p.hdr, &p.header));
-                if (p.header.kind != kind) {
+                if (p.header.kind != round_kind_) {
                   return Status::Internal(
-                      "protocol desync with " + PeerName(q) + ": expected "
-                      "frame kind " + std::to_string(kind) + ", got " +
+                      "protocol desync with " + PeerLabel(q) + ": expected "
+                      "frame kind " + std::to_string(round_kind_) + ", got " +
                       std::to_string(p.header.kind));
                 }
                 recv_payloads_[q].resize(p.header.payload_len);
@@ -319,31 +372,39 @@ Status SocketCommunicator::RunMeshRound(std::uint8_t kind) {
               }
             }
           } else if (n == 0) {
-            return Status::Internal(PeerName(q) +
+            // Fast failure on peer death: the EOF names the process AND its
+            // simulated ranks so the blocked mesh is attributable.
+            return Status::Internal(PeerLabel(q) +
                                     " disconnected mid-superstep (crash?)");
           } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
             break;
           } else if (errno != EINTR) {
-            return Status::Internal("recv from " + PeerName(q) +
+            return Status::Internal("recv from " + PeerLabel(q) +
                                     " failed: " + std::strerror(errno));
           }
         }
       }
     }
   }
+  round_active_ = false;
   for (int q = 0; q < nproc_; ++q) {
     if (q == proc_index_) continue;
-    if (wire::Fnv1a64(recv_payloads_[q].data(), recv_payloads_[q].size()) !=
-        io[q].header.checksum) {
-      return Status::Internal("frame checksum mismatch from " + PeerName(q));
+    if (wire::FrameChecksum(recv_payloads_[q].data(), recv_payloads_[q].size()) !=
+        round_io_[q].header.checksum) {
+      return Status::Internal("frame checksum mismatch from " + PeerLabel(q));
     }
   }
   return Status::OK();
 }
 
+Status SocketCommunicator::RunMeshRound(std::uint8_t kind) {
+  DNE_RETURN_IF_ERROR(StartRound(kind));
+  return ProgressRound(/*block=*/true);
+}
+
 template <typename T>
-Status SocketCommunicator::ExchangeImpl(DneMsgKind kind,
-                                        RankMailboxes<T>* m) {
+void SocketCommunicator::BuildExchangeFrames(DneMsgKind kind,
+                                             RankMailboxes<T>* m) {
   const std::size_t num_local = local_.size();
   // Serialise one frame per peer: all (from -> to) sub-messages between the
   // two processes, each prefixed with {from, to, byte length}. Empty boxes
@@ -376,7 +437,7 @@ Status SocketCommunicator::ExchangeImpl(DneMsgKind kind,
     h.from = static_cast<std::uint32_t>(proc_index_);
     h.payload_len = payload_len;
     h.checksum =
-        wire::Fnv1a64(frame.data() + wire::kFrameHeaderBytes, payload_len);
+        wire::FrameChecksum(frame.data() + wire::kFrameHeaderBytes, payload_len);
     wire::EncodeHeader(h, frame.data());
     if (ledger_ != nullptr) {
       ledger_->AddWireOverhead(
@@ -385,39 +446,44 @@ Status SocketCommunicator::ExchangeImpl(DneMsgKind kind,
           1);
     }
   }
+}
 
-  DNE_RETURN_IF_ERROR(RunMeshRound(static_cast<std::uint8_t>(kind)));
-
-  // Parse the received frames into per-(local slot, sender) staging.
-  for (std::size_t l = 0; l < num_local; ++l) {
-    for (auto& buf : stage_[l]) buf.clear();
+void SocketCommunicator::ClearStage() {
+  for (auto& per_from : stage_) {
+    for (auto& buf : per_from) buf.clear();
   }
-  for (int q = 0; q < nproc_; ++q) {
-    if (q == proc_index_) continue;
-    wire::PayloadReader reader(recv_payloads_[q].data(),
-                               recv_payloads_[q].size());
-    while (reader.remaining() > 0) {
-      std::uint32_t from = 0, to = 0;
-      std::uint64_t bytes = 0;
-      if (!reader.Read(&from) || !reader.Read(&to) || !reader.Read(&bytes) ||
-          bytes % sizeof(T) != 0 || reader.remaining() < bytes) {
-        return Status::Internal("malformed exchange sub-block from " +
-                                PeerName(q));
-      }
-      if (static_cast<int>(from) >= num_ranks_ ||
-          static_cast<int>(to) >= num_ranks_ ||
-          rank_to_proc(static_cast<int>(from)) != q ||
-          rank_to_proc(static_cast<int>(to)) != proc_index_) {
-        return Status::Internal("misrouted exchange sub-block from " +
-                                PeerName(q));
-      }
-      const std::size_t slot = slot_of_rank(static_cast<int>(to));
-      std::vector<unsigned char>& buf = stage_[slot][from];
-      buf.insert(buf.end(), reader.cursor(), reader.cursor() + bytes);
-      reader.Skip(bytes);
+}
+
+template <typename T>
+Status SocketCommunicator::StageSubBlocks(const unsigned char* data,
+                                          std::size_t len, int q) {
+  wire::PayloadReader reader(data, len);
+  while (reader.remaining() > 0) {
+    std::uint32_t from = 0, to = 0;
+    std::uint64_t bytes = 0;
+    if (!reader.Read(&from) || !reader.Read(&to) || !reader.Read(&bytes) ||
+        bytes % sizeof(T) != 0 || reader.remaining() < bytes) {
+      return Status::Internal("malformed exchange sub-block from " +
+                              PeerLabel(q));
     }
+    if (static_cast<int>(from) >= num_ranks_ ||
+        static_cast<int>(to) >= num_ranks_ ||
+        rank_to_proc(static_cast<int>(from)) != q ||
+        rank_to_proc(static_cast<int>(to)) != proc_index_) {
+      return Status::Internal("misrouted exchange sub-block from " +
+                              PeerLabel(q));
+    }
+    const std::size_t slot = slot_of_rank(static_cast<int>(to));
+    std::vector<unsigned char>& buf = stage_[slot][from];
+    buf.insert(buf.end(), reader.cursor(), reader.cursor() + bytes);
+    reader.Skip(bytes);
   }
+  return Status::OK();
+}
 
+template <typename T>
+void SocketCommunicator::AssembleInboxes(RankMailboxes<T>* m) {
+  const std::size_t num_local = local_.size();
   // Assemble every local inbox: concatenated ascending sender order, local
   // senders straight out of their outboxes (co-hosted traffic never hits
   // the wire), remote senders from the staged bytes.
@@ -454,6 +520,20 @@ Status SocketCommunicator::ExchangeImpl(DneMsgKind kind,
   for (std::size_t l = 0; l < num_local; ++l) {
     for (auto& box : m->out[l]) box.clear();
   }
+}
+
+template <typename T>
+Status SocketCommunicator::ExchangeImpl(DneMsgKind kind,
+                                        RankMailboxes<T>* m) {
+  BuildExchangeFrames(kind, m);
+  DNE_RETURN_IF_ERROR(RunMeshRound(static_cast<std::uint8_t>(kind)));
+  ClearStage();
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    DNE_RETURN_IF_ERROR(StageSubBlocks<T>(recv_payloads_[q].data(),
+                                          recv_payloads_[q].size(), q));
+  }
+  AssembleInboxes(m);
   return Status::OK();
 }
 
@@ -475,6 +555,282 @@ Status SocketCommunicator::Exchange(DneMsgKind k, RankMailboxes<Edge>* m) {
 Status SocketCommunicator::Exchange(DneMsgKind k,
                                     RankMailboxes<VertexId>* m) {
   return ExchangeImpl(k, m);
+}
+
+Status SocketCommunicator::BeginExchange(DneMsgKind k,
+                                         RankMailboxes<VertexPartPair>* m) {
+  // Post the sends and make one opportunistic pass; the round stays in
+  // flight while the caller computes. The out boxes remain owned by the
+  // transport until FinishExchange (co-hosted routing reads them there).
+  BuildExchangeFrames(k, m);
+  DNE_RETURN_IF_ERROR(StartRound(static_cast<std::uint8_t>(k)));
+  return ProgressRound(/*block=*/false);
+}
+
+Status SocketCommunicator::FinishExchange(DneMsgKind,
+                                          RankMailboxes<VertexPartPair>* m) {
+  // Completion barrier: drive the in-flight round to the end, then deliver.
+  DNE_RETURN_IF_ERROR(ProgressRound(/*block=*/true));
+  ClearStage();
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    DNE_RETURN_IF_ERROR(StageSubBlocks<VertexPartPair>(
+        recv_payloads_[q].data(), recv_payloads_[q].size(), q));
+  }
+  AssembleInboxes(m);
+  return Status::OK();
+}
+
+Status SocketCommunicator::ExchangeStepEnd(
+    RankMailboxes<BoundaryReport>* reports, RankMailboxes<Edge>* handoff,
+    const std::vector<std::uint64_t>& local_peeks,
+    std::vector<std::uint64_t>* all_peeks,
+    std::vector<std::uint64_t>* handoff_totals) {
+  const std::size_t num_local = local_.size();
+  const std::size_t num_ranks = static_cast<std::size_t>(num_ranks_);
+
+  // Step summaries: one record per hosted rank — its free-vertex peek and
+  // its per-partition hand-off contributions (out-box sizes, read before
+  // anything clears the boxes). The same bytes go to every peer.
+  std::vector<unsigned char> summary;
+  for (std::size_t l = 0; l < num_local; ++l) {
+    StepSummaryRecord rec;
+    rec.rank = static_cast<std::uint32_t>(local_[l]);
+    rec.num_counts = static_cast<std::uint32_t>(num_ranks_);
+    rec.peek = local_peeks[l];
+    wire::AppendPod(&summary, rec);
+    for (std::size_t p = 0; p < num_ranks; ++p) {
+      wire::AppendPod(&summary,
+                      static_cast<std::uint64_t>(handoff->out[l][p].size()));
+    }
+  }
+
+  // Seed the global tables with this endpoint's own contributions; peer
+  // summaries fill in the rest below.
+  all_peeks->assign(num_ranks, 0);
+  handoff_totals->assign(num_ranks, 0);
+  for (std::size_t l = 0; l < num_local; ++l) {
+    (*all_peeks)[local_[l]] = local_peeks[l];
+    for (std::size_t p = 0; p < num_ranks; ++p) {
+      (*handoff_totals)[p] += handoff->out[l][p].size();
+    }
+  }
+  const std::uint64_t summary_record_bytes =
+      sizeof(StepSummaryRecord) + num_ranks * sizeof(std::uint64_t);
+  auto charge_summaries = [&]() {
+    if (ledger_ == nullptr || nproc_ <= 1) return;
+    for (std::size_t l = 0; l < num_local; ++l) {
+      ledger_->AddControlBytes(
+          local_[l],
+          static_cast<std::uint64_t>(nproc_ - 1) * summary_record_bytes);
+    }
+  };
+
+  if (!coalesce_) {
+    // Legacy framing baseline: one frame per logical exchange, plus a
+    // dedicated summary round. Identical data/control charging, identical
+    // inbox assembly — only the frame count and header overhead differ.
+    DNE_RETURN_IF_ERROR(ExchangeImpl(DneMsgKind::kBoundaryReport, reports));
+    DNE_RETURN_IF_ERROR(ExchangeImpl(DneMsgKind::kEdgeHandoff, handoff));
+    for (int q = 0; q < nproc_; ++q) {
+      if (q == proc_index_) continue;
+      std::vector<unsigned char>& frame = send_frames_[q];
+      frame.assign(wire::kFrameHeaderBytes, 0);
+      frame.insert(frame.end(), summary.begin(), summary.end());
+      wire::FrameHeader h;
+      h.kind = static_cast<std::uint8_t>(DneMsgKind::kStepSummary);
+      h.from = static_cast<std::uint32_t>(proc_index_);
+      h.payload_len = summary.size();
+      h.checksum = wire::FrameChecksum(summary.data(), summary.size());
+      wire::EncodeHeader(h, frame.data());
+    }
+    charge_summaries();
+    if (ledger_ != nullptr && nproc_ > 1) {
+      ledger_->AddWireOverhead(
+          local_[0],
+          static_cast<std::uint64_t>(nproc_ - 1) * wire::kFrameHeaderBytes,
+          static_cast<std::uint64_t>(nproc_ - 1));
+    }
+    DNE_RETURN_IF_ERROR(
+        RunMeshRound(static_cast<std::uint8_t>(DneMsgKind::kStepSummary)));
+    for (int q = 0; q < nproc_; ++q) {
+      if (q == proc_index_) continue;
+      DNE_RETURN_IF_ERROR(ParseSummaries(recv_payloads_[q].data(),
+                                         recv_payloads_[q].size(), q,
+                                         all_peeks, handoff_totals));
+    }
+    return Status::OK();
+  }
+
+  // Coalesced path: ONE kStepEnd frame per peer fusing three channels —
+  // boundary reports, edge hand-off, step summaries — under one checksum.
+  // Channel bodies reuse the sub-block format, so data charging is byte-for
+  // byte what the two separate exchanges would have recorded.
+  constexpr std::size_t kNumChannels = 3;
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    std::vector<unsigned char>& frame = send_frames_[q];
+    frame.clear();
+    frame.resize(wire::kFrameHeaderBytes);
+    const std::size_t dir_pos = frame.size();
+    wire::AppendPod(&frame, static_cast<std::uint64_t>(kNumChannels));
+    wire::ChannelDir dirs[kNumChannels];
+    dirs[0].kind = static_cast<std::uint8_t>(DneMsgKind::kBoundaryReport);
+    dirs[1].kind = static_cast<std::uint8_t>(DneMsgKind::kEdgeHandoff);
+    dirs[2].kind = static_cast<std::uint8_t>(DneMsgKind::kStepSummary);
+    for (const wire::ChannelDir& d : dirs) wire::AppendPod(&frame, d);
+
+    std::uint64_t sub_blocks = 0;
+    const std::size_t reports_pos = frame.size();
+    for (std::size_t l = 0; l < num_local; ++l) {
+      const int from = local_[l];
+      for (int to = q; to < num_ranks_; to += nproc_) {
+        const std::vector<BoundaryReport>& box = reports->out[l][to];
+        if (box.empty()) continue;
+        const std::uint64_t bytes = box.size() * sizeof(BoundaryReport);
+        wire::AppendPod(&frame, static_cast<std::uint32_t>(from));
+        wire::AppendPod(&frame, static_cast<std::uint32_t>(to));
+        wire::AppendPod(&frame, bytes);
+        const auto* data = reinterpret_cast<const unsigned char*>(box.data());
+        frame.insert(frame.end(), data, data + bytes);
+        ++sub_blocks;
+        if (ledger_ != nullptr) ledger_->AddDataMessage(from, bytes);
+      }
+    }
+    const std::size_t handoff_pos = frame.size();
+    for (std::size_t l = 0; l < num_local; ++l) {
+      const int from = local_[l];
+      for (int to = q; to < num_ranks_; to += nproc_) {
+        const std::vector<Edge>& box = handoff->out[l][to];
+        if (box.empty()) continue;
+        const std::uint64_t bytes = box.size() * sizeof(Edge);
+        wire::AppendPod(&frame, static_cast<std::uint32_t>(from));
+        wire::AppendPod(&frame, static_cast<std::uint32_t>(to));
+        wire::AppendPod(&frame, bytes);
+        const auto* data = reinterpret_cast<const unsigned char*>(box.data());
+        frame.insert(frame.end(), data, data + bytes);
+        ++sub_blocks;
+        if (ledger_ != nullptr) ledger_->AddDataMessage(from, bytes);
+      }
+    }
+    const std::size_t summary_pos = frame.size();
+    frame.insert(frame.end(), summary.begin(), summary.end());
+
+    dirs[0].byte_len = handoff_pos - reports_pos;
+    dirs[1].byte_len = summary_pos - handoff_pos;
+    dirs[2].byte_len = summary.size();
+    {
+      unsigned char* d = frame.data() + dir_pos + sizeof(std::uint64_t);
+      for (const wire::ChannelDir& dir : dirs) {
+        std::memcpy(d, &dir, wire::kChannelDirBytes);
+        d += wire::kChannelDirBytes;
+      }
+    }
+    const std::size_t payload_len = frame.size() - wire::kFrameHeaderBytes;
+    wire::FrameHeader h;
+    h.kind = static_cast<std::uint8_t>(DneMsgKind::kStepEnd);
+    h.from = static_cast<std::uint32_t>(proc_index_);
+    h.payload_len = payload_len;
+    h.checksum =
+        wire::FrameChecksum(frame.data() + wire::kFrameHeaderBytes, payload_len);
+    wire::EncodeHeader(h, frame.data());
+    if (ledger_ != nullptr) {
+      ledger_->AddWireOverhead(
+          local_[0],
+          wire::kFrameHeaderBytes + wire::ChannelDirectoryBytes(kNumChannels) +
+              wire::kSubBlockHeaderBytes * sub_blocks,
+          1);
+    }
+  }
+  charge_summaries();
+
+  DNE_RETURN_IF_ERROR(
+      RunMeshRound(static_cast<std::uint8_t>(DneMsgKind::kStepEnd)));
+
+  // Split every peer's payload along its channel directory, then deliver
+  // each channel exactly as its standalone exchange would have.
+  struct ChannelView {
+    const unsigned char* data = nullptr;
+    std::size_t len = 0;
+  };
+  std::vector<ChannelView> report_views(nproc_), handoff_views(nproc_),
+      summary_views(nproc_);
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    wire::PayloadReader reader(recv_payloads_[q].data(),
+                               recv_payloads_[q].size());
+    std::uint64_t num_channels = 0;
+    if (!reader.Read(&num_channels) || num_channels != kNumChannels) {
+      return Status::Internal("malformed step-end channel directory from " +
+                              PeerLabel(q));
+    }
+    wire::ChannelDir dirs[kNumChannels];
+    for (wire::ChannelDir& d : dirs) {
+      if (!reader.Read(&d)) {
+        return Status::Internal("malformed step-end channel directory from " +
+                                PeerLabel(q));
+      }
+    }
+    std::uint64_t total = 0;
+    for (const wire::ChannelDir& d : dirs) total += d.byte_len;
+    if (total != reader.remaining() ||
+        dirs[0].kind != static_cast<std::uint8_t>(DneMsgKind::kBoundaryReport) ||
+        dirs[1].kind != static_cast<std::uint8_t>(DneMsgKind::kEdgeHandoff) ||
+        dirs[2].kind != static_cast<std::uint8_t>(DneMsgKind::kStepSummary)) {
+      return Status::Internal("malformed step-end channel directory from " +
+                              PeerLabel(q));
+    }
+    report_views[q] = {reader.cursor(), dirs[0].byte_len};
+    reader.Skip(dirs[0].byte_len);
+    handoff_views[q] = {reader.cursor(), dirs[1].byte_len};
+    reader.Skip(dirs[1].byte_len);
+    summary_views[q] = {reader.cursor(), dirs[2].byte_len};
+  }
+  ClearStage();
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    DNE_RETURN_IF_ERROR(StageSubBlocks<BoundaryReport>(report_views[q].data,
+                                                       report_views[q].len, q));
+  }
+  AssembleInboxes(reports);
+  ClearStage();
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    DNE_RETURN_IF_ERROR(
+        StageSubBlocks<Edge>(handoff_views[q].data, handoff_views[q].len, q));
+  }
+  AssembleInboxes(handoff);
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    DNE_RETURN_IF_ERROR(ParseSummaries(summary_views[q].data,
+                                       summary_views[q].len, q, all_peeks,
+                                       handoff_totals));
+  }
+  return Status::OK();
+}
+
+Status SocketCommunicator::ParseSummaries(
+    const unsigned char* data, std::size_t len, int q,
+    std::vector<std::uint64_t>* all_peeks,
+    std::vector<std::uint64_t>* handoff_totals) {
+  wire::PayloadReader reader(data, len);
+  while (reader.remaining() > 0) {
+    StepSummaryRecord rec;
+    if (!reader.Read(&rec) || static_cast<int>(rec.rank) >= num_ranks_ ||
+        rank_to_proc(static_cast<int>(rec.rank)) != q ||
+        rec.num_counts != static_cast<std::uint32_t>(num_ranks_)) {
+      return Status::Internal("malformed step summary from " + PeerLabel(q));
+    }
+    (*all_peeks)[rec.rank] = rec.peek;
+    for (std::uint32_t p = 0; p < rec.num_counts; ++p) {
+      std::uint64_t count = 0;
+      if (!reader.Read(&count)) {
+        return Status::Internal("malformed step summary from " + PeerLabel(q));
+      }
+      (*handoff_totals)[p] += count;
+    }
+  }
+  return Status::OK();
 }
 
 Status SocketCommunicator::AllGatherU64(
@@ -501,7 +857,7 @@ Status SocketCommunicator::AllGatherU64(
     h.kind = static_cast<std::uint8_t>(DneMsgKind::kAllGather);
     h.from = static_cast<std::uint32_t>(proc_index_);
     h.payload_len = payload.size();
-    h.checksum = wire::Fnv1a64(payload.data(), payload.size());
+    h.checksum = wire::FrameChecksum(payload.data(), payload.size());
     wire::EncodeHeader(h, frame.data());
   }
   if (ledger_ != nullptr && nproc_ > 1) {
@@ -548,7 +904,7 @@ Status SocketCommunicator::Barrier() {
     h.kind = static_cast<std::uint8_t>(DneMsgKind::kBarrier);
     h.from = static_cast<std::uint32_t>(proc_index_);
     h.payload_len = 0;
-    h.checksum = wire::Fnv1a64(nullptr, 0);
+    h.checksum = wire::FrameChecksum(nullptr, 0);
     wire::EncodeHeader(h, frame.data());
   }
   return RunMeshRound(static_cast<std::uint8_t>(DneMsgKind::kBarrier));

@@ -16,7 +16,12 @@
 // alltoallv-style batch of all (from_rank -> to_rank) sub-messages between
 // the two processes). Empty frames still flow — they are the
 // synchronisation. Ranks co-hosted on one process exchange in memory for
-// free, exactly like co-located MPI ranks over shared memory.
+// free, exactly like co-located MPI ranks over shared memory. The fused
+// end-of-superstep collective goes further: boundary reports, the edge
+// hand-off and the per-rank step summaries ride ONE multi-channel frame per
+// peer (wire.h ChannelDir directory, single checksum), and the replica-sync
+// exchange can run asynchronously (BeginExchange / FinishExchange) so
+// Phase-C compute overlaps the in-flight round.
 //
 // Failure model: a dying process closes its socket ends; every peer's poll
 // loop and the parent's monitor treat EOF/HUP as a fatal protocol event and
@@ -27,6 +32,7 @@
 
 #include <sys/types.h>
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -34,6 +40,7 @@
 
 #include "common/status.h"
 #include "runtime/communicator.h"
+#include "runtime/wire.h"
 
 namespace dne {
 
@@ -95,9 +102,12 @@ class ProcessCluster {
 class SocketCommunicator final : public Communicator {
  public:
   /// `mesh_fds[q]` connects to process q (-1 at `proc_index`). The endpoint
-  /// hosts the simulated ranks {r : r mod nproc == proc_index}.
+  /// hosts the simulated ranks {r : r mod nproc == proc_index}. `coalesce`
+  /// selects the fused multi-channel step-end frame (default); when false
+  /// the step-end collective degrades to one frame per logical exchange —
+  /// kept as the differential baseline for the coalescing tests.
   SocketCommunicator(int num_ranks, int nproc, int proc_index,
-                     std::vector<int> mesh_fds);
+                     std::vector<int> mesh_fds, bool coalesce = true);
   ~SocketCommunicator() override;
 
   int num_ranks() const override { return num_ranks_; }
@@ -109,6 +119,14 @@ class SocketCommunicator final : public Communicator {
   Status Exchange(DneMsgKind k, RankMailboxes<BoundaryReport>* m) override;
   Status Exchange(DneMsgKind k, RankMailboxes<Edge>* m) override;
   Status Exchange(DneMsgKind k, RankMailboxes<VertexId>* m) override;
+  Status BeginExchange(DneMsgKind k, RankMailboxes<VertexPartPair>* m) override;
+  Status FinishExchange(DneMsgKind k,
+                        RankMailboxes<VertexPartPair>* m) override;
+  Status ExchangeStepEnd(RankMailboxes<BoundaryReport>* reports,
+                         RankMailboxes<Edge>* handoff,
+                         const std::vector<std::uint64_t>& local_peeks,
+                         std::vector<std::uint64_t>* all_peeks,
+                         std::vector<std::uint64_t>* handoff_totals) override;
   Status AllGatherU64(const std::vector<std::uint64_t>& local_vals,
                       std::vector<std::uint64_t>* all) override;
   Status Barrier() override;
@@ -117,13 +135,53 @@ class SocketCommunicator final : public Communicator {
   int slot_of_rank(int rank) const { return (rank - proc_index_) / nproc_; }
 
  private:
+  /// Per-peer progress of the round in flight.
+  struct PeerIo {
+    std::size_t sent = 0;
+    unsigned char hdr[wire::kFrameHeaderBytes];
+    std::size_t hdr_got = 0;
+    wire::FrameHeader header;
+    bool header_done = false;
+    std::size_t payload_got = 0;
+    bool recv_done = false;
+  };
+
+  /// "rank process q (simulated ranks ...)" — every mesh-round diagnostic
+  /// names the peer this way so a crash is attributable to concrete ranks.
+  std::string PeerLabel(int q) const;
+
   template <typename T>
   Status ExchangeImpl(DneMsgKind kind, RankMailboxes<T>* m);
+  /// Serialises one frame per peer from the out boxes and charges the
+  /// ledger (data payloads + framing overhead).
+  template <typename T>
+  void BuildExchangeFrames(DneMsgKind kind, RankMailboxes<T>* m);
+  /// Parses one peer's sub-block byte range into stage_.
+  template <typename T>
+  Status StageSubBlocks(const unsigned char* data, std::size_t len, int q);
+  /// Assembles every local inbox from stage_ + co-hosted out boxes, then
+  /// clears the out boxes.
+  template <typename T>
+  void AssembleInboxes(RankMailboxes<T>* m);
+  void ClearStage();
+  /// Folds one peer's StepSummaryRecord sequence into the global peek /
+  /// hand-off tables.
+  Status ParseSummaries(const unsigned char* data, std::size_t len, int q,
+                        std::vector<std::uint64_t>* all_peeks,
+                        std::vector<std::uint64_t>* handoff_totals);
 
-  /// One collective round: sends `send_frames_[q]` to every peer q and
-  /// receives exactly one frame of `kind` from each, via a poll loop that
-  /// interleaves sends and receives (so a full socket buffer can never
-  /// deadlock the mesh). Received payloads land in `recv_payloads_[q]`.
+  /// Arms a round: every peer will be sent `send_frames_[q]` and owes one
+  /// frame of `kind` back. Fails if a round is already in flight.
+  Status StartRound(std::uint8_t kind);
+  /// Drives the armed round. block=false makes one opportunistic
+  /// zero-timeout pass (sends what fits, drains what arrived) and returns
+  /// with the round still pending — the overlap window. block=true runs the
+  /// event-driven poll loop to completion: the poll timeout is derived from
+  /// the round deadline (no fixed-interval wakeups), so ranks sleep exactly
+  /// until a peer is ready. Received payloads land in `recv_payloads_[q]`,
+  /// checksum-verified.
+  Status ProgressRound(bool block);
+  /// StartRound + ProgressRound(block=true): a synchronous collective.
   Status RunMeshRound(std::uint8_t kind);
 
   int num_ranks_;
@@ -131,6 +189,7 @@ class SocketCommunicator final : public Communicator {
   int proc_index_;
   std::vector<int> mesh_fds_;
   std::vector<int> local_;
+  bool coalesce_;
   CommLedger* ledger_ = nullptr;
 
   // Per-peer scratch, reused across rounds.
@@ -139,6 +198,11 @@ class SocketCommunicator final : public Communicator {
   // Sub-message staging for exchanges: stage_[local slot][from rank] holds
   // the raw bytes sent by `from` to that local rank this round.
   std::vector<std::vector<std::vector<unsigned char>>> stage_;
+  // Round in flight (between StartRound and its completing ProgressRound).
+  std::vector<PeerIo> round_io_;
+  bool round_active_ = false;
+  std::uint8_t round_kind_ = 0;
+  std::chrono::steady_clock::time_point round_deadline_;
 };
 
 }  // namespace dne

@@ -123,5 +123,54 @@ TEST(AppendJsonRecordTest, GrowsAnArrayWithoutLosingEntries) {
   std::remove(path.c_str());
 }
 
+// Regression: a benchmark run killed mid-write (or a hand-mangled file)
+// used to get spliced into verbatim, corrupting every later append. The
+// writer must detect the damage, move it aside to <path>.corrupt and
+// start a clean array — never produce invalid JSON itself.
+TEST(AppendJsonRecordTest, RecoversFromTruncatedOrCorruptHistory) {
+  const std::string path =
+      ::testing::TempDir() + "/append_json_corrupt_test.json";
+  const std::string aside = path + ".corrupt";
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+
+  // Truncated array: writer died after the first record's opening brace.
+  ASSERT_TRUE(WriteTextFile(path, "[{\"run\":1,\"medges_per_sec\":"));
+  std::remove(aside.c_str());
+  ASSERT_TRUE(AppendJsonRecord(path, "{\"run\":2}"));
+  EXPECT_EQ(slurp(path), "[{\"run\":2}]\n");
+  // The damaged bytes were preserved aside, not destroyed.
+  EXPECT_EQ(slurp(aside), "[{\"run\":1,\"medges_per_sec\":\n");
+
+  // Garbage that is not JSON at all.
+  ASSERT_TRUE(WriteTextFile(path, "not json at all"));
+  ASSERT_TRUE(AppendJsonRecord(path, "{\"run\":3}"));
+  EXPECT_EQ(slurp(path), "[{\"run\":3}]\n");
+
+  // Bracket hidden inside a string must NOT trip the scanner: this file
+  // is valid and must be appended to, not quarantined.
+  ASSERT_TRUE(WriteTextFile(path, "[{\"note\":\"a ] b } c\"}]"));
+  ASSERT_TRUE(AppendJsonRecord(path, "{\"run\":4}"));
+  EXPECT_EQ(slurp(path), "[{\"note\":\"a ] b } c\"},\n{\"run\":4}]\n");
+
+  // Unterminated string is damage even with balanced-looking brackets.
+  ASSERT_TRUE(WriteTextFile(path, "[{\"note\":\"oops}]"));
+  ASSERT_TRUE(AppendJsonRecord(path, "{\"run\":5}"));
+  EXPECT_EQ(slurp(path), "[{\"run\":5}]\n");
+
+  // Whitespace-only file is a fresh start, not corruption.
+  ASSERT_TRUE(WriteTextFile(path, "  \n"));
+  std::remove(aside.c_str());
+  ASSERT_TRUE(AppendJsonRecord(path, "{\"run\":6}"));
+  EXPECT_EQ(slurp(path), "[{\"run\":6}]\n");
+  EXPECT_TRUE(slurp(aside).empty());  // nothing was quarantined
+
+  std::remove(path.c_str());
+  std::remove(aside.c_str());
+}
+
 }  // namespace
 }  // namespace dne::bench

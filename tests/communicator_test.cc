@@ -2,8 +2,11 @@
 // charging, the all-gather, the accounting ledgers, per-rank MemTracker
 // peaks, and the wire frame format (round trip + corruption detection).
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "runtime/communicator.h"
@@ -80,6 +83,49 @@ TEST(InProcessCommunicatorTest, ChargesCrossRankMessagesOnly) {
   ASSERT_EQ(ledger.messages.size(), 2u);
   EXPECT_EQ(ledger.messages[0], (std::pair<int, std::uint64_t>{1, 8}));
   EXPECT_EQ(ledger.messages[1], (std::pair<int, std::uint64_t>{0, 8}));
+  EXPECT_EQ(ledger.wire_bytes, 0u);  // modeled transport: no framing
+}
+
+TEST(InProcessCommunicatorTest, StepEndRoutesCountsAndChargesSummaries) {
+  InProcessCommunicator comm(3);
+  RecordingLedger ledger;
+  comm.SetLedger(&ledger);
+  RankMailboxes<BoundaryReport> reports;
+  reports.Init(3, 3);
+  reports.out[0][1].push_back({42, 1, 7});  // cross: 12 bytes
+  RankMailboxes<Edge> handoff;
+  handoff.Init(3, 3);
+  handoff.out[0][0].push_back({1, 2});  // self handoff still counts in totals
+  handoff.out[1][0].push_back({3, 4});  // cross: 16 bytes
+  handoff.out[2][0].push_back({5, 6});  // cross: 16 bytes
+  handoff.out[2][2].push_back({7, 8});  // self
+  const std::vector<std::uint64_t> peeks = {11, kNoVertex, 13};
+  std::vector<std::uint64_t> all_peeks;
+  std::vector<std::uint64_t> totals;
+  ASSERT_TRUE(
+      comm.ExchangeStepEnd(&reports, &handoff, peeks, &all_peeks, &totals).ok());
+  // The peek table replicates every rank's local peek verbatim.
+  EXPECT_EQ(all_peeks, peeks);
+  // Hand-off totals are column sums over ALL out boxes (self included) —
+  // they drive the global allocated counts, not the wire traffic.
+  EXPECT_EQ(totals, (std::vector<std::uint64_t>{3, 0, 1}));
+  // Both channels were routed: rank 1 got the report, rank 0 the edges.
+  ASSERT_EQ(reports.in[1].size(), 1u);
+  EXPECT_EQ(reports.in[1][0].v, 42u);
+  EXPECT_EQ(handoff.in[0].size(), 3u);
+  EXPECT_EQ(handoff.in[2].size(), 1u);
+  // Data plane: one report box + two cross-rank edge boxes.
+  ASSERT_EQ(ledger.messages.size(), 3u);
+  EXPECT_EQ(ledger.messages[0],
+            (std::pair<int, std::uint64_t>{0, sizeof(BoundaryReport)}));
+  // Control plane mirrors the socket transport's summary broadcast: each
+  // rank sends a 16-byte StepSummaryRecord head + |P| u64 counts to every
+  // other rank.
+  const std::uint64_t summary = sizeof(StepSummaryRecord) + 3 * 8;
+  ASSERT_EQ(ledger.control.size(), 3u);
+  for (const auto& [rank, bytes] : ledger.control) {
+    EXPECT_EQ(bytes, 2 * summary);
+  }
   EXPECT_EQ(ledger.wire_bytes, 0u);  // modeled transport: no framing
 }
 
@@ -189,6 +235,58 @@ TEST(WireFormatTest, ChecksumDetectsPayloadCorruption) {
   unsigned char corrupted[] = {1, 2, 9, 4, 5};
   EXPECT_NE(wire::Fnv1a64(corrupted, sizeof(corrupted)), sum);
   EXPECT_EQ(wire::Fnv1a64(payload, sizeof(payload)), sum);  // deterministic
+  // The frame checksum (word-at-a-time variant used on the socket wire)
+  // must catch the same corruptions: a flipped byte anywhere in the body,
+  // in the sub-8-byte tail, or a truncation that only changes the length.
+  std::vector<unsigned char> big(1000, 0x5a);
+  const std::uint64_t fsum = wire::FrameChecksum(big.data(), big.size());
+  EXPECT_EQ(wire::FrameChecksum(big.data(), big.size()), fsum);
+  big[500] ^= 0x01;
+  EXPECT_NE(wire::FrameChecksum(big.data(), big.size()), fsum);
+  big[500] ^= 0x01;
+  big[999] ^= 0x80;  // tail byte
+  EXPECT_NE(wire::FrameChecksum(big.data(), big.size()), fsum);
+  big[999] ^= 0x80;
+  EXPECT_NE(wire::FrameChecksum(big.data(), big.size() - 1), fsum);
+}
+
+// End-to-end over a real socketpair: a frame whose payload is flipped in
+// transit (header checksum no longer matches) must be rejected by
+// RecvFrame with a diagnostic naming the checksum, not delivered. This is
+// the receive-side guard the coalesced multi-channel frames rely on — one
+// checksum covers the directory and every sub-message.
+TEST(WireFormatTest, CorruptedSubMessageRejectedBySocketReceive) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Build a frame by hand: checksum the true payload, then corrupt one
+  // byte of what actually goes on the wire.
+  std::vector<unsigned char> payload(wire::ChannelDirectoryBytes(3), 0xab);
+  wire::FrameHeader h;
+  h.kind = 8;  // kStepEnd
+  h.from = 1;
+  h.payload_len = payload.size();
+  h.checksum = wire::FrameChecksum(payload.data(), payload.size());
+  unsigned char hdr[wire::kFrameHeaderBytes];
+  wire::EncodeHeader(h, hdr);
+  payload[20] ^= 0x01;  // single bit flip inside a sub-message
+  ASSERT_TRUE(wire::SendAll(fds[0], hdr, sizeof(hdr), "test peer").ok());
+  ASSERT_TRUE(
+      wire::SendAll(fds[0], payload.data(), payload.size(), "test peer").ok());
+  wire::FrameHeader got;
+  std::vector<unsigned char> body;
+  const Status s = wire::RecvFrame(fds[1], &got, &body, "test peer");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("checksum"), std::string::npos) << s.message();
+  // Undamaged frames on the same socket still round-trip.
+  payload[20] ^= 0x01;
+  ASSERT_TRUE(wire::SendFrame(fds[0], 8, 1, payload.data(), payload.size(),
+                              "test peer")
+                  .ok());
+  ASSERT_TRUE(wire::RecvFrame(fds[1], &got, &body, "test peer").ok());
+  EXPECT_EQ(got.kind, 8);
+  EXPECT_EQ(body, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 }  // namespace

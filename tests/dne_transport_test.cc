@@ -138,18 +138,63 @@ TEST(DneTransportTest, ObservedBytesMatchModeledWithinFramingOverhead) {
   EXPECT_EQ(proc.stats.comm_bytes, ref.stats.comm_bytes);
   EXPECT_EQ(proc.stats.comm_messages, ref.stats.comm_messages);
 
-  // wire = payload + per-frame headers + per-sub-block headers + the
-  // all-gather control entries (16 bytes per rank pair per superstep).
+  // Three rounds per superstep (select, sync, step-end) plus the initial
+  // peek broadcast — one frame per ordered process pair each.
+  const std::uint64_t pair_frames = parts * (parts - 1);
+  const std::uint64_t stepend_rounds = proc.stats.iterations + 1;
+  EXPECT_EQ(proc.stats.wire_frames,
+            pair_frames * (3 * proc.stats.iterations + 1));
+
+  // Control plane: every step-end round broadcasts one StepSummaryRecord
+  // head + |P| u64 hand-off counts per rank to each peer.
+  const std::uint64_t summary_record = 16 + 8 * parts;
   const std::uint64_t control_bytes =
-      proc.stats.iterations * parts * (parts - 1) * 16;
+      stepend_rounds * parts * (parts - 1) * summary_record;
+
+  // wire = payload + per-frame headers + per-sub-block headers + control
+  // summaries + the 3-channel directory of every step-end frame.
   EXPECT_EQ(proc.stats.wire_bytes,
             proc.stats.comm_bytes + control_bytes +
                 wire::kFrameHeaderBytes * proc.stats.wire_frames +
-                wire::kSubBlockHeaderBytes * proc.stats.comm_messages);
+                wire::kSubBlockHeaderBytes * proc.stats.comm_messages +
+                wire::ChannelDirectoryBytes(3) * pair_frames * stepend_rounds);
   EXPECT_GT(proc.stats.wire_frames, 0u);
   // The in-process transport has no wire.
   EXPECT_EQ(ref.stats.wire_bytes, 0u);
   EXPECT_EQ(ref.stats.wire_frames, 0u);
+}
+
+// Frame-coalescing differential: the fused step-end frame and the legacy
+// one-frame-per-exchange framing must deliver byte-identical inbox
+// assembly (same partitions, same algorithmic counters) and identical
+// CommLedger data/control totals across the whole matrix — only frame
+// count and header overhead may differ, and both must shrink.
+TEST(DneTransportTest, CoalescedFramingMatchesLegacyFraming) {
+  const Graph rmat = RmatGraph(10, 7);
+  const Graph er = ErGraph(9);
+  for (const Graph* g : {&rmat, &er}) {
+    for (std::uint32_t parts : {2u, 4u, 16u}) {
+      for (int nproc : {2, static_cast<int>(parts)}) {
+        if (nproc > static_cast<int>(parts)) continue;
+        DneOptions coalesced = ProcessOptions(nproc);
+        DneOptions legacy = ProcessOptions(nproc);
+        legacy.coalesce_frames = false;
+        const RunOutcome a = RunDne(*g, parts, coalesced);
+        const RunOutcome b = RunDne(*g, parts, legacy);
+        EXPECT_EQ(a.assignment, b.assignment)
+            << "parts " << parts << " nproc " << nproc;
+        EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+        EXPECT_EQ(a.stats.random_restarts, b.stats.random_restarts);
+        EXPECT_EQ(a.stats.comm_bytes, b.stats.comm_bytes);
+        EXPECT_EQ(a.stats.comm_messages, b.stats.comm_messages);
+        // Coalescing must strictly reduce frames and total wire bytes
+        // (3 rounds per superstep instead of 5, fewer headers).
+        EXPECT_LT(a.stats.wire_frames, b.stats.wire_frames)
+            << "parts " << parts << " nproc " << nproc;
+        EXPECT_LT(a.stats.wire_bytes, b.stats.wire_bytes);
+      }
+    }
+  }
 }
 
 // MemTracker per-rank peaks: identical modeled census on both transports
