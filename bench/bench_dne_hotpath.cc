@@ -16,10 +16,18 @@
 // target file (a JSON array of records), so the committed trajectory keeps
 // every prior entry.
 //
+// --checkpoint-every=K turns on superstep checkpointing for the process
+// mode (state written to a temp directory every K supersteps) so the
+// recorded trajectory includes the checkpoint overhead — bytes written and
+// seconds spent — next to the transport numbers.
+//
 //   ./bench_dne_hotpath [--scale=17] [--edge-factor=8] [--partitions=16]
 //                       [--threads=8] [--repeats=3] [--seed=7]
 //                       [--modes=legacy,fast,process] [--transport=process]
-//                       [--ranks=N] [--process-ratio-warn=R] [--json=FILE]
+//                       [--ranks=N] [--checkpoint-every=K]
+//                       [--process-ratio-warn=R] [--json=FILE]
+#include <stdlib.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -55,6 +63,17 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.GetInt("seed", 7));
   const std::string transport = flags.GetString("transport", "");
   const int ranks = flags.GetInt("ranks", 0);
+  const int checkpoint_every = flags.GetInt("checkpoint-every", 0);
+  std::string checkpoint_dir;
+  if (checkpoint_every > 0) {
+    char tmpl[] = "/tmp/dne_bench_ckpt_XXXXXX";
+    const char* made = mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::fprintf(stderr, "error: cannot create checkpoint temp dir\n");
+      return 1;
+    }
+    checkpoint_dir = made;
+  }
   const std::vector<std::string> modes = dne::bench::SplitCsv(
       flags.GetString("modes", transport == "process" ? "fast,process"
                                                       : "legacy,fast"));
@@ -64,7 +83,7 @@ int main(int argc, char** argv) {
       "superstep pipeline: old vs overhauled shape, modeled vs real transport",
       "--scale=N --edge-factor=N --partitions=N --threads=N --repeats=N "
       "--seed=N --modes=legacy,fast,process --transport=process --ranks=N "
-      "--process-ratio-warn=R --json=FILE");
+      "--checkpoint-every=K --process-ratio-warn=R --json=FILE");
 
   dne::RmatOptions ro;
   ro.scale = scale;
@@ -86,8 +105,14 @@ int main(int argc, char** argv) {
     if (mode == "process") {
       o.transport = dne::DneTransport::kProcess;
       o.ranks = ranks;
+      if (checkpoint_every > 0) {
+        o.checkpoint_every = static_cast<std::uint32_t>(checkpoint_every);
+      }
     }
     dne::DnePartitioner p(o);
+    if (mode == "process" && checkpoint_every > 0) {
+      p.SetCheckpointDir(checkpoint_dir);
+    }
     dne::WallTimer t;
     dne::Status st = p.Partition(g, static_cast<std::uint32_t>(partitions),
                                  ep);
@@ -164,6 +189,14 @@ int main(int argc, char** argv) {
                       static_cast<double>(s.wire_bytes)).c_str(),
                   static_cast<unsigned long long>(s.wire_frames),
                   s.rank_processes);
+      if (checkpoint_every > 0) {
+        std::printf("  %-8s   checkpoints every %d supersteps: %s written "
+                    "in %.3f s\n",
+                    "", checkpoint_every,
+                    dne::bench::HumanBytes(
+                        static_cast<double>(s.checkpoint_bytes)).c_str(),
+                    s.checkpoint_seconds);
+      }
     }
     results.push_back(std::move(r));
   }
@@ -255,6 +288,10 @@ int main(int argc, char** argv) {
       w.KV("wire_bytes", s.wire_bytes);
       w.KV("wire_frames", s.wire_frames);
       w.KV("rank_processes", s.rank_processes);
+      w.KV("checkpoint_every",
+           r.mode == "process" ? checkpoint_every : 0);
+      w.KV("checkpoint_bytes", s.checkpoint_bytes);
+      w.KV("checkpoint_seconds", s.checkpoint_seconds);
       w.EndObject();
     }
     w.EndArray();

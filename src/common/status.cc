@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kCancelled:
       return "Cancelled";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

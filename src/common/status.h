@@ -21,6 +21,7 @@ class Status {
     kInternal,
     kNotSupported,
     kCancelled,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -46,6 +47,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(Code::kCancelled, std::move(msg));
+  }
+  /// A transient distributed-runtime failure (peer crash, stalled mesh
+  /// round, corrupted frame): the operation failed but the run may be
+  /// recoverable by the supervisor — restart from the last checkpoint.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -77,6 +77,16 @@ OptionSpec OptionSpec::Enum(std::string key, std::vector<std::string> values,
   return s;
 }
 
+OptionSpec OptionSpec::String(std::string key, std::string def,
+                              std::string help) {
+  OptionSpec s;
+  s.key = std::move(key);
+  s.type = OptionType::kString;
+  s.default_value = std::move(def);
+  s.help = std::move(help);
+  return s;
+}
+
 std::string OptionSpec::TypeName() const {
   switch (type) {
     case OptionType::kInt:
@@ -87,6 +97,8 @@ std::string OptionSpec::TypeName() const {
       return "double";
     case OptionType::kBool:
       return "bool";
+    case OptionType::kString:
+      return "string";
     case OptionType::kEnum: {
       std::string out = "enum{";
       for (std::size_t i = 0; i < enum_values.size(); ++i) {
@@ -218,6 +230,10 @@ Status CheckValue(const OptionSpec& spec, const std::string& value) {
       bool v = false;
       return ParseBool(value, &v);
     }
+    case OptionType::kString:
+      // Any value parses; semantic validation (paths, fault specs) is the
+      // partitioner factory's job, where cross-option context is available.
+      return Status::OK();
     case OptionType::kEnum: {
       if (std::find(spec.enum_values.begin(), spec.enum_values.end(), value) ==
           spec.enum_values.end()) {
@@ -306,6 +322,14 @@ bool OptionSchema::BoolOr(const PartitionConfig& config,
     ParseBool(spec->default_value, &v);
   }
   return v;
+}
+
+std::string OptionSchema::StringOr(const PartitionConfig& config,
+                                   const std::string& key) const {
+  const OptionSpec* spec = Find(key);
+  if (spec == nullptr) return "";
+  const std::string* raw = config.Find(key);
+  return raw != nullptr ? *raw : spec->default_value;
 }
 
 std::string OptionSchema::EnumOr(const PartitionConfig& config,

@@ -19,7 +19,7 @@
 namespace dne {
 
 /// Value type of one declared option.
-enum class OptionType { kInt, kUint, kDouble, kBool, kEnum };
+enum class OptionType { kInt, kUint, kDouble, kBool, kEnum, kString };
 
 /// Declaration of one option: key, type, default, admissible range (numeric
 /// types) or value set (enums), and a help line for `dne_cli --list`.
@@ -41,8 +41,9 @@ struct OptionSpec {
   static OptionSpec Bool(std::string key, bool def, std::string help);
   static OptionSpec Enum(std::string key, std::vector<std::string> values,
                          std::string def, std::string help);
+  static OptionSpec String(std::string key, std::string def, std::string help);
 
-  /// "uint", "int", "double", "bool" or "enum{a|b|c}".
+  /// "uint", "int", "double", "bool", "string" or "enum{a|b|c}".
   std::string TypeName() const;
 };
 
@@ -107,6 +108,8 @@ class OptionSchema {
   bool BoolOr(const PartitionConfig& config, const std::string& key) const;
   std::string EnumOr(const PartitionConfig& config,
                      const std::string& key) const;
+  std::string StringOr(const PartitionConfig& config,
+                       const std::string& key) const;
 
  private:
   std::vector<OptionSpec> specs_;

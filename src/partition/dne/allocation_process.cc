@@ -315,4 +315,95 @@ void AllocationProcess::DrainBoundaryReports(std::vector<BoundaryReport>* out,
   pending_sorted_ = true;
 }
 
+namespace {
+
+template <typename T>
+void AppendRaw(std::vector<unsigned char>* out, const std::vector<T>& v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  out->insert(out->end(), p, p + v.size() * sizeof(T));
+}
+
+}  // namespace
+
+void AllocationProcess::SerializeState(std::vector<unsigned char>* out) const {
+  wire::AppendPod(out, static_cast<std::uint8_t>(legacy_scan_ ? 1 : 0));
+  wire::AppendPod(out, static_cast<std::uint64_t>(local_assignment_.size()));
+  AppendRaw(out, local_assignment_);
+  wire::AppendPod(out, static_cast<std::uint64_t>(rest_degree_.size()));
+  AppendRaw(out, rest_degree_);
+  wire::AppendPod(out, free_cursor_);
+  // Fast path only: the compacting scans both shrink each vertex's live
+  // window and permute the arcs inside it, so window bounds AND contents
+  // are state. Arcs past live_end_[v] are dead — never read again — and
+  // are left as whatever the restoring Finalize() produced.
+  const std::uint8_t has_live = live_end_.empty() ? 0 : 1;
+  wire::AppendPod(out, has_live);
+  if (has_live != 0) {
+    AppendRaw(out, live_end_);
+    for (std::size_t v = 0; v < live_end_.size(); ++v) {
+      const auto* p =
+          reinterpret_cast<const unsigned char*>(&arcs_[offsets_[v]]);
+      out->insert(out->end(), p,
+                  p + (live_end_[v] - offsets_[v]) * sizeof(Arc));
+    }
+  }
+  vertex_parts_.SerializeState(out);
+}
+
+bool AllocationProcess::RestoreState(wire::PayloadReader* reader) {
+  std::uint8_t legacy = 0;
+  if (!reader->Read(&legacy) || legacy != (legacy_scan_ ? 1 : 0)) return false;
+  std::uint64_t num_edges = 0;
+  if (!reader->Read(&num_edges) || num_edges != local_assignment_.size() ||
+      !reader->ReadBytes(local_assignment_.data(),
+                         num_edges * sizeof(PartitionId))) {
+    return false;
+  }
+  std::uint64_t num_vertices = 0;
+  if (!reader->Read(&num_vertices) || num_vertices != rest_degree_.size() ||
+      !reader->ReadBytes(rest_degree_.data(),
+                         num_vertices * sizeof(std::uint32_t))) {
+    return false;
+  }
+  if (!reader->Read(&free_cursor_) || free_cursor_ > num_vertices) {
+    return false;
+  }
+  std::uint8_t has_live = 0;
+  if (!reader->Read(&has_live) || has_live != (live_end_.empty() ? 0 : 1)) {
+    return false;
+  }
+  if (has_live != 0) {
+    if (!reader->ReadBytes(live_end_.data(),
+                           num_vertices * sizeof(std::uint32_t))) {
+      return false;
+    }
+    for (std::size_t v = 0; v < live_end_.size(); ++v) {
+      if (live_end_[v] < offsets_[v] || live_end_[v] > offsets_[v + 1]) {
+        return false;
+      }
+      if (!reader->ReadBytes(&arcs_[offsets_[v]],
+                             (live_end_[v] - offsets_[v]) * sizeof(Arc))) {
+        return false;
+      }
+    }
+  }
+  if (!vertex_parts_.RestoreState(reader)) return false;
+  // Derived state: allocation flags and per-partition counts follow from
+  // the restored assignment. Per-superstep queues restart empty — the
+  // checkpoint is taken at a superstep boundary, where they always are.
+  std::fill(local_count_per_part_.begin(), local_count_per_part_.end(), 0);
+  for (std::size_t le = 0; le < local_assignment_.size(); ++le) {
+    const PartitionId p = local_assignment_[le];
+    edge_done_[le] = p != kNoPartition ? 1 : 0;
+    if (p == kNoPartition) continue;
+    if (p >= local_count_per_part_.size()) return false;
+    ++local_count_per_part_[p];
+  }
+  pending_.clear();
+  pending_sorted_ = true;
+  handoff_.clear();
+  budget_.clear();
+  return true;
+}
+
 }  // namespace dne

@@ -134,6 +134,19 @@ class AllocationProcess {
   int rank() const { return rank_; }
   std::uint64_t num_local_edges() const { return edge_gid_.size(); }
 
+  /// Checkpoint support: appends the mutable post-Finalize state — edge
+  /// assignments, rest degrees, the seed cursor, the live adjacency windows
+  /// (window contents included: the compacting scans permute them) and the
+  /// vertex allocation-id sets. The frozen CSR itself is NOT written; the
+  /// restoring process rebuilds it from its re-shipped edge shard.
+  void SerializeState(std::vector<unsigned char>* out) const;
+
+  /// Restores a SerializeState snapshot into this freshly Finalize()d twin,
+  /// re-deriving edge_done_ and the per-partition counts and resetting the
+  /// per-superstep queues. False on any shape mismatch with the local CSR
+  /// (the caller treats that as an unusable checkpoint).
+  bool RestoreState(wire::PayloadReader* reader);
+
  private:
   std::uint32_t LocalIndex(VertexId v) const;
   /// Sorts + dedups pending_ unless it is already in that state.

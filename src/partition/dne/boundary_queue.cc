@@ -47,4 +47,12 @@ BoundaryEntry BucketedBoundaryQueue::PopMin() {
   return BoundaryEntry{0, kNoVertex};
 }
 
+void BucketedBoundaryQueue::AppendEntries(
+    std::vector<BoundaryEntry>* out) const {
+  for (const Bucket& bucket : buckets_) {
+    out->insert(out->end(), bucket.items.begin() + bucket.head,
+                bucket.items.end());
+  }
+}
+
 }  // namespace dne

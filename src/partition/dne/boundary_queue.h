@@ -63,6 +63,17 @@ class HeapBoundaryQueue {
   std::size_t size() const { return heap_.size(); }
   bool empty() const { return heap_.empty(); }
 
+  /// Appends every live entry to *out (checkpoint snapshot). Pop order is a
+  /// pure function of the entry multiset, so restoring via Push reproduces
+  /// this queue bit-identically.
+  void AppendEntries(std::vector<BoundaryEntry>* out) const {
+    auto copy = heap_;
+    while (!copy.empty()) {
+      out->push_back(copy.top());
+      copy.pop();
+    }
+  }
+
  private:
   std::priority_queue<BoundaryEntry, std::vector<BoundaryEntry>,
                       std::greater<>>
@@ -88,6 +99,10 @@ class BucketedBoundaryQueue {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Appends every live (unpopped) entry to *out (checkpoint snapshot); same
+  /// restore-via-Push contract as HeapBoundaryQueue::AppendEntries.
+  void AppendEntries(std::vector<BoundaryEntry>* out) const;
 
  private:
   struct Bucket {

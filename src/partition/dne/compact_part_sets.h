@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "runtime/wire.h"
 
 namespace dne {
 
@@ -138,6 +139,60 @@ class CompactPartSets {
   /// Bytes grown during the run (arena mode only; 0 in bitmap mode).
   std::size_t SpillBytes() const {
     return arena_.size() * sizeof(PartitionId);
+  }
+
+  /// Appends a checkpoint snapshot of every vertex's set. Bitmap mode dumps
+  /// the raw words; slot mode writes each vertex's sorted id list (the
+  /// arena's block layout is a pure function of the per-vertex final counts,
+  /// so re-Add on restore reproduces it).
+  void SerializeState(std::vector<unsigned char>* out) const {
+    const std::uint8_t mode = words_ > 0 ? 1 : 0;
+    wire::AppendPod(out, mode);
+    if (mode != 0) {
+      wire::AppendPod(out, static_cast<std::uint64_t>(bits_.size()));
+      const auto* p = reinterpret_cast<const unsigned char*>(bits_.data());
+      out->insert(out->end(), p, p + bits_.size() * sizeof(std::uint64_t));
+      return;
+    }
+    const std::uint64_t num_vertices = slots_.size() / 2;
+    wire::AppendPod(out, num_vertices);
+    std::vector<PartitionId> scratch;
+    for (std::uint64_t v = 0; v < num_vertices; ++v) {
+      SlotCopyTo(static_cast<std::uint32_t>(v), &scratch);
+      wire::AppendPod(out, static_cast<std::uint32_t>(scratch.size()));
+      for (PartitionId p : scratch) wire::AppendPod(out, p);
+      scratch.clear();
+    }
+  }
+
+  /// Restores a SerializeState snapshot into this freshly Init()ed instance.
+  /// The storage mode and vertex count must match the snapshot; false on any
+  /// shape mismatch (the caller treats that as an unusable checkpoint).
+  bool RestoreState(wire::PayloadReader* reader) {
+    std::uint8_t mode = 0;
+    if (!reader->Read(&mode) || mode != (words_ > 0 ? 1 : 0)) return false;
+    if (mode != 0) {
+      std::uint64_t num_words = 0;
+      if (!reader->Read(&num_words) || num_words != bits_.size()) return false;
+      return reader->ReadBytes(bits_.data(),
+                               bits_.size() * sizeof(std::uint64_t));
+    }
+    std::uint64_t num_vertices = 0;
+    if (!reader->Read(&num_vertices) || num_vertices != slots_.size() / 2) {
+      return false;
+    }
+    for (std::uint64_t v = 0; v < num_vertices; ++v) {
+      std::uint32_t count = 0;
+      if (!reader->Read(&count)) return false;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        PartitionId p = kNoPartition;
+        if (!reader->Read(&p) || p >= num_partitions_ ||
+            !Add(static_cast<std::uint32_t>(v), p)) {
+          return false;
+        }
+      }
+    }
+    return true;
   }
 
  private:

@@ -2,7 +2,9 @@
 #ifndef DNE_PARTITION_DNE_DNE_OPTIONS_H_
 #define DNE_PARTITION_DNE_DNE_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "runtime/cost_model.h"
@@ -25,6 +27,52 @@ enum class DneTransport { kInProcess, kProcess };
 /// fork fan-out and the O(n^2) socket mesh stop being a sensible single-host
 /// configuration.
 inline constexpr int kMaxRankProcesses = 64;
+
+/// What a FaultAction does when its (rank process, superstep, epoch) key
+/// matches (deterministic fault injection, process transport only).
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kCrash = 1,           ///< SIGKILL self — death without a goodbye
+  kStall = 2,           ///< SIGSTOP self — alive but wedged past the deadline
+  kDropFrame = 3,       ///< suppress the mesh frame to one peer for a round
+  kFlipFrame = 4,       ///< flip a payload bit after the checksum is sealed
+  kCheckpointFail = 5,  ///< fail the checkpoint write at that superstep
+  kTornCheckpoint = 6,  ///< commit the checkpoint, then truncate its tail
+};
+
+/// Which mesh round of the superstep a round-keyed injection targets.
+enum class FaultRound : std::uint8_t {
+  kSuperstepStart = 0,  ///< before any round (crash/stall default)
+  kSelect = 1,          ///< the expansion-request exchange (phase A)
+  kSync = 2,            ///< the replica-sync exchange (phase B)
+  kStepEnd = 3,         ///< the fused end-of-superstep round (phase C)
+};
+
+/// One keyed injection of the FaultPlan (`--opt fault=` spec): fire `kind`
+/// on rank process `rank` when it reaches superstep `superstep` in recovery
+/// epoch `epoch` (0 = the original attempt, each supervisor restart
+/// increments it, -1 = every attempt). `round` scopes crash/stall inside
+/// the superstep and names the round whose frame drop/flip corrupts; `peer`
+/// picks the victim peer process for frame faults (-1 = lowest peer).
+/// Shipped to rank processes inside DneOptions by memcpy — explicit-width
+/// fields, trivially copyable, layout frozen below.
+struct FaultAction {
+  std::uint8_t kind = 0;   // FaultKind
+  std::uint8_t round = 0;  // FaultRound
+  std::int16_t peer = -1;
+  std::int32_t rank = -1;
+  std::uint32_t superstep = 0;
+  std::int32_t epoch = 0;
+};
+static_assert(std::is_trivially_copyable_v<FaultAction>,
+              "FaultAction rides inside DneOptions config frames");
+static_assert(sizeof(FaultAction) == 16 && offsetof(FaultAction, kind) == 0 &&
+                  offsetof(FaultAction, round) == 1 &&
+                  offsetof(FaultAction, peer) == 2 &&
+                  offsetof(FaultAction, rank) == 4 &&
+                  offsetof(FaultAction, superstep) == 8 &&
+                  offsetof(FaultAction, epoch) == 12,
+              "FaultAction wire layout drifted");
 
 struct DneOptions {
   /// Balance slack alpha of Eq. (2); the paper sets 1.1.
@@ -69,10 +117,26 @@ struct DneOptions {
   /// baseline. Inbox assembly and ledger data/control accounting are
   /// byte-identical either way; only frame count and header overhead move.
   bool coalesce_frames = true;
-  /// Test-only fault injection (process transport): this rank process
-  /// _exit()s at the start of superstep 1 so the failure path — fail fast
-  /// with a diagnostic, never hang — stays covered. -1 = disabled.
-  int fault_rank = -1;
+  /// Process transport only: checkpoint every K supersteps (0 = off). Each
+  /// rank process serialises its full superstep-boundary state to
+  /// `checkpoint_dir` so the supervisor can restart the cluster from the
+  /// last complete checkpoint instead of losing the run.
+  std::uint32_t checkpoint_every = 0;
+  /// Process transport only: how many times the supervisor restarts the
+  /// cluster after a recoverable failure (crash, stall, corrupted frame)
+  /// before declaring the run dead. 0 = fail fast (pre-recovery behaviour).
+  std::uint32_t max_recoveries = 0;
+  /// Mesh-round stall deadline: how long an endpoint waits on a wedged (but
+  /// not crashed) peer before giving up on the round.
+  double stall_timeout_s = 600.0;
+  /// Deterministic fault plan (process transport, tests/CI): up to
+  /// kMaxFaultActions keyed injections, parsed from the `fault=` spec.
+  static constexpr std::uint32_t kMaxFaultActions = 8;
+  FaultAction faults[kMaxFaultActions] = {};
+  std::uint32_t num_faults = 0;
+  /// Directory for the per-process checkpoint files (fixed-size so
+  /// DneOptions stays trivially copyable for the config frame).
+  char checkpoint_dir[232] = {};
 };
 
 /// Detailed observability of a Distributed NE run (feeds Figs. 6, 9, 10).
@@ -113,6 +177,12 @@ struct DneStats {
   /// peak RSS (getrusage), indexed by process.
   int rank_processes = 0;
   std::vector<std::uint64_t> process_rss_bytes;
+  /// Process transport only: cluster restarts the supervisor performed to
+  /// finish the run (0 on a fault-free run), and the checkpoint overhead —
+  /// bytes written and wall seconds spent writing, summed over processes.
+  std::uint32_t recoveries = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  double checkpoint_seconds = 0.0;
 };
 
 }  // namespace dne

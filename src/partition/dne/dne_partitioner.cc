@@ -1,12 +1,14 @@
 #include "partition/dne/dne_partitioner.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/timer.h"
 #include "core/partitioner_registry.h"
+#include "partition/dne/fault_plan.h"
 #include "partition/dne/dne_process_transport.h"
 #include "partition/dne/dne_rank_state.h"
 #include "partition/dne/two_d_distribution.h"
@@ -29,9 +31,26 @@ Status ResolveTransport(const DneOptions& options,
           "ranks requires transport=process (the in-process transport "
           "always hosts every simulated rank)");
     }
-    if (options.fault_rank >= 0) {
+    if (options.checkpoint_every != 0) {
       return Status::InvalidArgument(
-          "fault_rank requires transport=process");
+          "checkpoint_every requires transport=process (in-process runs "
+          "have no rank processes to recover)");
+    }
+    if (options.checkpoint_dir[0] != '\0') {
+      return Status::InvalidArgument(
+          "checkpoint_dir requires transport=process");
+    }
+    if (options.max_recoveries != 0) {
+      return Status::InvalidArgument(
+          "max_recoveries requires transport=process");
+    }
+    if (options.stall_timeout_s != 600.0) {
+      return Status::InvalidArgument(
+          "stall_timeout_s requires transport=process (only mesh rounds "
+          "have a stall deadline)");
+    }
+    if (options.num_faults > 0) {
+      return Status::InvalidArgument("fault requires transport=process");
     }
     return Status::OK();
   }
@@ -57,10 +76,22 @@ Status ResolveTransport(const DneOptions& options,
         std::to_string(kMaxRankProcesses) + ")] for transport=process; got " +
         std::to_string(options.ranks));
   }
-  if (options.fault_rank >= n) {
+  if (options.checkpoint_every > 0 && options.checkpoint_dir[0] == '\0') {
     return Status::InvalidArgument(
-        "fault_rank must name one of the " + std::to_string(n) +
-        " rank processes");
+        "checkpoint_every requires a checkpoint_dir to write into");
+  }
+  for (std::uint32_t i = 0; i < options.num_faults; ++i) {
+    const FaultAction& a = options.faults[i];
+    if (a.rank >= n) {
+      return Status::InvalidArgument(
+          "fault plan targets rank process " + std::to_string(a.rank) +
+          " but only " + std::to_string(n) + " rank processes are configured");
+    }
+    if (a.peer >= n) {
+      return Status::InvalidArgument(
+          "fault plan targets peer process " + std::to_string(a.peer) +
+          " but only " + std::to_string(n) + " rank processes are configured");
+    }
   }
   *nproc = n;
   return Status::OK();
@@ -91,6 +122,28 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
   }
   if (options_.num_threads > kMaxPoolThreads) {
     return Status::InvalidArgument("threads exceeds the supported maximum");
+  }
+  if (options_.stall_timeout_s <= 0.0) {
+    return Status::InvalidArgument("stall_timeout_s must be positive");
+  }
+  // Fold the variable-length options into the fixed-size DneOptions POD the
+  // config frame ships: here a bad value becomes a Status, not a silent
+  // truncation.
+  if (!checkpoint_dir_.empty()) {
+    if (checkpoint_dir_.size() >= sizeof(options_.checkpoint_dir)) {
+      return Status::InvalidArgument(
+          "checkpoint_dir is too long (max " +
+          std::to_string(sizeof(options_.checkpoint_dir) - 1) +
+          " characters)");
+    }
+    std::memcpy(options_.checkpoint_dir, checkpoint_dir_.data(),
+                checkpoint_dir_.size());
+    options_.checkpoint_dir[checkpoint_dir_.size()] = '\0';
+  }
+  if (!fault_spec_.empty()) {
+    DNE_RETURN_IF_ERROR(ParseFaultPlan(fault_spec_, options_.faults,
+                                       DneOptions::kMaxFaultActions,
+                                       &options_.num_faults));
   }
   int nproc = 0;
   DNE_RETURN_IF_ERROR(ResolveTransport(options_, num_partitions, &nproc));
@@ -313,9 +366,25 @@ OptionSchema DneSchema() {
                        "fuse step-end exchanges into one multi-channel "
                        "frame per peer (transport=process; off = legacy "
                        "per-exchange framing, bit-identical result)"),
-      OptionSpec::Int("fault_rank", -1, -1, kMaxRankProcesses,
-                      "test-only: crash this rank process at superstep 1 "
-                      "(transport=process)")};
+      OptionSpec::Int("checkpoint_every", 0, 0, 1000000000,
+                      "checkpoint rank state every K supersteps "
+                      "(transport=process; 0 = off; requires "
+                      "checkpoint_dir)"),
+      OptionSpec::String("checkpoint_dir", "",
+                         "directory for per-process superstep checkpoints "
+                         "(transport=process)"),
+      OptionSpec::Int("max_recoveries", 0, 0, 16,
+                      "full-cluster restarts to attempt after a rank "
+                      "failure before reporting it (transport=process)"),
+      OptionSpec::Double("stall_timeout_s", 600.0, 0.1, 86400.0,
+                         "mesh-round stall deadline: how long a rank waits "
+                         "on a wedged peer before declaring the round dead "
+                         "(transport=process)"),
+      OptionSpec::String("fault", "",
+                         "deterministic fault plan: "
+                         "kind@rR:sS[:round=..][:epoch=N][:peer=N], "
+                         "';'-separated; kinds crash|stall|drop|flip|"
+                         "ckptfail|torn (transport=process, tests/CI)")};
 }
 }  // namespace
 
@@ -349,8 +418,15 @@ DNE_REGISTER_PARTITIONER(
                             : DneTransport::kInProcess;
           o.ranks = static_cast<int>(s.IntOr(c, "ranks"));
           o.coalesce_frames = s.BoolOr(c, "coalesce");
-          o.fault_rank = static_cast<int>(s.IntOr(c, "fault_rank"));
-          return std::make_unique<DnePartitioner>(o);
+          o.checkpoint_every =
+              static_cast<std::uint32_t>(s.IntOr(c, "checkpoint_every"));
+          o.max_recoveries =
+              static_cast<std::uint32_t>(s.IntOr(c, "max_recoveries"));
+          o.stall_timeout_s = s.DoubleOr(c, "stall_timeout_s");
+          auto p = std::make_unique<DnePartitioner>(o);
+          p->SetCheckpointDir(s.StringOr(c, "checkpoint_dir"));
+          p->SetFaultSpec(s.StringOr(c, "fault"));
+          return p;
         }})
 
 }  // namespace dne

@@ -5,6 +5,7 @@
 #define DNE_PARTITION_DNE_DNE_PARTITIONER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "partition/dne/dne_options.h"
 #include "partition/partitioner.h"
@@ -18,6 +19,13 @@ class DnePartitioner : public Partitioner {
 
   std::string name() const override { return "dne"; }
 
+  /// Variable-length option values that cannot ride in the fixed-size
+  /// DneOptions POD as-is: validated (length / grammar) at Partition time,
+  /// where a malformed value can surface as a proper Status instead of a
+  /// silent truncation in the factory.
+  void SetCheckpointDir(std::string dir) { checkpoint_dir_ = std::move(dir); }
+  void SetFaultSpec(std::string spec) { fault_spec_ = std::move(spec); }
+
   /// Detailed counters of the most recent run (iterations, one/two-hop
   /// splits, simulated time, peak memory...).
   const DneStats& dne_stats() const { return dne_stats_; }
@@ -29,6 +37,8 @@ class DnePartitioner : public Partitioner {
 
  private:
   DneOptions options_;
+  std::string checkpoint_dir_;
+  std::string fault_spec_;
   DneStats dne_stats_;
 };
 

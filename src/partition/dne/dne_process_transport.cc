@@ -6,7 +6,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -14,6 +16,8 @@
 #include "common/timer.h"
 #include "partition/dne/dne_rank_state.h"
 #include "partition/dne/two_d_distribution.h"
+#include "runtime/checkpoint.h"
+#include "runtime/fault_injector.h"
 #include "runtime/process_cluster.h"
 #include "runtime/wire.h"
 
@@ -32,16 +36,33 @@ enum CtrlKind : std::uint8_t {
   kCtrlResult = 35,
   kCtrlStats = 36,
   kCtrlError = 37,
+  // A rank process hit a recoverable (kUnavailable) failure: it closed its
+  // mesh ends, reported where it stood (ParkedHead + message) and now sits
+  // parked until the supervisor SIGKILLs the cluster for the restart.
+  kCtrlParked = 38,
 };
 
 struct ConfigTail {
   std::uint32_t num_partitions;
   std::uint32_t nproc;
   std::uint32_t proc_index;
-  std::uint32_t pad = 0;
+  /// Superstep to restore from the checkpoint directory (0 = fresh start).
+  std::uint32_t resume_step;
   std::uint64_t num_vertices;
   std::uint64_t total_edges;
   std::uint64_t seed;
+  /// Supervisor recovery epoch: 0 on the original attempt, +1 per restart.
+  /// Keys the fault plan so an injected fault does not refire after the
+  /// recovery it was meant to trigger.
+  std::int32_t epoch;
+  std::uint32_t pad = 0;
+};
+
+/// Payload head of a kCtrlParked frame; the failure message follows.
+struct ParkedHead {
+  std::uint32_t superstep;
+  std::uint8_t round_kind;  ///< wire kind of the mesh round that failed
+  std::uint8_t pad[3] = {0, 0, 0};
 };
 
 struct RankStatsRecord {
@@ -61,6 +82,8 @@ struct StatsHead {
   std::uint32_t num_local;
   std::uint32_t pad = 0;
   std::uint64_t num_steps;
+  std::uint64_t checkpoint_bytes;
+  double checkpoint_seconds;
 };
 
 constexpr const char* kCoordinator = "coordinator";
@@ -71,7 +94,270 @@ std::uint64_t SelfPeakRssBytes() {
   return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
 }
 
+/// Human name of a mesh round for the structured failure report.
+const char* MeshRoundName(std::uint8_t kind) {
+  switch (static_cast<DneMsgKind>(kind)) {
+    case DneMsgKind::kSelectRequest:
+      return "select";
+    case DneMsgKind::kSyncPair:
+      return "sync";
+    case DneMsgKind::kStepEnd:
+      return "step-end";
+    case DneMsgKind::kBarrier:
+      return "barrier";
+    case DneMsgKind::kAllGather:
+      return "all-gather";
+    case DneMsgKind::kBoundaryReport:
+      return "boundary-report";
+    case DneMsgKind::kEdgeHandoff:
+      return "edge-handoff";
+    case DneMsgKind::kStepSummary:
+      return "step-summary";
+    default:
+      return "unknown";
+  }
+}
+
+// ---- Tape step wire encoding (stats frames + checkpoint tape frames) --------
+
+void AppendTapeStep(const TapeLedger::Step& step,
+                    std::vector<unsigned char>* buf) {
+  wire::AppendPod(buf, static_cast<std::uint8_t>(step.selection));
+  wire::AppendPod(buf, static_cast<std::uint8_t>(step.superstep_end));
+  wire::AppendPod(buf, std::uint16_t{0});
+  wire::AppendPod(buf, std::uint32_t{0});
+  for (const TapeLedger::StepRow& row : step.rows) {
+    wire::AppendPod(buf, row.work);
+    wire::AppendPod(buf, row.data_bytes);
+    wire::AppendPod(buf, row.data_messages);
+    wire::AppendPod(buf, row.control_bytes);
+    wire::AppendPod(buf, row.wire_bytes);
+    wire::AppendPod(buf, row.wire_frames);
+  }
+}
+
+bool ReadTapeStep(wire::PayloadReader* reader, std::size_t num_local,
+                  TapeLedger::Step* step) {
+  std::uint8_t selection = 0, superstep_end = 0;
+  std::uint16_t pad16 = 0;
+  std::uint32_t pad32 = 0;
+  if (!reader->Read(&selection) || !reader->Read(&superstep_end) ||
+      !reader->Read(&pad16) || !reader->Read(&pad32)) {
+    return false;
+  }
+  step->selection = selection != 0;
+  step->superstep_end = superstep_end != 0;
+  step->rows.resize(num_local);
+  for (TapeLedger::StepRow& row : step->rows) {
+    if (!reader->Read(&row.work) || !reader->Read(&row.data_bytes) ||
+        !reader->Read(&row.data_messages) ||
+        !reader->Read(&row.control_bytes) || !reader->Read(&row.wire_bytes) ||
+        !reader->Read(&row.wire_frames)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 // ---- Child side -------------------------------------------------------------
+
+/// Serialises this process's full superstep-boundary state into one
+/// checkpoint file (see runtime/checkpoint.h for the frame layout).
+Status WriteCheckpoint(const std::string& dir, int child,
+                       const ConfigTail& tail, std::uint32_t num_partitions,
+                       const std::vector<int>& local,
+                       const std::vector<DneRankState>& states,
+                       const TapeLedger& ledger, std::uint32_t superstep,
+                       std::uint64_t total_allocated,
+                       const std::vector<std::uint64_t>& allocated_vec,
+                       const std::vector<std::uint64_t>& all_peeks,
+                       bool tear_tail, std::uint64_t* bytes_written) {
+  ckpt::CheckpointWriter writer;
+  DNE_RETURN_IF_ERROR(writer.Open(dir, child, superstep));
+
+  std::vector<unsigned char> frame;
+  ckpt::CkptFileHeader fh;
+  fh.nproc = tail.nproc;
+  fh.proc_index = static_cast<std::uint32_t>(child);
+  fh.num_partitions = num_partitions;
+  fh.num_local_ranks = static_cast<std::uint32_t>(local.size());
+  fh.superstep = superstep;
+  fh.num_vertices = tail.num_vertices;
+  fh.total_edges = tail.total_edges;
+  fh.seed = tail.seed;
+  fh.total_allocated = total_allocated;
+  wire::AppendPod(&frame, fh);
+  for (std::uint64_t a : allocated_vec) wire::AppendPod(&frame, a);
+  for (std::uint64_t p : all_peeks) wire::AppendPod(&frame, p);
+  DNE_RETURN_IF_ERROR(
+      writer.WriteFrame(ckpt::kCkptHeader, frame.data(), frame.size()));
+
+  std::vector<unsigned char> alloc_blob, exp_blob;
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    const DneRankState& st = states[l];
+    alloc_blob.clear();
+    exp_blob.clear();
+    st.alloc.SerializeState(&alloc_blob);
+    st.expansion.SerializeState(&exp_blob);
+    frame.clear();
+    ckpt::CkptRankHeader rh;
+    rh.rank = static_cast<std::uint32_t>(local[l]);
+    rh.alloc_bytes = alloc_blob.size();
+    rh.expansion_bytes = exp_blob.size();
+    rh.two_hop_edges = st.two_hop_edges;
+    rh.random_restarts = st.random_restarts;
+    wire::AppendPod(&frame, rh);
+    frame.insert(frame.end(), alloc_blob.begin(), alloc_blob.end());
+    frame.insert(frame.end(), exp_blob.begin(), exp_blob.end());
+    DNE_RETURN_IF_ERROR(
+        writer.WriteFrame(ckpt::kCkptRank, frame.data(), frame.size()));
+  }
+
+  // The closed-step tape history rides along so a resumed run's end-of-run
+  // stats replay covers the whole run, not just the post-recovery tail.
+  frame.clear();
+  wire::AppendPod(&frame, static_cast<std::uint64_t>(ledger.steps().size()));
+  for (const TapeLedger::Step& step : ledger.steps()) {
+    AppendTapeStep(step, &frame);
+  }
+  DNE_RETURN_IF_ERROR(
+      writer.WriteFrame(ckpt::kCkptTape, frame.data(), frame.size()));
+
+  DNE_RETURN_IF_ERROR(writer.Commit(tear_tail));
+  *bytes_written = writer.bytes_written();
+  return Status::OK();
+}
+
+/// Restores the process's state from `<dir>/proc<child>.step<resume>.ckpt`.
+/// The supervisor already validated the whole checkpoint set, so any
+/// failure here is a real corruption — fatal, not recoverable.
+Status RestoreFromCheckpoint(const std::string& dir, int child,
+                             const ConfigTail& tail,
+                             std::uint32_t num_partitions,
+                             const std::vector<int>& local,
+                             std::vector<DneRankState>* states,
+                             TapeLedger* ledger, DneLoopEnv* env) {
+  const std::size_t num_local = local.size();
+  ckpt::CheckpointReader reader;
+  DNE_RETURN_IF_ERROR(
+      reader.Open(ckpt::CheckpointPath(dir, child, tail.resume_step)));
+  const ckpt::CkptFileHeader& fh = reader.header();
+  if (fh.nproc != tail.nproc ||
+      fh.proc_index != static_cast<std::uint32_t>(child) ||
+      fh.num_partitions != num_partitions ||
+      fh.num_local_ranks != num_local ||
+      fh.num_vertices != tail.num_vertices ||
+      fh.total_edges != tail.total_edges || fh.seed != tail.seed) {
+    return Status::Internal("checkpoint shape does not match the run");
+  }
+
+  {
+    const std::vector<unsigned char>& payload = reader.frames()[0].second;
+    wire::PayloadReader r(payload.data(), payload.size());
+    ckpt::CkptFileHeader skip;
+    if (!r.Read(&skip)) return Status::Internal("malformed checkpoint header");
+    env->resume.allocated_vec.assign(num_partitions, 0);
+    env->resume.all_peeks.assign(num_partitions, 0);
+    for (std::uint64_t& a : env->resume.allocated_vec) {
+      if (!r.Read(&a)) return Status::Internal("malformed checkpoint header");
+    }
+    for (std::uint64_t& p : env->resume.all_peeks) {
+      if (!r.Read(&p)) return Status::Internal("malformed checkpoint header");
+    }
+    if (r.remaining() != 0) {
+      return Status::Internal("malformed checkpoint header");
+    }
+  }
+
+  std::size_t next_local = 0;
+  bool tape_restored = false;
+  for (std::size_t i = 1; i < reader.frames().size(); ++i) {
+    const std::uint8_t kind = reader.frames()[i].first;
+    const std::vector<unsigned char>& payload = reader.frames()[i].second;
+    wire::PayloadReader r(payload.data(), payload.size());
+    if (kind == ckpt::kCkptRank) {
+      if (next_local >= num_local) {
+        return Status::Internal("checkpoint has too many rank frames");
+      }
+      ckpt::CkptRankHeader rh;
+      if (!r.Read(&rh) ||
+          rh.rank != static_cast<std::uint32_t>(local[next_local])) {
+        return Status::Internal("checkpoint rank frame out of order");
+      }
+      DneRankState& st = (*states)[next_local];
+      const std::size_t before_alloc = r.remaining();
+      if (!st.alloc.RestoreState(&r) ||
+          before_alloc - r.remaining() != rh.alloc_bytes) {
+        return Status::Internal("corrupt allocation state in checkpoint");
+      }
+      const std::size_t before_exp = r.remaining();
+      if (!st.expansion.RestoreState(&r) ||
+          before_exp - r.remaining() != rh.expansion_bytes ||
+          r.remaining() != 0) {
+        return Status::Internal("corrupt expansion state in checkpoint");
+      }
+      st.two_hop_edges = rh.two_hop_edges;
+      st.random_restarts = rh.random_restarts;
+      ++next_local;
+    } else if (kind == ckpt::kCkptTape) {
+      std::uint64_t count = 0;
+      if (tape_restored || !r.Read(&count) || count > (1ull << 32)) {
+        return Status::Internal("malformed checkpoint tape");
+      }
+      std::vector<TapeLedger::Step> steps(count);
+      for (TapeLedger::Step& step : steps) {
+        if (!ReadTapeStep(&r, num_local, &step)) {
+          return Status::Internal("malformed checkpoint tape");
+        }
+      }
+      if (r.remaining() != 0) {
+        return Status::Internal("malformed checkpoint tape");
+      }
+      ledger->RestoreSteps(std::move(steps));
+      tape_restored = true;
+    } else {
+      return Status::Internal("unexpected checkpoint frame kind " +
+                              std::to_string(kind));
+    }
+  }
+  if (next_local != num_local || !tape_restored) {
+    return Status::Internal("incomplete checkpoint file");
+  }
+
+  env->resume.active = true;
+  env->resume.iterations = tail.resume_step;
+  env->resume.total_allocated = fh.total_allocated;
+  return Status::OK();
+}
+
+/// Recoverable-failure terminal state of a rank process: close the mesh so
+/// every peer blocked on this endpoint unblocks with EOF (their wait turns
+/// into kUnavailable and they park too — the cluster drains instead of
+/// deadlocking), report where the run stood, then wait for the
+/// supervisor's SIGKILL.
+[[noreturn]] void ParkUntilKilled(int child, const std::vector<int>& mesh_fds,
+                                  int control_fd, std::uint32_t superstep,
+                                  std::uint8_t round_kind,
+                                  const std::string& why) {
+  for (int fd : mesh_fds) {
+    if (fd >= 0) ::close(fd);
+  }
+  std::vector<unsigned char> buf;
+  ParkedHead head{};
+  head.superstep = superstep;
+  head.round_kind = round_kind;
+  wire::AppendPod(&buf, head);
+  buf.insert(buf.end(), why.begin(), why.end());
+  (void)wire::SendFrame(control_fd, kCtrlParked,
+                        static_cast<std::uint32_t>(child), buf.data(),
+                        buf.size(), kCoordinator);
+  char b;
+  for (;;) {
+    const ssize_t n = ::read(control_fd, &b, 1);
+    if (n == 0 || (n < 0 && errno != EINTR)) break;
+  }
+  ::_exit(0);
+}
 
 Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
   // Config first: options + cluster geometry.
@@ -94,8 +380,15 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
   const int ranks = static_cast<int>(num_partitions);
   const bool fast = !opt.legacy_hotpath;
 
+  // Deterministic fault injection: only the plan entries keyed to this
+  // process and this recovery epoch are armed.
+  FaultInjector injector;
+  injector.Configure(opt.faults, opt.num_faults, child,
+                     static_cast<int>(tail.nproc), tail.epoch);
+
   SocketCommunicator comm(ranks, static_cast<int>(tail.nproc), child,
-                          mesh_fds, opt.coalesce_frames);
+                          mesh_fds, opt.coalesce_frames, opt.stall_timeout_s);
+  if (injector.armed()) comm.SetFaultInjector(&injector);
   const std::vector<int>& local = comm.local_ranks();
   const std::size_t num_local = local.size();
 
@@ -103,7 +396,10 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
   // Edges arrive in ascending global order per rank, so AddEdge order (and
   // with it the frozen CSR) matches the in-process distribution exactly.
   // Global edge ids stay with the coordinator; a rank addresses its edges
-  // by local index and ships back one partition id per local edge.
+  // by local index and ships back one partition id per local edge. On a
+  // recovery restart the shard is re-shipped in full — the frozen CSR is
+  // deliberately not checkpointed — and the checkpoint restore overwrites
+  // only the mutable allocation/expansion state on top of it.
   WallTimer distribute_timer;
   std::vector<AllocationProcess> allocs;
   allocs.reserve(num_local);
@@ -163,23 +459,71 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
   env.dist = &dist;
   env.comm = &comm;
   env.ledger = &ledger;
-  if (opt.fault_rank == child) {
-    env.superstep_hook = [child](std::uint64_t iter) -> Status {
-      if (iter == 1) {
-        // Injected crash: die without a goodbye so the failure path is the
-        // real one (peers see EOF, the coordinator sees the exit status).
-        ::_exit(3);
+
+  std::uint32_t current_superstep = tail.resume_step;
+  env.superstep_hook = [&](std::uint64_t iter) -> Status {
+    // The loop counts completed supersteps (0-based at the top); the fault
+    // grammar and every diagnostic are 1-based ("superstep 1" is the first).
+    current_superstep = static_cast<std::uint32_t>(iter) + 1;
+    injector.SetSuperstep(current_superstep);
+    injector.AtSuperstepStart();
+    return Status::OK();
+  };
+
+  const std::string ckpt_dir = opt.checkpoint_dir;
+  std::deque<std::uint32_t> kept_steps;
+  std::uint64_t ckpt_bytes = 0;
+  double ckpt_seconds = 0.0;
+  if (opt.checkpoint_every > 0 && !ckpt_dir.empty()) {
+    env.checkpoint_every = opt.checkpoint_every;
+    env.checkpoint_hook =
+        [&](std::uint64_t iterations, std::uint64_t total_allocated,
+            const std::vector<std::uint64_t>& allocated_vec,
+            const std::vector<std::uint64_t>& all_peeks) -> Status {
+      const auto superstep = static_cast<std::uint32_t>(iterations);
+      if (injector.ShouldFailCheckpoint(superstep)) {
+        return Status::Unavailable(
+            "injected checkpoint write failure at superstep " +
+            std::to_string(superstep));
       }
-      (void)child;
+      WallTimer ckpt_timer;
+      std::uint64_t bytes = 0;
+      DNE_RETURN_IF_ERROR(WriteCheckpoint(
+          ckpt_dir, child, tail, num_partitions, local, states, ledger,
+          superstep, total_allocated, allocated_vec, all_peeks,
+          injector.ShouldTearCheckpoint(superstep), &bytes));
+      ckpt_bytes += bytes;
+      ckpt_seconds += ckpt_timer.Seconds();
+      // Keep the last two checkpoints: the newest for the fast resume, its
+      // predecessor as the fallback when the newest turns out torn.
+      kept_steps.push_back(superstep);
+      if (kept_steps.size() > 2) {
+        ::unlink(
+            ckpt::CheckpointPath(ckpt_dir, child, kept_steps.front()).c_str());
+        kept_steps.pop_front();
+      }
       return Status::OK();
     };
   }
 
+  if (tail.resume_step > 0) {
+    DNE_RETURN_IF_ERROR(RestoreFromCheckpoint(ckpt_dir, child, tail,
+                                              num_partitions, local, &states,
+                                              &ledger, &env));
+  }
+
   DneLoopResult result;
-  DNE_RETURN_IF_ERROR(RunDneSuperstepLoop(env, &states, &result));
+  Status loop_st = RunDneSuperstepLoop(env, &states, &result);
   // Terminal barrier: every rank's exchanges (and with them its accounting
   // tape) are complete before anything is reported.
-  DNE_RETURN_IF_ERROR(comm.Barrier());
+  if (loop_st.ok()) loop_st = comm.Barrier();
+  if (!loop_st.ok()) {
+    if (loop_st.code() == Status::Code::kUnavailable) {
+      ParkUntilKilled(child, mesh_fds, control_fd, current_superstep,
+                      comm.last_round_kind(), loop_st.message());
+    }
+    return loop_st;
+  }
 
   // Results: one frame per hosted rank with the shard's assignment.
   std::vector<unsigned char> buf;
@@ -208,6 +552,8 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
   head.distribute_seconds = distribute_seconds;
   head.num_local = static_cast<std::uint32_t>(num_local);
   head.num_steps = ledger.steps().size();
+  head.checkpoint_bytes = ckpt_bytes;
+  head.checkpoint_seconds = ckpt_seconds;
   wire::AppendPod(&buf, head);
   for (std::size_t l = 0; l < num_local; ++l) {
     const DneRankState& st = states[l];
@@ -224,18 +570,7 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
     wire::AppendPod(&buf, rec);
   }
   for (const TapeLedger::Step& step : ledger.steps()) {
-    wire::AppendPod(&buf, static_cast<std::uint8_t>(step.selection));
-    wire::AppendPod(&buf, static_cast<std::uint8_t>(step.superstep_end));
-    wire::AppendPod(&buf, std::uint16_t{0});
-    wire::AppendPod(&buf, std::uint32_t{0});
-    for (const TapeLedger::StepRow& row : step.rows) {
-      wire::AppendPod(&buf, row.work);
-      wire::AppendPod(&buf, row.data_bytes);
-      wire::AppendPod(&buf, row.data_messages);
-      wire::AppendPod(&buf, row.control_bytes);
-      wire::AppendPod(&buf, row.wire_bytes);
-      wire::AppendPod(&buf, row.wire_frames);
-    }
+    AppendTapeStep(step, &buf);
   }
   return wire::SendFrame(control_fd, kCtrlStats,
                          static_cast<std::uint32_t>(child), buf.data(),
@@ -266,6 +601,18 @@ struct ChildReport {
   std::vector<int> local_ranks;
 };
 
+/// What the supervisor learned about a failed attempt: whether a restart
+/// can recover it, and the (process, superstep, round) coordinates for the
+/// structured report when recovery is exhausted.
+struct AttemptFailure {
+  bool recoverable = false;
+  int proc = -1;
+  std::uint32_t superstep = 0;
+  bool have_round = false;
+  std::string round = "unknown";
+  std::string detail;
+};
+
 Status ParseStatsFrame(const std::vector<unsigned char>& payload,
                        ChildReport* report) {
   wire::PayloadReader reader(payload.data(), payload.size());
@@ -291,43 +638,42 @@ Status ParseStatsFrame(const std::vector<unsigned char>& payload,
   }
   report->tape.resize(report->head.num_steps);
   for (TapeLedger::Step& step : report->tape) {
-    std::uint8_t selection = 0, superstep_end = 0;
-    std::uint16_t pad16 = 0;
-    std::uint32_t pad32 = 0;
-    if (!reader.Read(&selection) || !reader.Read(&superstep_end) ||
-        !reader.Read(&pad16) || !reader.Read(&pad32)) {
+    if (!ReadTapeStep(&reader, report->head.num_local, &step)) {
       return Status::Internal("malformed tape step");
-    }
-    step.selection = selection != 0;
-    step.superstep_end = superstep_end != 0;
-    step.rows.resize(report->head.num_local);
-    for (TapeLedger::StepRow& row : step.rows) {
-      if (!reader.Read(&row.work) || !reader.Read(&row.data_bytes) ||
-          !reader.Read(&row.data_messages) ||
-          !reader.Read(&row.control_bytes) || !reader.Read(&row.wire_bytes) ||
-          !reader.Read(&row.wire_frames)) {
-        return Status::Internal("malformed tape row");
-      }
     }
   }
   return Status::OK();
 }
 
-}  // namespace
-
-Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
-                              const DneOptions& options, std::uint64_t seed,
-                              int nproc, const PartitionContext& ctx,
-                              EdgePartition* out, DneStats* stats) {
+/// One cluster attempt: launch, ship config (with the resume superstep and
+/// the recovery epoch) + shards, monitor to completion. On success
+/// `reports` holds every child's results; on failure `failure` says
+/// whether the supervisor may restart and where the run stood.
+Status RunOnce(const Graph& g, std::uint32_t num_partitions,
+               const DneOptions& options, std::uint64_t seed, int nproc,
+               const PartitionContext& ctx, std::uint32_t resume_step,
+               std::int32_t epoch,
+               std::vector<std::vector<EdgeId>>* rank_gids,
+               std::vector<ChildReport>* reports_out, double* ship_seconds,
+               AttemptFailure* failure) {
   const std::uint64_t total_edges = g.NumEdges();
   const int ranks = static_cast<int>(num_partitions);
   TwoDDistribution dist(num_partitions, seed);
 
   ProcessCluster cluster;
   DNE_RETURN_IF_ERROR(cluster.Launch(nproc, DneChildMain));
-  auto fail = [&cluster](Status st) {
+  // Teardown + classification for failures outside the monitor loop: a
+  // kUnavailable (vanished/corrupted peer) is recoverable, anything else
+  // is a hard failure of this run.
+  auto fail = [&cluster, failure](Status st) {
     cluster.KillAll();
     const std::string abnormal = cluster.ReapAll();
+    if (st.code() == Status::Code::kUnavailable) {
+      failure->recoverable = true;
+      if (failure->detail.empty()) failure->detail = st.message();
+      return st;
+    }
+    failure->recoverable = false;
     if (abnormal.empty()) return st;
     return Status::Internal(st.message() + " [" + abnormal + "]");
   };
@@ -343,9 +689,11 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
       tail.num_partitions = num_partitions;
       tail.nproc = static_cast<std::uint32_t>(nproc);
       tail.proc_index = static_cast<std::uint32_t>(c);
+      tail.resume_step = resume_step;
       tail.num_vertices = g.NumVertices();
       tail.total_edges = total_edges;
       tail.seed = seed;
+      tail.epoch = epoch;
       wire::AppendPod(&cfg, tail);
       const Status st =
           wire::SendFrame(cluster.control_fd(c), kCtrlConfig, 0, cfg.data(),
@@ -360,7 +708,7 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
   // {src, dst} records in frames whose `from` field names the rank —
   // per-rank arrival order is still ascending global order, which is all
   // the child's AddEdge/CSR construction depends on.
-  std::vector<std::vector<EdgeId>> rank_gids(ranks);
+  rank_gids->assign(ranks, std::vector<EdgeId>());
   {
     std::vector<std::vector<unsigned char>> bufs(ranks);
     constexpr std::size_t kFlushBytes = 1 << 20;
@@ -377,7 +725,7 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
     for (EdgeId e = 0; e < total_edges; ++e) {
       const Edge& ed = g.edge(e);
       const int r = dist.OwnerOf(ed.src, ed.dst);
-      rank_gids[r].push_back(e);
+      (*rank_gids)[r].push_back(e);
       wire::AppendPod(&bufs[r], ed);
       if (bufs[r].size() >= kFlushBytes) {
         // Flush boundaries double as the cancellation/progress points of
@@ -401,28 +749,72 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
       if (!st.ok()) return fail(st);
     }
   }
-  const double ship_seconds = ship_timer.Seconds();
+  *ship_seconds = ship_timer.Seconds();
 
-  // Monitor: collect result + stats frames; any child error, crash or
-  // cancellation tears the cluster down immediately.
-  std::vector<ChildReport> reports(nproc);
+  // Monitor: collect result + stats frames. A kCtrlError is a hard
+  // failure; a kCtrlParked frame, a vanished child or a stalled cluster is
+  // a recoverable one — the monitor then drains briefly so late parkers
+  // can refine the (superstep, round) coordinates before the teardown.
+  std::vector<ChildReport>& reports = *reports_out;
+  reports.assign(nproc, ChildReport{});
   for (int c = 0; c < nproc; ++c) {
     for (int r = c; r < ranks; r += nproc) reports[c].local_ranks.push_back(r);
     reports[c].rank_parts.resize(reports[c].local_ranks.size());
   }
+  std::vector<bool> closed(nproc, false);
   int remaining = nproc;
-  while (remaining > 0) {
-    if (ctx.cancelled()) {
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+  auto last_activity = std::chrono::steady_clock::now();
+  const auto watchdog = std::chrono::milliseconds(
+      static_cast<long long>(2.0 * options.stall_timeout_s * 1000.0));
+
+  auto record_recoverable = [&](int proc, std::uint32_t superstep,
+                                const char* round, bool have_round,
+                                std::string detail) {
+    if (!failure->recoverable) {
+      failure->recoverable = true;
+      failure->proc = proc;
+      failure->superstep = superstep;
+      failure->have_round = have_round;
+      if (have_round) failure->round = round;
+      failure->detail = std::move(detail);
+    } else if (!failure->have_round && have_round) {
+      failure->superstep = superstep;
+      failure->round = round;
+      failure->have_round = true;
+      if (failure->proc < 0) failure->proc = proc;
+    }
+    if (!draining) {
+      draining = true;
+      drain_deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+    }
+  };
+
+  for (;;) {
+    if (!draining && remaining == 0) break;
+    if (draining) {
+      bool any_open = false;
+      for (int c = 0; c < nproc; ++c) {
+        if (!reports[c].stats_done && !closed[c]) any_open = true;
+      }
+      if (!any_open || std::chrono::steady_clock::now() >= drain_deadline) {
+        break;
+      }
+    }
+    if (!draining && ctx.cancelled()) {
       return fail(Status::Cancelled("partitioning cancelled"));
     }
     std::vector<pollfd> pfds;
     std::vector<int> children;
     for (int c = 0; c < nproc; ++c) {
-      if (reports[c].stats_done) continue;
+      if (reports[c].stats_done || closed[c]) continue;
       pfds.push_back(pollfd{cluster.control_fd(c), POLLIN, 0});
       children.push_back(c);
     }
-    const int rc = ::poll(pfds.data(), pfds.size(), 200);
+    if (pfds.empty()) break;
+    const int rc = ::poll(pfds.data(), pfds.size(), 100);
     if (rc < 0 && errno != EINTR) {
       return fail(Status::Internal(std::string("poll failed: ") +
                                    std::strerror(errno)));
@@ -434,22 +826,71 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
       // decides. A crash surfaces as EOF before the stats frame.
       int exited = 0, status = 0;
       while (cluster.PollExited(&exited, &status)) {
+        last_activity = std::chrono::steady_clock::now();
       }
     }
-    if (rc <= 0) continue;
+    if (rc <= 0) {
+      // Watchdog for the every-process-stalled case (no peer left to hit
+      // its mesh deadline and park): twice the per-round stall budget of
+      // silence on the control channel is a recoverable cluster stall.
+      if (!draining &&
+          std::chrono::steady_clock::now() - last_activity > watchdog) {
+        record_recoverable(
+            -1, 0, "", false,
+            "no control-channel progress for " +
+                std::to_string(2.0 * options.stall_timeout_s) +
+                "s (rank cluster stalled)");
+      }
+      continue;
+    }
     for (std::size_t k = 0; k < pfds.size(); ++k) {
       if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       const int c = children[k];
       ChildReport& report = reports[c];
+      last_activity = std::chrono::steady_clock::now();
       wire::FrameHeader header;
       std::vector<unsigned char> payload;
       Status st = wire::RecvFrame(cluster.control_fd(c), &header, &payload,
                                   "rank process " + std::to_string(c));
       if (!st.ok()) {
+        closed[c] = true;
+        if (st.code() == Status::Code::kUnavailable) {
+          record_recoverable(c, 0, "", false,
+                             "rank process " + std::to_string(c) +
+                                 " died before reporting results: " +
+                                 st.message());
+          continue;
+        }
+        if (draining) continue;
         return fail(Status::Internal(
             "rank process " + std::to_string(c) +
             " died before reporting results: " + st.message()));
       }
+      if (header.kind == kCtrlParked) {
+        closed[c] = true;
+        ParkedHead ph{};
+        wire::PayloadReader reader(payload.data(), payload.size());
+        if (reader.Read(&ph)) {
+          const std::string msg(payload.begin() + sizeof(ParkedHead),
+                                payload.end());
+          record_recoverable(c, ph.superstep, MeshRoundName(ph.round_kind),
+                             true,
+                             "rank process " + std::to_string(c) +
+                                 " parked at superstep " +
+                                 std::to_string(ph.superstep) + " (" +
+                                 MeshRoundName(ph.round_kind) +
+                                 " round): " + msg);
+        } else {
+          record_recoverable(c, 0, "", false,
+                             "rank process " + std::to_string(c) +
+                                 " parked with a malformed report");
+        }
+        continue;
+      }
+      // Once a recoverable failure is recorded the attempt is dead: stray
+      // results/errors from survivors are noise — the restart reproduces
+      // any deterministic failure without it.
+      if (draining) continue;
       if (header.kind == kCtrlError) {
         return fail(Status::Internal(
             "rank process " + std::to_string(c) + " failed: " +
@@ -462,7 +903,7 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
         if (!reader.Read(&rank) || !reader.Read(&pad) ||
             !reader.Read(&count) || rank >= num_partitions ||
             static_cast<int>(rank % nproc) != c ||
-            count != rank_gids[rank].size() ||
+            count != (*rank_gids)[rank].size() ||
             reader.remaining() != count * sizeof(PartitionId)) {
           return fail(Status::Internal("malformed result frame from rank " +
                                        std::to_string(rank)));
@@ -486,11 +927,78 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
                                    std::to_string(header.kind)));
     }
   }
+  if (failure->recoverable) {
+    cluster.KillAll();
+    cluster.ReapAll();
+    return Status::Unavailable(failure->detail);
+  }
   {
     const std::string abnormal = cluster.ReapAll();
     if (!abnormal.empty()) {
       return Status::Internal("rank process exited abnormally: " + abnormal);
     }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
+                              const DneOptions& options, std::uint64_t seed,
+                              int nproc, const PartitionContext& ctx,
+                              EdgePartition* out, DneStats* stats) {
+  const std::uint64_t total_edges = g.NumEdges();
+  const int ranks = static_cast<int>(num_partitions);
+
+  // Run-start hygiene: a stale checkpoint directory must never be resumed
+  // from (FindResumeStep's shape check guards against foreign runs, but an
+  // earlier checkpoint of the *same* run config is indistinguishable).
+  const std::string ckpt_dir = options.checkpoint_dir;
+  if (!ckpt_dir.empty()) ckpt::RemoveRunCheckpoints(ckpt_dir);
+  ckpt::CheckpointExpect expect;
+  expect.nproc = static_cast<std::uint32_t>(nproc);
+  expect.num_partitions = num_partitions;
+  expect.num_vertices = g.NumVertices();
+  expect.total_edges = total_edges;
+  expect.seed = seed;
+
+  // Supervisor loop: run the cluster, and on a recoverable failure restart
+  // it from the latest complete checkpoint (superstep 0 — a deterministic
+  // from-scratch rerun — when none exists). Every restart bumps the epoch
+  // that keys the fault plan, so an injected fault fires exactly in the
+  // attempt it targets.
+  std::vector<std::vector<EdgeId>> rank_gids;
+  std::vector<ChildReport> reports;
+  double ship_seconds = 0.0;
+  std::uint32_t attempt = 0;
+  AttemptFailure failure;
+  for (;;) {
+    std::uint32_t resume_step = 0;
+    if (attempt > 0 && options.checkpoint_every > 0 && !ckpt_dir.empty()) {
+      resume_step = ckpt::FindResumeStep(ckpt_dir, expect);
+    }
+    failure = AttemptFailure{};
+    const Status st =
+        RunOnce(g, num_partitions, options, seed, nproc, ctx, resume_step,
+                static_cast<std::int32_t>(attempt), &rank_gids, &reports,
+                &ship_seconds, &failure);
+    if (st.ok()) break;
+    if (!failure.recoverable) return st;
+    if (attempt >= options.max_recoveries) {
+      const std::string who =
+          failure.proc >= 0 ? "rank process " + std::to_string(failure.proc)
+                            : "the rank cluster";
+      return Status::Internal(
+          who + " failed at superstep " + std::to_string(failure.superstep) +
+          " (" + failure.round + " round); recovery exhausted after " +
+          std::to_string(attempt) + " restart(s): " + failure.detail);
+    }
+    ++attempt;
+    // Exponential backoff before the relaunch: transient host pressure
+    // (fd/pid exhaustion, OOM kills) should not be hammered.
+    const int backoff_ms =
+        std::min(100 << static_cast<int>(std::min(attempt - 1, 4u)), 2000);
+    ::poll(nullptr, 0, backoff_ms);
   }
 
   // ---- Assemble the partition ----------------------------------------------
@@ -564,6 +1072,8 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
     }
     stats->host_distribute_seconds = std::max(
         stats->host_distribute_seconds, report.head.distribute_seconds);
+    stats->checkpoint_bytes += report.head.checkpoint_bytes;
+    stats->checkpoint_seconds += report.head.checkpoint_seconds;
   }
   // The children ingest concurrently with the coordinator's ship loop, so
   // the phase's wall time is the slower of the two — not their sum.
@@ -587,6 +1097,7 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
   stats->wire_bytes = wire_total;
   stats->wire_frames = replay.wire_frames();
   stats->rank_processes = nproc;
+  stats->recoveries = attempt;
   stats->edges_per_partition = out->PartitionSizes();
   return Status::OK();
 }

@@ -106,14 +106,24 @@ Status RunDneSuperstepLoop(const DneLoopEnv& env,
   std::uint64_t iterations = 0;
   WallTimer phase_timer;
 
-  // Seed the peek table with the initial allocation state: an empty
-  // step-end round whose summaries broadcast every rank's first free
-  // vertex — exactly what superstep 0's probes would have answered.
-  for (std::size_t l = 0; l < num_local; ++l) {
-    peek_local[l] = (*states)[l].alloc.PeekFreeVertex();
+  if (env.resume.active) {
+    // Restored run: the replicated view — including the peek table the
+    // seed round would have broadcast — comes from the checkpoint, and the
+    // seed round's ledger charges already live in the restored tape.
+    iterations = env.resume.iterations;
+    total_allocated = env.resume.total_allocated;
+    allocated_vec = env.resume.allocated_vec;
+    all_peeks = env.resume.all_peeks;
+  } else {
+    // Seed the peek table with the initial allocation state: an empty
+    // step-end round whose summaries broadcast every rank's first free
+    // vertex — exactly what superstep 0's probes would have answered.
+    for (std::size_t l = 0; l < num_local; ++l) {
+      peek_local[l] = (*states)[l].alloc.PeekFreeVertex();
+    }
+    DNE_RETURN_IF_ERROR(env.comm->ExchangeStepEnd(
+        &report_x, &handoff_x, peek_local, &all_peeks, &handoff_totals));
   }
-  DNE_RETURN_IF_ERROR(env.comm->ExchangeStepEnd(
-      &report_x, &handoff_x, peek_local, &all_peeks, &handoff_totals));
 
   while (total_allocated < env.total_edges) {
     if (env.superstep_hook) {
@@ -307,6 +317,13 @@ Status RunDneSuperstepLoop(const DneLoopEnv& env,
     ledger->EndSuperstep();
     result->host_phase_seconds[3] += phase_timer.Seconds();
     ++iterations;
+
+    if (env.checkpoint_every != 0 && env.checkpoint_hook &&
+        iterations % env.checkpoint_every == 0 &&
+        total_allocated < env.total_edges) {
+      DNE_RETURN_IF_ERROR(env.checkpoint_hook(iterations, total_allocated,
+                                              allocated_vec, all_peeks));
+    }
   }
 
   result->iterations = iterations;

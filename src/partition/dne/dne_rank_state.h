@@ -101,6 +101,32 @@ struct DneLoopEnv {
   /// Invoked at the top of every superstep with the iteration index —
   /// fault injection and transport-side guards hook in here.
   std::function<Status(std::uint64_t)> superstep_hook;
+
+  /// Checkpoint resume (process transport). When `active`, the loop starts
+  /// at the restored superstep instead of 0: the seed step-end round is
+  /// skipped — its ledger charges live in the restored tape, and the peek
+  /// table comes from the checkpoint — and the replicated cluster view
+  /// (per-partition totals, running sum, peeks) is taken verbatim.
+  struct Resume {
+    bool active = false;
+    std::uint64_t iterations = 0;
+    std::uint64_t total_allocated = 0;
+    std::vector<std::uint64_t> allocated_vec;
+    std::vector<std::uint64_t> all_peeks;
+  };
+  Resume resume;
+
+  /// Checkpoint capture: every `checkpoint_every` supersteps (0 = never)
+  /// the loop calls `checkpoint_hook` at the superstep boundary — after
+  /// phase D, when the per-superstep mailboxes and queues are empty and the
+  /// replicated view is exactly what a resume must restore. The hook's
+  /// iteration count is the number of completed supersteps (== the resume
+  /// superstep). Skipped once the run is about to terminate.
+  std::uint32_t checkpoint_every = 0;
+  std::function<Status(std::uint64_t iterations, std::uint64_t total_allocated,
+                       const std::vector<std::uint64_t>& allocated_vec,
+                       const std::vector<std::uint64_t>& all_peeks)>
+      checkpoint_hook;
 };
 
 /// Whole-run outputs every endpoint derives identically from the exchanged

@@ -83,4 +83,72 @@ void ExpansionProcess::CheckTermination(std::uint64_t total_allocated,
   }
 }
 
+void ExpansionProcess::SerializeState(std::vector<unsigned char>* out) const {
+  wire::AppendPod(out, static_cast<std::uint8_t>(bucket_queue_ ? 1 : 0));
+  wire::AppendPod(out, allocated_);
+  wire::AppendPod(out, expanded_count_);
+  wire::AppendPod(out, static_cast<std::uint64_t>(peak_boundary_));
+  wire::AppendPod(out, static_cast<std::uint8_t>(terminated_ ? 1 : 0));
+  // Expanded bitmap, packed 64 vertices per word.
+  const std::uint64_t num_vertices = expanded_.size();
+  wire::AppendPod(out, num_vertices);
+  std::uint64_t word = 0;
+  for (std::uint64_t v = 0; v < num_vertices; ++v) {
+    if (expanded_[v]) word |= 1ull << (v & 63);
+    if ((v & 63) == 63 || v + 1 == num_vertices) {
+      wire::AppendPod(out, word);
+      word = 0;
+    }
+  }
+  std::vector<BoundaryEntry> entries;
+  if (bucket_queue_) {
+    buckets_.AppendEntries(&entries);
+  } else {
+    heap_.AppendEntries(&entries);
+  }
+  wire::AppendPod(out, static_cast<std::uint64_t>(entries.size()));
+  const auto* p = reinterpret_cast<const unsigned char*>(entries.data());
+  out->insert(out->end(), p, p + entries.size() * sizeof(BoundaryEntry));
+}
+
+bool ExpansionProcess::RestoreState(wire::PayloadReader* reader) {
+  std::uint8_t bucket = 0;
+  if (!reader->Read(&bucket) || bucket != (bucket_queue_ ? 1 : 0)) {
+    return false;
+  }
+  if (!reader->Read(&allocated_) || !reader->Read(&expanded_count_)) {
+    return false;
+  }
+  std::uint64_t peak = 0;
+  std::uint8_t terminated = 0;
+  if (!reader->Read(&peak) || !reader->Read(&terminated)) return false;
+  peak_boundary_ = static_cast<std::size_t>(peak);
+  terminated_ = terminated != 0;
+  std::uint64_t num_vertices = 0;
+  if (!reader->Read(&num_vertices) || num_vertices != expanded_.size()) {
+    return false;
+  }
+  for (std::uint64_t v = 0; v < num_vertices; v += 64) {
+    std::uint64_t word = 0;
+    if (!reader->Read(&word)) return false;
+    for (std::uint64_t b = 0; b < 64 && v + b < num_vertices; ++b) {
+      expanded_[v + b] = (word >> b) & 1;
+    }
+  }
+  std::uint64_t num_entries = 0;
+  if (!reader->Read(&num_entries)) return false;
+  for (std::uint64_t i = 0; i < num_entries; ++i) {
+    BoundaryEntry e;
+    if (!reader->ReadBytes(&e, sizeof(e)) || e.vertex >= num_vertices) {
+      return false;
+    }
+    if (bucket_queue_) {
+      buckets_.Push(e.score, e.vertex);
+    } else {
+      heap_.Push(e.score, e.vertex);
+    }
+  }
+  return true;
+}
+
 }  // namespace dne

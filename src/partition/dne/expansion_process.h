@@ -9,6 +9,7 @@
 
 #include "common/types.h"
 #include "partition/dne/boundary_queue.h"
+#include "runtime/wire.h"
 
 namespace dne {
 
@@ -55,6 +56,15 @@ class ExpansionProcess {
   /// Alg. 1 line 15: stop when past the limit or everything is allocated.
   void CheckTermination(std::uint64_t total_allocated,
                         std::uint64_t total_edges);
+
+  /// Checkpoint support: appends counters, the expanded bitmap and the live
+  /// boundary entries. Queue pop order is a pure function of the entry
+  /// multiset, so restore-via-Push is bit-identical.
+  void SerializeState(std::vector<unsigned char>* out) const;
+
+  /// Restores a SerializeState snapshot into this freshly constructed twin.
+  /// False on any shape mismatch (queue kind, vertex count).
+  bool RestoreState(wire::PayloadReader* reader);
 
  private:
   PartitionId partition_;

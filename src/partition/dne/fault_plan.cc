@@ -1,0 +1,197 @@
+#include "partition/dne/fault_plan.h"
+
+#include <charconv>
+#include <string_view>
+#include <vector>
+
+namespace dne {
+
+namespace {
+
+constexpr char kGrammarHint[] =
+    "grammar: kind@rR:sS[:round=select|sync|stepend][:epoch=N][:peer=N] with "
+    "kind one of crash|stall|drop|flip|ckptfail|torn, entries ';'-separated";
+
+Status Invalid(std::string_view entry, const std::string& why) {
+  return Status::InvalidArgument("fault entry '" + std::string(entry) +
+                                 "': " + why + "; " + kGrammarHint);
+}
+
+bool ParseNum(std::string_view text, std::int64_t* out) {
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool LookupKind(std::string_view name, FaultKind* out) {
+  if (name == "crash") *out = FaultKind::kCrash;
+  else if (name == "stall") *out = FaultKind::kStall;
+  else if (name == "drop") *out = FaultKind::kDropFrame;
+  else if (name == "flip") *out = FaultKind::kFlipFrame;
+  else if (name == "ckptfail") *out = FaultKind::kCheckpointFail;
+  else if (name == "torn") *out = FaultKind::kTornCheckpoint;
+  else return false;
+  return true;
+}
+
+bool LookupRound(std::string_view name, FaultRound* out) {
+  if (name == "select") *out = FaultRound::kSelect;
+  else if (name == "sync") *out = FaultRound::kSync;
+  else if (name == "stepend") *out = FaultRound::kStepEnd;
+  else return false;
+  return true;
+}
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const std::size_t pos = text.find(sep);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text);
+      return parts;
+    }
+    parts.push_back(text.substr(0, pos));
+    text.remove_prefix(pos + 1);
+  }
+}
+
+Status ParseEntry(std::string_view entry, FaultAction* out) {
+  const std::size_t at = entry.find('@');
+  if (at == std::string_view::npos) {
+    return Invalid(entry, "missing '@'");
+  }
+  FaultKind kind = FaultKind::kNone;
+  if (!LookupKind(entry.substr(0, at), &kind)) {
+    return Invalid(entry, "unknown kind '" +
+                              std::string(entry.substr(0, at)) + "'");
+  }
+  const std::vector<std::string_view> fields = Split(entry.substr(at + 1), ':');
+  if (fields.size() < 2) {
+    return Invalid(entry, "expected rR:sS after '@'");
+  }
+  std::int64_t rank = -1;
+  if (fields[0].size() < 2 || fields[0][0] != 'r' ||
+      !ParseNum(fields[0].substr(1), &rank) || rank < 0 ||
+      rank >= kMaxRankProcesses) {
+    return Invalid(entry, "bad rank field '" + std::string(fields[0]) +
+                              "' (want r<0.." +
+                              std::to_string(kMaxRankProcesses - 1) + ">)");
+  }
+  std::int64_t superstep = -1;
+  if (fields[1].size() < 2 || fields[1][0] != 's' ||
+      !ParseNum(fields[1].substr(1), &superstep) || superstep < 1 ||
+      superstep > 0x7fffffff) {
+    return Invalid(entry, "bad superstep field '" + std::string(fields[1]) +
+                              "' (want s<N>, supersteps are 1-based)");
+  }
+
+  FaultAction action;
+  action.kind = static_cast<std::uint8_t>(kind);
+  action.rank = static_cast<std::int32_t>(rank);
+  action.superstep = static_cast<std::uint32_t>(superstep);
+  // Frame faults default to the sync round (the widest exchange); crash and
+  // stall default to the superstep boundary, before any round starts.
+  action.round = static_cast<std::uint8_t>(
+      (kind == FaultKind::kDropFrame || kind == FaultKind::kFlipFrame)
+          ? FaultRound::kSync
+          : FaultRound::kSuperstepStart);
+
+  for (std::size_t i = 2; i < fields.size(); ++i) {
+    const std::string_view field = fields[i];
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return Invalid(entry, "bad modifier '" + std::string(field) + "'");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "round") {
+      FaultRound round = FaultRound::kSuperstepStart;
+      if (!LookupRound(value, &round)) {
+        return Invalid(entry, "unknown round '" + std::string(value) + "'");
+      }
+      if (kind == FaultKind::kCheckpointFail ||
+          kind == FaultKind::kTornCheckpoint) {
+        return Invalid(entry, "round= does not apply to checkpoint faults");
+      }
+      action.round = static_cast<std::uint8_t>(round);
+    } else if (key == "epoch") {
+      std::int64_t epoch = 0;
+      if (!ParseNum(value, &epoch) || epoch < -1 || epoch > 0x7fffffff) {
+        return Invalid(entry, "bad epoch '" + std::string(value) + "'");
+      }
+      action.epoch = static_cast<std::int32_t>(epoch);
+    } else if (key == "peer") {
+      std::int64_t peer = -1;
+      if (!ParseNum(value, &peer) || peer < 0 || peer >= kMaxRankProcesses) {
+        return Invalid(entry, "bad peer '" + std::string(value) + "'");
+      }
+      if (kind != FaultKind::kDropFrame && kind != FaultKind::kFlipFrame) {
+        return Invalid(entry, "peer= only applies to drop/flip");
+      }
+      action.peer = static_cast<std::int16_t>(peer);
+    } else {
+      return Invalid(entry, "unknown modifier '" + std::string(key) + "'");
+    }
+  }
+  *out = action;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseFaultPlan(const std::string& spec, FaultAction* actions,
+                      std::uint32_t max_actions, std::uint32_t* num_actions) {
+  *num_actions = 0;
+  if (spec.empty()) return Status::OK();
+  for (std::string_view entry : Split(spec, ';')) {
+    if (entry.empty()) {
+      return Invalid(entry, "empty entry");
+    }
+    if (*num_actions == max_actions) {
+      return Status::InvalidArgument(
+          "fault plan has more than " + std::to_string(max_actions) +
+          " entries");
+    }
+    DNE_RETURN_IF_ERROR(ParseEntry(entry, &actions[*num_actions]));
+    ++*num_actions;
+  }
+  return Status::OK();
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDropFrame:
+      return "drop";
+    case FaultKind::kFlipFrame:
+      return "flip";
+    case FaultKind::kCheckpointFail:
+      return "ckptfail";
+    case FaultKind::kTornCheckpoint:
+      return "torn";
+  }
+  return "?";
+}
+
+const char* FaultRoundName(FaultRound round) {
+  switch (round) {
+    case FaultRound::kSuperstepStart:
+      return "superstep start";
+    case FaultRound::kSelect:
+      return "select";
+    case FaultRound::kSync:
+      return "sync";
+    case FaultRound::kStepEnd:
+      return "step-end";
+  }
+  return "?";
+}
+
+}  // namespace dne

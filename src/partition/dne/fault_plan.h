@@ -1,0 +1,48 @@
+// FaultPlan: the validated `--opt fault=` spec of the deterministic fault
+// injection harness (process transport).
+//
+// Grammar (';'-separated entries):
+//   entry  := kind '@r' RANK ':s' SUPERSTEP (':' modifier)*
+//   kind   := 'crash' | 'stall' | 'drop' | 'flip' | 'ckptfail' | 'torn'
+//   modifier := 'round=' ('select' | 'sync' | 'stepend')
+//             | 'epoch=' INT        (-1 = every recovery attempt)
+//             | 'peer=' UINT        (victim peer process of drop/flip)
+//
+// Examples:
+//   fault=crash@r1:s3                 SIGKILL rank process 1 entering
+//                                     superstep 3 (original attempt only)
+//   fault=stall@r0:s2:round=sync      SIGSTOP rank process 0 as superstep
+//                                     2's replica-sync round starts
+//   fault=flip@r2:s1:peer=0           corrupt the superstep-1 select frame
+//                                     rank process 2 sends to process 0
+//   fault=torn@r0:s2;crash@r1:s4      tear the step-2 checkpoint, then
+//                                     crash — recovery must fall back
+//
+// Every key (rank process, superstep, round, epoch) is explicit, so a given
+// plan reproduces the same failure sequence on every run.
+#ifndef DNE_PARTITION_DNE_FAULT_PLAN_H_
+#define DNE_PARTITION_DNE_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "partition/dne/dne_options.h"
+
+namespace dne {
+
+/// Parses `spec` into at most `max_actions` FaultActions. Empty spec is a
+/// valid empty plan. Syntax or range errors are InvalidArgument with the
+/// offending entry and a grammar hint.
+Status ParseFaultPlan(const std::string& spec, FaultAction* actions,
+                      std::uint32_t max_actions, std::uint32_t* num_actions);
+
+/// Spec spelling of a kind ("crash", "stall", ...), "none" for kNone.
+const char* FaultKindName(FaultKind kind);
+
+/// Human name of a round key ("superstep start", "select", ...).
+const char* FaultRoundName(FaultRound round);
+
+}  // namespace dne
+
+#endif  // DNE_PARTITION_DNE_FAULT_PLAN_H_

@@ -1,0 +1,272 @@
+#include "runtime/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "runtime/wire.h"
+
+namespace dne {
+namespace ckpt {
+
+namespace {
+
+Status WriteAllFd(int fd, const void* data, std::size_t len,
+                  const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("checkpoint write '" + path +
+                             "': " + std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly len bytes; false on EOF or error (a torn / foreign file —
+/// the caller reports the path).
+bool ReadAllFd(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Parses "proc<P>.step<S>.ckpt"; false for any other name.
+bool ParseCheckpointName(const std::string& name, std::uint32_t* proc,
+                         std::uint32_t* step) {
+  constexpr char kProc[] = "proc";
+  constexpr char kStep[] = ".step";
+  constexpr char kExt[] = ".ckpt";
+  if (name.rfind(kProc, 0) != 0) return false;
+  const std::size_t step_at = name.find(kStep);
+  if (step_at == std::string::npos) return false;
+  if (name.size() < std::strlen(kExt) ||
+      name.compare(name.size() - std::strlen(kExt), std::strlen(kExt),
+                   kExt) != 0) {
+    return false;
+  }
+  const auto parse = [](const char* begin, const char* end,
+                        std::uint32_t* out) {
+    auto [ptr, ec] = std::from_chars(begin, end, *out);
+    return ec == std::errc{} && ptr == end && begin != end;
+  };
+  const char* data = name.data();
+  return parse(data + std::strlen(kProc), data + step_at, proc) &&
+         parse(data + step_at + std::strlen(kStep),
+               data + name.size() - std::strlen(kExt), step);
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir, int proc_index,
+                           std::uint32_t superstep) {
+  return dir + "/proc" + std::to_string(proc_index) + ".step" +
+         std::to_string(superstep) + ".ckpt";
+}
+
+CheckpointWriter::~CheckpointWriter() { Abort(); }
+
+Status CheckpointWriter::Open(const std::string& dir, int proc_index,
+                              std::uint32_t superstep) {
+  final_path_ = CheckpointPath(dir, proc_index, superstep);
+  tmp_path_ = final_path_ + ".tmp";
+  superstep_ = superstep;
+  frames_ = 0;
+  bytes_ = 0;
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("checkpoint open '" + tmp_path_ +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status CheckpointWriter::WriteFrame(std::uint8_t kind,
+                                    const unsigned char* payload,
+                                    std::size_t payload_len) {
+  wire::FrameHeader h;
+  h.kind = kind;
+  h.from = 0;
+  h.payload_len = payload_len;
+  h.checksum = wire::FrameChecksum(payload, payload_len);
+  unsigned char header[wire::kFrameHeaderBytes];
+  wire::EncodeHeader(h, header);
+  DNE_RETURN_IF_ERROR(WriteAllFd(fd_, header, sizeof(header), tmp_path_));
+  DNE_RETURN_IF_ERROR(WriteAllFd(fd_, payload, payload_len, tmp_path_));
+  ++frames_;
+  bytes_ += sizeof(header) + payload_len;
+  return Status::OK();
+}
+
+Status CheckpointWriter::Commit(bool tear_tail) {
+  CkptFooter footer;
+  footer.frame_count = frames_;
+  footer.superstep = superstep_;
+  DNE_RETURN_IF_ERROR(
+      WriteFrame(kCkptFooter, reinterpret_cast<const unsigned char*>(&footer),
+                 sizeof(footer)));
+  if (::fsync(fd_) != 0 || ::close(fd_) != 0) {
+    fd_ = -1;
+    Abort();
+    return Status::IOError("checkpoint fsync '" + tmp_path_ +
+                           "': " + std::strerror(errno));
+  }
+  fd_ = -1;
+  if (::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    Abort();
+    return Status::IOError("checkpoint rename '" + final_path_ +
+                           "': " + std::strerror(errno));
+  }
+  if (tear_tail) {
+    // Fault injection: chop into the footer frame after the rename — the
+    // shape an interrupted write leaves behind on a non-atomic filesystem.
+    if (::truncate(final_path_.c_str(), static_cast<off_t>(bytes_ - 8)) != 0) {
+      return Status::IOError("checkpoint tear '" + final_path_ +
+                             "': " + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+void CheckpointWriter::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!tmp_path_.empty()) {
+    ::unlink(tmp_path_.c_str());
+    tmp_path_.clear();
+  }
+}
+
+Status CheckpointReader::Open(const std::string& path) {
+  frames_.clear();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("checkpoint open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  Status status = Status::OK();
+  bool saw_footer = false;
+  CkptFooter footer;
+  while (true) {
+    unsigned char raw[wire::kFrameHeaderBytes];
+    if (!ReadAllFd(fd, raw, sizeof(raw))) {
+      status = Status::IOError("checkpoint '" + path +
+                               "' is torn (truncated frame header)");
+      break;
+    }
+    wire::FrameHeader h;
+    status = wire::DecodeHeader(raw, &h);
+    if (!status.ok()) break;
+    std::vector<unsigned char> payload(h.payload_len);
+    if (!ReadAllFd(fd, payload.data(), payload.size())) {
+      status = Status::IOError("checkpoint '" + path +
+                               "' is torn (truncated payload)");
+      break;
+    }
+    if (wire::FrameChecksum(payload.data(), payload.size()) != h.checksum) {
+      status =
+          Status::IOError("checkpoint '" + path + "' failed its checksum");
+      break;
+    }
+    if (h.kind == kCkptFooter) {
+      if (payload.size() != sizeof(CkptFooter)) {
+        status = Status::IOError("checkpoint '" + path + "' has a malformed "
+                                 "footer");
+        break;
+      }
+      std::memcpy(&footer, payload.data(), sizeof(footer));
+      saw_footer = true;
+      // The footer must be the last frame.
+      char extra;
+      if (::read(fd, &extra, 1) != 0) {
+        status = Status::IOError("checkpoint '" + path +
+                                 "' has bytes after its footer");
+      }
+      break;
+    }
+    frames_.emplace_back(h.kind, std::move(payload));
+  }
+  ::close(fd);
+  DNE_RETURN_IF_ERROR(status);
+  if (!saw_footer || footer.frame_count != frames_.size()) {
+    return Status::IOError("checkpoint '" + path + "' is incomplete");
+  }
+  if (frames_.empty() || frames_[0].first != kCkptHeader ||
+      frames_[0].second.size() < sizeof(CkptFileHeader)) {
+    return Status::IOError("checkpoint '" + path + "' lacks a header frame");
+  }
+  std::memcpy(&header_, frames_[0].second.data(), sizeof(header_));
+  if (header_.version != 1 || header_.superstep != footer.superstep) {
+    return Status::IOError("checkpoint '" + path +
+                           "' has an incompatible header");
+  }
+  return Status::OK();
+}
+
+std::uint32_t FindResumeStep(const std::string& dir,
+                             const CheckpointExpect& expect) {
+  std::error_code ec;
+  std::vector<std::uint32_t> candidates;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::uint32_t proc = 0, step = 0;
+    if (ParseCheckpointName(entry.path().filename().string(), &proc, &step) &&
+        proc == 0 && step > 0) {
+      candidates.push_back(step);
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (const std::uint32_t step : candidates) {
+    bool all_valid = true;
+    for (std::uint32_t p = 0; p < expect.nproc && all_valid; ++p) {
+      CheckpointReader reader;
+      const Status st = reader.Open(CheckpointPath(dir, p, step));
+      const CkptFileHeader& h = reader.header();
+      all_valid = st.ok() && h.superstep == step && h.proc_index == p &&
+                  h.nproc == expect.nproc &&
+                  h.num_partitions == expect.num_partitions &&
+                  h.num_vertices == expect.num_vertices &&
+                  h.total_edges == expect.total_edges && h.seed == expect.seed;
+    }
+    if (all_valid) return step;
+  }
+  return 0;
+}
+
+void RemoveRunCheckpoints(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint32_t proc = 0, step = 0;
+    const bool is_tmp =
+        name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+    const std::string base = is_tmp ? name.substr(0, name.size() - 4) : name;
+    if (ParseCheckpointName(base, &proc, &step)) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+}  // namespace ckpt
+}  // namespace dne

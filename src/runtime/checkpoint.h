@@ -1,0 +1,166 @@
+// Superstep checkpoint files for the multi-process transport.
+//
+// Every K supersteps each rank process serialises its full
+// superstep-boundary state to `<dir>/proc<P>.step<S>.ckpt`. A checkpoint
+// file is a sequence of wire-format frames (the same 32-byte checksummed
+// header the socket transport uses, written with file I/O instead of
+// socket I/O):
+//
+//   kCkptHeader   CkptFileHeader + |P| u64 allocated counts + |P| u64 peeks
+//   kCkptRank     (one per locally hosted rank) CkptRankHeader followed by
+//                 the AllocationProcess and ExpansionProcess state blobs
+//   kCkptTape     the TapeLedger step history (same step encoding as the
+//                 end-of-run stats frame)
+//   kCkptFooter   CkptFooter naming the frame count — the file is complete
+//                 if and only if a valid footer is the last frame
+//
+// Files are written to a temp name and renamed into place after fsync, so
+// a crash mid-write never shadows the previous checkpoint; a torn tail
+// (power cut after rename, injected fault) fails the footer/checksum scan
+// and the supervisor falls back to the previous complete superstep.
+#ifndef DNE_RUNTIME_CHECKPOINT_H_
+#define DNE_RUNTIME_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dne {
+namespace ckpt {
+
+/// Frame kinds inside a checkpoint file (disjoint from DneMsgKind /
+/// CtrlKind so a misdirected frame can never be mistaken for either).
+inline constexpr std::uint8_t kCkptHeader = 64;
+inline constexpr std::uint8_t kCkptRank = 65;
+inline constexpr std::uint8_t kCkptTape = 66;
+inline constexpr std::uint8_t kCkptFooter = 67;
+
+/// Identity + shape of the run a checkpoint belongs to. The supervisor
+/// refuses to resume from a file whose shape differs from the run it is
+/// recovering (stale directory, different graph, different config).
+struct CkptFileHeader {
+  std::uint32_t version = 1;
+  std::uint32_t nproc = 0;
+  std::uint32_t proc_index = 0;
+  std::uint32_t num_partitions = 0;
+  std::uint32_t num_local_ranks = 0;
+  std::uint32_t superstep = 0;  ///< BSP iterations completed at the boundary
+  std::uint64_t num_vertices = 0;
+  std::uint64_t total_edges = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t total_allocated = 0;
+};
+static_assert(std::is_trivially_copyable_v<CkptFileHeader> &&
+                  sizeof(CkptFileHeader) == 56 &&
+                  offsetof(CkptFileHeader, superstep) == 20 &&
+                  offsetof(CkptFileHeader, total_allocated) == 48,
+              "CkptFileHeader is on-disk state — layout is frozen");
+
+/// One hosted rank's state blob sizes + counters inside a kCkptRank frame.
+struct CkptRankHeader {
+  std::uint32_t rank = 0;
+  std::uint32_t pad = 0;
+  std::uint64_t alloc_bytes = 0;      ///< AllocationProcess blob length
+  std::uint64_t expansion_bytes = 0;  ///< ExpansionProcess blob length
+  std::uint64_t two_hop_edges = 0;
+  std::uint64_t random_restarts = 0;
+};
+static_assert(std::is_trivially_copyable_v<CkptRankHeader> &&
+                  sizeof(CkptRankHeader) == 40 &&
+                  offsetof(CkptRankHeader, alloc_bytes) == 8,
+              "CkptRankHeader is on-disk state — layout is frozen");
+
+/// Completion marker: a file lacking this (or whose counts disagree) is
+/// torn and unusable.
+struct CkptFooter {
+  std::uint64_t frame_count = 0;  ///< frames before the footer
+  std::uint32_t superstep = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(std::is_trivially_copyable_v<CkptFooter> &&
+                  sizeof(CkptFooter) == 16,
+              "CkptFooter is on-disk state — layout is frozen");
+
+/// `<dir>/proc<proc_index>.step<superstep>.ckpt`.
+std::string CheckpointPath(const std::string& dir, int proc_index,
+                           std::uint32_t superstep);
+
+/// Writes one checkpoint file: Open -> WriteFrame* -> Commit. Commit
+/// appends the footer, fsyncs and renames the temp file into place.
+/// `tear_tail` (fault injection) truncates the final bytes AFTER the
+/// rename — the exact torn-write shape recovery must survive.
+class CheckpointWriter {
+ public:
+  ~CheckpointWriter();
+
+  Status Open(const std::string& dir, int proc_index, std::uint32_t superstep);
+  Status WriteFrame(std::uint8_t kind, const unsigned char* payload,
+                    std::size_t payload_len);
+  Status Commit(bool tear_tail);
+  /// Removes the temp file of an Open that will not Commit.
+  void Abort();
+
+  /// Bytes written so far, frame headers included (checkpoint overhead
+  /// accounting).
+  std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  int fd_ = -1;
+  std::string tmp_path_;
+  std::string final_path_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint32_t superstep_ = 0;
+};
+
+/// Reads + fully validates one checkpoint file (every frame checksum, the
+/// footer, the expected frame sequence). After a successful Open the
+/// frames are available for decoding; any failure means the file is torn
+/// or foreign and must not be resumed from.
+class CheckpointReader {
+ public:
+  Status Open(const std::string& path);
+
+  const CkptFileHeader& header() const { return header_; }
+  /// Payloads in file order, footer excluded: [0] is the kCkptHeader frame.
+  const std::vector<std::pair<std::uint8_t, std::vector<unsigned char>>>&
+  frames() const {
+    return frames_;
+  }
+
+ private:
+  CkptFileHeader header_;
+  std::vector<std::pair<std::uint8_t, std::vector<unsigned char>>> frames_;
+};
+
+/// Run shape a resumable checkpoint set must match.
+struct CheckpointExpect {
+  std::uint32_t nproc = 0;
+  std::uint32_t num_partitions = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t total_edges = 0;
+  std::uint64_t seed = 0;
+};
+static_assert(std::is_trivially_copyable_v<CheckpointExpect>,
+              "CheckpointExpect is compared field-wise against on-disk "
+              "headers");
+
+/// The latest superstep for which ALL nproc processes have a complete,
+/// shape-matching checkpoint file in `dir`; 0 when none exists (restart
+/// from scratch).
+std::uint32_t FindResumeStep(const std::string& dir,
+                             const CheckpointExpect& expect);
+
+/// Deletes every proc*.step*.ckpt (and temp) file in `dir` — run start
+/// hygiene so a stale directory can never be resumed from.
+void RemoveRunCheckpoints(const std::string& dir);
+
+}  // namespace ckpt
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_CHECKPOINT_H_

@@ -311,6 +311,13 @@ class TapeLedger final : public CommLedger {
 
   const std::vector<Step>& steps() const { return steps_; }
 
+  /// Checkpoint restore: replaces the closed-step history with the tape
+  /// recorded up to the checkpointed superstep, so the end-of-run stats
+  /// frame replays the whole run — not just the post-recovery tail — and
+  /// ledger totals match a fault-free execution. In-flight (unclosed)
+  /// charges are untouched; the resumed loop accrues them as usual.
+  void RestoreSteps(std::vector<Step> steps) { steps_ = std::move(steps); }
+
  private:
   StepRow& Row(int rank);
   void CloseStep(bool selection, bool superstep_end);

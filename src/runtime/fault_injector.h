@@ -1,0 +1,139 @@
+// FaultInjector: executes the FaultPlan inside a rank process.
+//
+// Each rank process configures one injector with the plan shipped in
+// DneOptions, its own process index and the supervisor's recovery epoch.
+// The superstep loop and the socket transport then probe it at the exact
+// points a real fault would strike:
+//
+//   SetSuperstep + AtSuperstepStart   top of the BSP loop
+//   AtRoundStart                      a mesh round is about to run
+//   ShouldDropFrame / ShouldFlipFrame a frame to one peer is being built
+//   ShouldFailCheckpoint / ShouldTearCheckpoint
+//                                     the checkpoint writer commits
+//
+// Every probe is keyed on (rank process, superstep, round, epoch), so a
+// plan reproduces the identical failure sequence on every run. Crash is a
+// self-SIGKILL (death without a goodbye frame); stall is a self-SIGSTOP
+// (alive but wedged — the peers' stall deadline has to catch it).
+#ifndef DNE_RUNTIME_FAULT_INJECTOR_H_
+#define DNE_RUNTIME_FAULT_INJECTOR_H_
+
+#include <csignal>
+#include <cstdint>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "partition/dne/dne_options.h"
+
+namespace dne {
+
+class FaultInjector {
+ public:
+  /// Arms the injector with the plan entries targeting `proc_index` in
+  /// recovery epoch `epoch`. `nproc` resolves peer=-1 (lowest peer) for
+  /// frame faults. Entries for other processes or other epochs are inert.
+  void Configure(const FaultAction* actions, std::uint32_t num_actions,
+                 int proc_index, int nproc, std::int32_t epoch) {
+    num_actions_ = 0;
+    for (std::uint32_t i = 0; i < num_actions; ++i) {
+      const FaultAction& a = actions[i];
+      if (a.rank != proc_index) continue;
+      if (a.epoch != -1 && a.epoch != epoch) continue;
+      actions_[num_actions_] = a;
+      if (actions_[num_actions_].peer < 0) {
+        actions_[num_actions_].peer =
+            static_cast<std::int16_t>(proc_index == 0 && nproc > 1 ? 1 : 0);
+      }
+      fired_[num_actions_] = false;
+      ++num_actions_;
+    }
+  }
+
+  bool armed() const { return num_actions_ > 0; }
+
+  void SetSuperstep(std::uint32_t superstep) { superstep_ = superstep; }
+
+  /// Fires crash/stall actions keyed to the superstep boundary.
+  void AtSuperstepStart() { FireSignals(FaultRound::kSuperstepStart); }
+
+  /// Fires crash/stall actions keyed to `round` of the current superstep.
+  void AtRoundStart(FaultRound round) { FireSignals(round); }
+
+  /// True exactly once for the (round, peer) frame a drop action targets:
+  /// the caller must not send that frame, wedging both endpoints.
+  bool ShouldDropFrame(FaultRound round, int peer) {
+    return ConsumeFrameFault(FaultKind::kDropFrame, round, peer);
+  }
+
+  /// True exactly once for the (round, peer) frame a flip action targets:
+  /// the caller corrupts one payload byte after sealing the checksum.
+  bool ShouldFlipFrame(FaultRound round, int peer) {
+    return ConsumeFrameFault(FaultKind::kFlipFrame, round, peer);
+  }
+
+  /// True once when the checkpoint written at `superstep` must fail.
+  bool ShouldFailCheckpoint(std::uint32_t superstep) {
+    return ConsumeCheckpointFault(FaultKind::kCheckpointFail, superstep);
+  }
+
+  /// True once when the checkpoint committed at `superstep` must be torn
+  /// (tail truncated after the rename).
+  bool ShouldTearCheckpoint(std::uint32_t superstep) {
+    return ConsumeCheckpointFault(FaultKind::kTornCheckpoint, superstep);
+  }
+
+ private:
+  void FireSignals(FaultRound round) {
+    for (std::uint32_t i = 0; i < num_actions_; ++i) {
+      FaultAction& a = actions_[i];
+      if (fired_[i] || a.superstep != superstep_ ||
+          a.round != static_cast<std::uint8_t>(round)) {
+        continue;
+      }
+      if (a.kind == static_cast<std::uint8_t>(FaultKind::kCrash)) {
+        fired_[i] = true;
+        ::kill(::getpid(), SIGKILL);
+      } else if (a.kind == static_cast<std::uint8_t>(FaultKind::kStall)) {
+        fired_[i] = true;
+        ::raise(SIGSTOP);
+      }
+    }
+  }
+
+  bool ConsumeFrameFault(FaultKind kind, FaultRound round, int peer) {
+    for (std::uint32_t i = 0; i < num_actions_; ++i) {
+      FaultAction& a = actions_[i];
+      if (fired_[i] || a.kind != static_cast<std::uint8_t>(kind) ||
+          a.superstep != superstep_ ||
+          a.round != static_cast<std::uint8_t>(round) || a.peer != peer) {
+        continue;
+      }
+      fired_[i] = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeCheckpointFault(FaultKind kind, std::uint32_t superstep) {
+    for (std::uint32_t i = 0; i < num_actions_; ++i) {
+      FaultAction& a = actions_[i];
+      if (fired_[i] || a.kind != static_cast<std::uint8_t>(kind) ||
+          a.superstep != superstep) {
+        continue;
+      }
+      fired_[i] = true;
+      return true;
+    }
+    return false;
+  }
+
+  FaultAction actions_[DneOptions::kMaxFaultActions] = {};
+  bool fired_[DneOptions::kMaxFaultActions] = {};
+  std::uint32_t num_actions_ = 0;
+  std::uint32_t superstep_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_FAULT_INJECTOR_H_

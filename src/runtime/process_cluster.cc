@@ -14,16 +14,31 @@
 #include <cstring>
 #include <limits>
 
+#include "runtime/fault_injector.h"
 #include "runtime/wire.h"
 
 namespace dne {
 
 namespace {
 
-/// Mesh rounds give a wedged peer this long before the endpoint gives up
-/// with a diagnostic instead of hanging forever (a *crashed* peer is
-/// detected immediately via EOF/HUP; this guards live-but-stuck ones).
-constexpr int kMeshTimeoutSeconds = 600;
+/// Maps a mesh-round frame kind to the FaultRound key that targets it;
+/// false for rounds the fault plan cannot name (barrier, all-gather, the
+/// legacy uncoalesced step-end sub-rounds).
+bool FaultRoundOfKind(std::uint8_t kind, FaultRound* round) {
+  switch (static_cast<DneMsgKind>(kind)) {
+    case DneMsgKind::kSelectRequest:
+      *round = FaultRound::kSelect;
+      return true;
+    case DneMsgKind::kSyncPair:
+      *round = FaultRound::kSync;
+      return true;
+    case DneMsgKind::kStepEnd:
+      *round = FaultRound::kStepEnd;
+      return true;
+    default:
+      return false;
+  }
+}
 
 void SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -222,12 +237,13 @@ std::string ProcessCluster::ReapAll() {
 SocketCommunicator::SocketCommunicator(int num_ranks, int nproc,
                                        int proc_index,
                                        std::vector<int> mesh_fds,
-                                       bool coalesce)
+                                       bool coalesce, double stall_timeout_s)
     : num_ranks_(num_ranks),
       nproc_(nproc),
       proc_index_(proc_index),
       mesh_fds_(std::move(mesh_fds)),
       coalesce_(coalesce),
+      stall_timeout_s_(stall_timeout_s),
       send_frames_(nproc),
       recv_payloads_(nproc),
       round_io_(nproc) {
@@ -271,8 +287,37 @@ Status SocketCommunicator::StartRound(std::uint8_t kind) {
   for (PeerIo& p : round_io_) p = PeerIo{};
   round_kind_ = kind;
   round_active_ = true;
-  round_deadline_ = std::chrono::steady_clock::now() +
-                    std::chrono::seconds(kMeshTimeoutSeconds);
+  round_deadline_ =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          static_cast<long long>(stall_timeout_s_ * 1000.0));
+  if (fault_ != nullptr) {
+    FaultRound round;
+    if (FaultRoundOfKind(kind, &round)) {
+      // Round-keyed crash/stall strike before any byte moves; frame faults
+      // rewrite the fully built per-peer frames. A dropped frame wedges the
+      // victim (its round never completes -> stall deadline); a flipped
+      // byte fails the victim's checksum immediately. The frames' ledger
+      // charges stay as built — the fault models corruption on the wire,
+      // not a cheaper send.
+      fault_->AtRoundStart(round);
+      for (int q = 0; q < nproc_; ++q) {
+        if (q == proc_index_) continue;
+        if (fault_->ShouldDropFrame(round, q)) {
+          send_frames_[q].clear();
+        } else if (fault_->ShouldFlipFrame(round, q) &&
+                   !send_frames_[q].empty()) {
+          // Flip a payload byte when there is one, else a checksum byte —
+          // either way the receiver's verification must fail.
+          const std::size_t at =
+              send_frames_[q].size() > wire::kFrameHeaderBytes
+                  ? wire::kFrameHeaderBytes
+                  : 24;
+          send_frames_[q][at] ^= 0x01;
+        }
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -302,7 +347,7 @@ Status SocketCommunicator::ProgressRound(bool block) {
                               round_deadline_ - std::chrono::steady_clock::now())
                               .count();
       if (remain <= 0) {
-        return Status::Internal(
+        return Status::Unavailable(
             "transport timeout: a rank process stopped making progress");
       }
       timeout_ms = static_cast<int>(
@@ -331,6 +376,12 @@ Status SocketCommunicator::ProgressRound(bool block) {
           p.sent += static_cast<std::size_t>(n);
         } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                    errno != EINTR) {
+          // EPIPE/ECONNRESET = the peer died (recoverable); anything else
+          // is a local socket failure.
+          if (errno == EPIPE || errno == ECONNRESET) {
+            return Status::Unavailable(PeerLabel(q) + " unreachable: " +
+                                       std::strerror(errno));
+          }
           return Status::Internal(PeerLabel(q) + " unreachable: " +
                                   std::strerror(errno));
         }
@@ -352,7 +403,10 @@ Status SocketCommunicator::ProgressRound(bool block) {
               if (p.hdr_got == wire::kFrameHeaderBytes) {
                 DNE_RETURN_IF_ERROR(wire::DecodeHeader(p.hdr, &p.header));
                 if (p.header.kind != round_kind_) {
-                  return Status::Internal(
+                  // A peer one round behind (it lost a frame and wedged)
+                  // eventually feeds us a stale kind — recoverable, like
+                  // the frame loss that caused it.
+                  return Status::Unavailable(
                       "protocol desync with " + PeerLabel(q) + ": expected "
                       "frame kind " + std::to_string(round_kind_) + ", got " +
                       std::to_string(p.header.kind));
@@ -373,11 +427,15 @@ Status SocketCommunicator::ProgressRound(bool block) {
             }
           } else if (n == 0) {
             // Fast failure on peer death: the EOF names the process AND its
-            // simulated ranks so the blocked mesh is attributable.
-            return Status::Internal(PeerLabel(q) +
-                                    " disconnected mid-superstep (crash?)");
+            // simulated ranks so the blocked mesh is attributable — and is
+            // recoverable for a supervising parent.
+            return Status::Unavailable(PeerLabel(q) +
+                                       " disconnected mid-superstep (crash?)");
           } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
             break;
+          } else if (errno == ECONNRESET) {
+            return Status::Unavailable("recv from " + PeerLabel(q) +
+                                       " failed: " + std::strerror(errno));
           } else if (errno != EINTR) {
             return Status::Internal("recv from " + PeerLabel(q) +
                                     " failed: " + std::strerror(errno));
@@ -391,7 +449,8 @@ Status SocketCommunicator::ProgressRound(bool block) {
     if (q == proc_index_) continue;
     if (wire::FrameChecksum(recv_payloads_[q].data(), recv_payloads_[q].size()) !=
         round_io_[q].header.checksum) {
-      return Status::Internal("frame checksum mismatch from " + PeerLabel(q));
+      return Status::Unavailable("frame checksum mismatch from " +
+                                 PeerLabel(q));
     }
   }
   return Status::OK();

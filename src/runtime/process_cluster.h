@@ -44,6 +44,8 @@
 
 namespace dne {
 
+class FaultInjector;
+
 /// Parent-side handle on the forked rank processes.
 ///
 /// Thread safety: confined to the coordinating parent thread — Launch,
@@ -106,8 +108,11 @@ class SocketCommunicator final : public Communicator {
   /// selects the fused multi-channel step-end frame (default); when false
   /// the step-end collective degrades to one frame per logical exchange —
   /// kept as the differential baseline for the coalescing tests.
+  /// `stall_timeout_s` is the mesh-round deadline: how long to wait on a
+  /// wedged (but not crashed) peer before giving up on the round.
   SocketCommunicator(int num_ranks, int nproc, int proc_index,
-                     std::vector<int> mesh_fds, bool coalesce = true);
+                     std::vector<int> mesh_fds, bool coalesce = true,
+                     double stall_timeout_s = 600.0);
   ~SocketCommunicator() override;
 
   int num_ranks() const override { return num_ranks_; }
@@ -133,6 +138,16 @@ class SocketCommunicator final : public Communicator {
 
   int rank_to_proc(int rank) const { return rank % nproc_; }
   int slot_of_rank(int rank) const { return (rank - proc_index_) / nproc_; }
+
+  /// Arms deterministic fault injection: every mesh round probes the
+  /// injector for round-keyed crash/stall signals and frame drop/flip
+  /// targets. Borrowed; null (the default) disables all probes.
+  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
+
+  /// Kind of the most recently armed mesh round — when a collective
+  /// returns kUnavailable, this names the round the endpoint was in for
+  /// the structured failure report.
+  std::uint8_t last_round_kind() const { return round_kind_; }
 
  private:
   /// Per-peer progress of the round in flight.
@@ -190,7 +205,9 @@ class SocketCommunicator final : public Communicator {
   std::vector<int> mesh_fds_;
   std::vector<int> local_;
   bool coalesce_;
+  double stall_timeout_s_;
   CommLedger* ledger_ = nullptr;
+  FaultInjector* fault_ = nullptr;
 
   // Per-peer scratch, reused across rounds.
   std::vector<std::vector<unsigned char>> send_frames_;

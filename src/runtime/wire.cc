@@ -26,12 +26,15 @@ Status DecodeHeader(const unsigned char in[kFrameHeaderBytes],
   std::memcpy(&out->from, in + 8, 4);
   std::memcpy(&out->payload_len, in + 16, 8);
   std::memcpy(&out->checksum, in + 24, 8);
+  // Corruption, not a programming error: a crashed/corrupting peer is a
+  // recoverable event for the supervisor, so these map to kUnavailable.
   if (out->magic != kMagic) {
-    return Status::Internal("transport frame with bad magic (stream desync)");
+    return Status::Unavailable(
+        "transport frame with bad magic (stream desync)");
   }
   if (out->payload_len > kMaxFramePayload) {
-    return Status::Internal("transport frame with implausible length " +
-                            std::to_string(out->payload_len));
+    return Status::Unavailable("transport frame with implausible length " +
+                               std::to_string(out->payload_len));
   }
   return Status::OK();
 }
@@ -47,8 +50,15 @@ Status SendAll(int fd, const void* data, std::size_t len,
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    const int err = n < 0 ? errno : EPIPE;
+    // A vanished peer (EPIPE/ECONNRESET) is the supervisor's problem, not a
+    // protocol bug — recoverable.
+    if (err == EPIPE || err == ECONNRESET) {
+      return Status::Unavailable("send to " + peer + " failed: " +
+                                 std::strerror(err));
+    }
     return Status::Internal("send to " + peer + " failed: " +
-                            std::strerror(n < 0 ? errno : EPIPE));
+                            std::strerror(err));
   }
   return Status::OK();
 }
@@ -64,7 +74,11 @@ Status RecvAll(int fd, void* data, std::size_t len, const std::string& peer) {
     }
     if (n < 0 && errno == EINTR) continue;
     if (n == 0) {
-      return Status::Internal(peer + " disconnected (rank process crash?)");
+      return Status::Unavailable(peer + " disconnected (rank process crash?)");
+    }
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("recv from " + peer + " failed: " +
+                                 std::strerror(errno));
     }
     return Status::Internal("recv from " + peer + " failed: " +
                             std::strerror(errno));
@@ -109,8 +123,13 @@ Status SendAllV(int fd, const void* a, std::size_t a_len, const void* b,
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    const int err = n < 0 ? errno : EPIPE;
+    if (err == EPIPE || err == ECONNRESET) {
+      return Status::Unavailable("send to " + peer + " failed: " +
+                                 std::strerror(err));
+    }
     return Status::Internal("send to " + peer + " failed: " +
-                            std::strerror(n < 0 ? errno : EPIPE));
+                            std::strerror(err));
   }
   return Status::OK();
 }
@@ -143,8 +162,8 @@ Status RecvFrame(int fd, FrameHeader* header,
   }
   const std::uint64_t sum = FrameChecksum(payload->data(), payload->size());
   if (sum != header->checksum) {
-    return Status::Internal("frame checksum mismatch from " + peer +
-                            " (corrupted transport stream)");
+    return Status::Unavailable("frame checksum mismatch from " + peer +
+                               " (corrupted transport stream)");
   }
   return Status::OK();
 }

@@ -157,13 +157,21 @@ TEST(OptionSchemaTest, DneTransportKnobsValidateThroughTheSchema) {
             Status::Code::kOutOfRange);
   EXPECT_EQ(s.Validate(PartitionConfig{{"ranks", "two"}}).code(),
             Status::Code::kInvalidArgument);
-  // fault_rank is declared (test-only) and range-checked like any option.
-  EXPECT_EQ(s.Validate(PartitionConfig{{"fault_rank", "100"}}).code(),
+  // The fault-tolerance knobs are declared and range-checked like any
+  // option (the fault-plan grammar itself is validated at Partition time).
+  EXPECT_EQ(s.Validate(PartitionConfig{{"max_recoveries", "100"}}).code(),
             Status::Code::kOutOfRange);
+  EXPECT_EQ(s.Validate(PartitionConfig{{"checkpoint_every", "-1"}}).code(),
+            Status::Code::kOutOfRange);
+  EXPECT_EQ(s.Validate(PartitionConfig{{"stall_timeout_s", "0"}}).code(),
+            Status::Code::kOutOfRange);
+  EXPECT_TRUE(s.Validate(PartitionConfig{{"fault", "crash@r1:s1"}}).ok());
   // Typed readers surface the defaults: in-process, auto process count.
   EXPECT_EQ(s.EnumOr(PartitionConfig{}, "transport"), "inproc");
   EXPECT_EQ(s.IntOr(PartitionConfig{}, "ranks"), 0);
-  EXPECT_EQ(s.IntOr(PartitionConfig{}, "fault_rank"), -1);
+  EXPECT_EQ(s.IntOr(PartitionConfig{}, "checkpoint_every"), 0);
+  EXPECT_EQ(s.StringOr(PartitionConfig{}, "checkpoint_dir"), "");
+  EXPECT_EQ(s.DoubleOr(PartitionConfig{}, "stall_timeout_s"), 600.0);
 }
 
 }  // namespace

@@ -1,0 +1,293 @@
+// Fault-tolerance guarantees of the process transport: a rank process
+// killed, stalled, or fed a corrupted frame at any keyed point must be
+// recovered automatically — full-cluster restart from the last complete
+// checkpoint (or from scratch) — and the finished run must be bit-identical
+// to the fault-free one: same assignment, same iteration count, same
+// modeled and observed traffic. Unrecoverable runs must fail with a
+// structured report naming the rank process, superstep and round.
+//
+// Every test here forks, kills and restarts a rank cluster, so the binary
+// carries the `recovery` ctest label (multi-second; CI runs it under ASan
+// in a dedicated job) instead of riding the fast suite.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_partitioner.h"
+
+namespace dne {
+namespace {
+
+Graph RmatGraph(int scale, std::uint64_t seed) {
+  RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = 8;
+  opt.seed = seed;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+Graph ErGraph(std::uint64_t seed) {
+  return Graph::Build(GenerateErdosRenyi(1024, 8192, seed));
+}
+
+/// A unique checkpoint directory per test, removed (with any leftover
+/// checkpoint files) on scope exit.
+class ScopedCheckpointDir {
+ public:
+  ScopedCheckpointDir() {
+    char tmpl[] = "/tmp/dne_recovery_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    path_ = made == nullptr ? "" : made;
+    EXPECT_FALSE(path_.empty());
+  }
+  ~ScopedCheckpointDir() {
+    if (path_.empty()) return;
+    if (DIR* dir = ::opendir(path_.c_str())) {
+      while (const dirent* e = ::readdir(dir)) {
+        const std::string name = e->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct Outcome {
+  Status st = Status::OK();
+  std::vector<PartitionId> assignment;
+  DneStats stats;
+};
+
+Outcome RunDne(const Graph& g, std::uint32_t parts, const DneOptions& opt,
+            const std::string& fault = "", const std::string& dir = "") {
+  DnePartitioner dne(opt);
+  if (!fault.empty()) dne.SetFaultSpec(fault);
+  if (!dir.empty()) dne.SetCheckpointDir(dir);
+  EdgePartition ep;
+  Outcome o;
+  o.st = dne.Partition(g, parts, &ep);
+  if (o.st.ok()) {
+    o.assignment = ep.assignment();
+    o.stats = dne.dne_stats();
+  }
+  return o;
+}
+
+DneOptions ProcessOptions(int nproc, std::uint32_t checkpoint_every = 0,
+                          std::uint32_t max_recoveries = 1) {
+  DneOptions opt;
+  opt.seed = 11;
+  opt.transport = DneTransport::kProcess;
+  opt.ranks = nproc;
+  opt.checkpoint_every = checkpoint_every;
+  opt.max_recoveries = max_recoveries;
+  return opt;
+}
+
+/// The recovered run must be indistinguishable from the fault-free one in
+/// everything the algorithm and the accounting tape define: assignment,
+/// iteration count, allocation split, modeled data plane and observed wire
+/// plane. (Host wall seconds, RSS and the recovery/checkpoint counters are
+/// legitimately different and excluded.)
+void ExpectBitIdentical(const Outcome& ref, const Outcome& got,
+                        const std::string& label) {
+  ASSERT_TRUE(got.st.ok()) << label << ": " << got.st.ToString();
+  EXPECT_EQ(ref.assignment, got.assignment) << label;
+  EXPECT_EQ(ref.stats.iterations, got.stats.iterations) << label;
+  EXPECT_EQ(ref.stats.one_hop_edges, got.stats.one_hop_edges) << label;
+  EXPECT_EQ(ref.stats.two_hop_edges, got.stats.two_hop_edges) << label;
+  EXPECT_EQ(ref.stats.random_restarts, got.stats.random_restarts) << label;
+  EXPECT_EQ(ref.stats.comm_bytes, got.stats.comm_bytes) << label;
+  EXPECT_EQ(ref.stats.comm_messages, got.stats.comm_messages) << label;
+  EXPECT_EQ(ref.stats.wire_bytes, got.stats.wire_bytes) << label;
+  EXPECT_EQ(ref.stats.wire_frames, got.stats.wire_frames) << label;
+  EXPECT_EQ(ref.stats.boundary_imbalance, got.stats.boundary_imbalance)
+      << label;
+}
+
+// The acceptance matrix: SIGKILL each rank process at each early superstep
+// and demand automatic recovery to the fault-free result, both co-hosted
+// (2 processes) and one process per rank.
+TEST(DneRecoveryTest, CrashEachRankAtEachSuperstepRecoversBitIdentical) {
+  const Graph g = ErGraph(7);
+  const std::uint32_t parts = 4;
+  for (int nproc : {2, 4}) {
+    const Outcome ref = RunDne(g, parts, ProcessOptions(nproc));
+    ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+    for (int rank = 0; rank < nproc; ++rank) {
+      for (int step : {1, 2, 3}) {
+        ScopedCheckpointDir dir;
+        const std::string fault = "crash@r" + std::to_string(rank) + ":s" +
+                                  std::to_string(step);
+        const Outcome got =
+            RunDne(g, parts, ProcessOptions(nproc, /*checkpoint_every=*/1),
+                fault, dir.path());
+        ExpectBitIdentical(ref, got,
+                           "nproc " + std::to_string(nproc) + " " + fault);
+        EXPECT_EQ(got.stats.recoveries, 1u) << fault;
+      }
+    }
+  }
+}
+
+// Graph/partition breadth: RMAT and ER at P{2,4,16} all recover from a
+// mid-run crash to the fault-free partitions.
+TEST(DneRecoveryTest, CrashRecoveryAcrossGraphsAndPartitionCounts) {
+  const Graph rmat = RmatGraph(10, 7);
+  const Graph er = ErGraph(9);
+  for (const Graph* g : {&rmat, &er}) {
+    for (std::uint32_t parts : {2u, 4u, 16u}) {
+      for (int nproc : {2, static_cast<int>(parts)}) {
+        if (nproc > static_cast<int>(parts)) continue;
+        const Outcome ref = RunDne(*g, parts, ProcessOptions(nproc));
+        ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+        ScopedCheckpointDir dir;
+        const Outcome got =
+            RunDne(*g, parts, ProcessOptions(nproc, /*checkpoint_every=*/2),
+                "crash@r1:s2", dir.path());
+        ExpectBitIdentical(ref, got,
+                           "parts " + std::to_string(parts) + " nproc " +
+                               std::to_string(nproc));
+      }
+    }
+  }
+}
+
+// A crash inside a mesh round (peers mid-exchange, frames half-sent) — the
+// survivors must park instead of deadlocking, and the restart must erase
+// every trace of the aborted round.
+TEST(DneRecoveryTest, MidRoundCrashRecovers) {
+  const Graph g = RmatGraph(10, 5);
+  const Outcome ref = RunDne(g, 4, ProcessOptions(4));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  for (const char* fault :
+       {"crash@r1:s2:round=select", "crash@r1:s2:round=sync",
+        "crash@r0:s3:round=stepend"}) {
+    ScopedCheckpointDir dir;
+    const Outcome got = RunDne(g, 4, ProcessOptions(4, /*checkpoint_every=*/1),
+                            fault, dir.path());
+    ExpectBitIdentical(ref, got, fault);
+    EXPECT_EQ(got.stats.recoveries, 1u) << fault;
+  }
+}
+
+// A wedged-but-alive rank (SIGSTOP): nobody sees an EOF, so only the stall
+// deadline can catch it. With a short deadline the supervisor must conclude
+// the round is dead, kill the cluster and recover.
+TEST(DneRecoveryTest, StalledRankRecoversViaStallDeadline) {
+  const Graph g = ErGraph(7);
+  const Outcome ref = RunDne(g, 4, ProcessOptions(2));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  ScopedCheckpointDir dir;
+  DneOptions opt = ProcessOptions(2, /*checkpoint_every=*/1);
+  opt.stall_timeout_s = 2.0;
+  const Outcome got = RunDne(g, 4, opt, "stall@r0:s2", dir.path());
+  ExpectBitIdentical(ref, got, "stall@r0:s2");
+  EXPECT_EQ(got.stats.recoveries, 1u);
+}
+
+// Corrupted wire traffic: a flipped payload byte fails the frame checksum
+// at the receiver; a dropped frame wedges the round until the deadline.
+// Both are recoverable, not fatal.
+TEST(DneRecoveryTest, CorruptedFrameRecovers) {
+  const Graph g = ErGraph(7);
+  const Outcome ref = RunDne(g, 4, ProcessOptions(2));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  for (const char* fault : {"flip@r1:s2:peer=0", "drop@r0:s2:peer=1"}) {
+    ScopedCheckpointDir dir;
+    DneOptions opt = ProcessOptions(2, /*checkpoint_every=*/1);
+    opt.stall_timeout_s = 2.0;  // a dropped frame only fails via the deadline
+    const Outcome got = RunDne(g, 4, opt, fault, dir.path());
+    ExpectBitIdentical(ref, got, fault);
+    EXPECT_EQ(got.stats.recoveries, 1u) << fault;
+  }
+}
+
+// Torn checkpoint: the step-2 files are committed then tail-truncated, so
+// when the step-3 crash hits, recovery must reject them (checksummed
+// frames) and fall back to the step-1 checkpoint — still bit-identical.
+TEST(DneRecoveryTest, TornCheckpointFallsBackToPreviousCheckpoint) {
+  const Graph g = ErGraph(7);
+  const Outcome ref = RunDne(g, 4, ProcessOptions(2));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  ScopedCheckpointDir dir;
+  const Outcome got = RunDne(g, 4, ProcessOptions(2, /*checkpoint_every=*/1),
+                          "torn@r0:s2;crash@r1:s3", dir.path());
+  ExpectBitIdentical(ref, got, "torn checkpoint");
+  EXPECT_EQ(got.stats.recoveries, 1u);
+}
+
+// A failed checkpoint write is itself a recoverable fault: the writing rank
+// parks, the supervisor restarts from the last complete checkpoint.
+TEST(DneRecoveryTest, CheckpointWriteFailureIsRecoverable) {
+  const Graph g = ErGraph(7);
+  const Outcome ref = RunDne(g, 4, ProcessOptions(2));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  ScopedCheckpointDir dir;
+  const Outcome got = RunDne(g, 4, ProcessOptions(2, /*checkpoint_every=*/1),
+                          "ckptfail@r0:s2", dir.path());
+  ExpectBitIdentical(ref, got, "ckptfail@r0:s2");
+  EXPECT_EQ(got.stats.recoveries, 1u);
+}
+
+// Recovery without checkpoints: the supervisor restarts the whole run from
+// scratch — determinism makes that merely slower, never different.
+TEST(DneRecoveryTest, RecoveryWithoutCheckpointsRestartsFromScratch) {
+  const Graph g = ErGraph(7);
+  const Outcome ref = RunDne(g, 4, ProcessOptions(2));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  const Outcome got = RunDne(g, 4, ProcessOptions(2), "crash@r1:s2");
+  ExpectBitIdentical(ref, got, "no-checkpoint recovery");
+  EXPECT_EQ(got.stats.recoveries, 1u);
+}
+
+// A fault keyed to every epoch defeats every retry: after max_recoveries
+// restarts the run must fail — non-OK, with a structured report naming the
+// rank process, the superstep and the retry budget.
+TEST(DneRecoveryTest, ExhaustedRetriesReportRankSuperstepAndRound) {
+  const Graph g = ErGraph(7);
+  ScopedCheckpointDir dir;
+  DneOptions opt = ProcessOptions(2, /*checkpoint_every=*/1,
+                                  /*max_recoveries=*/2);
+  const Outcome got = RunDne(g, 4, opt, "crash@r1:s2:epoch=-1", dir.path());
+  ASSERT_FALSE(got.st.ok());
+  const std::string msg = got.st.ToString();
+  EXPECT_NE(msg.find("rank process 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("superstep 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("recovery exhausted"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2 restart"), std::string::npos) << msg;
+}
+
+// Checkpointing on a fault-free run: pure overhead, no restarts, identical
+// result — and the overhead is reported so the bench can chart it.
+TEST(DneRecoveryTest, FaultFreeCheckpointingReportsOverheadOnly) {
+  const Graph g = RmatGraph(10, 5);
+  const Outcome ref = RunDne(g, 4, ProcessOptions(2));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  ScopedCheckpointDir dir;
+  const Outcome got = RunDne(g, 4, ProcessOptions(2, /*checkpoint_every=*/1),
+                          /*fault=*/"", dir.path());
+  ExpectBitIdentical(ref, got, "fault-free checkpointing");
+  EXPECT_EQ(got.stats.recoveries, 0u);
+  EXPECT_GT(got.stats.checkpoint_bytes, 0u);
+  EXPECT_GE(got.stats.checkpoint_seconds, 0.0);
+  EXPECT_EQ(ref.stats.checkpoint_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace dne

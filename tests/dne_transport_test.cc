@@ -229,9 +229,9 @@ TEST(DneTransportTest, PerRankPeaksAggregatedFromRankProcesses) {
 // a hang on a missing frame.
 TEST(DneTransportTest, CrashedRankFailsFastWithDiagnostic) {
   const Graph g = RmatGraph(10, 5);
-  DneOptions opt = ProcessOptions(4);
-  opt.fault_rank = 1;
+  DneOptions opt = ProcessOptions(4);  // max_recoveries = 0: no retry
   DnePartitioner dne(opt);
+  dne.SetFaultSpec("crash@r1:s1");
   EdgePartition ep;
   const Status st = dne.Partition(g, 4, &ep);
   ASSERT_FALSE(st.ok());
@@ -257,8 +257,34 @@ TEST(DneTransportTest, TransportKnobsValidate) {
   }
   {
     DneOptions opt;  // fault injection without the process transport
-    opt.fault_rank = 0;
+    DnePartitioner dne(opt);
+    dne.SetFaultSpec("crash@r0:s1");
+    EXPECT_FALSE(dne.Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt;  // checkpointing without the process transport
+    opt.checkpoint_every = 2;
     EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt = ProcessOptions(2);  // checkpoint cadence without a dir
+    opt.checkpoint_every = 2;
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt = ProcessOptions(2);  // fault plan naming an absent rank
+    DnePartitioner dne(opt);
+    dne.SetFaultSpec("crash@r7:s1");
+    EXPECT_FALSE(dne.Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt = ProcessOptions(2);  // malformed fault grammar
+    DnePartitioner dne(opt);
+    dne.SetFaultSpec("explode@r0:s1");
+    const Status st = dne.Partition(g, 4, &ep);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("explode"), std::string::npos)
+        << st.ToString();
   }
   {
     DneOptions opt = ProcessOptions(0);  // auto: one process per rank

@@ -1,0 +1,136 @@
+// Fault-plan grammar: every accepted spelling maps to the documented
+// FaultAction key, and every malformed entry is rejected with the offending
+// entry quoted plus a grammar hint — a plan that parses is a plan that
+// reproduces the same failure sequence on every run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "partition/dne/dne_options.h"
+#include "partition/dne/fault_plan.h"
+
+namespace dne {
+namespace {
+
+struct Parsed {
+  Status st = Status::OK();
+  FaultAction actions[DneOptions::kMaxFaultActions] = {};
+  std::uint32_t n = 0;
+};
+
+Parsed Parse(const std::string& spec) {
+  Parsed p;
+  p.st = ParseFaultPlan(spec, p.actions, DneOptions::kMaxFaultActions, &p.n);
+  return p;
+}
+
+TEST(FaultPlanTest, EmptySpecIsAnEmptyPlan) {
+  const Parsed p = Parse("");
+  ASSERT_TRUE(p.st.ok()) << p.st.ToString();
+  EXPECT_EQ(p.n, 0u);
+}
+
+TEST(FaultPlanTest, MinimalEntryDefaultsRoundPeerEpoch) {
+  const Parsed p = Parse("crash@r1:s3");
+  ASSERT_TRUE(p.st.ok()) << p.st.ToString();
+  ASSERT_EQ(p.n, 1u);
+  EXPECT_EQ(p.actions[0].kind, static_cast<std::uint8_t>(FaultKind::kCrash));
+  EXPECT_EQ(p.actions[0].rank, 1);
+  EXPECT_EQ(p.actions[0].superstep, 3u);
+  EXPECT_EQ(p.actions[0].round,
+            static_cast<std::uint8_t>(FaultRound::kSuperstepStart));
+  EXPECT_EQ(p.actions[0].peer, -1);
+  EXPECT_EQ(p.actions[0].epoch, 0);
+}
+
+TEST(FaultPlanTest, EveryKindParses) {
+  const struct {
+    const char* name;
+    FaultKind kind;
+  } kinds[] = {{"crash", FaultKind::kCrash},
+               {"stall", FaultKind::kStall},
+               {"drop", FaultKind::kDropFrame},
+               {"flip", FaultKind::kFlipFrame},
+               {"ckptfail", FaultKind::kCheckpointFail},
+               {"torn", FaultKind::kTornCheckpoint}};
+  for (const auto& k : kinds) {
+    const Parsed p = Parse(std::string(k.name) + "@r0:s1");
+    ASSERT_TRUE(p.st.ok()) << k.name << ": " << p.st.ToString();
+    ASSERT_EQ(p.n, 1u);
+    EXPECT_EQ(p.actions[0].kind, static_cast<std::uint8_t>(k.kind)) << k.name;
+    EXPECT_STREQ(FaultKindName(static_cast<FaultKind>(p.actions[0].kind)),
+                 k.name);
+  }
+}
+
+TEST(FaultPlanTest, ModifiersAndMultipleEntries) {
+  const Parsed p =
+      Parse("stall@r0:s2:round=sync;flip@r2:s1:peer=0;crash@r1:s4:epoch=-1");
+  ASSERT_TRUE(p.st.ok()) << p.st.ToString();
+  ASSERT_EQ(p.n, 3u);
+  EXPECT_EQ(p.actions[0].kind, static_cast<std::uint8_t>(FaultKind::kStall));
+  EXPECT_EQ(p.actions[0].round, static_cast<std::uint8_t>(FaultRound::kSync));
+  EXPECT_EQ(p.actions[1].kind,
+            static_cast<std::uint8_t>(FaultKind::kFlipFrame));
+  EXPECT_EQ(p.actions[1].peer, 0);
+  EXPECT_EQ(p.actions[2].epoch, -1);
+  EXPECT_EQ(p.actions[2].superstep, 4u);
+}
+
+TEST(FaultPlanTest, AllRoundSpellings) {
+  EXPECT_EQ(Parse("drop@r0:s1:round=select").actions[0].round,
+            static_cast<std::uint8_t>(FaultRound::kSelect));
+  EXPECT_EQ(Parse("drop@r0:s1:round=sync").actions[0].round,
+            static_cast<std::uint8_t>(FaultRound::kSync));
+  EXPECT_EQ(Parse("drop@r0:s1:round=stepend").actions[0].round,
+            static_cast<std::uint8_t>(FaultRound::kStepEnd));
+}
+
+TEST(FaultPlanTest, MalformedEntriesNameTheEntryAndTheGrammar) {
+  const char* bad[] = {
+      "explode@r0:s1",       // unknown kind
+      "crash",               // no key at all
+      "crash@s1:r0",         // keys out of order
+      "crash@r0",            // missing superstep
+      "crash@r0:s0",         // supersteps are 1-based
+      "crash@r-1:s1",        // negative rank
+      "crash@r0:s1:round=x", // unknown round
+      "crash@r0:s1:wat=1",   // unknown modifier
+      "crash@r0:s1;;",       // empty entry
+      "crash@r0:s1:epoch=x", // non-numeric epoch
+  };
+  for (const char* spec : bad) {
+    const Parsed p = Parse(spec);
+    EXPECT_FALSE(p.st.ok()) << "accepted: " << spec;
+    EXPECT_EQ(p.st.code(), Status::Code::kInvalidArgument) << spec;
+  }
+  // The diagnostic quotes the offending entry so multi-entry plans are
+  // debuggable.
+  const Parsed p = Parse("crash@r0:s1;explode@r1:s2");
+  ASSERT_FALSE(p.st.ok());
+  EXPECT_NE(p.st.ToString().find("explode@r1:s2"), std::string::npos)
+      << p.st.ToString();
+}
+
+TEST(FaultPlanTest, PlanCapacityIsEnforced) {
+  std::string spec;
+  for (int i = 0; i < 9; ++i) {
+    if (!spec.empty()) spec += ';';
+    spec += "crash@r0:s" + std::to_string(i + 1);
+  }
+  const Parsed p = Parse(spec);  // 9 entries, capacity is 8
+  EXPECT_FALSE(p.st.ok());
+  EXPECT_EQ(p.st.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(FaultPlanTest, NamesRoundTrip) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kNone), "none");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTornCheckpoint), "torn");
+  EXPECT_STREQ(FaultRoundName(FaultRound::kSuperstepStart),
+               "superstep start");
+  EXPECT_STREQ(FaultRoundName(FaultRound::kSync), "sync");
+}
+
+}  // namespace
+}  // namespace dne

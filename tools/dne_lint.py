@@ -44,7 +44,8 @@ import tempfile
 CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 SCAN_DIRS = ("src", "tools", "bench", "examples")
 RESULT_DIRS = ("src/partition", "src/core", "src/gen", "src/graph")
-WIRE_HEADERS = ("src/partition/dne/dne_messages.h", "src/runtime/wire.h")
+WIRE_HEADERS = ("src/partition/dne/dne_messages.h", "src/runtime/wire.h",
+                "src/runtime/checkpoint.h")
 VALIDATED_PARSER = "src/core/partition_config.cc"
 RUNTIME_DIR = "src/runtime"
 ALLOWLIST_FILE = os.path.join("tools", "dne_lint_allow.txt")
