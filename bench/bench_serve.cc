@@ -1,0 +1,298 @@
+// Resilient-serving bench: drives a mixed PageRank/SSSP/WCC request stream
+// through the ServeServer (bounded admission + deadlines + drain) over both
+// serve backends — the in-process Communicator and the supervised
+// multi-process transport — on one resident RMAT partition. Reports request
+// latency percentiles, admission shed counts, and the replica-sync payload
+// per superstep reconciled against the replication factor the metrics layer
+// predicts, then gates that both transports returned bit-identical result
+// vectors for every request. --json=FILE appends the machine-readable
+// BENCH_serve.json record (a JSON array; the committed trajectory keeps
+// every prior entry).
+//
+//   ./bench_serve [--scale=15] [--edge-factor=8] [--partitions=16]
+//                 [--ranks=4] [--requests=24] [--iterations=10]
+//                 [--mix=pagerank,sssp,wcc] [--queue-depth=16]
+//                 [--seed=7] [--json=FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "apps/serve_server.h"
+#include "apps/serve_transport.h"
+#include "bench_util.h"
+#include "common/hash.h"
+#include "common/timer.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "metrics/partition_metrics.h"
+#include "partition/edge_partition.h"
+
+namespace {
+
+using dne::bench::Flags;
+
+/// Interpolated percentile of a latency sample, in milliseconds.
+double PercentileMs(std::vector<double> seconds, double p) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const double rank = p * static_cast<double>(seconds.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = lo + 1 < seconds.size() ? lo + 1 : lo;
+  const double frac = rank - static_cast<double>(lo);
+  return (seconds[lo] * (1.0 - frac) + seconds[hi] * frac) * 1e3;
+}
+
+struct TransportResult {
+  std::string transport;
+  dne::ServeServerStats stats;
+  std::uint64_t shed_retries = 0;  ///< kUnavailable submits later admitted
+  double wall_seconds = 0.0;
+  std::uint64_t pagerank_supersteps = 0;
+  std::uint64_t pagerank_data_bytes = 0;  ///< replica-sync payload charged
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_frames = 0;
+  /// FNV-1a over every request's result bits, in request order — the
+  /// cross-transport bit-identity gate compares these.
+  std::uint64_t result_checksum = 1469598103934665603ull;
+};
+
+dne::ServeRequest MakeRequest(std::uint64_t id, const std::string& algo,
+                              std::uint32_t iterations, std::uint64_t source) {
+  dne::ServeRequest req;
+  req.req_id = id;
+  req.iterations = iterations;
+  req.source = source;
+  req.algo = algo == "pagerank" ? dne::ServeAlgo::kPageRank
+             : algo == "sssp"   ? dne::ServeAlgo::kSssp
+                                : dne::ServeAlgo::kWcc;
+  return req;
+}
+
+/// Runs the whole request stream through a ServeServer over `backend`,
+/// retrying shed submissions until admitted (the client half of the
+/// retry-after contract).
+TransportResult RunWorkload(const std::string& transport,
+                            dne::ServeBackend* backend,
+                            const std::vector<dne::ServeRequest>& reqs,
+                            const dne::ServeServerOptions& opts) {
+  TransportResult out;
+  out.transport = transport;
+  std::mutex mu;
+  std::vector<dne::ServeResponse> resps(reqs.size());
+
+  dne::WallTimer timer;
+  {
+    dne::ServeServer server(backend, opts);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      for (;;) {
+        const dne::Status sub =
+            server.Submit(reqs[i], /*deadline_ms=*/0,
+                          [&mu, &resps, i](dne::ServeResponse resp) {
+                            std::lock_guard<std::mutex> lock(mu);
+                            resps[i] = std::move(resp);
+                          });
+        if (sub.ok()) break;
+        ++out.shed_retries;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts.retry_after_ms));
+      }
+    }
+    server.Drain();
+    out.stats = server.stats();
+  }
+  out.wall_seconds = timer.Seconds();
+
+  for (std::size_t i = 0; i < resps.size(); ++i) {
+    const dne::ServeResponse& resp = resps[i];
+    if (!resp.status.ok()) {
+      std::fprintf(stderr, "error: %s request %llu failed: %s\n",
+                   transport.c_str(),
+                   static_cast<unsigned long long>(reqs[i].req_id),
+                   resp.status.ToString().c_str());
+      continue;
+    }
+    if (reqs[i].algo == dne::ServeAlgo::kPageRank) {
+      out.pagerank_supersteps += resp.supersteps;
+      out.pagerank_data_bytes += resp.data_bytes;
+    }
+    out.wire_bytes += resp.wire_bytes;
+    out.wire_frames += resp.wire_frames;
+    for (const std::uint64_t bits : resp.bits) {
+      out.result_checksum ^= bits;
+      out.result_checksum *= 1099511628211ull;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int scale = flags.GetInt("scale", 15);
+  const int edge_factor = flags.GetInt("edge-factor", 8);
+  const int partitions = flags.GetInt("partitions", 16);
+  const int ranks = flags.GetInt("ranks", 4);  // rank processes (process mode)
+  const int requests = flags.GetInt("requests", 24);
+  const std::uint32_t iterations =
+      static_cast<std::uint32_t>(flags.GetInt("iterations", 10));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  const std::vector<std::string> mix =
+      dne::bench::SplitCsv(flags.GetString("mix", "pagerank,sssp,wcc"));
+  const std::string json_path = flags.GetString("json", "");
+
+  dne::bench::PrintBanner(
+      "serving runtime (resilient partition serving)",
+      "mixed analytics request stream over resident shards, in-process vs "
+      "supervised multi-process transport",
+      "--scale --edge-factor --partitions --ranks --requests --iterations "
+      "--mix --queue-depth --seed --json");
+
+  dne::RmatOptions gopt;
+  gopt.scale = scale;
+  gopt.edge_factor = edge_factor;
+  gopt.seed = seed;
+  const dne::Graph g = dne::Graph::Build(dne::GenerateRmat(gopt));
+  dne::EdgePartition ep(static_cast<std::uint32_t>(partitions), g.NumEdges());
+  for (dne::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    ep.Set(e, static_cast<dne::PartitionId>(
+                  dne::HashVertex(e, 0xabcd) %
+                  static_cast<std::uint64_t>(partitions)));
+  }
+  const dne::VertexReplicaSets replicas = dne::ComputeVertexReplicaSets(g, ep);
+  const std::uint64_t predicted_sync =
+      dne::PredictPageRankSyncBytesPerSuperstep(replicas);
+  std::printf("graph: rmat scale=%d ef=%d |V|=%llu |E|=%llu  P=%d\n", scale,
+              edge_factor, static_cast<unsigned long long>(g.NumVertices()),
+              static_cast<unsigned long long>(g.NumEdges()), partitions);
+  std::printf("predicted replica-sync payload: %s per PageRank superstep\n",
+              dne::bench::HumanBytes(static_cast<double>(predicted_sync))
+                  .c_str());
+
+  // Mixed request stream: algorithms round-robin through --mix, SSSP
+  // sources hash across the vertex space.
+  std::vector<dne::ServeRequest> reqs;
+  reqs.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const std::string& algo = mix[static_cast<std::size_t>(i) % mix.size()];
+    reqs.push_back(MakeRequest(
+        static_cast<std::uint64_t>(i + 1), algo, iterations,
+        dne::HashVertex(static_cast<dne::VertexId>(i), seed) %
+            g.NumVertices()));
+  }
+
+  dne::ServeServerOptions sopts;
+  sopts.queue_depth =
+      static_cast<std::uint32_t>(flags.GetInt("queue-depth", 16));
+  sopts.retry_after_ms = 5;
+
+  std::vector<TransportResult> results;
+  {
+    dne::InProcessServeBackend backend(g, ep);
+    results.push_back(RunWorkload("inproc", &backend, reqs, sopts));
+  }
+  std::uint64_t recoveries = 0;
+  std::uint64_t peak_child_rss = 0;
+  {
+    dne::ProcessServeOptions popts;
+    popts.nproc = ranks;
+    dne::ProcessServeBackend backend(g, ep, popts);
+    results.push_back(RunWorkload("process", &backend, reqs, sopts));
+    recoveries = backend.total_recoveries();
+    peak_child_rss = backend.peak_child_rss_bytes();
+    backend.Shutdown();
+  }
+
+  std::printf("\n%-9s %9s %9s %6s %9s %9s %14s %14s\n", "transport", "p50 ms",
+              "p99 ms", "shed", "req/s", "steps", "sync B/step", "wire bytes");
+  for (const TransportResult& r : results) {
+    const double per_step =
+        r.pagerank_supersteps > 0
+            ? static_cast<double>(r.pagerank_data_bytes) /
+                  static_cast<double>(r.pagerank_supersteps)
+            : 0.0;
+    std::printf("%-9s %9.2f %9.2f %6llu %9.1f %9llu %14.0f %14llu\n",
+                r.transport.c_str(),
+                PercentileMs(r.stats.latencies_seconds, 0.50),
+                PercentileMs(r.stats.latencies_seconds, 0.99),
+                static_cast<unsigned long long>(r.stats.shed),
+                r.wall_seconds > 0
+                    ? static_cast<double>(r.stats.completed) / r.wall_seconds
+                    : 0.0,
+                static_cast<unsigned long long>(r.pagerank_supersteps),
+                per_step, static_cast<unsigned long long>(r.wire_bytes));
+  }
+
+  // Gates: the in-process backend's modeled sync payload must reconcile
+  // exactly against the predicted replication factor, and both transports
+  // must have produced bit-identical result vectors for every request.
+  const TransportResult& inproc = results[0];
+  const TransportResult& process = results[1];
+  const bool sync_reconciles =
+      inproc.pagerank_data_bytes ==
+      predicted_sync * inproc.pagerank_supersteps;
+  const bool bit_identical = inproc.result_checksum == process.result_checksum;
+  const bool all_completed =
+      inproc.stats.completed == static_cast<std::uint64_t>(requests) &&
+      process.stats.completed == static_cast<std::uint64_t>(requests);
+  std::printf("sync payload reconciles against replication factor: %s\n",
+              sync_reconciles ? "yes" : "NO");
+  std::printf("transports bit-identical over %d requests: %s\n", requests,
+              bit_identical ? "yes" : "NO");
+  if (!sync_reconciles || !bit_identical || !all_completed) {
+    std::fprintf(stderr, "error: serving differential gate failed\n");
+  }
+
+  if (!json_path.empty()) {
+    dne::bench::JsonWriter w;
+    w.BeginObject();
+    w.KV("bench", "serve");
+    w.Key("graph").BeginObject();
+    w.KV("kind", "rmat");
+    w.KV("scale", scale);
+    w.KV("edge_factor", edge_factor);
+    w.KV("seed", seed);
+    w.KV("vertices", static_cast<std::uint64_t>(g.NumVertices()));
+    w.KV("edges", static_cast<std::uint64_t>(g.NumEdges()));
+    w.EndObject();
+    w.KV("partitions", partitions);
+    w.KV("rank_processes", ranks);
+    w.KV("requests", requests);
+    w.KV("iterations", static_cast<std::uint64_t>(iterations));
+    w.KV("queue_depth", static_cast<std::uint64_t>(sopts.queue_depth));
+    w.KV("predicted_sync_bytes_per_superstep", predicted_sync);
+    w.Key("results").BeginArray();
+    for (const TransportResult& r : results) {
+      w.BeginObject();
+      w.KV("transport", r.transport);
+      w.KV("wall_seconds", r.wall_seconds);
+      w.KV("completed", r.stats.completed);
+      w.KV("shed", r.stats.shed);
+      w.KV("shed_retries", r.shed_retries);
+      w.KV("peak_admitted", r.stats.peak_admitted);
+      w.KV("p50_ms", PercentileMs(r.stats.latencies_seconds, 0.50));
+      w.KV("p99_ms", PercentileMs(r.stats.latencies_seconds, 0.99));
+      w.KV("pagerank_supersteps", r.pagerank_supersteps);
+      w.KV("pagerank_sync_bytes", r.pagerank_data_bytes);
+      w.KV("wire_bytes", r.wire_bytes);
+      w.KV("wire_frames", r.wire_frames);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.KV("recoveries", recoveries);
+    w.KV("sync_payload_reconciles", sync_reconciles);
+    w.KV("transports_bit_identical", bit_identical);
+    w.KV("peak_rss_bytes", dne::bench::PeakRssBytes());
+    w.KV("peak_child_rss_bytes", peak_child_rss);
+    w.EndObject();
+    if (!dne::bench::AppendJsonRecord(json_path, w.str())) return 1;
+    std::printf("appended to %s\n", json_path.c_str());
+  }
+  return (sync_reconciles && bit_identical && all_completed) ? 0 : 1;
+}

@@ -1,9 +1,10 @@
 #include "apps/engine.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/timer.h"
+#include "runtime/communicator.h"
 
 namespace dne {
 
@@ -25,171 +26,111 @@ VertexCutEngine::VertexCutEngine(const Graph& g,
     if (reps.empty()) continue;
     master_[v] = reps[HashVertex(v, 0x5eed) % reps.size()];
   }
+  shards_ = BuildServeShards(g, partition, replicas_, master_);
+  states_ = MakeServeRankStates(shards_);
 }
 
-void VertexCutEngine::ChargeSync(SimCluster* cluster,
-                                 std::vector<std::uint8_t>* changed,
-                                 std::uint64_t payload_bytes) {
-  const std::uint64_t record = payload_bytes + sizeof(VertexId);
-  for (VertexId v = 0; v < g_.NumVertices(); ++v) {
-    if (!(*changed)[v]) continue;
-    (*changed)[v] = 0;
-    auto reps = replicas_.of(v);
-    if (reps.size() <= 1) continue;
-    const int master = static_cast<int>(master_[v]);
-    for (PartitionId r : reps) {
-      if (static_cast<int>(r) == master) continue;
-      // Gather: mirror -> master; Scatter: master -> mirror.
-      cluster->comm().AddMessage(record);
-      cluster->cost().AddBytes(static_cast<int>(r), record);
-      cluster->comm().AddMessage(record);
-      cluster->cost().AddBytes(master, record);
-    }
+Status VertexCutEngine::RunServe(const ServeRequest& req,
+                                 std::vector<std::uint64_t>* bits,
+                                 AppStats* stats) {
+  WallTimer timer;
+  SimCluster cluster(static_cast<int>(num_partitions_), cost_options_);
+  SimClusterLedger ledger(&cluster);
+  InProcessCommunicator comm(static_cast<int>(num_partitions_));
+  comm.SetLedger(&ledger);
+
+  ServeRunEnv env;
+  env.comm = &comm;
+  env.ledger = &ledger;
+  env.num_vertices = g_.NumVertices();
+  const PartitionContext* ctx = ctx_;
+  if (ctx != nullptr) {
+    env.step_hook = [ctx](std::uint64_t, std::uint32_t* abort_flags) {
+      if (ctx->cancelled()) *abort_flags |= kServeAbortCancelled;
+      return Status::OK();
+    };
   }
+
+  ServeRunStats run_stats;
+  Status run = RunServeRequest(req, env, &states_, &run_stats);
+
+  // Decode even a cancelled run: the last completed superstep left every
+  // replica consistent, so the master values are a valid partial result.
+  InitServeResultBits(req, g_.NumVertices(), bits);
+  std::vector<SyncValueRecord> masters;
+  for (const ServeRankState& s : states_) {
+    masters.clear();
+    CollectMasterValues(s, &masters);
+    for (const SyncValueRecord& rec : masters) (*bits)[rec.v] = rec.bits;
+  }
+
+  stats->wall_seconds = timer.Seconds();
+  stats->sim_seconds = cluster.cost().SimSeconds();
+  stats->comm_bytes = cluster.comm().bytes;
+  stats->supersteps = cluster.comm().supersteps;
+  stats->work_balance = cluster.cost().WorkBalance();
+  return run;
+}
+
+Status VertexCutEngine::RunPageRank(int iterations, std::vector<double>* ranks,
+                                    AppStats* stats) {
+  ServeRequest req;
+  req.algo = ServeAlgo::kPageRank;
+  req.iterations = iterations < 0 ? 0 : static_cast<std::uint32_t>(iterations);
+  std::vector<std::uint64_t> bits;
+  Status run = RunServe(req, &bits, stats);
+  ranks->resize(bits.size());
+  for (std::size_t v = 0; v < bits.size(); ++v) {
+    (*ranks)[v] = UnpackDouble(bits[v]);
+  }
+  return run;
 }
 
 AppStats VertexCutEngine::RunPageRank(int iterations,
                                       std::vector<double>* ranks) {
-  WallTimer timer;
-  SimCluster cluster(static_cast<int>(num_partitions_), cost_options_);
-  const VertexId n = g_.NumVertices();
-  std::vector<double> value(n, 1.0 / static_cast<double>(n));
-  std::vector<double> acc(n, 0.0);
-  std::vector<std::uint8_t> changed(n, 0);
-  constexpr double kDamping = 0.85;
-
-  for (int it = 0; it < iterations; ++it) {
-    std::fill(acc.begin(), acc.end(), 0.0);
-    // Gather along local edges: every partition scans exactly its edges —
-    // the per-partition work Table 5's WB measures.
-    for (PartitionId p = 0; p < num_partitions_; ++p) {
-      for (EdgeId e : local_edges_[p]) {
-        const Edge& ed = g_.edge(e);
-        acc[ed.src] += value[ed.dst] / static_cast<double>(g_.degree(ed.dst));
-        acc[ed.dst] += value[ed.src] / static_cast<double>(g_.degree(ed.src));
-      }
-      cluster.cost().AddWork(static_cast<int>(p), local_edges_[p].size());
-    }
-    // Apply at masters; every vertex's value changes each round, so every
-    // replicated vertex synchronises (PageRank is the paper's all-to-all
-    // heavy workload).
-    for (VertexId v = 0; v < n; ++v) {
-      if (g_.degree(v) == 0) continue;
-      value[v] = (1.0 - kDamping) / static_cast<double>(n) +
-                 kDamping * acc[v];
-      changed[v] = 1;
-    }
-    ChargeSync(&cluster, &changed, sizeof(double));
-    cluster.Barrier();
-  }
-
-  *ranks = std::move(value);
   AppStats stats;
-  stats.wall_seconds = timer.Seconds();
-  stats.sim_seconds = cluster.cost().SimSeconds();
-  stats.comm_bytes = cluster.comm().bytes;
-  stats.supersteps = cluster.comm().supersteps;
-  stats.work_balance = cluster.cost().WorkBalance();
+  Status run = RunPageRank(iterations, ranks, &stats);
+  (void)run;  // context-free callers cannot be cancelled
   return stats;
+}
+
+Status VertexCutEngine::RunSssp(VertexId source,
+                                std::vector<std::uint32_t>* dist,
+                                AppStats* stats) {
+  ServeRequest req;
+  req.algo = ServeAlgo::kSssp;
+  req.source = source;
+  std::vector<std::uint64_t> bits;
+  Status run = RunServe(req, &bits, stats);
+  dist->resize(bits.size());
+  for (std::size_t v = 0; v < bits.size(); ++v) {
+    (*dist)[v] = static_cast<std::uint32_t>(bits[v]);
+  }
+  return run;
 }
 
 AppStats VertexCutEngine::RunSssp(VertexId source,
                                   std::vector<std::uint32_t>* dist) {
-  WallTimer timer;
-  SimCluster cluster(static_cast<int>(num_partitions_), cost_options_);
-  const VertexId n = g_.NumVertices();
-  dist->assign(n, kUnreachable);
-  if (source < n) (*dist)[source] = 0;
-  std::vector<std::uint8_t> active(n, 0);
-  std::vector<std::uint8_t> changed(n, 0);
-  if (source < n) active[source] = 1;
-
-  bool any_active = source < n;
-  while (any_active) {
-    any_active = false;
-    for (PartitionId p = 0; p < num_partitions_; ++p) {
-      std::uint64_t work = 0;
-      for (EdgeId e : local_edges_[p]) {
-        const Edge& ed = g_.edge(e);
-        if (!active[ed.src] && !active[ed.dst]) continue;
-        ++work;
-        const std::uint32_t via_src =
-            (*dist)[ed.src] == kUnreachable ? kUnreachable
-                                            : (*dist)[ed.src] + 1;
-        const std::uint32_t via_dst =
-            (*dist)[ed.dst] == kUnreachable ? kUnreachable
-                                            : (*dist)[ed.dst] + 1;
-        if (via_src < (*dist)[ed.dst]) {
-          (*dist)[ed.dst] = via_src;
-          changed[ed.dst] = 1;
-        }
-        if (via_dst < (*dist)[ed.src]) {
-          (*dist)[ed.src] = via_dst;
-          changed[ed.src] = 1;
-        }
-      }
-      cluster.cost().AddWork(static_cast<int>(p), work + 1);
-    }
-    std::fill(active.begin(), active.end(), 0);
-    for (VertexId v = 0; v < n; ++v) {
-      if (changed[v]) {
-        active[v] = 1;
-        any_active = true;
-      }
-    }
-    ChargeSync(&cluster, &changed, sizeof(std::uint32_t));
-    cluster.Barrier();
-    if (cluster.comm().supersteps > 10 * n + 100) break;  // safety valve
-  }
-
   AppStats stats;
-  stats.wall_seconds = timer.Seconds();
-  stats.sim_seconds = cluster.cost().SimSeconds();
-  stats.comm_bytes = cluster.comm().bytes;
-  stats.supersteps = cluster.comm().supersteps;
-  stats.work_balance = cluster.cost().WorkBalance();
+  Status run = RunSssp(source, dist, &stats);
+  (void)run;  // context-free callers cannot be cancelled
   return stats;
 }
 
+Status VertexCutEngine::RunWcc(std::vector<VertexId>* labels,
+                               AppStats* stats) {
+  ServeRequest req;
+  req.algo = ServeAlgo::kWcc;
+  std::vector<std::uint64_t> bits;
+  Status run = RunServe(req, &bits, stats);
+  *labels = std::move(bits);
+  return run;
+}
+
 AppStats VertexCutEngine::RunWcc(std::vector<VertexId>* labels) {
-  WallTimer timer;
-  SimCluster cluster(static_cast<int>(num_partitions_), cost_options_);
-  const VertexId n = g_.NumVertices();
-  labels->resize(n);
-  for (VertexId v = 0; v < n; ++v) (*labels)[v] = v;
-  std::vector<std::uint8_t> changed(n, 0);
-
-  bool moved = true;
-  while (moved) {
-    moved = false;
-    for (PartitionId p = 0; p < num_partitions_; ++p) {
-      for (EdgeId e : local_edges_[p]) {
-        const Edge& ed = g_.edge(e);
-        const VertexId lo = std::min((*labels)[ed.src], (*labels)[ed.dst]);
-        if ((*labels)[ed.src] != lo) {
-          (*labels)[ed.src] = lo;
-          changed[ed.src] = 1;
-          moved = true;
-        }
-        if ((*labels)[ed.dst] != lo) {
-          (*labels)[ed.dst] = lo;
-          changed[ed.dst] = 1;
-          moved = true;
-        }
-      }
-      cluster.cost().AddWork(static_cast<int>(p), local_edges_[p].size());
-    }
-    ChargeSync(&cluster, &changed, sizeof(VertexId));
-    cluster.Barrier();
-    if (cluster.comm().supersteps > 10 * n + 100) break;  // safety valve
-  }
-
   AppStats stats;
-  stats.wall_seconds = timer.Seconds();
-  stats.sim_seconds = cluster.cost().SimSeconds();
-  stats.comm_bytes = cluster.comm().bytes;
-  stats.supersteps = cluster.comm().supersteps;
-  stats.work_balance = cluster.cost().WorkBalance();
+  Status run = RunWcc(labels, &stats);
+  (void)run;  // context-free callers cannot be cancelled
   return stats;
 }
 

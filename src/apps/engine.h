@@ -3,12 +3,21 @@
 // edge set; vertices incident to several partitions are replicated with one
 // master and k-1 mirrors; per-superstep mirror synchronisation is the
 // communication the partition quality controls.
+//
+// The superstep loop itself lives in apps/serve_engine.h and runs over a
+// Communicator — this class is the single-node harness around it: it builds
+// the resident shards once, executes each request over an
+// InProcessCommunicator backed by a SimCluster (modeled charging), and
+// decodes the raw result bits into the typed per-algorithm outputs.
 #ifndef DNE_APPS_ENGINE_H_
 #define DNE_APPS_ENGINE_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "apps/serve_engine.h"
+#include "common/status.h"
+#include "core/partition_context.h"
 #include "graph/graph.h"
 #include "metrics/partition_metrics.h"
 #include "partition/edge_partition.h"
@@ -33,29 +42,46 @@ class VertexCutEngine {
   VertexCutEngine(const Graph& g, const EdgePartition& partition,
                   const CostModelOptions& cost = CostModelOptions{});
 
+  // States hold pointers into shards; moving/copying would dangle them.
+  VertexCutEngine(const VertexCutEngine&) = delete;
+  VertexCutEngine& operator=(const VertexCutEngine&) = delete;
+
   std::uint32_t num_partitions() const { return num_partitions_; }
   const std::vector<std::vector<EdgeId>>& local_edges() const {
     return local_edges_;
   }
+  const std::vector<ServeShard>& shards() const { return shards_; }
+  const VertexReplicaSets& replicas() const { return replicas_; }
+
+  /// Optional execution context (borrowed). When its cancel flag is set, any
+  /// in-flight Run* stops cooperatively at the next superstep boundary: the
+  /// Status overloads return Cancelled with the partially-converged values
+  /// decoded (all replicas consistent through the last completed superstep).
+  void set_context(const PartitionContext* ctx) { ctx_ = ctx; }
 
   /// Synchronous PageRank, `iterations` rounds, damping 0.85. `ranks` gets
   /// the final (degree-normalised, undirected) scores.
   AppStats RunPageRank(int iterations, std::vector<double>* ranks);
+  Status RunPageRank(int iterations, std::vector<double>* ranks,
+                     AppStats* stats);
 
   /// Single-source shortest paths with unit weights (= BFS levels), Bellman-
   /// Ford supersteps. Unreachable vertices get kUnreachable.
   static constexpr std::uint32_t kUnreachable = UINT32_MAX;
   AppStats RunSssp(VertexId source, std::vector<std::uint32_t>* dist);
+  Status RunSssp(VertexId source, std::vector<std::uint32_t>* dist,
+                 AppStats* stats);
 
   /// Weakly connected components by min-label propagation; `labels` maps
   /// every vertex to its component's minimum vertex id.
   AppStats RunWcc(std::vector<VertexId>* labels);
+  Status RunWcc(std::vector<VertexId>* labels, AppStats* stats);
 
  private:
-  /// Charges gather+scatter mirror synchronisation for every vertex marked
-  /// in `changed` (payload bytes per value), clearing the marks.
-  void ChargeSync(SimCluster* cluster, std::vector<std::uint8_t>* changed,
-                  std::uint64_t payload_bytes);
+  /// Runs `req` over the resident shards on a fresh simulated cluster and
+  /// leaves the decoded per-vertex result bits in `bits`.
+  Status RunServe(const ServeRequest& req, std::vector<std::uint64_t>* bits,
+                  AppStats* stats);
 
   const Graph& g_;
   std::uint32_t num_partitions_;
@@ -63,6 +89,9 @@ class VertexCutEngine {
   VertexReplicaSets replicas_;
   std::vector<PartitionId> master_;  // master partition per vertex
   CostModelOptions cost_options_;
+  std::vector<ServeShard> shards_;
+  std::vector<ServeRankState> states_;
+  const PartitionContext* ctx_ = nullptr;
 };
 
 }  // namespace dne

@@ -1,0 +1,423 @@
+#include "apps/serve_engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/hash.h"
+
+namespace dne {
+
+namespace {
+
+constexpr double kDamping = 0.85;
+// SSSP distances are u32 on the result surface; widened to u64 bits on the
+// wire so one record kind serves all algorithms.
+constexpr std::uint64_t kUnreachableBits = 0xFFFFFFFFull;
+constexpr std::size_t kNotLocal = static_cast<std::size_t>(-1);
+
+std::size_t LocalIndexOf(const std::vector<ServeVertexRecord>& verts,
+                         VertexId v) {
+  auto it = std::lower_bound(
+      verts.begin(), verts.end(), v,
+      [](const ServeVertexRecord& rec, VertexId x) { return rec.v < x; });
+  if (it == verts.end() || it->v != v) return kNotLocal;
+  return static_cast<std::size_t>(it - verts.begin());
+}
+
+void ResetState(const ServeRequest& req, std::uint64_t n,
+                ServeRankState* s) {
+  const std::size_t nv = s->shard->verts.size();
+  s->acc.assign(nv, 0.0);
+  s->active.assign(nv, 0);
+  s->changed.assign(nv, 0);
+  switch (req.algo) {
+    case ServeAlgo::kPageRank:
+      s->value.assign(nv, PackDouble(1.0 / static_cast<double>(n)));
+      break;
+    case ServeAlgo::kSssp: {
+      s->value.assign(nv, kUnreachableBits);
+      const std::size_t li = LocalIndexOf(s->shard->verts, req.source);
+      if (li != kNotLocal) {
+        s->value[li] = 0;
+        s->active[li] = 1;
+      }
+      break;
+    }
+    case ServeAlgo::kWcc:
+      s->value.resize(nv);
+      for (std::size_t i = 0; i < nv; ++i) s->value[i] = s->shard->verts[i].v;
+      break;
+  }
+}
+
+/// Phase A: local compute over the shard's edges + gather-box fill. Returns
+/// the work units to charge (edges scanned; +1 for the SSSP frontier scan,
+/// matching the single-node engine's charging).
+std::uint64_t ComputeAndGather(const ServeRequest& req, ServeRankState* s,
+                               std::vector<std::vector<SyncValueRecord>>* out,
+                               int own_rank) {
+  const ServeShard& shard = *s->shard;
+  const std::size_t num_edges = shard.edges.size();
+  std::uint64_t work = 0;
+  switch (req.algo) {
+    case ServeAlgo::kPageRank: {
+      std::fill(s->acc.begin(), s->acc.end(), 0.0);
+      for (std::size_t e = 0; e < num_edges; ++e) {
+        const std::size_t si = s->src_ix[e];
+        const std::size_t di = s->dst_ix[e];
+        s->acc[si] += UnpackDouble(s->value[di]) /
+                      static_cast<double>(shard.verts[di].degree);
+        s->acc[di] += UnpackDouble(s->value[si]) /
+                      static_cast<double>(shard.verts[si].degree);
+      }
+      work = num_edges;
+      // Every local vertex contributes its partial to the master each
+      // round (PageRank is the all-to-all heavy workload); the master's own
+      // partial rides a free self-send so the fold order is uniformly
+      // ascending sender rank on every transport.
+      for (std::size_t li = 0; li < shard.verts.size(); ++li) {
+        (*out)[shard.verts[li].master].push_back(
+            SyncValueRecord{shard.verts[li].v, PackDouble(s->acc[li])});
+      }
+      break;
+    }
+    case ServeAlgo::kSssp: {
+      for (std::size_t e = 0; e < num_edges; ++e) {
+        const std::size_t si = s->src_ix[e];
+        const std::size_t di = s->dst_ix[e];
+        if (!s->active[si] && !s->active[di]) continue;
+        ++work;
+        const std::uint64_t via_src =
+            s->value[si] == kUnreachableBits ? kUnreachableBits
+                                             : s->value[si] + 1;
+        const std::uint64_t via_dst =
+            s->value[di] == kUnreachableBits ? kUnreachableBits
+                                             : s->value[di] + 1;
+        if (via_src < s->value[di]) {
+          s->value[di] = via_src;
+          s->changed[di] = 1;
+        }
+        if (via_dst < s->value[si]) {
+          s->value[si] = via_dst;
+          s->changed[si] = 1;
+        }
+      }
+      work += 1;
+      break;
+    }
+    case ServeAlgo::kWcc: {
+      for (std::size_t e = 0; e < num_edges; ++e) {
+        const std::size_t si = s->src_ix[e];
+        const std::size_t di = s->dst_ix[e];
+        const std::uint64_t lo = std::min(s->value[si], s->value[di]);
+        if (s->value[si] != lo) {
+          s->value[si] = lo;
+          s->changed[si] = 1;
+        }
+        if (s->value[di] != lo) {
+          s->value[di] = lo;
+          s->changed[di] = 1;
+        }
+      }
+      work = num_edges;
+      break;
+    }
+  }
+  if (req.algo != ServeAlgo::kPageRank) {
+    // Gather: locally-lowered values head to their master; the master's own
+    // relax result is already in place, so no self-send is needed.
+    for (std::size_t li = 0; li < shard.verts.size(); ++li) {
+      if (!s->changed[li]) continue;
+      const int master = static_cast<int>(shard.verts[li].master);
+      if (master != own_rank) {
+        (*out)[master].push_back(
+            SyncValueRecord{shard.verts[li].v, s->value[li]});
+      }
+    }
+    // The old frontier is consumed; the fold/scatter builds the next one.
+    std::fill(s->active.begin(), s->active.end(), 0);
+  }
+  return work;
+}
+
+/// Phase B at one rank: fold the gather inbox at the master vertices
+/// (ascending sender order — the inbox concatenation order, identical on
+/// every transport), refill the out boxes with the masters->mirrors scatter
+/// and return the count of master vertices whose value changed (the rank's
+/// frontier contribution).
+std::uint64_t FoldAtMasters(const ServeRequest& req, std::uint64_t n,
+                            ServeRankState* s,
+                            const std::vector<SyncValueRecord>& inbox,
+                            std::vector<std::vector<SyncValueRecord>>* out,
+                            int own_rank) {
+  const ServeShard& shard = *s->shard;
+  std::uint64_t frontier = 0;
+  if (req.algo == ServeAlgo::kPageRank) {
+    std::fill(s->acc.begin(), s->acc.end(), 0.0);
+    for (const SyncValueRecord& rec : inbox) {
+      const std::size_t li = LocalIndexOf(shard.verts, rec.v);
+      if (li == kNotLocal) continue;
+      s->acc[li] += UnpackDouble(rec.bits);
+    }
+    for (std::size_t li = 0; li < shard.verts.size(); ++li) {
+      const ServeVertexRecord& vr = shard.verts[li];
+      if (static_cast<int>(vr.master) != own_rank) continue;
+      const double nv = (1.0 - kDamping) / static_cast<double>(n) +
+                        kDamping * s->acc[li];
+      s->value[li] = PackDouble(nv);
+      ++frontier;
+      const std::uint64_t rb = s->rep_begin[li];
+      const std::uint64_t re = s->rep_begin[li + 1];
+      for (std::uint64_t r = rb; r < re; ++r) {
+        const int rep = static_cast<int>(shard.replica_ranks[r]);
+        if (rep == own_rank) continue;
+        (*out)[rep].push_back(SyncValueRecord{vr.v, s->value[li]});
+      }
+    }
+    return frontier;
+  }
+  // SSSP / WCC: min-fold the candidates into the master copy; a vertex
+  // changed globally iff its master's value dropped below the last-synced
+  // one (a local relax marked `changed`, or an incoming candidate won).
+  for (const SyncValueRecord& rec : inbox) {
+    const std::size_t li = LocalIndexOf(shard.verts, rec.v);
+    if (li == kNotLocal) continue;
+    if (rec.bits < s->value[li]) {
+      s->value[li] = rec.bits;
+      s->changed[li] = 1;
+    }
+  }
+  for (std::size_t li = 0; li < shard.verts.size(); ++li) {
+    const ServeVertexRecord& vr = shard.verts[li];
+    if (static_cast<int>(vr.master) == own_rank && s->changed[li]) {
+      ++frontier;
+      s->active[li] = 1;
+      const std::uint64_t rb = s->rep_begin[li];
+      const std::uint64_t re = s->rep_begin[li + 1];
+      for (std::uint64_t r = rb; r < re; ++r) {
+        const int rep = static_cast<int>(shard.replica_ranks[r]);
+        if (rep == own_rank) continue;
+        (*out)[rep].push_back(SyncValueRecord{vr.v, s->value[li]});
+      }
+    }
+    s->changed[li] = 0;
+  }
+  return frontier;
+}
+
+/// Phase C: mirrors take the folded value (and join the next frontier).
+void ApplyScatter(const ServeRequest& req, ServeRankState* s,
+                  const std::vector<SyncValueRecord>& inbox) {
+  const bool frontier = req.algo != ServeAlgo::kPageRank;
+  for (const SyncValueRecord& rec : inbox) {
+    const std::size_t li = LocalIndexOf(s->shard->verts, rec.v);
+    if (li == kNotLocal) continue;
+    s->value[li] = rec.bits;
+    if (frontier) s->active[li] = 1;
+  }
+}
+
+}  // namespace
+
+const char* ServeAlgoName(ServeAlgo algo) {
+  switch (algo) {
+    case ServeAlgo::kPageRank:
+      return "pagerank";
+    case ServeAlgo::kSssp:
+      return "sssp";
+    case ServeAlgo::kWcc:
+      return "wcc";
+  }
+  return "unknown";
+}
+
+std::vector<ServeShard> BuildServeShards(
+    const Graph& g, const EdgePartition& partition,
+    const VertexReplicaSets& replicas,
+    const std::vector<PartitionId>& master) {
+  const std::uint32_t num_partitions = partition.num_partitions();
+  std::vector<ServeShard> shards(num_partitions);
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    shards[p].rank = static_cast<int>(p);
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    shards[partition.Get(e)].edges.push_back(g.edge(e));
+  }
+  std::vector<VertexId> ids;
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    ServeShard& shard = shards[p];
+    ids.clear();
+    ids.reserve(shard.edges.size() * 2);
+    for (const Edge& ed : shard.edges) {
+      ids.push_back(ed.src);
+      ids.push_back(ed.dst);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    shard.verts.reserve(ids.size());
+    for (VertexId v : ids) {
+      auto reps = replicas.of(v);
+      ServeVertexRecord rec;
+      rec.v = v;
+      rec.degree = g.degree(v);
+      rec.master = master[v];
+      rec.num_replicas = static_cast<std::uint32_t>(reps.size());
+      shard.verts.push_back(rec);
+      for (PartitionId r : reps) shard.replica_ranks.push_back(r);
+    }
+  }
+  return shards;
+}
+
+std::vector<ServeShard> BuildServeShards(const Graph& g,
+                                         const EdgePartition& partition) {
+  const VertexReplicaSets replicas = ComputeVertexReplicaSets(g, partition);
+  std::vector<PartitionId> master(g.NumVertices(), kNoPartition);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto reps = replicas.of(v);
+    if (reps.empty()) continue;
+    // PowerGraph picks the master uniformly among a vertex's replicas —
+    // the same choice the single-node engine makes, by the same hash.
+    master[v] = reps[HashVertex(v, 0x5eed) % reps.size()];
+  }
+  return BuildServeShards(g, partition, replicas, master);
+}
+
+std::vector<ServeRankState> MakeServeRankStates(
+    const std::vector<ServeShard>& shards) {
+  std::vector<ServeRankState> states(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ServeRankState& s = states[i];
+    s.shard = &shards[i];
+    const ServeShard& shard = shards[i];
+    s.src_ix.resize(shard.edges.size());
+    s.dst_ix.resize(shard.edges.size());
+    for (std::size_t e = 0; e < shard.edges.size(); ++e) {
+      s.src_ix[e] =
+          static_cast<std::uint32_t>(LocalIndexOf(shard.verts,
+                                                  shard.edges[e].src));
+      s.dst_ix[e] =
+          static_cast<std::uint32_t>(LocalIndexOf(shard.verts,
+                                                  shard.edges[e].dst));
+    }
+    s.rep_begin.assign(shard.verts.size() + 1, 0);
+    for (std::size_t li = 0; li < shard.verts.size(); ++li) {
+      s.rep_begin[li + 1] = s.rep_begin[li] + shard.verts[li].num_replicas;
+    }
+  }
+  return states;
+}
+
+Status RunServeRequest(const ServeRequest& req, const ServeRunEnv& env,
+                       std::vector<ServeRankState>* states,
+                       ServeRunStats* stats) {
+  Communicator* comm = env.comm;
+  const int num_ranks = comm->num_ranks();
+  const std::uint64_t n = env.num_vertices;
+  stats->supersteps = 0;
+  stats->abort_flags = 0;
+  for (ServeRankState& s : *states) ResetState(req, n, &s);
+  const std::uint64_t default_valve =
+      req.algo == ServeAlgo::kPageRank
+          ? static_cast<std::uint64_t>(req.iterations)
+          : 10 * n + 100;
+  const std::uint64_t max_steps =
+      req.max_supersteps != 0 ? req.max_supersteps : default_valve;
+  if (max_steps == 0) return Status::OK();  // zero-iteration PageRank
+
+  RankMailboxes<SyncValueRecord> sync;
+  sync.Init(states->size(), num_ranks);
+  const std::vector<int>& locals = comm->local_ranks();
+  std::vector<ServeStepSummary> local(states->size());
+  std::vector<ServeStepSummary> all;
+
+  for (std::uint64_t superstep = 1;; ++superstep) {
+    std::uint32_t abort_flags = 0;
+    if (env.step_hook) {
+      DNE_RETURN_IF_ERROR(env.step_hook(superstep, &abort_flags));
+    }
+    for (std::size_t l = 0; l < states->size(); ++l) {
+      const std::uint64_t work =
+          ComputeAndGather(req, &(*states)[l], &sync.out[l], locals[l]);
+      if (env.ledger != nullptr) env.ledger->AddWork(locals[l], work);
+    }
+    DNE_RETURN_IF_ERROR(comm->Exchange(DneMsgKind::kServeSync, &sync));
+    for (std::size_t l = 0; l < states->size(); ++l) {
+      const std::uint64_t frontier = FoldAtMasters(
+          req, n, &(*states)[l], sync.in[l], &sync.out[l], locals[l]);
+      local[l].rank = static_cast<std::uint32_t>(locals[l]);
+      local[l].flags = abort_flags;
+      local[l].active = frontier;
+    }
+    DNE_RETURN_IF_ERROR(comm->ExchangeServeStep(&sync, local, &all));
+    for (std::size_t l = 0; l < states->size(); ++l) {
+      ApplyScatter(req, &(*states)[l], sync.in[l]);
+    }
+    std::uint64_t total_active = 0;
+    std::uint32_t flags = 0;
+    for (const ServeStepSummary& s : all) {
+      total_active += s.active;
+      flags |= s.flags;
+    }
+    if (env.ledger != nullptr) env.ledger->EndSuperstep();
+    stats->supersteps = superstep;
+    const bool done = req.algo == ServeAlgo::kPageRank
+                          ? superstep >= req.iterations
+                          : total_active == 0;
+    if (done) break;  // natural completion wins over a same-step abort
+    if (flags != 0) {
+      stats->abort_flags = flags;
+      const std::string after =
+          " after " + std::to_string(superstep) + " superstep(s)";
+      if ((flags & kServeAbortDeadline) != 0) {
+        return Status::DeadlineExceeded(std::string(ServeAlgoName(req.algo)) +
+                                        " deadline exceeded" + after);
+      }
+      return Status::Cancelled(std::string(ServeAlgoName(req.algo)) +
+                               " cancelled" + after);
+    }
+    if (superstep >= max_steps) break;  // safety valve
+  }
+  return Status::OK();
+}
+
+void CollectMasterValues(const ServeRankState& state,
+                         std::vector<SyncValueRecord>* out) {
+  const ServeShard& shard = *state.shard;
+  for (std::size_t li = 0; li < shard.verts.size(); ++li) {
+    if (static_cast<int>(shard.verts[li].master) != shard.rank) continue;
+    out->push_back(SyncValueRecord{shard.verts[li].v, state.value[li]});
+  }
+}
+
+void InitServeResultBits(const ServeRequest& req, std::uint64_t n,
+                         std::vector<std::uint64_t>* bits) {
+  switch (req.algo) {
+    case ServeAlgo::kPageRank:
+      // Vertices no shard hosts are isolated: they keep the uniform prior,
+      // exactly like the single-node engine's degree-0 skip.
+      bits->assign(n, PackDouble(1.0 / static_cast<double>(n)));
+      break;
+    case ServeAlgo::kSssp:
+      bits->assign(n, kUnreachableBits);
+      if (req.source < n) (*bits)[req.source] = 0;
+      break;
+    case ServeAlgo::kWcc:
+      bits->resize(n);
+      for (std::uint64_t v = 0; v < n; ++v) (*bits)[v] = v;
+      break;
+  }
+}
+
+std::uint64_t PredictPageRankSyncBytesPerSuperstep(
+    const VertexReplicaSets& replicas) {
+  const std::uint64_t num_vertices = replicas.offsets.size() - 1;
+  std::uint64_t mirrors = 0;
+  for (std::uint64_t v = 0; v < num_vertices; ++v) {
+    const std::uint64_t reps = replicas.offsets[v + 1] - replicas.offsets[v];
+    if (reps > 1) mirrors += reps - 1;
+  }
+  return 2 * mirrors * sizeof(SyncValueRecord);
+}
+
+}  // namespace dne

@@ -1,0 +1,203 @@
+// ServeEngine: the Communicator-hosted execution core of the serving
+// runtime. Each algorithm (PageRank / SSSP / WCC) runs rank-local over a
+// resident partition shard; the ONLY cross-rank traffic is replica
+// synchronisation — a gather of per-replica contributions to each vertex's
+// master (kServeSync) and a fused end-of-superstep round (kServeStepEnd)
+// that scatters the folded values back to the mirrors and broadcasts the
+// per-rank ServeStepSummary from which every rank derives the same
+// termination / cooperative-abort decision.
+//
+// One superstep:
+//   A. local compute over the shard's edges (in-place relax for SSSP/WCC,
+//      partial PageRank accumulation), work charged per rank;
+//   B. gather: per-vertex records to the master rank (Exchange kServeSync);
+//   C. fold at masters (ascending sender-rank order — deterministic and
+//      identical across transports), refill the mailboxes with the scatter,
+//      and ExchangeServeStep — the scatter and summaries ride one frame;
+//   D. apply the scatter at mirrors, fold the summary table, EndSuperstep.
+//
+// The same code drives the in-process backend (all ranks in one address
+// space, modeled charging) and each forked rank process (socket mesh,
+// observed charging) — that symmetry is what makes serve-mode results
+// bit-identical across transports and across fault-recovery retries.
+#ifndef DNE_APPS_SERVE_ENGINE_H_
+#define DNE_APPS_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "metrics/partition_metrics.h"
+#include "partition/edge_partition.h"
+#include "runtime/communicator.h"
+#include "runtime/serve_messages.h"
+
+namespace dne {
+
+/// The served algorithms; values match ServeRequestRecord::algo on the wire.
+enum class ServeAlgo : std::uint32_t {
+  kPageRank = 0,
+  kSssp = 1,
+  kWcc = 2,
+};
+
+const char* ServeAlgoName(ServeAlgo algo);
+
+/// The immutable resident state of one rank: its edge set plus a descriptor
+/// per incident vertex (global degree, master rank, replica set). Built once
+/// per partition, shipped once per cluster (re)launch — requests reuse it.
+struct ServeShard {
+  int rank = 0;
+  std::vector<Edge> edges;                   ///< ascending global edge order
+  std::vector<ServeVertexRecord> verts;      ///< ascending vertex id
+  std::vector<std::uint32_t> replica_ranks;  ///< concatenated per-vertex sets
+};
+
+/// Builds the per-rank shards for `partition` over `g`, with the replica
+/// topology (and master choice) supplied by the caller so the serve path and
+/// the single-node engine agree by construction.
+std::vector<ServeShard> BuildServeShards(const Graph& g,
+                                         const EdgePartition& partition,
+                                         const VertexReplicaSets& replicas,
+                                         const std::vector<PartitionId>& master);
+
+/// Convenience overload computing the replica topology the engine's way
+/// (ComputeVertexReplicaSets + uniform-hash master choice).
+std::vector<ServeShard> BuildServeShards(const Graph& g,
+                                         const EdgePartition& partition);
+
+/// Mutable per-rank run state over an immutable shard. Reset per request;
+/// buffers retain capacity so steady-state serving is allocation-light.
+struct ServeRankState {
+  const ServeShard* shard = nullptr;
+  // Precomputed local endpoint indices, one pair per shard edge.
+  std::vector<std::uint32_t> src_ix;
+  std::vector<std::uint32_t> dst_ix;
+  // Offsets into shard->replica_ranks, one per local vertex (+1 sentinel).
+  std::vector<std::uint64_t> rep_begin;
+  // Per-request values (raw bits), PageRank partials, frontier marks.
+  std::vector<std::uint64_t> value;
+  std::vector<double> acc;
+  std::vector<std::uint8_t> active;
+  std::vector<std::uint8_t> changed;
+};
+
+/// Builds run states (with the index precomputation) over borrowed shards;
+/// `shards` must outlive the states.
+std::vector<ServeRankState> MakeServeRankStates(
+    const std::vector<ServeShard>& shards);
+
+/// One query.
+struct ServeRequest {
+  std::uint64_t req_id = 0;
+  ServeAlgo algo = ServeAlgo::kPageRank;
+  std::uint32_t iterations = 10;     ///< PageRank rounds
+  VertexId source = 0;               ///< SSSP source
+  std::uint64_t max_supersteps = 0;  ///< 0 = algorithm default safety valve
+};
+
+/// Execution environment of one request on one endpoint.
+struct ServeRunEnv {
+  Communicator* comm = nullptr;
+  CommLedger* ledger = nullptr;  ///< may be null
+  std::uint64_t num_vertices = 0;
+  /// Called at the top of each superstep (1-based). OR kServeAbort* bits
+  /// into *abort_flags to request a cooperative stop — the flags ride the
+  /// summary channel, so every rank stops at the same superstep boundary. A
+  /// non-OK return aborts the endpoint immediately (transport failure).
+  std::function<Status(std::uint64_t superstep, std::uint32_t* abort_flags)>
+      step_hook;
+};
+
+/// Progress of one request on one endpoint; valid even when the run ends
+/// early (deadline / cancellation / transport failure) — the partial
+/// progress the deadline path reports.
+struct ServeRunStats {
+  std::uint64_t supersteps = 0;
+  std::uint32_t abort_flags = 0;
+};
+
+/// Runs one request over the hosted rank states. Returns OK on normal
+/// completion; DeadlineExceeded / Cancelled when an abort flag stopped the
+/// loop (all replicas are still consistently synced through the last
+/// completed superstep); any transport error as-is (kUnavailable = park and
+/// let the supervisor recover).
+Status RunServeRequest(const ServeRequest& req, const ServeRunEnv& env,
+                       std::vector<ServeRankState>* states,
+                       ServeRunStats* stats);
+
+/// Appends (v, bits) for every master-owned vertex of `state` — the rank's
+/// contribution to the request's result.
+void CollectMasterValues(const ServeRankState& state,
+                         std::vector<SyncValueRecord>* out);
+
+/// Fills `bits` with the request's default result (vertices no shard hosts):
+/// PageRank 1/n, SSSP unreachable with dist[source] = 0, WCC own label.
+void InitServeResultBits(const ServeRequest& req, std::uint64_t n,
+                         std::vector<std::uint64_t>* bits);
+
+/// Bit-packing helpers shared by the kernels and the result decoders.
+inline std::uint64_t PackDouble(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+inline double UnpackDouble(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+/// Predicted cross-rank replica-sync payload per PageRank superstep: every
+/// mirror sends one 16-byte gather record and receives one 16-byte scatter
+/// record, so the traffic is 2 * 16 * (total replicas - replicated vertices)
+/// — the replication-factor measurement the serve bench reconciles observed
+/// wire bytes against.
+std::uint64_t PredictPageRankSyncBytesPerSuperstep(
+    const VertexReplicaSets& replicas);
+
+/// Totals-only accounting sink for per-request serve stats (the process
+/// backend ships one ServeStatsRecord per request instead of a full tape).
+class ServeTotalsLedger final : public CommLedger {
+ public:
+  void AddWork(int, std::uint64_t ops) override { work_ += ops; }
+  void AddDataMessage(int, std::uint64_t payload_bytes) override {
+    data_bytes_ += payload_bytes;
+    ++data_messages_;
+  }
+  void AddControlBytes(int, std::uint64_t bytes) override {
+    control_bytes_ += bytes;
+  }
+  void AddWireOverhead(int, std::uint64_t bytes,
+                       std::uint64_t frames) override {
+    wire_bytes_ += bytes;
+    wire_frames_ += frames;
+  }
+  void EndPhase(bool) override {}
+  void EndSuperstep() override { ++supersteps_; }
+
+  std::uint64_t work() const { return work_; }
+  std::uint64_t data_bytes() const { return data_bytes_; }
+  std::uint64_t data_messages() const { return data_messages_; }
+  std::uint64_t control_bytes() const { return control_bytes_; }
+  std::uint64_t wire_bytes() const { return wire_bytes_; }
+  std::uint64_t wire_frames() const { return wire_frames_; }
+  std::uint64_t supersteps() const { return supersteps_; }
+
+ private:
+  std::uint64_t work_ = 0;
+  std::uint64_t data_bytes_ = 0;
+  std::uint64_t data_messages_ = 0;
+  std::uint64_t control_bytes_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+  std::uint64_t wire_frames_ = 0;
+  std::uint64_t supersteps_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_APPS_SERVE_ENGINE_H_

@@ -1,0 +1,248 @@
+#include "apps/serve_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace dne {
+
+// ---- InProcessServeBackend --------------------------------------------------
+
+InProcessServeBackend::InProcessServeBackend(const Graph& g,
+                                             const EdgePartition& partition)
+    : num_vertices_(g.NumVertices()),
+      shards_(BuildServeShards(g, partition)),
+      states_(MakeServeRankStates(shards_)) {}
+
+Status InProcessServeBackend::Execute(
+    const ServeRequest& req, const std::atomic<bool>* cancel,
+    const std::chrono::steady_clock::time_point* deadline,
+    ServeResponse* resp) {
+  InProcessCommunicator comm(static_cast<int>(shards_.size()));
+  ServeTotalsLedger ledger;
+  comm.SetLedger(&ledger);
+
+  ServeRunEnv env;
+  env.comm = &comm;
+  env.ledger = &ledger;
+  env.num_vertices = num_vertices_;
+  env.step_hook = [cancel, deadline](std::uint64_t,
+                                     std::uint32_t* abort_flags) {
+    if (deadline != nullptr &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      *abort_flags |= kServeAbortDeadline;
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      *abort_flags |= kServeAbortCancelled;
+    }
+    return Status::OK();
+  };
+
+  ServeRunStats run_stats;
+  Status run = RunServeRequest(req, env, &states_, &run_stats);
+
+  resp->req_id = req.req_id;
+  // Deadline-failed and cancelled runs still decode: the last completed
+  // superstep left every replica consistent.
+  InitServeResultBits(req, num_vertices_, &resp->bits);
+  std::vector<SyncValueRecord> masters;
+  for (const ServeRankState& s : states_) {
+    masters.clear();
+    CollectMasterValues(s, &masters);
+    for (const SyncValueRecord& rec : masters) resp->bits[rec.v] = rec.bits;
+  }
+  resp->supersteps = run_stats.supersteps;
+  resp->recoveries = 0;  // nothing to recover from in one address space
+  resp->data_bytes = ledger.data_bytes();
+  resp->data_messages = ledger.data_messages();
+  resp->control_bytes = ledger.control_bytes();
+  resp->wire_bytes = ledger.wire_bytes();
+  resp->wire_frames = ledger.wire_frames();
+  return run;
+}
+
+// ---- ServeServer ------------------------------------------------------------
+
+Status ServeServerOptions::Validate() const {
+  if (max_inflight == 0) {
+    return Status::InvalidArgument("serve: max_inflight must be >= 1");
+  }
+  if (mem_budget_bytes != 0 && mem_budget_bytes < sizeof(std::uint64_t)) {
+    return Status::InvalidArgument(
+        "serve: mem_budget_bytes too small to admit any request");
+  }
+  return Status::OK();
+}
+
+ServeServer::ServeServer(ServeBackend* backend, const ServeServerOptions& opts)
+    : backend_(backend), opts_(opts) {
+  assert(opts.Validate().ok());
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+ServeServer::~ServeServer() {
+  Drain();
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  worker_.join();
+}
+
+Status ServeServer::Submit(const ServeRequest& req, std::uint64_t deadline_ms,
+                           DoneFn done) {
+  const auto now = std::chrono::steady_clock::now();
+  MutexLock lock(&mu_);
+  if (draining_ || shutdown_) {
+    ++stats_.shed;
+    return Status::Unavailable("serve: draining, not admitting requests");
+  }
+  const std::uint64_t admitted = queue_.size() + executing_;
+  if (admitted >= static_cast<std::uint64_t>(opts_.max_inflight) +
+                      opts_.queue_depth) {
+    ++stats_.shed;
+    return Status::Unavailable(
+        "serve: admission queue full (" + std::to_string(admitted) +
+        " in flight); retry after " + std::to_string(opts_.retry_after_ms) +
+        " ms");
+  }
+  // Reserve the request's result memory up front — the one per-request
+  // allocation whose size is known exactly at admission time.
+  const std::uint64_t reserve = backend_->num_vertices() * sizeof(std::uint64_t);
+  if (opts_.mem_budget_bytes != 0 &&
+      mem_.current_total() + reserve > opts_.mem_budget_bytes) {
+    ++stats_.shed;
+    return Status::Unavailable(
+        "serve: over memory budget (" + std::to_string(mem_.current_total()) +
+        " + " + std::to_string(reserve) + " > " +
+        std::to_string(opts_.mem_budget_bytes) + " bytes); retry after " +
+        std::to_string(opts_.retry_after_ms) + " ms");
+  }
+  mem_.Allocate(0, reserve);
+
+  Pending p;
+  p.req = req;
+  p.enqueue = now;
+  if (deadline_ms != 0) {
+    p.has_deadline = true;
+    p.deadline = now + std::chrono::milliseconds(deadline_ms);
+  }
+  p.cancel = std::make_shared<std::atomic<bool>>(false);
+  p.done = std::move(done);
+  p.mem_reserved = reserve;
+  queue_.push_back(std::move(p));
+
+  ++stats_.accepted;
+  stats_.peak_admitted = std::max(stats_.peak_admitted, admitted + 1);
+  stats_.peak_mem_bytes = std::max(stats_.peak_mem_bytes, mem_.current_total());
+  work_ready_.notify_one();
+  return Status::OK();
+}
+
+bool ServeServer::Cancel(std::uint64_t req_id) {
+  MutexLock lock(&mu_);
+  if (executing_ != 0 && current_req_id_ == req_id &&
+      current_cancel_ != nullptr) {
+    current_cancel_->store(true, std::memory_order_relaxed);
+    return true;
+  }
+  for (Pending& p : queue_) {
+    if (p.req.req_id == req_id) {
+      p.cancel->store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ServeServer::Drain() {
+  MutexLock lock(&mu_);
+  draining_ = true;
+  while (!queue_.empty() || executing_ != 0) {
+    idle_.wait(mu_);
+  }
+}
+
+ServeServerStats ServeServer::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+void ServeServer::AccountFinished(const Status& status,
+                                  std::uint32_t recoveries,
+                                  double latency_seconds) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      ++stats_.completed;
+      break;
+    case Status::Code::kDeadlineExceeded:
+      ++stats_.deadline_failed;
+      break;
+    case Status::Code::kCancelled:
+      ++stats_.cancelled;
+      break;
+    default:
+      ++stats_.failed;
+      break;
+  }
+  stats_.recoveries += recoveries;
+  stats_.latencies_seconds.push_back(latency_seconds);
+}
+
+void ServeServer::WorkerLoop() {
+  for (;;) {
+    Pending p;
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !shutdown_) {
+        work_ready_.wait(mu_);
+      }
+      if (queue_.empty()) return;  // shutdown with nothing left
+      p = std::move(queue_.front());
+      queue_.pop_front();
+      executing_ = 1;
+      current_cancel_ = p.cancel;
+      current_req_id_ = p.req.req_id;
+    }
+
+    ServeResponse resp;
+    resp.req_id = p.req.req_id;
+    const auto start = std::chrono::steady_clock::now();
+    if (p.has_deadline && start >= p.deadline) {
+      // Expired while queued: fail fast, never touch the backend.
+      resp.status = Status::DeadlineExceeded(
+          "serve: deadline expired while queued");
+    } else if (p.cancel->load(std::memory_order_relaxed)) {
+      resp.status = Status::Cancelled("serve: cancelled while queued");
+    } else {
+      resp.status = backend_->Execute(p.req, p.cancel.get(),
+                                      p.has_deadline ? &p.deadline : nullptr,
+                                      &resp);
+    }
+    resp.latency_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      p.enqueue)
+            .count();
+
+    const Status status = resp.status;
+    const std::uint32_t recoveries = resp.recoveries;
+    const double latency = resp.latency_seconds;
+    // The callback runs before the request counts as done so Drain() implies
+    // every callback returned.
+    if (p.done) p.done(std::move(resp));
+
+    {
+      MutexLock lock(&mu_);
+      mem_.Release(0, p.mem_reserved);
+      executing_ = 0;
+      current_cancel_.reset();
+      current_req_id_ = 0;
+      AccountFinished(status, recoveries, latency);
+      if (queue_.empty()) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace dne

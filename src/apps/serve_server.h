@@ -1,0 +1,192 @@
+// ServeServer: the resilient request front-end of `dne_cli serve`. A
+// ServeBackend executes one request at a time over resident partition shards
+// (in-process Communicator, or the supervised multi-process transport in
+// serve_transport.h); the server wraps it with the robustness contract:
+//
+//   * per-request deadlines — queued requests that expire are failed without
+//     executing; running requests are stopped cooperatively at the next
+//     superstep boundary and return kDeadlineExceeded with partial-progress
+//     stats (a deadline can never hang a mesh round);
+//   * bounded admission — beyond max_inflight executing + queue_depth
+//     waiting requests, Submit sheds with kUnavailable and a retry-after
+//     hint instead of queueing unboundedly; a MemTracker-backed budget
+//     bounds the result memory reserved by admitted requests the same way;
+//   * graceful drain — Drain() stops admission and waits until every
+//     accepted request has completed (or deadline-failed); the destructor
+//     drains, so tearing the server down never abandons accepted work.
+//
+// Concurrency contract (machine-checked by the DNE_GUARDED_BY annotations):
+// any thread may call Submit/Cancel/Drain; one worker thread owns backend
+// execution, so backends need no internal synchronisation and request
+// results stay deterministic. Completion callbacks run on the worker thread
+// before the request is accounted done — Drain() returning means every
+// callback has returned.
+#ifndef DNE_APPS_SERVE_SERVER_H_
+#define DNE_APPS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "apps/serve_engine.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "graph/graph.h"
+#include "partition/edge_partition.h"
+#include "runtime/mem_tracker.h"
+
+namespace dne {
+
+/// Everything one finished request reports back.
+struct ServeResponse {
+  std::uint64_t req_id = 0;
+  Status status;
+  /// Raw per-vertex result bits (see InitServeResultBits for the decoding);
+  /// on DeadlineExceeded/Cancelled these are the partially-converged values.
+  std::vector<std::uint64_t> bits;
+  std::uint64_t supersteps = 0;
+  std::uint32_t recoveries = 0;  ///< rank-failure recoveries this request rode
+  std::uint64_t data_bytes = 0;
+  std::uint64_t data_messages = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_frames = 0;
+  double latency_seconds = 0.0;  ///< admission -> completion (server-filled)
+};
+
+/// A request executor over resident shards. Execute runs one request to
+/// completion; `cancel` (borrowed, may be null) and `deadline` (may be null)
+/// are polled at superstep boundaries for cooperative aborts.
+///
+/// Thread safety: Execute is called from exactly one thread at a time (the
+/// ServeServer worker); implementations may keep unsynchronised per-request
+/// scratch.
+class ServeBackend {
+ public:
+  virtual ~ServeBackend() = default;
+  virtual std::uint64_t num_vertices() const = 0;
+  virtual Status Execute(const ServeRequest& req,
+                         const std::atomic<bool>* cancel,
+                         const std::chrono::steady_clock::time_point* deadline,
+                         ServeResponse* resp) = 0;
+};
+
+/// Single-address-space backend: all ranks co-hosted on an
+/// InProcessCommunicator, modeled charging via ServeTotalsLedger.
+class InProcessServeBackend final : public ServeBackend {
+ public:
+  InProcessServeBackend(const Graph& g, const EdgePartition& partition);
+
+  std::uint64_t num_vertices() const override { return num_vertices_; }
+  Status Execute(const ServeRequest& req, const std::atomic<bool>* cancel,
+                 const std::chrono::steady_clock::time_point* deadline,
+                 ServeResponse* resp) override;
+
+ private:
+  std::uint64_t num_vertices_;
+  std::vector<ServeShard> shards_;
+  std::vector<ServeRankState> states_;
+};
+
+struct ServeServerOptions {
+  std::uint32_t max_inflight = 1;   ///< requests executing (worker is serial)
+  std::uint32_t queue_depth = 16;   ///< admitted requests waiting beyond that
+  std::uint64_t mem_budget_bytes = 0;  ///< 0 = unbounded result-memory budget
+  std::uint32_t retry_after_ms = 50;   ///< shed hint returned on kUnavailable
+
+  /// InvalidArgument when the limits cannot admit any request.
+  Status Validate() const;
+};
+
+/// Monotonic counters + completed-request latencies (see class comment).
+struct ServeServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;        ///< finished OK
+  std::uint64_t shed = 0;             ///< rejected at admission (kUnavailable)
+  std::uint64_t deadline_failed = 0;  ///< kDeadlineExceeded (queued or running)
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;  ///< any other non-OK terminal status
+  std::uint64_t recoveries = 0;
+  std::uint64_t peak_admitted = 0;    ///< high-water queued+executing
+  std::uint64_t peak_mem_bytes = 0;   ///< high-water reserved result memory
+  std::vector<double> latencies_seconds;  ///< one entry per finished request
+};
+
+class ServeServer {
+ public:
+  /// Runs on the worker thread when the request finishes, before the request
+  /// counts as done (so Drain() implies the callback returned). The response
+  /// status mirrors what the stats counters record.
+  using DoneFn = std::function<void(ServeResponse)>;
+
+  /// `backend` is borrowed and must outlive the server. `opts` must
+  /// Validate() — the constructor asserts it did.
+  ServeServer(ServeBackend* backend, const ServeServerOptions& opts);
+  ~ServeServer();  ///< drains, then joins the worker
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Admits or sheds. OK = accepted, `done` will be invoked exactly once;
+  /// kUnavailable = shed (draining, queue full, or over the memory budget —
+  /// the message carries the retry-after hint), `done` is never invoked.
+  /// `deadline_ms` 0 means no deadline.
+  Status Submit(const ServeRequest& req, std::uint64_t deadline_ms,
+                DoneFn done);
+
+  /// Requests cooperative cancellation of an accepted request; false when no
+  /// such request is still pending (finished or never admitted).
+  bool Cancel(std::uint64_t req_id);
+
+  /// Stops admission and blocks until every accepted request completed.
+  /// Idempotent; Submit after Drain sheds with kUnavailable.
+  void Drain();
+
+  ServeServerStats stats() const;
+  std::uint32_t retry_after_ms() const { return opts_.retry_after_ms; }
+
+ private:
+  struct Pending {
+    ServeRequest req;
+    std::chrono::steady_clock::time_point enqueue;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    DoneFn done;
+    std::uint64_t mem_reserved = 0;
+  };
+
+  void WorkerLoop();
+  void AccountFinished(const Status& status, std::uint32_t recoveries,
+                       double latency_seconds) DNE_REQUIRES(mu_);
+
+  ServeBackend* const backend_;
+  const ServeServerOptions opts_;
+
+  mutable Mutex mu_;
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any idle_;
+  std::deque<Pending> queue_ DNE_GUARDED_BY(mu_);
+  std::uint64_t executing_ DNE_GUARDED_BY(mu_) = 0;
+  /// Cancel handle of the request currently executing (null when idle).
+  std::shared_ptr<std::atomic<bool>> current_cancel_ DNE_GUARDED_BY(mu_);
+  std::uint64_t current_req_id_ DNE_GUARDED_BY(mu_) = 0;
+  bool draining_ DNE_GUARDED_BY(mu_) = false;
+  bool shutdown_ DNE_GUARDED_BY(mu_) = false;
+  ServeServerStats stats_ DNE_GUARDED_BY(mu_);
+  /// Rank 0 holds the admitted-request result reservations; MemTracker is
+  /// internally synchronised but the reserve/shed decision needs mu_.
+  MemTracker mem_{1};
+
+  std::thread worker_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_APPS_SERVE_SERVER_H_

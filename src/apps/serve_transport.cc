@@ -1,0 +1,730 @@
+#include "apps/serve_transport.h"
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "runtime/fault_injector.h"
+#include "runtime/wire.h"
+
+namespace dne {
+namespace {
+
+// Serve control-channel frame kinds — disjoint from DneMsgKind and from the
+// partitioning transport's CtrlKind (32-38) so a crossed wire is caught as a
+// protocol desync, not misparsed.
+enum ServeCtrlKind : std::uint8_t {
+  kServeCtrlConfig = 48,      ///< ServeConfigRecord + FaultAction records
+  kServeCtrlShard = 49,       ///< ServeShardHead + edges + verts + replicas
+  kServeCtrlShardsDone = 50,  ///< end of the shard shipment
+  kServeCtrlRequest = 51,     ///< ServeRequestRecord, broadcast to all procs
+  kServeCtrlCancel = 52,      ///< ServeCancelRecord, to rank process 0 only
+  kServeCtrlResult = 53,      ///< ServeResultHead + SyncValueRecords
+  kServeCtrlStats = 54,       ///< one ServeStatsRecord per rank process
+  kServeCtrlError = 55,       ///< hard child failure, message payload
+  kServeCtrlParked = 56,      ///< ServeParkedHead + message (recoverable)
+  kServeCtrlShutdown = 57,    ///< graceful drain: child exits 0
+};
+
+constexpr const char* kCoordinator = "serve coordinator";
+
+std::uint64_t SelfPeakRssBytes() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+}
+
+const char* ServeRoundName(std::uint8_t kind) {
+  switch (static_cast<DneMsgKind>(kind)) {
+    case DneMsgKind::kServeSync:
+      return "serve-sync";
+    case DneMsgKind::kServeStepEnd:
+      return "serve-step-end";
+    case DneMsgKind::kBarrier:
+      return "barrier";
+    default:
+      return "unknown";
+  }
+}
+
+std::string ProcLabel(int c) { return "serve rank process " + std::to_string(c); }
+
+// ---- Child side -------------------------------------------------------------
+
+/// Recoverable-failure terminal state of a serve rank process: close the
+/// mesh so every peer unblocks with EOF (their round turns kUnavailable and
+/// they park too — the cluster drains instead of deadlocking), report the
+/// (request, superstep, round) coordinates, then wait for the supervisor's
+/// SIGKILL.
+[[noreturn]] void ServePark(int child, const std::vector<int>& mesh_fds,
+                            int control_fd, std::uint64_t req_id,
+                            std::uint32_t superstep, std::uint8_t round_kind,
+                            const std::string& why) {
+  for (int fd : mesh_fds) {
+    if (fd >= 0) ::close(fd);
+  }
+  std::vector<unsigned char> buf;
+  ServeParkedHead head{};
+  head.req_id = req_id;
+  head.superstep = superstep;
+  head.round_kind = round_kind;
+  wire::AppendPod(&buf, head);
+  buf.insert(buf.end(), why.begin(), why.end());
+  (void)wire::SendFrame(control_fd, kServeCtrlParked,
+                        static_cast<std::uint32_t>(child), buf.data(),
+                        buf.size(), kCoordinator);
+  char b;
+  for (;;) {
+    const ssize_t n = ::read(control_fd, &b, 1);
+    if (n == 0 || (n < 0 && errno != EINTR)) break;
+  }
+  ::_exit(0);
+}
+
+/// Parses one kServeCtrlShard payload into `shard`.
+Status ParseShardFrame(const std::vector<unsigned char>& payload,
+                       std::uint32_t rank, ServeShard* shard) {
+  wire::PayloadReader reader(payload.data(), payload.size());
+  ServeShardHead head{};
+  if (!reader.Read(&head) || head.rank != rank ||
+      reader.remaining() != head.num_edges * sizeof(Edge) +
+                                head.num_vertices * sizeof(ServeVertexRecord) +
+                                head.num_replica_ids * sizeof(std::uint32_t)) {
+    return Status::Internal("malformed shard frame for rank " +
+                            std::to_string(rank));
+  }
+  shard->rank = static_cast<int>(rank);
+  shard->edges.resize(head.num_edges);
+  if (head.num_edges > 0 &&
+      !reader.ReadBytes(shard->edges.data(), head.num_edges * sizeof(Edge))) {
+    return Status::Internal("malformed shard frame for rank " +
+                            std::to_string(rank));
+  }
+  shard->verts.resize(head.num_vertices);
+  if (head.num_vertices > 0 &&
+      !reader.ReadBytes(shard->verts.data(),
+                        head.num_vertices * sizeof(ServeVertexRecord))) {
+    return Status::Internal("malformed shard frame for rank " +
+                            std::to_string(rank));
+  }
+  shard->replica_ranks.resize(head.num_replica_ids);
+  if (head.num_replica_ids > 0 &&
+      !reader.ReadBytes(shard->replica_ranks.data(),
+                        head.num_replica_ids * sizeof(std::uint32_t))) {
+    return Status::Internal("malformed shard frame for rank " +
+                            std::to_string(rank));
+  }
+  return Status::OK();
+}
+
+Status ServeChildRun(int child, const std::vector<int>& mesh_fds,
+                     int control_fd) {
+  wire::FrameHeader header;
+  std::vector<unsigned char> payload;
+  DNE_RETURN_IF_ERROR(
+      wire::RecvFrame(control_fd, &header, &payload, kCoordinator));
+  if (header.kind != kServeCtrlConfig) {
+    return Status::Internal("serve rank process expected a config frame");
+  }
+  ServeConfigRecord cfg{};
+  FaultAction faults[DneOptions::kMaxFaultActions] = {};
+  {
+    wire::PayloadReader reader(payload.data(), payload.size());
+    if (!reader.Read(&cfg) || cfg.num_faults > DneOptions::kMaxFaultActions) {
+      return Status::Internal("malformed serve config frame");
+    }
+    for (std::uint32_t i = 0; i < cfg.num_faults; ++i) {
+      if (!reader.Read(&faults[i])) {
+        return Status::Internal("malformed serve config frame");
+      }
+    }
+  }
+
+  // Deterministic fault injection: only the plan entries keyed to this
+  // process and this recovery epoch are armed.
+  FaultInjector injector;
+  injector.Configure(faults, cfg.num_faults, child,
+                     static_cast<int>(cfg.nproc), cfg.epoch);
+
+  SocketCommunicator comm(static_cast<int>(cfg.num_ranks),
+                          static_cast<int>(cfg.nproc), child, mesh_fds,
+                          /*coalesce=*/true,
+                          static_cast<double>(cfg.stall_timeout_ms) / 1000.0);
+  if (injector.armed()) comm.SetFaultInjector(&injector);
+  const std::vector<int>& local = comm.local_ranks();
+  const std::size_t num_local = local.size();
+
+  // Resident shards, one per hosted rank. The frame's `from` field carries
+  // the destination rank; arrival order is not assumed.
+  std::vector<ServeShard> shards(num_local);
+  std::vector<bool> have(num_local, false);
+  for (;;) {
+    DNE_RETURN_IF_ERROR(
+        wire::RecvFrame(control_fd, &header, &payload, kCoordinator));
+    if (header.kind == kServeCtrlShardsDone) break;
+    if (header.kind != kServeCtrlShard) {
+      return Status::Internal("serve rank process expected a shard frame");
+    }
+    if (header.from >= cfg.num_ranks ||
+        comm.rank_to_proc(static_cast<int>(header.from)) != child) {
+      return Status::Internal("misrouted shard frame");
+    }
+    const std::size_t slot = comm.slot_of_rank(static_cast<int>(header.from));
+    DNE_RETURN_IF_ERROR(ParseShardFrame(payload, header.from, &shards[slot]));
+    have[slot] = true;
+  }
+  for (std::size_t l = 0; l < num_local; ++l) {
+    if (!have[l]) {
+      return Status::Internal("shard shipment incomplete: rank " +
+                              std::to_string(local[l]) + " missing");
+    }
+  }
+  std::vector<ServeRankState> states = MakeServeRankStates(shards);
+
+  // Request loop: the process is a resident serving endpoint — it holds the
+  // shards and answers requests until told to shut down. Any control-channel
+  // failure here means the coordinator is gone: exit quietly, nothing is
+  // in flight.
+  for (;;) {
+    if (!wire::RecvFrame(control_fd, &header, &payload, kCoordinator).ok()) {
+      return Status::OK();
+    }
+    if (header.kind == kServeCtrlShutdown) return Status::OK();
+    if (header.kind == kServeCtrlCancel) continue;  // stale: request finished
+    if (header.kind != kServeCtrlRequest) {
+      return Status::Internal("serve rank process expected a request frame");
+    }
+    ServeRequestRecord rr{};
+    {
+      wire::PayloadReader reader(payload.data(), payload.size());
+      if (!reader.Read(&rr) || reader.remaining() != 0) {
+        return Status::Internal("malformed serve request frame");
+      }
+    }
+    ServeRequest req;
+    req.req_id = rr.req_id;
+    req.algo = static_cast<ServeAlgo>(rr.algo);
+    req.iterations = rr.iterations;
+    req.source = rr.source;
+    req.max_supersteps = rr.max_supersteps;
+
+    ServeTotalsLedger ledger;
+    comm.SetLedger(&ledger);
+    std::uint32_t sticky_flags = 0;
+    std::uint32_t current_superstep = 0;
+    ServeRunEnv env;
+    env.comm = &comm;
+    env.ledger = &ledger;
+    env.num_vertices = cfg.num_vertices;
+    env.step_hook = [&](std::uint64_t superstep,
+                        std::uint32_t* abort_flags) -> Status {
+      current_superstep = static_cast<std::uint32_t>(superstep);
+      injector.SetSuperstep(current_superstep);
+      injector.AtSuperstepStart();
+      if (child == 0) {
+        // Only process 0 is addressed with cancel frames; its summary flags
+        // reach every rank through the step-end summary channel.
+        pollfd pfd{control_fd, POLLIN, 0};
+        while (::poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLIN) != 0) {
+          wire::FrameHeader h;
+          std::vector<unsigned char> pl;
+          DNE_RETURN_IF_ERROR(wire::RecvFrame(control_fd, &h, &pl,
+                                              kCoordinator));
+          if (h.kind == kServeCtrlCancel) {
+            ServeCancelRecord cr{};
+            wire::PayloadReader reader(pl.data(), pl.size());
+            if (reader.Read(&cr) && cr.req_id == req.req_id) {
+              sticky_flags |= cr.flags;
+            }  // a stale id targets an already-finished request: ignore
+          } else if (h.kind == kServeCtrlShutdown) {
+            // Drain raced a running request: finish it as cancelled.
+            sticky_flags |= kServeAbortCancelled;
+          } else {
+            return Status::Internal("unexpected control frame mid-request");
+          }
+          pfd.revents = 0;
+        }
+      }
+      *abort_flags |= sticky_flags;
+      return Status::OK();
+    };
+
+    ServeRunStats run_stats;
+    Status run = RunServeRequest(req, env, &states, &run_stats);
+    comm.SetLedger(nullptr);
+    const bool reportable =
+        run.ok() || run.code() == Status::Code::kDeadlineExceeded ||
+        run.code() == Status::Code::kCancelled;
+    if (!reportable) {
+      if (run.code() == Status::Code::kUnavailable) {
+        ServePark(child, mesh_fds, control_fd, req.req_id,
+                  current_superstep, comm.last_round_kind(), run.message());
+      }
+      return run;
+    }
+
+    // Results: one frame per hosted rank with its master values, then one
+    // stats frame with this endpoint's observed totals.
+    std::vector<unsigned char> buf;
+    std::vector<SyncValueRecord> masters;
+    for (std::size_t l = 0; l < num_local; ++l) {
+      masters.clear();
+      CollectMasterValues(states[l], &masters);
+      buf.clear();
+      ServeResultHead rh{};
+      rh.req_id = req.req_id;
+      rh.rank = static_cast<std::uint32_t>(local[l]);
+      rh.status_code = static_cast<std::uint32_t>(run.code());
+      rh.num_values = masters.size();
+      rh.supersteps = run_stats.supersteps;
+      wire::AppendPod(&buf, rh);
+      const auto* data =
+          reinterpret_cast<const unsigned char*>(masters.data());
+      buf.insert(buf.end(), data,
+                 data + masters.size() * sizeof(SyncValueRecord));
+      DNE_RETURN_IF_ERROR(wire::SendFrame(control_fd, kServeCtrlResult,
+                                          static_cast<std::uint32_t>(child),
+                                          buf.data(), buf.size(),
+                                          kCoordinator));
+    }
+    buf.clear();
+    ServeStatsRecord sr{};
+    sr.req_id = req.req_id;
+    sr.supersteps = ledger.supersteps();
+    sr.data_bytes = ledger.data_bytes();
+    sr.data_messages = ledger.data_messages();
+    sr.control_bytes = ledger.control_bytes();
+    sr.wire_bytes = ledger.wire_bytes();
+    sr.wire_frames = ledger.wire_frames();
+    sr.rss_bytes = SelfPeakRssBytes();
+    wire::AppendPod(&buf, sr);
+    DNE_RETURN_IF_ERROR(wire::SendFrame(control_fd, kServeCtrlStats,
+                                        static_cast<std::uint32_t>(child),
+                                        buf.data(), buf.size(),
+                                        kCoordinator));
+  }
+}
+
+int ServeChildMain(int child, const std::vector<int>& mesh_fds,
+                   int control_fd) {
+  const Status st = ServeChildRun(child, mesh_fds, control_fd);
+  if (st.ok()) return 0;
+  const std::string msg = st.ToString();
+  (void)wire::SendFrame(
+      control_fd, kServeCtrlError, static_cast<std::uint32_t>(child),
+      reinterpret_cast<const unsigned char*>(msg.data()), msg.size(),
+      kCoordinator);
+  return 1;
+}
+
+}  // namespace
+
+// ---- Coordinator side -------------------------------------------------------
+
+Status ProcessServeOptions::Validate() const {
+  if (nproc < 1) {
+    return Status::InvalidArgument("serve: nproc must be >= 1");
+  }
+  if (stall_timeout_s <= 0.0) {
+    return Status::InvalidArgument("serve: stall_timeout_s must be positive");
+  }
+  if (num_faults > DneOptions::kMaxFaultActions) {
+    return Status::InvalidArgument("serve: too many fault actions");
+  }
+  return Status::OK();
+}
+
+ProcessServeBackend::ProcessServeBackend(const Graph& g,
+                                         const EdgePartition& partition,
+                                         const ProcessServeOptions& opts)
+    : num_vertices_(g.NumVertices()),
+      num_ranks_(partition.num_partitions()),
+      opts_(opts) {
+  // Serialise every shard once; recovery re-ships these buffers verbatim so
+  // a relaunched cluster is bit-identical to the original.
+  const std::vector<ServeShard> shards = BuildServeShards(g, partition);
+  shard_frames_.resize(shards.size());
+  for (std::size_t r = 0; r < shards.size(); ++r) {
+    const ServeShard& shard = shards[r];
+    std::vector<unsigned char>& buf = shard_frames_[r];
+    ServeShardHead head{};
+    head.rank = static_cast<std::uint32_t>(r);
+    head.num_edges = shard.edges.size();
+    head.num_vertices = shard.verts.size();
+    head.num_replica_ids = shard.replica_ranks.size();
+    wire::AppendPod(&buf, head);
+    const auto* edges = reinterpret_cast<const unsigned char*>(
+        shard.edges.data());
+    buf.insert(buf.end(), edges,
+               edges + shard.edges.size() * sizeof(Edge));
+    const auto* verts = reinterpret_cast<const unsigned char*>(
+        shard.verts.data());
+    buf.insert(buf.end(), verts,
+               verts + shard.verts.size() * sizeof(ServeVertexRecord));
+    const auto* reps = reinterpret_cast<const unsigned char*>(
+        shard.replica_ranks.data());
+    buf.insert(buf.end(), reps,
+               reps + shard.replica_ranks.size() * sizeof(std::uint32_t));
+  }
+}
+
+ProcessServeBackend::~ProcessServeBackend() { Shutdown(); }
+
+void ProcessServeBackend::KillCluster() {
+  if (cluster_ == nullptr) return;
+  cluster_->KillAll();
+  cluster_->ReapAll();
+  cluster_.reset();
+}
+
+void ProcessServeBackend::Shutdown() {
+  if (cluster_ == nullptr) return;
+  bool clean = true;
+  for (int c = 0; c < cluster_->nproc(); ++c) {
+    if (!wire::SendFrame(cluster_->control_fd(c), kServeCtrlShutdown, 0,
+                         nullptr, 0, ProcLabel(c))
+             .ok()) {
+      clean = false;
+    }
+  }
+  if (!clean) {
+    KillCluster();
+    return;
+  }
+  cluster_->ReapAll();
+  cluster_.reset();
+}
+
+Status ProcessServeBackend::EnsureCluster() {
+  if (cluster_ != nullptr) return Status::OK();
+  auto cluster = std::make_unique<ProcessCluster>();
+  DNE_RETURN_IF_ERROR(cluster->Launch(opts_.nproc, ServeChildMain));
+  auto fail = [&cluster](Status st) {
+    cluster->KillAll();
+    cluster->ReapAll();
+    return st;
+  };
+  // Config (including the recovery epoch that keys the fault plan), then
+  // the cached shard frames, to every rank process.
+  std::vector<unsigned char> buf;
+  for (int c = 0; c < opts_.nproc; ++c) {
+    buf.clear();
+    ServeConfigRecord cfg{};
+    cfg.num_ranks = num_ranks_;
+    cfg.nproc = static_cast<std::uint32_t>(opts_.nproc);
+    cfg.proc_index = static_cast<std::uint32_t>(c);
+    cfg.epoch = epoch_;
+    cfg.num_vertices = num_vertices_;
+    cfg.stall_timeout_ms =
+        static_cast<std::uint64_t>(opts_.stall_timeout_s * 1000.0);
+    cfg.num_faults = opts_.num_faults;
+    wire::AppendPod(&buf, cfg);
+    for (std::uint32_t i = 0; i < opts_.num_faults; ++i) {
+      wire::AppendPod(&buf, opts_.faults[i]);
+    }
+    Status st = wire::SendFrame(cluster->control_fd(c), kServeCtrlConfig, 0,
+                                buf.data(), buf.size(), ProcLabel(c));
+    if (!st.ok()) return fail(std::move(st));
+  }
+  for (std::uint32_t r = 0; r < num_ranks_; ++r) {
+    const int c = static_cast<int>(r) % opts_.nproc;
+    Status st = wire::SendFrame(cluster->control_fd(c), kServeCtrlShard, r,
+                                shard_frames_[r].data(),
+                                shard_frames_[r].size(), ProcLabel(c));
+    if (!st.ok()) return fail(std::move(st));
+  }
+  for (int c = 0; c < opts_.nproc; ++c) {
+    Status st = wire::SendFrame(cluster->control_fd(c), kServeCtrlShardsDone,
+                                0, nullptr, 0, ProcLabel(c));
+    if (!st.ok()) return fail(std::move(st));
+  }
+  cluster_ = std::move(cluster);
+  return Status::OK();
+}
+
+Status ProcessServeBackend::ExecuteOnce(
+    const ServeRequest& req, const std::atomic<bool>* cancel,
+    const std::chrono::steady_clock::time_point* deadline,
+    ServeResponse* resp, bool* recoverable, std::string* detail) {
+  const int nproc = cluster_->nproc();
+  *recoverable = false;
+  detail->clear();
+
+  // Broadcast the request.
+  {
+    std::vector<unsigned char> buf;
+    ServeRequestRecord rr{};
+    rr.req_id = req.req_id;
+    rr.algo = static_cast<std::uint32_t>(req.algo);
+    rr.iterations = req.iterations;
+    rr.source = req.source;
+    rr.max_supersteps = req.max_supersteps;
+    wire::AppendPod(&buf, rr);
+    for (int c = 0; c < nproc; ++c) {
+      Status st = wire::SendFrame(cluster_->control_fd(c), kServeCtrlRequest,
+                                  0, buf.data(), buf.size(), ProcLabel(c));
+      if (!st.ok()) {
+        *recoverable = true;
+        *detail = ProcLabel(c) + " unreachable: " + st.message();
+        return Status::Unavailable(*detail);
+      }
+    }
+  }
+
+  // Monitor: collect one result frame per rank and one stats frame per
+  // process; relay deadline/cancel signals to process 0; classify failures.
+  std::vector<bool> rank_done(num_ranks_, false);
+  std::vector<std::uint32_t> rank_status(num_ranks_, 0);
+  std::size_t ranks_remaining = num_ranks_;
+  std::vector<bool> stats_done(nproc, false);
+  std::vector<bool> closed(nproc, false);
+  int stats_remaining = nproc;
+  InitServeResultBits(req, num_vertices_, &resp->bits);
+  resp->req_id = req.req_id;
+  resp->supersteps = 0;
+  resp->data_bytes = resp->data_messages = 0;
+  resp->control_bytes = resp->wire_bytes = resp->wire_frames = 0;
+
+  bool deadline_sent = false;
+  bool cancel_sent = false;
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+  auto last_activity = std::chrono::steady_clock::now();
+  const auto watchdog = std::chrono::milliseconds(
+      static_cast<long long>(2.0 * opts_.stall_timeout_s * 1000.0));
+
+  auto record_recoverable = [&](std::string d) {
+    if (!*recoverable) {
+      *recoverable = true;
+      *detail = std::move(d);
+    }
+    if (!draining) {
+      draining = true;
+      drain_deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+    }
+  };
+
+  for (;;) {
+    if (!draining && ranks_remaining == 0 && stats_remaining == 0) break;
+    if (draining) {
+      bool any_open = false;
+      for (int c = 0; c < nproc; ++c) {
+        if (!stats_done[c] && !closed[c]) any_open = true;
+      }
+      if (!any_open || std::chrono::steady_clock::now() >= drain_deadline) {
+        break;
+      }
+    }
+
+    // Relay abort signals: one small frame to process 0 each; its superstep
+    // hook folds the flags into the shared summary channel.
+    if (!draining) {
+      const auto now = std::chrono::steady_clock::now();
+      std::uint32_t flags = 0;
+      if (!deadline_sent && deadline != nullptr && now >= *deadline) {
+        flags |= kServeAbortDeadline;
+        deadline_sent = true;
+      }
+      if (!cancel_sent && cancel != nullptr &&
+          cancel->load(std::memory_order_relaxed)) {
+        flags |= kServeAbortCancelled;
+        cancel_sent = true;
+      }
+      if (flags != 0) {
+        std::vector<unsigned char> buf;
+        ServeCancelRecord cr{};
+        cr.req_id = req.req_id;
+        cr.flags = flags;
+        wire::AppendPod(&buf, cr);
+        // A failed send means process 0 is dying; its EOF classifies below.
+        (void)wire::SendFrame(cluster_->control_fd(0), kServeCtrlCancel, 0,
+                              buf.data(), buf.size(), ProcLabel(0));
+      }
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<int> children;
+    for (int c = 0; c < nproc; ++c) {
+      if (stats_done[c] || closed[c]) continue;
+      pfds.push_back(pollfd{cluster_->control_fd(c), POLLIN, 0});
+      children.push_back(c);
+    }
+    if (pfds.empty()) break;
+    const int rc = ::poll(pfds.data(), pfds.size(), 100);
+    if (rc < 0 && errno != EINTR) {
+      return Status::Internal(std::string("serve poll failed: ") +
+                              std::strerror(errno));
+    }
+    {
+      // Reap zombies as they appear; a finished child's frames may still
+      // sit in the socket buffer, so an exit is not yet a failure.
+      int exited = 0, status = 0;
+      while (cluster_->PollExited(&exited, &status)) {
+        last_activity = std::chrono::steady_clock::now();
+      }
+    }
+    if (rc <= 0) {
+      if (!draining &&
+          std::chrono::steady_clock::now() - last_activity > watchdog) {
+        record_recoverable("no control-channel progress for " +
+                           std::to_string(2.0 * opts_.stall_timeout_s) +
+                           "s (serve cluster stalled)");
+      }
+      continue;
+    }
+
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int c = children[k];
+      last_activity = std::chrono::steady_clock::now();
+      wire::FrameHeader header;
+      std::vector<unsigned char> payload;
+      Status st = wire::RecvFrame(cluster_->control_fd(c), &header, &payload,
+                                  ProcLabel(c));
+      if (!st.ok()) {
+        closed[c] = true;
+        record_recoverable(ProcLabel(c) +
+                           " died mid-request: " + st.message());
+        continue;
+      }
+      if (header.kind == kServeCtrlParked) {
+        closed[c] = true;
+        ServeParkedHead ph{};
+        wire::PayloadReader reader(payload.data(), payload.size());
+        if (reader.Read(&ph)) {
+          const std::string msg(payload.begin() + sizeof(ServeParkedHead),
+                                payload.end());
+          record_recoverable(
+              ProcLabel(c) + " parked at superstep " +
+              std::to_string(ph.superstep) + " (" +
+              ServeRoundName(ph.round_kind) + " round) of request " +
+              std::to_string(ph.req_id) + ": " + msg);
+        } else {
+          record_recoverable(ProcLabel(c) + " parked with a malformed report");
+        }
+        continue;
+      }
+      // A recorded recoverable failure kills this attempt: survivors'
+      // frames are noise — the deterministic re-run reproduces everything.
+      if (draining) continue;
+      if (header.kind == kServeCtrlError) {
+        return Status::Internal(
+            ProcLabel(c) + " failed: " +
+            std::string(payload.begin(), payload.end()));
+      }
+      if (header.kind == kServeCtrlResult) {
+        wire::PayloadReader reader(payload.data(), payload.size());
+        ServeResultHead rh{};
+        if (!reader.Read(&rh) || rh.req_id != req.req_id ||
+            rh.rank >= num_ranks_ ||
+            static_cast<int>(rh.rank) % nproc != c || rank_done[rh.rank] ||
+            reader.remaining() != rh.num_values * sizeof(SyncValueRecord)) {
+          return Status::Internal("malformed serve result frame from " +
+                                  ProcLabel(c));
+        }
+        SyncValueRecord rec{};
+        for (std::uint64_t i = 0; i < rh.num_values; ++i) {
+          reader.Read(&rec);
+          if (rec.v >= num_vertices_) {
+            return Status::Internal("serve result names vertex " +
+                                    std::to_string(rec.v) +
+                                    " out of range");
+          }
+          resp->bits[rec.v] = rec.bits;
+        }
+        rank_done[rh.rank] = true;
+        rank_status[rh.rank] = rh.status_code;
+        resp->supersteps = std::max(resp->supersteps, rh.supersteps);
+        --ranks_remaining;
+        continue;
+      }
+      if (header.kind == kServeCtrlStats) {
+        wire::PayloadReader reader(payload.data(), payload.size());
+        ServeStatsRecord sr{};
+        if (!reader.Read(&sr) || reader.remaining() != 0 ||
+            sr.req_id != req.req_id || stats_done[c]) {
+          return Status::Internal("malformed serve stats frame from " +
+                                  ProcLabel(c));
+        }
+        resp->data_bytes += sr.data_bytes;
+        resp->data_messages += sr.data_messages;
+        resp->control_bytes += sr.control_bytes;
+        resp->wire_bytes += sr.wire_bytes;
+        resp->wire_frames += sr.wire_frames;
+        peak_child_rss_ = std::max(peak_child_rss_, sr.rss_bytes);
+        stats_done[c] = true;
+        --stats_remaining;
+        continue;
+      }
+      return Status::Internal("unexpected serve control frame kind " +
+                              std::to_string(header.kind));
+    }
+  }
+
+  if (*recoverable) {
+    return Status::Unavailable(*detail);
+  }
+
+  // Every rank ran the same deterministic abort decision, so the status
+  // codes agree; fold them defensively anyway (worst wins).
+  Status result = Status::OK();
+  for (std::uint32_t r = 0; r < num_ranks_; ++r) {
+    const auto code = static_cast<Status::Code>(rank_status[r]);
+    if (code == Status::Code::kCancelled) {
+      return Status::Cancelled("serve request " + std::to_string(req.req_id) +
+                               " cancelled");
+    }
+    if (code == Status::Code::kDeadlineExceeded && result.ok()) {
+      result = Status::DeadlineExceeded(
+          "serve request " + std::to_string(req.req_id) +
+          " deadline exceeded after " + std::to_string(resp->supersteps) +
+          " superstep(s)");
+    }
+  }
+  return result;
+}
+
+Status ProcessServeBackend::Execute(
+    const ServeRequest& req, const std::atomic<bool>* cancel,
+    const std::chrono::steady_clock::time_point* deadline,
+    ServeResponse* resp) {
+  // Supervisor loop: on a recoverable failure, tear the cluster down,
+  // relaunch at epoch+1 (disarming the dead epoch's fault plan), re-ship
+  // the cached shards and re-run the request from scratch — the BSP loop
+  // is deterministic, so the retry is bit-identical to a fault-free run.
+  std::uint32_t attempt = 0;
+  for (;;) {
+    DNE_RETURN_IF_ERROR(EnsureCluster());
+    bool recoverable = false;
+    std::string detail;
+    Status run = ExecuteOnce(req, cancel, deadline, resp, &recoverable,
+                             &detail);
+    if (run.ok() || !recoverable) {
+      resp->recoveries = attempt;
+      return run;
+    }
+    KillCluster();
+    if (attempt >= opts_.max_recoveries) {
+      return Status::Internal(
+          "serve request " + std::to_string(req.req_id) +
+          " failed; recovery exhausted after " + std::to_string(attempt) +
+          " restart(s): " + detail);
+    }
+    ++attempt;
+    ++total_recoveries_;
+    ++epoch_;
+    // Exponential backoff before the relaunch: transient host pressure
+    // (fd/pid exhaustion, OOM kills) should not be hammered.
+    const int backoff_ms =
+        std::min(100 << static_cast<int>(std::min(attempt - 1, 4u)), 2000);
+    ::poll(nullptr, 0, backoff_ms);
+  }
+}
+
+}  // namespace dne

@@ -1,0 +1,112 @@
+// ProcessServeBackend: the multi-process ServeBackend with supervised
+// rank-failure recovery. The coordinator forks one process per rank group
+// (ProcessCluster), ships each its resident shards ONCE per cluster launch,
+// then runs many requests against the standing cluster — per request the
+// only traffic is a 32-byte request frame down, the replica-sync mesh rounds
+// between the rank processes, and the per-rank result + stats frames back.
+//
+// Failure model (the PR-8 recovery pattern extended to the data plane): a
+// rank process dying mid-query closes its socket ends; every peer's mesh
+// round turns into kUnavailable and the survivors park (mesh closed, parked
+// report sent, waiting for SIGKILL) — the cluster drains instead of
+// deadlocking. The coordinator tears the cluster down, relaunches it at
+// recovery epoch+1 (which disarms the one-shot fault plan entries of the
+// dead epoch), re-ships the cached shard frames and transparently re-runs
+// the in-flight request — the BSP loop is deterministic, so the retried
+// result is bit-identical to the fault-free run. Exponential backoff between
+// relaunches, up to max_recoveries per request; completed requests are never
+// re-run.
+//
+// Deadlines and cancellation cross the process boundary as a tiny
+// ServeCancelRecord frame to rank process 0, whose superstep hook folds the
+// abort flags into its step summary — every rank observes them through the
+// summary channel and stops at the same superstep boundary.
+#ifndef DNE_APPS_SERVE_TRANSPORT_H_
+#define DNE_APPS_SERVE_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/serve_server.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_options.h"
+#include "partition/edge_partition.h"
+#include "runtime/process_cluster.h"
+
+namespace dne {
+
+struct ProcessServeOptions {
+  int nproc = 2;
+  /// Mesh-round deadline inside the rank processes; the coordinator's
+  /// cluster-stall watchdog fires at twice this.
+  double stall_timeout_s = 600.0;
+  /// Supervised relaunches a single request may consume before its failure
+  /// becomes terminal.
+  std::uint32_t max_recoveries = 2;
+  /// Deterministic fault plan (the `fault=` grammar of the partitioning
+  /// transport, reused verbatim — see partition/dne/fault_plan.h).
+  FaultAction faults[DneOptions::kMaxFaultActions] = {};
+  std::uint32_t num_faults = 0;
+
+  Status Validate() const;
+};
+
+class ProcessServeBackend final : public ServeBackend {
+ public:
+  /// Builds (and caches, serialised) the per-rank shards; the cluster itself
+  /// launches lazily on the first Execute. `g` is only read here.
+  ProcessServeBackend(const Graph& g, const EdgePartition& partition,
+                      const ProcessServeOptions& opts);
+  ~ProcessServeBackend() override;  ///< graceful Shutdown
+
+  ProcessServeBackend(const ProcessServeBackend&) = delete;
+  ProcessServeBackend& operator=(const ProcessServeBackend&) = delete;
+
+  std::uint64_t num_vertices() const override { return num_vertices_; }
+
+  /// Runs one request on the standing cluster (launching it if needed),
+  /// recovering from rank failures as described above. Serialised by the
+  /// ServeServer worker; not internally synchronised.
+  Status Execute(const ServeRequest& req, const std::atomic<bool>* cancel,
+                 const std::chrono::steady_clock::time_point* deadline,
+                 ServeResponse* resp) override;
+
+  /// Graceful teardown: a shutdown frame to every rank process, then a
+  /// blocking reap. Idempotent; the next Execute relaunches.
+  void Shutdown();
+
+  /// Supervised relaunches across all requests so far.
+  std::uint32_t total_recoveries() const { return total_recoveries_; }
+  /// High-water peak RSS any rank process self-reported in a stats frame.
+  std::uint64_t peak_child_rss_bytes() const { return peak_child_rss_; }
+
+ private:
+  Status EnsureCluster();
+  /// One attempt on the live cluster. On failure `*recoverable` says whether
+  /// a relaunch may retry and `*detail` carries the structured coordinates.
+  Status ExecuteOnce(const ServeRequest& req, const std::atomic<bool>* cancel,
+                     const std::chrono::steady_clock::time_point* deadline,
+                     ServeResponse* resp, bool* recoverable,
+                     std::string* detail);
+  void KillCluster();
+
+  std::uint64_t num_vertices_;
+  std::uint32_t num_ranks_;
+  ProcessServeOptions opts_;
+  /// Serialised kServeCtrlShard payload per rank, built once in the
+  /// constructor and re-shipped verbatim on every (re)launch.
+  std::vector<std::vector<unsigned char>> shard_frames_;
+  std::unique_ptr<ProcessCluster> cluster_;
+  std::int32_t epoch_ = 0;  ///< bumped on every supervised relaunch
+  std::uint32_t total_recoveries_ = 0;
+  std::uint64_t peak_child_rss_ = 0;
+};
+
+}  // namespace dne
+
+#endif  // DNE_APPS_SERVE_TRANSPORT_H_

@@ -23,6 +23,8 @@ const char* CodeName(Status::Code code) {
       return "Cancelled";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

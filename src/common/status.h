@@ -22,6 +22,7 @@ class Status {
     kNotSupported,
     kCancelled,
     kUnavailable,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -53,6 +54,12 @@ class Status {
   /// recoverable by the supervisor — restart from the last checkpoint.
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
+  }
+  /// A request ran past its deadline: the work was cooperatively stopped at
+  /// a superstep boundary, so partial-progress stats are still valid and no
+  /// mesh round is left hanging.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -56,6 +56,29 @@ Status InProcessCommunicator::Exchange(DneMsgKind,
                                        RankMailboxes<VertexId>* m) {
   return ExchangeImpl(m);
 }
+Status InProcessCommunicator::Exchange(DneMsgKind,
+                                       RankMailboxes<SyncValueRecord>* m) {
+  return ExchangeImpl(m);
+}
+
+Status InProcessCommunicator::ExchangeServeStep(
+    RankMailboxes<SyncValueRecord>* sync,
+    const std::vector<ServeStepSummary>& local,
+    std::vector<ServeStepSummary>* all) {
+  // Every rank is local, so the summary table is the local vector.
+  *all = local;
+  DNE_RETURN_IF_ERROR(ExchangeImpl(sync));
+  if (ledger_ != nullptr && num_ranks_ > 1) {
+    // Each rank broadcasts one ServeStepSummary to every other rank — the
+    // control charge that makes termination/abort a shared decision without
+    // a separate all-gather round.
+    for (int r = 0; r < num_ranks_; ++r) {
+      ledger_->AddControlBytes(r, static_cast<std::uint64_t>(num_ranks_ - 1) *
+                                      sizeof(ServeStepSummary));
+    }
+  }
+  return Status::OK();
+}
 
 Status InProcessCommunicator::ExchangeStepEnd(
     RankMailboxes<BoundaryReport>* reports, RankMailboxes<Edge>* handoff,

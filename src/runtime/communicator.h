@@ -33,6 +33,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "partition/dne/dne_messages.h"
+#include "runtime/serve_messages.h"
 #include "runtime/sim_cluster.h"
 
 namespace dne {
@@ -56,6 +57,13 @@ enum class DneMsgKind : std::uint8_t {
   kStepSummary = 9,    ///< control channel inside kStepEnd: per-rank
                        ///< StepSummaryRecord (free-vertex peek + handoff
                        ///< counts); also its own round when coalescing is off
+  kServeSync = 10,     ///< serve data plane: replica-sync SyncValueRecord
+                       ///< gather (mirrors -> masters)
+  kServeStepEnd = 11,  ///< fused serve end-of-superstep round (scatter
+                       ///< sync records + step summaries in one coalesced
+                       ///< frame per peer)
+  kServeSummary = 12,  ///< control channel inside kServeStepEnd: per-rank
+                       ///< ServeStepSummary (frontier count + abort flags)
 };
 
 /// Accounting sink for everything the loop and the transport observe:
@@ -192,6 +200,32 @@ class Communicator {
                                  std::vector<std::uint64_t>* all_peeks,
                                  std::vector<std::uint64_t>* handoff_totals) = 0;
 
+  /// Serve data-plane exchange (replica synchronisation). Default-implemented
+  /// so transports that predate serving (and test fakes) stay source
+  /// compatible; the two shipped backends override it.
+  virtual Status Exchange(DneMsgKind kind, RankMailboxes<SyncValueRecord>* m) {
+    (void)kind;
+    (void)m;
+    return Status::NotSupported("serve exchange: transport does not serve");
+  }
+
+  /// Fused serve end-of-superstep collective — one round carrying two
+  /// logical channels: the masters->mirrors scatter of sync records, and a
+  /// per-rank ServeStepSummary (frontier count + cooperative abort flags).
+  /// The mailboxes are exchanged exactly as one Exchange(kServeSync) call
+  /// would; on return `*all` (size num_ranks, identical on every endpoint)
+  /// holds every rank's summary, so termination and abort decisions are
+  /// taken identically everywhere. Summaries are charged as control traffic;
+  /// the mailboxes as data.
+  virtual Status ExchangeServeStep(RankMailboxes<SyncValueRecord>* sync,
+                                   const std::vector<ServeStepSummary>& local,
+                                   std::vector<ServeStepSummary>* all) {
+    (void)sync;
+    (void)local;
+    (void)all;
+    return Status::NotSupported("serve step-end: transport does not serve");
+  }
+
   /// All-gather of one u64 per rank: `local_vals[l]` is the contribution of
   /// local rank slot `l`; on return `*all` (size num_ranks, identical on
   /// every endpoint) holds every rank's value. Charged as control traffic —
@@ -221,6 +255,10 @@ class InProcessCommunicator final : public Communicator {
   Status Exchange(DneMsgKind k, RankMailboxes<BoundaryReport>* m) override;
   Status Exchange(DneMsgKind k, RankMailboxes<Edge>* m) override;
   Status Exchange(DneMsgKind k, RankMailboxes<VertexId>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<SyncValueRecord>* m) override;
+  Status ExchangeServeStep(RankMailboxes<SyncValueRecord>* sync,
+                           const std::vector<ServeStepSummary>& local,
+                           std::vector<ServeStepSummary>* all) override;
   Status ExchangeStepEnd(RankMailboxes<BoundaryReport>* reports,
                          RankMailboxes<Edge>* handoff,
                          const std::vector<std::uint64_t>& local_peeks,

@@ -35,6 +35,14 @@ bool FaultRoundOfKind(std::uint8_t kind, FaultRound* round) {
     case DneMsgKind::kStepEnd:
       *round = FaultRound::kStepEnd;
       return true;
+    case DneMsgKind::kServeSync:
+      // The serve replica-sync gather is the serve loop's "sync" round, so
+      // one fault grammar targets both the partitioning and serving planes.
+      *round = FaultRound::kSync;
+      return true;
+    case DneMsgKind::kServeStepEnd:
+      *round = FaultRound::kStepEnd;
+      return true;
     default:
       return false;
   }
@@ -614,6 +622,163 @@ Status SocketCommunicator::Exchange(DneMsgKind k, RankMailboxes<Edge>* m) {
 Status SocketCommunicator::Exchange(DneMsgKind k,
                                     RankMailboxes<VertexId>* m) {
   return ExchangeImpl(k, m);
+}
+Status SocketCommunicator::Exchange(DneMsgKind k,
+                                    RankMailboxes<SyncValueRecord>* m) {
+  return ExchangeImpl(k, m);
+}
+
+Status SocketCommunicator::ExchangeServeStep(
+    RankMailboxes<SyncValueRecord>* sync,
+    const std::vector<ServeStepSummary>& local,
+    std::vector<ServeStepSummary>* all) {
+  const std::size_t num_local = local_.size();
+  // Per-rank serve summaries: the same bytes go to every peer.
+  std::vector<unsigned char> summary;
+  for (std::size_t l = 0; l < num_local; ++l) {
+    wire::AppendPod(&summary, local[l]);
+  }
+  // Seed the global table with this endpoint's own contributions; peer
+  // summaries fill in the rest below.
+  all->assign(static_cast<std::size_t>(num_ranks_), ServeStepSummary{});
+  for (std::size_t l = 0; l < num_local; ++l) {
+    (*all)[local[l].rank] = local[l];
+  }
+  auto charge_summaries = [&]() {
+    if (ledger_ == nullptr || nproc_ <= 1) return;
+    for (std::size_t l = 0; l < num_local; ++l) {
+      ledger_->AddControlBytes(local_[l],
+                               static_cast<std::uint64_t>(nproc_ - 1) *
+                                   sizeof(ServeStepSummary));
+    }
+  };
+
+  // ONE kServeStepEnd frame per peer fusing two channels — the
+  // masters->mirrors scatter and the per-rank summaries — under one
+  // checksum. The sync channel reuses the sub-block format, so data
+  // charging is byte-for-byte what a standalone Exchange would record.
+  constexpr std::size_t kNumChannels = 2;
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    std::vector<unsigned char>& frame = send_frames_[q];
+    frame.clear();
+    frame.resize(wire::kFrameHeaderBytes);
+    const std::size_t dir_pos = frame.size();
+    wire::AppendPod(&frame, static_cast<std::uint64_t>(kNumChannels));
+    wire::ChannelDir dirs[kNumChannels];
+    dirs[0].kind = static_cast<std::uint8_t>(DneMsgKind::kServeSync);
+    dirs[1].kind = static_cast<std::uint8_t>(DneMsgKind::kServeSummary);
+    for (const wire::ChannelDir& d : dirs) wire::AppendPod(&frame, d);
+
+    std::uint64_t sub_blocks = 0;
+    const std::size_t sync_pos = frame.size();
+    for (std::size_t l = 0; l < num_local; ++l) {
+      const int from = local_[l];
+      for (int to = q; to < num_ranks_; to += nproc_) {
+        const std::vector<SyncValueRecord>& box = sync->out[l][to];
+        if (box.empty()) continue;
+        const std::uint64_t bytes = box.size() * sizeof(SyncValueRecord);
+        wire::AppendPod(&frame, static_cast<std::uint32_t>(from));
+        wire::AppendPod(&frame, static_cast<std::uint32_t>(to));
+        wire::AppendPod(&frame, bytes);
+        const auto* data = reinterpret_cast<const unsigned char*>(box.data());
+        frame.insert(frame.end(), data, data + bytes);
+        ++sub_blocks;
+        if (ledger_ != nullptr) ledger_->AddDataMessage(from, bytes);
+      }
+    }
+    const std::size_t summary_pos = frame.size();
+    frame.insert(frame.end(), summary.begin(), summary.end());
+
+    dirs[0].byte_len = summary_pos - sync_pos;
+    dirs[1].byte_len = summary.size();
+    {
+      unsigned char* d = frame.data() + dir_pos + sizeof(std::uint64_t);
+      for (const wire::ChannelDir& dir : dirs) {
+        std::memcpy(d, &dir, wire::kChannelDirBytes);
+        d += wire::kChannelDirBytes;
+      }
+    }
+    const std::size_t payload_len = frame.size() - wire::kFrameHeaderBytes;
+    wire::FrameHeader h;
+    h.kind = static_cast<std::uint8_t>(DneMsgKind::kServeStepEnd);
+    h.from = static_cast<std::uint32_t>(proc_index_);
+    h.payload_len = payload_len;
+    h.checksum =
+        wire::FrameChecksum(frame.data() + wire::kFrameHeaderBytes, payload_len);
+    wire::EncodeHeader(h, frame.data());
+    if (ledger_ != nullptr) {
+      ledger_->AddWireOverhead(
+          local_[0],
+          wire::kFrameHeaderBytes + wire::ChannelDirectoryBytes(kNumChannels) +
+              wire::kSubBlockHeaderBytes * sub_blocks,
+          1);
+    }
+  }
+  charge_summaries();
+
+  DNE_RETURN_IF_ERROR(
+      RunMeshRound(static_cast<std::uint8_t>(DneMsgKind::kServeStepEnd)));
+
+  struct ChannelView {
+    const unsigned char* data = nullptr;
+    std::size_t len = 0;
+  };
+  std::vector<ChannelView> sync_views(nproc_), summary_views(nproc_);
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    wire::PayloadReader reader(recv_payloads_[q].data(),
+                               recv_payloads_[q].size());
+    std::uint64_t num_channels = 0;
+    if (!reader.Read(&num_channels) || num_channels != kNumChannels) {
+      return Status::Internal("malformed serve step-end directory from " +
+                              PeerLabel(q));
+    }
+    wire::ChannelDir dirs[kNumChannels];
+    for (wire::ChannelDir& d : dirs) {
+      if (!reader.Read(&d)) {
+        return Status::Internal("malformed serve step-end directory from " +
+                                PeerLabel(q));
+      }
+    }
+    if (dirs[0].byte_len + dirs[1].byte_len != reader.remaining() ||
+        dirs[0].kind != static_cast<std::uint8_t>(DneMsgKind::kServeSync) ||
+        dirs[1].kind != static_cast<std::uint8_t>(DneMsgKind::kServeSummary)) {
+      return Status::Internal("malformed serve step-end directory from " +
+                              PeerLabel(q));
+    }
+    sync_views[q] = {reader.cursor(), dirs[0].byte_len};
+    reader.Skip(dirs[0].byte_len);
+    summary_views[q] = {reader.cursor(), dirs[1].byte_len};
+  }
+  ClearStage();
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    DNE_RETURN_IF_ERROR(StageSubBlocks<SyncValueRecord>(sync_views[q].data,
+                                                        sync_views[q].len, q));
+  }
+  AssembleInboxes(sync);
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    DNE_RETURN_IF_ERROR(ParseServeSummaries(summary_views[q].data,
+                                            summary_views[q].len, q, all));
+  }
+  return Status::OK();
+}
+
+Status SocketCommunicator::ParseServeSummaries(
+    const unsigned char* data, std::size_t len, int q,
+    std::vector<ServeStepSummary>* all) {
+  wire::PayloadReader reader(data, len);
+  while (reader.remaining() > 0) {
+    ServeStepSummary rec;
+    if (!reader.Read(&rec) || static_cast<int>(rec.rank) >= num_ranks_ ||
+        rank_to_proc(static_cast<int>(rec.rank)) != q) {
+      return Status::Internal("malformed serve summary from " + PeerLabel(q));
+    }
+    (*all)[rec.rank] = rec;
+  }
+  return Status::OK();
 }
 
 Status SocketCommunicator::BeginExchange(DneMsgKind k,

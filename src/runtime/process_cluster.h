@@ -124,6 +124,10 @@ class SocketCommunicator final : public Communicator {
   Status Exchange(DneMsgKind k, RankMailboxes<BoundaryReport>* m) override;
   Status Exchange(DneMsgKind k, RankMailboxes<Edge>* m) override;
   Status Exchange(DneMsgKind k, RankMailboxes<VertexId>* m) override;
+  Status Exchange(DneMsgKind k, RankMailboxes<SyncValueRecord>* m) override;
+  Status ExchangeServeStep(RankMailboxes<SyncValueRecord>* sync,
+                           const std::vector<ServeStepSummary>& local,
+                           std::vector<ServeStepSummary>* all) override;
   Status BeginExchange(DneMsgKind k, RankMailboxes<VertexPartPair>* m) override;
   Status FinishExchange(DneMsgKind k,
                         RankMailboxes<VertexPartPair>* m) override;
@@ -184,6 +188,9 @@ class SocketCommunicator final : public Communicator {
   Status ParseSummaries(const unsigned char* data, std::size_t len, int q,
                         std::vector<std::uint64_t>* all_peeks,
                         std::vector<std::uint64_t>* handoff_totals);
+  /// Folds one peer's ServeStepSummary sequence into the global table.
+  Status ParseServeSummaries(const unsigned char* data, std::size_t len, int q,
+                             std::vector<ServeStepSummary>* all);
 
   /// Arms a round: every peer will be sent `send_frames_[q]` and owes one
   /// frame of `kind` back. Fails if a round is already in flight.

@@ -1,0 +1,222 @@
+// POD message records of the serving data plane. Kept in a leaf header so
+// the serve engine (apps/serve_engine), the transports (runtime/communicator,
+// runtime/process_cluster, apps/serve_transport) and the tests can all name
+// them without pulling each other in. Every struct is trivially copyable —
+// the process transport serialises them by memcpy into checksummed frames —
+// and layout-frozen below, with tools/dne_lint.py enforcing the wire-pod
+// discipline (explicit-width fields + trivially-copyable assert) on this
+// header from day one.
+#ifndef DNE_RUNTIME_SERVE_MESSAGES_H_
+#define DNE_RUNTIME_SERVE_MESSAGES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/types.h"
+
+namespace dne {
+
+/// Replica-synchronisation record: the value of vertex v, as raw bits so one
+/// frame kind carries all three algorithms (PageRank packs a double, SSSP a
+/// widened u32 distance, WCC a component label). Flows masters->mirrors in
+/// the scatter half and mirrors->masters in the gather half of a superstep.
+struct SyncValueRecord {
+  VertexId v;
+  std::uint64_t bits;
+};
+
+/// Per-rank serve superstep summary, carried in the control channel of the
+/// fused kServeStepEnd round: the rank's count of master vertices whose value
+/// changed this superstep (global sum == frontier size, so every rank derives
+/// the same termination decision), plus cooperative abort flags (deadline /
+/// cancellation) that every rank folds with OR — all ranks stop at the same
+/// superstep boundary, never mid-round.
+struct ServeStepSummary {
+  std::uint32_t rank;
+  std::uint32_t flags;
+  std::uint64_t active;
+};
+
+/// Abort flag bits for ServeStepSummary::flags.
+inline constexpr std::uint32_t kServeAbortDeadline = 1u << 0;
+inline constexpr std::uint32_t kServeAbortCancelled = 1u << 1;
+
+/// Resident-shard vertex descriptor: one per vertex hosted by a rank, with
+/// the global degree (replicas must normalise PageRank contributions by the
+/// *global* degree), the master rank and the replica count. Shipped once at
+/// shard-residency time (and re-shipped on recovery), not per request.
+struct ServeVertexRecord {
+  VertexId v;
+  std::uint64_t degree;
+  std::uint32_t master;
+  std::uint32_t num_replicas;
+};
+
+/// Shard shipment frame head: followed on the wire by `num_edges` Edge
+/// records, `num_vertices` ServeVertexRecord records and `num_replica_ids`
+/// u32 replica ranks (concatenated per vertex in record order).
+struct ServeShardHead {
+  std::uint32_t rank;
+  std::uint32_t pad;
+  std::uint64_t num_edges;
+  std::uint64_t num_vertices;
+  std::uint64_t num_replica_ids;
+};
+
+/// Serve cluster configuration, shipped once per (re)launch epoch; followed
+/// on the wire by `num_faults` FaultAction records (dne_options.h) so the
+/// serve path reuses the deterministic `fault=` grammar unchanged.
+struct ServeConfigRecord {
+  std::uint32_t num_ranks;
+  std::uint32_t nproc;
+  std::uint32_t proc_index;
+  std::int32_t epoch;
+  std::uint64_t num_vertices;
+  std::uint64_t stall_timeout_ms;
+  std::uint32_t num_faults;
+  std::uint32_t pad;
+};
+
+/// One query, broadcast to every rank process. algo: 0 = pagerank,
+/// 1 = sssp, 2 = wcc (ServeAlgo in apps/serve_engine.h).
+struct ServeRequestRecord {
+  std::uint64_t req_id;
+  std::uint32_t algo;
+  std::uint32_t iterations;
+  VertexId source;
+  std::uint64_t max_supersteps;
+};
+
+/// Cooperative cancellation of an in-flight request (deadline expiry or
+/// client cancel); flags names the ServeStepSummary abort bit to raise.
+/// Stale records (req_id older than the running request) are ignored.
+struct ServeCancelRecord {
+  std::uint64_t req_id;
+  std::uint32_t flags;
+  std::uint32_t pad;
+};
+
+/// Per-rank result frame head: followed on the wire by `num_values`
+/// SyncValueRecord entries, one per master-owned vertex of the rank.
+/// status_code is the Status::Code the rank's superstep loop ended with
+/// (OK / DeadlineExceeded / Cancelled) — identical on every rank because
+/// the abort decision is folded from the same summary table.
+struct ServeResultHead {
+  std::uint64_t req_id;
+  std::uint32_t rank;
+  std::uint32_t status_code;
+  std::uint64_t num_values;
+  std::uint64_t supersteps;
+};
+
+/// Per-process per-request accounting, reported after the result frames and
+/// reconciled by the coordinator against the replication factor the metrics
+/// layer predicts (observed wire bytes vs modeled replica-sync traffic).
+struct ServeStatsRecord {
+  std::uint64_t req_id;
+  std::uint64_t supersteps;
+  std::uint64_t data_bytes;
+  std::uint64_t data_messages;
+  std::uint64_t control_bytes;
+  std::uint64_t wire_bytes;
+  std::uint64_t wire_frames;
+  std::uint64_t rss_bytes;
+};
+
+/// Park notification head sent by a rank process that hit a transient mesh
+/// failure mid-query (peer crash EOF-cascade): tells the supervisor which
+/// request and superstep to retry after relaunching the cluster. Followed on
+/// the wire by a diagnostic string.
+struct ServeParkedHead {
+  std::uint64_t req_id;
+  std::uint32_t superstep;
+  std::uint8_t round_kind;
+  std::uint8_t pad[3];
+};
+
+static_assert(std::is_trivially_copyable_v<SyncValueRecord> &&
+                  std::is_trivially_copyable_v<ServeStepSummary> &&
+                  std::is_trivially_copyable_v<ServeVertexRecord> &&
+                  std::is_trivially_copyable_v<ServeShardHead> &&
+                  std::is_trivially_copyable_v<ServeConfigRecord> &&
+                  std::is_trivially_copyable_v<ServeRequestRecord> &&
+                  std::is_trivially_copyable_v<ServeCancelRecord> &&
+                  std::is_trivially_copyable_v<ServeResultHead> &&
+                  std::is_trivially_copyable_v<ServeStatsRecord> &&
+                  std::is_trivially_copyable_v<ServeParkedHead>,
+              "wire records must be memcpy-safe");
+
+// Layout freeze: the process transport memcpys these records (including
+// padding) into checksummed frames, so any size or offset drift between two
+// builds silently desyncs the stream past the checksum. Pinning the layout
+// here turns drift into a build error instead.
+static_assert(sizeof(VertexId) == 8 && sizeof(PartitionId) == 4,
+              "wire scalar widths are part of the frame format");
+static_assert(sizeof(SyncValueRecord) == 16 &&
+                  offsetof(SyncValueRecord, v) == 0 &&
+                  offsetof(SyncValueRecord, bits) == 8,
+              "SyncValueRecord wire layout drifted");
+static_assert(sizeof(ServeStepSummary) == 16 &&
+                  offsetof(ServeStepSummary, rank) == 0 &&
+                  offsetof(ServeStepSummary, flags) == 4 &&
+                  offsetof(ServeStepSummary, active) == 8,
+              "ServeStepSummary wire layout drifted");
+static_assert(sizeof(ServeVertexRecord) == 24 &&
+                  offsetof(ServeVertexRecord, v) == 0 &&
+                  offsetof(ServeVertexRecord, degree) == 8 &&
+                  offsetof(ServeVertexRecord, master) == 16 &&
+                  offsetof(ServeVertexRecord, num_replicas) == 20,
+              "ServeVertexRecord wire layout drifted");
+static_assert(sizeof(ServeShardHead) == 32 &&
+                  offsetof(ServeShardHead, rank) == 0 &&
+                  offsetof(ServeShardHead, num_edges) == 8 &&
+                  offsetof(ServeShardHead, num_vertices) == 16 &&
+                  offsetof(ServeShardHead, num_replica_ids) == 24,
+              "ServeShardHead wire layout drifted");
+static_assert(sizeof(ServeConfigRecord) == 40 &&
+                  offsetof(ServeConfigRecord, num_ranks) == 0 &&
+                  offsetof(ServeConfigRecord, nproc) == 4 &&
+                  offsetof(ServeConfigRecord, proc_index) == 8 &&
+                  offsetof(ServeConfigRecord, epoch) == 12 &&
+                  offsetof(ServeConfigRecord, num_vertices) == 16 &&
+                  offsetof(ServeConfigRecord, stall_timeout_ms) == 24 &&
+                  offsetof(ServeConfigRecord, num_faults) == 32,
+              "ServeConfigRecord wire layout drifted");
+static_assert(sizeof(ServeRequestRecord) == 32 &&
+                  offsetof(ServeRequestRecord, req_id) == 0 &&
+                  offsetof(ServeRequestRecord, algo) == 8 &&
+                  offsetof(ServeRequestRecord, iterations) == 12 &&
+                  offsetof(ServeRequestRecord, source) == 16 &&
+                  offsetof(ServeRequestRecord, max_supersteps) == 24,
+              "ServeRequestRecord wire layout drifted");
+static_assert(sizeof(ServeCancelRecord) == 16 &&
+                  offsetof(ServeCancelRecord, req_id) == 0 &&
+                  offsetof(ServeCancelRecord, flags) == 8,
+              "ServeCancelRecord wire layout drifted");
+static_assert(sizeof(ServeResultHead) == 32 &&
+                  offsetof(ServeResultHead, req_id) == 0 &&
+                  offsetof(ServeResultHead, rank) == 8 &&
+                  offsetof(ServeResultHead, status_code) == 12 &&
+                  offsetof(ServeResultHead, num_values) == 16 &&
+                  offsetof(ServeResultHead, supersteps) == 24,
+              "ServeResultHead wire layout drifted");
+static_assert(sizeof(ServeStatsRecord) == 64 &&
+                  offsetof(ServeStatsRecord, req_id) == 0 &&
+                  offsetof(ServeStatsRecord, supersteps) == 8 &&
+                  offsetof(ServeStatsRecord, data_bytes) == 16 &&
+                  offsetof(ServeStatsRecord, data_messages) == 24 &&
+                  offsetof(ServeStatsRecord, control_bytes) == 32 &&
+                  offsetof(ServeStatsRecord, wire_bytes) == 40 &&
+                  offsetof(ServeStatsRecord, wire_frames) == 48 &&
+                  offsetof(ServeStatsRecord, rss_bytes) == 56,
+              "ServeStatsRecord wire layout drifted");
+static_assert(sizeof(ServeParkedHead) == 16 &&
+                  offsetof(ServeParkedHead, req_id) == 0 &&
+                  offsetof(ServeParkedHead, superstep) == 8 &&
+                  offsetof(ServeParkedHead, round_kind) == 12,
+              "ServeParkedHead wire layout drifted");
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_SERVE_MESSAGES_H_

@@ -12,6 +12,21 @@
 //           [--edge-factor=16] [--vertices=N] [--edges=N] [--chunk-edges=N]
 //   dne_cli evaluate --graph=g.bin --partition=p.bin
 //   dne_cli info --graph=g.bin
+//   dne_cli serve --graph=g.bin [--partition=p.bin | --method=dne]
+//           [--partitions=K] [--transport=inproc|process] [--ranks=N]
+//           [--requests=N] [--mix=pagerank,sssp,wcc] [--iterations=N]
+//           [--deadline-ms=N] [--max-inflight=N] [--queue-depth=N]
+//           [--mem-budget-mb=N] [--fault=SPEC] [--max-recoveries=N]
+//           [--seed=N] [--json]
+//
+// `serve` hosts the analytics engine over resident partition shards and
+// drives a request loop against it: bounded admission (kUnavailable + a
+// retry-after hint beyond max_inflight+queue_depth), per-request deadlines
+// (cooperative stop at the next superstep boundary), and — with
+// --transport=process — supervised rank-failure recovery reusing the
+// partitioner's deterministic `fault=` grammar. SIGTERM drains gracefully:
+// admission stops, in-flight requests complete (or deadline-fail), and the
+// structured summary still prints.
 //
 // `stream` is the out-of-core path: edges arrive in bounded chunks from a
 // file or straight out of a generator, are placed by any streaming-capable
@@ -26,17 +41,26 @@
 // Graph files may be .txt (SNAP "u v" lines) or the library's binary format
 // (by extension). Partition files likewise. Numeric flags are validated up
 // front; a malformed value prints the command usage and exits with status 2.
+#include <poll.h>
+
+#include <algorithm>
+#include <atomic>
 #include <charconv>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "apps/serve_server.h"
+#include "apps/serve_transport.h"
 #include "apps/triangles.h"
+#include "common/hash.h"
 #include "common/timer.h"
 #include "core/dne.h"
 #include "gen/lattice.h"
 #include "partition/dne/dne_partitioner.h"
+#include "partition/dne/fault_plan.h"
 #include "graph/degree_stats.h"
 #include "metrics/partition_metrics.h"
 #include "partition/partition_io.h"
@@ -51,8 +75,17 @@ using dne::Graph;
 using dne::Status;
 
 constexpr char kUsage[] =
-    "usage: dne_cli <list|generate|partition|stream|evaluate|info> "
+    "usage: dne_cli <list|generate|partition|stream|evaluate|info|serve> "
     "[--key=value ...] [--opt key=value ...]\n";
+
+constexpr char kServeUsage[] =
+    "usage: dne_cli serve --graph=FILE\n"
+    "         [--partition=FILE | --method=NAME [--partitions=K]]\n"
+    "         [--transport=inproc|process] [--ranks=N]\n"
+    "         [--requests=N] [--mix=pagerank,sssp,wcc] [--iterations=N]\n"
+    "         [--deadline-ms=N] [--max-inflight=N] [--queue-depth=N]\n"
+    "         [--mem-budget-mb=N] [--retry-after-ms=N]\n"
+    "         [--fault=SPEC] [--max-recoveries=N] [--seed=N] [--json]\n";
 
 constexpr char kStreamUsage[] =
     "usage: dne_cli stream --method=NAME --partitions=K\n"
@@ -569,6 +602,270 @@ int CmdInfo(int argc, char** argv) {
   return 0;
 }
 
+// ---- serve ------------------------------------------------------------------
+
+// SIGTERM/SIGINT ask the serve loop for a graceful drain: stop admitting,
+// let in-flight requests complete (or deadline-fail), print the summary.
+volatile std::sig_atomic_t g_serve_stop = 0;
+void ServeStopHandler(int) { g_serve_stop = 1; }
+
+// p-th percentile (0..100) of a latency sample, by sorted rank.
+double PercentileMs(std::vector<double> seconds, double p) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const double rank = p / 100.0 * static_cast<double>(seconds.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, seconds.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (seconds[lo] * (1.0 - frac) + seconds[hi] * frac) * 1e3;
+}
+
+Status ParseMix(const std::string& csv, std::vector<dne::ServeAlgo>* mix) {
+  mix->clear();
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    std::size_t end = csv.find(',', begin);
+    if (end == std::string::npos) end = csv.size();
+    const std::string item = csv.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    if (item == "pagerank") {
+      mix->push_back(dne::ServeAlgo::kPageRank);
+    } else if (item == "sssp") {
+      mix->push_back(dne::ServeAlgo::kSssp);
+    } else if (item == "wcc") {
+      mix->push_back(dne::ServeAlgo::kWcc);
+    } else {
+      return Status::InvalidArgument("--mix item '" + item +
+                                     "' (pagerank|sssp|wcc)");
+    }
+  }
+  if (mix->empty()) {
+    return Status::InvalidArgument("--mix must name at least one algorithm");
+  }
+  return Status::OK();
+}
+
+int CmdServe(int argc, char** argv) {
+  std::uint64_t parts_flag, ranks, requests, iterations, deadline_ms;
+  std::uint64_t max_inflight, queue_depth, mem_budget_mb, retry_after_ms;
+  std::uint64_t max_recoveries, seed;
+  Status st = GetUintFlag(argc, argv, "partitions", 4, &parts_flag);
+  if (st.ok()) st = CheckNarrowingRange("partitions", parts_flag, 1, 1 << 20);
+  if (st.ok()) st = GetUintFlag(argc, argv, "ranks", 2, &ranks);
+  if (st.ok()) st = CheckNarrowingRange("ranks", ranks, 1, 1 << 10);
+  if (st.ok()) st = GetUintFlag(argc, argv, "requests", 8, &requests);
+  if (st.ok()) st = GetUintFlag(argc, argv, "iterations", 10, &iterations);
+  if (st.ok()) st = CheckNarrowingRange("iterations", iterations, 0, 1 << 20);
+  if (st.ok()) st = GetUintFlag(argc, argv, "deadline-ms", 0, &deadline_ms);
+  if (st.ok()) st = GetUintFlag(argc, argv, "max-inflight", 1, &max_inflight);
+  if (st.ok()) st = CheckNarrowingRange("max-inflight", max_inflight, 1,
+                                        1 << 20);
+  if (st.ok()) st = GetUintFlag(argc, argv, "queue-depth", 16, &queue_depth);
+  if (st.ok()) st = CheckNarrowingRange("queue-depth", queue_depth, 0,
+                                        1 << 20);
+  if (st.ok()) st = GetUintFlag(argc, argv, "mem-budget-mb", 0,
+                                &mem_budget_mb);
+  if (st.ok()) st = GetUintFlag(argc, argv, "retry-after-ms", 50,
+                                &retry_after_ms);
+  if (st.ok()) st = CheckNarrowingRange("retry-after-ms", retry_after_ms, 1,
+                                        60 * 1000);
+  if (st.ok()) st = GetUintFlag(argc, argv, "max-recoveries", 2,
+                                &max_recoveries);
+  if (st.ok()) st = GetUintFlag(argc, argv, "seed", 1, &seed);
+  if (!st.ok()) return FailUsage(st, kServeUsage);
+  std::vector<dne::ServeAlgo> mix;
+  st = ParseMix(GetFlag(argc, argv, "mix", "pagerank,sssp,wcc"), &mix);
+  if (!st.ok()) return FailUsage(st, kServeUsage);
+  const std::string transport = GetFlag(argc, argv, "transport", "inproc");
+  if (transport != "inproc" && transport != "process") {
+    return FailUsage(Status::InvalidArgument("--transport=" + transport +
+                                             " (inproc|process)"),
+                     kServeUsage);
+  }
+  const bool json = HasFlag(argc, argv, "json");
+
+  Graph g;
+  st = LoadGraph(GetFlag(argc, argv, "graph", "graph.bin"), &g);
+  if (!st.ok()) return Fail(st);
+
+  // A precomputed partition (--partition) or a fresh one (--method).
+  EdgePartition ep;
+  const std::string part_path = GetFlag(argc, argv, "partition", "");
+  if (!part_path.empty()) {
+    st = EndsWith(part_path, ".txt") ? dne::LoadPartitionText(part_path, &ep)
+                                     : dne::LoadPartitionBinary(part_path,
+                                                                &ep);
+    if (st.ok()) st = ep.Validate(g);
+    if (!st.ok()) return Fail(st);
+  } else {
+    const std::string method = GetFlag(argc, argv, "method", "dne");
+    dne::PartitionConfig config;
+    st = BuildConfig(argc, argv, method, &config);
+    if (!st.ok()) return Fail(st);
+    std::unique_ptr<dne::Partitioner> partitioner;
+    st = dne::CreatePartitioner(method, config, &partitioner);
+    if (!st.ok()) return Fail(st);
+    st = partitioner->Partition(g, static_cast<std::uint32_t>(parts_flag),
+                                &ep);
+    if (!st.ok()) return Fail(st);
+  }
+
+  // Backend: co-hosted ranks in this address space, or the supervised
+  // multi-process transport with the partitioner's fault grammar.
+  std::unique_ptr<dne::InProcessServeBackend> inproc;
+  std::unique_ptr<dne::ProcessServeBackend> process;
+  dne::ServeBackend* backend = nullptr;
+  if (transport == "inproc") {
+    if (!GetFlag(argc, argv, "fault", "").empty()) {
+      return FailUsage(dne::Status::InvalidArgument(
+                           "--fault requires --transport=process (there is "
+                           "no rank process to inject into)"),
+                       kServeUsage);
+    }
+    inproc = std::make_unique<dne::InProcessServeBackend>(g, ep);
+    backend = inproc.get();
+  } else {
+    dne::ProcessServeOptions popts;
+    popts.nproc = static_cast<int>(ranks);
+    popts.max_recoveries = static_cast<std::uint32_t>(max_recoveries);
+    st = dne::ParseFaultPlan(GetFlag(argc, argv, "fault", ""), popts.faults,
+                             dne::DneOptions::kMaxFaultActions,
+                             &popts.num_faults);
+    if (st.ok()) st = popts.Validate();
+    if (!st.ok()) return FailUsage(st, kServeUsage);
+    process = std::make_unique<dne::ProcessServeBackend>(g, ep, popts);
+    backend = process.get();
+  }
+
+  dne::ServeServerOptions sopts;
+  sopts.max_inflight = static_cast<std::uint32_t>(max_inflight);
+  sopts.queue_depth = static_cast<std::uint32_t>(queue_depth);
+  sopts.mem_budget_bytes = mem_budget_mb * 1024 * 1024;
+  sopts.retry_after_ms = static_cast<std::uint32_t>(retry_after_ms);
+  st = sopts.Validate();
+  if (!st.ok()) return FailUsage(st, kServeUsage);
+
+  g_serve_stop = 0;
+  std::signal(SIGTERM, ServeStopHandler);
+  std::signal(SIGINT, ServeStopHandler);
+
+  // Completion totals, filled by the worker-thread callback.
+  dne::Mutex acc_mu;
+  std::uint64_t total_wire_bytes = 0, total_data_bytes = 0;
+  std::uint64_t total_supersteps = 0;
+  {
+    dne::ServeServer server(backend, sopts);
+    const auto done = [&](dne::ServeResponse resp) {
+      dne::MutexLock lock(&acc_mu);
+      total_wire_bytes += resp.wire_bytes;
+      total_data_bytes += resp.data_bytes;
+      total_supersteps += resp.supersteps;
+      if (!json) {
+        std::printf("req %llu: %s supersteps=%llu recoveries=%u "
+                    "latency=%.1fms\n",
+                    static_cast<unsigned long long>(resp.req_id),
+                    resp.status.ok() ? "ok" : resp.status.ToString().c_str(),
+                    static_cast<unsigned long long>(resp.supersteps),
+                    resp.recoveries, resp.latency_seconds * 1e3);
+      }
+    };
+
+    std::uint64_t dropped = 0;
+    for (std::uint64_t i = 0; i < requests && !g_serve_stop; ++i) {
+      dne::ServeRequest req;
+      req.req_id = i + 1;
+      req.algo = mix[i % mix.size()];
+      req.iterations = static_cast<std::uint32_t>(iterations);
+      req.source = g.NumVertices() == 0
+                       ? 0
+                       : dne::HashVertex(i, seed) % g.NumVertices();
+      // Backpressure loop: a shed request waits the server's retry-after
+      // hint and resubmits — bounded so a budget that can never admit does
+      // not spin forever.
+      for (int tries = 0;; ++tries) {
+        Status sub = server.Submit(req, deadline_ms, done);
+        if (sub.ok()) break;
+        if (sub.code() != Status::Code::kUnavailable || g_serve_stop ||
+            tries >= 1000) {
+          ++dropped;
+          if (!json) {
+            std::fprintf(stderr, "req %llu dropped: %s\n",
+                         static_cast<unsigned long long>(req.req_id),
+                         sub.ToString().c_str());
+          }
+          break;
+        }
+        ::poll(nullptr, 0, static_cast<int>(server.retry_after_ms()));
+      }
+    }
+
+    if (g_serve_stop && !json) {
+      std::fprintf(stderr,
+                   "serve: signal received — draining in-flight requests\n");
+    }
+    server.Drain();
+    const dne::ServeServerStats stats = server.stats();
+    if (process != nullptr) process->Shutdown();
+
+    const double p50 = PercentileMs(stats.latencies_seconds, 50.0);
+    const double p99 = PercentileMs(stats.latencies_seconds, 99.0);
+    const std::uint64_t child_rss =
+        process != nullptr ? process->peak_child_rss_bytes() : 0;
+    if (json) {
+      std::printf(
+          "{\"cmd\":\"serve\",\"transport\":\"%s\",\"ranks\":%llu,"
+          "\"partitions\":%u,\"requests\":%llu,\"accepted\":%llu,"
+          "\"completed\":%llu,\"shed\":%llu,\"dropped\":%llu,"
+          "\"deadline_failed\":%llu,\"cancelled\":%llu,\"failed\":%llu,"
+          "\"recoveries\":%llu,\"peak_admitted\":%llu,"
+          "\"peak_mem_bytes\":%llu,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+          "\"supersteps\":%llu,\"data_bytes\":%llu,\"wire_bytes\":%llu,"
+          "\"peak_child_rss_bytes\":%llu,\"drained_on_signal\":%s}\n",
+          transport.c_str(), static_cast<unsigned long long>(ranks),
+          ep.num_partitions(), static_cast<unsigned long long>(requests),
+          static_cast<unsigned long long>(stats.accepted),
+          static_cast<unsigned long long>(stats.completed),
+          static_cast<unsigned long long>(stats.shed),
+          static_cast<unsigned long long>(dropped),
+          static_cast<unsigned long long>(stats.deadline_failed),
+          static_cast<unsigned long long>(stats.cancelled),
+          static_cast<unsigned long long>(stats.failed),
+          static_cast<unsigned long long>(stats.recoveries),
+          static_cast<unsigned long long>(stats.peak_admitted),
+          static_cast<unsigned long long>(stats.peak_mem_bytes), p50, p99,
+          static_cast<unsigned long long>(total_supersteps),
+          static_cast<unsigned long long>(total_data_bytes),
+          static_cast<unsigned long long>(total_wire_bytes),
+          static_cast<unsigned long long>(child_rss),
+          g_serve_stop ? "true" : "false");
+    } else {
+      std::printf(
+          "serve summary: transport=%s ranks=%llu P=%u accepted=%llu "
+          "completed=%llu shed=%llu dropped=%llu deadline_failed=%llu "
+          "cancelled=%llu failed=%llu recoveries=%llu\n",
+          transport.c_str(), static_cast<unsigned long long>(ranks),
+          ep.num_partitions(),
+          static_cast<unsigned long long>(stats.accepted),
+          static_cast<unsigned long long>(stats.completed),
+          static_cast<unsigned long long>(stats.shed),
+          static_cast<unsigned long long>(dropped),
+          static_cast<unsigned long long>(stats.deadline_failed),
+          static_cast<unsigned long long>(stats.cancelled),
+          static_cast<unsigned long long>(stats.failed),
+          static_cast<unsigned long long>(stats.recoveries));
+      std::printf(
+          "latency p50=%.1fms p99=%.1fms  peak_admitted=%llu "
+          "peak_mem=%.1fMiB supersteps=%llu wire=%llu B\n",
+          p50, p99, static_cast<unsigned long long>(stats.peak_admitted),
+          stats.peak_mem_bytes / (1024.0 * 1024.0),
+          static_cast<unsigned long long>(total_supersteps),
+          static_cast<unsigned long long>(total_wire_bytes));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -586,6 +883,7 @@ int main(int argc, char** argv) {
   if (cmd == "stream") return CmdStream(argc, argv);
   if (cmd == "evaluate") return CmdEvaluate(argc, argv);
   if (cmd == "info") return CmdInfo(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n%s", cmd.c_str(), kUsage);
   return 2;
 }

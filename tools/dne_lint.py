@@ -45,7 +45,7 @@ CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 SCAN_DIRS = ("src", "tools", "bench", "examples")
 RESULT_DIRS = ("src/partition", "src/core", "src/gen", "src/graph")
 WIRE_HEADERS = ("src/partition/dne/dne_messages.h", "src/runtime/wire.h",
-                "src/runtime/checkpoint.h")
+                "src/runtime/checkpoint.h", "src/runtime/serve_messages.h")
 VALIDATED_PARSER = "src/core/partition_config.cc"
 RUNTIME_DIR = "src/runtime"
 ALLOWLIST_FILE = os.path.join("tools", "dne_lint_allow.txt")
@@ -392,6 +392,18 @@ struct BadRecord {
   long also_drifts;
 };
 """,
+    # wire-pod over the serving data-plane header: a good layout-frozen
+    # record plus a drifting one (no assert, platform-width field).
+    "src/runtime/serve_messages.h": """
+struct GoodServeRecord {
+  std::uint64_t req_id;
+  std::uint32_t flags;
+};
+static_assert(std::is_trivially_copyable_v<GoodServeRecord>, "ok");
+struct BadServeRecord {
+  unsigned long drifts;
+};
+""",
     # nondeterminism: rand/srand/random_device + unordered_map iteration.
     "src/partition/seeded_nondet.cc": """
 #include <unordered_map>
@@ -431,7 +443,7 @@ void LaunchChild() { (void)fork(); }
 }
 
 EXPECTED_RULE_HITS = {
-    "wire-pod": 3,        # missing assert + 2 drifting fields
+    "wire-pod": 5,        # 2 missing asserts + 3 drifting fields
     "nondeterminism": 4,  # rand, srand, random_device, map iteration
     "numeric-parse": 3,   # stoi + bare atoi + std::atol
     "include-cc": 1,
@@ -463,7 +475,8 @@ def run_self_test():
         # The clean half of the seeds must NOT fire (GoodRecord, the
         # non-iterating unordered_map decl itself, the comment-only tokens).
         good_hits = [v for v in by_rule.get("wire-pod", [])
-                     if "GoodRecord" in v.message]
+                     if "GoodRecord" in v.message
+                     or "GoodServeRecord" in v.message]
         if good_hits:
             failures.append(f"false positive on clean struct: {good_hits[0]}")
 
