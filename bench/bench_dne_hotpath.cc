@@ -12,20 +12,33 @@
 // The third mode, "process" (or --transport=process), runs the identical
 // superstep loop over forked rank processes exchanging checksummed frames
 // on Unix-domain sockets — same partition bit for bit, with *observed*
-// bytes-on-wire recorded next to the modeled volume. --json appends to the
-// target file (a JSON array of records), so the committed trajectory keeps
-// every prior entry.
+// bytes-on-wire recorded next to the modeled volume. The fourth, "shm",
+// runs the same rank processes over mmap'd shared-memory rings (no
+// per-round syscalls, one copy fewer). --json appends to the target file
+// (a JSON array of records), so the committed trajectory keeps every
+// prior entry.
 //
 // --checkpoint-every=K turns on superstep checkpointing for the process
 // mode (state written to a temp directory every K supersteps) so the
 // recorded trajectory includes the checkpoint overhead — bytes written and
 // seconds spent — next to the transport numbers.
 //
+// Out-of-core ingest is benchmarked as a two-step flow so the recorded
+// coordinator footprint is honest: `--ooc-prep=FILE --scale=N` generates
+// the RMAT graph, writes its canonical binary v2 edge file, and exits
+// (this step materializes the edges — run it as its own process);
+// `--ooc-run=FILE [--ooc-chunk=C]` then partitions by streaming that file
+// into the rank processes in counts-only mode — the bench process is the
+// coordinator and never holds an O(E) structure, so its recorded peak RSS
+// is the O(chunk) evidence.
+//
 //   ./bench_dne_hotpath [--scale=17] [--edge-factor=8] [--partitions=16]
 //                       [--threads=8] [--repeats=3] [--seed=7]
-//                       [--modes=legacy,fast,process] [--transport=process]
+//                       [--modes=legacy,fast,process,shm]
+//                       [--transport=process|shm]
 //                       [--ranks=N] [--checkpoint-every=K]
 //                       [--process-ratio-warn=R] [--json=FILE]
+//                       [--ooc-prep=FILE | --ooc-run=FILE] [--ooc-chunk=C]
 #include <stdlib.h>
 
 #include <algorithm>
@@ -34,11 +47,16 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bench_util.h"
 #include "common/timer.h"
 #include "gen/rmat.h"
+#include "graph/edge_stream_reader.h"
 #include "graph/graph.h"
+#include "graph/graph_io.h"
 #include "partition/dne/dne_partitioner.h"
+#include "partition/dne/dne_process_transport.h"
 
 namespace {
 
@@ -49,6 +67,127 @@ struct ModeResult {
   double edges_per_sec = 0.0;
   dne::DneStats stats;  // from the last repeat
 };
+
+// --ooc-prep: materialize the RMAT graph once, write its canonical edge
+// order (Graph::Build-normalized, the DneStreamSpec contract) as a binary
+// v2 file, and exit. Kept separate from --ooc-run so the streaming run's
+// process never holds the edge list.
+int OocPrep(const std::string& path, int scale, int edge_factor,
+            std::uint64_t seed) {
+  dne::RmatOptions ro;
+  ro.scale = scale;
+  ro.edge_factor = edge_factor;
+  ro.seed = seed;
+  const dne::Graph g = dne::Graph::Build(dne::GenerateRmat(ro));
+  const dne::Status st = dne::SaveEdgeListBinary(path, g.edges());
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("ooc-prep: rmat scale=%d ef=%d seed=%llu -> |V|=%llu "
+              "|E|=%llu canonical edges written to %s\n",
+              scale, edge_factor, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(g.NumVertices()),
+              static_cast<unsigned long long>(g.NumEdges()), path.c_str());
+  return 0;
+}
+
+// --ooc-run: partition the prepared file by streaming it into the rank
+// processes (counts-only mode — no O(E) gather in this process), report
+// throughput and the coordinator's peak RSS, and append a dne_ooc record.
+int OocRun(const std::string& path, std::uint64_t chunk_edges,
+           int partitions, int ranks, const std::string& transport,
+           std::uint64_t seed, const std::string& json_path) {
+  std::unique_ptr<dne::EdgeStreamReader> probe;
+  dne::Status st = dne::OpenEdgeStream(path, "bin", 1, &probe);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  dne::DneStreamSpec spec;
+  spec.path = path;
+  spec.format = "bin";
+  spec.num_vertices = probe->NumVerticesHint();
+  spec.num_edges = probe->EdgeCountHint();
+  spec.chunk_edges = chunk_edges;
+  spec.gather_assignment = false;
+  probe.reset();
+  if (spec.num_vertices == 0 || spec.num_edges == 0) {
+    std::fprintf(stderr,
+                 "error: %s has no binary header hints (run --ooc-prep)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  dne::DneOptions opt;
+  opt.seed = seed;
+  opt.num_threads = 1;
+  opt.transport = transport == "shm" ? dne::DneTransport::kShm
+                                     : dne::DneTransport::kProcess;
+  opt.ranks = ranks;
+  const int nproc = ranks == 0 ? 2 : ranks;
+  std::printf("\nooc-run: %s |V|=%llu |E|=%llu chunk=%llu P=%d "
+              "transport=%s nproc=%d (counts-only: the coordinator never "
+              "materializes the edge list)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(spec.num_vertices),
+              static_cast<unsigned long long>(spec.num_edges),
+              static_cast<unsigned long long>(chunk_edges), partitions,
+              transport.c_str(), nproc);
+  dne::DneStats stats;
+  dne::WallTimer t;
+  st = dne::RunDneProcessTransportStream(
+      spec, static_cast<std::uint32_t>(partitions), opt, seed, nproc,
+      dne::PartitionContext{}, /*out=*/nullptr, &stats);
+  const double secs = t.Seconds();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double eps = static_cast<double>(spec.num_edges) / secs;
+  std::uint64_t max_child_rss = 0;
+  for (const std::uint64_t b : stats.process_rss_bytes) {
+    max_child_rss = std::max(max_child_rss, b);
+  }
+  const std::uint64_t coord_rss = dne::bench::PeakRssBytes();
+  std::printf("ooc-run: %.3f s, %.2f Medges/s over %llu supersteps; "
+              "coordinator peak RSS %s (file is %s), max rank-process "
+              "RSS %s\n",
+              secs, eps / 1e6,
+              static_cast<unsigned long long>(stats.iterations),
+              dne::bench::HumanBytes(static_cast<double>(coord_rss)).c_str(),
+              dne::bench::HumanBytes(
+                  static_cast<double>(spec.num_edges * 16)).c_str(),
+              dne::bench::HumanBytes(
+                  static_cast<double>(max_child_rss)).c_str());
+
+  if (!json_path.empty()) {
+    dne::bench::JsonWriter w;
+    w.BeginObject();
+    w.KV("bench", "dne_ooc");
+    w.KV("file", path);
+    w.KV("vertices", spec.num_vertices);
+    w.KV("edges", spec.num_edges);
+    w.KV("chunk_edges", chunk_edges);
+    w.KV("partitions", partitions);
+    w.KV("transport", transport);
+    w.KV("rank_processes", stats.rank_processes);
+    w.KV("seed", seed);
+    w.KV("wall_seconds", secs);
+    w.KV("edges_per_sec", eps);
+    w.KV("supersteps", stats.iterations);
+    w.KV("comm_payload_bytes", stats.comm_bytes);
+    w.KV("wire_bytes", stats.wire_bytes);
+    w.KV("wire_frames", stats.wire_frames);
+    w.KV("coordinator_peak_rss_bytes", coord_rss);
+    w.KV("max_rank_process_rss_bytes", max_child_rss);
+    w.KV("edge_list_bytes", spec.num_edges * 16);
+    w.EndObject();
+    if (!dne::bench::AppendJsonRecord(json_path, w.str())) return 1;
+    std::printf("appended to %s\n", json_path.c_str());
+  }
+  return 0;
+}
 
 }  // namespace
 
@@ -64,6 +203,20 @@ int main(int argc, char** argv) {
   const std::string transport = flags.GetString("transport", "");
   const int ranks = flags.GetInt("ranks", 0);
   const int checkpoint_every = flags.GetInt("checkpoint-every", 0);
+  const std::string json_flag = flags.GetString("json", "");
+
+  const std::string ooc_prep = flags.GetString("ooc-prep", "");
+  if (!ooc_prep.empty()) {
+    return OocPrep(ooc_prep, flags.GetInt("scale", 20), edge_factor, seed);
+  }
+  const std::string ooc_run = flags.GetString("ooc-run", "");
+  if (!ooc_run.empty()) {
+    return OocRun(ooc_run,
+                  static_cast<std::uint64_t>(
+                      flags.GetInt("ooc-chunk", 1 << 20)),
+                  partitions, ranks,
+                  transport == "shm" ? "shm" : "process", seed, json_flag);
+  }
   std::string checkpoint_dir;
   if (checkpoint_every > 0) {
     char tmpl[] = "/tmp/dne_bench_ckpt_XXXXXX";
@@ -76,14 +229,16 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::string> modes = dne::bench::SplitCsv(
       flags.GetString("modes", transport == "process" ? "fast,process"
+                      : transport == "shm"            ? "fast,shm"
                                                       : "legacy,fast"));
-  const std::string json_path = flags.GetString("json", "");
+  const std::string json_path = json_flag;
   dne::bench::PrintBanner(
       "DNE hot path",
       "superstep pipeline: old vs overhauled shape, modeled vs real transport",
       "--scale=N --edge-factor=N --partitions=N --threads=N --repeats=N "
-      "--seed=N --modes=legacy,fast,process --transport=process --ranks=N "
-      "--checkpoint-every=K --process-ratio-warn=R --json=FILE");
+      "--seed=N --modes=legacy,fast,process,shm --transport=process|shm "
+      "--ranks=N --checkpoint-every=K --process-ratio-warn=R --json=FILE "
+      "--ooc-prep=FILE --ooc-run=FILE --ooc-chunk=C");
 
   dne::RmatOptions ro;
   ro.scale = scale;
@@ -99,18 +254,20 @@ int main(int argc, char** argv) {
 
   auto run = [&](const std::string& mode, int nthreads,
                  dne::EdgePartition* ep, dne::DneStats* stats) -> double {
+    const bool forked = mode == "process" || mode == "shm";
     dne::DneOptions o;
-    o.num_threads = mode == "process" ? 1 : nthreads;
+    o.num_threads = forked ? 1 : nthreads;
     o.legacy_hotpath = mode == "legacy";
-    if (mode == "process") {
-      o.transport = dne::DneTransport::kProcess;
+    if (forked) {
+      o.transport = mode == "shm" ? dne::DneTransport::kShm
+                                  : dne::DneTransport::kProcess;
       o.ranks = ranks;
       if (checkpoint_every > 0) {
         o.checkpoint_every = static_cast<std::uint32_t>(checkpoint_every);
       }
     }
     dne::DnePartitioner p(o);
-    if (mode == "process" && checkpoint_every > 0) {
+    if (forked && checkpoint_every > 0) {
       p.SetCheckpointDir(checkpoint_dir);
     }
     dne::WallTimer t;
@@ -129,6 +286,8 @@ int main(int argc, char** argv) {
   // the multi-process transport bit-identical to the in-process one.
   const bool want_process =
       std::find(modes.begin(), modes.end(), "process") != modes.end();
+  const bool want_shm =
+      std::find(modes.begin(), modes.end(), "shm") != modes.end();
   dne::EdgePartition ref, probe;
   run("fast", /*nthreads=*/1, &ref, nullptr);
   run("fast", threads, &probe, nullptr);
@@ -138,13 +297,19 @@ int main(int argc, char** argv) {
   bool transport_identical = true;
   if (want_process) {
     run("process", threads, &probe, nullptr);
-    transport_identical = ref.assignment() == probe.assignment();
+    transport_identical =
+        transport_identical && ref.assignment() == probe.assignment();
+  }
+  if (want_shm) {
+    run("shm", threads, &probe, nullptr);
+    transport_identical =
+        transport_identical && ref.assignment() == probe.assignment();
   }
   std::printf("determinism: threads 1 vs %d %s, legacy vs fast %s%s%s\n\n",
               threads, threads_identical ? "IDENTICAL" : "DIVERGED",
               modes_identical ? "IDENTICAL" : "DIVERGED",
-              want_process ? ", inproc vs process " : "",
-              want_process
+              (want_process || want_shm) ? ", inproc vs transports " : "",
+              (want_process || want_shm)
                   ? (transport_identical ? "IDENTICAL" : "DIVERGED")
                   : "");
 
@@ -153,7 +318,8 @@ int main(int argc, char** argv) {
               "host A/B/C/D+dist ms");
   std::vector<ModeResult> results;
   for (const std::string& mode : modes) {
-    if (mode != "legacy" && mode != "fast" && mode != "process") {
+    if (mode != "legacy" && mode != "fast" && mode != "process" &&
+        mode != "shm") {
       std::fprintf(stderr, "error: unknown mode '%s'\n", mode.c_str());
       return 1;
     }
@@ -216,30 +382,39 @@ int main(int argc, char** argv) {
     }
   }
   double process_ratio = 0.0;
+  double shm_ratio = 0.0;
   {
     const ModeResult* inproc = nullptr;
     const ModeResult* proc = nullptr;
+    const ModeResult* shm = nullptr;
     for (const ModeResult& r : results) {
       if (r.mode == "fast" || (r.mode == "legacy" && inproc == nullptr)) {
         inproc = &r;
       }
       if (r.mode == "process") proc = &r;
+      if (r.mode == "shm") shm = &r;
     }
-    if (inproc != nullptr && proc != nullptr && inproc->edges_per_sec > 0) {
-      process_ratio = proc->edges_per_sec / inproc->edges_per_sec;
-      std::printf("process vs in-process throughput: %.2fx\n", process_ratio);
-      // Warn-only perf gate for CI: below the floor we complain loudly but
-      // never fail the run — wall-clock on shared runners is too noisy to
-      // gate hard, the bit-identity checks above are what must hold.
-      const double warn_floor = flags.GetDouble("process-ratio-warn", 0.0);
-      if (warn_floor > 0.0 && process_ratio < warn_floor) {
+    // Warn-only perf gate for CI: below the floor we complain loudly but
+    // never fail the run — wall-clock on shared runners is too noisy to
+    // gate hard, the bit-identity checks above are what must hold.
+    const double warn_floor = flags.GetDouble("process-ratio-warn", 0.0);
+    auto ratio_of = [&](const ModeResult* r, const char* name) -> double {
+      if (inproc == nullptr || r == nullptr || inproc->edges_per_sec <= 0) {
+        return 0.0;
+      }
+      const double ratio = r->edges_per_sec / inproc->edges_per_sec;
+      std::printf("%s vs in-process throughput: %.2fx\n", name, ratio);
+      if (warn_floor > 0.0 && ratio < warn_floor) {
         std::fprintf(stderr,
-                     "WARNING: process transport ran at %.2fx of the "
+                     "WARNING: %s transport ran at %.2fx of the "
                      "in-process throughput (floor %.2fx) — possible "
                      "transport performance regression\n",
-                     process_ratio, warn_floor);
+                     name, ratio, warn_floor);
       }
-    }
+      return ratio;
+    };
+    process_ratio = ratio_of(proc, "process");
+    shm_ratio = ratio_of(shm, "shm");
   }
   std::printf("(legacy replays the pre-overhaul hot path end to end: "
               "sequential selection, binary-heap boundaries, per-superstep "
@@ -282,14 +457,16 @@ int main(int argc, char** argv) {
       w.KV("host_phase_b_seconds", s.host_phase_b_seconds);
       w.KV("host_phase_c_seconds", s.host_phase_c_seconds);
       w.KV("host_phase_d_seconds", s.host_phase_d_seconds);
-      w.KV("transport", r.mode == "process" ? "process" : "inproc");
+      w.KV("transport", r.mode == "process" ? "process"
+                        : r.mode == "shm"   ? "shm"
+                                            : "inproc");
       w.KV("comm_payload_bytes", s.comm_bytes);
       w.KV("comm_messages", s.comm_messages);
       w.KV("wire_bytes", s.wire_bytes);
       w.KV("wire_frames", s.wire_frames);
       w.KV("rank_processes", s.rank_processes);
       w.KV("checkpoint_every",
-           r.mode == "process" ? checkpoint_every : 0);
+           (r.mode == "process" || r.mode == "shm") ? checkpoint_every : 0);
       w.KV("checkpoint_bytes", s.checkpoint_bytes);
       w.KV("checkpoint_seconds", s.checkpoint_seconds);
       w.EndObject();
@@ -297,6 +474,7 @@ int main(int argc, char** argv) {
     w.EndArray();
     w.KV("speedup_fast_over_legacy", speedup);
     w.KV("process_vs_inproc_ratio", process_ratio);
+    w.KV("shm_vs_inproc_ratio", shm_ratio);
     w.KV("transport_bit_identical", transport_identical);
     w.KV("peak_rss_bytes", dne::bench::PeakRssBytes());
     w.EndObject();

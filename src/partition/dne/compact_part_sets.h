@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "partition/dne/part_set_simd.h"
 #include "runtime/wire.h"
 
 namespace dne {
@@ -84,19 +85,17 @@ class CompactPartSets {
 
   /// Visits the ids common to u's and w's sets in ascending order. In
   /// bitmap mode this is a word-wise AND + bit scan — the two-hop hot loop
-  /// (Alg. 3 line 14) runs on it without materialising either set.
+  /// (Alg. 3 line 14) runs on it without materialising either set. The AND
+  /// is vectorized when the build and CPU allow (part_set_simd.h); emission
+  /// order is bit-identical either way.
   template <typename Fn>
   void ForEachCommon(std::uint32_t u, std::uint32_t w, Fn&& fn) const {
     if (words_ > 0) {
       const std::uint64_t* bu = &bits_[static_cast<std::size_t>(u) * words_];
       const std::uint64_t* bw = &bits_[static_cast<std::size_t>(w) * words_];
-      for (std::uint32_t i = 0; i < words_; ++i) {
-        std::uint64_t common = bu[i] & bw[i];
-        while (common != 0) {
-          fn(static_cast<PartitionId>(64 * i + std::countr_zero(common)));
-          common &= common - 1;
-        }
-      }
+      simd::AndScanWords(bu, bw, words_, [&fn](std::uint32_t id) {
+        fn(static_cast<PartitionId>(id));
+      });
       return;
     }
     PartitionId iu[2], iw[2];

@@ -18,10 +18,12 @@ namespace dne {
 enum class SeedStrategy { kRandom, kMinDegree, kMaxDegree };
 
 /// Which transport runs the superstep loop (see runtime/communicator.h):
-/// in-process ranks over the modeled exchange, or forked rank processes
-/// over Unix-domain sockets with observed byte accounting. The partition
-/// result is bit-identical either way.
-enum class DneTransport { kInProcess, kProcess };
+/// in-process ranks over the modeled exchange, forked rank processes over
+/// Unix-domain sockets, or forked rank processes over shared-memory SPSC
+/// rings (same frames, no data-path syscalls) — the latter two with
+/// observed byte accounting. The partition result is bit-identical across
+/// all three.
+enum class DneTransport { kInProcess, kProcess, kShm };
 
 /// Upper bound on forked rank processes (`ranks` option). Above this the
 /// fork fan-out and the O(n^2) socket mesh stop being a sensible single-host
@@ -102,8 +104,10 @@ struct DneOptions {
   /// differs. Exists for bench_dne_hotpath's old-vs-new comparison.
   bool legacy_hotpath = false;
   /// Transport under the superstep loop. kProcess forks rank processes and
-  /// exchanges checksummed frames over socket pairs; comm/cost stats then
-  /// report *observed* wire traffic instead of the modeled volume.
+  /// exchanges checksummed frames over socket pairs; kShm forks the same
+  /// processes but moves the identical frames through mmap'd shared-memory
+  /// rings. Either way comm/cost stats report *observed* wire traffic
+  /// instead of the modeled volume.
   DneTransport transport = DneTransport::kInProcess;
   /// Process transport only: number of rank processes hosting the |P|
   /// simulated ranks (rank r lives on process r mod ranks). 0 = one process
@@ -176,6 +180,9 @@ struct DneStats {
   /// Process transport only: rank processes forked and each one's observed
   /// peak RSS (getrusage), indexed by process.
   int rank_processes = 0;
+  /// The transport that actually ran (after `ranks=0`/NUMA auto-derivation
+  /// resolves), so reporting surfaces name the mesh correctly.
+  DneTransport transport_used = DneTransport::kInProcess;
   std::vector<std::uint64_t> process_rss_bytes;
   /// Process transport only: cluster restarts the supervisor performed to
   /// finish the run (0 on a fault-free run), and the checkpoint overhead —

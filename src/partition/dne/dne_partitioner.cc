@@ -13,6 +13,7 @@
 #include "partition/dne/dne_rank_state.h"
 #include "partition/dne/two_d_distribution.h"
 #include "runtime/communicator.h"
+#include "runtime/host_topology.h"
 #include "runtime/sim_cluster.h"
 #include "runtime/thread_pool.h"
 
@@ -54,31 +55,48 @@ Status ResolveTransport(const DneOptions& options,
     }
     return Status::OK();
   }
+  const bool shm = options.transport == DneTransport::kShm;
   if (num_partitions < 2) {
     return Status::InvalidArgument(
-        "transport=process needs at least 2 partitions (there is nothing "
+        std::string(shm ? "transport=shm" : "transport=process") +
+        " needs at least 2 partitions (there is nothing "
         "to distribute across one rank)");
   }
   const int max_procs = static_cast<int>(
       std::min<std::uint32_t>(num_partitions, kMaxRankProcesses));
   int n = options.ranks;
   if (n == 0) {
-    // Auto: one rank process per hardware core, not per simulated rank —
-    // oversubscribing |P| processes onto few cores just multiplies context
-    // switches and frames (the 2.3x process-transport slowdown). Co-hosted
-    // ranks exchange in memory for free.
-    const unsigned cores = std::thread::hardware_concurrency();
-    n = std::clamp(static_cast<int>(cores == 0 ? 2 : cores), 2, max_procs);
+    if (shm && CountNumaNodes() >= 2) {
+      // Auto for shm: one rank process per NUMA node. The rings pin hot
+      // cachelines per pair, so fewer, node-sized processes beat per-core
+      // fan-out — each process's co-hosted ranks exchange in memory, and
+      // the cross-node traffic rides the rings.
+      n = std::clamp(CountNumaNodes(), 2, max_procs);
+    } else {
+      // Auto: one rank process per hardware core, not per simulated rank —
+      // oversubscribing |P| processes onto few cores just multiplies context
+      // switches and frames (the 2.3x process-transport slowdown). Co-hosted
+      // ranks exchange in memory for free.
+      const unsigned cores = std::thread::hardware_concurrency();
+      n = std::clamp(static_cast<int>(cores == 0 ? 2 : cores), 2, max_procs);
+    }
   }
   if (n < 2 || n > max_procs) {
     return Status::InvalidArgument(
         "ranks must be in [2, min(partitions, " +
-        std::to_string(kMaxRankProcesses) + ")] for transport=process; got " +
-        std::to_string(options.ranks));
+        std::to_string(kMaxRankProcesses) + ")] for transport=" +
+        (shm ? "shm" : "process") + "; got " + std::to_string(options.ranks));
   }
   if (options.checkpoint_every > 0 && options.checkpoint_dir[0] == '\0') {
     return Status::InvalidArgument(
         "checkpoint_every requires a checkpoint_dir to write into");
+  }
+  if (shm && options.checkpoint_dir[0] != '\0' &&
+      !PathOnLocalFilesystem(options.checkpoint_dir)) {
+    return Status::InvalidArgument(
+        "transport=shm requires checkpoint_dir on a local filesystem "
+        "(network mounts make the rename-commit protocol unreliable); " +
+        std::string(options.checkpoint_dir) + " looks remote");
   }
   for (std::uint32_t i = 0; i < options.num_faults; ++i) {
     const FaultAction& a = options.faults[i];
@@ -164,7 +182,7 @@ Status DnePartitioner::PartitionImpl(const Graph& g,
         "injected communicator must host all " + std::to_string(ranks) +
         " simulated ranks");
   }
-  if (injected == nullptr && options_.transport == DneTransport::kProcess) {
+  if (injected == nullptr && options_.transport != DneTransport::kInProcess) {
     dne_stats_ = DneStats{};
     DNE_RETURN_IF_ERROR(RunDneProcessTransport(
         g, num_partitions, options_, seed, nproc, ctx, out, &dne_stats_));
@@ -354,14 +372,16 @@ OptionSchema DneSchema() {
       OptionSpec::Bool("legacy_hotpath", false,
                        "pre-overhaul sequential hot path (bench reference; "
                        "bit-identical result)"),
-      OptionSpec::Enum("transport", {"inproc", "process"}, "inproc",
-                       "superstep transport: in-process modeled exchange or "
-                       "forked rank processes over socket frames "
+      OptionSpec::Enum("transport", {"inproc", "process", "shm"}, "inproc",
+                       "superstep transport: in-process modeled exchange, "
+                       "forked rank processes over socket frames, or the "
+                       "same processes over shared-memory rings "
                        "(bit-identical partitions)"),
       OptionSpec::Int("ranks", 0, 0, kMaxRankProcesses,
-                      "rank processes for transport=process; 0 = one per "
-                      "hardware core (clamped to [2, partitions]), "
-                      "otherwise >= 2"),
+                      "rank processes for transport=process/shm; 0 = one "
+                      "per hardware core (shm: per NUMA node when the host "
+                      "has several; clamped to [2, partitions]), otherwise "
+                      ">= 2"),
       OptionSpec::Bool("coalesce", true,
                        "fuse step-end exchanges into one multi-channel "
                        "frame per peer (transport=process; off = legacy "
@@ -413,9 +433,10 @@ DNE_REGISTER_PARTITIONER(
           o.max_supersteps = s.UintOr(c, "max_supersteps");
           o.num_threads = static_cast<int>(s.IntOr(c, "threads"));
           o.legacy_hotpath = s.BoolOr(c, "legacy_hotpath");
-          o.transport = s.EnumOr(c, "transport") == "process"
-                            ? DneTransport::kProcess
-                            : DneTransport::kInProcess;
+          const std::string transport = s.EnumOr(c, "transport");
+          o.transport = transport == "process" ? DneTransport::kProcess
+                        : transport == "shm"   ? DneTransport::kShm
+                                               : DneTransport::kInProcess;
           o.ranks = static_cast<int>(s.IntOr(c, "ranks"));
           o.coalesce_frames = s.BoolOr(c, "coalesce");
           o.checkpoint_every =

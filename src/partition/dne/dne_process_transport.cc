@@ -9,16 +9,19 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "common/timer.h"
+#include "graph/edge_stream_reader.h"
 #include "partition/dne/dne_rank_state.h"
 #include "partition/dne/two_d_distribution.h"
 #include "runtime/checkpoint.h"
 #include "runtime/fault_injector.h"
 #include "runtime/process_cluster.h"
+#include "runtime/shm_ring.h"
 #include "runtime/wire.h"
 
 namespace dne {
@@ -40,6 +43,10 @@ enum CtrlKind : std::uint8_t {
   // mesh ends, reported where it stood (ParkedHead + message) and now sits
   // parked until the supervisor SIGKILLs the cluster for the restart.
   kCtrlParked = 38,
+  // Out-of-core counts-only result: per hosted rank, the per-partition edge
+  // counts of its shard instead of the full assignment vector — the reply
+  // that keeps the coordinator O(chunk), not O(E).
+  kCtrlResultCounts = 39,
 };
 
 struct ConfigTail {
@@ -55,7 +62,24 @@ struct ConfigTail {
   /// Keys the fault plan so an injected fault does not refire after the
   /// recovery it was meant to trigger.
   std::int32_t epoch;
-  std::uint32_t pad = 0;
+  /// 0 = the coordinator ships the shard as kCtrlEdges frames. 1/2 = the
+  /// child streams its shard itself from the edge file whose path follows
+  /// the tail in the config frame (1 = full assignments come back, 2 =
+  /// per-partition counts only).
+  std::uint32_t ingest_mode;
+  /// Edges per streamed ingest chunk (ingest_mode != 0).
+  std::uint64_t chunk_edges;
+};
+
+/// Run directory at the head of the shm bulk region (transport=shm with a
+/// materialized graph): one slot per rank, followed by the runs — bare
+/// 16-byte {src, dst} records in ascending global edge order, exactly the
+/// bytes a kCtrlEdges stream would have carried. This never crosses a
+/// wire; the layout is private to one coordinator and the children that
+/// inherited its mapping, so it is not a wire POD.
+struct BulkRankRun {
+  std::uint64_t offset;  ///< byte offset of the run from the region base
+  std::uint64_t count;   ///< edges in the run
 };
 
 /// Payload head of a kCtrlParked frame; the failure message follows.
@@ -336,12 +360,17 @@ Status RestoreFromCheckpoint(const std::string& dir, int child,
 /// deadlocking), report where the run stood, then wait for the
 /// supervisor's SIGKILL.
 [[noreturn]] void ParkUntilKilled(int child, const std::vector<int>& mesh_fds,
-                                  int control_fd, std::uint32_t superstep,
+                                  ShmMesh* shm, int control_fd,
+                                  std::uint32_t superstep,
                                   std::uint8_t round_kind,
                                   const std::string& why) {
   for (int fd : mesh_fds) {
     if (fd >= 0) ::close(fd);
   }
+  // The shm mesh has no EOF: marking ourselves dead is the ring-world
+  // equivalent of closing the socket ends — peers blocked on our rings wake
+  // and fail their round instead of waiting out the stall deadline.
+  if (shm != nullptr) shm->MarkDead(child);
   std::vector<unsigned char> buf;
   ParkedHead head{};
   head.superstep = superstep;
@@ -359,7 +388,21 @@ Status RestoreFromCheckpoint(const std::string& dir, int child,
   ::_exit(0);
 }
 
-Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
+/// Reads one `u64 length + bytes` string out of the config payload.
+bool ReadConfigString(wire::PayloadReader* reader, std::string* out) {
+  std::uint64_t len = 0;
+  if (!reader->Read(&len) || len > (1u << 16) || reader->remaining() < len) {
+    return false;
+  }
+  out->assign(reinterpret_cast<const char*>(reader->cursor()),
+              static_cast<std::size_t>(len));
+  reader->Skip(len);
+  return true;
+}
+
+Status ChildRun(int child, const std::vector<int>& mesh_fds, ShmMesh* shm,
+                const unsigned char* bulk, std::size_t bulk_bytes,
+                int control_fd) {
   // Config first: options + cluster geometry.
   wire::FrameHeader header;
   std::vector<unsigned char> payload;
@@ -370,9 +413,15 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
   }
   DneOptions opt;
   ConfigTail tail{};
+  std::string stream_path, stream_format;
   {
     wire::PayloadReader reader(payload.data(), payload.size());
     if (!reader.Read(&opt) || !reader.Read(&tail)) {
+      return Status::Internal("malformed config frame");
+    }
+    if (tail.ingest_mode != 0 &&
+        (!ReadConfigString(&reader, &stream_path) ||
+         !ReadConfigString(&reader, &stream_format))) {
       return Status::Internal("malformed config frame");
     }
   }
@@ -386,11 +435,26 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
   injector.Configure(opt.faults, opt.num_faults, child,
                      static_cast<int>(tail.nproc), tail.epoch);
 
-  SocketCommunicator comm(ranks, static_cast<int>(tail.nproc), child,
-                          mesh_fds, opt.coalesce_frames, opt.stall_timeout_s);
+  // The mesh endpoint: identical frames either way, so everything past this
+  // point is transport-blind.
+  std::unique_ptr<MeshCommunicator> comm_owner;
+  if (opt.transport == DneTransport::kShm) {
+    if (shm == nullptr) {
+      return Status::Internal("transport=shm child launched without a mesh");
+    }
+    comm_owner = std::make_unique<ShmCommunicator>(
+        ranks, static_cast<int>(tail.nproc), child, shm, opt.coalesce_frames,
+        opt.stall_timeout_s);
+  } else {
+    comm_owner = std::make_unique<SocketCommunicator>(
+        ranks, static_cast<int>(tail.nproc), child, mesh_fds,
+        opt.coalesce_frames, opt.stall_timeout_s);
+  }
+  MeshCommunicator& comm = *comm_owner;
   if (injector.armed()) comm.SetFaultInjector(&injector);
   const std::vector<int>& local = comm.local_ranks();
   const std::size_t num_local = local.size();
+  TwoDDistribution dist(num_partitions, tail.seed);
 
   // Shard ingestion: the only bytes of the graph this process ever owns.
   // Edges arrive in ascending global order per rank, so AddEdge order (and
@@ -408,27 +472,87 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
                         /*legacy_scan=*/!fast);
   }
   std::vector<EdgeId> next_local_edge(num_local, 0);
-  for (;;) {
-    DNE_RETURN_IF_ERROR(
-        wire::RecvFrame(control_fd, &header, &payload, kCoordinator));
-    if (header.kind == kCtrlEdgesDone) break;
-    if (header.kind != kCtrlEdges) {
-      return Status::Internal("rank process expected an edge frame");
+  if (tail.ingest_mode == 0 && bulk != nullptr) {
+    // Shm bulk handoff: the coordinator laid out every rank's run in a
+    // MAP_SHARED region before the fork, so this process's shard is
+    // already sitting in its address space — parse it in place. Per-rank
+    // record order is the same ascending global order the kCtrlEdges
+    // stream would have delivered, so the frozen CSR is bit-identical.
+    const std::size_t table_bytes =
+        static_cast<std::size_t>(ranks) * sizeof(BulkRankRun);
+    if (bulk_bytes < table_bytes) {
+      return Status::Internal("shm bulk region smaller than its directory");
     }
-    // The frame's `from` field carries the destination rank: one frame is
-    // one run of that rank's edges, bare 16-byte {src, dst} records.
-    if (header.from >= num_partitions ||
-        comm.rank_to_proc(static_cast<int>(header.from)) != child) {
-      return Status::Internal("misrouted edge frame");
-    }
-    const std::size_t slot = comm.slot_of_rank(static_cast<int>(header.from));
-    wire::PayloadReader reader(payload.data(), payload.size());
-    Edge rec{};
-    while (reader.remaining() > 0) {
-      if (!reader.Read(&rec)) {
-        return Status::Internal("malformed edge frame");
+    for (std::size_t slot = 0; slot < num_local; ++slot) {
+      BulkRankRun run;
+      std::memcpy(&run, bulk + local[slot] * sizeof(BulkRankRun),
+                  sizeof(run));
+      if (run.offset < table_bytes || run.offset > bulk_bytes ||
+          run.count > (bulk_bytes - run.offset) / sizeof(Edge)) {
+        return Status::Internal("malformed shm bulk shard directory");
       }
-      allocs[slot].AddEdge(next_local_edge[slot]++, rec.src, rec.dst);
+      const unsigned char* p = bulk + run.offset;
+      Edge rec{};
+      for (std::uint64_t i = 0; i < run.count; ++i, p += sizeof(Edge)) {
+        std::memcpy(&rec, p, sizeof(rec));
+        allocs[slot].AddEdge(next_local_edge[slot]++, rec.src, rec.dst);
+      }
+    }
+  } else if (tail.ingest_mode == 0) {
+    for (;;) {
+      DNE_RETURN_IF_ERROR(
+          wire::RecvFrame(control_fd, &header, &payload, kCoordinator));
+      if (header.kind == kCtrlEdgesDone) break;
+      if (header.kind != kCtrlEdges) {
+        return Status::Internal("rank process expected an edge frame");
+      }
+      // The frame's `from` field carries the destination rank: one frame is
+      // one run of that rank's edges, bare 16-byte {src, dst} records.
+      if (header.from >= num_partitions ||
+          comm.rank_to_proc(static_cast<int>(header.from)) != child) {
+        return Status::Internal("misrouted edge frame");
+      }
+      const std::size_t slot =
+          comm.slot_of_rank(static_cast<int>(header.from));
+      wire::PayloadReader reader(payload.data(), payload.size());
+      Edge rec{};
+      while (reader.remaining() > 0) {
+        if (!reader.Read(&rec)) {
+          return Status::Internal("malformed edge frame");
+        }
+        allocs[slot].AddEdge(next_local_edge[slot]++, rec.src, rec.dst);
+      }
+    }
+  } else {
+    // Out-of-core ingest: stream the canonical edge file and keep only this
+    // process's shard. The stream's order IS ascending global edge-id
+    // order, so per-rank AddEdge order matches what the coordinator-shipped
+    // path produces — the bit-identity invariant holds with no edge ever
+    // materialized outside its owner. Working set: one chunk.
+    std::unique_ptr<EdgeStreamReader> stream;
+    DNE_RETURN_IF_ERROR(OpenEdgeStream(
+        stream_path, stream_format,
+        static_cast<std::size_t>(tail.chunk_edges), &stream));
+    std::vector<Edge> chunk;
+    std::uint64_t streamed = 0;
+    for (;;) {
+      DNE_RETURN_IF_ERROR(stream->NextChunk(&chunk));
+      if (chunk.empty()) break;
+      for (const Edge& ed : chunk) {
+        const int r = dist.OwnerOf(ed.src, ed.dst);
+        if (comm.rank_to_proc(r) == child) {
+          const std::size_t slot = comm.slot_of_rank(r);
+          allocs[slot].AddEdge(next_local_edge[slot]++, ed.src, ed.dst);
+        }
+        ++streamed;
+      }
+    }
+    if (streamed != tail.total_edges) {
+      return Status::Internal(
+          "edge stream " + stream_path + " yielded " +
+          std::to_string(streamed) + " edges, config promised " +
+          std::to_string(tail.total_edges) +
+          " (stale file or non-canonical stream?)");
     }
   }
   for (AllocationProcess& a : allocs) a.Finalize();
@@ -448,7 +572,6 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
 
   TapeLedger ledger(local);
   comm.SetLedger(&ledger);
-  TwoDDistribution dist(num_partitions, tail.seed);
 
   DneLoopEnv env;
   env.options = &opt;
@@ -519,18 +642,33 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
   if (loop_st.ok()) loop_st = comm.Barrier();
   if (!loop_st.ok()) {
     if (loop_st.code() == Status::Code::kUnavailable) {
-      ParkUntilKilled(child, mesh_fds, control_fd, current_superstep,
+      ParkUntilKilled(child, mesh_fds, shm, control_fd, current_superstep,
                       comm.last_round_kind(), loop_st.message());
     }
     return loop_st;
   }
 
-  // Results: one frame per hosted rank with the shard's assignment.
+  // Results: one frame per hosted rank — the shard's full assignment, or
+  // (counts-only out-of-core mode) just its per-partition edge counts so
+  // the coordinator never holds O(E) of anything.
   std::vector<unsigned char> buf;
   for (std::size_t l = 0; l < num_local; ++l) {
     const std::vector<PartitionId>& parts =
         states[l].alloc.local_assignment();
     buf.clear();
+    if (tail.ingest_mode == 2) {
+      std::vector<std::uint64_t> counts(num_partitions, 0);
+      for (PartitionId p : parts) ++counts[p];
+      wire::AppendPod(&buf, static_cast<std::uint32_t>(local[l]));
+      wire::AppendPod(&buf, std::uint32_t{0});
+      wire::AppendPod(&buf, static_cast<std::uint64_t>(counts.size()));
+      for (std::uint64_t n : counts) wire::AppendPod(&buf, n);
+      DNE_RETURN_IF_ERROR(wire::SendFrame(control_fd, kCtrlResultCounts,
+                                          static_cast<std::uint32_t>(child),
+                                          buf.data(), buf.size(),
+                                          kCoordinator));
+      continue;
+    }
     wire::AppendPod(&buf, static_cast<std::uint32_t>(local[l]));
     wire::AppendPod(&buf, std::uint32_t{0});
     wire::AppendPod(&buf, static_cast<std::uint64_t>(parts.size()));
@@ -577,9 +715,11 @@ Status ChildRun(int child, const std::vector<int>& mesh_fds, int control_fd) {
                          buf.size(), kCoordinator);
 }
 
-int DneChildMain(int child, const std::vector<int>& mesh_fds,
-                 int control_fd) {
-  const Status st = ChildRun(child, mesh_fds, control_fd);
+int DneChildMain(int child, const std::vector<int>& mesh_fds, ShmMesh* shm,
+                 const ShmBulk* bulk, int control_fd) {
+  const Status st =
+      ChildRun(child, mesh_fds, shm, bulk != nullptr ? bulk->data() : nullptr,
+               bulk != nullptr ? bulk->bytes() : 0, control_fd);
   if (st.ok()) return 0;
   // Best-effort diagnostic to the coordinator before exiting non-zero.
   const std::string msg = st.ToString();
@@ -592,12 +732,32 @@ int DneChildMain(int child, const std::vector<int>& mesh_fds,
 
 // ---- Parent side ------------------------------------------------------------
 
+/// Where the run's edges come from: a materialized Graph the coordinator
+/// ships shard-by-shard, or an on-disk canonical edge file every child
+/// streams itself (out-of-core; the coordinator ships routing only).
+struct ShardSource {
+  const Graph* g = nullptr;
+  const DneStreamSpec* stream = nullptr;
+
+  std::uint64_t num_vertices() const {
+    return g != nullptr ? g->NumVertices() : stream->num_vertices;
+  }
+  std::uint64_t total_edges() const {
+    return g != nullptr ? g->NumEdges() : stream->num_edges;
+  }
+  std::uint32_t ingest_mode() const {
+    if (g != nullptr) return 0;
+    return stream->gather_assignment ? 1 : 2;
+  }
+};
+
 struct ChildReport {
   bool stats_done = false;
   StatsHead head{};
   std::vector<RankStatsRecord> rank_stats;
   std::vector<TapeLedger::Step> tape;
-  std::vector<std::vector<PartitionId>> rank_parts;  // by local slot
+  std::vector<std::vector<PartitionId>> rank_parts;   // by local slot
+  std::vector<std::vector<std::uint64_t>> rank_counts;  // counts-only mode
   std::vector<int> local_ranks;
 };
 
@@ -649,19 +809,91 @@ Status ParseStatsFrame(const std::vector<unsigned char>& payload,
 /// the recovery epoch) + shards, monitor to completion. On success
 /// `reports` holds every child's results; on failure `failure` says
 /// whether the supervisor may restart and where the run stood.
-Status RunOnce(const Graph& g, std::uint32_t num_partitions,
+Status RunOnce(const ShardSource& src, std::uint32_t num_partitions,
                const DneOptions& options, std::uint64_t seed, int nproc,
                const PartitionContext& ctx, std::uint32_t resume_step,
                std::int32_t epoch,
                std::vector<std::vector<EdgeId>>* rank_gids,
                std::vector<ChildReport>* reports_out, double* ship_seconds,
                AttemptFailure* failure) {
-  const std::uint64_t total_edges = g.NumEdges();
+  const std::uint64_t total_edges = src.total_edges();
   const int ranks = static_cast<int>(num_partitions);
+  const std::uint32_t ingest_mode = src.ingest_mode();
   TwoDDistribution dist(num_partitions, seed);
 
   ProcessCluster cluster;
-  DNE_RETURN_IF_ERROR(cluster.Launch(nproc, DneChildMain));
+  const ProcessCluster::MeshMode mode =
+      options.transport == DneTransport::kShm
+          ? ProcessCluster::MeshMode::kShm
+          : ProcessCluster::MeshMode::kSocket;
+
+  // Shm transport with a materialized graph: lay every rank's shard out in
+  // a MAP_SHARED bulk region *before* forking. The children then parse
+  // their runs in place and the per-edge round trip through the control
+  // socketpair (two kernel copies of the whole edge list, plus the frame
+  // checksums over it) disappears. The socket transport keeps the streamed
+  // kCtrlEdges path — its children share no memory with the coordinator.
+  const bool bulk_ship =
+      mode == ProcessCluster::MeshMode::kShm && ingest_mode == 0;
+  std::unique_ptr<ShmBulk> bulk;
+  rank_gids->assign(ranks, std::vector<EdgeId>());
+  double bulk_fill_seconds = 0.0;
+  if (bulk_ship) {
+    WallTimer fill_timer;
+    const Graph& g = *src.g;
+    // Pass 1: route every edge once, remembering the owner so pass 2 can
+    // sweep the edge array sequentially instead of gathering per rank
+    // (the per-rank gather strides ~ranks*16B through the edge array —
+    // every read a cache miss on any graph bigger than L2).
+    std::vector<std::uint32_t> owners(total_edges);
+    for (EdgeId e = 0; e < total_edges; ++e) {
+      const Edge& ed = g.edge(e);
+      const int r = dist.OwnerOf(ed.src, ed.dst);
+      owners[e] = static_cast<std::uint32_t>(r);
+      (*rank_gids)[r].push_back(e);
+      if ((e & 0xfffff) == 0xfffff) {
+        if (ctx.cancelled()) {
+          return Status::Cancelled("partitioning cancelled");
+        }
+        ctx.ReportProgress("distribute", e, total_edges);
+      }
+    }
+    const std::size_t table_bytes =
+        static_cast<std::size_t>(ranks) * sizeof(BulkRankRun);
+    std::size_t bytes = table_bytes;
+    for (int r = 0; r < ranks; ++r) {
+      bytes += (*rank_gids)[r].size() * sizeof(Edge);
+    }
+    DNE_RETURN_IF_ERROR(ShmBulk::Create(bytes, &bulk));
+    // Pass 2: lay the runs out contiguously, one streaming write cursor
+    // per rank over one sequential read of the edge array.
+    std::vector<unsigned char*> cursor(ranks);
+    std::size_t off = table_bytes;
+    for (int r = 0; r < ranks; ++r) {
+      BulkRankRun run;
+      run.offset = off;
+      run.count = (*rank_gids)[r].size();
+      std::memcpy(bulk->data() + r * sizeof(BulkRankRun), &run, sizeof(run));
+      cursor[r] = bulk->data() + off;
+      off += run.count * sizeof(Edge);
+    }
+    for (EdgeId e = 0; e < total_edges; ++e) {
+      unsigned char*& p = cursor[owners[e]];
+      std::memcpy(p, &g.edge(e), sizeof(Edge));
+      p += sizeof(Edge);
+    }
+    bulk_fill_seconds = fill_timer.Seconds();
+  }
+
+  // The lambda runs in the forked child; cluster.shm_mesh() resolves on the
+  // child's copy-on-write ProcessCluster, whose MAP_SHARED mesh mapping is
+  // the same physical pages the parent and every sibling see (as is the
+  // bulk region, when one exists).
+  DNE_RETURN_IF_ERROR(cluster.Launch(
+      nproc, mode,
+      [&cluster, &bulk](int child, const std::vector<int>& fds, int ctrl) {
+        return DneChildMain(child, fds, cluster.shm_mesh(), bulk.get(), ctrl);
+      }));
   // Teardown + classification for failures outside the monitor loop: a
   // kUnavailable (vanished/corrupted peer) is recoverable, anything else
   // is a hard failure of this run.
@@ -690,11 +922,24 @@ Status RunOnce(const Graph& g, std::uint32_t num_partitions,
       tail.nproc = static_cast<std::uint32_t>(nproc);
       tail.proc_index = static_cast<std::uint32_t>(c);
       tail.resume_step = resume_step;
-      tail.num_vertices = g.NumVertices();
+      tail.num_vertices = src.num_vertices();
       tail.total_edges = total_edges;
       tail.seed = seed;
       tail.epoch = epoch;
+      tail.ingest_mode = ingest_mode;
+      tail.chunk_edges =
+          src.stream != nullptr ? src.stream->chunk_edges : 0;
       wire::AppendPod(&cfg, tail);
+      if (ingest_mode != 0) {
+        wire::AppendPod(
+            &cfg, static_cast<std::uint64_t>(src.stream->path.size()));
+        cfg.insert(cfg.end(), src.stream->path.begin(),
+                   src.stream->path.end());
+        wire::AppendPod(
+            &cfg, static_cast<std::uint64_t>(src.stream->format.size()));
+        cfg.insert(cfg.end(), src.stream->format.begin(),
+                   src.stream->format.end());
+      }
       const Status st =
           wire::SendFrame(cluster.control_fd(c), kCtrlConfig, 0, cfg.data(),
                           cfg.size(), "rank process " + std::to_string(c));
@@ -702,14 +947,19 @@ Status RunOnce(const Graph& g, std::uint32_t num_partitions,
     }
   }
 
-  // 2-D shard streaming; the coordinator keeps the local-index ->
-  // global-id mapping per rank so the children never need global ids.
-  // Edges are buffered per destination rank and shipped as bare 16-byte
-  // {src, dst} records in frames whose `from` field names the rank —
-  // per-rank arrival order is still ascending global order, which is all
-  // the child's AddEdge/CSR construction depends on.
-  rank_gids->assign(ranks, std::vector<EdgeId>());
-  {
+  // 2-D shard streaming (socket transport); the coordinator keeps the
+  // local-index -> global-id mapping per rank so the children never need
+  // global ids. Edges are buffered per destination rank and shipped as
+  // bare 16-byte {src, dst} records in frames whose `from` field names the
+  // rank — per-rank arrival order is still ascending global order, which
+  // is all the child's AddEdge/CSR construction depends on. The shm
+  // transport already handed the identical runs over through the pre-fork
+  // bulk region above, and the out-of-core children stream their shards
+  // from the edge file themselves (no O(E) gid map to keep).
+  if (ingest_mode != 0) {
+    rank_gids->clear();
+  } else if (!bulk_ship) {
+    const Graph& g = *src.g;
     std::vector<std::vector<unsigned char>> bufs(ranks);
     constexpr std::size_t kFlushBytes = 1 << 20;
     auto flush = [&](int r) -> Status {
@@ -749,7 +999,7 @@ Status RunOnce(const Graph& g, std::uint32_t num_partitions,
       if (!st.ok()) return fail(st);
     }
   }
-  *ship_seconds = ship_timer.Seconds();
+  *ship_seconds = ship_timer.Seconds() + bulk_fill_seconds;
 
   // Monitor: collect result + stats frames. A kCtrlError is a hard
   // failure; a kCtrlParked frame, a vanished child or a stalled cluster is
@@ -760,6 +1010,7 @@ Status RunOnce(const Graph& g, std::uint32_t num_partitions,
   for (int c = 0; c < nproc; ++c) {
     for (int r = c; r < ranks; r += nproc) reports[c].local_ranks.push_back(r);
     reports[c].rank_parts.resize(reports[c].local_ranks.size());
+    reports[c].rank_counts.resize(reports[c].local_ranks.size());
   }
   std::vector<bool> closed(nproc, false);
   int remaining = nproc;
@@ -897,13 +1148,21 @@ Status RunOnce(const Graph& g, std::uint32_t num_partitions,
             std::string(payload.begin(), payload.end())));
       }
       if (header.kind == kCtrlResult) {
+        if (ingest_mode == 2) {
+          return fail(Status::Internal(
+              "full result frame in counts-only out-of-core mode"));
+        }
         wire::PayloadReader reader(payload.data(), payload.size());
         std::uint32_t rank = 0, pad = 0;
         std::uint64_t count = 0;
+        // In shipped-edges mode the coordinator knows each rank's exact
+        // shard size; streamed shards are bounded by the edge total and
+        // cross-checked against the stream during assembly.
         if (!reader.Read(&rank) || !reader.Read(&pad) ||
             !reader.Read(&count) || rank >= num_partitions ||
             static_cast<int>(rank % nproc) != c ||
-            count != (*rank_gids)[rank].size() ||
+            (ingest_mode == 0 ? count != (*rank_gids)[rank].size()
+                              : count > total_edges) ||
             reader.remaining() != count * sizeof(PartitionId)) {
           return fail(Status::Internal("malformed result frame from rank " +
                                        std::to_string(rank)));
@@ -911,6 +1170,26 @@ Status RunOnce(const Graph& g, std::uint32_t num_partitions,
         std::vector<PartitionId> parts(count);
         reader.ReadBytes(parts.data(), count * sizeof(PartitionId));
         report.rank_parts[rank / nproc] = std::move(parts);
+        continue;
+      }
+      if (header.kind == kCtrlResultCounts) {
+        if (ingest_mode != 2) {
+          return fail(Status::Internal(
+              "counts-only result frame outside counts mode"));
+        }
+        wire::PayloadReader reader(payload.data(), payload.size());
+        std::uint32_t rank = 0, pad = 0;
+        std::uint64_t num = 0;
+        if (!reader.Read(&rank) || !reader.Read(&pad) || !reader.Read(&num) ||
+            rank >= num_partitions || static_cast<int>(rank % nproc) != c ||
+            num != num_partitions ||
+            reader.remaining() != num * sizeof(std::uint64_t)) {
+          return fail(Status::Internal(
+              "malformed counts frame from rank " + std::to_string(rank)));
+        }
+        std::vector<std::uint64_t> counts(num);
+        reader.ReadBytes(counts.data(), num * sizeof(std::uint64_t));
+        report.rank_counts[rank / nproc] = std::move(counts);
         continue;
       }
       if (header.kind == kCtrlStats) {
@@ -941,13 +1220,14 @@ Status RunOnce(const Graph& g, std::uint32_t num_partitions,
   return Status::OK();
 }
 
-}  // namespace
-
-Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
-                              const DneOptions& options, std::uint64_t seed,
-                              int nproc, const PartitionContext& ctx,
-                              EdgePartition* out, DneStats* stats) {
-  const std::uint64_t total_edges = g.NumEdges();
+/// The shared supervisor: retry loop, partition assembly and stats replay,
+/// parameterized over where the edges come from.
+Status RunDneTransportImpl(const ShardSource& src,
+                           std::uint32_t num_partitions,
+                           const DneOptions& options, std::uint64_t seed,
+                           int nproc, const PartitionContext& ctx,
+                           EdgePartition* out, DneStats* stats) {
+  const std::uint64_t total_edges = src.total_edges();
   const int ranks = static_cast<int>(num_partitions);
 
   // Run-start hygiene: a stale checkpoint directory must never be resumed
@@ -958,7 +1238,7 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
   ckpt::CheckpointExpect expect;
   expect.nproc = static_cast<std::uint32_t>(nproc);
   expect.num_partitions = num_partitions;
-  expect.num_vertices = g.NumVertices();
+  expect.num_vertices = src.num_vertices();
   expect.total_edges = total_edges;
   expect.seed = seed;
 
@@ -979,7 +1259,7 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
     }
     failure = AttemptFailure{};
     const Status st =
-        RunOnce(g, num_partitions, options, seed, nproc, ctx, resume_step,
+        RunOnce(src, num_partitions, options, seed, nproc, ctx, resume_step,
                 static_cast<std::int32_t>(attempt), &rank_gids, &reports,
                 &ship_seconds, &failure);
     if (st.ok()) break;
@@ -1002,14 +1282,54 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
   }
 
   // ---- Assemble the partition ----------------------------------------------
-  *out = EdgePartition(num_partitions, total_edges);
-  std::vector<PartitionId>& assignment = out->mutable_assignment();
-  for (int r = 0; r < ranks; ++r) {
-    const ChildReport& report = reports[r % nproc];
-    const std::vector<PartitionId>& parts = report.rank_parts[r / nproc];
-    const std::vector<EdgeId>& gids = rank_gids[r];
-    for (std::size_t i = 0; i < gids.size(); ++i) {
-      assignment[gids[i]] = parts[i];
+  const std::uint32_t ingest_mode = src.ingest_mode();
+  if (ingest_mode == 0) {
+    *out = EdgePartition(num_partitions, total_edges);
+    std::vector<PartitionId>& assignment = out->mutable_assignment();
+    for (int r = 0; r < ranks; ++r) {
+      const ChildReport& report = reports[r % nproc];
+      const std::vector<PartitionId>& parts = report.rank_parts[r / nproc];
+      const std::vector<EdgeId>& gids = rank_gids[r];
+      for (std::size_t i = 0; i < gids.size(); ++i) {
+        assignment[gids[i]] = parts[i];
+      }
+    }
+  } else if (ingest_mode == 1) {
+    // Gathered out-of-core assembly: re-stream the edge file once and walk
+    // a cursor through each rank's returned shard assignment. The stream
+    // replays the exact ownership order the children ingested in, so
+    // cursor position i IS local edge i of that rank.
+    *out = EdgePartition(num_partitions, total_edges);
+    std::vector<PartitionId>& assignment = out->mutable_assignment();
+    TwoDDistribution dist(num_partitions, seed);
+    std::unique_ptr<EdgeStreamReader> stream;
+    DNE_RETURN_IF_ERROR(OpenEdgeStream(
+        src.stream->path, src.stream->format,
+        static_cast<std::size_t>(src.stream->chunk_edges), &stream));
+    std::vector<std::size_t> cursor(ranks, 0);
+    std::vector<Edge> chunk;
+    EdgeId e = 0;
+    for (;;) {
+      DNE_RETURN_IF_ERROR(stream->NextChunk(&chunk));
+      if (chunk.empty()) break;
+      for (const Edge& ed : chunk) {
+        const int r = dist.OwnerOf(ed.src, ed.dst);
+        const std::vector<PartitionId>& parts =
+            reports[r % nproc].rank_parts[r / nproc];
+        if (cursor[r] >= parts.size() || e >= total_edges) {
+          return Status::Internal(
+              "edge stream and rank shard sizes disagree (file changed "
+              "mid-run?)");
+        }
+        assignment[e++] = parts[cursor[r]++];
+      }
+    }
+    for (int r = 0; r < ranks; ++r) {
+      if (cursor[r] != reports[r % nproc].rank_parts[r / nproc].size()) {
+        return Status::Internal(
+            "edge stream and rank shard sizes disagree (file changed "
+            "mid-run?)");
+      }
     }
   }
 
@@ -1097,9 +1417,70 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
   stats->wire_bytes = wire_total;
   stats->wire_frames = replay.wire_frames();
   stats->rank_processes = nproc;
+  stats->transport_used = options.transport;
   stats->recoveries = attempt;
-  stats->edges_per_partition = out->PartitionSizes();
+  if (ingest_mode == 2) {
+    // Counts-only mode never materializes an assignment anywhere; the
+    // per-partition totals come straight from the ranks' count frames.
+    stats->edges_per_partition.assign(num_partitions, 0);
+    std::uint64_t counted = 0;
+    for (const ChildReport& report : reports) {
+      for (const std::vector<std::uint64_t>& counts : report.rank_counts) {
+        for (std::uint32_t p = 0; p < num_partitions; ++p) {
+          stats->edges_per_partition[p] += counts[p];
+          counted += counts[p];
+        }
+      }
+    }
+    if (counted != total_edges) {
+      return Status::Internal("rank shard counts do not sum to the edge "
+                              "total (transport bug)");
+    }
+  } else {
+    stats->edges_per_partition = out->PartitionSizes();
+  }
   return Status::OK();
+}
+
+}  // namespace
+
+Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
+                              const DneOptions& options, std::uint64_t seed,
+                              int nproc, const PartitionContext& ctx,
+                              EdgePartition* out, DneStats* stats) {
+  ShardSource src;
+  src.g = &g;
+  return RunDneTransportImpl(src, num_partitions, options, seed, nproc, ctx,
+                             out, stats);
+}
+
+Status RunDneProcessTransportStream(const DneStreamSpec& spec,
+                                    std::uint32_t num_partitions,
+                                    const DneOptions& options,
+                                    std::uint64_t seed, int nproc,
+                                    const PartitionContext& ctx,
+                                    EdgePartition* out, DneStats* stats) {
+  if (options.transport == DneTransport::kInProcess) {
+    return Status::InvalidArgument(
+        "out-of-core ingest requires a multi-process transport "
+        "(transport=process or transport=shm)");
+  }
+  if (spec.path.empty() || spec.num_edges == 0 || spec.chunk_edges == 0) {
+    return Status::InvalidArgument(
+        "out-of-core ingest needs a path, a positive edge count and a "
+        "positive chunk size");
+  }
+  if (spec.gather_assignment != (out != nullptr)) {
+    return Status::InvalidArgument(
+        spec.gather_assignment
+            ? "gather_assignment needs an output partition to fill"
+            : "counts-only out-of-core runs take no output partition "
+              "(pass out = nullptr)");
+  }
+  ShardSource src;
+  src.stream = &spec;
+  return RunDneTransportImpl(src, num_partitions, options, seed, nproc, ctx,
+                             out, stats);
 }
 
 }  // namespace dne

@@ -1,6 +1,9 @@
-// The multi-process DNE transport: forks `nproc` rank processes, streams
-// each one its 2-D shard over the control channel, lets them run the
-// rank-local superstep loop against a SocketCommunicator mesh, then
+// The multi-process DNE transport: forks `nproc` rank processes, hands
+// each one its 2-D shard (kCtrlEdges frames over the control channel for
+// the socket mesh, a pre-fork MAP_SHARED bulk region parsed in place for
+// the shm mesh, or out-of-core straight from an edge file), lets them run
+// the rank-local superstep loop against a MeshCommunicator mesh
+// (socketpairs or shared-memory rings, per DneOptions::transport), then
 // collects results + accounting tapes and replays them into the same stats
 // machinery the in-process driver uses.
 //
@@ -13,6 +16,7 @@
 #define DNE_PARTITION_DNE_DNE_PROCESS_TRANSPORT_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 #include "core/partition_context.h"
@@ -30,6 +34,39 @@ Status RunDneProcessTransport(const Graph& g, std::uint32_t num_partitions,
                               const DneOptions& options, std::uint64_t seed,
                               int nproc, const PartitionContext& ctx,
                               EdgePartition* out, DneStats* stats);
+
+/// Out-of-core ingest source for RunDneProcessTransportStream: a *canonical*
+/// edge file — the edges a Graph::Build of the same input would hold, in
+/// ascending edge-id order (e.g. a binary v2 file saved from a built graph).
+/// That order is the contract that keeps the streamed run bit-identical to
+/// the materialized one; raw generator output is NOT canonical.
+struct DneStreamSpec {
+  std::string path;
+  /// "text", "bin" or "auto" (see graph/edge_stream_reader.h).
+  std::string format = "auto";
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  /// Edges per streamed chunk — the coordinator's and each child's ingest
+  /// working set is O(chunk_edges), never O(num_edges).
+  std::uint64_t chunk_edges = 1ull << 20;
+  /// When true the coordinator re-streams the file after the run to gather
+  /// the full edge->partition assignment into `*out` (O(E) output memory,
+  /// as any materialized assignment must be). When false, only per-partition
+  /// edge counts come back (DneStats::edges_per_partition) and the
+  /// coordinator's peak memory stays O(chunk_edges); `out` must be null.
+  bool gather_assignment = true;
+};
+
+/// Out-of-core variant: every rank process opens `spec.path` itself and
+/// keeps only the edges of its own 2-D shard — the coordinator ships
+/// routing (the config), not edges, so no address space ever materializes
+/// the full edge list. Requires a multi-process DneOptions::transport.
+Status RunDneProcessTransportStream(const DneStreamSpec& spec,
+                                    std::uint32_t num_partitions,
+                                    const DneOptions& options,
+                                    std::uint64_t seed, int nproc,
+                                    const PartitionContext& ctx,
+                                    EdgePartition* out, DneStats* stats);
 
 }  // namespace dne
 

@@ -1,0 +1,105 @@
+// Word-AND + bit-scan intersection kernels for the Phase-C two-hop hot loop
+// (CompactPartSets::ForEachCommon, Alg. 3 line 14).
+//
+// Two implementations with *identical* emission order — ascending partition
+// id, exactly the order the original scalar loop produced:
+//  * AndScanWordsScalar: the reference loop, public so the micro benches and
+//    the differential test can pin the baseline;
+//  * AndScanWords: the dispatcher. On x86-64 builds with DNE_ENABLE_AVX2 it
+//    ANDs the word vectors 4-at-a-time with AVX2 into a stack buffer (the
+//    bitmap mode caps at kBitmapMaxPartitions = 512 partitions, i.e. 8
+//    words), then bit-scans the buffer ascending; everywhere else — or when
+//    the CPU lacks AVX2 at run time — it is exactly the scalar loop.
+//
+// Bit-identity contract: the AVX2 path changes only *where* the AND results
+// live (a contiguous stack buffer instead of two strided reads per word);
+// the scan that drives fn() is the same ascending countr_zero walk, so every
+// caller sees the same ids in the same order on every build.
+#ifndef DNE_PARTITION_DNE_PART_SET_SIMD_H_
+#define DNE_PARTITION_DNE_PART_SET_SIMD_H_
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(DNE_ENABLE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace dne::simd {
+
+/// Largest word count the vectorized dispatcher handles on its fast path:
+/// CompactPartSets::kBitmapMaxPartitions / 64. Longer inputs are legal and
+/// simply take the scalar loop.
+inline constexpr std::uint32_t kMaxAndScanWords = 8;
+
+/// Reference kernel: visits every bit set in a[i] & b[i] for i in [0, n),
+/// ascending — fn receives 64*i + bit. This is byte-for-byte the loop the
+/// pre-SIMD ForEachCommon ran.
+template <typename Fn>
+inline void AndScanWordsScalar(const std::uint64_t* a, const std::uint64_t* b,
+                               std::uint32_t n, Fn&& fn) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t common = a[i] & b[i];
+    while (common != 0) {
+      fn(static_cast<std::uint32_t>(64 * i + std::countr_zero(common)));
+      common &= common - 1;
+    }
+  }
+}
+
+#if defined(__x86_64__) && defined(DNE_ENABLE_AVX2)
+
+/// True when the running CPU supports AVX2 (probed once). The binary always
+/// contains the scalar path, so a non-AVX2 machine runs the same build.
+inline bool HasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+
+/// out[i] = a[i] & b[i] with 256-bit lanes; the sub-4-word tail is scalar.
+/// Compiled for AVX2 via the target attribute so the rest of the translation
+/// unit keeps the project's baseline ISA.
+__attribute__((target("avx2"))) inline void AndWordsAvx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::uint32_t n,
+    std::uint64_t* out) {
+  std::uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) out[i] = a[i] & b[i];
+}
+
+#endif  // __x86_64__ && DNE_ENABLE_AVX2
+
+/// Dispatching kernel: same contract as AndScanWordsScalar, vectorized AND
+/// when the build and the CPU allow it. Single-word inputs (P <= 64, the
+/// paper's setting) skip straight to the scalar loop — there is nothing to
+/// vectorize below one 256-bit lane.
+template <typename Fn>
+inline void AndScanWords(const std::uint64_t* a, const std::uint64_t* b,
+                         std::uint32_t n, Fn&& fn) {
+#if defined(__x86_64__) && defined(DNE_ENABLE_AVX2)
+  if (n >= 4 && n <= kMaxAndScanWords && HasAvx2()) {
+    std::uint64_t common[kMaxAndScanWords];
+    AndWordsAvx2(a, b, n, common);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint64_t word = common[i];
+      while (word != 0) {
+        fn(static_cast<std::uint32_t>(64 * i + std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+    return;
+  }
+#endif
+  AndScanWordsScalar(a, b, n, static_cast<Fn&&>(fn));
+}
+
+}  // namespace dne::simd
+
+#endif  // DNE_PARTITION_DNE_PART_SET_SIMD_H_

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "partition/dne/part_set_simd.h"
 
 namespace dne {
 
@@ -144,15 +145,14 @@ class ReplicaTable {
   }
 
   /// Visits A(u) ∩ A(v) in ascending partition order (word-wise AND in
-  /// bitmap mode).
+  /// bitmap mode, routed through the shared part_set_simd kernel — a
+  /// single-word input, so it inlines to the plain scalar bit scan).
   template <typename Fn>
   void ForEachCommon(VertexId u, VertexId v, Fn&& fn) const {
     if (bitmap_) {
-      std::uint64_t common = bits_[u] & bits_[v];
-      while (common != 0) {
-        fn(static_cast<PartitionId>(std::countr_zero(common)));
-        common &= common - 1;
-      }
+      simd::AndScanWords(&bits_[u], &bits_[v], 1, [&fn](std::uint32_t id) {
+        fn(static_cast<PartitionId>(id));
+      });
       return;
     }
     ForEachUnion(u, v, [&fn](PartitionId p, bool in_u, bool in_v) {

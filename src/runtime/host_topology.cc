@@ -1,0 +1,69 @@
+#include "runtime/host_topology.h"
+
+#if defined(__linux__)
+#include <sys/vfs.h>
+#include <unistd.h>
+#endif
+
+namespace dne {
+
+int CountNumaNodes() {
+#if defined(__linux__)
+  // Existence probes instead of reading the `online` mask: no numeric
+  // parsing, and sparse node numbering (node0, node2) still counts right
+  // up to the probe bound. 64 nodes covers every single-host box the
+  // transport targets (kMaxRankProcesses is 64 too).
+  int nodes = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::string dir = "/sys/devices/system/node/node" + std::to_string(i);
+    if (::access(dir.c_str(), F_OK) == 0) ++nodes;
+  }
+  return nodes > 0 ? nodes : 1;
+#else
+  return 1;
+#endif
+}
+
+bool FilesystemMagicIsRemote(long magic) {
+  // NFS_SUPER_MAGIC, SMB_SUPER_MAGIC, CIFS_MAGIC_NUMBER, SMB2_MAGIC_NUMBER —
+  // spelled as literals so the classification needs no kernel headers and
+  // stays testable on any platform.
+  switch (static_cast<unsigned long>(magic)) {
+    case 0x6969UL:      // NFS
+    case 0x517BUL:      // SMB
+    case 0xFF534D42UL:  // CIFS
+    case 0xFE534D42UL:  // SMB2
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool PathOnLocalFilesystem(const std::string& path) {
+#if defined(__linux__)
+  // The checkpoint directory usually does not exist yet — walk up to the
+  // nearest existing parent, which is the mount the files will land on.
+  std::string probe = path.empty() ? "." : path;
+  for (;;) {
+    struct statfs fs;
+    if (::statfs(probe.c_str(), &fs) == 0) {
+      return !FilesystemMagicIsRemote(static_cast<long>(fs.f_type));
+    }
+    const std::size_t slash = probe.find_last_of('/');
+    if (slash == std::string::npos) {
+      probe = ".";
+      struct statfs cwd_fs;
+      if (::statfs(probe.c_str(), &cwd_fs) == 0) {
+        return !FilesystemMagicIsRemote(static_cast<long>(cwd_fs.f_type));
+      }
+      return true;
+    }
+    probe = slash == 0 ? "/" : probe.substr(0, slash);
+  }
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+}  // namespace dne

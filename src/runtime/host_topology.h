@@ -1,0 +1,31 @@
+// Host topology and filesystem probes used to resolve transport defaults:
+// how many NUMA nodes the machine exposes (the shm transport defaults to
+// one rank process per node) and whether a path lives on a local
+// filesystem (shared-memory clusters must not checkpoint onto NFS-class
+// mounts, where a rename is not an atomic commit and a recovering cluster
+// may read a stale or torn file).
+#ifndef DNE_RUNTIME_HOST_TOPOLOGY_H_
+#define DNE_RUNTIME_HOST_TOPOLOGY_H_
+
+#include <string>
+
+namespace dne {
+
+/// Number of NUMA nodes the kernel exposes under
+/// /sys/devices/system/node/node<i>; 1 when the sysfs tree is absent
+/// (non-Linux, containers with a masked /sys) or only node0 exists.
+int CountNumaNodes();
+
+/// True when the statfs magic identifies a network filesystem (NFS, SMB,
+/// CIFS). Split out from PathOnLocalFilesystem so the classification is
+/// unit-testable without mounting anything.
+bool FilesystemMagicIsRemote(long magic);
+
+/// True when `path` (or, for a not-yet-created path, its nearest existing
+/// parent) sits on a local filesystem. Errs on the side of true: an
+/// unstatable path is reported local rather than blocking the run.
+bool PathOnLocalFilesystem(const std::string& path);
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_HOST_TOPOLOGY_H_

@@ -75,10 +75,18 @@ ProcessCluster::~ProcessCluster() {
   ReapAll();
 }
 
-Status ProcessCluster::Launch(int nproc, const ChildMain& child_main) {
+Status ProcessCluster::Launch(int nproc, MeshMode mode,
+                              const ChildMain& child_main) {
   // Mesh: one socketpair per unordered process pair; fds[i][j] is i's end
   // of the {i, j} link (row-major convenience matrix, -1 on the diagonal).
+  // Under MeshMode::kShm the matrix stays all -1 and the frames flow through
+  // a single MAP_SHARED ring region instead — created here, before fork, so
+  // every child inherits the same physical pages.
   std::vector<std::vector<int>> mesh(nproc, std::vector<int>(nproc, -1));
+  if (mode == MeshMode::kShm) {
+    DNE_RETURN_IF_ERROR(ShmMesh::Create(nproc, ShmMesh::RingCapacityFor(nproc),
+                                        &shm_mesh_));
+  }
   auto cleanup_fds = [&]() {
     for (auto& row : mesh) {
       for (int fd : row) {
@@ -91,7 +99,7 @@ Status ProcessCluster::Launch(int nproc, const ChildMain& child_main) {
     control_fds_.clear();
   };
   std::vector<int> child_control(nproc, -1);
-  for (int i = 0; i < nproc; ++i) {
+  for (int i = 0; mode == MeshMode::kSocket && i < nproc; ++i) {
     for (int j = i + 1; j < nproc; ++j) {
       int sp[2];
       if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) != 0) {
@@ -188,6 +196,10 @@ Status ProcessCluster::Launch(int nproc, const ChildMain& child_main) {
 void ProcessCluster::MarkReaped(int child, int wait_status) {
   reaped_[child] = true;
   wait_status_[child] = wait_status;
+  // Shared memory has no EOF: marking the reaped child dead in the mesh is
+  // what lets peers blocked on its rings observe the death and fail their
+  // round instead of sleeping until the stall deadline.
+  if (shm_mesh_ != nullptr) shm_mesh_->MarkDead(child);
 }
 
 bool ProcessCluster::PollExited(int* child, int* wait_status) {
@@ -207,7 +219,10 @@ bool ProcessCluster::PollExited(int* child, int* wait_status) {
 
 void ProcessCluster::KillAll() {
   for (std::size_t i = 0; i < pids_.size(); ++i) {
-    if (!reaped_[i] && pids_[i] > 0) ::kill(pids_[i], SIGKILL);
+    if (!reaped_[i] && pids_[i] > 0) {
+      ::kill(pids_[i], SIGKILL);
+      if (shm_mesh_ != nullptr) shm_mesh_->MarkDead(static_cast<int>(i));
+    }
   }
 }
 
@@ -240,16 +255,13 @@ std::string ProcessCluster::ReapAll() {
   return abnormal;
 }
 
-// ---- SocketCommunicator -----------------------------------------------------
+// ---- MeshCommunicator -------------------------------------------------------
 
-SocketCommunicator::SocketCommunicator(int num_ranks, int nproc,
-                                       int proc_index,
-                                       std::vector<int> mesh_fds,
-                                       bool coalesce, double stall_timeout_s)
+MeshCommunicator::MeshCommunicator(int num_ranks, int nproc, int proc_index,
+                                   bool coalesce, double stall_timeout_s)
     : num_ranks_(num_ranks),
       nproc_(nproc),
       proc_index_(proc_index),
-      mesh_fds_(std::move(mesh_fds)),
       coalesce_(coalesce),
       stall_timeout_s_(stall_timeout_s),
       send_frames_(nproc),
@@ -260,12 +272,9 @@ SocketCommunicator::SocketCommunicator(int num_ranks, int nproc,
   for (auto& per_from : stage_) {
     per_from.resize(static_cast<std::size_t>(num_ranks_));
   }
-  for (int q = 0; q < nproc_; ++q) {
-    if (q != proc_index_ && mesh_fds_[q] >= 0) SetNonBlocking(mesh_fds_[q]);
-  }
 }
 
-std::string SocketCommunicator::PeerLabel(int q) const {
+std::string MeshCommunicator::PeerLabel(int q) const {
   std::string s = "rank process " + std::to_string(q) + " (simulated rank";
   int n = 0;
   for (int r = q; r < num_ranks_; r += nproc_) ++n;
@@ -280,13 +289,41 @@ std::string SocketCommunicator::PeerLabel(int q) const {
   return s;
 }
 
+Status MeshCommunicator::CompleteRound() {
+  round_active_ = false;
+  for (int q = 0; q < nproc_; ++q) {
+    if (q == proc_index_) continue;
+    if (wire::FrameChecksum(recv_payloads_[q].data(),
+                            recv_payloads_[q].size()) !=
+        round_io_[q].header.checksum) {
+      return Status::Unavailable("frame checksum mismatch from " +
+                                 PeerLabel(q));
+    }
+  }
+  return Status::OK();
+}
+
+// ---- SocketCommunicator -----------------------------------------------------
+
+SocketCommunicator::SocketCommunicator(int num_ranks, int nproc,
+                                       int proc_index,
+                                       std::vector<int> mesh_fds,
+                                       bool coalesce, double stall_timeout_s)
+    : MeshCommunicator(num_ranks, nproc, proc_index, coalesce,
+                       stall_timeout_s),
+      mesh_fds_(std::move(mesh_fds)) {
+  for (int q = 0; q < nproc_; ++q) {
+    if (q != proc_index_ && mesh_fds_[q] >= 0) SetNonBlocking(mesh_fds_[q]);
+  }
+}
+
 SocketCommunicator::~SocketCommunicator() {
   for (int fd : mesh_fds_) {
     if (fd >= 0) ::close(fd);
   }
 }
 
-Status SocketCommunicator::StartRound(std::uint8_t kind) {
+Status MeshCommunicator::StartRound(std::uint8_t kind) {
   if (round_active_) {
     return Status::Internal(
         "transport protocol bug: mesh round started while kind " +
@@ -452,25 +489,122 @@ Status SocketCommunicator::ProgressRound(bool block) {
       }
     }
   }
-  round_active_ = false;
-  for (int q = 0; q < nproc_; ++q) {
-    if (q == proc_index_) continue;
-    if (wire::FrameChecksum(recv_payloads_[q].data(), recv_payloads_[q].size()) !=
-        round_io_[q].header.checksum) {
-      return Status::Unavailable("frame checksum mismatch from " +
-                                 PeerLabel(q));
-    }
-  }
-  return Status::OK();
+  return CompleteRound();
 }
 
-Status SocketCommunicator::RunMeshRound(std::uint8_t kind) {
+// ---- ShmCommunicator --------------------------------------------------------
+
+ShmCommunicator::ShmCommunicator(int num_ranks, int nproc, int proc_index,
+                                 ShmMesh* mesh, bool coalesce,
+                                 double stall_timeout_s)
+    : MeshCommunicator(num_ranks, nproc, proc_index, coalesce,
+                       stall_timeout_s),
+      mesh_(mesh) {}
+
+Status ShmCommunicator::ProgressRound(bool block) {
+  if (!round_active_) return Status::OK();
+  for (;;) {
+    // Eventcount: capture the doorbell BEFORE scanning the rings, so a
+    // notification raised while we scan is seen by Wait's re-validation and
+    // the park returns immediately instead of losing the wakeup.
+    const std::uint32_t seen = mesh_->PrepareWait(proc_index_);
+    bool pending = false;
+    bool progressed = false;
+    for (int q = 0; q < nproc_; ++q) {
+      if (q == proc_index_) continue;
+      PeerIo& p = round_io_[q];
+      if (p.sent < send_frames_[q].size()) {
+        pending = true;
+        // Load liveness BEFORE attempting the write: a peer that died after
+        // the load may still have drained the ring, so only a full ring AND
+        // a prior death is conclusive.
+        const bool peer_alive = mesh_->alive(q);
+        const std::size_t n =
+            mesh_->WriteSome(proc_index_, q, send_frames_[q].data() + p.sent,
+                             send_frames_[q].size() - p.sent);
+        if (n > 0) {
+          p.sent += n;
+          progressed = true;
+        } else if (!peer_alive) {
+          return Status::Unavailable(PeerLabel(q) +
+                                     " unreachable: peer process exited");
+        }
+      }
+      if (!p.recv_done) {
+        pending = true;
+        // Liveness BEFORE draining: everything the peer wrote before dying
+        // is still in the ring, so drain first and only a (previously
+        // observed) death plus an empty ring means the frame will never
+        // complete — the shared-memory analogue of EOF.
+        const bool peer_alive = mesh_->alive(q);
+        for (;;) {
+          std::size_t n;
+          if (!p.header_done) {
+            n = mesh_->ReadSome(q, proc_index_, p.hdr + p.hdr_got,
+                                wire::kFrameHeaderBytes - p.hdr_got);
+            if (n == 0) break;
+            progressed = true;
+            p.hdr_got += n;
+            if (p.hdr_got == wire::kFrameHeaderBytes) {
+              DNE_RETURN_IF_ERROR(wire::DecodeHeader(p.hdr, &p.header));
+              if (p.header.kind != round_kind_) {
+                return Status::Unavailable(
+                    "protocol desync with " + PeerLabel(q) + ": expected "
+                    "frame kind " + std::to_string(round_kind_) + ", got " +
+                    std::to_string(p.header.kind));
+              }
+              recv_payloads_[q].resize(p.header.payload_len);
+              p.header_done = true;
+              if (p.header.payload_len == 0) {
+                p.recv_done = true;
+                break;
+              }
+            }
+          } else {
+            n = mesh_->ReadSome(q, proc_index_,
+                                recv_payloads_[q].data() + p.payload_got,
+                                p.header.payload_len - p.payload_got);
+            if (n == 0) break;
+            progressed = true;
+            p.payload_got += n;
+            if (p.payload_got == p.header.payload_len) {
+              p.recv_done = true;
+              break;
+            }
+          }
+        }
+        if (!p.recv_done && !peer_alive) {
+          return Status::Unavailable(PeerLabel(q) +
+                                     " disconnected mid-superstep (crash?)");
+        }
+      }
+    }
+    if (!pending) break;
+    if (progressed) continue;  // keep streaming while bytes are moving
+    if (!block) return Status::OK();  // overlap window: come back later
+    const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            round_deadline_ - std::chrono::steady_clock::now())
+                            .count();
+    if (remain <= 0) {
+      return Status::Unavailable(
+          "transport timeout: a rank process stopped making progress");
+    }
+    // Park on the doorbell until a peer writes, drains, or dies. The 500ms
+    // cap is insurance, not a polling interval: any real transition rings
+    // the doorbell and wakes us immediately.
+    mesh_->Wait(proc_index_, seen,
+                static_cast<int>(std::min<long long>(remain, 500)));
+  }
+  return CompleteRound();
+}
+
+Status MeshCommunicator::RunMeshRound(std::uint8_t kind) {
   DNE_RETURN_IF_ERROR(StartRound(kind));
   return ProgressRound(/*block=*/true);
 }
 
 template <typename T>
-void SocketCommunicator::BuildExchangeFrames(DneMsgKind kind,
+void MeshCommunicator::BuildExchangeFrames(DneMsgKind kind,
                                              RankMailboxes<T>* m) {
   const std::size_t num_local = local_.size();
   // Serialise one frame per peer: all (from -> to) sub-messages between the
@@ -515,14 +649,14 @@ void SocketCommunicator::BuildExchangeFrames(DneMsgKind kind,
   }
 }
 
-void SocketCommunicator::ClearStage() {
+void MeshCommunicator::ClearStage() {
   for (auto& per_from : stage_) {
     for (auto& buf : per_from) buf.clear();
   }
 }
 
 template <typename T>
-Status SocketCommunicator::StageSubBlocks(const unsigned char* data,
+Status MeshCommunicator::StageSubBlocks(const unsigned char* data,
                                           std::size_t len, int q) {
   wire::PayloadReader reader(data, len);
   while (reader.remaining() > 0) {
@@ -549,7 +683,7 @@ Status SocketCommunicator::StageSubBlocks(const unsigned char* data,
 }
 
 template <typename T>
-void SocketCommunicator::AssembleInboxes(RankMailboxes<T>* m) {
+void MeshCommunicator::AssembleInboxes(RankMailboxes<T>* m) {
   const std::size_t num_local = local_.size();
   // Assemble every local inbox: concatenated ascending sender order, local
   // senders straight out of their outboxes (co-hosted traffic never hits
@@ -590,7 +724,7 @@ void SocketCommunicator::AssembleInboxes(RankMailboxes<T>* m) {
 }
 
 template <typename T>
-Status SocketCommunicator::ExchangeImpl(DneMsgKind kind,
+Status MeshCommunicator::ExchangeImpl(DneMsgKind kind,
                                         RankMailboxes<T>* m) {
   BuildExchangeFrames(kind, m);
   DNE_RETURN_IF_ERROR(RunMeshRound(static_cast<std::uint8_t>(kind)));
@@ -604,31 +738,31 @@ Status SocketCommunicator::ExchangeImpl(DneMsgKind kind,
   return Status::OK();
 }
 
-Status SocketCommunicator::Exchange(DneMsgKind k,
+Status MeshCommunicator::Exchange(DneMsgKind k,
                                     RankMailboxes<SelectRequest>* m) {
   return ExchangeImpl(k, m);
 }
-Status SocketCommunicator::Exchange(DneMsgKind k,
+Status MeshCommunicator::Exchange(DneMsgKind k,
                                     RankMailboxes<VertexPartPair>* m) {
   return ExchangeImpl(k, m);
 }
-Status SocketCommunicator::Exchange(DneMsgKind k,
+Status MeshCommunicator::Exchange(DneMsgKind k,
                                     RankMailboxes<BoundaryReport>* m) {
   return ExchangeImpl(k, m);
 }
-Status SocketCommunicator::Exchange(DneMsgKind k, RankMailboxes<Edge>* m) {
+Status MeshCommunicator::Exchange(DneMsgKind k, RankMailboxes<Edge>* m) {
   return ExchangeImpl(k, m);
 }
-Status SocketCommunicator::Exchange(DneMsgKind k,
+Status MeshCommunicator::Exchange(DneMsgKind k,
                                     RankMailboxes<VertexId>* m) {
   return ExchangeImpl(k, m);
 }
-Status SocketCommunicator::Exchange(DneMsgKind k,
+Status MeshCommunicator::Exchange(DneMsgKind k,
                                     RankMailboxes<SyncValueRecord>* m) {
   return ExchangeImpl(k, m);
 }
 
-Status SocketCommunicator::ExchangeServeStep(
+Status MeshCommunicator::ExchangeServeStep(
     RankMailboxes<SyncValueRecord>* sync,
     const std::vector<ServeStepSummary>& local,
     std::vector<ServeStepSummary>* all) {
@@ -766,7 +900,7 @@ Status SocketCommunicator::ExchangeServeStep(
   return Status::OK();
 }
 
-Status SocketCommunicator::ParseServeSummaries(
+Status MeshCommunicator::ParseServeSummaries(
     const unsigned char* data, std::size_t len, int q,
     std::vector<ServeStepSummary>* all) {
   wire::PayloadReader reader(data, len);
@@ -781,7 +915,7 @@ Status SocketCommunicator::ParseServeSummaries(
   return Status::OK();
 }
 
-Status SocketCommunicator::BeginExchange(DneMsgKind k,
+Status MeshCommunicator::BeginExchange(DneMsgKind k,
                                          RankMailboxes<VertexPartPair>* m) {
   // Post the sends and make one opportunistic pass; the round stays in
   // flight while the caller computes. The out boxes remain owned by the
@@ -791,7 +925,7 @@ Status SocketCommunicator::BeginExchange(DneMsgKind k,
   return ProgressRound(/*block=*/false);
 }
 
-Status SocketCommunicator::FinishExchange(DneMsgKind,
+Status MeshCommunicator::FinishExchange(DneMsgKind,
                                           RankMailboxes<VertexPartPair>* m) {
   // Completion barrier: drive the in-flight round to the end, then deliver.
   DNE_RETURN_IF_ERROR(ProgressRound(/*block=*/true));
@@ -805,7 +939,7 @@ Status SocketCommunicator::FinishExchange(DneMsgKind,
   return Status::OK();
 }
 
-Status SocketCommunicator::ExchangeStepEnd(
+Status MeshCommunicator::ExchangeStepEnd(
     RankMailboxes<BoundaryReport>* reports, RankMailboxes<Edge>* handoff,
     const std::vector<std::uint64_t>& local_peeks,
     std::vector<std::uint64_t>* all_peeks,
@@ -1033,7 +1167,7 @@ Status SocketCommunicator::ExchangeStepEnd(
   return Status::OK();
 }
 
-Status SocketCommunicator::ParseSummaries(
+Status MeshCommunicator::ParseSummaries(
     const unsigned char* data, std::size_t len, int q,
     std::vector<std::uint64_t>* all_peeks,
     std::vector<std::uint64_t>* handoff_totals) {
@@ -1057,7 +1191,7 @@ Status SocketCommunicator::ParseSummaries(
   return Status::OK();
 }
 
-Status SocketCommunicator::AllGatherU64(
+Status MeshCommunicator::AllGatherU64(
     const std::vector<std::uint64_t>& local_vals,
     std::vector<std::uint64_t>* all) {
   struct Entry {
@@ -1119,7 +1253,7 @@ Status SocketCommunicator::AllGatherU64(
   return Status::OK();
 }
 
-Status SocketCommunicator::Barrier() {
+Status MeshCommunicator::Barrier() {
   for (int q = 0; q < nproc_; ++q) {
     if (q == proc_index_) continue;
     std::vector<unsigned char>& frame = send_frames_[q];

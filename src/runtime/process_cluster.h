@@ -1,16 +1,26 @@
-// Multi-process runtime: forked rank processes, a Unix-domain socket mesh
-// between them, and a control channel back to the coordinating parent.
+// Multi-process runtime: forked rank processes, a peer-to-peer mesh between
+// them, and a control channel back to the coordinating parent.
 //
-//   ProcessCluster   — parent-side lifecycle: creates the socketpair mesh
-//                      and per-child control channels, forks the children,
-//                      and guarantees teardown (kill + reap) on every exit
-//                      path so a crashed or wedged rank can never hang the
-//                      caller.
-//   SocketCommunicator — the Communicator endpoint a rank process runs the
-//                      superstep loop against: collectives are batched,
-//                      length-prefixed, FNV-checksummed frames exchanged
-//                      peer-to-peer over the mesh (see runtime/wire.h), and
-//                      the charged volume is what was actually sent.
+//   ProcessCluster   — parent-side lifecycle: creates the mesh (a Unix
+//                      socketpair per pair, or one shared-memory ring
+//                      region) and per-child control channels, forks the
+//                      children, and guarantees teardown (kill + reap) on
+//                      every exit path so a crashed or wedged rank can
+//                      never hang the caller.
+//   MeshCommunicator — the transport-agnostic Communicator core a rank
+//                      process runs the superstep loop against: collectives
+//                      are batched, length-prefixed, FNV-checksummed frames
+//                      exchanged peer-to-peer (see runtime/wire.h), and the
+//                      charged volume is what was actually sent. Subclasses
+//                      supply only the byte movement (ProgressRound).
+//   SocketCommunicator — frames over the Unix-domain socket mesh
+//                      (non-blocking send/recv under poll).
+//   ShmCommunicator  — the same frames through per-pair shared-memory SPSC
+//                      rings (runtime/shm_ring.h): no per-round syscalls on
+//                      the data path, one copy fewer, futex doorbells for
+//                      blocking waits. Frame bytes are identical to the
+//                      socket mesh, so partitions, accounting and the
+//                      fault-injection grammar carry over unchanged.
 //
 // Topology: one frame per ordered process pair per collective (an
 // alltoallv-style batch of all (from_rank -> to_rank) sub-messages between
@@ -23,10 +33,13 @@
 // exchange can run asynchronously (BeginExchange / FinishExchange) so
 // Phase-C compute overlaps the in-flight round.
 //
-// Failure model: a dying process closes its socket ends; every peer's poll
-// loop and the parent's monitor treat EOF/HUP as a fatal protocol event and
-// surface Status::Internal naming the peer — the cluster fails fast instead
-// of deadlocking on a missing frame.
+// Failure model: on the socket mesh a dying process closes its socket
+// ends and every peer's poll loop treats EOF/HUP as a fatal protocol
+// event. Shared memory has no EOF, so the parent marks a reaped child dead
+// in the mesh (alive word + doorbells) and peers observe ring-empty +
+// !alive — either way the collective surfaces a recoverable
+// Status::Unavailable naming the peer instead of deadlocking on a missing
+// frame.
 #ifndef DNE_RUNTIME_PROCESS_CLUSTER_H_
 #define DNE_RUNTIME_PROCESS_CLUSTER_H_
 
@@ -35,11 +48,13 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "runtime/communicator.h"
+#include "runtime/shm_ring.h"
 #include "runtime/wire.h"
 
 namespace dne {
@@ -59,8 +74,14 @@ class ProcessCluster {
   /// Runs in the forked child: (child index, mesh fds indexed by peer
   /// process with -1 at the child's own slot, control fd to the parent).
   /// The return value becomes the child's exit status; the child never
-  /// returns to the caller's code.
+  /// returns to the caller's code. Under MeshMode::kShm the mesh fds are
+  /// all -1 and the child reaches the rings through shm_mesh() on its
+  /// forked copy of this cluster (the MAP_SHARED mapping is inherited).
   using ChildMain = std::function<int(int, const std::vector<int>&, int)>;
+
+  /// Which mesh the children exchange frames over. The control channel to
+  /// the parent is a socketpair either way.
+  enum class MeshMode { kSocket, kShm };
 
   ProcessCluster() = default;
   ~ProcessCluster();
@@ -71,21 +92,30 @@ class ProcessCluster {
   /// Creates the mesh + control channels and forks `nproc` children. On
   /// success the parent holds one control fd per child; all mesh fds are
   /// closed in the parent.
-  Status Launch(int nproc, const ChildMain& child_main);
+  Status Launch(int nproc, const ChildMain& child_main) {
+    return Launch(nproc, MeshMode::kSocket, child_main);
+  }
+  Status Launch(int nproc, MeshMode mode, const ChildMain& child_main);
 
   int nproc() const { return static_cast<int>(pids_.size()); }
   int control_fd(int child) const { return control_fds_[child]; }
   pid_t pid(int child) const { return pids_[child]; }
 
+  /// The shared-memory mesh under MeshMode::kShm; null in socket mode.
+  ShmMesh* shm_mesh() const { return shm_mesh_.get(); }
+
   /// True once the child has been reaped (by ReapAll or a monitor).
   bool reaped(int child) const { return reaped_[child]; }
+  /// Also marks the child dead in the shm mesh (when one exists), so peers
+  /// blocked on its rings unwedge — the shared-memory analogue of EOF.
   void MarkReaped(int child, int wait_status);
 
   /// Non-blocking scan for any exited child; returns true and fills
   /// (child, wait_status) when one was reaped.
   bool PollExited(int* child, int* wait_status);
 
-  /// SIGKILLs every still-running child (idempotent).
+  /// SIGKILLs every still-running child (idempotent) and marks them dead in
+  /// the shm mesh.
   void KillAll();
 
   /// Reaps every remaining child (blocking) and returns a human-readable
@@ -98,23 +128,16 @@ class ProcessCluster {
   std::vector<int> control_fds_;
   std::vector<bool> reaped_;
   std::vector<int> wait_status_;
+  std::unique_ptr<ShmMesh> shm_mesh_;
 };
 
-/// The rank-process Communicator endpoint over the socket mesh.
-class SocketCommunicator final : public Communicator {
+/// Transport-agnostic core of the rank-process Communicator endpoints: all
+/// frame construction/parsing, sub-block staging, inbox assembly, ledger
+/// charging, collective fusion and fault-injection hooks live here.
+/// Subclasses implement only ProgressRound — how staged frame bytes reach
+/// the peers and how their frames come back.
+class MeshCommunicator : public Communicator {
  public:
-  /// `mesh_fds[q]` connects to process q (-1 at `proc_index`). The endpoint
-  /// hosts the simulated ranks {r : r mod nproc == proc_index}. `coalesce`
-  /// selects the fused multi-channel step-end frame (default); when false
-  /// the step-end collective degrades to one frame per logical exchange —
-  /// kept as the differential baseline for the coalescing tests.
-  /// `stall_timeout_s` is the mesh-round deadline: how long to wait on a
-  /// wedged (but not crashed) peer before giving up on the round.
-  SocketCommunicator(int num_ranks, int nproc, int proc_index,
-                     std::vector<int> mesh_fds, bool coalesce = true,
-                     double stall_timeout_s = 600.0);
-  ~SocketCommunicator() override;
-
   int num_ranks() const override { return num_ranks_; }
   const std::vector<int>& local_ranks() const override { return local_; }
   void SetLedger(CommLedger* ledger) override { ledger_ = ledger; }
@@ -153,7 +176,10 @@ class SocketCommunicator final : public Communicator {
   /// the structured failure report.
   std::uint8_t last_round_kind() const { return round_kind_; }
 
- private:
+ protected:
+  MeshCommunicator(int num_ranks, int nproc, int proc_index, bool coalesce,
+                   double stall_timeout_s);
+
   /// Per-peer progress of the round in flight.
   struct PeerIo {
     std::size_t sent = 0;
@@ -168,6 +194,23 @@ class SocketCommunicator final : public Communicator {
   /// "rank process q (simulated ranks ...)" — every mesh-round diagnostic
   /// names the peer this way so a crash is attributable to concrete ranks.
   std::string PeerLabel(int q) const;
+
+  /// Arms a round: every peer will be sent `send_frames_[q]` and owes one
+  /// frame of `kind` back. Fails if a round is already in flight.
+  Status StartRound(std::uint8_t kind);
+  /// Drives the armed round. block=false makes one opportunistic pass
+  /// (sends what fits, drains what arrived) and returns with the round
+  /// still pending — the overlap window. block=true runs to completion,
+  /// waiting event-driven with the round deadline as the wedge guard.
+  /// Received payloads land in `recv_payloads_[q]`; a completing call ends
+  /// with CompleteRound() (checksum verification).
+  virtual Status ProgressRound(bool block) = 0;
+  /// Closes the round: clears the in-flight flag and verifies every peer
+  /// frame's checksum. Every ProgressRound implementation returns this
+  /// once all peers are done.
+  Status CompleteRound();
+  /// StartRound + ProgressRound(block=true): a synchronous collective.
+  Status RunMeshRound(std::uint8_t kind);
 
   template <typename T>
   Status ExchangeImpl(DneMsgKind kind, RankMailboxes<T>* m);
@@ -192,24 +235,9 @@ class SocketCommunicator final : public Communicator {
   Status ParseServeSummaries(const unsigned char* data, std::size_t len, int q,
                              std::vector<ServeStepSummary>* all);
 
-  /// Arms a round: every peer will be sent `send_frames_[q]` and owes one
-  /// frame of `kind` back. Fails if a round is already in flight.
-  Status StartRound(std::uint8_t kind);
-  /// Drives the armed round. block=false makes one opportunistic
-  /// zero-timeout pass (sends what fits, drains what arrived) and returns
-  /// with the round still pending — the overlap window. block=true runs the
-  /// event-driven poll loop to completion: the poll timeout is derived from
-  /// the round deadline (no fixed-interval wakeups), so ranks sleep exactly
-  /// until a peer is ready. Received payloads land in `recv_payloads_[q]`,
-  /// checksum-verified.
-  Status ProgressRound(bool block);
-  /// StartRound + ProgressRound(block=true): a synchronous collective.
-  Status RunMeshRound(std::uint8_t kind);
-
   int num_ranks_;
   int nproc_;
   int proc_index_;
-  std::vector<int> mesh_fds_;
   std::vector<int> local_;
   bool coalesce_;
   double stall_timeout_s_;
@@ -227,6 +255,44 @@ class SocketCommunicator final : public Communicator {
   bool round_active_ = false;
   std::uint8_t round_kind_ = 0;
   std::chrono::steady_clock::time_point round_deadline_;
+};
+
+/// The rank-process Communicator endpoint over the socket mesh.
+class SocketCommunicator final : public MeshCommunicator {
+ public:
+  /// `mesh_fds[q]` connects to process q (-1 at `proc_index`). The endpoint
+  /// hosts the simulated ranks {r : r mod nproc == proc_index}. `coalesce`
+  /// selects the fused multi-channel step-end frame (default); when false
+  /// the step-end collective degrades to one frame per logical exchange —
+  /// kept as the differential baseline for the coalescing tests.
+  /// `stall_timeout_s` is the mesh-round deadline: how long to wait on a
+  /// wedged (but not crashed) peer before giving up on the round.
+  SocketCommunicator(int num_ranks, int nproc, int proc_index,
+                     std::vector<int> mesh_fds, bool coalesce = true,
+                     double stall_timeout_s = 600.0);
+  ~SocketCommunicator() override;
+
+ private:
+  Status ProgressRound(bool block) override;
+
+  std::vector<int> mesh_fds_;
+};
+
+/// The rank-process Communicator endpoint over the shared-memory ring mesh.
+/// Byte-for-byte the same frames as SocketCommunicator — only the transport
+/// underneath changes (SPSC rings + futex doorbells instead of socketpairs
+/// + poll), so results, accounting and fault semantics are identical.
+class ShmCommunicator final : public MeshCommunicator {
+ public:
+  /// `mesh` is borrowed (owned by the forked copy of the ProcessCluster);
+  /// it must host exactly `nproc` processes.
+  ShmCommunicator(int num_ranks, int nproc, int proc_index, ShmMesh* mesh,
+                  bool coalesce = true, double stall_timeout_s = 600.0);
+
+ private:
+  Status ProgressRound(bool block) override;
+
+  ShmMesh* mesh_;
 };
 
 }  // namespace dne

@@ -1,0 +1,220 @@
+#include "runtime/shm_ring.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+#else
+#include <sched.h>
+#endif
+
+namespace dne {
+
+namespace {
+
+#if defined(__linux__)
+// Raw futex on the shared doorbell words. syscall() directly: there is no
+// glibc wrapper, and this file sits inside src/runtime/ — the one directory
+// tools/dne_lint.py permits raw synchronisation primitives in.
+long FutexWait(std::uint32_t* addr, std::uint32_t expected, int timeout_ms) {
+  timespec ts;
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1000000L;
+  return ::syscall(SYS_futex, addr, FUTEX_WAIT, expected, &ts, nullptr, 0);
+}
+
+void FutexWakeAll(std::uint32_t* addr) {
+  ::syscall(SYS_futex, addr, FUTEX_WAKE, 0x7fffffff, nullptr, nullptr, 0);
+}
+#endif
+
+}  // namespace
+
+std::size_t ShmMesh::RingCapacityFor(int nproc) {
+  const std::size_t rings =
+      static_cast<std::size_t>(nproc) * static_cast<std::size_t>(nproc - 1);
+  std::size_t budget = (256u << 20) / (rings == 0 ? 1 : rings);
+  std::size_t cap = 1;
+  while (cap * 2 <= budget) cap *= 2;
+  return std::clamp<std::size_t>(cap, 64u << 10, 8u << 20);
+}
+
+Status ShmMesh::Create(int nproc, std::size_t ring_capacity,
+                       std::unique_ptr<ShmMesh>* out) {
+  if (nproc < 2) {
+    return Status::InvalidArgument("shm mesh needs at least 2 processes");
+  }
+  if (ring_capacity == 0 || (ring_capacity & (ring_capacity - 1)) != 0) {
+    return Status::InvalidArgument("shm ring capacity must be a power of two");
+  }
+  const std::size_t rings =
+      static_cast<std::size_t>(nproc) * static_cast<std::size_t>(nproc - 1);
+  const std::size_t stride = sizeof(ShmRingHdr) + ring_capacity;
+  const std::size_t bytes =
+      static_cast<std::size_t>(nproc) * sizeof(ShmProcState) + rings * stride;
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return Status::Internal(std::string("mmap of shm mesh failed: ") +
+                            std::strerror(errno));
+  }
+  // No memset: MAP_ANONYMOUS memory is zero-filled by the kernel, and
+  // touching every ring page here would fault the whole region in before
+  // a single frame needs it. Cursors, doorbells and waiter counts start
+  // at their correct zero values for free; the fields below are the only
+  // ones with nonzero initial state.
+  auto mesh = std::unique_ptr<ShmMesh>(new ShmMesh(
+      static_cast<unsigned char*>(base), bytes, nproc, ring_capacity));
+  for (int p = 0; p < nproc; ++p) {
+    mesh->proc_state(p)->alive = 1;
+  }
+  for (int i = 0; i < nproc; ++i) {
+    for (int j = 0; j < nproc; ++j) {
+      if (i == j) continue;
+      ShmRingHdr* h = mesh->ring(i, j);
+      h->capacity = ring_capacity;
+      h->magic = kShmRingMagic;
+    }
+  }
+  *out = std::move(mesh);
+  return Status::OK();
+}
+
+ShmMesh::ShmMesh(unsigned char* base, std::size_t bytes, int nproc,
+                 std::size_t ring_capacity)
+    : base_(base),
+      bytes_(bytes),
+      nproc_(nproc),
+      ring_capacity_(ring_capacity),
+      ring_stride_(sizeof(ShmRingHdr) + ring_capacity) {}
+
+ShmMesh::~ShmMesh() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+}
+
+ShmProcState* ShmMesh::proc_state(int p) const {
+  return reinterpret_cast<ShmProcState*>(base_) + p;
+}
+
+unsigned char* ShmMesh::ring_base(int from, int to) const {
+  return base_ + static_cast<std::size_t>(nproc_) * sizeof(ShmProcState) +
+         RingIndex(from, to) * ring_stride_;
+}
+
+ShmRingHdr* ShmMesh::ring(int from, int to) const {
+  return reinterpret_cast<ShmRingHdr*>(ring_base(from, to));
+}
+
+bool ShmMesh::alive(int p) const {
+  return __atomic_load_n(&proc_state(p)->alive, __ATOMIC_ACQUIRE) != 0;
+}
+
+void ShmMesh::MarkDead(int p) {
+  __atomic_store_n(&proc_state(p)->alive, 0u, __ATOMIC_RELEASE);
+  // Ring every doorbell (p's included — a parked self is unwedged too) so
+  // blocked peers rescan their rings and observe the death.
+  for (int q = 0; q < nproc_; ++q) Notify(q);
+}
+
+std::uint32_t ShmMesh::PrepareWait(int p) const {
+  return __atomic_load_n(&proc_state(p)->doorbell, __ATOMIC_ACQUIRE);
+}
+
+void ShmMesh::Wait(int p, std::uint32_t seen, int timeout_ms) {
+  ShmProcState* st = proc_state(p);
+  __atomic_fetch_add(&st->waiters, 1u, __ATOMIC_SEQ_CST);
+  // Re-validate after announcing the park: a notify between the caller's
+  // ring scan and here bumped the doorbell, and FUTEX_WAIT's in-kernel
+  // compare turns that into an immediate EAGAIN instead of a lost wakeup.
+  if (__atomic_load_n(&st->doorbell, __ATOMIC_SEQ_CST) == seen) {
+#if defined(__linux__)
+    FutexWait(&st->doorbell, seen, timeout_ms);
+#else
+    ::sched_yield();
+    (void)timeout_ms;
+#endif
+  }
+  __atomic_fetch_sub(&st->waiters, 1u, __ATOMIC_SEQ_CST);
+}
+
+void ShmMesh::Notify(int p) {
+  ShmProcState* st = proc_state(p);
+  __atomic_fetch_add(&st->doorbell, 1u, __ATOMIC_SEQ_CST);
+  if (__atomic_load_n(&st->waiters, __ATOMIC_SEQ_CST) != 0) {
+#if defined(__linux__)
+    FutexWakeAll(&st->doorbell);
+#endif
+  }
+}
+
+std::size_t ShmMesh::WriteSome(int from, int to, const unsigned char* src,
+                               std::size_t n) {
+  ShmRingHdr* h = ring(from, to);
+  unsigned char* data = ring_base(from, to) + sizeof(ShmRingHdr);
+  const std::uint64_t head = __atomic_load_n(&h->head, __ATOMIC_RELAXED);
+  const std::uint64_t tail = __atomic_load_n(&h->tail, __ATOMIC_ACQUIRE);
+  const std::size_t free_bytes =
+      ring_capacity_ - static_cast<std::size_t>(head - tail);
+  const std::size_t w = std::min(n, free_bytes);
+  if (w == 0) return 0;
+  const std::size_t pos =
+      static_cast<std::size_t>(head) & (ring_capacity_ - 1);
+  const std::size_t first = std::min(w, ring_capacity_ - pos);
+  std::memcpy(data + pos, src, first);
+  if (w > first) std::memcpy(data, src + first, w - first);
+  __atomic_store_n(&h->head, head + w, __ATOMIC_RELEASE);
+  Notify(to);
+  return w;
+}
+
+std::size_t ShmMesh::ReadSome(int from, int to, unsigned char* dst,
+                              std::size_t n) {
+  ShmRingHdr* h = ring(from, to);
+  const unsigned char* data = ring_base(from, to) + sizeof(ShmRingHdr);
+  const std::uint64_t tail = __atomic_load_n(&h->tail, __ATOMIC_RELAXED);
+  const std::uint64_t head = __atomic_load_n(&h->head, __ATOMIC_ACQUIRE);
+  const std::size_t avail = static_cast<std::size_t>(head - tail);
+  const std::size_t r = std::min(n, avail);
+  if (r == 0) return 0;
+  const std::size_t pos =
+      static_cast<std::size_t>(tail) & (ring_capacity_ - 1);
+  const std::size_t first = std::min(r, ring_capacity_ - pos);
+  std::memcpy(dst, data + pos, first);
+  if (r > first) std::memcpy(dst + first, data, r - first);
+  __atomic_store_n(&h->tail, tail + r, __ATOMIC_RELEASE);
+  // Flow-control doorbell, rung only when this drain started from a full
+  // ring: a producer parks only after WriteSome found no free space, so
+  // any drain that can unblock it began at capacity — and the doorbell is
+  // a counter, so a producer racing toward its park still observes the
+  // bump in Wait's re-validation. Draining a non-full ring (the common
+  // case) skips the peer wakeup entirely.
+  if (avail == ring_capacity_) Notify(from);
+  return r;
+}
+
+Status ShmBulk::Create(std::size_t bytes, std::unique_ptr<ShmBulk>* out) {
+  if (bytes == 0) {
+    return Status::InvalidArgument("shm bulk region must not be empty");
+  }
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return Status::Internal(std::string("mmap of shm bulk region failed: ") +
+                            std::strerror(errno));
+  }
+  out->reset(new ShmBulk(static_cast<unsigned char*>(base), bytes));
+  return Status::OK();
+}
+
+ShmBulk::~ShmBulk() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+}
+
+}  // namespace dne

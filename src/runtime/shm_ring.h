@@ -1,0 +1,197 @@
+// Shared-memory mesh for same-host rank processes: one mmap'd MAP_SHARED
+// region created by the parent before fork, holding a single-producer/
+// single-consumer byte ring per ordered process pair plus one doorbell +
+// liveness word per process. The ShmCommunicator (runtime/process_cluster.h)
+// moves the exact same 32-byte checksummed frames (runtime/wire.h) through
+// these rings that the socket mesh moves through socketpairs — eliminating
+// the per-round sendmsg/poll syscalls and one kernel copy — so dne_lint's
+// wire-pod rules and the `fault=` flip/drop injection grammar apply
+// unchanged.
+//
+// Ring protocol (classic SPSC byte stream):
+//   * `head` is the producer's write cursor, `tail` the consumer's read
+//     cursor; both are free-running 64-bit byte counts (position = cursor
+//     mod capacity, capacity is a power of two). head - tail bytes are
+//     readable; capacity - (head - tail) bytes are writable.
+//   * The producer publishes data with a release store of `head`; the
+//     consumer frees space with a release store of `tail`. Each side owns
+//     its cursor exclusively — no CAS, no seqlock retries on the data path.
+//   * Frames larger than the ring stream through incrementally, exactly
+//     like a socket with a full send buffer.
+//
+// Doorbell protocol (eventcount): a waiter loads its own doorbell
+// (PrepareWait), rescans every ring, and only if nothing moved parks on the
+// doorbell word via futex — re-validating that the doorbell still equals
+// the captured value, so a notification between scan and sleep is never
+// lost. Notifiers bump the doorbell and issue the futex wake only when the
+// `waiters` count says someone may be parked (the busy-path notify is a
+// single uncontended atomic add).
+//
+// Failure model: shared memory has no EOF. The parent's monitor reaps a
+// dead child within its ~100ms poll cadence and calls MarkDead, which
+// clears the child's `alive` word and rings every doorbell; a peer blocked
+// on that process then observes ring-empty + !alive and fails the round
+// with the same recoverable "disconnected mid-superstep" diagnostic the
+// socket mesh derives from EOF. The mesh-round stall deadline remains the
+// backstop for a wedged-but-alive peer.
+#ifndef DNE_RUNTIME_SHM_RING_H_
+#define DNE_RUNTIME_SHM_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "common/status.h"
+
+namespace dne {
+
+/// Per-ring control block, one cache line per cursor so the producer's
+/// head stores never bounce the consumer's tail line (and vice versa).
+/// Lives in shared memory — layout frozen, explicit-width fields only,
+/// accessed exclusively through __atomic builtins.
+struct ShmRingHdr {
+  std::uint64_t head;      ///< producer write cursor (free-running bytes)
+  std::uint8_t pad0[56];
+  std::uint64_t tail;      ///< consumer read cursor (free-running bytes)
+  std::uint8_t pad1[56];
+  std::uint64_t capacity;  ///< data bytes that follow; power of two
+  std::uint64_t magic;     ///< kShmRingMagic, checked on attach
+  std::uint8_t pad2[48];
+};
+static_assert(std::is_trivially_copyable_v<ShmRingHdr>,
+              "ShmRingHdr lives in shared memory");
+static_assert(sizeof(ShmRingHdr) == 192 && offsetof(ShmRingHdr, head) == 0 &&
+                  offsetof(ShmRingHdr, tail) == 64 &&
+                  offsetof(ShmRingHdr, capacity) == 128 &&
+                  offsetof(ShmRingHdr, magic) == 136,
+              "ShmRingHdr shared-memory layout drifted");
+
+/// Per-process control block: the futex doorbell its peers ring, the
+/// liveness word the parent clears on death, and the parked-waiter count
+/// that gates the wake syscall. One cache line per process.
+struct ShmProcState {
+  std::uint32_t doorbell;  ///< eventcount word; futex-waited on
+  std::uint32_t alive;     ///< 1 while the process may touch its rings
+  std::uint32_t waiters;   ///< processes parked on `doorbell` right now
+  std::uint8_t pad[52];
+};
+static_assert(std::is_trivially_copyable_v<ShmProcState>,
+              "ShmProcState lives in shared memory");
+static_assert(sizeof(ShmProcState) == 64 &&
+                  offsetof(ShmProcState, doorbell) == 0 &&
+                  offsetof(ShmProcState, alive) == 4 &&
+                  offsetof(ShmProcState, waiters) == 8,
+              "ShmProcState shared-memory layout drifted");
+
+inline constexpr std::uint64_t kShmRingMagic = 0x444e453153484d52ULL;  // "DNE1SHMR"
+
+/// The whole-mesh mapping: created by the parent before fork (MAP_SHARED |
+/// MAP_ANONYMOUS, so the children inherit the same physical pages), then
+/// borrowed by each child's ShmCommunicator through the forked copy of the
+/// owning ProcessCluster.
+///
+/// Thread safety: the cursor/doorbell words are cross-process atomics; each
+/// ring is written by exactly one process and read by exactly one other.
+/// Within a process, confine a given (from, to) direction to one thread —
+/// the rank superstep loop already does.
+class ShmMesh {
+ public:
+  /// Maps the region and initialises every ring header and process state
+  /// (alive = 1). `ring_capacity` must be a power of two.
+  static Status Create(int nproc, std::size_t ring_capacity,
+                       std::unique_ptr<ShmMesh>* out);
+  ~ShmMesh();
+
+  ShmMesh(const ShmMesh&) = delete;
+  ShmMesh& operator=(const ShmMesh&) = delete;
+
+  /// Per-ring data capacity for an nproc-process mesh: a ~256 MB total
+  /// budget split over the nproc*(nproc-1) rings, rounded down to a power
+  /// of two and clamped to [64 KB, 8 MB]. Frames larger than the ring
+  /// stream through incrementally, so the clamp bounds memory, not frame
+  /// size.
+  static std::size_t RingCapacityFor(int nproc);
+
+  int nproc() const { return nproc_; }
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  std::size_t total_bytes() const { return bytes_; }
+
+  ShmProcState* proc_state(int p) const;
+  ShmRingHdr* ring(int from, int to) const;
+
+  /// True while process p has not been marked dead.
+  bool alive(int p) const;
+  /// Parent-side death hook (also used by a parking child on itself):
+  /// clears p's alive word and rings every doorbell so blocked peers
+  /// rescan and observe the death.
+  void MarkDead(int p);
+
+  /// Eventcount: capture p's doorbell before scanning the rings...
+  std::uint32_t PrepareWait(int p) const;
+  /// ...and park on it only if it still equals `seen` (bounded by
+  /// `timeout_ms`). Spurious wakeups are fine — the caller rescans.
+  void Wait(int p, std::uint32_t seen, int timeout_ms);
+  /// Rings p's doorbell; issues the futex wake only if p may be parked.
+  void Notify(int p);
+
+  /// SPSC byte-stream push: copies up to n bytes of src into the
+  /// (from -> to) ring, returns the bytes accepted (0 when full) and rings
+  /// `to`'s doorbell when anything moved.
+  std::size_t WriteSome(int from, int to, const unsigned char* src,
+                        std::size_t n);
+  /// SPSC byte-stream pull: copies up to n readable bytes into dst and
+  /// returns the bytes delivered (0 when empty). `from`'s doorbell rings
+  /// only when the drain started from a full ring — the one state in which
+  /// the producer can be parked waiting for space.
+  std::size_t ReadSome(int from, int to, unsigned char* dst, std::size_t n);
+
+ private:
+  ShmMesh(unsigned char* base, std::size_t bytes, int nproc,
+          std::size_t ring_capacity);
+
+  /// Rings are stored densely over ordered pairs (from != to).
+  std::size_t RingIndex(int from, int to) const {
+    return static_cast<std::size_t>(from) *
+               static_cast<std::size_t>(nproc_ - 1) +
+           static_cast<std::size_t>(to < from ? to : to - 1);
+  }
+  unsigned char* ring_base(int from, int to) const;
+
+  unsigned char* base_;
+  std::size_t bytes_;
+  int nproc_;
+  std::size_t ring_capacity_;
+  std::size_t ring_stride_;  ///< sizeof(ShmRingHdr) + ring_capacity_
+};
+
+/// A one-shot pre-fork MAP_SHARED scratch region for same-host bulk
+/// handoff. The parent maps it, fills it completely, and only then forks —
+/// the fork is the synchronisation point, so readers in the children need
+/// no atomics and no protocol: the bytes are simply there, in the same
+/// physical pages, at the same address. The shm transport uses one to lay
+/// out every rank's 2-D shard, replacing the per-edge round trip through
+/// the control socketpair with in-place parsing.
+class ShmBulk {
+ public:
+  /// Maps `bytes` of zeroed MAP_SHARED | MAP_ANONYMOUS memory.
+  static Status Create(std::size_t bytes, std::unique_ptr<ShmBulk>* out);
+  ~ShmBulk();
+
+  ShmBulk(const ShmBulk&) = delete;
+  ShmBulk& operator=(const ShmBulk&) = delete;
+
+  unsigned char* data() const { return base_; }
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  ShmBulk(unsigned char* base, std::size_t bytes)
+      : base_(base), bytes_(bytes) {}
+
+  unsigned char* base_;
+  std::size_t bytes_;
+};
+
+}  // namespace dne
+
+#endif  // DNE_RUNTIME_SHM_RING_H_

@@ -4,6 +4,11 @@
 
 #include "core/partition_config.h"
 #include "core/partitioner_registry.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_options.h"
+#include "partition/dne/dne_partitioner.h"
+#include "runtime/host_topology.h"
 
 namespace dne {
 namespace {
@@ -172,6 +177,79 @@ TEST(OptionSchemaTest, DneTransportKnobsValidateThroughTheSchema) {
   EXPECT_EQ(s.IntOr(PartitionConfig{}, "checkpoint_every"), 0);
   EXPECT_EQ(s.StringOr(PartitionConfig{}, "checkpoint_dir"), "");
   EXPECT_EQ(s.DoubleOr(PartitionConfig{}, "stall_timeout_s"), 600.0);
+
+  // The shm transport is a first-class enum value and takes the same
+  // rank/fault/checkpoint knobs as the socket transport.
+  EXPECT_TRUE(s.Validate(PartitionConfig{{"transport", "shm"}}).ok());
+  EXPECT_TRUE(
+      s.Validate(PartitionConfig{{"transport", "shm"}, {"ranks", "2"}}).ok());
+}
+
+// Cross-option validation for transport=shm happens in the partitioner (the
+// schema cannot see option interactions): rank-range errors name the shm
+// transport, P=1 is rejected, and the shm-specific checkpoint_dir
+// local-filesystem rule is wired through the host-topology probes.
+TEST(OptionSchemaTest, ShmTransportCrossOptionErrors) {
+  const Graph g = Graph::Build(GenerateRmat([] {
+    RmatOptions o;
+    o.scale = 8;
+    o.edge_factor = 8;
+    o.seed = 5;
+    return o;
+  }()));
+  EdgePartition ep;
+  {
+    DneOptions opt;  // ranks above the partition count
+    opt.transport = DneTransport::kShm;
+    opt.ranks = 8;
+    const Status st = DnePartitioner(opt).Partition(g, 4, &ep);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("transport=shm"), std::string::npos)
+        << st.ToString();
+  }
+  {
+    DneOptions opt;  // P=1 has nothing to distribute
+    opt.transport = DneTransport::kShm;
+    opt.ranks = 2;
+    const Status st = DnePartitioner(opt).Partition(g, 1, &ep);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("transport=shm"), std::string::npos)
+        << st.ToString();
+  }
+  {
+    DneOptions opt;  // checkpoint cadence without a dir, shm flavor
+    opt.transport = DneTransport::kShm;
+    opt.ranks = 2;
+    opt.checkpoint_every = 2;
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+}
+
+// The host-topology probes behind the shm defaults. The NUMA count drives
+// ranks=0 auto-derivation (>= 2 nodes -> one rank process per node); the
+// filesystem classification drives the shm checkpoint_dir rejection. Both
+// must be robust on machines where the probe finds nothing.
+TEST(HostTopologyTest, ProbesAreSaneOnThisHost) {
+  // Every machine has at least one node, and the count is stable.
+  const int nodes = CountNumaNodes();
+  EXPECT_GE(nodes, 1);
+  EXPECT_EQ(nodes, CountNumaNodes());
+
+  // The remote-magic classifier knows the NFS/SMB/CIFS families and nothing
+  // else (tmpfs, ext4, xfs, btrfs are local).
+  EXPECT_TRUE(FilesystemMagicIsRemote(0x6969));       // NFS_SUPER_MAGIC
+  EXPECT_TRUE(FilesystemMagicIsRemote(0x517B));       // SMB_SUPER_MAGIC
+  EXPECT_TRUE(FilesystemMagicIsRemote(0xFF534D42));   // CIFS_MAGIC_NUMBER
+  EXPECT_TRUE(FilesystemMagicIsRemote(0xFE534D42));   // SMB2_MAGIC_NUMBER
+  EXPECT_FALSE(FilesystemMagicIsRemote(0x01021994));  // TMPFS_MAGIC
+  EXPECT_FALSE(FilesystemMagicIsRemote(0xEF53));      // EXT4_SUPER_MAGIC
+  EXPECT_FALSE(FilesystemMagicIsRemote(0x58465342));  // XFS_SUPER_MAGIC
+
+  // Paths on this container are local, including not-yet-created ones
+  // (the probe walks up to the nearest existing parent).
+  EXPECT_TRUE(PathOnLocalFilesystem("/tmp"));
+  EXPECT_TRUE(PathOnLocalFilesystem("/tmp/dne-does-not-exist-yet/ckpt"));
+  EXPECT_TRUE(PathOnLocalFilesystem("relative-name"));
 }
 
 }  // namespace

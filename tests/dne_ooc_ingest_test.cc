@@ -1,0 +1,206 @@
+// Out-of-core rank shard ingest: rank processes build their 2-D shards by
+// streaming the canonical edge file themselves (the coordinator ships
+// routing, not edges). The streamed run must be bit-identical to the
+// materialized transport — same assignment, same counters — in gather mode,
+// and counts-only mode must report the same per-partition sizes without the
+// coordinator ever holding an O(E) structure.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "partition/dne/dne_options.h"
+#include "partition/dne/dne_partitioner.h"
+#include "partition/dne/dne_process_transport.h"
+
+namespace dne {
+namespace {
+
+Graph RmatGraph(int scale, std::uint64_t seed) {
+  RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = 8;
+  opt.seed = seed;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+/// Writes the graph's canonical edge array to a binary v2 file (the
+/// DneStreamSpec order contract) and removes it on scope exit. Callers must
+/// ASSERT_TRUE(file.ok()) before using path().
+class ScopedCanonicalFile {
+ public:
+  explicit ScopedCanonicalFile(const Graph& g) {
+    char tmpl[] = "/tmp/dne_ooc_edges_XXXXXX";
+    const int fd = ::mkstemp(tmpl);
+    if (fd == -1) return;
+    ::close(fd);
+    path_ = tmpl;
+    const Status st = SaveEdgeListBinary(path_, g.edges());
+    ok_ = st.ok();
+  }
+  ~ScopedCanonicalFile() {
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  bool ok_ = false;
+};
+
+DneStreamSpec SpecFor(const Graph& g, const std::string& path,
+                      std::uint64_t chunk_edges) {
+  DneStreamSpec spec;
+  spec.path = path;
+  spec.format = "bin";
+  spec.num_vertices = g.NumVertices();
+  spec.num_edges = g.NumEdges();
+  spec.chunk_edges = chunk_edges;
+  return spec;
+}
+
+DneOptions TransportOptions(DneTransport transport, int nproc) {
+  DneOptions opt;
+  opt.seed = 11;
+  opt.transport = transport;
+  opt.ranks = nproc;
+  return opt;
+}
+
+// Gather mode vs the materialized transport, over both mesh backends and a
+// chunk size small enough to force many NextChunk round trips.
+TEST(DneOocIngestTest, StreamedIngestMatchesMaterializedTransport) {
+  const Graph g = RmatGraph(10, 5);
+  ScopedCanonicalFile file(g);
+  ASSERT_TRUE(file.ok());
+  for (const DneTransport transport :
+       {DneTransport::kProcess, DneTransport::kShm}) {
+    for (int nproc : {2, 4}) {
+      const DneOptions opt = TransportOptions(transport, nproc);
+      DnePartitioner dne(opt);
+      EdgePartition ref;
+      ASSERT_TRUE(dne.Partition(g, 4, &ref).ok());
+
+      DneStreamSpec spec = SpecFor(g, file.path(), /*chunk_edges=*/512);
+      EdgePartition streamed;
+      DneStats stats;
+      const Status st = RunDneProcessTransportStream(
+          spec, 4, opt, opt.seed, nproc, PartitionContext{}, &streamed,
+          &stats);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(ref.assignment(), streamed.assignment())
+          << "transport " << (transport == DneTransport::kShm ? "shm"
+                                                              : "process")
+          << " nproc " << nproc;
+      EXPECT_EQ(dne.dne_stats().iterations, stats.iterations);
+      EXPECT_EQ(dne.dne_stats().comm_bytes, stats.comm_bytes);
+      EXPECT_EQ(dne.dne_stats().wire_bytes, stats.wire_bytes);
+    }
+  }
+}
+
+// Counts-only mode: no assignment comes back (out must be null), but the
+// per-partition edge counts must equal the materialized run's exactly.
+TEST(DneOocIngestTest, CountsOnlyModeReportsExactPartitionSizes) {
+  const Graph g = RmatGraph(10, 7);
+  ScopedCanonicalFile file(g);
+  ASSERT_TRUE(file.ok());
+  const DneOptions opt = TransportOptions(DneTransport::kProcess, 2);
+  DnePartitioner dne(opt);
+  EdgePartition ref;
+  ASSERT_TRUE(dne.Partition(g, 4, &ref).ok());
+
+  DneStreamSpec spec = SpecFor(g, file.path(), /*chunk_edges=*/512);
+  spec.gather_assignment = false;
+  DneStats stats;
+  const Status st = RunDneProcessTransportStream(
+      spec, 4, opt, opt.seed, 2, PartitionContext{}, /*out=*/nullptr, &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(stats.edges_per_partition.size(), 4u);
+  EXPECT_EQ(stats.edges_per_partition, dne.dne_stats().edges_per_partition);
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : stats.edges_per_partition) total += n;
+  EXPECT_EQ(total, g.NumEdges());
+}
+
+// Chunk size must not matter: the shard an owner rank accumulates is a pure
+// function of the canonical order, however it is sliced.
+TEST(DneOocIngestTest, ChunkSizeDoesNotChangeTheResult) {
+  const Graph g = RmatGraph(9, 3);
+  ScopedCanonicalFile file(g);
+  ASSERT_TRUE(file.ok());
+  const DneOptions opt = TransportOptions(DneTransport::kProcess, 2);
+  std::vector<PartitionId> first;
+  for (const std::uint64_t chunk : {64ull, 4096ull, 1ull << 20}) {
+    DneStreamSpec spec = SpecFor(g, file.path(), chunk);
+    EdgePartition streamed;
+    DneStats stats;
+    const Status st = RunDneProcessTransportStream(
+        spec, 4, opt, opt.seed, 2, PartitionContext{}, &streamed, &stats);
+    ASSERT_TRUE(st.ok()) << "chunk " << chunk << ": " << st.ToString();
+    if (first.empty()) {
+      first = streamed.assignment();
+    } else {
+      EXPECT_EQ(first, streamed.assignment()) << "chunk " << chunk;
+    }
+  }
+}
+
+TEST(DneOocIngestTest, StreamSpecValidates) {
+  const Graph g = RmatGraph(8, 5);
+  ScopedCanonicalFile file(g);
+  ASSERT_TRUE(file.ok());
+  DneStats stats;
+  EdgePartition out;
+  {
+    // In-process transport has no rank processes to stream into.
+    DneStreamSpec spec = SpecFor(g, file.path(), 512);
+    DneOptions opt;
+    opt.seed = 11;
+    EXPECT_FALSE(RunDneProcessTransportStream(spec, 4, opt, 11, 2,
+                                              PartitionContext{}, &out,
+                                              &stats)
+                     .ok());
+  }
+  const DneOptions opt = TransportOptions(DneTransport::kProcess, 2);
+  {
+    DneStreamSpec spec = SpecFor(g, file.path(), 512);
+    spec.path.clear();  // no file
+    EXPECT_FALSE(RunDneProcessTransportStream(spec, 4, opt, 11, 2,
+                                              PartitionContext{}, &out,
+                                              &stats)
+                     .ok());
+  }
+  {
+    DneStreamSpec spec = SpecFor(g, file.path(), 0);  // chunk_edges == 0
+    EXPECT_FALSE(RunDneProcessTransportStream(spec, 4, opt, 11, 2,
+                                              PartitionContext{}, &out,
+                                              &stats)
+                     .ok());
+  }
+  {
+    // gather_assignment and `out` must agree, both ways.
+    DneStreamSpec spec = SpecFor(g, file.path(), 512);
+    EXPECT_FALSE(RunDneProcessTransportStream(spec, 4, opt, 11, 2,
+                                              PartitionContext{},
+                                              /*out=*/nullptr, &stats)
+                     .ok());
+    spec.gather_assignment = false;
+    EXPECT_FALSE(RunDneProcessTransportStream(spec, 4, opt, 11, 2,
+                                              PartitionContext{}, &out,
+                                              &stats)
+                     .ok());
+  }
+}
+
+}  // namespace
+}  // namespace dne

@@ -195,7 +195,7 @@ TEST(DneRecoveryTest, StalledRankRecoversViaStallDeadline) {
   ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
   ScopedCheckpointDir dir;
   DneOptions opt = ProcessOptions(2, /*checkpoint_every=*/1);
-  opt.stall_timeout_s = 2.0;
+  opt.stall_timeout_s = 4.0;
   const Outcome got = RunDne(g, 4, opt, "stall@r0:s2", dir.path());
   ExpectBitIdentical(ref, got, "stall@r0:s2");
   EXPECT_EQ(got.stats.recoveries, 1u);
@@ -211,7 +211,7 @@ TEST(DneRecoveryTest, CorruptedFrameRecovers) {
   for (const char* fault : {"flip@r1:s2:peer=0", "drop@r0:s2:peer=1"}) {
     ScopedCheckpointDir dir;
     DneOptions opt = ProcessOptions(2, /*checkpoint_every=*/1);
-    opt.stall_timeout_s = 2.0;  // a dropped frame only fails via the deadline
+    opt.stall_timeout_s = 4.0;  // a dropped frame only fails via the deadline
     const Outcome got = RunDne(g, 4, opt, fault, dir.path());
     ExpectBitIdentical(ref, got, fault);
     EXPECT_EQ(got.stats.recoveries, 1u) << fault;

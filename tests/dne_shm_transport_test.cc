@@ -1,0 +1,163 @@
+// Shared-memory ring transport guarantees: transport=shm forks the same
+// rank processes as transport=process but moves the mesh frames through
+// mmap'd SPSC rings instead of socketpairs. The partition must stay
+// bit-identical to both other transports across the whole matrix, and —
+// because the frames themselves are byte-identical to the socket frames —
+// every observed wire/payload counter must reconcile EXACTLY with the
+// socket transport, not just approximately.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_partitioner.h"
+
+namespace dne {
+namespace {
+
+Graph RmatGraph(int scale, std::uint64_t seed) {
+  RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = 8;
+  opt.seed = seed;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+Graph ErGraph(std::uint64_t seed) {
+  return Graph::Build(GenerateErdosRenyi(1024, 8192, seed));
+}
+
+struct RunOutcome {
+  std::vector<PartitionId> assignment;
+  DneStats stats;
+};
+
+RunOutcome RunDne(const Graph& g, std::uint32_t parts,
+                  const DneOptions& opt) {
+  DnePartitioner dne(opt);
+  EdgePartition ep;
+  const Status st = dne.Partition(g, parts, &ep);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return RunOutcome{ep.assignment(), dne.dne_stats()};
+}
+
+DneOptions TransportOptions(DneTransport transport, int nproc) {
+  DneOptions opt;
+  opt.seed = 11;
+  opt.transport = transport;
+  opt.ranks = nproc;
+  return opt;
+}
+
+// The headline invariant, three ways at once: RMAT/ER x P{2,4,16} x
+// nproc{2,P}, in-process vs socket-process vs shm — one partition.
+TEST(DneShmTransportTest, ShmMatrixBitIdenticalAcrossAllThreeTransports) {
+  const Graph rmat = RmatGraph(10, 7);
+  const Graph er = ErGraph(9);
+  for (const Graph* g : {&rmat, &er}) {
+    for (std::uint32_t parts : {2u, 4u, 16u}) {
+      DneOptions inproc;
+      inproc.seed = 11;
+      const RunOutcome ref = RunDne(*g, parts, inproc);
+      for (int nproc : {2, static_cast<int>(parts)}) {
+        if (nproc > static_cast<int>(parts)) continue;
+        const RunOutcome sock =
+            RunDne(*g, parts, TransportOptions(DneTransport::kProcess, nproc));
+        const RunOutcome shm =
+            RunDne(*g, parts, TransportOptions(DneTransport::kShm, nproc));
+        EXPECT_EQ(ref.assignment, shm.assignment)
+            << "parts " << parts << " nproc " << nproc;
+        EXPECT_EQ(sock.assignment, shm.assignment)
+            << "parts " << parts << " nproc " << nproc;
+        EXPECT_EQ(ref.stats.iterations, shm.stats.iterations);
+        EXPECT_EQ(ref.stats.one_hop_edges, shm.stats.one_hop_edges);
+        EXPECT_EQ(ref.stats.two_hop_edges, shm.stats.two_hop_edges);
+        EXPECT_EQ(ref.stats.random_restarts, shm.stats.random_restarts);
+
+        // Byte-exact wire reconciliation: the shm rings carry the very same
+        // frames the socket mesh carries — same payloads, same headers,
+        // same count. Any drift here means the backends framed differently.
+        EXPECT_EQ(sock.stats.comm_bytes, shm.stats.comm_bytes)
+            << "parts " << parts << " nproc " << nproc;
+        EXPECT_EQ(sock.stats.comm_messages, shm.stats.comm_messages);
+        EXPECT_EQ(sock.stats.wire_bytes, shm.stats.wire_bytes)
+            << "parts " << parts << " nproc " << nproc;
+        EXPECT_EQ(sock.stats.wire_frames, shm.stats.wire_frames);
+      }
+    }
+  }
+}
+
+// Legacy (uncoalesced) framing rides the rings unchanged too.
+TEST(DneShmTransportTest, UncoalescedFramingMatchesOverShm) {
+  const Graph g = RmatGraph(10, 3);
+  DneOptions sock = TransportOptions(DneTransport::kProcess, 4);
+  sock.coalesce_frames = false;
+  DneOptions shm = TransportOptions(DneTransport::kShm, 4);
+  shm.coalesce_frames = false;
+  const RunOutcome a = RunDne(g, 4, sock);
+  const RunOutcome b = RunDne(g, 4, shm);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.stats.wire_bytes, b.stats.wire_bytes);
+  EXPECT_EQ(a.stats.wire_frames, b.stats.wire_frames);
+}
+
+// The restart-heavy probe protocol (the chattiest message pattern) over shm.
+TEST(DneShmTransportTest, RestartHeavyGraphMatchesOverShm) {
+  EdgeList list;
+  for (VertexId i = 0; i < 200; i += 2) list.Add(i, i + 1);
+  const Graph g = Graph::Build(std::move(list));
+  DneOptions inproc;
+  inproc.seed = 11;
+  const RunOutcome ref = RunDne(g, 4, inproc);
+  const RunOutcome shm =
+      RunDne(g, 4, TransportOptions(DneTransport::kShm, 4));
+  EXPECT_EQ(ref.assignment, shm.assignment);
+  EXPECT_GT(shm.stats.random_restarts, 0u);
+  EXPECT_EQ(ref.stats.random_restarts, shm.stats.random_restarts);
+}
+
+// Per-rank modeled peaks and observed per-process RSS survive the backend
+// swap (the aggregation path is transport-independent).
+TEST(DneShmTransportTest, PerRankPeaksAggregatedOverShm) {
+  const Graph g = RmatGraph(10, 5);
+  const std::uint32_t parts = 4;
+  DneOptions inproc;
+  inproc.seed = 11;
+  const RunOutcome ref = RunDne(g, parts, inproc);
+  const RunOutcome shm =
+      RunDne(g, parts, TransportOptions(DneTransport::kShm, parts));
+  ASSERT_EQ(shm.stats.rank_peak_bytes.size(), parts);
+  EXPECT_EQ(ref.stats.rank_peak_bytes, shm.stats.rank_peak_bytes);
+  EXPECT_EQ(shm.stats.rank_processes, static_cast<int>(parts));
+  ASSERT_EQ(shm.stats.process_rss_bytes.size(), parts);
+  for (std::uint64_t rss : shm.stats.process_rss_bytes) {
+    EXPECT_GT(rss, 0u);
+  }
+}
+
+TEST(DneShmTransportTest, ShmKnobsValidate) {
+  const Graph g = RmatGraph(8, 5);
+  EdgePartition ep;
+  {
+    DneOptions opt = TransportOptions(DneTransport::kShm, 1);  // below min
+    EXPECT_FALSE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+  {
+    DneOptions opt = TransportOptions(DneTransport::kShm, 8);  // > |P|
+    const Status st = DnePartitioner(opt).Partition(g, 4, &ep);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("transport=shm"), std::string::npos)
+        << st.ToString();
+  }
+  {
+    DneOptions opt = TransportOptions(DneTransport::kShm, 0);  // auto ranks
+    EXPECT_TRUE(DnePartitioner(opt).Partition(g, 4, &ep).ok());
+  }
+}
+
+}  // namespace
+}  // namespace dne

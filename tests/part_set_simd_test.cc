@@ -1,0 +1,117 @@
+// The Phase-C intersection kernels (part_set_simd.h): the vectorized
+// dispatcher must emit exactly the ids, in exactly the order, of the scalar
+// reference loop — on this build, whatever ISA it has. Plus the
+// ForEachCommon callers that route through it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "partition/dne/compact_part_sets.h"
+#include "partition/dne/part_set_simd.h"
+#include "partition/replica_table.h"
+
+namespace dne {
+namespace {
+
+std::vector<std::uint32_t> ScanScalar(const std::uint64_t* a,
+                                      const std::uint64_t* b,
+                                      std::uint32_t n) {
+  std::vector<std::uint32_t> out;
+  simd::AndScanWordsScalar(a, b, n, [&out](std::uint32_t id) {
+    out.push_back(id);
+  });
+  return out;
+}
+
+std::vector<std::uint32_t> ScanDispatch(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        std::uint32_t n) {
+  std::vector<std::uint32_t> out;
+  simd::AndScanWords(a, b, n, [&out](std::uint32_t id) {
+    out.push_back(id);
+  });
+  return out;
+}
+
+// Every word count the bitmap mode can produce (1..8 words = P 64..512),
+// against dense, sparse and empty random patterns: identical emission.
+TEST(PartSetSimdTest, DispatcherMatchesScalarOnRandomPatterns) {
+  std::mt19937_64 rng(42);
+  for (std::uint32_t n = 1; n <= simd::kMaxAndScanWords; ++n) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::uint64_t> a(n), b(n);
+      // Cycle density: dense AND, sparse AND, disjoint.
+      const int mode = trial % 3;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t x = rng();
+        const std::uint64_t y = rng();
+        a[i] = mode == 0 ? x | y : x;
+        b[i] = mode == 2 ? ~x : (mode == 0 ? x : x & y);
+      }
+      EXPECT_EQ(ScanScalar(a.data(), b.data(), n),
+                ScanDispatch(a.data(), b.data(), n))
+          << "words " << n << " trial " << trial;
+    }
+  }
+}
+
+TEST(PartSetSimdTest, EdgePatterns) {
+  for (std::uint32_t n : {1u, 4u, 8u}) {
+    const std::vector<std::uint64_t> zero(n, 0);
+    const std::vector<std::uint64_t> full(n, ~0ull);
+    EXPECT_TRUE(ScanDispatch(zero.data(), full.data(), n).empty());
+    const auto all = ScanDispatch(full.data(), full.data(), n);
+    ASSERT_EQ(all.size(), 64u * n);
+    for (std::uint32_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i], i);  // ascending, no gaps
+    }
+    // Single bit at each word boundary.
+    for (const std::uint32_t bit : {0u, 63u, 64u * n - 1}) {
+      std::vector<std::uint64_t> one(n, 0);
+      one[bit / 64] = 1ull << (bit % 64);
+      const auto got = ScanDispatch(one.data(), full.data(), n);
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], bit);
+    }
+  }
+}
+
+// The CompactPartSets caller: bitmap mode at P = 512 (8 words, the widest
+// vector path) agrees with a plain reference intersection.
+TEST(PartSetSimdTest, CompactPartSetsForEachCommonAtMaxBitmapWidth) {
+  constexpr std::uint32_t kParts = CompactPartSets::kBitmapMaxPartitions;
+  CompactPartSets sets;
+  sets.Init(/*num_vertices=*/2, kParts);
+  std::mt19937_64 rng(7);
+  std::vector<bool> in_u(kParts, false), in_w(kParts, false);
+  for (int i = 0; i < 300; ++i) {
+    const PartitionId pu = static_cast<PartitionId>(rng() % kParts);
+    const PartitionId pw = static_cast<PartitionId>(rng() % kParts);
+    sets.Add(0, pu);
+    sets.Add(1, pw);
+    in_u[pu] = true;
+    in_w[pw] = true;
+  }
+  std::vector<PartitionId> expect;
+  for (std::uint32_t p = 0; p < kParts; ++p) {
+    if (in_u[p] && in_w[p]) expect.push_back(p);
+  }
+  std::vector<PartitionId> got;
+  sets.ForEachCommon(0, 1, [&got](PartitionId p) { got.push_back(p); });
+  EXPECT_EQ(expect, got);
+}
+
+// The ReplicaTable caller (single-word bitmap, P <= 64).
+TEST(PartSetSimdTest, ReplicaTableForEachCommonViaKernel) {
+  ReplicaTable table(/*num_vertices=*/2, /*num_partitions=*/64);
+  for (const PartitionId p : {0u, 3u, 17u, 63u}) table.Add(0, p);
+  for (const PartitionId p : {3u, 5u, 17u, 62u}) table.Add(1, p);
+  std::vector<PartitionId> got;
+  table.ForEachCommon(0, 1, [&got](PartitionId p) { got.push_back(p); });
+  EXPECT_EQ(got, (std::vector<PartitionId>{3u, 17u}));
+}
+
+}  // namespace
+}  // namespace dne

@@ -1,0 +1,208 @@
+// Fault tolerance over the shared-memory ring transport: the shm backend
+// has no kernel EOF to announce a dead peer — liveness is a flag in the
+// shared region (ShmProcState::alive) that the supervisor clears when it
+// reaps a child and that a parking child clears for itself. These tests
+// prove the recovery machinery built for the socket mesh (checkpoints,
+// supervised restart, deterministic fault injection) works unchanged when
+// the frames ride mmap'd rings: crash, stall and corrupted-frame faults all
+// recover to the fault-free, bit-identical result.
+//
+// Forks, kills and restarts rank clusters -> `recovery` ctest label.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "partition/dne/dne_partitioner.h"
+
+namespace dne {
+namespace {
+
+Graph RmatGraph(int scale, std::uint64_t seed) {
+  RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = 8;
+  opt.seed = seed;
+  return Graph::Build(GenerateRmat(opt));
+}
+
+Graph ErGraph(std::uint64_t seed) {
+  return Graph::Build(GenerateErdosRenyi(1024, 8192, seed));
+}
+
+class ScopedCheckpointDir {
+ public:
+  ScopedCheckpointDir() {
+    char tmpl[] = "/tmp/dne_shm_recovery_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    path_ = made == nullptr ? "" : made;
+    EXPECT_FALSE(path_.empty());
+  }
+  ~ScopedCheckpointDir() {
+    if (path_.empty()) return;
+    if (DIR* dir = ::opendir(path_.c_str())) {
+      while (const dirent* e = ::readdir(dir)) {
+        const std::string name = e->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct Outcome {
+  Status st = Status::OK();
+  std::vector<PartitionId> assignment;
+  DneStats stats;
+};
+
+Outcome RunDne(const Graph& g, std::uint32_t parts, const DneOptions& opt,
+            const std::string& fault = "", const std::string& dir = "") {
+  DnePartitioner dne(opt);
+  if (!fault.empty()) dne.SetFaultSpec(fault);
+  if (!dir.empty()) dne.SetCheckpointDir(dir);
+  EdgePartition ep;
+  Outcome o;
+  o.st = dne.Partition(g, parts, &ep);
+  if (o.st.ok()) {
+    o.assignment = ep.assignment();
+    o.stats = dne.dne_stats();
+  }
+  return o;
+}
+
+DneOptions ShmOptions(int nproc, std::uint32_t checkpoint_every = 0,
+                      std::uint32_t max_recoveries = 1) {
+  DneOptions opt;
+  opt.seed = 11;
+  opt.transport = DneTransport::kShm;
+  opt.ranks = nproc;
+  opt.checkpoint_every = checkpoint_every;
+  opt.max_recoveries = max_recoveries;
+  return opt;
+}
+
+void ExpectBitIdentical(const Outcome& ref, const Outcome& got,
+                        const std::string& label) {
+  ASSERT_TRUE(got.st.ok()) << label << ": " << got.st.ToString();
+  EXPECT_EQ(ref.assignment, got.assignment) << label;
+  EXPECT_EQ(ref.stats.iterations, got.stats.iterations) << label;
+  EXPECT_EQ(ref.stats.one_hop_edges, got.stats.one_hop_edges) << label;
+  EXPECT_EQ(ref.stats.two_hop_edges, got.stats.two_hop_edges) << label;
+  EXPECT_EQ(ref.stats.random_restarts, got.stats.random_restarts) << label;
+  EXPECT_EQ(ref.stats.comm_bytes, got.stats.comm_bytes) << label;
+  EXPECT_EQ(ref.stats.comm_messages, got.stats.comm_messages) << label;
+  EXPECT_EQ(ref.stats.wire_bytes, got.stats.wire_bytes) << label;
+  EXPECT_EQ(ref.stats.wire_frames, got.stats.wire_frames) << label;
+}
+
+// SIGKILL a rank process mid-run: peers must observe the cleared alive flag
+// (no EOF exists on a ring), park, and the supervisor must restart the
+// cluster from the checkpoint — landing on the fault-free partitions.
+TEST(ShmRecoveryTest, CrashOverShmRecoversBitIdentical) {
+  const Graph g = ErGraph(7);
+  const std::uint32_t parts = 4;
+  for (int nproc : {2, 4}) {
+    const Outcome ref = RunDne(g, parts, ShmOptions(nproc));
+    ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+    for (int step : {1, 2}) {
+      ScopedCheckpointDir dir;
+      const std::string fault = "crash@r1:s" + std::to_string(step);
+      const Outcome got = RunDne(
+          g, parts, ShmOptions(nproc, /*checkpoint_every=*/1), fault,
+          dir.path());
+      ExpectBitIdentical(ref, got,
+                         "nproc " + std::to_string(nproc) + " " + fault);
+      EXPECT_EQ(got.stats.recoveries, 1u) << fault;
+    }
+  }
+}
+
+// A crash inside a mesh round: the victim dies with its ring half-written;
+// survivors must drain what arrived, see alive == 0, and park cleanly.
+TEST(ShmRecoveryTest, MidRoundCrashOverShmRecovers) {
+  const Graph g = RmatGraph(10, 5);
+  const Outcome ref = RunDne(g, 4, ShmOptions(4));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  for (const char* fault :
+       {"crash@r1:s2:round=select", "crash@r2:s2:round=sync",
+        "crash@r0:s3:round=stepend"}) {
+    ScopedCheckpointDir dir;
+    const Outcome got =
+        RunDne(g, 4, ShmOptions(4, /*checkpoint_every=*/1), fault, dir.path());
+    ExpectBitIdentical(ref, got, fault);
+    EXPECT_EQ(got.stats.recoveries, 1u) << fault;
+  }
+}
+
+// SIGSTOP: the wedged rank is alive (flag still set), so only the stall
+// deadline catches it — the futex waits are bounded precisely for this.
+TEST(ShmRecoveryTest, StalledRankOverShmRecoversViaDeadline) {
+  const Graph g = ErGraph(7);
+  const Outcome ref = RunDne(g, 4, ShmOptions(2));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  ScopedCheckpointDir dir;
+  DneOptions opt = ShmOptions(2, /*checkpoint_every=*/1);
+  opt.stall_timeout_s = 4.0;
+  const Outcome got = RunDne(g, 4, opt, "stall@r0:s2", dir.path());
+  ExpectBitIdentical(ref, got, "stall@r0:s2");
+  EXPECT_EQ(got.stats.recoveries, 1u);
+}
+
+// The checksummed frame format is transport-independent: a flipped payload
+// bit in a ring frame fails verification at the receiver exactly as it does
+// on a socket, and a dropped frame wedges the round until the deadline.
+TEST(ShmRecoveryTest, CorruptedRingFrameRecovers) {
+  const Graph g = ErGraph(7);
+  const Outcome ref = RunDne(g, 4, ShmOptions(2));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  for (const char* fault : {"flip@r1:s2:peer=0", "drop@r0:s2:peer=1"}) {
+    ScopedCheckpointDir dir;
+    DneOptions opt = ShmOptions(2, /*checkpoint_every=*/1);
+    opt.stall_timeout_s = 4.0;
+    const Outcome got = RunDne(g, 4, opt, fault, dir.path());
+    ExpectBitIdentical(ref, got, fault);
+    EXPECT_EQ(got.stats.recoveries, 1u) << fault;
+  }
+}
+
+// No checkpoints: a from-scratch restart over shm is still bit-identical.
+TEST(ShmRecoveryTest, RecoveryWithoutCheckpointsOverShm) {
+  const Graph g = ErGraph(7);
+  const Outcome ref = RunDne(g, 4, ShmOptions(2));
+  ASSERT_TRUE(ref.st.ok()) << ref.st.ToString();
+  const Outcome got = RunDne(g, 4, ShmOptions(2), "crash@r1:s2");
+  ExpectBitIdentical(ref, got, "no-checkpoint shm recovery");
+  EXPECT_EQ(got.stats.recoveries, 1u);
+}
+
+// Exhausted retries must fail with the same structured report the socket
+// transport produces (rank process, superstep, retry budget).
+TEST(ShmRecoveryTest, ExhaustedRetriesOverShmReportStructured) {
+  const Graph g = ErGraph(7);
+  ScopedCheckpointDir dir;
+  DneOptions opt = ShmOptions(2, /*checkpoint_every=*/1,
+                              /*max_recoveries=*/2);
+  const Outcome got = RunDne(g, 4, opt, "crash@r1:s2:epoch=-1", dir.path());
+  ASSERT_FALSE(got.st.ok());
+  const std::string msg = got.st.ToString();
+  EXPECT_NE(msg.find("rank process 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("recovery exhausted"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace dne

@@ -366,8 +366,10 @@ int CmdPartition(int argc, char** argv) {
           dynamic_cast<const dne::DnePartitioner*>(partitioner.get())) {
     const dne::DneStats& ds = dne_ptr->dne_stats();
     if (ds.rank_processes > 0) {
-      std::printf("transport=process ranks=%d: payload=%llu B over %llu "
+      std::printf("transport=%s ranks=%d: payload=%llu B over %llu "
                   "messages, wire=%llu B in %llu frames\n",
+                  ds.transport_used == dne::DneTransport::kShm ? "shm"
+                                                               : "process",
                   ds.rank_processes,
                   static_cast<unsigned long long>(ds.comm_bytes),
                   static_cast<unsigned long long>(ds.comm_messages),

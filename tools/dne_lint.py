@@ -45,7 +45,8 @@ CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 SCAN_DIRS = ("src", "tools", "bench", "examples")
 RESULT_DIRS = ("src/partition", "src/core", "src/gen", "src/graph")
 WIRE_HEADERS = ("src/partition/dne/dne_messages.h", "src/runtime/wire.h",
-                "src/runtime/checkpoint.h", "src/runtime/serve_messages.h")
+                "src/runtime/checkpoint.h", "src/runtime/serve_messages.h",
+                "src/runtime/shm_ring.h")
 VALIDATED_PARSER = "src/core/partition_config.cc"
 RUNTIME_DIR = "src/runtime"
 ALLOWLIST_FILE = os.path.join("tools", "dne_lint_allow.txt")
@@ -404,6 +405,18 @@ struct BadServeRecord {
   unsigned long drifts;
 };
 """,
+    # wire-pod over the shared-memory ring header: the mapped control
+    # blocks are cross-process ABI, so the same layout-freeze rules apply.
+    "src/runtime/shm_ring.h": """
+struct GoodRingHdr {
+  std::uint64_t head;
+  std::uint64_t tail;
+};
+static_assert(std::is_trivially_copyable_v<GoodRingHdr>, "ok");
+struct BadRingHdr {
+  unsigned long head_drifts;
+};
+""",
     # nondeterminism: rand/srand/random_device + unordered_map iteration.
     "src/partition/seeded_nondet.cc": """
 #include <unordered_map>
@@ -443,7 +456,7 @@ void LaunchChild() { (void)fork(); }
 }
 
 EXPECTED_RULE_HITS = {
-    "wire-pod": 5,        # 2 missing asserts + 3 drifting fields
+    "wire-pod": 7,        # 3 missing asserts + 4 drifting fields
     "nondeterminism": 4,  # rand, srand, random_device, map iteration
     "numeric-parse": 3,   # stoi + bare atoi + std::atol
     "include-cc": 1,
